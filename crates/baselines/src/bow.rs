@@ -1,0 +1,95 @@
+//! The Bag-of-Words baseline (§VI-B): the traditional vector-space model
+//! with tags as words — tf-idf weights and cosine ranking, but **no**
+//! semantic analysis (no concept distillation, no tagger dimension).
+//!
+//! Implementation note: BOW is exactly the concept-space engine of
+//! [`cubelsi_core::ConceptIndex`] with the *identity* concept mapping
+//! (every tag is its own concept), so it reuses that code path — one
+//! engine, two granularities, which also makes the CubeLSI-vs-BOW
+//! comparison a pure measure of concept distillation.
+
+use crate::Ranker;
+use cubelsi_core::{ConceptIndex, ConceptModel, RankedResource};
+use cubelsi_folksonomy::{Folksonomy, TagId};
+
+/// The BOW ranker.
+pub struct BowRanker {
+    concepts: ConceptModel,
+    index: ConceptIndex,
+}
+
+impl BowRanker {
+    /// Builds the tag-level tf-idf index.
+    pub fn build(f: &Folksonomy) -> Self {
+        let identity: Vec<usize> = (0..f.num_tags()).collect();
+        let concepts = ConceptModel::from_assignments(identity, 0.0);
+        let index = ConceptIndex::build(f, &concepts);
+        BowRanker { concepts, index }
+    }
+
+    /// The underlying index (for diagnostics).
+    pub fn index(&self) -> &ConceptIndex {
+        &self.index
+    }
+}
+
+impl Ranker for BowRanker {
+    fn name(&self) -> &'static str {
+        "BOW"
+    }
+
+    fn search_ids(&self, tags: &[TagId], top_k: usize) -> Vec<RankedResource> {
+        self.index.query_tag_ids(&self.concepts, tags, top_k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubelsi_folksonomy::store::figure2_example;
+
+    #[test]
+    fn exact_tag_match_only() {
+        let f = figure2_example();
+        let bow = BowRanker::build(&f);
+        // Unlike CubeLSI, querying "people" must NOT retrieve r2 (tagged
+        // only "folk") — BOW has no concepts to bridge synonymy.
+        let people = f.tag_id("people").unwrap();
+        let hits = bow.search_ids(&[people], 0);
+        let names: Vec<&str> = hits.iter().map(|h| f.resource_name(h.resource)).collect();
+        assert_eq!(names, vec!["r1"]);
+    }
+
+    #[test]
+    fn idf_prefers_rare_tags() {
+        let f = figure2_example();
+        let bow = BowRanker::build(&f);
+        // "folk" appears in 2 of 3 resources, "laptop" in 1 of 3: the
+        // laptop posting carries higher idf weight.
+        let folk_idx = f.tag_id("folk").unwrap().index();
+        let laptop_idx = f.tag_id("laptop").unwrap().index();
+        assert!(bow.index().idf(laptop_idx) > bow.index().idf(folk_idx));
+    }
+
+    #[test]
+    fn ranking_is_cosine_based() {
+        let f = figure2_example();
+        let bow = BowRanker::build(&f);
+        let folk = f.tag_id("folk").unwrap();
+        let hits = bow.search_ids(&[folk], 0);
+        assert_eq!(hits.len(), 2);
+        // r2 is 100% folk; r1 splits between folk and people → r2 first.
+        assert_eq!(f.resource_name(hits[0].resource), "r2");
+        assert!(hits[0].score > hits[1].score);
+        assert!(hits[0].score <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn empty_and_truncated_queries() {
+        let f = figure2_example();
+        let bow = BowRanker::build(&f);
+        assert!(bow.search_ids(&[], 0).is_empty());
+        let folk = f.tag_id("folk").unwrap();
+        assert_eq!(bow.search_ids(&[folk], 1).len(), 1);
+    }
+}

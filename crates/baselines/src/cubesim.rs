@@ -1,0 +1,347 @@
+//! The CubeSim baseline (§VI-B): tag distances straight from the *raw*
+//! tensor — `D(tᵢ, tⱼ) = ‖F₍:,ᵢ,:₎ − F₍:,ⱼ,:₎‖_F` (Eq. 8) — followed by
+//! the same concept distillation and retrieval as CubeLSI. No Tucker
+//! decomposition, no noise purification.
+//!
+//! Two computation modes:
+//!
+//! * [`CubeSimMode::FaithfulDense`] — materializes each pair of dense
+//!   user×resource slices, exactly the computation the paper timed (whose
+//!   Delicious run exceeded 100 hours, Table V). Supports a wall-clock
+//!   budget: when exceeded, the run stops and extrapolates the total cost,
+//!   reproducing the paper's "> 100 h" entry honestly.
+//! * [`CubeSimMode::SparseOptimized`] — an *extension beyond the paper*:
+//!   exploits binary sparsity (`d² = nnz_i + nnz_j − 2·|slice_i ∩ slice_j|`)
+//!   with a hash-join. This is what a careful engineer would implement, and
+//!   serves as an ablation showing the theorems matter even against a
+//!   strong CubeSim.
+
+use crate::Ranker;
+use cubelsi_core::{
+    build_tensor, ConceptIndex, ConceptModel, RankedResource, TagDistances,
+};
+use cubelsi_folksonomy::{Folksonomy, TagId};
+use cubelsi_linalg::spectral::{KSelection, SpectralConfig};
+use cubelsi_linalg::subspace::SubspaceOptions;
+use cubelsi_linalg::{LinAlgError, Matrix};
+use cubelsi_tensor::SparseTensor3;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// How CubeSim computes its distance matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CubeSimMode {
+    /// Dense per-pair slice subtraction (the paper's costing), with an
+    /// optional wall-clock budget.
+    FaithfulDense {
+        /// Stop (and extrapolate) once this much time has been spent.
+        budget: Option<Duration>,
+    },
+    /// Sparse merge-join distance computation (extension).
+    SparseOptimized,
+}
+
+/// Outcome of the distance computation, including DNF accounting.
+#[derive(Debug, Clone)]
+pub struct CubeSimReport {
+    /// Wall-clock time spent on distances.
+    pub elapsed: Duration,
+    /// Whether all pairs were computed (false ⇒ budget exceeded).
+    pub completed: bool,
+    /// Pairs computed.
+    pub pairs_done: usize,
+    /// Total pairs required.
+    pub pairs_total: usize,
+    /// Estimated total time at the observed rate (equals `elapsed` when
+    /// completed).
+    pub estimated_total: Duration,
+}
+
+/// The CubeSim ranker.
+pub struct CubeSim {
+    distances: TagDistances,
+    concepts: ConceptModel,
+    index: ConceptIndex,
+    report: CubeSimReport,
+}
+
+/// Configuration mirroring the CubeLSI clustering knobs.
+#[derive(Debug, Clone)]
+pub struct CubeSimConfig {
+    /// Distance computation mode.
+    pub mode: CubeSimMode,
+    /// Number of concepts (`None` → 95 %-variance rule).
+    pub num_concepts: Option<usize>,
+    /// Upper bound for the variance rule.
+    pub max_concepts: usize,
+    /// Affinity bandwidth (`None` → median heuristic).
+    pub sigma: Option<f64>,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for CubeSimConfig {
+    fn default() -> Self {
+        CubeSimConfig {
+            mode: CubeSimMode::SparseOptimized,
+            num_concepts: None,
+            max_concepts: 64,
+            sigma: None,
+            seed: 0xc5b,
+        }
+    }
+}
+
+impl CubeSim {
+    /// Builds the full CubeSim pipeline. Fails with `NotConverged` when a
+    /// `FaithfulDense` budget is exhausted — callers doing Table V timing
+    /// should use [`CubeSim::distances_with_report`] directly instead.
+    pub fn build(f: &Folksonomy, config: &CubeSimConfig) -> Result<Self, LinAlgError> {
+        let tensor = build_tensor(f)?;
+        let (distances, report) = Self::distances_with_report(&tensor, config.mode);
+        if !report.completed {
+            return Err(LinAlgError::NotConverged {
+                method: "cubesim_distances",
+                iterations: report.pairs_done,
+                residual: report.estimated_total.as_secs_f64(),
+            });
+        }
+        let spectral = SpectralConfig {
+            sigma: config.sigma,
+            k: match config.num_concepts {
+                Some(k) => KSelection::Fixed(k),
+                None => KSelection::VarianceCovered {
+                    fraction: 0.95,
+                    max_k: config.max_concepts,
+                },
+            },
+            kmeans: cubelsi_linalg::kmeans::KMeansConfig {
+                seed: config.seed ^ 0x6b6d,
+                ..Default::default()
+            },
+            subspace: SubspaceOptions {
+                seed: config.seed ^ 0x5bc7,
+                ..Default::default()
+            },
+        };
+        let concepts = ConceptModel::distill(&distances, &spectral)?;
+        let index = ConceptIndex::build(f, &concepts);
+        Ok(CubeSim {
+            distances,
+            concepts,
+            index,
+            report,
+        })
+    }
+
+    /// Computes the raw-slice distance matrix in the requested mode,
+    /// always returning whatever was computed plus a [`CubeSimReport`].
+    pub fn distances_with_report(
+        tensor: &SparseTensor3,
+        mode: CubeSimMode,
+    ) -> (TagDistances, CubeSimReport) {
+        let t = tensor.dims().1;
+        let pairs_total = t * (t.saturating_sub(1)) / 2;
+        let start = Instant::now();
+        let mut matrix = Matrix::zeros(t, t);
+        let mut pairs_done = 0usize;
+        let mut completed = true;
+
+        match mode {
+            CubeSimMode::SparseOptimized => {
+                // Each slice as a hash set of packed (user, resource) keys.
+                let slices: Vec<HashMap<u64, f64>> = (0..t)
+                    .map(|j| {
+                        let mut m = HashMap::new();
+                        for (u, r, v) in tensor.slice_mode2_csr(j).to_dense_triples() {
+                            m.insert(pack(u, r), v);
+                        }
+                        m
+                    })
+                    .collect();
+                let norms: Vec<f64> = slices
+                    .iter()
+                    .map(|s| s.values().map(|v| v * v).sum())
+                    .collect();
+                for i in 0..t {
+                    for j in (i + 1)..t {
+                        // Join through the smaller slice.
+                        let (small, large) = if slices[i].len() <= slices[j].len() {
+                            (&slices[i], &slices[j])
+                        } else {
+                            (&slices[j], &slices[i])
+                        };
+                        let mut dot = 0.0;
+                        for (k, v) in small {
+                            if let Some(w) = large.get(k) {
+                                dot += v * w;
+                            }
+                        }
+                        let d = (norms[i] + norms[j] - 2.0 * dot).max(0.0).sqrt();
+                        matrix[(i, j)] = d;
+                        matrix[(j, i)] = d;
+                        pairs_done += 1;
+                    }
+                }
+            }
+            CubeSimMode::FaithfulDense { budget } => {
+                let dense_slices: Vec<Matrix> =
+                    (0..t).map(|j| tensor.slice_mode2_csr(j).to_dense()).collect();
+                'outer: for i in 0..t {
+                    for j in (i + 1)..t {
+                        if let Some(b) = budget {
+                            if start.elapsed() > b {
+                                completed = false;
+                                break 'outer;
+                            }
+                        }
+                        // The paper's literal computation: full dense
+                        // subtraction + Frobenius norm, O(I₁·I₃) per pair.
+                        let d = dense_slices[i]
+                            .sub(&dense_slices[j])
+                            .expect("slices share dims")
+                            .frobenius_norm();
+                        matrix[(i, j)] = d;
+                        matrix[(j, i)] = d;
+                        pairs_done += 1;
+                    }
+                }
+            }
+        }
+
+        let elapsed = start.elapsed();
+        let estimated_total = if completed || pairs_done == 0 {
+            elapsed
+        } else {
+            elapsed.mul_f64(pairs_total as f64 / pairs_done as f64)
+        };
+        (
+            TagDistances::from_matrix(matrix).expect("square by construction"),
+            CubeSimReport {
+                elapsed,
+                completed,
+                pairs_done,
+                pairs_total,
+                estimated_total,
+            },
+        )
+    }
+
+    /// The distance matrix.
+    pub fn distances(&self) -> &TagDistances {
+        &self.distances
+    }
+
+    /// The concept model.
+    pub fn concepts(&self) -> &ConceptModel {
+        &self.concepts
+    }
+
+    /// Distance-computation accounting.
+    pub fn report(&self) -> &CubeSimReport {
+        &self.report
+    }
+}
+
+impl Ranker for CubeSim {
+    fn name(&self) -> &'static str {
+        "CubeSim"
+    }
+
+    fn search_ids(&self, tags: &[TagId], top_k: usize) -> Vec<RankedResource> {
+        self.index.query_tag_ids(&self.concepts, tags, top_k)
+    }
+}
+
+#[inline]
+fn pack(u: usize, r: usize) -> u64 {
+    ((u as u64) << 32) | (r as u64)
+}
+
+/// Extension trait: iterate a CSR matrix as `(row, col, value)` triples.
+trait CsrTriples {
+    fn to_dense_triples(&self) -> Vec<(usize, usize, f64)>;
+}
+
+impl CsrTriples for cubelsi_linalg::CsrMatrix {
+    fn to_dense_triples(&self) -> Vec<(usize, usize, f64)> {
+        self.iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubelsi_folksonomy::store::figure2_example;
+
+    fn figure2_tensor() -> SparseTensor3 {
+        build_tensor(&figure2_example()).unwrap()
+    }
+
+    #[test]
+    fn sparse_distances_match_paper_eqs() {
+        let (dist, report) =
+            CubeSim::distances_with_report(&figure2_tensor(), CubeSimMode::SparseOptimized);
+        // Tag order: folk=0, people=1, laptop=2.
+        assert!((dist.get(0, 1) - 3.0f64.sqrt()).abs() < 1e-12, "D12 = √3");
+        assert!((dist.get(0, 2) - 6.0f64.sqrt()).abs() < 1e-12, "D13 = √6");
+        assert!((dist.get(1, 2) - 3.0f64.sqrt()).abs() < 1e-12, "D23 = √3");
+        assert!(report.completed);
+        assert_eq!(report.pairs_done, 3);
+    }
+
+    #[test]
+    fn dense_and_sparse_modes_agree() {
+        let tensor = figure2_tensor();
+        let (a, _) = CubeSim::distances_with_report(&tensor, CubeSimMode::SparseOptimized);
+        let (b, rb) =
+            CubeSim::distances_with_report(&tensor, CubeSimMode::FaithfulDense { budget: None });
+        assert!(a.matrix().approx_eq(b.matrix(), 1e-12));
+        assert!(rb.completed);
+    }
+
+    #[test]
+    fn exhausted_budget_reports_dnf_with_extrapolation() {
+        let tensor = figure2_tensor();
+        let (_, report) = CubeSim::distances_with_report(
+            &tensor,
+            CubeSimMode::FaithfulDense {
+                budget: Some(Duration::ZERO),
+            },
+        );
+        assert!(!report.completed);
+        assert!(report.pairs_done < report.pairs_total);
+        assert!(report.estimated_total >= report.elapsed);
+    }
+
+    #[test]
+    fn build_fails_cleanly_on_budget_exhaustion() {
+        let f = figure2_example();
+        let cfg = CubeSimConfig {
+            mode: CubeSimMode::FaithfulDense {
+                budget: Some(Duration::ZERO),
+            },
+            ..Default::default()
+        };
+        assert!(CubeSim::build(&f, &cfg).is_err());
+    }
+
+    #[test]
+    fn end_to_end_ranker() {
+        let f = figure2_example();
+        let cfg = CubeSimConfig {
+            num_concepts: Some(2),
+            sigma: Some(1.0),
+            ..Default::default()
+        };
+        let cs = CubeSim::build(&f, &cfg).unwrap();
+        let folk = f.tag_id("folk").unwrap();
+        let hits = cs.search_ids(&[folk], 0);
+        assert!(!hits.is_empty());
+        assert_eq!(cs.concepts().num_concepts(), 2);
+        // Raw distances give D12 = D23 = √3 (Eq. 13): CubeSim cannot tell
+        // that people is closer to folk than to laptop — record the
+        // ambiguity that CubeLSI resolves.
+        assert_eq!(cs.distances().get(0, 1), cs.distances().get(1, 2));
+    }
+}

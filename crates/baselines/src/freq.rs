@@ -1,0 +1,173 @@
+//! The Freq baseline (§VI-B):
+//!
+//! ```text
+//! Sim_freq(q, r) = Σ_{t ∈ q ∩ tags(r)} |users(t, r)|  /  Σ_{t ∈ tags(r)} |users(t, r)|
+//! ```
+//!
+//! "If a user tags r, how likely does he use some tags in q to do so?" —
+//! tagger-aware but with no semantic analysis at all.
+
+use crate::Ranker;
+use cubelsi_core::RankedResource;
+use cubelsi_folksonomy::{Folksonomy, ResourceId, TagId};
+
+/// The Freq ranker. Precomputes per-resource assignment totals.
+pub struct FreqRanker {
+    /// `Σ_{t∈tags(r)} |users(t, r)|` per resource — this equals the number
+    /// of assignments of `r` because `Y` is a set.
+    totals: Vec<f64>,
+    /// Inverted index: tag → `(resource, |users(t, r)|)`.
+    postings: Vec<Vec<(u32, f64)>>,
+    num_resources: usize,
+}
+
+impl FreqRanker {
+    /// Builds the ranker from a folksonomy.
+    pub fn build(f: &Folksonomy) -> Self {
+        let num_resources = f.num_resources();
+        let mut totals = vec![0.0; num_resources];
+        for r in 0..num_resources {
+            totals[r] = f.resource_assignments(ResourceId::from_index(r)).len() as f64;
+        }
+        let mut postings = Vec::with_capacity(f.num_tags());
+        for t in 0..f.num_tags() {
+            postings.push(
+                f.tag_resource_counts(TagId::from_index(t))
+                    .into_iter()
+                    .map(|(r, c)| (r.index() as u32, c as f64))
+                    .collect(),
+            );
+        }
+        FreqRanker {
+            totals,
+            postings,
+            num_resources,
+        }
+    }
+}
+
+impl Ranker for FreqRanker {
+    fn name(&self) -> &'static str {
+        "Freq"
+    }
+
+    fn search_ids(&self, tags: &[TagId], top_k: usize) -> Vec<RankedResource> {
+        let mut numerator = vec![0.0f64; self.num_resources];
+        // q ∩ tags(r): dedupe query tags so a repeated tag is not counted
+        // twice (q is a set of tags).
+        let mut seen = Vec::new();
+        for t in tags {
+            if t.index() >= self.postings.len() || seen.contains(&t.index()) {
+                continue;
+            }
+            seen.push(t.index());
+            for &(r, c) in &self.postings[t.index()] {
+                numerator[r as usize] += c;
+            }
+        }
+        let mut ranked: Vec<RankedResource> = numerator
+            .iter()
+            .enumerate()
+            .filter(|(_, &num)| num > 0.0)
+            .map(|(r, &num)| RankedResource {
+                resource: ResourceId::from_index(r),
+                score: num / self.totals[r],
+            })
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.resource.cmp(&b.resource))
+        });
+        if top_k > 0 {
+            ranked.truncate(top_k);
+        }
+        ranked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubelsi_folksonomy::store::figure2_example;
+    use cubelsi_folksonomy::FolksonomyBuilder;
+
+    #[test]
+    fn figure2_scores_match_the_formula() {
+        let f = figure2_example();
+        let ranker = FreqRanker::build(&f);
+        let folk = f.tag_id("folk").unwrap();
+        let hits = ranker.search_ids(&[folk], 0);
+        // r2: 3 folk assignments of 3 total → 1.0. r1: 1 of 2 → 0.5.
+        assert_eq!(hits.len(), 2);
+        assert_eq!(f.resource_name(hits[0].resource), "r2");
+        assert!((hits[0].score - 1.0).abs() < 1e-12);
+        assert_eq!(f.resource_name(hits[1].resource), "r1");
+        assert!((hits[1].score - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scores_are_within_unit_interval() {
+        let f = figure2_example();
+        let ranker = FreqRanker::build(&f);
+        for t in 0..f.num_tags() {
+            for h in ranker.search_ids(&[TagId::from_index(t)], 0) {
+                assert!(h.score > 0.0 && h.score <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_tag_query_sums_numerators() {
+        let f = figure2_example();
+        let ranker = FreqRanker::build(&f);
+        let folk = f.tag_id("folk").unwrap();
+        let people = f.tag_id("people").unwrap();
+        let hits = ranker.search_ids(&[folk, people], 0);
+        // r1 has folk(1) + people(1) of 2 total → score 1.0.
+        let r1 = hits
+            .iter()
+            .find(|h| f.resource_name(h.resource) == "r1")
+            .unwrap();
+        assert!((r1.score - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_query_tags_do_not_double_count() {
+        let f = figure2_example();
+        let ranker = FreqRanker::build(&f);
+        let folk = f.tag_id("folk").unwrap();
+        let once = ranker.search_ids(&[folk], 0);
+        let twice = ranker.search_ids(&[folk, folk], 0);
+        assert_eq!(once.len(), twice.len());
+        for (a, b) in once.iter().zip(twice.iter()) {
+            assert_eq!(a.score, b.score);
+        }
+    }
+
+    #[test]
+    fn no_match_and_truncation() {
+        let f = figure2_example();
+        let ranker = FreqRanker::build(&f);
+        assert!(ranker.search_ids(&[], 0).is_empty());
+        assert!(ranker.search_ids(&[TagId::from_index(99)], 0).is_empty());
+        let folk = f.tag_id("folk").unwrap();
+        assert_eq!(ranker.search_ids(&[folk], 1).len(), 1);
+    }
+
+    #[test]
+    fn empty_resource_denominator_is_never_hit() {
+        // A resource with zero assignments can never have numerator > 0,
+        // so Sim_freq's 0-case is handled by the > 0 filter.
+        let mut b = FolksonomyBuilder::new();
+        b.intern_resource("ghost");
+        b.add("u", "t", "real");
+        let f = b.build();
+        let ranker = FreqRanker::build(&f);
+        let t = f.tag_id("t").unwrap();
+        let hits = ranker.search_ids(&[t], 0);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(f.resource_name(hits[0].resource), "real");
+    }
+}

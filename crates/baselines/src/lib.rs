@@ -1,0 +1,50 @@
+//! The five baseline rankers of the CubeLSI evaluation (§VI-B).
+//!
+//! | method | tagger-aware? | semantic analysis | module |
+//! |---|---|---|---|
+//! | Freq | yes | none | [`freq`] |
+//! | BOW | no | none (tag-level tf-idf) | [`bow`] |
+//! | LSI | no | SVD on the tag×resource matrix | [`lsi`] |
+//! | CubeSim | yes | none (raw tensor slice distances) | [`cubesim`] |
+//! | FolkRank | yes | graph weight propagation | [`folkrank`] |
+//!
+//! All rankers implement the [`Ranker`] trait so the evaluation harness can
+//! drive them uniformly; [`CubeLsiRanker`] wraps the core engine behind the
+//! same interface.
+
+pub mod bow;
+pub mod cubesim;
+pub mod folkrank;
+pub mod freq;
+pub mod lsi;
+
+use cubelsi_core::{CubeLsi, RankedResource};
+use cubelsi_folksonomy::TagId;
+
+pub use bow::BowRanker;
+pub use cubesim::{CubeSim, CubeSimMode, CubeSimReport};
+pub use folkrank::{FolkRank, FolkRankConfig};
+pub use freq::FreqRanker;
+pub use lsi::{LsiConfig, LsiRanker};
+
+/// A uniform interface over all six ranking methods of the evaluation.
+pub trait Ranker {
+    /// Short method name as used in the paper's tables ("CubeLSI", "BOW"…).
+    fn name(&self) -> &'static str;
+
+    /// Ranks resources for a query of tag ids. `top_k = 0` → no truncation.
+    fn search_ids(&self, tags: &[TagId], top_k: usize) -> Vec<RankedResource>;
+}
+
+/// [`Ranker`] adapter for the core CubeLSI engine.
+pub struct CubeLsiRanker(pub CubeLsi);
+
+impl Ranker for CubeLsiRanker {
+    fn name(&self) -> &'static str {
+        "CubeLSI"
+    }
+
+    fn search_ids(&self, tags: &[TagId], top_k: usize) -> Vec<RankedResource> {
+        self.0.search_ids(tags, top_k)
+    }
+}

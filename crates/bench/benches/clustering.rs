@@ -1,0 +1,91 @@
+//! Benchmarks of concept distillation: spectral clustering (§V) and its
+//! k-means finale, across tag-vocabulary sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cubelsi_linalg::kmeans::{kmeans, KMeansConfig};
+use cubelsi_linalg::spectral::{spectral_clustering, KSelection, SpectralConfig};
+use cubelsi_linalg::Matrix;
+use std::hint::black_box;
+
+/// A block-structured distance matrix: `k` groups of equal size.
+fn block_distances(n: usize, k: usize) -> Matrix {
+    Matrix::from_fn(n, n, |i, j| {
+        if i == j {
+            0.0
+        } else if (i * k) / n == (j * k) / n {
+            0.2 + ((i * 7 + j * 3) % 10) as f64 * 0.01
+        } else {
+            3.0 + ((i + j) % 10) as f64 * 0.05
+        }
+    })
+}
+
+fn bench_spectral(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spectral_clustering");
+    group.sample_size(10);
+    for n in [100usize, 250, 500] {
+        let d = block_distances(n, 8);
+        let cfg = SpectralConfig {
+            sigma: Some(1.0),
+            k: KSelection::Fixed(8),
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &d, |bencher, d| {
+            bencher.iter(|| black_box(spectral_clustering(d, &cfg).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_variance_rule(c: &mut Criterion) {
+    // The 95 %-variance k-selection costs extra eigenpairs; measure it.
+    let d = block_distances(250, 8);
+    let mut group = c.benchmark_group("spectral_k_selection");
+    group.sample_size(10);
+    group.bench_function("fixed_k", |bencher| {
+        let cfg = SpectralConfig {
+            sigma: Some(1.0),
+            k: KSelection::Fixed(8),
+            ..Default::default()
+        };
+        bencher.iter(|| black_box(spectral_clustering(&d, &cfg).unwrap()));
+    });
+    group.bench_function("variance_95", |bencher| {
+        let cfg = SpectralConfig {
+            sigma: Some(1.0),
+            k: KSelection::VarianceCovered {
+                fraction: 0.95,
+                max_k: 32,
+            },
+            ..Default::default()
+        };
+        bencher.iter(|| black_box(spectral_clustering(&d, &cfg).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans");
+    for (n, d, k) in [(500usize, 8usize, 8usize), (2_000, 16, 16)] {
+        let points = Matrix::from_fn(n, d, |i, j| {
+            let center = (i * k / n) as f64;
+            center + ((i * 31 + j * 17) % 100) as f64 / 500.0
+        });
+        let cfg = KMeansConfig {
+            k,
+            n_init: 2,
+            ..Default::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}pts_{d}d_{k}k")),
+            &points,
+            |bencher, points| {
+                bencher.iter(|| black_box(kmeans(points, &cfg).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spectral, bench_variance_rule, bench_kmeans);
+criterion_main!(benches);

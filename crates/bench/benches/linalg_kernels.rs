@@ -1,0 +1,113 @@
+//! Micro-benchmarks for the linear-algebra substrate: the kernels every
+//! higher-level stage (Tucker, LSI, spectral clustering) is built from.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cubelsi_linalg::subspace::SubspaceOptions;
+use cubelsi_linalg::svd::truncated_svd;
+use cubelsi_linalg::{householder_qr, jacobi_eigen, sym_eigs_topk, CsrMatrix, DenseSymOp, Matrix};
+use std::hint::black_box;
+
+fn dense_matrix(n: usize) -> Matrix {
+    Matrix::from_fn(n, n, |i, j| (((i * 31 + j * 17) % 13) as f64 - 6.0) / 13.0)
+}
+
+fn spd_matrix(n: usize) -> Matrix {
+    let b = dense_matrix(n);
+    b.gram()
+}
+
+fn sparse_matrix(rows: usize, cols: usize, nnz: usize) -> CsrMatrix {
+    let triples: Vec<(usize, usize, f64)> = (0..nnz)
+        .map(|k| ((k * 7919) % rows, (k * 104729) % cols, 1.0 + (k % 5) as f64))
+        .collect();
+    CsrMatrix::from_triples(rows, cols, &triples).unwrap()
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for n in [64usize, 128, 256] {
+        let a = dense_matrix(n);
+        let b = dense_matrix(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| black_box(a.matmul(&b).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_qr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("householder_qr");
+    for (m, n) in [(256usize, 16usize), (512, 32)] {
+        let a = Matrix::from_fn(m, n, |i, j| ((i * 13 + j * 7) % 17) as f64 / 17.0 - 0.5);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{n}")),
+            &a,
+            |bencher, a| {
+                bencher.iter(|| black_box(householder_qr(a).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_jacobi_eigen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jacobi_eigen");
+    for n in [16usize, 32, 64] {
+        let a = spd_matrix(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &a, |bencher, a| {
+            bencher.iter(|| black_box(jacobi_eigen(a, 1e-10).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_subspace_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sym_eigs_topk");
+    for n in [128usize, 256] {
+        let a = spd_matrix(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &a, |bencher, a| {
+            let op = DenseSymOp::new(a);
+            bencher.iter(|| {
+                black_box(sym_eigs_topk(&op, 8, &SubspaceOptions::default()).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_truncated_svd_sparse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("truncated_svd_sparse");
+    // Shapes like the LSI baseline's tag×resource matrices.
+    for (rows, cols, nnz) in [(500usize, 400usize, 5_000usize), (1_000, 800, 20_000)] {
+        let m = sparse_matrix(rows, cols, nnz);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{rows}x{cols}nnz{nnz}")),
+            &m,
+            |bencher, m| {
+                bencher.iter(|| {
+                    black_box(truncated_svd(m, 16, &SubspaceOptions::default()).unwrap())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_csr_matvec(c: &mut Criterion) {
+    let m = sparse_matrix(2_000, 2_000, 40_000);
+    let x = vec![1.0; 2_000];
+    c.bench_function("csr_matvec_2000x2000_40k", |bencher| {
+        bencher.iter(|| black_box(m.matvec(&x).unwrap()));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_qr,
+    bench_jacobi_eigen,
+    bench_subspace_iteration,
+    bench_truncated_svd_sparse,
+    bench_csr_matvec
+);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! End-to-end offline pipeline benchmarks and design ablations flagged in
+//! DESIGN.md: Σ source (Theorem 1 vs Theorem 2), ALS iteration budget, and
+//! HOSVD-only versus full HOOI.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cubelsi_core::{CubeLsi, CubeLsiConfig, SigmaSource};
+use cubelsi_datagen::{generate, GeneratedDataset, GeneratorConfig};
+use std::hint::black_box;
+
+fn corpus() -> GeneratedDataset {
+    generate(&GeneratorConfig {
+        users: 250,
+        resources: 200,
+        concepts: 12,
+        assignments: 12_000,
+        seed: 31,
+        ..Default::default()
+    })
+}
+
+fn base_config() -> CubeLsiConfig {
+    CubeLsiConfig {
+        core_dims: Some((16, 16, 16)),
+        num_concepts: Some(12),
+        max_als_iters: 4,
+        ..Default::default()
+    }
+}
+
+fn bench_offline_build(c: &mut Criterion) {
+    let ds = corpus();
+    let mut group = c.benchmark_group("offline_build");
+    group.sample_size(10);
+    group.bench_function("full_pipeline", |bencher| {
+        bencher.iter(|| black_box(CubeLsi::build(&ds.folksonomy, &base_config()).unwrap()));
+    });
+    group.finish();
+}
+
+/// Ablation: Theorem-2 diagonal Σ versus Theorem-1 core-Gram Σ.
+fn bench_sigma_source_ablation(c: &mut Criterion) {
+    let ds = corpus();
+    let mut group = c.benchmark_group("ablation_sigma_source");
+    group.sample_size(10);
+    for (name, source) in [
+        ("lambda2", SigmaSource::Lambda2),
+        ("core_gram", SigmaSource::CoreGram),
+    ] {
+        let cfg = CubeLsiConfig {
+            sigma_source: source,
+            ..base_config()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |bencher, cfg| {
+            bencher.iter(|| black_box(CubeLsi::build(&ds.folksonomy, cfg).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: ALS iteration budget (0 extra iterations ≈ HOSVD-only).
+fn bench_als_iterations_ablation(c: &mut Criterion) {
+    let ds = corpus();
+    let mut group = c.benchmark_group("ablation_als_iters");
+    group.sample_size(10);
+    for iters in [1usize, 4, 8] {
+        let cfg = CubeLsiConfig {
+            max_als_iters: iters,
+            als_fit_tol: 0.0, // force the full budget
+            ..base_config()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(iters), &cfg, |bencher, cfg| {
+            bencher.iter(|| black_box(CubeLsi::build(&ds.folksonomy, cfg).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_offline_build,
+    bench_sigma_source_ablation,
+    bench_als_iterations_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Per-query online latency of every ranking method — the microscopic view
+//! of Table VI (CubeLSI's cosine matching vs FolkRank's power iteration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cubelsi_baselines::{
+    BowRanker, CubeSim, CubeSimMode, FolkRank, FolkRankConfig, FreqRanker, LsiConfig, LsiRanker,
+    Ranker,
+};
+use cubelsi_core::{CubeLsi, CubeLsiConfig};
+use cubelsi_datagen::{generate, GeneratorConfig};
+use cubelsi_folksonomy::TagId;
+use std::hint::black_box;
+
+fn bench_query_latency(c: &mut Criterion) {
+    let ds = generate(&GeneratorConfig {
+        users: 300,
+        resources: 250,
+        concepts: 12,
+        assignments: 15_000,
+        seed: 23,
+        ..Default::default()
+    });
+    let f = &ds.folksonomy;
+
+    let cubelsi = CubeLsi::build(
+        f,
+        &CubeLsiConfig {
+            core_dims: Some((16, 16, 16)),
+            num_concepts: Some(12),
+            max_als_iters: 4,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let folkrank = FolkRank::build(f, &FolkRankConfig::default());
+    let freq = FreqRanker::build(f);
+    let bow = BowRanker::build(f);
+    let lsi = LsiRanker::build(
+        f,
+        &LsiConfig {
+            rank: Some(16),
+            num_concepts: Some(12),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let cubesim = CubeSim::build(
+        f,
+        &cubelsi_baselines::cubesim::CubeSimConfig {
+            mode: CubeSimMode::SparseOptimized,
+            num_concepts: Some(12),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    // A 3-tag query over frequent tags.
+    let query: Vec<TagId> = (0..3).map(TagId::from_index).collect();
+
+    let cubelsi_ranker = cubelsi_baselines::CubeLsiRanker(cubelsi);
+    let mut group = c.benchmark_group("query_latency");
+    let rankers: Vec<(&str, &dyn Ranker)> = vec![
+        ("CubeLSI", &cubelsi_ranker),
+        ("FolkRank", &folkrank),
+        ("Freq", &freq),
+        ("BOW", &bow),
+        ("LSI", &lsi),
+        ("CubeSim", &cubesim),
+    ];
+    for (name, ranker) in rankers {
+        group.bench_function(name, |bencher| {
+            bencher.iter(|| black_box(ranker.search_ids(&query, 20)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_latency);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Regenerates Figure 4 (NDCG@N of the six ranking methods, per dataset).
+use cubelsi_bench::{figure4_panel, prepare_contexts, RunOptions};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let contexts = prepare_contexts(opts);
+    for ctx in &contexts {
+        println!("{}", figure4_panel(ctx, opts.seed).to_text());
+    }
+}

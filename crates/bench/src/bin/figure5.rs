@@ -1,0 +1,8 @@
+//! Regenerates Figure 5 (pre-processing time vs reduction ratios).
+use cubelsi_bench::{figure5, prepare_contexts, RunOptions};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let contexts = prepare_contexts(opts);
+    println!("{}", figure5(&contexts, opts.seed).to_text());
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table I (tag-pair semantic relations) of the CubeLSI paper.
+use cubelsi_bench::{prepare_contexts, table1, RunOptions};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let contexts = prepare_contexts(opts);
+    // The paper runs this study on the Delicious dataset.
+    let ctx = &contexts[0];
+    println!("{}", table1(ctx, opts.seed).to_text());
+}

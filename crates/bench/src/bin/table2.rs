@@ -1,0 +1,7 @@
+//! Regenerates Table II (raw vs cleaned dataset statistics).
+use cubelsi_bench::{table2, RunOptions};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    println!("{}", table2(opts).to_text());
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table III (JCN_avg / Rank_avg tag-distance accuracy).
+use cubelsi_bench::{prepare_contexts, table3, RunOptions};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let contexts = prepare_contexts(opts);
+    // The paper runs this study on the Bibsonomy dataset.
+    let ctx = &contexts[1];
+    println!("{}", table3(ctx, opts.seed).to_text());
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table IV (sample tag clusters by correlation type).
+use cubelsi_bench::{prepare_contexts, table4, RunOptions};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let contexts = prepare_contexts(opts);
+    // The paper shows clusters from the Delicious dataset.
+    let ctx = &contexts[0];
+    println!("{}", table4(ctx, opts.seed).to_text());
+}

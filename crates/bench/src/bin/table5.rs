@@ -1,0 +1,12 @@
+//! Regenerates Table V (pre-processing times, CubeLSI vs CubeSim).
+use cubelsi_bench::{prepare_contexts, table5, RunOptions};
+use std::time::Duration;
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let contexts = prepare_contexts(opts);
+    // Wall-clock budget standing in for the paper's 100-hour cutoff,
+    // scaled to the bench-sized corpora.
+    let budget = Duration::from_secs(60);
+    println!("{}", table5(&contexts, opts.seed, budget).to_text());
+}

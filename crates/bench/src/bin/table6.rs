@@ -1,0 +1,8 @@
+//! Regenerates Table VI (query-processing times, CubeLSI vs FolkRank).
+use cubelsi_bench::{prepare_contexts, table6, RunOptions};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let contexts = prepare_contexts(opts);
+    println!("{}", table6(&contexts, opts.seed).to_text());
+}

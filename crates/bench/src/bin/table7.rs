@@ -1,0 +1,8 @@
+//! Regenerates Table VII (memory requirements of F̂ vs Σ+Y⁽²⁾).
+use cubelsi_bench::{prepare_contexts, table7, RunOptions};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let contexts = prepare_contexts(opts);
+    println!("{}", table7(&contexts).to_text());
+}

@@ -1,0 +1,377 @@
+//! Purified pairwise tag distances (§IV-D of the paper).
+//!
+//! The naive definition (Eq. 17) measures `D̂ᵢⱼ = ‖F̂₍:,ᵢ,:₎ − F̂₍:,ⱼ,:₎‖_F`
+//! on the dense purified tensor `F̂` — prohibitively expensive (the paper's
+//! Last.fm slice pair already needs 11.1M operations). Theorem 1 reduces it
+//! to `D̂ᵢⱼ = √((Y⁽²⁾ᵢ − Y⁽²⁾ⱼ) Σ (Y⁽²⁾ᵢ − Y⁽²⁾ⱼ)ᵀ)` with
+//! `Σ = S₍₂₎S₍₂₎ᵀ`, and Theorem 2 further collapses `Σ` to the diagonal
+//! `Λ₂²` at the ALS fixed point.
+//!
+//! This module adds one more (mathematically equivalent) step the paper
+//! leaves implicit: factor the PSD matrix `Σ = C Cᵀ` once, embed tags as
+//! rows of `Z = Y⁽²⁾ C`, and every `D̂ᵢⱼ` becomes a plain Euclidean distance
+//! in `J₂` dimensions — `O(J₂)` per pair after an `O(J₂³)` factorization,
+//! versus the `O(J₂²)` per pair of evaluating Eq. 21 literally. Both paths
+//! are provided and cross-checked; the brute-force Eq. 17 reference exists
+//! for test-scale validation.
+
+use crate::config::SigmaSource;
+use cubelsi_linalg::parallel;
+use cubelsi_linalg::{jacobi_eigen, LinAlgError, Matrix};
+use cubelsi_tensor::TuckerDecomposition;
+
+/// A symmetric matrix of pairwise tag distances with zero diagonal.
+#[derive(Debug, Clone)]
+pub struct TagDistances {
+    matrix: Matrix,
+}
+
+impl TagDistances {
+    /// Wraps a precomputed symmetric distance matrix.
+    pub fn from_matrix(matrix: Matrix) -> Result<Self, LinAlgError> {
+        if matrix.rows() != matrix.cols() {
+            return Err(LinAlgError::InvalidArgument(
+                "distance matrix must be square".into(),
+            ));
+        }
+        Ok(TagDistances { matrix })
+    }
+
+    /// Number of tags.
+    pub fn num_tags(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    /// Distance between tags `i` and `j`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.matrix[(i, j)]
+    }
+
+    /// The full matrix (input to spectral clustering).
+    pub fn matrix(&self) -> &Matrix {
+        &self.matrix
+    }
+
+    /// The most similar other tag to `i` — the `t_sim` of the paper's
+    /// Table III evaluation — with its distance. `None` for a 1-tag corpus.
+    pub fn nearest(&self, i: usize) -> Option<(usize, f64)> {
+        let n = self.num_tags();
+        let mut best: Option<(usize, f64)> = None;
+        for j in 0..n {
+            if j == i {
+                continue;
+            }
+            let d = self.get(i, j);
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((j, d));
+            }
+        }
+        best
+    }
+
+    /// Median of the off-diagonal distances (used to classify pairs as
+    /// related/unrelated in the Table I experiment).
+    pub fn median_offdiag(&self) -> f64 {
+        let n = self.num_tags();
+        let mut vals = Vec::with_capacity(n * (n.saturating_sub(1)) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                vals.push(self.get(i, j));
+            }
+        }
+        if vals.is_empty() {
+            return 0.0;
+        }
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        vals[vals.len() / 2]
+    }
+}
+
+/// Embeds tags as rows of `Z = Y⁽²⁾ C` where `Σ = C Cᵀ`, so that
+/// `D̂ᵢⱼ = ‖Zᵢ − Zⱼ‖₂`.
+///
+/// * [`SigmaSource::Lambda2`] — `C = diag(Λ₂)`: `Z` is `Y⁽²⁾` with columns
+///   scaled by the mode-2 singular values (Theorem 2).
+/// * [`SigmaSource::CoreGram`] — `Σ = S₍₂₎S₍₂₎ᵀ` is eigen-factored
+///   (`J₂ × J₂`, small) into `C = V·√Λ` (Theorem 1).
+pub fn tag_embedding(
+    decomp: &TuckerDecomposition,
+    source: SigmaSource,
+) -> Result<Matrix, LinAlgError> {
+    let y2 = &decomp.factors[1];
+    match source {
+        SigmaSource::Lambda2 => {
+            let mut z = y2.clone();
+            for i in 0..z.rows() {
+                let row = z.row_mut(i);
+                for (x, &l) in row.iter_mut().zip(decomp.lambda2.iter()) {
+                    *x *= l;
+                }
+            }
+            Ok(z)
+        }
+        SigmaSource::CoreGram => {
+            let sigma = decomp.sigma_from_core()?;
+            let eig = jacobi_eigen(&sigma, 1e-12)?;
+            // C = V √Λ (clamping tiny negative round-off eigenvalues).
+            let mut c = eig.vectors.clone();
+            for j in 0..c.cols() {
+                let s = eig.values[j].max(0.0).sqrt();
+                for i in 0..c.rows() {
+                    c[(i, j)] *= s;
+                }
+            }
+            y2.matmul(&c)
+        }
+    }
+}
+
+/// All-pairs Euclidean distances between the rows of `z`, parallelized over
+/// row bands. This is the production distance path of CubeLSI.
+pub fn pairwise_distances_from_embedding(z: &Matrix) -> TagDistances {
+    let n = z.rows();
+    let mut matrix = Matrix::zeros(n, n);
+    {
+        // Fill the strictly-upper triangle in parallel: each thread owns a
+        // contiguous band of rows, writing only inside its own rows.
+        let cols = n;
+        let data = matrix.as_mut_slice();
+        let bands: Vec<(usize, &mut [f64])> = {
+            let nthreads = parallel::num_threads().clamp(1, n.max(1));
+            let rows_per = n.div_ceil(nthreads.max(1)).max(1);
+            let mut bands = Vec::new();
+            let mut rest = data;
+            let mut start = 0usize;
+            while !rest.is_empty() {
+                let take = (rows_per * cols).min(rest.len());
+                let (band, tail) = rest.split_at_mut(take);
+                bands.push((start, band));
+                start += take / cols;
+                rest = tail;
+            }
+            bands
+        };
+        crossbeam::thread::scope(|scope| {
+            for (start_row, band) in bands {
+                scope.spawn(move |_| {
+                    let rows = band.len() / cols;
+                    for bi in 0..rows {
+                        let i = start_row + bi;
+                        let zi = z.row(i);
+                        let out = &mut band[bi * cols..(bi + 1) * cols];
+                        for (j, slot) in out.iter_mut().enumerate().skip(i + 1) {
+                            let zj = z.row(j);
+                            let mut acc = 0.0;
+                            for (a, b) in zi.iter().zip(zj.iter()) {
+                                let d = a - b;
+                                acc += d * d;
+                            }
+                            *slot = acc.sqrt();
+                        }
+                    }
+                });
+            }
+        })
+        .expect("distance worker panicked");
+    }
+    // Mirror to the lower triangle.
+    for i in 0..n {
+        for j in (i + 1)..n {
+            matrix[(j, i)] = matrix[(i, j)];
+        }
+    }
+    TagDistances { matrix }
+}
+
+/// Literal evaluation of the Theorem-1 / Algorithm-1 formula (Eq. 20/21)
+/// for one pair: `√(X Σ Xᵀ)` with `X = Y⁽²⁾ᵢ − Y⁽²⁾ⱼ`.
+///
+/// Used in tests to pin the optimized embedding path to the paper's
+/// formula; `O(J₂²)` per call.
+pub fn distance_pair_literal(
+    decomp: &TuckerDecomposition,
+    sigma: &Matrix,
+    i: usize,
+    j: usize,
+) -> f64 {
+    let y2 = &decomp.factors[1];
+    let x: Vec<f64> = y2
+        .row(i)
+        .iter()
+        .zip(y2.row(j).iter())
+        .map(|(a, b)| a - b)
+        .collect();
+    let sx = sigma.matvec(&x).expect("sigma dims match J2");
+    let mut acc = 0.0;
+    for (a, b) in x.iter().zip(sx.iter()) {
+        acc += a * b;
+    }
+    acc.max(0.0).sqrt()
+}
+
+/// Brute-force Eq. 17: materializes `F̂` and measures Frobenius distances
+/// between mode-2 slices. **Test-scale only** — this is the computation the
+/// paper's theorems exist to avoid.
+pub fn brute_force_distances(
+    decomp: &TuckerDecomposition,
+) -> Result<TagDistances, LinAlgError> {
+    let fhat = decomp.reconstruct()?;
+    let (_, t, _) = fhat.dims();
+    let slices: Vec<Matrix> = (0..t).map(|j| fhat.slice_mode2(j)).collect();
+    let mut matrix = Matrix::zeros(t, t);
+    for i in 0..t {
+        for j in (i + 1)..t {
+            let d = slices[i].sub(&slices[j])?.frobenius_norm();
+            matrix[(i, j)] = d;
+            matrix[(j, i)] = d;
+        }
+    }
+    Ok(TagDistances { matrix })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubelsi_linalg::subspace::SubspaceOptions;
+    use cubelsi_tensor::{tucker_als, SparseTensor3, TuckerConfig};
+
+    fn figure2_decomposition(core: (usize, usize, usize)) -> TuckerDecomposition {
+        let quads = [
+            (0, 0, 0, 1.0),
+            (0, 0, 1, 1.0),
+            (1, 0, 1, 1.0),
+            (2, 0, 1, 1.0),
+            (0, 1, 0, 1.0),
+            (1, 2, 2, 1.0),
+            (2, 2, 2, 1.0),
+        ];
+        let f = SparseTensor3::from_entries((3, 3, 3), &quads).unwrap();
+        let cfg = TuckerConfig {
+            core_dims: core,
+            max_iters: 40,
+            fit_tol: 1e-12,
+            subspace: SubspaceOptions::default(),
+        };
+        tucker_als(&f, &cfg).unwrap()
+    }
+
+    #[test]
+    fn theorem1_matches_brute_force() {
+        // The central correctness claim: the shortcut distances equal the
+        // Eq. 17 distances on the materialized F̂.
+        let d = figure2_decomposition((3, 3, 2));
+        let brute = brute_force_distances(&d).unwrap();
+        let z = tag_embedding(&d, SigmaSource::CoreGram).unwrap();
+        let fast = pairwise_distances_from_embedding(&z);
+        assert!(
+            fast.matrix().approx_eq(brute.matrix(), 1e-8),
+            "Theorem 1 violated:\nfast {:?}\nbrute {:?}",
+            fast.matrix(),
+            brute.matrix()
+        );
+    }
+
+    #[test]
+    fn theorem2_matches_theorem1_at_convergence() {
+        let d = figure2_decomposition((3, 3, 2));
+        let z1 = tag_embedding(&d, SigmaSource::CoreGram).unwrap();
+        let z2 = tag_embedding(&d, SigmaSource::Lambda2).unwrap();
+        let d1 = pairwise_distances_from_embedding(&z1);
+        let d2 = pairwise_distances_from_embedding(&z2);
+        assert!(d1.matrix().approx_eq(d2.matrix(), 1e-7));
+    }
+
+    #[test]
+    fn literal_formula_matches_embedding_path() {
+        let d = figure2_decomposition((2, 3, 2));
+        let sigma = d.sigma_from_core().unwrap();
+        let z = tag_embedding(&d, SigmaSource::CoreGram).unwrap();
+        let fast = pairwise_distances_from_embedding(&z);
+        for i in 0..3 {
+            for j in 0..3 {
+                if i == j {
+                    continue;
+                }
+                let lit = distance_pair_literal(&d, &sigma, i, j);
+                assert!(
+                    (lit - fast.get(i, j)).abs() < 1e-9,
+                    "pair ({i},{j}): literal {lit} vs fast {}",
+                    fast.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_ordering_folk_people_laptop() {
+        // §IV-D: after purification D̂(folk, people) < D̂(people, laptop)
+        // and D̂(folk, people) < D̂(folk, laptop) — the inequality the raw
+        // distances get wrong. Tag ids: 0 = folk, 1 = people, 2 = laptop.
+        let d = figure2_decomposition((3, 3, 2));
+        let z = tag_embedding(&d, SigmaSource::CoreGram).unwrap();
+        let dist = pairwise_distances_from_embedding(&z);
+        let d12 = dist.get(0, 1);
+        let d13 = dist.get(0, 2);
+        let d23 = dist.get(1, 2);
+        assert!(d12 < d23, "D̂12 = {d12} must be < D̂23 = {d23} (Eq. 19)");
+        assert!(d12 < d13, "D̂12 = {d12} must be < D̂13 = {d13} (Eq. 18)");
+    }
+
+    #[test]
+    fn distances_are_a_semimetric() {
+        let d = figure2_decomposition((3, 3, 2));
+        let z = tag_embedding(&d, SigmaSource::Lambda2).unwrap();
+        let dist = pairwise_distances_from_embedding(&z);
+        let n = dist.num_tags();
+        for i in 0..n {
+            assert_eq!(dist.get(i, i), 0.0);
+            for j in 0..n {
+                assert!(dist.get(i, j) >= 0.0);
+                assert_eq!(dist.get(i, j), dist.get(j, i));
+            }
+        }
+        // Triangle inequality holds for Euclidean embeddings.
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    assert!(dist.get(i, j) <= dist.get(i, k) + dist.get(k, j) + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_and_median() {
+        let d = figure2_decomposition((3, 3, 2));
+        let z = tag_embedding(&d, SigmaSource::CoreGram).unwrap();
+        let dist = pairwise_distances_from_embedding(&z);
+        // folk's nearest tag is people (they share resources and users).
+        let (nearest, _) = dist.nearest(0).unwrap();
+        assert_eq!(nearest, 1);
+        assert!(dist.median_offdiag() > 0.0);
+        // Single-tag corpus has no nearest.
+        let lone = TagDistances::from_matrix(Matrix::zeros(1, 1)).unwrap();
+        assert!(lone.nearest(0).is_none());
+        assert_eq!(lone.median_offdiag(), 0.0);
+    }
+
+    #[test]
+    fn from_matrix_validates_shape() {
+        assert!(TagDistances::from_matrix(Matrix::zeros(2, 3)).is_err());
+        assert!(TagDistances::from_matrix(Matrix::zeros(3, 3)).is_ok());
+    }
+
+    #[test]
+    fn full_rank_embedding_reproduces_raw_slice_distances() {
+        // With no trimming at all, F̂ = F, so the purified distances reduce
+        // to the raw Frobenius distances of §IV-A: D12 = √3, D13 = √6,
+        // D23 = √3 (Eqs. 9, 12, 13).
+        let d = figure2_decomposition((3, 3, 3));
+        let z = tag_embedding(&d, SigmaSource::CoreGram).unwrap();
+        let dist = pairwise_distances_from_embedding(&z);
+        assert!((dist.get(0, 1) - 3.0f64.sqrt()).abs() < 1e-6);
+        assert!((dist.get(0, 2) - 6.0f64.sqrt()).abs() < 1e-6);
+        assert!((dist.get(1, 2) - 3.0f64.sqrt()).abs() < 1e-6);
+    }
+}

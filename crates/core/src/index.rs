@@ -1,0 +1,378 @@
+//! The bag-of-concepts retrieval model (§III of the paper).
+//!
+//! After concept distillation every resource's bag of tags is mapped to a
+//! bag of concepts. Resources are vectors of tf-idf weights over concepts
+//! (Eqs. 1–3); queries are transformed the same way; ranking is by cosine
+//! similarity (Eq. 4), served from an inverted index over concepts.
+
+use crate::concepts::ConceptModel;
+use cubelsi_folksonomy::{Folksonomy, ResourceId, TagId};
+
+/// Abstraction over hard and soft tag→concept mappings, so one index and
+/// one query path serve both the paper's hard clustering and the
+/// soft-clustering extension (footnote 5).
+pub trait ConceptAssignment {
+    /// Number of concepts in the space.
+    fn num_concepts(&self) -> usize;
+    /// Number of tags covered.
+    fn num_tags(&self) -> usize;
+    /// Calls `f(concept, weight)` for every concept the tag belongs to;
+    /// weights sum to 1 per tag.
+    fn for_each_weight(&self, tag: usize, f: &mut dyn FnMut(usize, f64));
+}
+
+impl ConceptAssignment for ConceptModel {
+    fn num_concepts(&self) -> usize {
+        ConceptModel::num_concepts(self)
+    }
+    fn num_tags(&self) -> usize {
+        ConceptModel::num_tags(self)
+    }
+    fn for_each_weight(&self, tag: usize, f: &mut dyn FnMut(usize, f64)) {
+        f(self.concept_of(tag), 1.0);
+    }
+}
+
+/// One ranked search result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedResource {
+    /// The resource.
+    pub resource: ResourceId,
+    /// Cosine similarity to the query (Eq. 4).
+    pub score: f64,
+}
+
+/// The offline concept index: tf-idf resource vectors plus an inverted
+/// index from concepts to resources.
+#[derive(Debug, Clone)]
+pub struct ConceptIndex {
+    num_resources: usize,
+    num_concepts: usize,
+    /// `idf[l] = log(N / n_l)`; 0 for unseen concepts (Eq. 1).
+    idf: Vec<f64>,
+    /// Per-resource sparse tf-idf vectors, sorted by concept id.
+    resource_vectors: Vec<Vec<(u32, f64)>>,
+    /// Per-resource vector L2 norms (denominator of Eq. 4).
+    resource_norms: Vec<f64>,
+    /// Inverted index: concept → `(resource, weight)` postings.
+    inverted: Vec<Vec<(u32, f64)>>,
+}
+
+impl ConceptIndex {
+    /// Builds the index: for every resource, tag occurrence counts
+    /// `c(t, r)` are aggregated into concept counts `c(l, r)`, normalized
+    /// to `tf` (Eq. 2) and weighted by `idf` (Eq. 1). Accepts hard or soft
+    /// assignments through [`ConceptAssignment`].
+    pub fn build(folksonomy: &Folksonomy, concepts: &dyn ConceptAssignment) -> Self {
+        let n_resources = folksonomy.num_resources();
+        let n_concepts = concepts.num_concepts();
+
+        // Concept counts per resource + document frequencies.
+        let mut doc_freq = vec![0usize; n_concepts];
+        let mut raw_counts: Vec<Vec<(u32, f64)>> = Vec::with_capacity(n_resources);
+        for r in 0..n_resources {
+            let mut counts = vec![0.0f64; n_concepts];
+            for (t, c) in folksonomy.resource_tag_counts(ResourceId::from_index(r)) {
+                concepts.for_each_weight(t.index(), &mut |l, w| {
+                    counts[l] += w * c as f64;
+                });
+            }
+            let sparse: Vec<(u32, f64)> = counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0.0)
+                .map(|(l, &c)| (l as u32, c))
+                .collect();
+            for &(l, _) in &sparse {
+                doc_freq[l as usize] += 1;
+            }
+            raw_counts.push(sparse);
+        }
+
+        let n = n_resources as f64;
+        let idf: Vec<f64> = doc_freq
+            .iter()
+            .map(|&df| if df == 0 { 0.0 } else { (n / df as f64).ln() })
+            .collect();
+
+        // tf-idf vectors, norms, inverted index.
+        let mut resource_vectors = Vec::with_capacity(n_resources);
+        let mut resource_norms = Vec::with_capacity(n_resources);
+        let mut inverted: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n_concepts];
+        for (r, counts) in raw_counts.into_iter().enumerate() {
+            let total: f64 = counts.iter().map(|&(_, c)| c).sum();
+            let mut vector: Vec<(u32, f64)> = counts
+                .into_iter()
+                .map(|(l, c)| {
+                    let tf = if total > 0.0 { c / total } else { 0.0 };
+                    (l, tf * idf[l as usize])
+                })
+                .filter(|&(_, w)| w != 0.0)
+                .collect();
+            vector.sort_unstable_by_key(|&(l, _)| l);
+            let norm: f64 = vector.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
+            for &(l, w) in &vector {
+                inverted[l as usize].push((r as u32, w));
+            }
+            resource_vectors.push(vector);
+            resource_norms.push(norm);
+        }
+
+        ConceptIndex {
+            num_resources: n_resources,
+            num_concepts: n_concepts,
+            idf,
+            resource_vectors,
+            resource_norms,
+            inverted,
+        }
+    }
+
+    /// Number of indexed resources.
+    pub fn num_resources(&self) -> usize {
+        self.num_resources
+    }
+
+    /// Number of concepts in the space.
+    pub fn num_concepts(&self) -> usize {
+        self.num_concepts
+    }
+
+    /// `idf` of a concept (Eq. 1's `log(N/n_l)`).
+    pub fn idf(&self, concept: usize) -> f64 {
+        self.idf[concept]
+    }
+
+    /// The sparse tf-idf vector of a resource (Eq. 3).
+    pub fn resource_vector(&self, r: usize) -> &[(u32, f64)] {
+        &self.resource_vectors[r]
+    }
+
+    /// Transforms query tags into the concept space and ranks resources by
+    /// cosine similarity. Unknown concepts (empty `idf`) contribute nothing;
+    /// resources with zero similarity are omitted. Ties break by resource id
+    /// for determinism. `top_k = 0` returns all matches.
+    pub fn query_tag_ids(
+        &self,
+        concepts: &dyn ConceptAssignment,
+        tags: &[TagId],
+        top_k: usize,
+    ) -> Vec<RankedResource> {
+        // Bag of concepts for the query: each tag occurrence counts 1,
+        // spread over its concept memberships.
+        let mut counts = vec![0.0f64; self.num_concepts];
+        let mut total = 0.0;
+        for t in tags {
+            if t.index() < concepts.num_tags() {
+                concepts.for_each_weight(t.index(), &mut |l, w| {
+                    counts[l] += w;
+                });
+                total += 1.0;
+            }
+        }
+        if total == 0.0 {
+            return Vec::new();
+        }
+        let query: Vec<(usize, f64)> = counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0.0)
+            .map(|(l, &c)| (l, (c / total) * self.idf[l]))
+            .filter(|&(_, w)| w != 0.0)
+            .collect();
+        self.query_weighted_concepts(&query, top_k)
+    }
+
+    /// Ranks resources against a prepared query vector of
+    /// `(concept, weight)` pairs (Eq. 4).
+    pub fn query_weighted_concepts(
+        &self,
+        query: &[(usize, f64)],
+        top_k: usize,
+    ) -> Vec<RankedResource> {
+        let query_norm: f64 = query.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
+        if query_norm == 0.0 {
+            return Vec::new();
+        }
+        let mut scores = vec![0.0f64; self.num_resources];
+        for &(l, wq) in query {
+            for &(r, wr) in &self.inverted[l] {
+                scores[r as usize] += wq * wr;
+            }
+        }
+        let mut ranked: Vec<RankedResource> = scores
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s > 0.0)
+            .map(|(r, &s)| RankedResource {
+                resource: ResourceId::from_index(r),
+                score: s / (query_norm * self.resource_norms[r]),
+            })
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.resource.cmp(&b.resource))
+        });
+        if top_k > 0 {
+            ranked.truncate(top_k);
+        }
+        ranked
+    }
+
+    /// Size of the index in `f64`-equivalents (for memory accounting).
+    pub fn footprint_len(&self) -> usize {
+        let vectors: usize = self.resource_vectors.iter().map(|v| v.len() * 2).sum();
+        let postings: usize = self.inverted.iter().map(|p| p.len() * 2).sum();
+        self.idf.len() + self.resource_norms.len() + vectors + postings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubelsi_folksonomy::FolksonomyBuilder;
+
+    /// Corpus: r1 tagged with music-ish tags, r2 with both, r3 with tech.
+    fn corpus() -> (Folksonomy, ConceptModel) {
+        let mut b = FolksonomyBuilder::new();
+        // music concept tags: audio(0), mp3(1); tech: laptop(2), wifi(3).
+        b.add("u1", "audio", "r1");
+        b.add("u2", "audio", "r1");
+        b.add("u3", "mp3", "r1");
+        b.add("u1", "audio", "r2");
+        b.add("u2", "laptop", "r2");
+        b.add("u1", "laptop", "r3");
+        b.add("u2", "wifi", "r3");
+        b.add("u3", "laptop", "r3");
+        let f = b.build();
+        let concepts = ConceptModel::from_assignments(vec![0, 0, 1, 1], 1.0);
+        (f, concepts)
+    }
+
+    #[test]
+    fn tfidf_weights_follow_eq1_eq2() {
+        let (f, concepts) = corpus();
+        let index = ConceptIndex::build(&f, &concepts);
+        // Concept 0 (music) appears in r1, r2 → df = 2 of N = 3.
+        assert!((index.idf(0) - (3.0f64 / 2.0).ln()).abs() < 1e-12);
+        // Concept 1 (tech) appears in r2, r3 → same idf.
+        assert!((index.idf(1) - (3.0f64 / 2.0).ln()).abs() < 1e-12);
+        // r1: 3 music occurrences, 0 tech → tf(music) = 1.
+        let r1 = f.resource_id("r1").unwrap().index();
+        let v1 = index.resource_vector(r1);
+        assert_eq!(v1.len(), 1);
+        assert_eq!(v1[0].0, 0);
+        assert!((v1[0].1 - 1.0 * (1.5f64).ln()).abs() < 1e-12);
+        // r2: 1 music + 1 tech → tf = 0.5 each.
+        let r2 = f.resource_id("r2").unwrap().index();
+        let v2 = index.resource_vector(r2);
+        assert_eq!(v2.len(), 2);
+        assert!((v2[0].1 - 0.5 * (1.5f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn music_query_ranks_music_resource_first() {
+        let (f, concepts) = corpus();
+        let index = ConceptIndex::build(&f, &concepts);
+        let audio = f.tag_id("audio").unwrap();
+        let ranked = index.query_tag_ids(&concepts, &[audio], 0);
+        assert_eq!(ranked.len(), 2, "r1 and r2 match the music concept");
+        assert_eq!(f.resource_name(ranked[0].resource), "r1");
+        assert!(ranked[0].score > ranked[1].score);
+        // Pure-concept resource has cosine exactly 1 with a pure query.
+        assert!((ranked[0].score - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn synonym_query_matches_via_concepts() {
+        // The whole point of CubeLSI: querying "mp3" must retrieve r2 even
+        // though r2 was never tagged "mp3" — they share the music concept.
+        let (f, concepts) = corpus();
+        let index = ConceptIndex::build(&f, &concepts);
+        let mp3 = f.tag_id("mp3").unwrap();
+        let ranked = index.query_tag_ids(&concepts, &[mp3], 0);
+        let names: Vec<&str> = ranked
+            .iter()
+            .map(|r| f.resource_name(r.resource))
+            .collect();
+        assert!(names.contains(&"r2"), "concept match must reach r2");
+    }
+
+    #[test]
+    fn multi_tag_query_blends_concepts() {
+        let (f, concepts) = corpus();
+        let index = ConceptIndex::build(&f, &concepts);
+        let audio = f.tag_id("audio").unwrap();
+        let laptop = f.tag_id("laptop").unwrap();
+        let ranked = index.query_tag_ids(&concepts, &[audio, laptop], 0);
+        // r2 holds both concepts → best match.
+        assert_eq!(f.resource_name(ranked[0].resource), "r2");
+        assert_eq!(ranked.len(), 3);
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let (f, concepts) = corpus();
+        let index = ConceptIndex::build(&f, &concepts);
+        let audio = f.tag_id("audio").unwrap();
+        let ranked = index.query_tag_ids(&concepts, &[audio], 1);
+        assert_eq!(ranked.len(), 1);
+    }
+
+    #[test]
+    fn empty_and_unknown_queries() {
+        let (f, concepts) = corpus();
+        let index = ConceptIndex::build(&f, &concepts);
+        assert!(index.query_tag_ids(&concepts, &[], 0).is_empty());
+        // A tag id beyond the concept model is ignored defensively.
+        let bogus = TagId::from_index(99);
+        assert!(index.query_tag_ids(&concepts, &[bogus], 0).is_empty());
+        let _ = f;
+    }
+
+    #[test]
+    fn scores_ranked_descending_with_deterministic_ties() {
+        let (f, concepts) = corpus();
+        let index = ConceptIndex::build(&f, &concepts);
+        let laptop = f.tag_id("laptop").unwrap();
+        let ranked = index.query_tag_ids(&concepts, &[laptop], 0);
+        for w in ranked.windows(2) {
+            assert!(
+                w[0].score > w[1].score
+                    || (w[0].score == w[1].score && w[0].resource < w[1].resource)
+            );
+        }
+    }
+
+    #[test]
+    fn footprint_is_positive_and_bounded() {
+        let (f, concepts) = corpus();
+        let index = ConceptIndex::build(&f, &concepts);
+        let fp = index.footprint_len();
+        assert!(fp > 0);
+        // Sanity: strictly less than a dense resources×concepts matrix + slack.
+        assert!(fp <= 2 * (index.num_resources() * index.num_concepts() + 10) * 2);
+    }
+
+    #[test]
+    fn idf_zero_concept_is_inert() {
+        // A concept that annotates every resource gets idf 0 and must not
+        // influence ranking.
+        let mut b = FolksonomyBuilder::new();
+        b.add("u1", "common", "r1");
+        b.add("u1", "common", "r2");
+        b.add("u1", "niche", "r2");
+        let f = b.build();
+        let concepts = ConceptModel::from_assignments(vec![0, 1], 1.0);
+        let index = ConceptIndex::build(&f, &concepts);
+        assert_eq!(index.idf(0), 0.0);
+        let common = f.tag_id("common").unwrap();
+        assert!(index.query_tag_ids(&concepts, &[common], 0).is_empty());
+        let niche = f.tag_id("niche").unwrap();
+        let ranked = index.query_tag_ids(&concepts, &[niche], 0);
+        assert_eq!(ranked.len(), 1);
+        assert_eq!(f.resource_name(ranked[0].resource), "r2");
+    }
+}

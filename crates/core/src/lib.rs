@@ -1,0 +1,42 @@
+//! The CubeLSI algorithm (Bi, Lee, Kao, Cheng — ICDE 2011).
+//!
+//! CubeLSI is an offline/online retrieval pipeline for social tagging
+//! systems (Figure 1 of the paper):
+//!
+//! **Offline** — represent the tag assignments as a third-order tensor
+//! `F ∈ {0,1}^{|U|×|T|×|R|}` (Eq. 5); Tucker-decompose it (§IV-C); derive
+//! pairwise *purified* tag distances `D̂` from the decomposition via the
+//! Theorem 1/2 shortcuts — never materializing the dense purified tensor
+//! `F̂` (§IV-D); distill *concepts* by spectral clustering of tags (§V);
+//! re-represent every resource as a tf-idf weighted bag of concepts (§III).
+//!
+//! **Online** — map a tag query to the same concept space and rank
+//! resources by cosine similarity (Eq. 4).
+//!
+//! Modules follow the paper's structure:
+//!
+//! * [`tensor_build`] — Eq. 5 tensor construction;
+//! * [`distance`] — §IV-D distances: Theorem-1 fast path, literal Eq. 21
+//!   per-pair evaluation, and the brute-force `F̂` reference (tests only);
+//! * [`concepts`] — §V concept distillation;
+//! * [`index`] — §III bag-of-concepts tf-idf index and cosine ranking;
+//! * [`pipeline`] — the [`CubeLsi`] facade wiring everything, with
+//!   per-phase timings for the efficiency experiments (Tables V–VII).
+
+pub mod concepts;
+pub mod config;
+pub mod distance;
+pub mod index;
+pub mod pipeline;
+pub mod soft;
+pub mod tensor_build;
+
+pub use concepts::{ConceptModel, TagClusterSummary};
+pub use config::{CubeLsiConfig, SigmaSource};
+pub use distance::{
+    brute_force_distances, pairwise_distances_from_embedding, tag_embedding, TagDistances,
+};
+pub use index::{ConceptAssignment, ConceptIndex, RankedResource};
+pub use soft::{SoftConceptModel, SoftConfig};
+pub use pipeline::{CubeLsi, PhaseTimings};
+pub use tensor_build::build_tensor;

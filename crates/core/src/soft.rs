@@ -1,0 +1,278 @@
+//! Soft concept assignment — the extension the paper flags as future work
+//! (footnote 5): "To address the polysemy problem, a soft-clustering
+//! method could be employed, so that each tag may be assigned to multiple
+//! concepts with different weights."
+//!
+//! The soft model reuses the §V spectral embedding: after k-means, each
+//! tag receives Gaussian-kernel membership weights over the cluster
+//! centroids, truncated to the strongest `top_m` concepts and normalized.
+//! A polysemous tag sitting between two concept centroids then
+//! contributes to both concepts' tf-idf mass instead of being forced into
+//! one.
+
+use crate::concepts::ConceptModel;
+use crate::distance::TagDistances;
+use crate::index::ConceptAssignment;
+use cubelsi_linalg::spectral::{spectral_clustering, SpectralConfig};
+use cubelsi_linalg::{LinAlgError, Matrix};
+
+/// Parameters of the soft assignment.
+#[derive(Debug, Clone)]
+pub struct SoftConfig {
+    /// Kernel temperature τ: membership ∝ exp(−‖x_t − μ_c‖²/τ²). `None` →
+    /// the mean tag–centroid distance (a scale-free default).
+    pub temperature: Option<f64>,
+    /// Keep at most this many concepts per tag.
+    pub top_m: usize,
+    /// Drop memberships below this weight (after normalization).
+    pub min_weight: f64,
+}
+
+impl Default for SoftConfig {
+    fn default() -> Self {
+        SoftConfig {
+            temperature: None,
+            top_m: 3,
+            min_weight: 0.05,
+        }
+    }
+}
+
+/// A soft tag→concepts assignment.
+#[derive(Debug, Clone)]
+pub struct SoftConceptModel {
+    /// Per tag: `(concept, weight)` with weights summing to 1, sorted by
+    /// descending weight.
+    memberships: Vec<Vec<(u32, f64)>>,
+    num_concepts: usize,
+    temperature: f64,
+}
+
+impl SoftConceptModel {
+    /// Runs §V steps 1–3, then replaces the hard k-means step with
+    /// Gaussian-kernel memberships over the k-means centroids.
+    pub fn distill(
+        distances: &TagDistances,
+        spectral: &SpectralConfig,
+        soft: &SoftConfig,
+    ) -> Result<Self, LinAlgError> {
+        let result = spectral_clustering(distances.matrix(), spectral)?;
+        let embedding = &result.embedding;
+        let k = result.k;
+        // Centroids = mean embedding row per hard cluster (equals the
+        // k-means fixed point).
+        let d = embedding.cols();
+        let mut centroids = Matrix::zeros(k, d);
+        let mut counts = vec![0usize; k];
+        for (t, &c) in result.assignments.iter().enumerate() {
+            counts[c] += 1;
+            let row = embedding.row(t);
+            let crow = centroids.row_mut(c);
+            for (acc, &x) in crow.iter_mut().zip(row.iter()) {
+                *acc += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                let inv = 1.0 / counts[c] as f64;
+                for x in centroids.row_mut(c) {
+                    *x *= inv;
+                }
+            }
+        }
+        Ok(Self::from_embedding(embedding, &centroids, soft))
+    }
+
+    /// Builds memberships from an embedding and centroid set directly.
+    pub fn from_embedding(embedding: &Matrix, centroids: &Matrix, config: &SoftConfig) -> Self {
+        let n = embedding.rows();
+        let k = centroids.rows();
+        // Distance matrix tag × centroid.
+        let mut dist = Matrix::zeros(n, k);
+        let mut total = 0.0;
+        for t in 0..n {
+            let row = embedding.row(t);
+            for c in 0..k {
+                let mut acc = 0.0;
+                for (a, b) in row.iter().zip(centroids.row(c).iter()) {
+                    let d = a - b;
+                    acc += d * d;
+                }
+                let d = acc.sqrt();
+                dist[(t, c)] = d;
+                total += d;
+            }
+        }
+        let tau = config
+            .temperature
+            .unwrap_or_else(|| (total / (n * k).max(1) as f64).max(1e-12));
+        let inv_tau_sq = 1.0 / (tau * tau);
+        let mut memberships = Vec::with_capacity(n);
+        for t in 0..n {
+            let mut weights: Vec<(u32, f64)> = (0..k)
+                .map(|c| {
+                    let d = dist[(t, c)];
+                    (c as u32, (-d * d * inv_tau_sq).exp())
+                })
+                .collect();
+            weights.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            weights.truncate(config.top_m.max(1));
+            // Degenerate kernel (all weights underflow): fall back to the
+            // nearest centroid, hard.
+            let sum: f64 = weights.iter().map(|&(_, w)| w).sum();
+            if sum <= 0.0 {
+                let nearest = (0..k)
+                    .min_by(|&a, &b| {
+                        dist[(t, a)]
+                            .partial_cmp(&dist[(t, b)])
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .unwrap_or(0);
+                memberships.push(vec![(nearest as u32, 1.0)]);
+                continue;
+            }
+            let mut kept: Vec<(u32, f64)> = weights
+                .into_iter()
+                .map(|(c, w)| (c, w / sum))
+                .filter(|&(_, w)| w >= config.min_weight)
+                .collect();
+            // Renormalize after the min-weight cut.
+            let kept_sum: f64 = kept.iter().map(|&(_, w)| w).sum();
+            for (_, w) in &mut kept {
+                *w /= kept_sum;
+            }
+            memberships.push(kept);
+        }
+        SoftConceptModel {
+            memberships,
+            num_concepts: k,
+            temperature: tau,
+        }
+    }
+
+    /// Derives the equivalent hard model (strongest concept per tag).
+    pub fn harden(&self) -> ConceptModel {
+        let assignments: Vec<usize> = self
+            .memberships
+            .iter()
+            .map(|m| m.first().map_or(0, |&(c, _)| c as usize))
+            .collect();
+        ConceptModel::from_assignments(assignments, self.temperature)
+    }
+
+    /// Number of tags covered.
+    pub fn num_tags(&self) -> usize {
+        self.memberships.len()
+    }
+
+    /// Memberships of one tag.
+    pub fn memberships_of(&self, tag: usize) -> &[(u32, f64)] {
+        &self.memberships[tag]
+    }
+
+    /// Temperature used by the kernel.
+    pub fn temperature(&self) -> f64 {
+        self.temperature
+    }
+
+    /// Number of tags assigned to more than one concept.
+    pub fn num_polysemous(&self) -> usize {
+        self.memberships.iter().filter(|m| m.len() > 1).count()
+    }
+}
+
+impl ConceptAssignment for SoftConceptModel {
+    fn num_concepts(&self) -> usize {
+        self.num_concepts
+    }
+
+    fn num_tags(&self) -> usize {
+        self.memberships.len()
+    }
+
+    fn for_each_weight(&self, tag: usize, f: &mut dyn FnMut(usize, f64)) {
+        for &(c, w) in &self.memberships[tag] {
+            f(c as usize, w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::TagDistances;
+    use cubelsi_linalg::spectral::KSelection;
+
+    fn embedding_with_bridge() -> (Matrix, Matrix) {
+        // Tags 0,1 near centroid A; tags 3,4 near centroid B; tag 2 halfway.
+        let embedding = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![0.5, 0.0], // the polysemous bridge
+            vec![1.0, 0.0],
+            vec![0.9, 0.0],
+        ])
+        .unwrap();
+        let centroids = Matrix::from_rows(&[vec![0.05, 0.0], vec![0.95, 0.0]]).unwrap();
+        (embedding, centroids)
+    }
+
+    #[test]
+    fn bridge_tag_gets_two_concepts() {
+        let (e, c) = embedding_with_bridge();
+        let soft = SoftConceptModel::from_embedding(&e, &c, &SoftConfig::default());
+        assert_eq!(soft.num_concepts(), 2);
+        assert_eq!(ConceptAssignment::num_tags(&soft), 5);
+        let bridge = soft.memberships_of(2);
+        assert_eq!(bridge.len(), 2, "bridge tag must be polysemous: {bridge:?}");
+        assert!((bridge.iter().map(|&(_, w)| w).sum::<f64>() - 1.0).abs() < 1e-9);
+        // Extreme tags stay essentially hard.
+        assert!(soft.memberships_of(0)[0].1 > 0.9);
+        assert!(soft.num_polysemous() >= 1);
+    }
+
+    #[test]
+    fn harden_matches_nearest_centroid() {
+        let (e, c) = embedding_with_bridge();
+        let soft = SoftConceptModel::from_embedding(&e, &c, &SoftConfig::default());
+        let hard = soft.harden();
+        assert_eq!(hard.concept_of(0), hard.concept_of(1));
+        assert_eq!(hard.concept_of(3), hard.concept_of(4));
+        assert_ne!(hard.concept_of(0), hard.concept_of(3));
+    }
+
+    #[test]
+    fn min_weight_filter_and_renormalization() {
+        let (e, c) = embedding_with_bridge();
+        let cfg = SoftConfig {
+            min_weight: 0.45, // keeps only near-ties
+            ..Default::default()
+        };
+        let soft = SoftConceptModel::from_embedding(&e, &c, &cfg);
+        for t in 0..5 {
+            let sum: f64 = soft.memberships_of(t).iter().map(|&(_, w)| w).sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+        // The clearly-assigned tags collapse to one concept.
+        assert_eq!(soft.memberships_of(0).len(), 1);
+    }
+
+    #[test]
+    fn distill_from_distances_runs() {
+        // Two clean groups plus one ambiguous tag between them.
+        let n = 7;
+        let pos: [f64; 7] = [0.0, 0.05, 0.1, 0.5, 0.9, 0.95, 1.0];
+        let m = Matrix::from_fn(n, n, |i, j| (pos[i] - pos[j]).abs());
+        let distances = TagDistances::from_matrix(m).unwrap();
+        let spectral = SpectralConfig {
+            sigma: Some(0.3),
+            k: KSelection::Fixed(2),
+            ..Default::default()
+        };
+        let soft = SoftConceptModel::distill(&distances, &spectral, &SoftConfig::default())
+            .unwrap();
+        assert_eq!(soft.num_concepts(), 2);
+        assert_eq!(soft.num_tags(), 7);
+        assert!(soft.temperature() > 0.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Construction of the third-order tag-assignment tensor (Eq. 5).
+
+use cubelsi_folksonomy::Folksonomy;
+use cubelsi_linalg::LinAlgError;
+use cubelsi_tensor::SparseTensor3;
+
+/// Builds the binary tensor `F ∈ {0,1}^{|U|×|T|×|R|}` of Eq. 5:
+/// `F[u, t, r] = 1` iff `(u, t, r) ∈ Y`.
+pub fn build_tensor(f: &Folksonomy) -> Result<SparseTensor3, LinAlgError> {
+    let dims = (f.num_users(), f.num_tags(), f.num_resources());
+    SparseTensor3::from_entries(dims, &f.tensor_entries())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubelsi_folksonomy::store::figure2_example;
+
+    #[test]
+    fn figure2_tensor_matches_eq5() {
+        let f = figure2_example();
+        let tensor = build_tensor(&f).unwrap();
+        assert_eq!(tensor.dims(), (3, 3, 3));
+        assert_eq!(tensor.nnz(), 7);
+        // F[u3, t1, r2] = 1 (record 4 of Figure 2(a)).
+        let u3 = f.user_id("u3").unwrap().index();
+        let t1 = f.tag_id("folk").unwrap().index();
+        let r2 = f.resource_id("r2").unwrap().index();
+        let dense = tensor.to_dense();
+        assert_eq!(dense.get(u3, t1, r2), 1.0);
+        // Absent triple is 0.
+        let t2 = f.tag_id("people").unwrap().index();
+        assert_eq!(dense.get(u3, t2, r2), 0.0);
+        // All entries are binary.
+        for (_, _, _, v) in tensor.iter() {
+            assert_eq!(v, 1.0);
+        }
+    }
+
+    #[test]
+    fn empty_folksonomy_gives_empty_tensor() {
+        let f = cubelsi_folksonomy::FolksonomyBuilder::new().build();
+        let tensor = build_tensor(&f).unwrap();
+        assert_eq!(tensor.nnz(), 0);
+        assert_eq!(tensor.dims(), (0, 0, 0));
+    }
+}

@@ -1,0 +1,699 @@
+//! The latent-concept folksonomy generator.
+//!
+//! The generative model mirrors the paper's account of how tagging happens
+//! (§I, "Tags, Concepts and Aspects"): a tagger studies a resource,
+//! identifies an *aspect* he cares about, discovers the *concept* the
+//! resource exhibits under that aspect, and expresses it with one of the
+//! concept's *tags*. Concretely:
+//!
+//! * each **concept** is anchored at a taxonomy synset and owns a pool of
+//!   word forms (the synset's words plus its children's);
+//! * each **resource** carries a sparse mixture over concepts;
+//! * each **user** carries an interest profile over concepts *and a private
+//!   per-concept word preference* — two users interested in the same
+//!   concept systematically pick different words for it. This is the
+//!   tagger-context signal that distinguishes CubeLSI from LSI;
+//! * assignments sample user (Zipf activity) → concept (user profile) →
+//!   resource (concept affinity × Zipf popularity) → word (user's word
+//!   preference), with a configurable fraction of uniform noise.
+//!
+//! Everything the evaluation later needs — concept membership of tags,
+//! resource–concept affinities, the taxonomy for JCN — is returned as
+//! [`GroundTruth`].
+
+use cubelsi_folksonomy::{Folksonomy, FolksonomyBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::taxonomy::{Lexicon, LexiconConfig, Taxonomy, TaxonomyConfig};
+
+/// Parameters of the generative model.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Number of users `|U|`.
+    pub users: usize,
+    /// Number of resources `|R|`.
+    pub resources: usize,
+    /// Number of latent concepts.
+    pub concepts: usize,
+    /// Target number of sampled assignments (before set-dedup).
+    pub assignments: usize,
+    /// Inclusive range of concepts per resource mixture.
+    pub concepts_per_resource: (usize, usize),
+    /// Inclusive range of concepts per user interest profile.
+    pub concepts_per_user: (usize, usize),
+    /// Fraction of assignments replaced by uniform noise.
+    pub noise_rate: f64,
+    /// Zipf exponent for user activity (0 = uniform).
+    pub user_activity_zipf: f64,
+    /// Zipf exponent for resource popularity (0 = uniform).
+    pub resource_popularity_zipf: f64,
+    /// Sharpness of per-user word preferences: probability mass ratio
+    /// between a user's favourite word for a concept and the next one.
+    /// 0.5 means the favourite is picked ~2x as often as the runner-up.
+    pub word_preference_decay: f64,
+    /// Taxonomy generation parameters.
+    pub taxonomy: TaxonomyConfig,
+    /// Lexicon generation parameters.
+    pub lexicon: LexiconConfig,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            users: 300,
+            resources: 250,
+            concepts: 20,
+            assignments: 15_000,
+            concepts_per_resource: (2, 4),
+            concepts_per_user: (1, 2),
+            noise_rate: 0.05,
+            user_activity_zipf: 1.0,
+            resource_popularity_zipf: 0.8,
+            word_preference_decay: 0.4,
+            taxonomy: TaxonomyConfig::default(),
+            lexicon: LexiconConfig::default(),
+            seed: 0xdeed,
+        }
+    }
+}
+
+/// The latent model behind a generated dataset — the oracle that replaces
+/// WordNet and the human assessors of the paper's evaluation.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    /// The IS-A hierarchy with information content (for JCN).
+    pub taxonomy: Taxonomy,
+    /// Word forms over the taxonomy.
+    pub lexicon: Lexicon,
+    /// Concept → anchoring synset.
+    pub concept_synsets: Vec<usize>,
+    /// Concept → pool of lexicon word indexes.
+    pub concept_words: Vec<Vec<usize>>,
+    /// Tag id (dense, matches the folksonomy) → lexicon word index.
+    pub tag_words: Vec<usize>,
+    /// Tag id → concepts whose pools contain the tag's word.
+    pub tag_concepts: Vec<Vec<usize>>,
+    /// Resource id → normalized `(concept, weight)` mixture.
+    pub resource_affinity: Vec<Vec<(usize, f64)>>,
+    /// Resource id → per-concept established word subsets (the only words
+    /// taggers apply to that resource; queries draw from full pools).
+    pub resource_words: Vec<Vec<(usize, Vec<usize>)>>,
+    /// User id → normalized `(concept, weight)` interest profile.
+    pub user_interests: Vec<Vec<(usize, f64)>>,
+}
+
+impl GroundTruth {
+    /// Total affinity of resource `r` for the given set of concepts.
+    pub fn resource_relevance(&self, concepts: &[usize], resource: usize) -> f64 {
+        self.resource_affinity[resource]
+            .iter()
+            .filter(|(c, _)| concepts.contains(c))
+            .map(|(_, w)| w)
+            .sum()
+    }
+
+    /// Ground-truth JCN distance between two tags (min over synsets).
+    pub fn tag_jcn(&self, tag_a: usize, tag_b: usize) -> f64 {
+        self.lexicon
+            .jcn_between_words(&self.taxonomy, self.tag_words[tag_a], self.tag_words[tag_b])
+    }
+
+    /// `true` when both tags express at least one common concept.
+    pub fn tags_share_concept(&self, tag_a: usize, tag_b: usize) -> bool {
+        self.tag_concepts[tag_a]
+            .iter()
+            .any(|c| self.tag_concepts[tag_b].contains(c))
+    }
+}
+
+/// A generated dataset plus its latent model.
+#[derive(Debug, Clone)]
+pub struct GeneratedDataset {
+    /// The clean folksonomy (apply [`crate::rawify::rawify`] for a noisy raw layer).
+    pub folksonomy: Folksonomy,
+    /// The oracle used for evaluation.
+    pub truth: GroundTruth,
+}
+
+impl GeneratedDataset {
+    /// Rebinds the ground truth to a *derived* folksonomy — typically the
+    /// output of [`cubelsi_folksonomy::clean`] — whose entity ids differ
+    /// but whose entity *names* are preserved. The paper's experiments all
+    /// run on cleaned corpora, so the oracle must follow the id remapping.
+    ///
+    /// # Panics
+    /// Panics when `derived` contains a tag/resource/user name unknown to
+    /// this dataset (derived corpora must be subsets).
+    pub fn rebind(&self, derived: Folksonomy) -> GeneratedDataset {
+        let truth = &self.truth;
+        let mut tag_words = Vec::with_capacity(derived.num_tags());
+        let mut tag_concepts = Vec::with_capacity(derived.num_tags());
+        for t in 0..derived.num_tags() {
+            let name = derived.tag_name(cubelsi_folksonomy::TagId::from_index(t));
+            let w = truth
+                .lexicon
+                .lookup(name)
+                .expect("derived tag name must exist in the lexicon");
+            tag_words.push(w);
+            let concepts: Vec<usize> = truth
+                .concept_words
+                .iter()
+                .enumerate()
+                .filter(|(_, pool)| pool.binary_search(&w).is_ok())
+                .map(|(c, _)| c)
+                .collect();
+            tag_concepts.push(concepts);
+        }
+        let map_resource = |r: usize| {
+            let name = derived.resource_name(cubelsi_folksonomy::ResourceId::from_index(r));
+            self.folksonomy
+                .resource_id(name)
+                .expect("derived resource name must exist in the base dataset")
+                .index()
+        };
+        let resource_affinity: Vec<Vec<(usize, f64)>> = (0..derived.num_resources())
+            .map(|r| truth.resource_affinity[map_resource(r)].clone())
+            .collect();
+        let resource_words: Vec<Vec<(usize, Vec<usize>)>> = (0..derived.num_resources())
+            .map(|r| truth.resource_words[map_resource(r)].clone())
+            .collect();
+        let user_interests: Vec<Vec<(usize, f64)>> = (0..derived.num_users())
+            .map(|u| {
+                let name = derived.user_name(cubelsi_folksonomy::UserId::from_index(u));
+                let orig = self
+                    .folksonomy
+                    .user_id(name)
+                    .expect("derived user name must exist in the base dataset");
+                truth.user_interests[orig.index()].clone()
+            })
+            .collect();
+        GeneratedDataset {
+            folksonomy: derived,
+            truth: GroundTruth {
+                taxonomy: truth.taxonomy.clone(),
+                lexicon: truth.lexicon.clone(),
+                concept_synsets: truth.concept_synsets.clone(),
+                concept_words: truth.concept_words.clone(),
+                tag_words,
+                tag_concepts,
+                resource_affinity,
+                resource_words,
+                user_interests,
+            },
+        }
+    }
+}
+
+/// Runs the generative model.
+pub fn generate(config: &GeneratorConfig) -> GeneratedDataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let taxonomy = Taxonomy::generate(&config.taxonomy, config.seed ^ 0x7a78);
+    let lexicon = Lexicon::generate(&taxonomy, &config.lexicon, config.seed ^ 0x13ec);
+
+    // --- Concept anchors: deeper synsets with non-empty word pools.
+    let mut candidates: Vec<usize> = (1..taxonomy.len())
+        .filter(|&s| taxonomy.depth(s) >= 1 && !lexicon.words_of_synset(s).is_empty())
+        .collect();
+    assert!(
+        candidates.len() >= config.concepts,
+        "taxonomy too small for {} concepts (have {} candidates)",
+        config.concepts,
+        candidates.len()
+    );
+    // Deterministic Fisher–Yates prefix.
+    for i in 0..config.concepts {
+        let j = rng.gen_range(i..candidates.len());
+        candidates.swap(i, j);
+    }
+    let concept_synsets: Vec<usize> = candidates[..config.concepts].to_vec();
+
+    // --- Concept word pools: own words + child-synset words.
+    let concept_words: Vec<Vec<usize>> = concept_synsets
+        .iter()
+        .map(|&s| {
+            let mut pool: Vec<usize> = lexicon.words_of_synset(s).to_vec();
+            for child in (1..taxonomy.len()).filter(|&c| taxonomy.parent(c) == Some(s)) {
+                pool.extend_from_slice(lexicon.words_of_synset(child));
+            }
+            pool.sort_unstable();
+            pool.dedup();
+            pool
+        })
+        .collect();
+
+    // --- Resource mixtures.
+    let concept_popularity = zipf_weights(config.concepts, 0.7);
+    let resource_affinity: Vec<Vec<(usize, f64)>> = (0..config.resources)
+        .map(|_| {
+            let k = sample_range(&mut rng, config.concepts_per_resource)
+                .min(config.concepts)
+                .max(1);
+            let mut chosen = sample_distinct_weighted(&mut rng, &concept_popularity, k);
+            let mut weights: Vec<f64> = (0..k).map(|_| rng.gen::<f64>() + 0.2).collect();
+            let total: f64 = weights.iter().sum();
+            for w in &mut weights {
+                *w /= total;
+            }
+            // Sort by descending weight for readable ground truth.
+            let mut mix: Vec<(usize, f64)> = chosen.drain(..).zip(weights).collect();
+            mix.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            mix
+        })
+        .collect();
+
+    // --- Per-resource established vocabularies. A real resource only ever
+    // carries the handful of words early taggers establish on it (people
+    // copy visible tags), NOT the concept's whole pool — this is the
+    // query/resource vocabulary gap that motivates concept-level matching
+    // in the paper (§I: relevant resources may be "described by disjoint
+    // sets of tags" from the query).
+    let resource_words: Vec<Vec<(usize, Vec<usize>)>> = resource_affinity
+        .iter()
+        .map(|mix| {
+            mix.iter()
+                .map(|&(c, _)| {
+                    let pool = &concept_words[c];
+                    let take = rng.gen_range(1..=3usize).min(pool.len()).max(1);
+                    let mut picked: Vec<usize> = Vec::with_capacity(take);
+                    while picked.len() < take {
+                        let w = pool[rng.gen_range(0..pool.len())];
+                        if !picked.contains(&w) {
+                            picked.push(w);
+                        }
+                    }
+                    picked.sort_unstable();
+                    (c, picked)
+                })
+                .collect()
+        })
+        .collect();
+
+    // --- Per-concept resource pools (resource index + sampling weight).
+    let resource_popularity = zipf_weights(config.resources, config.resource_popularity_zipf);
+    let mut concept_resources: Vec<Vec<(usize, f64)>> = vec![Vec::new(); config.concepts];
+    for (r, mix) in resource_affinity.iter().enumerate() {
+        for &(c, w) in mix {
+            concept_resources[c].push((r, w * resource_popularity[r]));
+        }
+    }
+    let concept_resource_cdfs: Vec<Cdf> = concept_resources
+        .iter()
+        .map(|pool| Cdf::new(pool.iter().map(|&(_, w)| w)))
+        .collect();
+
+    // --- User profiles and private word preferences.
+    let mut user_interests: Vec<Vec<(usize, f64)>> = Vec::with_capacity(config.users);
+    // For each (user, concept-in-profile): a permutation of the concept's
+    // word pool; geometric decay makes early words strongly preferred.
+    let mut user_word_prefs: Vec<Vec<Vec<usize>>> = Vec::with_capacity(config.users);
+    for _ in 0..config.users {
+        let k = sample_range(&mut rng, config.concepts_per_user)
+            .min(config.concepts)
+            .max(1);
+        let chosen = sample_distinct_weighted(&mut rng, &concept_popularity, k);
+        let mut weights: Vec<f64> = (0..k).map(|_| rng.gen::<f64>() + 0.2).collect();
+        let total: f64 = weights.iter().sum();
+        for w in &mut weights {
+            *w /= total;
+        }
+        let prefs: Vec<Vec<usize>> = chosen
+            .iter()
+            .map(|&c| {
+                let mut pool = concept_words[c].clone();
+                // Private shuffle = private vocabulary bias.
+                for i in (1..pool.len()).rev() {
+                    let j = rng.gen_range(0..=i);
+                    pool.swap(i, j);
+                }
+                pool
+            })
+            .collect();
+        user_interests.push(chosen.into_iter().zip(weights).collect());
+        user_word_prefs.push(prefs);
+    }
+    let user_activity = zipf_weights(config.users, config.user_activity_zipf);
+    let user_cdf = Cdf::new(user_activity.iter().copied());
+
+    // --- Assignment sampling.
+    let mut builder = FolksonomyBuilder::new();
+    // Pre-intern entities so ids are dense and in generation order.
+    for u in 0..config.users {
+        builder.intern_user(&format!("user{u:05}"));
+    }
+    for r in 0..config.resources {
+        builder.intern_resource(&format!("res{r:05}"));
+    }
+    let decay = config.word_preference_decay.clamp(0.01, 0.99);
+    for _ in 0..config.assignments {
+        let u = user_cdf.sample(&mut rng);
+        if rng.gen::<f64>() < config.noise_rate {
+            // Tagging noise. Most mis-tagging reuses the live vocabulary
+            // (the wrong real tag on the wrong resource); only a small
+            // fraction invents out-of-vocabulary words. Without this split
+            // the noise manufactures hundreds of junk tags that no real
+            // folksonomy's cleaned corpus would contain.
+            let w = if rng.gen::<f64>() < 0.25 {
+                rng.gen_range(0..lexicon.len())
+            } else {
+                let c = rng.gen_range(0..config.concepts);
+                let pool = &concept_words[c];
+                pool[rng.gen_range(0..pool.len())]
+            };
+            let r = rng.gen_range(0..config.resources);
+            builder.add(
+                &format!("user{u:05}"),
+                &lexicon.word(w).name.clone(),
+                &format!("res{r:05}"),
+            );
+            continue;
+        }
+        // Concept from the user's profile.
+        let profile = &user_interests[u];
+        let ci = sample_weighted_pairs(&mut rng, profile);
+        let concept = profile[ci].0;
+        // Resource from the concept's pool (skip empty pools as noise).
+        let pool_cdf = &concept_resource_cdfs[concept];
+        let r = match pool_cdf.is_empty() {
+            true => rng.gen_range(0..config.resources),
+            false => concept_resources[concept][pool_cdf.sample(&mut rng)].0,
+        };
+        // Word: the user's private preference order, restricted to the
+        // words established on this resource for this concept (taggers
+        // overwhelmingly reuse visible tags).
+        let prefs = &user_word_prefs[u][ci];
+        let established = resource_words[r]
+            .iter()
+            .find(|(c, _)| *c == concept)
+            .map(|(_, ws)| ws.as_slice())
+            .unwrap_or(&[]);
+        let restricted: Vec<usize> = prefs
+            .iter()
+            .copied()
+            .filter(|w| established.binary_search(w).is_ok())
+            .collect();
+        let w = if restricted.is_empty() {
+            prefs[sample_geometric(&mut rng, decay, prefs.len())]
+        } else {
+            restricted[sample_geometric(&mut rng, decay, restricted.len())]
+        };
+        builder.add(
+            &format!("user{u:05}"),
+            &lexicon.word(w).name.clone(),
+            &format!("res{r:05}"),
+        );
+    }
+    let folksonomy = builder.build();
+
+    // --- Dense ground-truth arrays aligned with the final tag ids.
+    let mut tag_words = Vec::with_capacity(folksonomy.num_tags());
+    let mut tag_concepts = Vec::with_capacity(folksonomy.num_tags());
+    for t in 0..folksonomy.num_tags() {
+        let name = folksonomy.tag_name(cubelsi_folksonomy::TagId::from_index(t));
+        let w = lexicon
+            .lookup(name)
+            .expect("every generated tag is a lexicon word");
+        tag_words.push(w);
+        let concepts: Vec<usize> = concept_words
+            .iter()
+            .enumerate()
+            .filter(|(_, pool)| pool.binary_search(&w).is_ok())
+            .map(|(c, _)| c)
+            .collect();
+        tag_concepts.push(concepts);
+    }
+
+    GeneratedDataset {
+        folksonomy,
+        truth: GroundTruth {
+            taxonomy,
+            lexicon,
+            concept_synsets,
+            concept_words,
+            tag_words,
+            tag_concepts,
+            resource_affinity,
+            resource_words,
+            user_interests,
+        },
+    }
+}
+
+/// Unnormalized Zipf weights `1/(i+1)^s`.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect()
+}
+
+fn sample_range(rng: &mut StdRng, (lo, hi): (usize, usize)) -> usize {
+    if hi > lo {
+        rng.gen_range(lo..=hi)
+    } else {
+        lo
+    }
+}
+
+/// Samples `k` distinct indexes with probability ∝ `weights`.
+fn sample_distinct_weighted(rng: &mut StdRng, weights: &[f64], k: usize) -> Vec<usize> {
+    let mut w = weights.to_vec();
+    let mut out = Vec::with_capacity(k);
+    for _ in 0..k.min(weights.len()) {
+        let total: f64 = w.iter().sum();
+        if total <= 0.0 {
+            break;
+        }
+        let mut target = rng.gen::<f64>() * total;
+        let mut idx = w.len() - 1;
+        for (i, &wi) in w.iter().enumerate() {
+            if target < wi {
+                idx = i;
+                break;
+            }
+            target -= wi;
+        }
+        out.push(idx);
+        w[idx] = 0.0;
+    }
+    out
+}
+
+fn sample_weighted_pairs(rng: &mut StdRng, pairs: &[(usize, f64)]) -> usize {
+    let total: f64 = pairs.iter().map(|(_, w)| w).sum();
+    let mut target = rng.gen::<f64>() * total;
+    for (i, &(_, w)) in pairs.iter().enumerate() {
+        if target < w {
+            return i;
+        }
+        target -= w;
+    }
+    pairs.len() - 1
+}
+
+/// Truncated geometric sample in `0..n`.
+fn sample_geometric(rng: &mut StdRng, decay: f64, n: usize) -> usize {
+    debug_assert!(n > 0);
+    let mut i = 0;
+    while i + 1 < n && rng.gen::<f64>() < decay {
+        i += 1;
+    }
+    i
+}
+
+/// Cumulative distribution over arbitrary non-negative weights with
+/// binary-search sampling.
+struct Cdf {
+    cumulative: Vec<f64>,
+}
+
+impl Cdf {
+    fn new(weights: impl Iterator<Item = f64>) -> Cdf {
+        let mut cumulative = Vec::new();
+        let mut acc = 0.0;
+        for w in weights {
+            acc += w.max(0.0);
+            cumulative.push(acc);
+        }
+        Cdf { cumulative }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.cumulative.last().is_none_or(|&t| t <= 0.0)
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty CDF");
+        let target = rng.gen::<f64>() * total;
+        self.cumulative.partition_point(|&c| c <= target).min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> GeneratorConfig {
+        GeneratorConfig {
+            users: 40,
+            resources: 30,
+            concepts: 6,
+            assignments: 2_000,
+            seed: 42,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn generates_requested_shape() {
+        let ds = generate(&small_config());
+        let f = &ds.folksonomy;
+        assert_eq!(f.num_users(), 40);
+        assert_eq!(f.num_resources(), 30);
+        assert!(f.num_tags() > 10, "tags: {}", f.num_tags());
+        assert!(f.num_assignments() > 500, "|Y| = {}", f.num_assignments());
+        // Set semantics keeps |Y| at or below the sample count.
+        assert!(f.num_assignments() <= 2_000);
+    }
+
+    #[test]
+    fn ground_truth_is_aligned_with_tag_ids() {
+        let ds = generate(&small_config());
+        let f = &ds.folksonomy;
+        let t = &ds.truth;
+        assert_eq!(t.tag_words.len(), f.num_tags());
+        assert_eq!(t.tag_concepts.len(), f.num_tags());
+        for tag in 0..f.num_tags() {
+            let name = f.tag_name(cubelsi_folksonomy::TagId::from_index(tag));
+            assert_eq!(
+                t.lexicon.word(t.tag_words[tag]).name,
+                name,
+                "tag {tag} misaligned"
+            );
+        }
+    }
+
+    #[test]
+    fn resource_mixtures_are_normalized() {
+        let ds = generate(&small_config());
+        for mix in &ds.truth.resource_affinity {
+            assert!(!mix.is_empty());
+            let total: f64 = mix.iter().map(|(_, w)| w).sum();
+            assert!((total - 1.0).abs() < 1e-9, "mixture sums to {total}");
+            for w in mix.windows(2) {
+                assert!(w[0].1 >= w[1].1, "mixture must be sorted by weight");
+            }
+        }
+    }
+
+    #[test]
+    fn user_profiles_are_normalized() {
+        let ds = generate(&small_config());
+        for profile in &ds.truth.user_interests {
+            let total: f64 = profile.iter().map(|(_, w)| w).sum();
+            assert!((total - 1.0).abs() < 1e-9);
+            let mut seen: Vec<usize> = profile.iter().map(|&(c, _)| c).collect();
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(seen.len(), profile.len(), "duplicate concepts in profile");
+        }
+    }
+
+    #[test]
+    fn concept_words_nonempty_and_within_lexicon() {
+        let ds = generate(&small_config());
+        for pool in &ds.truth.concept_words {
+            assert!(!pool.is_empty());
+            for &w in pool {
+                assert!(w < ds.truth.lexicon.len());
+            }
+        }
+    }
+
+    #[test]
+    fn most_assignments_use_concept_tags() {
+        // Uniform noise creates many *distinct* off-concept tag names, but
+        // assignment volume must be dominated by concept vocabulary (the
+        // noise rate is 5%; geometric word preferences concentrate the
+        // rest on concept pools).
+        let ds = generate(&small_config());
+        let conceptual = ds
+            .folksonomy
+            .assignments()
+            .iter()
+            .filter(|a| !ds.truth.tag_concepts[a.tag.index()].is_empty())
+            .count();
+        let total = ds.folksonomy.num_assignments();
+        assert!(
+            conceptual * 10 > total * 7,
+            "{conceptual}/{total} assignments use concept tags"
+        );
+    }
+
+    #[test]
+    fn relevance_oracle_behaves() {
+        let ds = generate(&small_config());
+        let t = &ds.truth;
+        // For any resource, full-mixture relevance is ~1 and disjoint
+        // concepts give 0.
+        let mix = &t.resource_affinity[0];
+        let all: Vec<usize> = mix.iter().map(|&(c, _)| c).collect();
+        assert!((t.resource_relevance(&all, 0) - 1.0).abs() < 1e-9);
+        let absent: Vec<usize> = (0..ds.truth.concept_words.len())
+            .filter(|c| !all.contains(c))
+            .collect();
+        assert_eq!(t.resource_relevance(&absent, 0), 0.0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = generate(&small_config());
+        let b = generate(&small_config());
+        assert_eq!(a.folksonomy.stats(), b.folksonomy.stats());
+        assert_eq!(a.truth.tag_words, b.truth.tag_words);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&small_config());
+        let mut cfg = small_config();
+        cfg.seed = 43;
+        let b = generate(&cfg);
+        assert_ne!(
+            a.folksonomy.num_assignments(),
+            b.folksonomy.num_assignments()
+        );
+    }
+
+    #[test]
+    fn zipf_weights_decrease() {
+        let w = zipf_weights(5, 1.0);
+        assert_eq!(w.len(), 5);
+        for pair in w.windows(2) {
+            assert!(pair[0] > pair[1]);
+        }
+        let flat = zipf_weights(3, 0.0);
+        assert!(flat.iter().all(|&x| (x - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn cdf_sampling_respects_zero_weights() {
+        let cdf = Cdf::new([0.0, 1.0, 0.0].into_iter());
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            assert_eq!(cdf.sample(&mut rng), 1);
+        }
+        assert!(Cdf::new(std::iter::empty()).is_empty());
+        assert!(Cdf::new([0.0].into_iter()).is_empty());
+    }
+
+    #[test]
+    fn geometric_sampler_prefers_early_indices() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = [0usize; 5];
+        for _ in 0..2000 {
+            counts[sample_geometric(&mut rng, 0.5, 5)] += 1;
+        }
+        assert!(counts[0] > counts[2]);
+        assert!(counts[1] > counts[3]);
+    }
+}

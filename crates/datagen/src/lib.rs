@@ -1,0 +1,33 @@
+//! Synthetic data generation for the CubeLSI experiments.
+//!
+//! The paper evaluates on crawls of Delicious, Bibsonomy and Last.fm, with
+//! WordNet + the Jiang–Conrath (JCN) distance as semantic ground truth and
+//! 16 human assessors grading 128 queries. None of those artifacts are
+//! available offline, so this crate builds the closest synthetic
+//! equivalents (each substitution is documented in `DESIGN.md` §4):
+//!
+//! * [`taxonomy`] — a WordNet-like IS-A hierarchy with per-synset
+//!   information content, the exact JCN distance formula, and a lexicon
+//!   featuring the phenomena of Table IV (synonym sets, polysemy, cognates,
+//!   morphological variants, abbreviations);
+//! * [`generator`] — a latent-concept folksonomy generator: resources carry
+//!   concept mixtures, taggers carry interest profiles *and private
+//!   vocabulary biases* (the tagger-context signal CubeLSI exploits), tags
+//!   are drawn from the taxonomy's lexicon, plus uniform noise;
+//! * [`mod@rawify`] — wraps a clean dataset in realistic crawl noise (system
+//!   tags, case mangling, singleton entities) so the §VI-A cleaning
+//!   pipeline has real work to do (Table II raw rows);
+//! * [`presets`] — Delicious-, Bibsonomy- and Last.fm-shaped parameter sets
+//!   with a `scale` knob, matching the cleaned-size *ratios* of Table II.
+//!
+//! Everything is deterministic given the configured seeds.
+
+pub mod generator;
+pub mod presets;
+pub mod rawify;
+pub mod taxonomy;
+
+pub use generator::{generate, GeneratedDataset, GeneratorConfig, GroundTruth};
+pub use presets::{all_presets, bibsonomy_like, delicious_like, lastfm_like, DatasetPreset};
+pub use rawify::{rawify, RawNoiseConfig};
+pub use taxonomy::{Lexicon, LexiconConfig, Taxonomy, TaxonomyConfig, Word, WordKind};

@@ -1,0 +1,176 @@
+//! Dataset presets shaped after the paper's three evaluation corpora.
+//!
+//! Table II (cleaned rows) gives the target shapes:
+//!
+//! | dataset   | |U|    | |T|   | |R|    | |Y|       | character |
+//! |-----------|--------|-------|--------|-----------|-----------|
+//! | Delicious | 28,939 | 7,342 | 4,118  | 1,357,238 | many users, dense |
+//! | Bibsonomy | 732    | 4,702 | 35,708 | 258,347   | few users, many resources |
+//! | Last.fm   | 3,897  | 3,326 | 2,849  | 335,782   | balanced |
+//!
+//! Running full-size Tucker on a laptop-scale CI box is possible but slow,
+//! so presets expose a `scale ∈ (0, 1]` knob that multiplies entity counts
+//! while preserving the *ratios* — the property the evaluation shapes
+//! depend on. `scale = 1.0` reproduces the cleaned Table II sizes.
+
+use crate::generator::GeneratorConfig;
+use crate::taxonomy::{LexiconConfig, TaxonomyConfig};
+
+/// A named dataset preset.
+#[derive(Debug, Clone)]
+pub struct DatasetPreset {
+    /// Human-readable name ("delicious", "bibsonomy", "lastfm").
+    pub name: &'static str,
+    /// Generator parameters at the requested scale.
+    pub config: GeneratorConfig,
+}
+
+fn scaled(n: usize, scale: f64, floor: usize) -> usize {
+    ((n as f64 * scale).round() as usize).max(floor)
+}
+
+/// Delicious-like: a large, active user base annotating relatively few
+/// bookmarks very densely.
+pub fn delicious_like(scale: f64, seed: u64) -> DatasetPreset {
+    let concepts = scaled(60, scale.powf(0.25), 10);
+    DatasetPreset {
+        name: "delicious",
+        config: GeneratorConfig {
+            users: scaled(28_939, scale, 30),
+            resources: scaled(4_118, scale, 25),
+            concepts,
+            assignments: scaled(1_357_238, scale, 4_000),
+            concepts_per_resource: (2, 4),
+            concepts_per_user: (1, 2),
+            noise_rate: 0.06,
+            user_activity_zipf: 1.1,
+            resource_popularity_zipf: 0.9,
+            word_preference_decay: 0.4,
+            taxonomy: TaxonomyConfig {
+                synsets: (concepts * 14).max(120),
+                max_children: 5,
+                ic_increment: (0.5, 2.0),
+            },
+            lexicon: LexiconConfig::default(),
+            seed,
+        },
+    }
+}
+
+/// Bibsonomy-like: a small community tagging a very large publication
+/// collection sparsely.
+pub fn bibsonomy_like(scale: f64, seed: u64) -> DatasetPreset {
+    let concepts = scaled(45, scale.powf(0.25), 10);
+    DatasetPreset {
+        name: "bibsonomy",
+        config: GeneratorConfig {
+            // The user floor is generous relative to the paper's U:R ratio:
+            // below ~60 users no tagger-community structure exists for any
+            // method to exploit, which voids the experiment, so tiny scales
+            // trade ratio fidelity for signal.
+            users: scaled(732, scale, 60),
+            resources: scaled(35_708, scale, 40),
+            concepts,
+            assignments: scaled(258_347, scale, 3_000),
+            concepts_per_resource: (2, 3),
+            concepts_per_user: (1, 2),
+            noise_rate: 0.08,
+            user_activity_zipf: 0.9,
+            resource_popularity_zipf: 0.7,
+            word_preference_decay: 0.4,
+            taxonomy: TaxonomyConfig {
+                synsets: (concepts * 14).max(120),
+                max_children: 4,
+                ic_increment: (0.5, 2.0),
+            },
+            lexicon: LexiconConfig::default(),
+            seed,
+        },
+    }
+}
+
+/// Last.fm-like: balanced users/tags/resources with strong popularity skew
+/// (hit tracks attract most tags).
+pub fn lastfm_like(scale: f64, seed: u64) -> DatasetPreset {
+    let concepts = scaled(40, scale.powf(0.25), 10);
+    DatasetPreset {
+        name: "lastfm",
+        config: GeneratorConfig {
+            users: scaled(3_897, scale, 25),
+            resources: scaled(2_849, scale, 25),
+            concepts,
+            assignments: scaled(335_782, scale, 3_500),
+            concepts_per_resource: (2, 4),
+            concepts_per_user: (1, 2),
+            noise_rate: 0.05,
+            user_activity_zipf: 1.2,
+            resource_popularity_zipf: 1.1,
+            word_preference_decay: 0.45,
+            taxonomy: TaxonomyConfig {
+                synsets: (concepts * 14).max(120),
+                max_children: 5,
+                ic_increment: (0.5, 2.0),
+            },
+            lexicon: LexiconConfig::default(),
+            seed,
+        },
+    }
+}
+
+/// All three presets at the same scale and seed (for the per-dataset
+/// experiment loops).
+pub fn all_presets(scale: f64, seed: u64) -> Vec<DatasetPreset> {
+    vec![
+        delicious_like(scale, seed),
+        bibsonomy_like(scale, seed.wrapping_add(1)),
+        lastfm_like(scale, seed.wrapping_add(2)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate;
+
+    #[test]
+    fn presets_have_distinct_shapes() {
+        let d = delicious_like(0.01, 1).config;
+        let b = bibsonomy_like(0.01, 1).config;
+        let l = lastfm_like(0.01, 1).config;
+        // Delicious: users dominate resources.
+        assert!(d.users > d.resources);
+        // Bibsonomy: resources dominate users.
+        assert!(b.resources > b.users);
+        // Last.fm: roughly balanced (within 2x).
+        assert!(l.users < l.resources * 2 && l.resources < l.users * 2);
+    }
+
+    #[test]
+    fn full_scale_matches_table2() {
+        let d = delicious_like(1.0, 1).config;
+        assert_eq!(d.users, 28_939);
+        assert_eq!(d.resources, 4_118);
+        assert_eq!(d.assignments, 1_357_238);
+        let b = bibsonomy_like(1.0, 1).config;
+        assert_eq!(b.resources, 35_708);
+        let l = lastfm_like(1.0, 1).config;
+        assert_eq!(l.users, 3_897);
+    }
+
+    #[test]
+    fn tiny_scale_still_generates() {
+        for preset in all_presets(0.005, 99) {
+            let ds = generate(&preset.config);
+            assert!(ds.folksonomy.num_assignments() > 100, "{}", preset.name);
+            assert!(ds.folksonomy.num_tags() > 5, "{}", preset.name);
+        }
+    }
+
+    #[test]
+    fn floors_protect_degenerate_scales() {
+        let d = delicious_like(1e-9, 1).config;
+        assert!(d.users >= 30);
+        assert!(d.resources >= 25);
+        assert!(d.concepts >= 8);
+    }
+}

@@ -1,0 +1,609 @@
+//! A synthetic WordNet substitute: an IS-A hierarchy with information
+//! content, the Jiang–Conrath distance, and a lexicon of word forms.
+//!
+//! The paper's Table III evaluates tag-distance accuracy against WordNet
+//! using the JCN measure
+//! `JCN(t₁, t₂) = IC(t₁) + IC(t₂) − 2·IC(LCS(t₁, t₂))`,
+//! where `IC` is information content and `LCS` the least common subsumer.
+//! This module provides the same interface over a generated taxonomy, so
+//! the folksonomy generator and the evaluation share one latent semantic
+//! model — exactly the role WordNet plays for real tags.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Parameters for [`Taxonomy::generate`].
+#[derive(Debug, Clone)]
+pub struct TaxonomyConfig {
+    /// Total number of synsets to grow (including the root).
+    pub synsets: usize,
+    /// Maximum children per synset.
+    pub max_children: usize,
+    /// Information-content increment per child edge, drawn uniformly from
+    /// this range. Children are always more specific (higher IC).
+    pub ic_increment: (f64, f64),
+}
+
+impl Default for TaxonomyConfig {
+    fn default() -> Self {
+        TaxonomyConfig {
+            synsets: 200,
+            max_children: 5,
+            ic_increment: (0.5, 2.0),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Synset {
+    parent: Option<u32>,
+    depth: u32,
+    ic: f64,
+}
+
+/// A rooted IS-A hierarchy with information content per synset.
+#[derive(Debug, Clone)]
+pub struct Taxonomy {
+    synsets: Vec<Synset>,
+}
+
+impl Taxonomy {
+    /// Grows a random tree of `config.synsets` synsets breadth-first.
+    pub fn generate(config: &TaxonomyConfig, seed: u64) -> Taxonomy {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = config.synsets.max(1);
+        let mut synsets = Vec::with_capacity(n);
+        synsets.push(Synset {
+            parent: None,
+            depth: 0,
+            ic: 0.0,
+        });
+        // The root always branches into `max_children` top-level categories
+        // (like WordNet's unique beginners), so distinct branches exist.
+        let mut frontier: Vec<u32> = Vec::new();
+        let top = config.max_children.max(2).min(n.saturating_sub(1));
+        for _ in 0..top {
+            let (lo, hi) = config.ic_increment;
+            let inc = if hi > lo { rng.gen_range(lo..hi) } else { lo };
+            let id = synsets.len() as u32;
+            synsets.push(Synset {
+                parent: Some(0),
+                depth: 1,
+                ic: inc,
+            });
+            frontier.push(id);
+        }
+        while synsets.len() < n {
+            if frontier.is_empty() {
+                // Degenerate config (max_children = 0): chain off the root.
+                frontier.push(0);
+            }
+            let pick = rng.gen_range(0..frontier.len());
+            let parent = frontier.swap_remove(pick);
+            let nchildren = rng.gen_range(1..=config.max_children.max(1));
+            for _ in 0..nchildren {
+                if synsets.len() >= n {
+                    break;
+                }
+                let (lo, hi) = config.ic_increment;
+                let inc = if hi > lo { rng.gen_range(lo..hi) } else { lo };
+                let id = synsets.len() as u32;
+                synsets.push(Synset {
+                    parent: Some(parent),
+                    depth: synsets[parent as usize].depth + 1,
+                    ic: synsets[parent as usize].ic + inc,
+                });
+                frontier.push(id);
+            }
+        }
+        Taxonomy { synsets }
+    }
+
+    /// Number of synsets.
+    pub fn len(&self) -> usize {
+        self.synsets.len()
+    }
+
+    /// `true` when the taxonomy has no synsets (never true after generate).
+    pub fn is_empty(&self) -> bool {
+        self.synsets.is_empty()
+    }
+
+    /// Information content of a synset.
+    pub fn ic(&self, synset: usize) -> f64 {
+        self.synsets[synset].ic
+    }
+
+    /// Depth of a synset (root = 0).
+    pub fn depth(&self, synset: usize) -> usize {
+        self.synsets[synset].depth as usize
+    }
+
+    /// Parent of a synset, if not the root.
+    pub fn parent(&self, synset: usize) -> Option<usize> {
+        self.synsets[synset].parent.map(|p| p as usize)
+    }
+
+    /// Least common subsumer of two synsets (walk the deeper one up).
+    pub fn lcs(&self, a: usize, b: usize) -> usize {
+        let (mut x, mut y) = (a, b);
+        while self.synsets[x].depth > self.synsets[y].depth {
+            x = self.synsets[x].parent.expect("non-root has parent") as usize;
+        }
+        while self.synsets[y].depth > self.synsets[x].depth {
+            y = self.synsets[y].parent.expect("non-root has parent") as usize;
+        }
+        while x != y {
+            x = self.synsets[x].parent.expect("hit root without meeting") as usize;
+            y = self.synsets[y].parent.expect("hit root without meeting") as usize;
+        }
+        x
+    }
+
+    /// Jiang–Conrath distance between two synsets:
+    /// `IC(a) + IC(b) − 2·IC(LCS(a, b))`. Zero iff `a == b` is not
+    /// guaranteed in general JCN, but holds here because IC is strictly
+    /// increasing along edges.
+    pub fn jcn(&self, a: usize, b: usize) -> f64 {
+        let l = self.lcs(a, b);
+        self.ic(a) + self.ic(b) - 2.0 * self.ic(l)
+    }
+}
+
+/// How a word form relates to its synset group — the correlation types
+/// showcased in Table IV of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WordKind {
+    /// The canonical lemma of a synset.
+    Base,
+    /// An additional synonym of the same synset.
+    Synonym,
+    /// A cross-language cognate (e.g. "dictionary" / "dictionnaire").
+    Cognate,
+    /// An inflection or derivation (e.g. "quote" / "quotes" / "quotation").
+    MorphVariant,
+    /// An abbreviation (e.g. "advertisement" / "ad").
+    Abbreviation,
+}
+
+/// A word form in the lexicon.
+#[derive(Debug, Clone)]
+pub struct Word {
+    /// Surface form (unique within the lexicon).
+    pub name: String,
+    /// Synsets this word can denote; more than one ⇒ polysemy.
+    pub synsets: Vec<usize>,
+    /// Relation of this form to its group's base lemma.
+    pub kind: WordKind,
+    /// Index of the base word of this form's group (self for `Base`).
+    pub group: usize,
+}
+
+/// Parameters for [`Lexicon::generate`].
+#[derive(Debug, Clone)]
+pub struct LexiconConfig {
+    /// Extra synonyms per synset beyond the base lemma, inclusive range.
+    pub synonyms_per_synset: (usize, usize),
+    /// Probability that a word also attaches to a second synset (polysemy).
+    pub polysemy_rate: f64,
+    /// Probability a synset additionally gets a cognate form.
+    pub cognate_rate: f64,
+    /// Probability a synset additionally gets a morphological variant.
+    pub morph_rate: f64,
+    /// Probability a synset additionally gets an abbreviation.
+    pub abbrev_rate: f64,
+}
+
+impl Default for LexiconConfig {
+    fn default() -> Self {
+        LexiconConfig {
+            synonyms_per_synset: (1, 3),
+            polysemy_rate: 0.12,
+            cognate_rate: 0.08,
+            morph_rate: 0.12,
+            abbrev_rate: 0.05,
+        }
+    }
+}
+
+/// The word store over a [`Taxonomy`].
+#[derive(Debug, Clone)]
+pub struct Lexicon {
+    words: Vec<Word>,
+    by_name: HashMap<String, usize>,
+    synset_words: Vec<Vec<usize>>,
+}
+
+impl Lexicon {
+    /// Generates word forms for every non-root synset of `taxonomy`.
+    pub fn generate(taxonomy: &Taxonomy, config: &LexiconConfig, seed: u64) -> Lexicon {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut lex = Lexicon {
+            words: Vec::new(),
+            by_name: HashMap::new(),
+            synset_words: vec![Vec::new(); taxonomy.len()],
+        };
+        let mut namer = PseudoWordGen::new(seed ^ 0x776f_7264); // "word"
+        for synset in 1..taxonomy.len() {
+            let base_name = namer.fresh(&mut rng, &lex.by_name);
+            let base_idx = lex.push_word(Word {
+                name: base_name.clone(),
+                synsets: vec![synset],
+                kind: WordKind::Base,
+                group: 0, // fixed up below
+            });
+            lex.words[base_idx].group = base_idx;
+
+            let (lo, hi) = config.synonyms_per_synset;
+            let extra = if hi > lo { rng.gen_range(lo..=hi) } else { lo };
+            for _ in 0..extra {
+                let name = namer.fresh(&mut rng, &lex.by_name);
+                lex.push_word(Word {
+                    name,
+                    synsets: vec![synset],
+                    kind: WordKind::Synonym,
+                    group: base_idx,
+                });
+            }
+            if rng.gen::<f64>() < config.cognate_rate {
+                let name = namer.derive_unique(&base_name, "cognate", &mut rng, &lex.by_name);
+                lex.push_word(Word {
+                    name,
+                    synsets: vec![synset],
+                    kind: WordKind::Cognate,
+                    group: base_idx,
+                });
+            }
+            if rng.gen::<f64>() < config.morph_rate {
+                let name = namer.derive_unique(&base_name, "morph", &mut rng, &lex.by_name);
+                lex.push_word(Word {
+                    name,
+                    synsets: vec![synset],
+                    kind: WordKind::MorphVariant,
+                    group: base_idx,
+                });
+            }
+            if rng.gen::<f64>() < config.abbrev_rate {
+                let name = namer.derive_unique(&base_name, "abbrev", &mut rng, &lex.by_name);
+                lex.push_word(Word {
+                    name,
+                    synsets: vec![synset],
+                    kind: WordKind::Abbreviation,
+                    group: base_idx,
+                });
+            }
+        }
+        // Polysemy pass: attach some words to a second random synset.
+        let n_words = lex.words.len();
+        for w in 0..n_words {
+            if rng.gen::<f64>() < config.polysemy_rate {
+                let other = rng.gen_range(1..taxonomy.len());
+                if !lex.words[w].synsets.contains(&other) {
+                    lex.words[w].synsets.push(other);
+                    lex.synset_words[other].push(w);
+                }
+            }
+        }
+        lex
+    }
+
+    fn push_word(&mut self, word: Word) -> usize {
+        let idx = self.words.len();
+        self.by_name.insert(word.name.clone(), idx);
+        for &s in &word.synsets {
+            self.synset_words[s].push(idx);
+        }
+        self.words.push(word);
+        idx
+    }
+
+    /// Number of word forms.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// `true` when the lexicon is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Word by index.
+    pub fn word(&self, idx: usize) -> &Word {
+        &self.words[idx]
+    }
+
+    /// Word index by surface form.
+    pub fn lookup(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Word indexes attached to a synset.
+    pub fn words_of_synset(&self, synset: usize) -> &[usize] {
+        &self.synset_words[synset]
+    }
+
+    /// Iterator over all words.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Word)> {
+        self.words.iter().enumerate()
+    }
+
+    /// JCN distance between two *words*: the minimum over all synset pairs
+    /// (the standard treatment of polysemous forms).
+    pub fn jcn_between_words(&self, taxonomy: &Taxonomy, a: usize, b: usize) -> f64 {
+        let mut best = f64::INFINITY;
+        for &sa in &self.words[a].synsets {
+            for &sb in &self.words[b].synsets {
+                best = best.min(taxonomy.jcn(sa, sb));
+            }
+        }
+        best
+    }
+}
+
+/// Deterministic pronounceable pseudo-word generator.
+struct PseudoWordGen {
+    counter: u64,
+}
+
+impl PseudoWordGen {
+    fn new(_seed: u64) -> Self {
+        PseudoWordGen { counter: 0 }
+    }
+
+    /// A fresh base word not colliding with `taken`.
+    fn fresh(&mut self, rng: &mut StdRng, taken: &HashMap<String, usize>) -> String {
+        const CONSONANTS: &[&str] = &[
+            "b", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "ch", "st",
+            "tr", "pl",
+        ];
+        const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ai", "ou", "ea"];
+        loop {
+            let syllables = rng.gen_range(2..=3);
+            let mut name = String::new();
+            for _ in 0..syllables {
+                name.push_str(CONSONANTS[rng.gen_range(0..CONSONANTS.len())]);
+                name.push_str(VOWELS[rng.gen_range(0..VOWELS.len())]);
+            }
+            if !taken.contains_key(&name) {
+                return name;
+            }
+            // Extremely unlikely long-run collision: extend deterministically.
+            self.counter += 1;
+            let candidate = format!("{name}{}", self.counter);
+            if !taken.contains_key(&candidate) {
+                return candidate;
+            }
+        }
+    }
+
+    /// A derived form of `base` according to `flavor`, unique in `taken`.
+    fn derive_unique(
+        &mut self,
+        base: &str,
+        flavor: &str,
+        rng: &mut StdRng,
+        taken: &HashMap<String, usize>,
+    ) -> String {
+        let candidates: Vec<String> = match flavor {
+            "cognate" => vec![
+                format!("{base}que"),
+                format!("{base}ija"),
+                format!("{base}eux"),
+                format!("{}o", base.trim_end_matches(['a', 'e', 'i', 'o', 'u'])),
+            ],
+            "morph" => vec![
+                format!("{base}s"),
+                format!("{base}ing"),
+                format!("{base}ation"),
+                format!("{base}ed"),
+            ],
+            "abbrev" => {
+                let cut = base.len().min(3).max(2);
+                vec![base[..cut].to_string(), format!("{}.", &base[..cut])]
+            }
+            _ => vec![format!("{base}x")],
+        };
+        let start = rng.gen_range(0..candidates.len());
+        for off in 0..candidates.len() {
+            let c = &candidates[(start + off) % candidates.len()];
+            if !taken.contains_key(c) {
+                return c.clone();
+            }
+        }
+        // All flavored candidates taken: extend with a counter.
+        loop {
+            self.counter += 1;
+            let c = format!("{}{}", candidates[start], self.counter);
+            if !taken.contains_key(&c) {
+                return c;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_taxonomy() -> Taxonomy {
+        Taxonomy::generate(
+            &TaxonomyConfig {
+                synsets: 50,
+                max_children: 3,
+                ic_increment: (0.5, 2.0),
+            },
+            7,
+        )
+    }
+
+    #[test]
+    fn taxonomy_structure_is_a_tree() {
+        let t = small_taxonomy();
+        assert_eq!(t.len(), 50);
+        assert_eq!(t.parent(0), None);
+        assert_eq!(t.depth(0), 0);
+        for s in 1..t.len() {
+            let p = t.parent(s).expect("non-root synset has a parent");
+            assert!(p < s, "parents precede children in generation order");
+            assert_eq!(t.depth(s), t.depth(p) + 1);
+            assert!(t.ic(s) > t.ic(p), "IC must increase with specificity");
+        }
+    }
+
+    #[test]
+    fn lcs_properties() {
+        let t = small_taxonomy();
+        for s in 0..t.len() {
+            assert_eq!(t.lcs(s, s), s, "LCS(x, x) = x");
+            assert_eq!(t.lcs(s, 0), 0, "LCS with the root is the root");
+        }
+        // Symmetry on a sample of pairs.
+        for a in (0..t.len()).step_by(7) {
+            for b in (0..t.len()).step_by(11) {
+                assert_eq!(t.lcs(a, b), t.lcs(b, a));
+            }
+        }
+        // LCS of a child and its parent is the parent.
+        for s in 1..t.len() {
+            let p = t.parent(s).unwrap();
+            assert_eq!(t.lcs(s, p), p);
+        }
+    }
+
+    #[test]
+    fn jcn_is_a_semimetric() {
+        let t = small_taxonomy();
+        for a in (0..t.len()).step_by(5) {
+            assert_eq!(t.jcn(a, a), 0.0, "JCN(x, x) = 0");
+            for b in (0..t.len()).step_by(9) {
+                let d = t.jcn(a, b);
+                assert!(d >= 0.0, "JCN must be non-negative");
+                assert!((d - t.jcn(b, a)).abs() < 1e-12, "JCN must be symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn siblings_are_closer_than_strangers_on_average() {
+        let t = small_taxonomy();
+        // Collect sibling pairs and their JCN.
+        let mut sibling_sum = 0.0;
+        let mut sibling_n = 0usize;
+        for a in 1..t.len() {
+            for b in (a + 1)..t.len() {
+                if t.parent(a) == t.parent(b) {
+                    sibling_sum += t.jcn(a, b);
+                    sibling_n += 1;
+                }
+            }
+        }
+        // Random far pairs: leaves under different root children.
+        let mut far_sum = 0.0;
+        let mut far_n = 0usize;
+        for a in 1..t.len() {
+            for b in (a + 1)..t.len() {
+                if t.lcs(a, b) == 0 && t.depth(a) >= 2 && t.depth(b) >= 2 {
+                    far_sum += t.jcn(a, b);
+                    far_n += 1;
+                }
+            }
+        }
+        assert!(sibling_n > 0 && far_n > 0);
+        assert!(
+            sibling_sum / (sibling_n as f64) < far_sum / (far_n as f64),
+            "sibling JCN should be below cross-branch JCN"
+        );
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = Taxonomy::generate(&TaxonomyConfig::default(), 3);
+        let b = Taxonomy::generate(&TaxonomyConfig::default(), 3);
+        assert_eq!(a.len(), b.len());
+        for s in 0..a.len() {
+            assert_eq!(a.parent(s), b.parent(s));
+            assert_eq!(a.ic(s), b.ic(s));
+        }
+    }
+
+    #[test]
+    fn lexicon_covers_every_synset() {
+        let t = small_taxonomy();
+        let lex = Lexicon::generate(&t, &LexiconConfig::default(), 11);
+        for s in 1..t.len() {
+            assert!(
+                !lex.words_of_synset(s).is_empty(),
+                "synset {s} has no words"
+            );
+        }
+        assert!(lex.len() >= t.len() - 1);
+    }
+
+    #[test]
+    fn word_names_are_unique_and_lookupable() {
+        let t = small_taxonomy();
+        let lex = Lexicon::generate(&t, &LexiconConfig::default(), 11);
+        let mut seen = std::collections::HashSet::new();
+        for (idx, w) in lex.iter() {
+            assert!(seen.insert(w.name.clone()), "duplicate word {}", w.name);
+            assert_eq!(lex.lookup(&w.name), Some(idx));
+        }
+        assert_eq!(lex.lookup("definitely-not-a-word"), None);
+    }
+
+    #[test]
+    fn synonym_groups_share_synsets() {
+        let t = small_taxonomy();
+        let lex = Lexicon::generate(&t, &LexiconConfig::default(), 11);
+        for (_, w) in lex.iter() {
+            if w.kind != WordKind::Base {
+                let base = lex.word(w.group);
+                assert_eq!(base.kind, WordKind::Base);
+                // Primary synset is shared with the base lemma.
+                assert_eq!(w.synsets[0], base.synsets[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn special_forms_appear_with_generous_rates() {
+        let t = Taxonomy::generate(
+            &TaxonomyConfig {
+                synsets: 300,
+                ..Default::default()
+            },
+            5,
+        );
+        let cfg = LexiconConfig {
+            synonyms_per_synset: (1, 2),
+            polysemy_rate: 0.2,
+            cognate_rate: 0.5,
+            morph_rate: 0.5,
+            abbrev_rate: 0.5,
+        };
+        let lex = Lexicon::generate(&t, &cfg, 13);
+        let count = |k: WordKind| lex.iter().filter(|(_, w)| w.kind == k).count();
+        assert!(count(WordKind::Synonym) > 0);
+        assert!(count(WordKind::Cognate) > 0);
+        assert!(count(WordKind::MorphVariant) > 0);
+        assert!(count(WordKind::Abbreviation) > 0);
+        let polysemous = lex.iter().filter(|(_, w)| w.synsets.len() > 1).count();
+        assert!(polysemous > 0, "expected polysemous words");
+    }
+
+    #[test]
+    fn word_jcn_uses_min_over_synsets() {
+        let t = small_taxonomy();
+        let lex = Lexicon::generate(&t, &LexiconConfig::default(), 11);
+        // Words in the same synset have distance 0.
+        for s in 1..t.len() {
+            let ws = lex.words_of_synset(s);
+            if ws.len() >= 2 {
+                assert_eq!(lex.jcn_between_words(&t, ws[0], ws[1]), 0.0);
+                return;
+            }
+        }
+        panic!("no synset with >= 2 words in test lexicon");
+    }
+}

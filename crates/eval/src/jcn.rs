@@ -1,0 +1,186 @@
+//! The Table III protocol: tag-distance accuracy against taxonomy ground
+//! truth.
+//!
+//! For every tag `t` in the covered set `D`, the method under test names
+//! its most similar tag `t_sim`. Two scores are aggregated:
+//!
+//! * `JCN_avg` (Eq. 22) — the mean ground-truth JCN distance between `t`
+//!   and `t_sim`: smaller ⇒ the method picks semantically closer tags;
+//! * `Rank_avg` (Eq. 23) — the mean rank of `t_sim` among all tags of `D`
+//!   ordered by ground-truth JCN distance from `t` (rank 1 ⇒ the method
+//!   and the ground truth agree on the most similar tag).
+
+use cubelsi_datagen::GroundTruth;
+
+/// Aggregated Table III scores for one method.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JcnEvaluation {
+    /// Mean JCN distance of the method's `t_sim` picks (Eq. 22).
+    pub jcn_avg: f64,
+    /// Mean ground-truth rank of the picks (Eq. 23).
+    pub rank_avg: f64,
+    /// Number of tags evaluated (`k` in the equations).
+    pub evaluated: usize,
+}
+
+/// Runs the protocol.
+///
+/// * `truth` — the generator's oracle (taxonomy + per-tag word mapping);
+/// * `covered` — the tag ids constituting `D` (the paper restricts to tags
+///   present in WordNet; pass all tag ids for full coverage);
+/// * `nearest` — the method under test: maps a tag id to its most similar
+///   tag id (`None` when the method cannot answer, e.g. a 1-tag corpus).
+pub fn evaluate_tag_distances(
+    truth: &GroundTruth,
+    covered: &[usize],
+    nearest: impl Fn(usize) -> Option<usize>,
+) -> JcnEvaluation {
+    let in_covered = |t: usize| covered.contains(&t);
+    let mut jcn_sum = 0.0;
+    let mut rank_sum = 0.0;
+    let mut k = 0usize;
+    for &t in covered {
+        let Some(tsim) = nearest(t) else { continue };
+        // The paper skips pairs whose t_sim is outside WordNet.
+        if !in_covered(tsim) || tsim == t {
+            continue;
+        }
+        let d = truth.tag_jcn(t, tsim);
+        // Rank of t_sim among all covered tags ≠ t by true JCN distance;
+        // ties count favourably (strictly-smaller predecessors only).
+        let mut rank = 1usize;
+        for &other in covered {
+            if other == t || other == tsim {
+                continue;
+            }
+            if truth.tag_jcn(t, other) < d {
+                rank += 1;
+            }
+        }
+        jcn_sum += d;
+        rank_sum += rank as f64;
+        k += 1;
+    }
+    if k == 0 {
+        return JcnEvaluation {
+            jcn_avg: f64::NAN,
+            rank_avg: f64::NAN,
+            evaluated: 0,
+        };
+    }
+    JcnEvaluation {
+        jcn_avg: jcn_sum / k as f64,
+        rank_avg: rank_sum / k as f64,
+        evaluated: k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubelsi_datagen::{generate, GeneratorConfig};
+
+    fn dataset() -> cubelsi_datagen::GeneratedDataset {
+        generate(&GeneratorConfig {
+            users: 30,
+            resources: 25,
+            concepts: 5,
+            assignments: 1_500,
+            seed: 3,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn oracle_nearest_achieves_rank_one() {
+        // A method that picks the true JCN-nearest tag must score the best
+        // possible Rank_avg of exactly 1.
+        let ds = dataset();
+        let covered: Vec<usize> = (0..ds.truth.tag_words.len()).collect();
+        let truth = &ds.truth;
+        let oracle = |t: usize| {
+            covered
+                .iter()
+                .filter(|&&o| o != t)
+                .min_by(|&&a, &&b| {
+                    truth
+                        .tag_jcn(t, a)
+                        .partial_cmp(&truth.tag_jcn(t, b))
+                        .unwrap()
+                })
+                .copied()
+        };
+        let eval = evaluate_tag_distances(truth, &covered, oracle);
+        assert_eq!(eval.evaluated, covered.len());
+        assert!((eval.rank_avg - 1.0).abs() < 1e-12, "rank {}", eval.rank_avg);
+    }
+
+    #[test]
+    fn adversarial_nearest_scores_worse_than_oracle() {
+        let ds = dataset();
+        let covered: Vec<usize> = (0..ds.truth.tag_words.len()).collect();
+        let truth = &ds.truth;
+        let oracle = |t: usize| {
+            covered
+                .iter()
+                .filter(|&&o| o != t)
+                .min_by(|&&a, &&b| {
+                    truth
+                        .tag_jcn(t, a)
+                        .partial_cmp(&truth.tag_jcn(t, b))
+                        .unwrap()
+                })
+                .copied()
+        };
+        let adversary = |t: usize| {
+            covered
+                .iter()
+                .filter(|&&o| o != t)
+                .max_by(|&&a, &&b| {
+                    truth
+                        .tag_jcn(t, a)
+                        .partial_cmp(&truth.tag_jcn(t, b))
+                        .unwrap()
+                })
+                .copied()
+        };
+        let good = evaluate_tag_distances(truth, &covered, oracle);
+        let bad = evaluate_tag_distances(truth, &covered, adversary);
+        assert!(good.jcn_avg < bad.jcn_avg);
+        assert!(good.rank_avg < bad.rank_avg);
+    }
+
+    #[test]
+    fn restricting_coverage_shrinks_evaluated_count() {
+        let ds = dataset();
+        let all: Vec<usize> = (0..ds.truth.tag_words.len()).collect();
+        let half: Vec<usize> = all.iter().copied().step_by(2).collect();
+        let truth = &ds.truth;
+        // A method answering the next covered tag cyclically.
+        let next_in = |set: Vec<usize>| {
+            move |t: usize| {
+                let pos = set.iter().position(|&x| x == t)?;
+                Some(set[(pos + 1) % set.len()])
+            }
+        };
+        let full_eval = evaluate_tag_distances(truth, &all, next_in(all.clone()));
+        let half_eval = evaluate_tag_distances(truth, &half, next_in(half.clone()));
+        assert!(half_eval.evaluated < full_eval.evaluated);
+        assert!(half_eval.evaluated > 0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let ds = dataset();
+        let eval = evaluate_tag_distances(&ds.truth, &[], |_| None);
+        assert_eq!(eval.evaluated, 0);
+        assert!(eval.jcn_avg.is_nan());
+        // Method that always declines.
+        let covered: Vec<usize> = (0..5).collect();
+        let eval = evaluate_tag_distances(&ds.truth, &covered, |_| None);
+        assert_eq!(eval.evaluated, 0);
+        // Method that answers itself (skipped).
+        let eval = evaluate_tag_distances(&ds.truth, &covered, Some);
+        assert_eq!(eval.evaluated, 0);
+    }
+}

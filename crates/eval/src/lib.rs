@@ -1,0 +1,26 @@
+//! Evaluation machinery for the CubeLSI experiments (§VI of the paper).
+//!
+//! * [`ndcg`] — NDCG@N exactly as Eq. 24 defines it, plus precision@K and
+//!   MAP as supplementary metrics;
+//! * [`jcn`] — the Table III tag-distance accuracy protocol: `JCN_avg`
+//!   (Eq. 22) and `Rank_avg` (Eq. 23) against the synthetic taxonomy that
+//!   substitutes for WordNet;
+//! * [`workload`] — the query workload generator that substitutes for the
+//!   paper's 16 assessors × 8 queries study: concept-targeted queries with
+//!   graded 0/1/2 relevance from the generator's oracle plus assessor
+//!   noise;
+//! * [`memory`] — Table VII byte accounting (dense `F̂` versus `S`+`Y⁽²⁾`);
+//! * [`tables`] — plain-text/markdown table rendering for the experiment
+//!   binaries.
+
+pub mod jcn;
+pub mod memory;
+pub mod ndcg;
+pub mod tables;
+pub mod workload;
+
+pub use jcn::{evaluate_tag_distances, JcnEvaluation};
+pub use memory::{format_bytes, MemoryAccounting};
+pub use ndcg::{average_precision, ndcg_at, precision_at};
+pub use tables::Table;
+pub use workload::{generate_workload, Query, WorkloadConfig};

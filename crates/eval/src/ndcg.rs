@@ -1,0 +1,154 @@
+//! Ranking-quality metrics.
+//!
+//! The paper's Figure 4 metric is NDCG@N (Eq. 24):
+//!
+//! ```text
+//! NDCG@N = Z_N · Σ_{i=1}^{N} (2^{r(i)} − 1) / log(i + 1)
+//! ```
+//!
+//! with `r(i)` the graded relevance (0/1/2) of the resource at rank `i` and
+//! `Z_N` normalizing so the ideal ranking scores 1. The paper's discount
+//! uses `log(i + 1)` with 1-based ranks — note rank 1 is *not* discounted
+//! to zero because `log` here is applied to `i + 1 = 2`.
+
+/// Discounted cumulative gain of a graded relevance sequence at cutoff `n`.
+fn dcg(relevances: &[u8], n: usize) -> f64 {
+    relevances
+        .iter()
+        .take(n)
+        .enumerate()
+        .map(|(idx, &r)| {
+            let i = (idx + 1) as f64; // 1-based rank
+            ((1u32 << r) as f64 - 1.0) / (i + 1.0).ln()
+        })
+        .sum()
+}
+
+/// NDCG@N (Eq. 24).
+///
+/// * `ranked_relevances` — relevance grades of the returned list, in rank
+///   order (grades beyond ~20 are allowed but unusual; the paper uses 0–2);
+/// * `all_relevances` — grades of *every* candidate resource, used to form
+///   the ideal ranking for `Z_N`.
+///
+/// Returns 0 when the query has no relevant resources at all (ideal DCG is
+/// zero), matching standard practice.
+pub fn ndcg_at(ranked_relevances: &[u8], all_relevances: &[u8], n: usize) -> f64 {
+    let mut ideal: Vec<u8> = all_relevances.to_vec();
+    ideal.sort_unstable_by(|a, b| b.cmp(a));
+    let ideal_dcg = dcg(&ideal, n);
+    if ideal_dcg <= 0.0 {
+        return 0.0;
+    }
+    dcg(ranked_relevances, n) / ideal_dcg
+}
+
+/// Precision@K with binary relevance (`grade > 0` counts as relevant).
+pub fn precision_at(ranked_relevances: &[u8], k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let hits = ranked_relevances
+        .iter()
+        .take(k)
+        .filter(|&&r| r > 0)
+        .count();
+    hits as f64 / k as f64
+}
+
+/// Average precision with binary relevance; `total_relevant` is the number
+/// of relevant resources in the whole corpus (denominator of recall).
+pub fn average_precision(ranked_relevances: &[u8], total_relevant: usize) -> f64 {
+    if total_relevant == 0 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut acc = 0.0;
+    for (idx, &r) in ranked_relevances.iter().enumerate() {
+        if r > 0 {
+            hits += 1;
+            acc += hits as f64 / (idx + 1) as f64;
+        }
+    }
+    acc / total_relevant as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        let all = vec![2, 1, 0, 0, 1];
+        let ranked = vec![2, 1, 1, 0, 0]; // ideal order
+        for n in [1, 3, 5] {
+            let s = ndcg_at(&ranked, &all, n);
+            assert!((s - 1.0).abs() < 1e-12, "NDCG@{n} = {s}");
+        }
+    }
+
+    #[test]
+    fn worst_ranking_scores_below_one() {
+        let all = vec![2, 1, 0, 0, 1];
+        let ranked = vec![0, 0, 1, 1, 2]; // worst order
+        let s = ndcg_at(&ranked, &all, 5);
+        assert!(s < 1.0 && s > 0.0);
+    }
+
+    #[test]
+    fn eq24_hand_computed_example() {
+        // ranked = [2, 0, 1] with ideal [2, 1, 0]:
+        // DCG = (2²−1)/ln2 + 0 + (2¹−1)/ln4 = 3/ln2 + 1/ln4
+        // IDCG = 3/ln2 + 1/ln3.
+        let ranked = vec![2, 0, 1];
+        let all = vec![2, 0, 1];
+        let dcg_val = 3.0 / 2f64.ln() + 1.0 / 4f64.ln();
+        let idcg_val = 3.0 / 2f64.ln() + 1.0 / 3f64.ln();
+        let expected = dcg_val / idcg_val;
+        assert!((ndcg_at(&ranked, &all, 3) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cutoff_only_counts_prefix() {
+        let all = vec![2, 2];
+        // Relevant item at rank 3 doesn't help NDCG@2.
+        let ranked = vec![0, 0, 2, 2];
+        assert_eq!(ndcg_at(&ranked, &all, 2), 0.0);
+        assert!(ndcg_at(&ranked, &all, 4) > 0.0);
+    }
+
+    #[test]
+    fn no_relevant_resources_gives_zero() {
+        assert_eq!(ndcg_at(&[0, 0], &[0, 0, 0], 2), 0.0);
+        assert_eq!(ndcg_at(&[], &[], 5), 0.0);
+    }
+
+    #[test]
+    fn short_result_lists_are_fine() {
+        // Returned fewer than N results: missing tail contributes nothing.
+        let all = vec![2, 1];
+        let ranked = vec![2];
+        let s = ndcg_at(&ranked, &all, 5);
+        assert!(s > 0.0 && s < 1.0);
+    }
+
+    #[test]
+    fn precision_at_k() {
+        let ranked = vec![2, 0, 1, 0];
+        assert_eq!(precision_at(&ranked, 1), 1.0);
+        assert_eq!(precision_at(&ranked, 2), 0.5);
+        assert_eq!(precision_at(&ranked, 4), 0.5);
+        assert_eq!(precision_at(&ranked, 0), 0.0);
+        // K beyond the list length counts misses.
+        assert_eq!(precision_at(&ranked, 8), 0.25);
+    }
+
+    #[test]
+    fn average_precision_known_value() {
+        // Relevant at ranks 1 and 3 of 2 total: AP = (1/1 + 2/3)/2.
+        let ranked = vec![1, 0, 2, 0];
+        let expected = (1.0 + 2.0 / 3.0) / 2.0;
+        assert!((average_precision(&ranked, 2) - expected).abs() < 1e-12);
+        assert_eq!(average_precision(&ranked, 0), 0.0);
+    }
+}

@@ -1,0 +1,301 @@
+//! Dataset cleaning, reproducing §VI-A of the paper:
+//!
+//! 1. remove system-generated tags (`system:imported`, `system:unfiled`, …);
+//! 2. convert all tag letters to lowercase (merging tags that collide);
+//! 3. iteratively delete every user, tag or resource that appears in fewer
+//!    than `min_assignments` assignments (the paper uses 5) — deletions
+//!    cascade, so the filter repeats until a fixed point.
+//!
+//! The raw → cleaned statistics this produces are what Table II reports.
+
+use crate::ids::{ResourceId, TagId, UserId};
+use crate::interner::Interner;
+use crate::store::{Folksonomy, TagAssignment};
+
+/// Options for [`clean`].
+#[derive(Debug, Clone)]
+pub struct CleaningConfig {
+    /// Entities appearing in fewer assignments than this are removed
+    /// (the paper uses 5; set to 0 or 1 to disable).
+    pub min_assignments: usize,
+    /// Remove tags with this prefix (the paper's "system-generated tags").
+    pub system_tag_prefix: Option<String>,
+    /// Lowercase all tag names, merging case variants.
+    pub lowercase_tags: bool,
+    /// Safety bound on fixed-point rounds.
+    pub max_rounds: usize,
+}
+
+impl Default for CleaningConfig {
+    fn default() -> Self {
+        CleaningConfig {
+            min_assignments: 5,
+            system_tag_prefix: Some("system:".to_owned()),
+            lowercase_tags: true,
+            max_rounds: 64,
+        }
+    }
+}
+
+/// What [`clean`] did, with before/after statistics (Table II rows).
+#[derive(Debug, Clone)]
+pub struct CleaningReport {
+    /// Statistics of the input dataset.
+    pub raw: crate::store::FolksonomyStats,
+    /// Statistics of the cleaned dataset.
+    pub cleaned: crate::store::FolksonomyStats,
+    /// Assignments dropped because their tag was system-generated.
+    pub system_tag_assignments_removed: usize,
+    /// Distinct tag names merged by lowercasing.
+    pub tags_merged_by_case: usize,
+    /// Fixed-point rounds of rare-entity removal executed.
+    pub rounds: usize,
+}
+
+/// Runs the §VI-A cleaning pipeline, returning the cleaned dataset and a
+/// report of what changed.
+pub fn clean(input: &Folksonomy, config: &CleaningConfig) -> (Folksonomy, CleaningReport) {
+    let raw_stats = input.stats();
+
+    // Step 1 + 2: filter system tags, lowercase, re-intern tag names.
+    let mut system_removed = 0usize;
+    let mut tags_interner = Interner::new();
+    let mut tag_remap: Vec<Option<TagId>> = Vec::with_capacity(input.num_tags());
+    let mut distinct_before = 0usize;
+    for idx in 0..input.num_tags() {
+        let name = input.tag_name(TagId::from_index(idx));
+        if let Some(prefix) = &config.system_tag_prefix {
+            if name.starts_with(prefix.as_str()) {
+                tag_remap.push(None);
+                continue;
+            }
+        }
+        distinct_before += 1;
+        let canonical = if config.lowercase_tags {
+            name.to_lowercase()
+        } else {
+            name.to_owned()
+        };
+        tag_remap.push(Some(TagId::from_index(tags_interner.intern(&canonical))));
+    }
+    let tags_merged_by_case = distinct_before - tags_interner.len();
+
+    let mut assignments: Vec<TagAssignment> = Vec::with_capacity(input.num_assignments());
+    for a in input.assignments() {
+        match tag_remap[a.tag.index()] {
+            Some(new_tag) => assignments.push(TagAssignment {
+                user: a.user,
+                tag: new_tag,
+                resource: a.resource,
+            }),
+            None => system_removed += 1,
+        }
+    }
+    // Lowercasing may have created duplicate triples.
+    assignments.sort_unstable();
+    assignments.dedup();
+
+    // Step 3: iterated rare-entity removal until fixed point.
+    let mut rounds = 0usize;
+    if config.min_assignments > 1 {
+        loop {
+            rounds += 1;
+            let mut user_counts = vec![0usize; input.num_users()];
+            let mut tag_counts = vec![0usize; tags_interner.len()];
+            let mut resource_counts = vec![0usize; input.num_resources()];
+            for a in &assignments {
+                user_counts[a.user.index()] += 1;
+                tag_counts[a.tag.index()] += 1;
+                resource_counts[a.resource.index()] += 1;
+            }
+            let before = assignments.len();
+            assignments.retain(|a| {
+                user_counts[a.user.index()] >= config.min_assignments
+                    && tag_counts[a.tag.index()] >= config.min_assignments
+                    && resource_counts[a.resource.index()] >= config.min_assignments
+            });
+            if assignments.len() == before || rounds >= config.max_rounds {
+                break;
+            }
+        }
+    }
+
+    // Compact the id spaces: only entities that survive keep ids.
+    let mut user_map: Vec<Option<UserId>> = vec![None; input.num_users()];
+    let mut tag_map: Vec<Option<TagId>> = vec![None; tags_interner.len()];
+    let mut resource_map: Vec<Option<ResourceId>> = vec![None; input.num_resources()];
+    let mut users_out = Interner::new();
+    let mut tags_out = Interner::new();
+    let mut resources_out = Interner::new();
+    let mut remapped: Vec<TagAssignment> = Vec::with_capacity(assignments.len());
+    for a in &assignments {
+        let u = *user_map[a.user.index()].get_or_insert_with(|| {
+            UserId::from_index(users_out.intern(input.user_name(a.user)))
+        });
+        let t = *tag_map[a.tag.index()].get_or_insert_with(|| {
+            TagId::from_index(tags_out.intern(tags_interner.name(a.tag.index())))
+        });
+        let r = *resource_map[a.resource.index()].get_or_insert_with(|| {
+            ResourceId::from_index(resources_out.intern(input.resource_name(a.resource)))
+        });
+        remapped.push(TagAssignment {
+            user: u,
+            tag: t,
+            resource: r,
+        });
+    }
+
+    let cleaned = Folksonomy::from_parts(users_out, tags_out, resources_out, remapped);
+    let report = CleaningReport {
+        raw: raw_stats,
+        cleaned: cleaned.stats(),
+        system_tag_assignments_removed: system_removed,
+        tags_merged_by_case,
+        rounds,
+    };
+    (cleaned, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::FolksonomyBuilder;
+
+    /// A dataset engineered so each cleaning step has visible work:
+    /// a system tag, case variants, and a long tail of rare entities.
+    fn noisy_dataset() -> Folksonomy {
+        let mut b = FolksonomyBuilder::new();
+        // A dense clique: 6 users x 1 tag x 6 resources = 36 assignments,
+        // far above any threshold.
+        for u in 0..6 {
+            for r in 0..6 {
+                b.add(&format!("user{u}"), "Music", &format!("res{r}"));
+            }
+        }
+        // The same tag in different case, same clique → merges in.
+        for u in 0..6 {
+            b.add(&format!("user{u}"), "music", "res0");
+        }
+        // System tags sprinkled everywhere.
+        for u in 0..6 {
+            b.add(&format!("user{u}"), "system:imported", "res0");
+        }
+        // A rare user, tag and resource that must all be deleted.
+        b.add("loner", "rare-tag", "rare-res");
+        b.build()
+    }
+
+    #[test]
+    fn default_pipeline_removes_noise() {
+        let raw = noisy_dataset();
+        let (cleaned, report) = clean(&raw, &CleaningConfig::default());
+        // System tag gone.
+        assert!(cleaned.tag_id("system:imported").is_none());
+        assert_eq!(report.system_tag_assignments_removed, 6);
+        // Case variants merged: only lowercase "music" remains.
+        assert!(cleaned.tag_id("Music").is_none());
+        assert!(cleaned.tag_id("music").is_some());
+        assert_eq!(report.tags_merged_by_case, 1);
+        // Rare entities removed.
+        assert!(cleaned.user_id("loner").is_none());
+        assert!(cleaned.tag_id("rare-tag").is_none());
+        assert!(cleaned.resource_id("rare-res").is_none());
+        // The clique survives.
+        assert_eq!(cleaned.num_users(), 6);
+        assert_eq!(cleaned.num_resources(), 6);
+        assert_eq!(cleaned.num_tags(), 1);
+        // Report stats are consistent.
+        assert_eq!(report.raw.assignments, raw.num_assignments());
+        assert_eq!(report.cleaned.assignments, cleaned.num_assignments());
+        assert!(report.cleaned.assignments < report.raw.assignments);
+    }
+
+    #[test]
+    fn lowercase_merge_dedupes_assignments() {
+        // "Music"/"music" on the same (user, resource) must collapse to one
+        // assignment after canonicalization.
+        let mut b = FolksonomyBuilder::new();
+        for r in 0..5 {
+            b.add("u0", "Tag", &format!("r{r}"));
+            b.add("u0", "tag", &format!("r{r}"));
+        }
+        let raw = b.build();
+        assert_eq!(raw.num_assignments(), 10);
+        let cfg = CleaningConfig {
+            min_assignments: 0,
+            ..Default::default()
+        };
+        let (cleaned, _) = clean(&raw, &cfg);
+        assert_eq!(cleaned.num_tags(), 1);
+        assert_eq!(cleaned.num_assignments(), 5);
+    }
+
+    #[test]
+    fn cascade_removal_reaches_fixed_point() {
+        // A chain where removing one rare entity makes another rare:
+        // user "a" has 5 assignments only via resource "x"; resource "x"
+        // has 5 assignments only via user "a"; tag "t" is shared and big.
+        let mut b = FolksonomyBuilder::new();
+        for i in 0..5 {
+            b.add("a", &format!("t{i}"), "x");
+        }
+        // Each t{i} otherwise appears 4 times elsewhere (just below 5 after
+        // losing the "a" assignment).
+        for i in 0..5 {
+            for j in 0..4 {
+                b.add(&format!("u{i}-{j}"), &format!("t{i}"), &format!("r{i}-{j}"));
+            }
+        }
+        let raw = b.build();
+        let cfg = CleaningConfig {
+            min_assignments: 5,
+            system_tag_prefix: None,
+            lowercase_tags: false,
+            max_rounds: 64,
+        };
+        let (cleaned, report) = clean(&raw, &cfg);
+        // Everything unravels: users u* have 1 assignment each, resources
+        // r* have 1 each, so the whole long tail disappears, which then
+        // drops t{i} below threshold, which kills "a"/"x" too.
+        assert_eq!(cleaned.num_assignments(), 0);
+        assert!(report.rounds >= 2, "expected cascading rounds, got {}", report.rounds);
+    }
+
+    #[test]
+    fn clean_is_idempotent() {
+        let raw = noisy_dataset();
+        let (once, _) = clean(&raw, &CleaningConfig::default());
+        let (twice, report) = clean(&once, &CleaningConfig::default());
+        assert_eq!(once.stats(), twice.stats());
+        assert_eq!(report.system_tag_assignments_removed, 0);
+        assert_eq!(report.tags_merged_by_case, 0);
+    }
+
+    #[test]
+    fn disabled_steps_are_noops() {
+        let raw = noisy_dataset();
+        let cfg = CleaningConfig {
+            min_assignments: 0,
+            system_tag_prefix: None,
+            lowercase_tags: false,
+            max_rounds: 8,
+        };
+        let (cleaned, report) = clean(&raw, &cfg);
+        assert_eq!(cleaned.stats(), raw.stats());
+        assert_eq!(report.rounds, 0);
+    }
+
+    #[test]
+    fn ids_are_compacted_after_cleaning() {
+        let raw = noisy_dataset();
+        let (cleaned, _) = clean(&raw, &CleaningConfig::default());
+        // Every id in range must resolve to a name and appear in >= 1
+        // assignment (no orphan ids).
+        for t in 0..cleaned.num_tags() {
+            assert!(!cleaned.tag_assignments(TagId::from_index(t)).is_empty());
+        }
+        for r in 0..cleaned.num_resources() {
+            assert!(!cleaned.resource_assignments(ResourceId::from_index(r)).is_empty());
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Typed entity identifiers.
+//!
+//! Users, tags and resources live in three unrelated index spaces; newtyped
+//! `u32` ids keep them from being mixed up at compile time while staying
+//! 4 bytes each — the id-heavy posting lists dominate the store's memory.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index value.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Constructs the id from a raw index.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                debug_assert!(index <= u32::MAX as usize);
+                $name(index as u32)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a user (tagger) — mode 1 of the tensor.
+    UserId,
+    "u"
+);
+define_id!(
+    /// Identifier of a tag — mode 2 of the tensor.
+    TagId,
+    "t"
+);
+define_id!(
+    /// Identifier of a resource — mode 3 of the tensor.
+    ResourceId,
+    "r"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_display() {
+        let u = UserId::from_index(3);
+        assert_eq!(u.index(), 3);
+        assert_eq!(u.to_string(), "u3");
+        assert_eq!(TagId(7).to_string(), "t7");
+        assert_eq!(ResourceId(0).to_string(), "r0");
+        assert_eq!(usize::from(TagId(9)), 9);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(TagId(1) < TagId(2));
+        assert_eq!(UserId(5), UserId(5));
+    }
+
+    #[test]
+    fn ids_are_small() {
+        assert_eq!(std::mem::size_of::<UserId>(), 4);
+        assert_eq!(std::mem::size_of::<TagId>(), 4);
+        assert_eq!(std::mem::size_of::<ResourceId>(), 4);
+    }
+}

@@ -1,0 +1,112 @@
+//! A simple string interner: names in, dense `u32` indexes out.
+//!
+//! Tags arrive as free-text strings from an uncontrolled vocabulary; all
+//! algorithms want dense integer indexes. One interner instance backs each
+//! of the three entity kinds in a [`crate::Folksonomy`].
+
+use std::collections::HashMap;
+
+/// Maps strings to dense indexes and back.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    names: Vec<String>,
+    lookup: HashMap<String, u32>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Interns `name`, returning its (possibly pre-existing) index.
+    pub fn intern(&mut self, name: &str) -> usize {
+        if let Some(&idx) = self.lookup.get(name) {
+            return idx as usize;
+        }
+        let idx = self.names.len() as u32;
+        self.names.push(name.to_owned());
+        self.lookup.insert(name.to_owned(), idx);
+        idx as usize
+    }
+
+    /// Index of `name` if already interned.
+    pub fn get(&self, name: &str) -> Option<usize> {
+        self.lookup.get(name).map(|&i| i as usize)
+    }
+
+    /// Name at `index`.
+    ///
+    /// # Panics
+    /// Panics when `index` is out of bounds.
+    pub fn name(&self, index: usize) -> &str {
+        &self.names[index]
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterator over `(index, name)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.names.iter().enumerate().map(|(i, s)| (i, s.as_str()))
+    }
+
+    /// Builds an interner from a list of unique names.
+    pub fn from_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut interner = Interner::new();
+        for n in names {
+            interner.intern(n.as_ref());
+        }
+        interner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("folk");
+        let b = i.intern("people");
+        let a2 = i.intern("folk");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn lookup_and_name() {
+        let mut i = Interner::new();
+        i.intern("laptop");
+        assert_eq!(i.get("laptop"), Some(0));
+        assert_eq!(i.get("missing"), None);
+        assert_eq!(i.name(0), "laptop");
+    }
+
+    #[test]
+    fn from_names_preserves_order() {
+        let i = Interner::from_names(["a", "b", "c"]);
+        let collected: Vec<&str> = i.iter().map(|(_, n)| n).collect();
+        assert_eq!(collected, vec!["a", "b", "c"]);
+        assert!(!i.is_empty());
+    }
+
+    #[test]
+    fn duplicate_names_in_from_names_collapse() {
+        let i = Interner::from_names(["x", "x", "y"]);
+        assert_eq!(i.len(), 2);
+    }
+}

@@ -1,0 +1,163 @@
+//! Plain-text import/export of tag assignments.
+//!
+//! Real social-tagging dumps (the Delicious/Bibsonomy crawls the paper
+//! uses, public BibSonomy dumps, Last.fm API exports) are line-oriented
+//! `user <TAB> tag <TAB> resource` files. This module reads and writes
+//! that format so the library runs on real data, not just the synthetic
+//! generator.
+//!
+//! Format rules:
+//! * one assignment per line: `user\ttag\tresource`;
+//! * empty lines and lines starting with `#` are skipped;
+//! * duplicate triples collapse (assignments form a set, §IV-A);
+//! * any extra tab-separated columns (timestamps etc.) are ignored.
+
+use crate::store::{Folksonomy, FolksonomyBuilder};
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Errors raised by the TSV reader.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A data line had fewer than three columns.
+    MalformedLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content (truncated).
+        content: String,
+    },
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::MalformedLine { line, content } => {
+                write!(f, "line {line}: expected 'user<TAB>tag<TAB>resource', got {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Reads a folksonomy from `user\ttag\tresource` lines.
+pub fn read_tsv(reader: impl BufRead) -> Result<Folksonomy, IoError> {
+    let mut builder = FolksonomyBuilder::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split('\t');
+        let (user, tag, resource) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(u), Some(t), Some(r)) if !u.is_empty() && !t.is_empty() && !r.is_empty() => {
+                (u, t, r)
+            }
+            _ => {
+                return Err(IoError::MalformedLine {
+                    line: idx + 1,
+                    content: trimmed.chars().take(80).collect(),
+                })
+            }
+        };
+        builder.add(user, tag, resource);
+    }
+    Ok(builder.build())
+}
+
+/// Reads a folksonomy from a TSV file on disk.
+pub fn read_tsv_file(path: impl AsRef<std::path::Path>) -> Result<Folksonomy, IoError> {
+    let file = std::fs::File::open(path)?;
+    read_tsv(std::io::BufReader::new(file))
+}
+
+/// Writes the assignment set as sorted `user\ttag\tresource` lines.
+pub fn write_tsv(f: &Folksonomy, mut writer: impl Write) -> Result<(), IoError> {
+    for a in f.assignments() {
+        writeln!(
+            writer,
+            "{}\t{}\t{}",
+            f.user_name(a.user),
+            f.tag_name(a.tag),
+            f.resource_name(a.resource)
+        )?;
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::figure2_example;
+
+    #[test]
+    fn round_trip_preserves_the_assignment_set() {
+        let original = figure2_example();
+        let mut buf = Vec::new();
+        write_tsv(&original, &mut buf).unwrap();
+        let parsed = read_tsv(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(parsed.stats(), original.stats());
+        // Same triples by name.
+        for a in original.assignments() {
+            let u = parsed.user_id(original.user_name(a.user)).unwrap();
+            let t = parsed.tag_id(original.tag_name(a.tag)).unwrap();
+            let r = parsed.resource_id(original.resource_name(a.resource)).unwrap();
+            assert!(parsed
+                .resource_assignments(r)
+                .iter()
+                .any(|b| b.user == u && b.tag == t));
+        }
+    }
+
+    #[test]
+    fn comments_blanks_and_extra_columns_are_tolerated() {
+        let input = "# a comment\n\
+                     u1\tfolk\tr1\textra-col\t2011-04-11\n\
+                     \n\
+                     u1\tfolk\tr1\n";
+        let f = read_tsv(std::io::Cursor::new(input)).unwrap();
+        assert_eq!(f.num_assignments(), 1, "duplicates collapse");
+        assert_eq!(f.num_users(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_position() {
+        let input = "u1\tfolk\tr1\njust-one-column\n";
+        let err = read_tsv(std::io::Cursor::new(input)).unwrap_err();
+        match err {
+            IoError::MalformedLine { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other}"),
+        }
+        assert!(read_tsv(std::io::Cursor::new("a\t\tb\n")).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("cubelsi_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fixture.tsv");
+        let original = figure2_example();
+        write_tsv(&original, std::fs::File::create(&path).unwrap()).unwrap();
+        let parsed = read_tsv_file(&path).unwrap();
+        assert_eq!(parsed.stats(), original.stats());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = read_tsv_file("/definitely/not/here.tsv").unwrap_err();
+        assert!(matches!(err, IoError::Io(_)));
+        assert!(err.to_string().contains("I/O error"));
+    }
+}

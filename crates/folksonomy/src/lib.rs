@@ -1,0 +1,28 @@
+//! The social-tagging data model (§IV-A of the CubeLSI paper).
+//!
+//! A folksonomy is the 4-tuple `(U, T, R, Y)`: a set of users (taggers), a
+//! set of tags, a set of resources, and a *set* of tag assignments
+//! `Y ⊆ U × T × R`, where `(u, t, r) ∈ Y` means user `u` annotated resource
+//! `r` with tag `t`.
+//!
+//! This crate provides:
+//!
+//! * typed ids and string interning ([`ids`], [`interner`]);
+//! * the [`Folksonomy`] store with the per-entity indexes every ranking
+//!   method in the evaluation needs (posting lists, aggregate counts,
+//!   tensor/matrix export);
+//! * the dataset cleaning pipeline of §VI-A ([`cleaning`]): system-tag
+//!   removal, lowercasing, and iterative removal of rare entities —
+//!   reproducing the raw → cleaned transition of Table II.
+
+pub mod cleaning;
+pub mod io;
+pub mod ids;
+pub mod interner;
+pub mod store;
+
+pub use cleaning::{clean, CleaningConfig, CleaningReport};
+pub use io::{read_tsv, read_tsv_file, write_tsv, IoError};
+pub use ids::{ResourceId, TagId, UserId};
+pub use interner::Interner;
+pub use store::{Folksonomy, FolksonomyBuilder, FolksonomyStats, TagAssignment};

@@ -1,0 +1,232 @@
+//! Dense symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! Jacobi is O(n³) per sweep but unconditionally stable and simple to verify,
+//! which makes it the right tool for the *small* dense symmetric matrices
+//! this repository produces: Rayleigh–Ritz projections inside subspace
+//! iteration (dimension ≈ k + oversampling) and the core-tensor Gram matrix
+//! `Σ = S₍₂₎S₍₂₎ᵀ` (dimension J₂ ≈ tens). Large eigenproblems never reach
+//! this code — they go through [`crate::subspace`].
+
+use crate::error::LinAlgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// Result of a symmetric eigendecomposition `A = V Λ Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues sorted in descending order.
+    pub values: Vec<f64>,
+    /// Matrix whose *columns* are the corresponding eigenvectors.
+    pub vectors: Matrix,
+}
+
+/// Maximum number of Jacobi sweeps before declaring non-convergence.
+const MAX_SWEEPS: usize = 64;
+
+/// Computes all eigenpairs of a dense symmetric matrix using cyclic Jacobi
+/// rotations. Eigenvalues are returned in descending order.
+///
+/// Returns an error when `a` is not square or when the off-diagonal mass
+/// fails to fall below `tol * ‖A‖_F` within the sweep budget (which, for
+/// symmetric input, indicates numerical pathology rather than a normal
+/// failure mode).
+pub fn jacobi_eigen(a: &Matrix, tol: f64) -> Result<EigenDecomposition> {
+    let (n, m) = a.shape();
+    if n != m {
+        return Err(LinAlgError::InvalidArgument(format!(
+            "jacobi_eigen requires a square matrix, got {n}x{m}"
+        )));
+    }
+    if n == 0 {
+        return Ok(EigenDecomposition {
+            values: Vec::new(),
+            vectors: Matrix::zeros(0, 0),
+        });
+    }
+    let mut a = a.clone();
+    let mut v = Matrix::identity(n);
+    let norm = a.frobenius_norm().max(f64::MIN_POSITIVE);
+    let threshold = tol * norm;
+
+    let mut sweeps = 0;
+    loop {
+        let off = off_diagonal_norm(&a);
+        if off <= threshold {
+            break;
+        }
+        if sweeps >= MAX_SWEEPS {
+            return Err(LinAlgError::NotConverged {
+                method: "jacobi_eigen",
+                iterations: sweeps,
+                residual: off,
+            });
+        }
+        for p in 0..n - 1 {
+            for q in p + 1..n {
+                let apq = a[(p, q)];
+                if apq.abs() <= threshold / (n as f64) {
+                    continue;
+                }
+                let app = a[(p, p)];
+                let aqq = a[(q, q)];
+                // Compute the Jacobi rotation (c, s) that annihilates a_pq.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Apply the rotation: A ← Jᵀ A J on rows/cols p, q.
+                for k in 0..n {
+                    let akp = a[(k, p)];
+                    let akq = a[(k, q)];
+                    a[(k, p)] = c * akp - s * akq;
+                    a[(k, q)] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[(p, k)];
+                    let aqk = a[(q, k)];
+                    a[(p, k)] = c * apk - s * aqk;
+                    a[(q, k)] = s * apk + c * aqk;
+                }
+                // Accumulate eigenvectors: V ← V J.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+        sweeps += 1;
+    }
+
+    // Extract and sort eigenpairs by descending eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| a[(i, i)]).collect();
+    order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).unwrap_or(std::cmp::Ordering::Equal));
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_j, &old_j) in order.iter().enumerate() {
+        for i in 0..n {
+            vectors[(i, new_j)] = v[(i, old_j)];
+        }
+    }
+    Ok(EigenDecomposition { values, vectors })
+}
+
+fn off_diagonal_norm(a: &Matrix) -> f64 {
+    let n = a.rows();
+    let mut acc = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                acc += a[(i, j)] * a[(i, j)];
+            }
+        }
+    }
+    acc.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qr::orthonormality_error;
+
+    #[test]
+    fn eigen_of_diagonal_matrix() {
+        let a = Matrix::from_diag(&[3.0, -1.0, 2.0]);
+        let e = jacobi_eigen(&a, 1e-12).unwrap();
+        assert_eq!(e.values.len(), 3);
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 2.0).abs() < 1e-10);
+        assert!((e.values[2] + 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eigen_2x2_known() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let e = jacobi_eigen(&a, 1e-14).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        // Eigenvector for λ=3 is ±(1,1)/√2.
+        let v0 = e.vectors.col(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-8);
+        assert!((v0[0] - v0[1]).abs() < 1e-8);
+    }
+
+    #[test]
+    fn eigen_reconstructs_matrix() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 1.0, -2.0, 0.5],
+            vec![1.0, 3.0, 0.0, 1.0],
+            vec![-2.0, 0.0, 5.0, -1.0],
+            vec![0.5, 1.0, -1.0, 2.0],
+        ])
+        .unwrap();
+        let e = jacobi_eigen(&a, 1e-13).unwrap();
+        // A = V Λ Vᵀ
+        let lambda = Matrix::from_diag(&e.values);
+        let recon = e
+            .vectors
+            .matmul(&lambda)
+            .unwrap()
+            .matmul(&e.vectors.transpose())
+            .unwrap();
+        assert!(recon.approx_eq(&a, 1e-8));
+        assert!(orthonormality_error(&e.vectors) < 1e-9);
+    }
+
+    #[test]
+    fn eigenvalues_sorted_descending() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.2, 0.0],
+            vec![0.2, 7.0, -0.3],
+            vec![0.0, -0.3, 4.0],
+        ])
+        .unwrap();
+        let e = jacobi_eigen(&a, 1e-12).unwrap();
+        for w in e.values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let a = Matrix::from_rows(&[
+            vec![2.0, -1.0, 0.0],
+            vec![-1.0, 2.0, -1.0],
+            vec![0.0, -1.0, 2.0],
+        ])
+        .unwrap();
+        let e = jacobi_eigen(&a, 1e-13).unwrap();
+        let trace = 6.0;
+        let sum: f64 = e.values.iter().sum();
+        assert!((sum - trace).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(jacobi_eigen(&Matrix::zeros(2, 3), 1e-10).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_ok() {
+        let e = jacobi_eigen(&Matrix::zeros(0, 0), 1e-10).unwrap();
+        assert!(e.values.is_empty());
+    }
+
+    #[test]
+    fn psd_matrix_has_nonnegative_eigenvalues() {
+        // G = BᵀB is PSD by construction.
+        let b = Matrix::from_rows(&[vec![1.0, 2.0], vec![-1.0, 0.5], vec![0.0, 3.0]]).unwrap();
+        let g = b.gram();
+        let e = jacobi_eigen(&g, 1e-13).unwrap();
+        for &v in &e.values {
+            assert!(v >= -1e-10);
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! k-means clustering with k-means++ initialization (Lloyd's algorithm).
+//!
+//! This is the final step of the paper's concept distillation (§V step 4):
+//! tags, embedded as rows of the normalized spectral matrix `X`, are grouped
+//! into `k` semantically coherent clusters — each cluster is a *concept*.
+
+use crate::error::LinAlgError;
+use crate::matrix::Matrix;
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`kmeans`].
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations per restart.
+    pub max_iters: usize,
+    /// Relative decrease of inertia below which iteration stops.
+    pub tol: f64,
+    /// Number of independent restarts; the best (lowest-inertia) run wins.
+    pub n_init: usize,
+    /// RNG seed (restart `i` uses `seed + i`).
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig {
+            k: 8,
+            max_iters: 100,
+            tol: 1e-6,
+            n_init: 4,
+            seed: 0x6b6d_6561_6e73, // "kmeans" in ASCII
+        }
+    }
+}
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster index for each input point (length = number of rows).
+    pub assignments: Vec<usize>,
+    /// `k x d` matrix of final centroids.
+    pub centroids: Matrix,
+    /// Sum of squared distances of points to their assigned centroid.
+    pub inertia: f64,
+    /// Lloyd iterations performed by the winning restart.
+    pub iterations: usize,
+}
+
+/// Clusters the rows of `points` into `config.k` groups.
+///
+/// Uses k-means++ seeding and Lloyd iterations; empty clusters are re-seeded
+/// from the point farthest from its centroid. Runs `n_init` restarts and
+/// returns the lowest-inertia result. Fully deterministic for a fixed seed.
+pub fn kmeans(points: &Matrix, config: &KMeansConfig) -> Result<KMeansResult> {
+    let n = points.rows();
+    let k = config.k;
+    if k == 0 {
+        return Err(LinAlgError::InvalidArgument("k must be > 0".into()));
+    }
+    if n == 0 {
+        return Err(LinAlgError::InvalidArgument(
+            "cannot cluster an empty point set".into(),
+        ));
+    }
+    if k > n {
+        return Err(LinAlgError::InvalidArgument(format!(
+            "k = {k} exceeds the number of points {n}"
+        )));
+    }
+    let mut best: Option<KMeansResult> = None;
+    for restart in 0..config.n_init.max(1) {
+        let result = kmeans_single(points, config, config.seed.wrapping_add(restart as u64))?;
+        let better = best
+            .as_ref()
+            .map_or(true, |b| result.inertia < b.inertia);
+        if better {
+            best = Some(result);
+        }
+    }
+    Ok(best.expect("at least one restart ran"))
+}
+
+fn kmeans_single(points: &Matrix, config: &KMeansConfig, seed: u64) -> Result<KMeansResult> {
+    let n = points.rows();
+    let d = points.cols();
+    let k = config.k;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut centroids = kmeanspp_init(points, k, &mut rng);
+    let mut assignments = vec![0usize; n];
+    let mut inertia = f64::INFINITY;
+    let mut iterations = 0;
+
+    for it in 0..config.max_iters {
+        iterations = it + 1;
+        // Assignment step.
+        let mut new_inertia = 0.0;
+        for i in 0..n {
+            let (c, dist_sq) = nearest_centroid(points.row(i), &centroids);
+            assignments[i] = c;
+            new_inertia += dist_sq;
+        }
+        // Update step.
+        let mut sums = Matrix::zeros(k, d);
+        let mut counts = vec![0usize; k];
+        for i in 0..n {
+            let c = assignments[i];
+            counts[c] += 1;
+            let row = points.row(i);
+            let srow = sums.row_mut(c);
+            for (s, &x) in srow.iter_mut().zip(row.iter()) {
+                *s += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster from the point farthest from its
+                // current centroid so we never lose a concept slot.
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        let da = sq_dist(points.row(a), centroids.row(assignments[a]));
+                        let db = sq_dist(points.row(b), centroids.row(assignments[b]));
+                        da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .expect("non-empty point set");
+                centroids.row_mut(c).copy_from_slice(points.row(far));
+            } else {
+                let inv = 1.0 / counts[c] as f64;
+                let srow = sums.row(c).to_vec();
+                let crow = centroids.row_mut(c);
+                for (cv, sv) in crow.iter_mut().zip(srow.iter()) {
+                    *cv = sv * inv;
+                }
+            }
+        }
+        // Convergence on relative inertia improvement.
+        let converged = inertia.is_finite()
+            && (inertia - new_inertia).abs() / inertia.max(1e-30) < config.tol;
+        inertia = new_inertia;
+        if converged {
+            break;
+        }
+    }
+    // Final assignment pass against the final centroids.
+    let mut final_inertia = 0.0;
+    for i in 0..n {
+        let (c, dist_sq) = nearest_centroid(points.row(i), &centroids);
+        assignments[i] = c;
+        final_inertia += dist_sq;
+    }
+    Ok(KMeansResult {
+        assignments,
+        centroids,
+        inertia: final_inertia,
+        iterations,
+    })
+}
+
+/// k-means++ seeding: first centroid uniform, each subsequent centroid drawn
+/// with probability proportional to its squared distance from the nearest
+/// already-chosen centroid.
+fn kmeanspp_init(points: &Matrix, k: usize, rng: &mut StdRng) -> Matrix {
+    let n = points.rows();
+    let d = points.cols();
+    let mut centroids = Matrix::zeros(k, d);
+    let first = rng.gen_range(0..n);
+    centroids.row_mut(0).copy_from_slice(points.row(first));
+    let mut dist_sq: Vec<f64> = (0..n)
+        .map(|i| sq_dist(points.row(i), centroids.row(0)))
+        .collect();
+    for c in 1..k {
+        let total: f64 = dist_sq.iter().sum();
+        let chosen = if total <= 0.0 {
+            // All points coincide with chosen centroids; pick uniformly.
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut idx = n - 1;
+            for (i, &w) in dist_sq.iter().enumerate() {
+                if target < w {
+                    idx = i;
+                    break;
+                }
+                target -= w;
+            }
+            idx
+        };
+        centroids.row_mut(c).copy_from_slice(points.row(chosen));
+        for i in 0..n {
+            let nd = sq_dist(points.row(i), centroids.row(c));
+            if nd < dist_sq[i] {
+                dist_sq[i] = nd;
+            }
+        }
+    }
+    centroids
+}
+
+fn nearest_centroid(point: &[f64], centroids: &Matrix) -> (usize, f64) {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for c in 0..centroids.rows() {
+        let d = sq_dist(point, centroids.row(c));
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    (best, best_d)
+}
+
+#[inline]
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated blobs in 2D.
+    fn blobs() -> (Matrix, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        let centers = [(0.0, 0.0), (10.0, 10.0), (-10.0, 8.0)];
+        // Deterministic low-discrepancy jitter, no RNG needed.
+        for (ci, &(cx, cy)) in centers.iter().enumerate() {
+            for t in 0..20 {
+                let dx = ((t * 7) % 10) as f64 / 10.0 - 0.5;
+                let dy = ((t * 3) % 10) as f64 / 10.0 - 0.5;
+                rows.push(vec![cx + dx, cy + dy]);
+                labels.push(ci);
+            }
+        }
+        (Matrix::from_rows(&rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let (points, truth) = blobs();
+        let cfg = KMeansConfig {
+            k: 3,
+            seed: 7,
+            ..Default::default()
+        };
+        let result = kmeans(&points, &cfg).unwrap();
+        // Every ground-truth blob must map to exactly one cluster id.
+        for blob in 0..3 {
+            let ids: std::collections::HashSet<usize> = truth
+                .iter()
+                .zip(result.assignments.iter())
+                .filter(|(t, _)| **t == blob)
+                .map(|(_, a)| *a)
+                .collect();
+            assert_eq!(ids.len(), 1, "blob {blob} split across clusters");
+        }
+        assert!(result.inertia < 20.0);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let points =
+            Matrix::from_rows(&[vec![0.0, 0.0], vec![5.0, 0.0], vec![0.0, 5.0]]).unwrap();
+        let cfg = KMeansConfig {
+            k: 3,
+            seed: 1,
+            ..Default::default()
+        };
+        let result = kmeans(&points, &cfg).unwrap();
+        assert!(result.inertia < 1e-20);
+        let unique: std::collections::HashSet<_> = result.assignments.iter().collect();
+        assert_eq!(unique.len(), 3);
+    }
+
+    #[test]
+    fn k_one_centroid_is_mean() {
+        let points = Matrix::from_rows(&[vec![1.0], vec![3.0], vec![5.0]]).unwrap();
+        let cfg = KMeansConfig {
+            k: 1,
+            seed: 3,
+            ..Default::default()
+        };
+        let result = kmeans(&points, &cfg).unwrap();
+        assert!((result.centroids[(0, 0)] - 3.0).abs() < 1e-9);
+        assert_eq!(result.assignments, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn rejects_invalid_arguments() {
+        let points = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        let mut cfg = KMeansConfig::default();
+        cfg.k = 0;
+        assert!(kmeans(&points, &cfg).is_err());
+        cfg.k = 5;
+        assert!(kmeans(&points, &cfg).is_err());
+        cfg.k = 1;
+        assert!(kmeans(&Matrix::zeros(0, 2), &cfg).is_err());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (points, _) = blobs();
+        let cfg = KMeansConfig {
+            k: 3,
+            seed: 99,
+            ..Default::default()
+        };
+        let r1 = kmeans(&points, &cfg).unwrap();
+        let r2 = kmeans(&points, &cfg).unwrap();
+        assert_eq!(r1.assignments, r2.assignments);
+        assert_eq!(r1.inertia, r2.inertia);
+    }
+
+    #[test]
+    fn identical_points_do_not_crash() {
+        let points = Matrix::from_rows(&vec![vec![1.0, 1.0]; 6]).unwrap();
+        let cfg = KMeansConfig {
+            k: 2,
+            seed: 5,
+            ..Default::default()
+        };
+        let result = kmeans(&points, &cfg).unwrap();
+        assert!(result.inertia < 1e-18);
+    }
+}

@@ -1,0 +1,145 @@
+//! Small fork–join helpers built on `crossbeam::thread::scope`.
+//!
+//! The heavy kernels in this repository (TTM chains, pairwise tag distances,
+//! dense matmul) are embarrassingly parallel over contiguous ranges, so a
+//! minimal chunked `parallel_for` is all we need — no work stealing, no
+//! shared mutable state beyond disjoint output slices.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads used by the parallel kernels.
+///
+/// Defaults to the machine's available parallelism and can be lowered (e.g.
+/// to 1 for deterministic profiling) via [`set_num_threads`].
+pub fn num_threads() -> usize {
+    let configured = CONFIGURED_THREADS.load(Ordering::Relaxed);
+    if configured > 0 {
+        return configured;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+static CONFIGURED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the worker-thread count for all parallel kernels in this
+/// process. Passing `0` restores the default (machine parallelism).
+pub fn set_num_threads(n: usize) {
+    CONFIGURED_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// Runs `f(range)` over `0..len` split into roughly equal contiguous ranges,
+/// one per worker thread. `f` receives the half-open index range it owns.
+///
+/// Falls back to a single inline call when `len` is small or only one thread
+/// is configured.
+pub fn parallel_ranges<F>(len: usize, min_chunk: usize, f: F)
+where
+    F: Fn(std::ops::Range<usize>) + Sync,
+{
+    if len == 0 {
+        return;
+    }
+    let threads = num_threads();
+    if threads <= 1 || len <= min_chunk {
+        f(0..len);
+        return;
+    }
+    let nchunks = threads.min(len.div_ceil(min_chunk.max(1))).max(1);
+    let chunk = len.div_ceil(nchunks);
+    crossbeam::thread::scope(|scope| {
+        for c in 0..nchunks {
+            let start = c * chunk;
+            let end = ((c + 1) * chunk).min(len);
+            if start >= end {
+                break;
+            }
+            let f = &f;
+            scope.spawn(move |_| f(start..end));
+        }
+    })
+    .expect("parallel_ranges worker thread panicked");
+}
+
+/// Maps `f` over `0..len` in parallel, collecting per-chunk outputs and
+/// concatenating them in index order.
+pub fn parallel_map_collect<T, F>(len: usize, min_chunk: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = num_threads();
+    if threads <= 1 || len <= min_chunk {
+        return (0..len).map(f).collect();
+    }
+    let nchunks = threads.min(len.div_ceil(min_chunk.max(1))).max(1);
+    let chunk = len.div_ceil(nchunks);
+    let mut pieces: Vec<Vec<T>> = Vec::with_capacity(nchunks);
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nchunks);
+        for c in 0..nchunks {
+            let start = c * chunk;
+            let end = ((c + 1) * chunk).min(len);
+            if start >= end {
+                break;
+            }
+            let f = &f;
+            handles.push(scope.spawn(move |_| (start..end).map(f).collect::<Vec<T>>()));
+        }
+        for h in handles {
+            pieces.push(h.join().expect("parallel_map_collect worker panicked"));
+        }
+    })
+    .expect("parallel_map_collect scope failed");
+    let mut out = Vec::with_capacity(len);
+    for p in pieces {
+        out.extend(p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn parallel_ranges_covers_every_index_once() {
+        let len = 1000;
+        let counters: Vec<AtomicU64> = (0..len).map(|_| AtomicU64::new(0)).collect();
+        parallel_ranges(len, 16, |range| {
+            for i in range {
+                counters[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_ranges_handles_tiny_inputs() {
+        let hit = AtomicU64::new(0);
+        parallel_ranges(3, 100, |range| {
+            hit.fetch_add(range.len() as u64, Ordering::Relaxed);
+        });
+        assert_eq!(hit.load(Ordering::Relaxed), 3);
+        parallel_ranges(0, 1, |_| panic!("must not be called with empty range work"));
+    }
+
+    #[test]
+    fn parallel_map_collect_preserves_order() {
+        let out = parallel_map_collect(500, 16, |i| i * 2);
+        assert_eq!(out.len(), 500);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+    }
+
+    #[test]
+    fn thread_override_round_trips() {
+        set_num_threads(1);
+        assert_eq!(num_threads(), 1);
+        let out = parallel_map_collect(10, 1, |i| i);
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+        set_num_threads(0);
+        assert!(num_threads() >= 1);
+    }
+}

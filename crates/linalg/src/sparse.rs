@@ -1,0 +1,431 @@
+//! Sparse matrices (COO and CSR) for the tag-assignment data.
+//!
+//! Social-tagging relations are extremely sparse — the cleaned Delicious
+//! dataset in the paper has 1.36M assignments inside a 28939x7342x4118
+//! tensor (density ~1.5e-6) — so the LSI baseline and the HOSVD
+//! initialization must never densify. These types provide exactly the
+//! products those algorithms need: `A*x`, `Aᵀ*x`, `A*B` and `Aᵀ*B` against
+//! dense blocks.
+
+use crate::error::LinAlgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// A coordinate-format sparse matrix: a list of `(row, col, value)` triples.
+///
+/// COO is the natural construction format (the folksonomy store emits
+/// triples); convert to [`CsrMatrix`] for repeated products.
+#[derive(Debug, Clone, Default)]
+pub struct CooMatrix {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(u32, u32, f64)>,
+}
+
+impl CooMatrix {
+    /// Creates an empty `rows x cols` COO matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        CooMatrix {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Appends an entry; duplicate coordinates are *summed* on conversion.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.entries.push((row as u32, col as u32, value));
+    }
+
+    /// Number of stored (possibly duplicate) entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Matrix shape `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Converts to CSR, summing duplicate coordinates.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut entries = self.entries.clone();
+        entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut row_ptr = Vec::with_capacity(self.rows + 1);
+        let mut col_idx = Vec::with_capacity(entries.len());
+        let mut values = Vec::with_capacity(entries.len());
+        row_ptr.push(0u32);
+        let mut current_row = 0usize;
+        for &(r, c, v) in &entries {
+            let r = r as usize;
+            while current_row < r {
+                row_ptr.push(col_idx.len() as u32);
+                current_row += 1;
+            }
+            if let (Some(&last_c), Some(last_v)) = (col_idx.last(), values.last_mut()) {
+                if current_row == r && last_c == c && row_ptr.last().copied().unwrap() as usize != col_idx.len() {
+                    *last_v += v;
+                    continue;
+                }
+            }
+            col_idx.push(c);
+            values.push(v);
+        }
+        while current_row < self.rows {
+            row_ptr.push(col_idx.len() as u32);
+            current_row += 1;
+        }
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+}
+
+/// A compressed-sparse-row matrix of `f64` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<u32>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from unsorted triples, summing duplicates.
+    pub fn from_triples(rows: usize, cols: usize, triples: &[(usize, usize, f64)]) -> Result<Self> {
+        let mut coo = CooMatrix::new(rows, cols);
+        for &(r, c, v) in triples {
+            if r >= rows || c >= cols {
+                return Err(LinAlgError::InvalidArgument(format!(
+                    "triple ({r},{c}) out of bounds for {rows}x{cols}"
+                )));
+            }
+            coo.push(r, c, v);
+        }
+        Ok(coo.to_csr())
+    }
+
+    /// An empty (all-zero) matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CooMatrix::new(rows, cols).to_csr()
+    }
+
+    /// Matrix shape `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterator over `(col, value)` pairs of row `i`.
+    pub fn row_iter(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let start = self.row_ptr[i] as usize;
+        let end = self.row_ptr[i + 1] as usize;
+        self.col_idx[start..end]
+            .iter()
+            .zip(self.values[start..end].iter())
+            .map(|(&c, &v)| (c as usize, v))
+    }
+
+    /// Iterator over all `(row, col, value)` triples in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.rows).flat_map(move |i| self.row_iter(i).map(move |(c, v)| (i, c, v)))
+    }
+
+    /// Looks up entry `(i, j)` (binary search within the row).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let start = self.row_ptr[i] as usize;
+        let end = self.row_ptr[i + 1] as usize;
+        match self.col_idx[start..end].binary_search(&(j as u32)) {
+            Ok(pos) => self.values[start + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Sparse matrix–vector product `self * x`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(LinAlgError::DimensionMismatch {
+                op: "csr_matvec",
+                lhs: self.shape(),
+                rhs: (x.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let mut acc = 0.0;
+            for (c, v) in self.row_iter(i) {
+                acc += v * x[c];
+            }
+            out[i] = acc;
+        }
+        Ok(out)
+    }
+
+    /// Transposed sparse matrix–vector product `selfᵀ * x`.
+    pub fn matvec_t(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.rows {
+            return Err(LinAlgError::DimensionMismatch {
+                op: "csr_matvec_t",
+                lhs: self.shape(),
+                rhs: (x.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let xi = x[i];
+            if xi == 0.0 {
+                continue;
+            }
+            for (c, v) in self.row_iter(i) {
+                out[c] += v * xi;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sparse–dense product `self * b` (`rows x b.cols()`).
+    pub fn matmul_dense(&self, b: &Matrix) -> Result<Matrix> {
+        if self.cols != b.rows() {
+            return Err(LinAlgError::DimensionMismatch {
+                op: "csr_matmul_dense",
+                lhs: self.shape(),
+                rhs: b.shape(),
+            });
+        }
+        let n = b.cols();
+        let mut out = Matrix::zeros(self.rows, n);
+        for i in 0..self.rows {
+            // Split borrows: the output row is disjoint from `b`.
+            let start = self.row_ptr[i] as usize;
+            let end = self.row_ptr[i + 1] as usize;
+            let out_row = out.row_mut(i);
+            for k in start..end {
+                let c = self.col_idx[k] as usize;
+                let v = self.values[k];
+                let b_row = b.row(c);
+                for j in 0..n {
+                    out_row[j] += v * b_row[j];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transposed sparse–dense product `selfᵀ * b` (`cols x b.cols()`).
+    pub fn matmul_dense_t(&self, b: &Matrix) -> Result<Matrix> {
+        if self.rows != b.rows() {
+            return Err(LinAlgError::DimensionMismatch {
+                op: "csr_matmul_dense_t",
+                lhs: (self.cols, self.rows),
+                rhs: b.shape(),
+            });
+        }
+        let n = b.cols();
+        let mut out = Matrix::zeros(self.cols, n);
+        for i in 0..self.rows {
+            let b_row = b.row(i);
+            for (c, v) in self.row_iter(i) {
+                let out_row = &mut out.as_mut_slice()[c * n..(c + 1) * n];
+                for j in 0..n {
+                    out_row[j] += v * b_row[j];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns the transpose as a new CSR matrix.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut coo = CooMatrix::new(self.cols, self.rows);
+        for (r, c, v) in self.iter() {
+            coo.push(c, r, v);
+        }
+        coo.to_csr()
+    }
+
+    /// Materializes the matrix densely. Intended for tests and tiny inputs.
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for (r, c, v) in self.iter() {
+            m[(r, c)] += v;
+        }
+        m
+    }
+
+    /// Squared Frobenius norm.
+    pub fn frobenius_norm_sq(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum()
+    }
+
+    /// Sum of squared values within row `i`.
+    pub fn row_norm_sq(&self, i: usize) -> f64 {
+        self.row_iter(i).map(|(_, v)| v * v).sum()
+    }
+
+    /// Inner product of rows `i` and `j` (merge join over sorted columns).
+    pub fn row_dot(&self, i: usize, j: usize) -> f64 {
+        let (si, ei) = (self.row_ptr[i] as usize, self.row_ptr[i + 1] as usize);
+        let (sj, ej) = (self.row_ptr[j] as usize, self.row_ptr[j + 1] as usize);
+        let mut a = si;
+        let mut b = sj;
+        let mut acc = 0.0;
+        while a < ei && b < ej {
+            match self.col_idx[a].cmp(&self.col_idx[b]) {
+                std::cmp::Ordering::Less => a += 1,
+                std::cmp::Ordering::Greater => b += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += self.values[a] * self.values[b];
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Squared Euclidean distance between rows `i` and `j`:
+    /// `‖rᵢ‖² + ‖rⱼ‖² − 2⟨rᵢ, rⱼ⟩`, computed sparsely.
+    pub fn row_distance_sq(&self, i: usize, j: usize) -> f64 {
+        (self.row_norm_sq(i) + self.row_norm_sq(j) - 2.0 * self.row_dot(i, j)).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [1 3 0]
+        // [1 0 0]
+        // [0 0 2]
+        CsrMatrix::from_triples(
+            3,
+            3,
+            &[(0, 0, 1.0), (0, 1, 3.0), (1, 0, 1.0), (2, 2, 2.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_get() {
+        let m = sample();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.get(0, 1), 3.0);
+        assert_eq!(m.get(1, 1), 0.0);
+        assert_eq!(m.get(2, 2), 2.0);
+    }
+
+    #[test]
+    fn duplicate_triples_are_summed() {
+        let m = CsrMatrix::from_triples(2, 2, &[(0, 0, 1.0), (0, 0, 2.5)]).unwrap();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 0), 3.5);
+    }
+
+    #[test]
+    fn out_of_bounds_triple_rejected() {
+        assert!(CsrMatrix::from_triples(2, 2, &[(2, 0, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let m = sample();
+        let x = vec![1.0, 2.0, 3.0];
+        let sparse = m.matvec(&x).unwrap();
+        let dense = m.to_dense().matvec(&x).unwrap();
+        assert_eq!(sparse, dense);
+        assert!(m.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn matvec_t_matches_dense() {
+        let m = sample();
+        let x = vec![1.0, -1.0, 0.5];
+        let sparse = m.matvec_t(&x).unwrap();
+        let dense = m.to_dense().matvec_t(&x).unwrap();
+        assert_eq!(sparse, dense);
+        assert!(m.matvec_t(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn matmul_dense_matches_dense() {
+        let m = sample();
+        let b = Matrix::from_rows(&[vec![1.0, 2.0], vec![0.0, 1.0], vec![3.0, 0.0]]).unwrap();
+        let sparse = m.matmul_dense(&b).unwrap();
+        let dense = m.to_dense().matmul(&b).unwrap();
+        assert!(sparse.approx_eq(&dense, 1e-12));
+    }
+
+    #[test]
+    fn matmul_dense_t_matches_dense() {
+        let m = sample();
+        let b = Matrix::from_rows(&[vec![1.0, 2.0], vec![0.0, 1.0], vec![3.0, 0.0]]).unwrap();
+        let sparse = m.matmul_dense_t(&b).unwrap();
+        let dense = m.to_dense().transpose().matmul(&b).unwrap();
+        assert!(sparse.approx_eq(&dense, 1e-12));
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = sample();
+        let tt = m.transpose().transpose();
+        assert!(m.to_dense().approx_eq(&tt.to_dense(), 0.0));
+    }
+
+    #[test]
+    fn row_dot_and_distance() {
+        let m = sample();
+        // rows 0 and 1 share column 0: dot = 1*1 = 1.
+        assert_eq!(m.row_dot(0, 1), 1.0);
+        // ||r0||²=10, ||r1||²=1, d² = 10+1-2 = 9 — this is the paper's
+        // d(folk, people) = sqrt(9) example (Figure 3 / Eq. 7).
+        assert!((m.row_distance_sq(0, 1) - 9.0).abs() < 1e-12);
+        // d(people, laptop)² = 1 + 4 = 5 (Eq. 11).
+        assert!((m.row_distance_sq(1, 2) - 5.0).abs() < 1e-12);
+        // d(folk, laptop)² = 10 + 4 = 14 (Eq. 10).
+        assert!((m.row_distance_sq(0, 2) - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frobenius_norms() {
+        let m = sample();
+        assert!((m.frobenius_norm_sq() - (1.0 + 9.0 + 1.0 + 4.0)).abs() < 1e-12);
+        assert!((m.row_norm_sq(0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_rows_handled() {
+        let m = CsrMatrix::from_triples(4, 3, &[(3, 2, 1.0)]).unwrap();
+        assert_eq!(m.row_iter(0).count(), 0);
+        assert_eq!(m.row_iter(3).count(), 1);
+        assert_eq!(m.matvec(&[0.0, 0.0, 2.0]).unwrap(), vec![0.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn zeros_matrix() {
+        let m = CsrMatrix::zeros(2, 5);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.shape(), (2, 5));
+        assert_eq!(m.matvec(&vec![1.0; 5]).unwrap(), vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,322 @@
+//! Block subspace iteration for the leading eigenpairs of large symmetric
+//! positive semi-definite operators.
+//!
+//! This is the workhorse eigensolver of the repository. HOSVD initialization,
+//! each HOOI/ALS mode update, truncated SVD for the LSI baseline and the
+//! spectral-clustering embedding all reduce to "top-k eigenvectors of a big
+//! symmetric operator that we can only afford to apply, never materialize".
+//!
+//! The operator abstraction [`SymOp`] takes a whole `n x b` block at a time,
+//! which lets implementations amortize sparse traversals across the block.
+
+use crate::eigen::jacobi_eigen;
+use crate::error::LinAlgError;
+use crate::matrix::Matrix;
+use crate::qr::orthonormalize_columns;
+use crate::sparse::CsrMatrix;
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A symmetric linear operator applied block-wise.
+pub trait SymOp {
+    /// Dimension `n` of the operator.
+    fn dim(&self) -> usize;
+    /// Applies the operator to every column of the `n x b` block `x`.
+    fn apply_block(&self, x: &Matrix) -> Matrix;
+}
+
+/// A dense symmetric matrix viewed as a [`SymOp`].
+pub struct DenseSymOp<'a> {
+    matrix: &'a Matrix,
+}
+
+impl<'a> DenseSymOp<'a> {
+    /// Wraps a dense symmetric matrix. Symmetry is the caller's contract.
+    pub fn new(matrix: &'a Matrix) -> Self {
+        debug_assert_eq!(matrix.rows(), matrix.cols());
+        DenseSymOp { matrix }
+    }
+}
+
+impl SymOp for DenseSymOp<'_> {
+    fn dim(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    fn apply_block(&self, x: &Matrix) -> Matrix {
+        self.matrix.matmul(x).expect("DenseSymOp dimension mismatch")
+    }
+}
+
+/// The Gram operator `A Aᵀ` (or `Aᵀ A`) of a sparse matrix, applied
+/// implicitly as two sparse–dense products so the Gram matrix itself is
+/// never formed.
+pub struct GramOp<'a> {
+    matrix: &'a CsrMatrix,
+    /// `false`: operator is `A Aᵀ` (dimension = rows of A).
+    /// `true`: operator is `Aᵀ A` (dimension = cols of A).
+    transposed: bool,
+}
+
+impl<'a> GramOp<'a> {
+    /// Operator `A Aᵀ` over the row space of `a`.
+    pub fn outer(a: &'a CsrMatrix) -> Self {
+        GramOp {
+            matrix: a,
+            transposed: false,
+        }
+    }
+
+    /// Operator `Aᵀ A` over the column space of `a`.
+    pub fn inner(a: &'a CsrMatrix) -> Self {
+        GramOp {
+            matrix: a,
+            transposed: true,
+        }
+    }
+}
+
+impl SymOp for GramOp<'_> {
+    fn dim(&self) -> usize {
+        if self.transposed {
+            self.matrix.cols()
+        } else {
+            self.matrix.rows()
+        }
+    }
+
+    fn apply_block(&self, x: &Matrix) -> Matrix {
+        if self.transposed {
+            // (Aᵀ A) X = Aᵀ (A X)
+            let ax = self.matrix.matmul_dense(x).expect("GramOp inner: A*X");
+            self.matrix.matmul_dense_t(&ax).expect("GramOp inner: Aᵀ*(AX)")
+        } else {
+            // (A Aᵀ) X = A (Aᵀ X)
+            let atx = self.matrix.matmul_dense_t(x).expect("GramOp outer: Aᵀ*X");
+            self.matrix.matmul_dense(&atx).expect("GramOp outer: A*(AᵀX)")
+        }
+    }
+}
+
+/// Result of [`sym_eigs_topk`].
+#[derive(Debug, Clone)]
+pub struct TopkEigen {
+    /// Leading eigenvalues in descending order (length `k`).
+    pub values: Vec<f64>,
+    /// `n x k` matrix of corresponding orthonormal eigenvectors.
+    pub vectors: Matrix,
+    /// Number of subspace iterations performed.
+    pub iterations: usize,
+}
+
+/// Options controlling [`sym_eigs_topk`].
+#[derive(Debug, Clone)]
+pub struct SubspaceOptions {
+    /// Extra block width beyond `k` to accelerate convergence.
+    pub oversample: usize,
+    /// Maximum number of iterations.
+    pub max_iters: usize,
+    /// Relative change in the Ritz values below which iteration stops.
+    pub tol: f64,
+    /// Seed for the random starting block.
+    pub seed: u64,
+}
+
+impl Default for SubspaceOptions {
+    fn default() -> Self {
+        SubspaceOptions {
+            oversample: 8,
+            max_iters: 200,
+            tol: 1e-8,
+            seed: 0x5eed_cafe,
+        }
+    }
+}
+
+/// Computes the `k` leading eigenpairs of a symmetric PSD operator using
+/// block subspace iteration with a Rayleigh–Ritz projection.
+///
+/// The operator is applied once per iteration to an `n x (k + oversample)`
+/// block; convergence is declared when the top-`k` Ritz values change by
+/// less than `tol` relatively between iterations.
+pub fn sym_eigs_topk(op: &dyn SymOp, k: usize, opts: &SubspaceOptions) -> Result<TopkEigen> {
+    let n = op.dim();
+    if k == 0 {
+        return Err(LinAlgError::InvalidArgument("k must be > 0".into()));
+    }
+    if k > n {
+        return Err(LinAlgError::InvalidArgument(format!(
+            "requested {k} eigenpairs of a dimension-{n} operator"
+        )));
+    }
+    let block = (k + opts.oversample).min(n);
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut q = Matrix::from_fn(n, block, |_, _| rng.gen::<f64>() - 0.5);
+    orthonormalize_columns(&mut q);
+
+    let mut prev_ritz = vec![f64::INFINITY; k];
+    let mut iterations = 0;
+    for it in 0..opts.max_iters {
+        iterations = it + 1;
+        let z = op.apply_block(&q);
+        // Rayleigh–Ritz on the current subspace: B = Qᵀ Z = Qᵀ A Q.
+        let b = q.transpose().matmul(&z)?;
+        // Symmetrize to wash out round-off before Jacobi.
+        let b_sym = b.add(&b.transpose())?.scale(0.5);
+        let eig = jacobi_eigen(&b_sym, 1e-12)?;
+        // Rotate the block onto the Ritz vectors and advance: Q ← orth(Z U).
+        let zu = z.matmul(&eig.vectors)?;
+        q = zu;
+        orthonormalize_columns(&mut q);
+
+        let ritz: Vec<f64> = eig.values.iter().take(k).copied().collect();
+        let converged = ritz.iter().zip(prev_ritz.iter()).all(|(&cur, &prev)| {
+            let scale = cur.abs().max(prev.abs()).max(1e-30);
+            (cur - prev).abs() <= opts.tol * scale
+        });
+        prev_ritz = ritz;
+        if converged && it > 0 {
+            break;
+        }
+    }
+
+    // Final Rayleigh–Ritz to extract clean eigenpairs from the converged
+    // subspace.
+    let z = op.apply_block(&q);
+    let b = q.transpose().matmul(&z)?;
+    let b_sym = b.add(&b.transpose())?.scale(0.5);
+    let eig = jacobi_eigen(&b_sym, 1e-12)?;
+    let mut vectors = q.matmul(&eig.vectors)?;
+    vectors = vectors.truncate_cols(k)?;
+    let values = eig.values.into_iter().take(k).collect();
+    Ok(TopkEigen {
+        values,
+        vectors,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qr::orthonormality_error;
+
+    fn spd_matrix() -> Matrix {
+        // B Bᵀ + small diagonal: SPD with a clear spectral gap.
+        let b = Matrix::from_rows(&[
+            vec![5.0, 0.0, 0.0],
+            vec![0.0, 2.0, 0.0],
+            vec![0.0, 0.0, 0.5],
+            vec![1.0, 1.0, 0.1],
+            vec![0.5, -1.0, 0.2],
+        ])
+        .unwrap();
+        b.gram_t()
+    }
+
+    #[test]
+    fn topk_matches_full_jacobi() {
+        let a = spd_matrix();
+        let full = jacobi_eigen(&a, 1e-13).unwrap();
+        let op = DenseSymOp::new(&a);
+        let top = sym_eigs_topk(&op, 3, &SubspaceOptions::default()).unwrap();
+        for i in 0..3 {
+            assert!(
+                (top.values[i] - full.values[i]).abs() < 1e-6 * full.values[0].max(1.0),
+                "eigenvalue {i}: {} vs {}",
+                top.values[i],
+                full.values[i]
+            );
+        }
+        assert!(orthonormality_error(&top.vectors) < 1e-8);
+    }
+
+    #[test]
+    fn eigenvectors_satisfy_definition() {
+        let a = spd_matrix();
+        let op = DenseSymOp::new(&a);
+        let top = sym_eigs_topk(&op, 2, &SubspaceOptions::default()).unwrap();
+        // ‖A v − λ v‖ should be tiny for each returned pair.
+        for j in 0..2 {
+            let v = top.vectors.col(j);
+            let av = a.matvec(&v).unwrap();
+            let lambda = top.values[j];
+            let residual: f64 = av
+                .iter()
+                .zip(v.iter())
+                .map(|(a, b)| (a - lambda * b).powi(2))
+                .sum::<f64>()
+                .sqrt();
+            assert!(residual < 1e-6 * lambda.max(1.0), "residual {residual}");
+        }
+    }
+
+    #[test]
+    fn gram_op_outer_matches_dense() {
+        let a = CsrMatrix::from_triples(
+            4,
+            3,
+            &[(0, 0, 2.0), (0, 2, 1.0), (1, 1, 3.0), (2, 0, -1.0), (3, 2, 0.5)],
+        )
+        .unwrap();
+        let dense_gram = a.to_dense().gram_t();
+        let op = GramOp::outer(&a);
+        assert_eq!(op.dim(), 4);
+        let top = sym_eigs_topk(&op, 2, &SubspaceOptions::default()).unwrap();
+        let full = jacobi_eigen(&dense_gram, 1e-13).unwrap();
+        assert!((top.values[0] - full.values[0]).abs() < 1e-7);
+        assert!((top.values[1] - full.values[1]).abs() < 1e-7);
+    }
+
+    #[test]
+    fn gram_op_inner_matches_dense() {
+        let a = CsrMatrix::from_triples(
+            4,
+            3,
+            &[(0, 0, 2.0), (0, 2, 1.0), (1, 1, 3.0), (2, 0, -1.0), (3, 2, 0.5)],
+        )
+        .unwrap();
+        let dense_gram = a.to_dense().gram();
+        let op = GramOp::inner(&a);
+        assert_eq!(op.dim(), 3);
+        let top = sym_eigs_topk(&op, 3, &SubspaceOptions::default()).unwrap();
+        let full = jacobi_eigen(&dense_gram, 1e-13).unwrap();
+        for i in 0..3 {
+            assert!((top.values[i] - full.values[i]).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_k() {
+        let a = spd_matrix();
+        let op = DenseSymOp::new(&a);
+        assert!(sym_eigs_topk(&op, 0, &SubspaceOptions::default()).is_err());
+        assert!(sym_eigs_topk(&op, 99, &SubspaceOptions::default()).is_err());
+    }
+
+    #[test]
+    fn k_equals_n_works() {
+        let a = spd_matrix();
+        let op = DenseSymOp::new(&a);
+        let top = sym_eigs_topk(&op, a.rows(), &SubspaceOptions::default()).unwrap();
+        let full = jacobi_eigen(&a, 1e-13).unwrap();
+        for i in 0..a.rows() {
+            assert!((top.values[i] - full.values[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = spd_matrix();
+        let op = DenseSymOp::new(&a);
+        let opts = SubspaceOptions {
+            seed: 42,
+            ..Default::default()
+        };
+        let r1 = sym_eigs_topk(&op, 2, &opts).unwrap();
+        let r2 = sym_eigs_topk(&op, 2, &opts).unwrap();
+        assert_eq!(r1.values, r2.values);
+        assert!(r1.vectors.approx_eq(&r2.vectors, 0.0));
+    }
+}

@@ -1,0 +1,424 @@
+//! Small dense third-order tensors.
+//!
+//! Dense tensors appear in two places only: the *trimmed core tensor* `S`
+//! (dimensions `J₁×J₂×J₃`, tiny by construction) and brute-force reference
+//! computations in tests, where `F̂` is materialized to validate the
+//! Theorem-1 shortcut. The production pipeline never builds a dense tensor
+//! of data-scale dimensions.
+//!
+//! Unfoldings follow the Kolda–Bader convention, matching the identity the
+//! paper uses in Theorem 1: `F̂₍₂₎ = Y⁽²⁾ S₍₂₎ (Y⁽³⁾ ⊗ Y⁽¹⁾)ᵀ`.
+
+use cubelsi_linalg::{LinAlgError, Matrix};
+
+/// A dense third-order tensor with dimensions `(d1, d2, d3)`.
+///
+/// Layout: `data[(i * d2 + j) * d3 + k]` for entry `(i, j, k)` — the last
+/// index varies fastest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseTensor3 {
+    dims: (usize, usize, usize),
+    data: Vec<f64>,
+}
+
+impl DenseTensor3 {
+    /// Creates an all-zero tensor with the given dimensions.
+    pub fn zeros(d1: usize, d2: usize, d3: usize) -> Self {
+        DenseTensor3 {
+            dims: (d1, d2, d3),
+            data: vec![0.0; d1 * d2 * d3],
+        }
+    }
+
+    /// Creates a tensor by evaluating `f` at every index triple.
+    pub fn from_fn(
+        d1: usize,
+        d2: usize,
+        d3: usize,
+        mut f: impl FnMut(usize, usize, usize) -> f64,
+    ) -> Self {
+        let mut t = DenseTensor3::zeros(d1, d2, d3);
+        for i in 0..d1 {
+            for j in 0..d2 {
+                for k in 0..d3 {
+                    t.data[(i * d2 + j) * d3 + k] = f(i, j, k);
+                }
+            }
+        }
+        t
+    }
+
+    /// Tensor dimensions `(d1, d2, d3)`.
+    #[inline]
+    pub fn dims(&self) -> (usize, usize, usize) {
+        self.dims
+    }
+
+    /// Dimension of the given mode (1-based, matching the paper).
+    pub fn dim(&self, mode: usize) -> usize {
+        match mode {
+            1 => self.dims.0,
+            2 => self.dims.1,
+            3 => self.dims.2,
+            _ => panic!("mode must be 1, 2 or 3, got {mode}"),
+        }
+    }
+
+    /// Entry accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize, k: usize) -> f64 {
+        debug_assert!(i < self.dims.0 && j < self.dims.1 && k < self.dims.2);
+        self.data[(i * self.dims.1 + j) * self.dims.2 + k]
+    }
+
+    /// Entry mutator.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, k: usize, v: f64) {
+        debug_assert!(i < self.dims.0 && j < self.dims.1 && k < self.dims.2);
+        self.data[(i * self.dims.1 + j) * self.dims.2 + k] = v;
+    }
+
+    /// Borrow of the raw buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Squared Frobenius norm (Eq. 15 of the paper, squared).
+    pub fn frobenius_norm_sq(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum()
+    }
+
+    /// Frobenius norm (Eq. 15).
+    pub fn frobenius_norm(&self) -> f64 {
+        self.frobenius_norm_sq().sqrt()
+    }
+
+    /// `true` when every entry differs by at most `tol`.
+    pub fn approx_eq(&self, other: &DenseTensor3, tol: f64) -> bool {
+        self.dims == other.dims
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Element-wise difference `self − other`.
+    pub fn sub(&self, other: &DenseTensor3) -> Result<DenseTensor3, LinAlgError> {
+        if self.dims != other.dims {
+            return Err(LinAlgError::InvalidArgument(format!(
+                "tensor dims {:?} vs {:?} in sub",
+                self.dims, other.dims
+            )));
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a - b)
+            .collect();
+        Ok(DenseTensor3 {
+            dims: self.dims,
+            data,
+        })
+    }
+
+    /// Mode-n unfolding (Kolda–Bader convention):
+    ///
+    /// * mode 1 → `d1 x (d2·d3)`, column index `j + k·d2`;
+    /// * mode 2 → `d2 x (d1·d3)`, column index `i + k·d1`;
+    /// * mode 3 → `d3 x (d1·d2)`, column index `i + j·d1`.
+    pub fn unfold(&self, mode: usize) -> Matrix {
+        let (d1, d2, d3) = self.dims;
+        match mode {
+            1 => Matrix::from_fn(d1, d2 * d3, |i, col| {
+                let j = col % d2;
+                let k = col / d2;
+                self.get(i, j, k)
+            }),
+            2 => Matrix::from_fn(d2, d1 * d3, |j, col| {
+                let i = col % d1;
+                let k = col / d1;
+                self.get(i, j, k)
+            }),
+            3 => Matrix::from_fn(d3, d1 * d2, |k, col| {
+                let i = col % d1;
+                let j = col / d1;
+                self.get(i, j, k)
+            }),
+            _ => panic!("mode must be 1, 2 or 3, got {mode}"),
+        }
+    }
+
+    /// Inverse of [`DenseTensor3::unfold`]: folds a mode-n unfolded matrix
+    /// back into a tensor with dimensions `dims`.
+    pub fn fold(
+        mode: usize,
+        unfolded: &Matrix,
+        dims: (usize, usize, usize),
+    ) -> Result<DenseTensor3, LinAlgError> {
+        let (d1, d2, d3) = dims;
+        let expected = match mode {
+            1 => (d1, d2 * d3),
+            2 => (d2, d1 * d3),
+            3 => (d3, d1 * d2),
+            _ => {
+                return Err(LinAlgError::InvalidArgument(format!(
+                    "mode must be 1, 2 or 3, got {mode}"
+                )))
+            }
+        };
+        if unfolded.shape() != expected {
+            return Err(LinAlgError::InvalidArgument(format!(
+                "unfolded shape {:?} does not match mode-{mode} of {:?}",
+                unfolded.shape(),
+                dims
+            )));
+        }
+        let mut t = DenseTensor3::zeros(d1, d2, d3);
+        match mode {
+            1 => {
+                for i in 0..d1 {
+                    for k in 0..d3 {
+                        for j in 0..d2 {
+                            t.set(i, j, k, unfolded[(i, j + k * d2)]);
+                        }
+                    }
+                }
+            }
+            2 => {
+                for j in 0..d2 {
+                    for k in 0..d3 {
+                        for i in 0..d1 {
+                            t.set(i, j, k, unfolded[(j, i + k * d1)]);
+                        }
+                    }
+                }
+            }
+            3 => {
+                for k in 0..d3 {
+                    for j in 0..d2 {
+                        for i in 0..d1 {
+                            t.set(i, j, k, unfolded[(k, i + j * d1)]);
+                        }
+                    }
+                }
+            }
+            _ => unreachable!(),
+        }
+        Ok(t)
+    }
+
+    /// n-mode product `self ×ₙ W` (Definition 1 of the paper):
+    /// the mode-`n` dimension `Iₙ` is contracted against `W ∈ R^{Jₙ×Iₙ}`,
+    /// producing a tensor whose mode-`n` dimension is `Jₙ`.
+    pub fn mode_product(&self, mode: usize, w: &Matrix) -> Result<DenseTensor3, LinAlgError> {
+        let in_dim = self.dim(mode);
+        if w.cols() != in_dim {
+            return Err(LinAlgError::DimensionMismatch {
+                op: "mode_product",
+                lhs: (w.rows(), w.cols()),
+                rhs: (in_dim, 0),
+            });
+        }
+        let (d1, d2, d3) = self.dims;
+        let jn = w.rows();
+        let out_dims = match mode {
+            1 => (jn, d2, d3),
+            2 => (d1, jn, d3),
+            3 => (d1, d2, jn),
+            _ => panic!("mode must be 1, 2 or 3"),
+        };
+        let mut out = DenseTensor3::zeros(out_dims.0, out_dims.1, out_dims.2);
+        match mode {
+            1 => {
+                for jn_i in 0..jn {
+                    let wrow = w.row(jn_i);
+                    for i in 0..d1 {
+                        let wv = wrow[i];
+                        if wv == 0.0 {
+                            continue;
+                        }
+                        for j in 0..d2 {
+                            for k in 0..d3 {
+                                let v = self.get(i, j, k);
+                                if v != 0.0 {
+                                    let cur = out.get(jn_i, j, k);
+                                    out.set(jn_i, j, k, cur + wv * v);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            2 => {
+                for jn_i in 0..jn {
+                    let wrow = w.row(jn_i);
+                    for j in 0..d2 {
+                        let wv = wrow[j];
+                        if wv == 0.0 {
+                            continue;
+                        }
+                        for i in 0..d1 {
+                            for k in 0..d3 {
+                                let v = self.get(i, j, k);
+                                if v != 0.0 {
+                                    let cur = out.get(i, jn_i, k);
+                                    out.set(i, jn_i, k, cur + wv * v);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            3 => {
+                for jn_i in 0..jn {
+                    let wrow = w.row(jn_i);
+                    for k in 0..d3 {
+                        let wv = wrow[k];
+                        if wv == 0.0 {
+                            continue;
+                        }
+                        for i in 0..d1 {
+                            for j in 0..d2 {
+                                let v = self.get(i, j, k);
+                                if v != 0.0 {
+                                    let cur = out.get(i, j, jn_i);
+                                    out.set(i, j, jn_i, cur + wv * v);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            _ => unreachable!(),
+        }
+        Ok(out)
+    }
+
+    /// The mode-2 slice `F[:, j, :]` as a dense `d1 x d3` matrix — the
+    /// paper's per-tag feature matrix `F₍:,t,:₎` (§IV-A).
+    pub fn slice_mode2(&self, j: usize) -> Matrix {
+        let (d1, _, d3) = self.dims;
+        Matrix::from_fn(d1, d3, |i, k| self.get(i, j, k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DenseTensor3 {
+        DenseTensor3::from_fn(2, 3, 2, |i, j, k| (i * 100 + j * 10 + k) as f64)
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut t = DenseTensor3::zeros(2, 2, 2);
+        t.set(1, 0, 1, 7.5);
+        assert_eq!(t.get(1, 0, 1), 7.5);
+        assert_eq!(t.get(0, 0, 0), 0.0);
+        assert_eq!(t.dims(), (2, 2, 2));
+        assert_eq!(t.dim(1), 2);
+    }
+
+    #[test]
+    fn unfold_fold_round_trip_all_modes() {
+        let t = sample();
+        for mode in 1..=3 {
+            let u = t.unfold(mode);
+            let back = DenseTensor3::fold(mode, &u, t.dims()).unwrap();
+            assert!(back.approx_eq(&t, 0.0), "mode {mode} round trip failed");
+        }
+    }
+
+    #[test]
+    fn unfold_shapes() {
+        let t = sample();
+        assert_eq!(t.unfold(1).shape(), (2, 6));
+        assert_eq!(t.unfold(2).shape(), (3, 4));
+        assert_eq!(t.unfold(3).shape(), (2, 6));
+    }
+
+    #[test]
+    fn unfold_mode1_column_ordering() {
+        // Kolda convention: column index j + k*d2 (mode-2 fastest).
+        let t = sample();
+        let u = t.unfold(1);
+        // (i=1, j=2, k=1) → row 1, col 2 + 1*3 = 5.
+        assert_eq!(u[(1, 5)], t.get(1, 2, 1));
+        // (i=0, j=1, k=0) → row 0, col 1.
+        assert_eq!(u[(0, 1)], t.get(0, 1, 0));
+    }
+
+    #[test]
+    fn fold_rejects_bad_shapes() {
+        let m = Matrix::zeros(3, 5);
+        assert!(DenseTensor3::fold(2, &m, (2, 3, 2)).is_err());
+        assert!(DenseTensor3::fold(4, &m, (2, 3, 2)).is_err());
+    }
+
+    #[test]
+    fn mode_product_identity_is_noop() {
+        let t = sample();
+        for mode in 1..=3 {
+            let eye = Matrix::identity(t.dim(mode));
+            let p = t.mode_product(mode, &eye).unwrap();
+            assert!(p.approx_eq(&t, 1e-12));
+        }
+    }
+
+    #[test]
+    fn mode_product_matches_unfolded_matmul() {
+        // Defining property: (F ×n W)(n) = W · F(n).
+        let t = sample();
+        let w = Matrix::from_rows(&[vec![1.0, -1.0, 0.5], vec![0.0, 2.0, 1.0]]).unwrap();
+        let p = t.mode_product(2, &w).unwrap();
+        let expected_unfolded = w.matmul(&t.unfold(2)).unwrap();
+        assert!(p.unfold(2).approx_eq(&expected_unfolded, 1e-12));
+        assert_eq!(p.dims(), (2, 2, 2));
+    }
+
+    #[test]
+    fn mode_product_dimension_check() {
+        let t = sample();
+        let w = Matrix::zeros(2, 5);
+        assert!(t.mode_product(1, &w).is_err());
+    }
+
+    #[test]
+    fn mode_products_commute_across_modes() {
+        // (F ×1 A) ×3 B = (F ×3 B) ×1 A for distinct modes.
+        let t = sample();
+        let a = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap(); // 1x2
+        let b = Matrix::from_rows(&[vec![0.5, -1.0], vec![1.0, 1.0]]).unwrap(); // 2x2
+        let left = t.mode_product(1, &a).unwrap().mode_product(3, &b).unwrap();
+        let right = t.mode_product(3, &b).unwrap().mode_product(1, &a).unwrap();
+        assert!(left.approx_eq(&right, 1e-12));
+    }
+
+    #[test]
+    fn frobenius_norm_known() {
+        let t = DenseTensor3::from_fn(1, 2, 2, |_, j, k| ((j * 2 + k) + 1) as f64);
+        // entries 1,2,3,4 → norm² = 30.
+        assert!((t.frobenius_norm_sq() - 30.0).abs() < 1e-12);
+        assert!((t.frobenius_norm() - 30.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slice_mode2_extracts_tag_matrix() {
+        let t = sample();
+        let s = t.slice_mode2(1);
+        assert_eq!(s.shape(), (2, 2));
+        assert_eq!(s[(0, 0)], t.get(0, 1, 0));
+        assert_eq!(s[(1, 1)], t.get(1, 1, 1));
+    }
+
+    #[test]
+    fn sub_and_dims_mismatch() {
+        let t = sample();
+        let d = t.sub(&t).unwrap();
+        assert_eq!(d.frobenius_norm(), 0.0);
+        assert!(t.sub(&DenseTensor3::zeros(1, 1, 1)).is_err());
+    }
+}

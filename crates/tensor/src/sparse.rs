@@ -1,0 +1,521 @@
+//! Sparse third-order tensors in coordinate format with per-mode indexes.
+//!
+//! The tag-assignment tensor `F` is binary and extremely sparse (§IV-A of
+//! the paper: 36.9 *billion* cells but only 335,782 non-zeros for Last.fm).
+//! Every algorithm in this repository therefore works off this type; dense
+//! materialization is reserved for test-scale fixtures.
+//!
+//! For each mode the constructor builds a CSR-style grouping of the
+//! non-zeros by that mode's index. This gives two things:
+//!
+//! * mode-n unfoldings as [`CsrMatrix`] (for the HOSVD Gram operators), and
+//! * fused tensor-times-matrix kernels ([`SparseTensor3::ttm_except_unfolded`])
+//!   whose output rows are disjoint per mode index, enabling clean
+//!   fork–join parallelism.
+
+use cubelsi_linalg::parallel;
+use cubelsi_linalg::{CsrMatrix, LinAlgError, Matrix};
+
+use crate::dense::DenseTensor3;
+
+/// A sparse third-order tensor.
+///
+/// Mode numbering follows the paper: mode 1 = users, mode 2 = tags,
+/// mode 3 = resources.
+#[derive(Debug, Clone)]
+pub struct SparseTensor3 {
+    dims: (usize, usize, usize),
+    /// Non-zeros sorted by (i, j, k); duplicates summed at construction.
+    entries: Vec<Entry>,
+    /// For each mode m (0-indexed), a permutation of `entries` grouped by
+    /// that mode's index, plus group boundaries.
+    mode_index: [ModeIndex; 3],
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry {
+    i: u32,
+    j: u32,
+    k: u32,
+    v: f64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct ModeIndex {
+    /// `ptr[x]..ptr[x+1]` indexes `order` for mode-index `x`.
+    ptr: Vec<u32>,
+    /// Positions into `entries`.
+    order: Vec<u32>,
+}
+
+impl SparseTensor3 {
+    /// Builds a sparse tensor from `(i, j, k, value)` quadruples; duplicate
+    /// coordinates are summed. Returns an error on out-of-bounds indices.
+    pub fn from_entries(
+        dims: (usize, usize, usize),
+        quads: &[(usize, usize, usize, f64)],
+    ) -> Result<Self, LinAlgError> {
+        let (d1, d2, d3) = dims;
+        let mut entries: Vec<Entry> = Vec::with_capacity(quads.len());
+        for &(i, j, k, v) in quads {
+            if i >= d1 || j >= d2 || k >= d3 {
+                return Err(LinAlgError::InvalidArgument(format!(
+                    "entry ({i},{j},{k}) out of bounds for dims {dims:?}"
+                )));
+            }
+            entries.push(Entry {
+                i: i as u32,
+                j: j as u32,
+                k: k as u32,
+                v,
+            });
+        }
+        entries.sort_unstable_by_key(|e| (e.i, e.j, e.k));
+        // Sum duplicates in place.
+        let mut deduped: Vec<Entry> = Vec::with_capacity(entries.len());
+        for e in entries {
+            match deduped.last_mut() {
+                Some(last) if last.i == e.i && last.j == e.j && last.k == e.k => last.v += e.v,
+                _ => deduped.push(e),
+            }
+        }
+        let mode_index = [
+            build_mode_index(&deduped, d1, |e| e.i as usize),
+            build_mode_index(&deduped, d2, |e| e.j as usize),
+            build_mode_index(&deduped, d3, |e| e.k as usize),
+        ];
+        Ok(SparseTensor3 {
+            dims,
+            entries: deduped,
+            mode_index,
+        })
+    }
+
+    /// Tensor dimensions.
+    #[inline]
+    pub fn dims(&self) -> (usize, usize, usize) {
+        self.dims
+    }
+
+    /// Dimension of a (1-based) mode.
+    pub fn dim(&self, mode: usize) -> usize {
+        match mode {
+            1 => self.dims.0,
+            2 => self.dims.1,
+            3 => self.dims.2,
+            _ => panic!("mode must be 1, 2 or 3, got {mode}"),
+        }
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Iterator over `(i, j, k, value)` quadruples.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, usize, f64)> + '_ {
+        self.entries
+            .iter()
+            .map(|e| (e.i as usize, e.j as usize, e.k as usize, e.v))
+    }
+
+    /// Squared Frobenius norm.
+    pub fn frobenius_norm_sq(&self) -> f64 {
+        self.entries.iter().map(|e| e.v * e.v).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.frobenius_norm_sq().sqrt()
+    }
+
+    /// Number of non-zeros whose mode-`mode` index equals `x`.
+    pub fn mode_fiber_nnz(&self, mode: usize, x: usize) -> usize {
+        let idx = &self.mode_index[mode - 1];
+        (idx.ptr[x + 1] - idx.ptr[x]) as usize
+    }
+
+    /// Materializes the tensor densely (tests / tiny fixtures only).
+    pub fn to_dense(&self) -> DenseTensor3 {
+        let (d1, d2, d3) = self.dims;
+        let mut t = DenseTensor3::zeros(d1, d2, d3);
+        for (i, j, k, v) in self.iter() {
+            let cur = t.get(i, j, k);
+            t.set(i, j, k, cur + v);
+        }
+        t
+    }
+
+    /// Mode-n unfolding as a sparse CSR matrix (Kolda–Bader column order,
+    /// identical to [`DenseTensor3::unfold`]).
+    pub fn unfold_csr(&self, mode: usize) -> CsrMatrix {
+        let (d1, d2, d3) = self.dims;
+        let (rows, cols): (usize, usize) = match mode {
+            1 => (d1, d2 * d3),
+            2 => (d2, d1 * d3),
+            3 => (d3, d1 * d2),
+            _ => panic!("mode must be 1, 2 or 3, got {mode}"),
+        };
+        let triples: Vec<(usize, usize, f64)> = self
+            .iter()
+            .map(|(i, j, k, v)| match mode {
+                1 => (i, j + k * d2, v),
+                2 => (j, i + k * d1, v),
+                3 => (k, i + j * d1, v),
+                _ => unreachable!(),
+            })
+            .collect();
+        CsrMatrix::from_triples(rows, cols, &triples).expect("unfold indices in bounds")
+    }
+
+    /// The mode-2 slice `F[:, j, :]` as a sparse user×resource matrix —
+    /// the per-tag feature matrix of §IV-A, used by the CubeSim baseline.
+    pub fn slice_mode2_csr(&self, j: usize) -> CsrMatrix {
+        let (d1, _, d3) = self.dims;
+        let idx = &self.mode_index[1];
+        let triples: Vec<(usize, usize, f64)> = idx.order
+            [idx.ptr[j] as usize..idx.ptr[j + 1] as usize]
+            .iter()
+            .map(|&pos| {
+                let e = &self.entries[pos as usize];
+                (e.i as usize, e.k as usize, e.v)
+            })
+            .collect();
+        CsrMatrix::from_triples(d1, d3, &triples).expect("slice indices in bounds")
+    }
+
+    /// Fused tensor-times-matrix chain, unfolded along `mode`:
+    ///
+    /// * mode 1: returns `W₍₁₎` of `F ×₂ Y₂ᵀ ×₃ Y₃ᵀ` — shape `I₁ x (J₂·J₃)`,
+    ///   column index `j₂ + j₃·J₂`;
+    /// * mode 2: returns `W₍₂₎` of `F ×₁ Y₁ᵀ ×₃ Y₃ᵀ` — shape `I₂ x (J₁·J₃)`,
+    ///   column index `j₁ + j₃·J₁`;
+    /// * mode 3: returns `W₍₃₎` of `F ×₁ Y₁ᵀ ×₂ Y₂ᵀ` — shape `I₃ x (J₁·J₂)`,
+    ///   column index `j₁ + j₂·J₁`.
+    ///
+    /// `ya` and `yb` are the factor matrices of the two *other* modes in
+    /// ascending mode order (for mode 2: `ya = Y⁽¹⁾ ∈ R^{I₁×J₁}`,
+    /// `yb = Y⁽³⁾ ∈ R^{I₃×J₃}`).
+    ///
+    /// Cost is `O(nnz · Jₐ · J_b)`; work is parallelized over mode-index
+    /// groups whose output rows are disjoint.
+    pub fn ttm_except_unfolded(
+        &self,
+        mode: usize,
+        ya: &Matrix,
+        yb: &Matrix,
+    ) -> Result<Matrix, LinAlgError> {
+        let (d1, d2, d3) = self.dims;
+        let (expect_a, expect_b, out_rows) = match mode {
+            1 => (d2, d3, d1),
+            2 => (d1, d3, d2),
+            3 => (d1, d2, d3),
+            _ => {
+                return Err(LinAlgError::InvalidArgument(format!(
+                    "mode must be 1, 2 or 3, got {mode}"
+                )))
+            }
+        };
+        if ya.rows() != expect_a || yb.rows() != expect_b {
+            return Err(LinAlgError::DimensionMismatch {
+                op: "ttm_except_unfolded",
+                lhs: ya.shape(),
+                rhs: yb.shape(),
+            });
+        }
+        let ja = ya.cols();
+        let jb = yb.cols();
+        let out_cols = ja * jb;
+        let mut out = Matrix::zeros(out_rows, out_cols);
+        let idx = &self.mode_index[mode - 1];
+        let entries = &self.entries;
+
+        // Partition output rows across threads; each row's fiber only
+        // touches that row of the output, so bands are independent.
+        let out_data = out.as_mut_slice();
+        let bands: Vec<(usize, &mut [f64])> = split_rows(out_data, out_rows, out_cols);
+        parallel_process_bands(bands, out_cols, |row, out_row| {
+            let start = idx.ptr[row] as usize;
+            let end = idx.ptr[row + 1] as usize;
+            for &pos in &idx.order[start..end] {
+                let e = &entries[pos as usize];
+                let (a_idx, b_idx) = match mode {
+                    1 => (e.j as usize, e.k as usize),
+                    2 => (e.i as usize, e.k as usize),
+                    3 => (e.i as usize, e.j as usize),
+                    _ => unreachable!(),
+                };
+                let a_row = ya.row(a_idx);
+                let b_row = yb.row(b_idx);
+                for (jb_i, &bv) in b_row.iter().enumerate() {
+                    let w = e.v * bv;
+                    if w == 0.0 {
+                        continue;
+                    }
+                    let out_seg = &mut out_row[jb_i * ja..(jb_i + 1) * ja];
+                    for (o, &av) in out_seg.iter_mut().zip(a_row.iter()) {
+                        *o += w * av;
+                    }
+                }
+            }
+        });
+        Ok(out)
+    }
+
+    /// Full three-way contraction `F ×₁ Y₁ᵀ ×₂ Y₂ᵀ ×₃ Y₃ᵀ` returning the
+    /// (small, dense) core-sized tensor. Used for Eq. 16 of the paper.
+    pub fn core_contract(
+        &self,
+        y1: &Matrix,
+        y2: &Matrix,
+        y3: &Matrix,
+    ) -> Result<DenseTensor3, LinAlgError> {
+        let (d1, d2, d3) = self.dims;
+        if y1.rows() != d1 || y2.rows() != d2 || y3.rows() != d3 {
+            return Err(LinAlgError::DimensionMismatch {
+                op: "core_contract",
+                lhs: (y1.rows(), y2.rows()),
+                rhs: (y3.rows(), 0),
+            });
+        }
+        // W₍₂₎ = (F ×₁ Y₁ᵀ ×₃ Y₃ᵀ)₍₂₎ is I₂ x (J₁·J₃); then S₍₂₎ = Y₂ᵀ W₍₂₎.
+        let w2 = self.ttm_except_unfolded(2, y1, y3)?;
+        let s2 = y2.transpose().matmul(&w2)?;
+        DenseTensor3::fold(2, &s2, (y1.cols(), y2.cols(), y3.cols()))
+    }
+}
+
+fn build_mode_index(entries: &[Entry], dim: usize, key: impl Fn(&Entry) -> usize) -> ModeIndex {
+    let mut counts = vec![0u32; dim + 1];
+    for e in entries {
+        counts[key(e) + 1] += 1;
+    }
+    for x in 0..dim {
+        counts[x + 1] += counts[x];
+    }
+    let ptr = counts.clone();
+    let mut cursor = counts;
+    let mut order = vec![0u32; entries.len()];
+    for (pos, e) in entries.iter().enumerate() {
+        let x = key(e);
+        order[cursor[x] as usize] = pos as u32;
+        cursor[x] += 1;
+    }
+    ModeIndex { ptr, order }
+}
+
+/// Splits a `rows x cols` row-major buffer into one band per output row
+/// group, returning `(first_row, band)` pairs sized for the thread count.
+fn split_rows(data: &mut [f64], rows: usize, cols: usize) -> Vec<(usize, &mut [f64])> {
+    let nthreads = parallel::num_threads().clamp(1, rows.max(1));
+    let rows_per = rows.div_ceil(nthreads.max(1)).max(1);
+    let mut bands = Vec::new();
+    let mut rest = data;
+    let mut start_row = 0;
+    while !rest.is_empty() {
+        let take = (rows_per * cols).min(rest.len());
+        let (band, tail) = rest.split_at_mut(take);
+        bands.push((start_row, band));
+        start_row += take / cols.max(1);
+        rest = tail;
+    }
+    bands
+}
+
+/// Runs `f(row, row_slice)` for every row in every band, bands in parallel.
+fn parallel_process_bands<F>(bands: Vec<(usize, &mut [f64])>, cols: usize, f: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    if bands.len() <= 1 {
+        for (start_row, band) in bands {
+            for (bi, row_slice) in band.chunks_mut(cols).enumerate() {
+                f(start_row + bi, row_slice);
+            }
+        }
+        return;
+    }
+    crossbeam::thread::scope(|scope| {
+        for (start_row, band) in bands {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (bi, row_slice) in band.chunks_mut(cols).enumerate() {
+                    f(start_row + bi, row_slice);
+                }
+            });
+        }
+    })
+    .expect("ttm worker thread panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 2 running example: 3 users, 3 tags, 3 resources,
+    /// 7 assignments.
+    pub(crate) fn figure2_tensor() -> SparseTensor3 {
+        // (u, t, r) triples, 0-indexed: records 1-7 of Figure 2(a).
+        let quads = [
+            (0, 0, 0, 1.0), // u1, t1(folk), r1
+            (0, 0, 1, 1.0), // u1, t1, r2
+            (1, 0, 1, 1.0), // u2, t1, r2
+            (2, 0, 1, 1.0), // u3, t1, r2
+            (0, 1, 0, 1.0), // u1, t2(people), r1
+            (1, 2, 2, 1.0), // u2, t3(laptop), r3
+            (2, 2, 2, 1.0), // u3, t3, r3
+        ];
+        SparseTensor3::from_entries((3, 3, 3), &quads).unwrap()
+    }
+
+    #[test]
+    fn figure2_statistics() {
+        let t = figure2_tensor();
+        assert_eq!(t.dims(), (3, 3, 3));
+        assert_eq!(t.nnz(), 7);
+        assert_eq!(t.frobenius_norm_sq(), 7.0);
+        assert_eq!(t.mode_fiber_nnz(2, 0), 4); // tag t1 has 4 assignments
+        assert_eq!(t.mode_fiber_nnz(2, 1), 1);
+        assert_eq!(t.mode_fiber_nnz(2, 2), 2);
+    }
+
+    #[test]
+    fn duplicates_summed_and_bounds_checked() {
+        let t = SparseTensor3::from_entries((2, 2, 2), &[(0, 0, 0, 1.0), (0, 0, 0, 2.0)]).unwrap();
+        assert_eq!(t.nnz(), 1);
+        assert_eq!(t.to_dense().get(0, 0, 0), 3.0);
+        assert!(SparseTensor3::from_entries((2, 2, 2), &[(2, 0, 0, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn unfold_csr_matches_dense_unfold() {
+        let t = figure2_tensor();
+        let dense = t.to_dense();
+        for mode in 1..=3 {
+            let sparse_unf = t.unfold_csr(mode).to_dense();
+            let dense_unf = dense.unfold(mode);
+            assert!(
+                sparse_unf.approx_eq(&dense_unf, 0.0),
+                "mode {mode} unfolding mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn mode2_unfolding_matches_paper_example() {
+        // The paper's F(2) rows are the per-tag aggregates; check tag t1's
+        // slice F[:,1,:] (Figure 2(b)): users u1..u3 tagged r2, u1 also r1.
+        let t = figure2_tensor();
+        let slice = t.slice_mode2_csr(0).to_dense();
+        let expected = Matrix::from_rows(&[
+            vec![1.0, 1.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+        ])
+        .unwrap();
+        assert!(slice.approx_eq(&expected, 0.0));
+    }
+
+    #[test]
+    fn slice_frobenius_distances_match_paper_eq_9_12_13() {
+        let t = figure2_tensor();
+        let s1 = t.slice_mode2_csr(0).to_dense();
+        let s2 = t.slice_mode2_csr(1).to_dense();
+        let s3 = t.slice_mode2_csr(2).to_dense();
+        let d12 = s1.sub(&s2).unwrap().frobenius_norm();
+        let d13 = s1.sub(&s3).unwrap().frobenius_norm();
+        let d23 = s2.sub(&s3).unwrap().frobenius_norm();
+        assert!((d12 - 3.0f64.sqrt()).abs() < 1e-12, "D12 = √3 (Eq. 9)");
+        assert!((d13 - 6.0f64.sqrt()).abs() < 1e-12, "D13 = √6 (Eq. 12)");
+        assert!((d23 - 3.0f64.sqrt()).abs() < 1e-12, "D23 = √3 (Eq. 13)");
+    }
+
+    #[test]
+    fn ttm_except_matches_dense_reference() {
+        let t = figure2_tensor();
+        let dense = t.to_dense();
+        let y1 = Matrix::from_fn(3, 2, |i, j| ((i + 1) * (j + 2)) as f64 * 0.1);
+        let y2 = Matrix::from_fn(3, 2, |i, j| (i as f64 - j as f64) * 0.3 + 0.2);
+        let y3 = Matrix::from_fn(3, 2, |i, j| ((i * j) as f64).sin() + 0.5);
+
+        // mode 2: F ×1 Y1ᵀ ×3 Y3ᵀ, unfolded along mode 2.
+        let fused = t.ttm_except_unfolded(2, &y1, &y3).unwrap();
+        let reference = dense
+            .mode_product(1, &y1.transpose())
+            .unwrap()
+            .mode_product(3, &y3.transpose())
+            .unwrap()
+            .unfold(2);
+        assert!(fused.approx_eq(&reference, 1e-12), "mode 2 fused TTM");
+
+        // mode 1: F ×2 Y2ᵀ ×3 Y3ᵀ.
+        let fused = t.ttm_except_unfolded(1, &y2, &y3).unwrap();
+        let reference = dense
+            .mode_product(2, &y2.transpose())
+            .unwrap()
+            .mode_product(3, &y3.transpose())
+            .unwrap()
+            .unfold(1);
+        assert!(fused.approx_eq(&reference, 1e-12), "mode 1 fused TTM");
+
+        // mode 3: F ×1 Y1ᵀ ×2 Y2ᵀ.
+        let fused = t.ttm_except_unfolded(3, &y1, &y2).unwrap();
+        let reference = dense
+            .mode_product(1, &y1.transpose())
+            .unwrap()
+            .mode_product(2, &y2.transpose())
+            .unwrap()
+            .unfold(3);
+        assert!(fused.approx_eq(&reference, 1e-12), "mode 3 fused TTM");
+    }
+
+    #[test]
+    fn ttm_except_rejects_bad_dims() {
+        let t = figure2_tensor();
+        let bad = Matrix::zeros(5, 2);
+        let ok = Matrix::zeros(3, 2);
+        assert!(t.ttm_except_unfolded(2, &bad, &ok).is_err());
+        assert!(t.ttm_except_unfolded(9, &ok, &ok).is_err());
+    }
+
+    #[test]
+    fn core_contract_matches_dense_reference() {
+        let t = figure2_tensor();
+        let dense = t.to_dense();
+        let y1 = Matrix::from_fn(3, 2, |i, j| (i + j) as f64 * 0.25 + 0.1);
+        let y2 = Matrix::from_fn(3, 3, |i, j| if i == j { 1.0 } else { 0.1 });
+        let y3 = Matrix::from_fn(3, 2, |i, j| (i as f64 * 0.5 - j as f64 * 0.2).cos());
+        let core = t.core_contract(&y1, &y2, &y3).unwrap();
+        let reference = dense
+            .mode_product(1, &y1.transpose())
+            .unwrap()
+            .mode_product(2, &y2.transpose())
+            .unwrap()
+            .mode_product(3, &y3.transpose())
+            .unwrap();
+        assert!(core.approx_eq(&reference, 1e-12));
+        assert_eq!(core.dims(), (2, 3, 2));
+    }
+
+    #[test]
+    fn empty_tensor_is_fine() {
+        let t = SparseTensor3::from_entries((4, 5, 6), &[]).unwrap();
+        assert_eq!(t.nnz(), 0);
+        assert_eq!(t.frobenius_norm(), 0.0);
+        let y1 = Matrix::zeros(4, 2);
+        let y3 = Matrix::zeros(6, 2);
+        let w = t.ttm_except_unfolded(2, &y1, &y3).unwrap();
+        assert_eq!(w.shape(), (5, 4));
+        assert_eq!(w.frobenius_norm(), 0.0);
+    }
+
+    #[test]
+    fn iter_yields_sorted_unique_coords() {
+        let t = figure2_tensor();
+        let coords: Vec<(usize, usize, usize)> = t.iter().map(|(i, j, k, _)| (i, j, k)).collect();
+        let mut sorted = coords.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(coords, sorted);
+    }
+}

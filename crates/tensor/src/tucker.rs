@@ -1,0 +1,419 @@
+//! Tucker decomposition via HOSVD initialization + HOOI/ALS iterations.
+//!
+//! Solves the trimmed Tucker problem of Definition 2 in the paper: given a
+//! sparse `F ∈ R^{I₁×I₂×I₃}` and core dimensions `J₁, J₂, J₃` (usually set
+//! through reduction ratios `cₙ = Iₙ/Jₙ`), find orthonormal factor matrices
+//! `Y⁽ⁿ⁾ ∈ R^{Iₙ×Jₙ}` and the core `S ∈ R^{J₁×J₂×J₃}` minimizing
+//! `‖F − S ×₁ Y⁽¹⁾ ×₂ Y⁽²⁾ ×₃ Y⁽³⁾‖`.
+//!
+//! Two properties the rest of the pipeline depends on:
+//!
+//! * the purified tensor `F̂` is **never materialized** — fit is tracked via
+//!   the orthonormality identity `‖F − F̂‖² = ‖F‖² − ‖S‖²`;
+//! * the mode-2 singular values `Λ₂` of the final ALS step are returned as
+//!   a by-product, enabling the paper's Theorem 2 shortcut
+//!   `Σ = ((Λ₂)₁:J₂,₁:J₂)²`.
+
+use cubelsi_linalg::subspace::SubspaceOptions;
+use cubelsi_linalg::svd::truncated_svd;
+use cubelsi_linalg::{sym_eigs_topk, GramOp, LinAlgError, Matrix};
+
+use crate::dense::DenseTensor3;
+use crate::sparse::SparseTensor3;
+
+/// Configuration for [`tucker_als`].
+#[derive(Debug, Clone)]
+pub struct TuckerConfig {
+    /// Target core dimensions `(J₁, J₂, J₃)`; clamped to the tensor dims.
+    pub core_dims: (usize, usize, usize),
+    /// Maximum HOOI iterations (each iteration updates all three modes).
+    pub max_iters: usize,
+    /// Stop when the fit improves by less than this between iterations.
+    pub fit_tol: f64,
+    /// Settings for the inner subspace-iteration eigensolver.
+    pub subspace: SubspaceOptions,
+}
+
+impl TuckerConfig {
+    /// Builds a configuration from the paper's reduction ratios
+    /// `cₙ = Iₙ/Jₙ ≥ 1` (§IV-C): `Jₙ = max(1, round(Iₙ/cₙ))`.
+    pub fn from_reduction_ratios(
+        dims: (usize, usize, usize),
+        c1: f64,
+        c2: f64,
+        c3: f64,
+    ) -> Result<Self, LinAlgError> {
+        for (name, c) in [("c1", c1), ("c2", c2), ("c3", c3)] {
+            if !(c >= 1.0) {
+                return Err(LinAlgError::InvalidArgument(format!(
+                    "reduction ratio {name} must be >= 1, got {c}"
+                )));
+            }
+        }
+        let j = |i: usize, c: f64| ((i as f64 / c).round() as usize).clamp(1, i.max(1));
+        Ok(TuckerConfig {
+            core_dims: (j(dims.0, c1), j(dims.1, c2), j(dims.2, c3)),
+            ..Default::default()
+        })
+    }
+}
+
+impl Default for TuckerConfig {
+    fn default() -> Self {
+        TuckerConfig {
+            core_dims: (8, 8, 8),
+            max_iters: 12,
+            fit_tol: 1e-5,
+            subspace: SubspaceOptions::default(),
+        }
+    }
+}
+
+/// Output of [`tucker_als`]: `F ≈ S ×₁ Y⁽¹⁾ ×₂ Y⁽²⁾ ×₃ Y⁽³⁾`.
+#[derive(Debug, Clone)]
+pub struct TuckerDecomposition {
+    /// Trimmed core tensor `S ∈ R^{J₁×J₂×J₃}`.
+    pub core: DenseTensor3,
+    /// Orthonormal factor matrices `[Y⁽¹⁾, Y⁽²⁾, Y⁽³⁾]`, `Y⁽ⁿ⁾ ∈ R^{Iₙ×Jₙ}`.
+    pub factors: [Matrix; 3],
+    /// Mode-2 singular values of the final ALS step (length `J₂`),
+    /// the `Λ₂` by-product used by Theorem 2.
+    pub lambda2: Vec<f64>,
+    /// Final fit `1 − ‖F − F̂‖ / ‖F‖` (1 = exact).
+    pub fit: f64,
+    /// HOOI iterations executed.
+    pub iterations: usize,
+    /// Fit after each iteration, for convergence diagnostics.
+    pub fit_history: Vec<f64>,
+}
+
+impl TuckerDecomposition {
+    /// Materializes `F̂ = S ×₁ Y⁽¹⁾ ×₂ Y⁽²⁾ ×₃ Y⁽³⁾` densely.
+    ///
+    /// This is exactly what the paper proves you should *never* do at data
+    /// scale (§IV-D); it exists for test-scale validation of Theorem 1.
+    pub fn reconstruct(&self) -> Result<DenseTensor3, LinAlgError> {
+        self.core
+            .mode_product(1, &self.factors[0])?
+            .mode_product(2, &self.factors[1])?
+            .mode_product(3, &self.factors[2])
+    }
+
+    /// `Σ = S₍₂₎ S₍₂₎ᵀ` computed from the core tensor (the matrix named in
+    /// Theorem 1: "a matrix that can be readily computed from the core
+    /// tensor S"). Always exactly consistent with the factors.
+    pub fn sigma_from_core(&self) -> Result<Matrix, LinAlgError> {
+        let s2 = self.core.unfold(2);
+        Ok(s2.gram_t())
+    }
+
+    /// `Σ = ((Λ₂)₁:J₂,₁:J₂)²` from the ALS by-product (Theorem 2). Equal to
+    /// [`Self::sigma_from_core`] at an exact ALS fixed point; cheaper
+    /// because no core unfolding product is needed.
+    pub fn sigma_from_lambda2(&self) -> Matrix {
+        let sq: Vec<f64> = self.lambda2.iter().map(|l| l * l).collect();
+        Matrix::from_diag(&sq)
+    }
+
+    /// Number of `f64` values needed to store the compressed representation
+    /// (`S` plus all three factor matrices) — the paper's Table VII notion
+    /// of CubeLSI memory.
+    pub fn compressed_len(&self) -> usize {
+        let (j1, j2, j3) = self.core.dims();
+        let factors: usize = self.factors.iter().map(|y| y.rows() * y.cols()).sum();
+        j1 * j2 * j3 + factors
+    }
+}
+
+/// Runs HOSVD-initialized HOOI/ALS on a sparse third-order tensor.
+///
+/// Each iteration updates the three factor matrices in mode order; each
+/// update computes the fused TTM chain `W = F ×ₘ≠ₙ Y⁽ᵐ⁾ᵀ` (cost
+/// `O(nnz·∏Jₘ)`) and takes the leading `Jₙ` left singular vectors of its
+/// mode-n unfolding. After convergence the mode-2 step is refreshed once so
+/// `Y⁽²⁾`/`Λ₂` are exactly the singular pairs of the final product matrix,
+/// and the core is contracted from the final factors (Eq. 16).
+pub fn tucker_als(
+    f: &SparseTensor3,
+    config: &TuckerConfig,
+) -> Result<TuckerDecomposition, LinAlgError> {
+    let dims = f.dims();
+    let mut j1 = config.core_dims.0.clamp(1, dims.0);
+    let mut j2 = config.core_dims.1.clamp(1, dims.1);
+    let mut j3 = config.core_dims.2.clamp(1, dims.2);
+    // A Tucker core rank can never exceed the product of the other two
+    // (the mode-n unfolding of S has only ∏_{m≠n} Jₘ columns); clamp to a
+    // feasible rank triple so every factor matrix gets its full width.
+    loop {
+        let (n1, n2, n3) = (
+            j1.min(j2 * j3),
+            j2.min(j1 * j3),
+            j3.min(j1 * j2),
+        );
+        if (n1, n2, n3) == (j1, j2, j3) {
+            break;
+        }
+        (j1, j2, j3) = (n1, n2, n3);
+    }
+    if f.nnz() == 0 {
+        return Err(LinAlgError::InvalidArgument(
+            "cannot decompose an all-zero tensor".into(),
+        ));
+    }
+
+    // --- HOSVD initialization: Y⁽ⁿ⁾ ← top-Jₙ eigenvectors of Aₙ Aₙᵀ where
+    // Aₙ is the sparse mode-n unfolding.
+    let mut factors: [Matrix; 3] = [
+        hosvd_factor(f, 1, j1, &config.subspace)?,
+        hosvd_factor(f, 2, j2, &config.subspace)?,
+        hosvd_factor(f, 3, j3, &config.subspace)?,
+    ];
+
+    let norm_f_sq = f.frobenius_norm_sq();
+    let norm_f = norm_f_sq.sqrt();
+    let mut fit_history = Vec::with_capacity(config.max_iters);
+    let mut prev_fit = f64::NEG_INFINITY;
+    let mut iterations = 0;
+
+    for it in 0..config.max_iters {
+        iterations = it + 1;
+        for mode in 1..=3usize {
+            let jn = [j1, j2, j3][mode - 1];
+            let (ya, yb) = match mode {
+                1 => (&factors[1], &factors[2]),
+                2 => (&factors[0], &factors[2]),
+                3 => (&factors[0], &factors[1]),
+                _ => unreachable!(),
+            };
+            let w = f.ttm_except_unfolded(mode, ya, yb)?;
+            let svd = truncated_svd(&w, jn, &config.subspace)?;
+            factors[mode - 1] = svd.u;
+        }
+        // Fit via ‖F−F̂‖² = ‖F‖² − ‖S‖² (factors orthonormal). The core norm
+        // equals the norm of S₍₂₎ = Y⁽²⁾ᵀ W₍₂₎, which we can get cheaply from
+        // the most recent mode products; recompute exactly from the current
+        // factors for a clean convergence signal.
+        let core = f.core_contract(&factors[0], &factors[1], &factors[2])?;
+        let resid_sq = (norm_f_sq - core.frobenius_norm_sq()).max(0.0);
+        let fit = 1.0 - resid_sq.sqrt() / norm_f.max(f64::MIN_POSITIVE);
+        fit_history.push(fit);
+        let converged = (fit - prev_fit).abs() < config.fit_tol;
+        prev_fit = fit;
+        if converged {
+            break;
+        }
+    }
+
+    // --- Final mode-2 refresh: make Y⁽²⁾ and Λ₂ the exact singular pairs of
+    // the final product matrix so Theorem 2 holds as tightly as possible.
+    let w2 = f.ttm_except_unfolded(2, &factors[0], &factors[2])?;
+    let svd2 = truncated_svd(&w2, j2, &config.subspace)?;
+    factors[1] = svd2.u;
+    let lambda2 = svd2.singular_values;
+
+    // --- Core from the final factors (Eq. 16). S₍₂₎ = Y⁽²⁾ᵀ W₍₂₎ reuses W₍₂₎.
+    let s2 = factors[1].transpose().matmul(&w2)?;
+    let core = DenseTensor3::fold(2, &s2, (j1, j2, j3))?;
+    let resid_sq = (norm_f_sq - core.frobenius_norm_sq()).max(0.0);
+    let fit = 1.0 - resid_sq.sqrt() / norm_f.max(f64::MIN_POSITIVE);
+
+    Ok(TuckerDecomposition {
+        core,
+        factors,
+        lambda2,
+        fit,
+        iterations,
+        fit_history,
+    })
+}
+
+/// HOSVD factor for one mode: leading eigenvectors of the sparse unfolding's
+/// outer Gram operator, computed without densifying the unfolding.
+fn hosvd_factor(
+    f: &SparseTensor3,
+    mode: usize,
+    k: usize,
+    opts: &SubspaceOptions,
+) -> Result<Matrix, LinAlgError> {
+    let unfolding = f.unfold_csr(mode);
+    let op = GramOp::outer(&unfolding);
+    let eigs = sym_eigs_topk(&op, k, opts)?;
+    Ok(eigs.vectors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubelsi_linalg::qr::orthonormality_error;
+
+    fn figure2_tensor() -> SparseTensor3 {
+        let quads = [
+            (0, 0, 0, 1.0),
+            (0, 0, 1, 1.0),
+            (1, 0, 1, 1.0),
+            (2, 0, 1, 1.0),
+            (0, 1, 0, 1.0),
+            (1, 2, 2, 1.0),
+            (2, 2, 2, 1.0),
+        ];
+        SparseTensor3::from_entries((3, 3, 3), &quads).unwrap()
+    }
+
+    fn default_config(dims: (usize, usize, usize)) -> TuckerConfig {
+        TuckerConfig {
+            core_dims: dims,
+            max_iters: 30,
+            fit_tol: 1e-10,
+            subspace: SubspaceOptions::default(),
+        }
+    }
+
+    #[test]
+    fn full_rank_decomposition_is_exact() {
+        let f = figure2_tensor();
+        let config = default_config((3, 3, 3));
+        let d = tucker_als(&f, &config).unwrap();
+        assert!(d.fit > 1.0 - 1e-8, "full-rank fit should be ~1, got {}", d.fit);
+        let recon = d.reconstruct().unwrap();
+        assert!(recon.approx_eq(&f.to_dense(), 1e-7));
+    }
+
+    #[test]
+    fn factors_are_orthonormal() {
+        let f = figure2_tensor();
+        let config = default_config((2, 3, 2));
+        let d = tucker_als(&f, &config).unwrap();
+        for (n, y) in d.factors.iter().enumerate() {
+            assert!(
+                orthonormality_error(y) < 1e-8,
+                "factor {} not orthonormal",
+                n + 1
+            );
+        }
+    }
+
+    #[test]
+    fn paper_example_trimmed_decomposition() {
+        // §IV-D uses J1 = J2 = 3, J3 = 2 on the Figure 2 tensor and reports
+        // that F̂ stays close to F. Verify the shape of that claim.
+        let f = figure2_tensor();
+        let config = default_config((3, 3, 2));
+        let d = tucker_als(&f, &config).unwrap();
+        assert_eq!(d.core.dims(), (3, 3, 2));
+        let recon = d.reconstruct().unwrap();
+        let err = recon.sub(&f.to_dense()).unwrap().frobenius_norm();
+        // The trimmed reconstruction must lose something but not much.
+        assert!(err > 1e-9, "trimming J3 must be lossy here");
+        assert!(err < f.frobenius_norm() * 0.5, "error {err} too large");
+        // Residual identity: ‖F−F̂‖² = ‖F‖² − ‖S‖².
+        let identity_err =
+            (err * err - (f.frobenius_norm_sq() - d.core.frobenius_norm_sq())).abs();
+        assert!(identity_err < 1e-8, "norm identity violated by {identity_err}");
+    }
+
+    #[test]
+    fn fit_matches_reconstruction_error() {
+        let f = figure2_tensor();
+        let config = default_config((2, 2, 2));
+        let d = tucker_als(&f, &config).unwrap();
+        let recon = d.reconstruct().unwrap();
+        let err = recon.sub(&f.to_dense()).unwrap().frobenius_norm();
+        let fit_direct = 1.0 - err / f.frobenius_norm();
+        assert!((d.fit - fit_direct).abs() < 1e-8);
+    }
+
+    #[test]
+    fn bigger_core_never_fits_worse() {
+        let f = figure2_tensor();
+        let small = tucker_als(&f, &default_config((1, 1, 1))).unwrap();
+        let medium = tucker_als(&f, &default_config((2, 2, 2))).unwrap();
+        let full = tucker_als(&f, &default_config((3, 3, 3))).unwrap();
+        assert!(small.fit <= medium.fit + 1e-9);
+        assert!(medium.fit <= full.fit + 1e-9);
+    }
+
+    #[test]
+    fn lambda2_matches_core_row_norms() {
+        // Theorem 2's engine: at the fixed point, S₍₂₎ has orthogonal rows
+        // with norms λᵢ. After the final mode-2 refresh this holds exactly.
+        let f = figure2_tensor();
+        let d = tucker_als(&f, &default_config((3, 3, 2))).unwrap();
+        let s2 = d.core.unfold(2);
+        for (i, &l) in d.lambda2.iter().enumerate() {
+            let row_norm: f64 = s2.row(i).iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!(
+                (row_norm - l).abs() < 1e-8,
+                "row {i}: ‖S₍₂₎ᵢ‖ = {row_norm} vs λ = {l}"
+            );
+        }
+        // And the rows are mutually orthogonal.
+        for i in 0..s2.rows() {
+            for j in (i + 1)..s2.rows() {
+                let dot: f64 = s2.row(i).iter().zip(s2.row(j)).map(|(a, b)| a * b).sum();
+                assert!(dot.abs() < 1e-8, "rows {i},{j} not orthogonal: {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn sigma_from_core_equals_sigma_from_lambda2_at_convergence() {
+        let f = figure2_tensor();
+        let d = tucker_als(&f, &default_config((3, 3, 2))).unwrap();
+        let a = d.sigma_from_core().unwrap();
+        let b = d.sigma_from_lambda2();
+        assert!(a.approx_eq(&b, 1e-7), "Theorem 2: Σ_core ≠ Σ_Λ₂");
+    }
+
+    #[test]
+    fn reduction_ratio_config() {
+        let cfg = TuckerConfig::from_reduction_ratios((3897, 3326, 2849), 50.0, 50.0, 50.0)
+            .unwrap();
+        // The paper quotes 78 x 67 x 57 for Last.fm at c = 50.
+        assert_eq!(cfg.core_dims, (78, 67, 57));
+        assert!(TuckerConfig::from_reduction_ratios((10, 10, 10), 0.5, 1.0, 1.0).is_err());
+        // Ratios can exceed the dimension: J clamps to 1.
+        let tiny = TuckerConfig::from_reduction_ratios((3, 3, 3), 100.0, 100.0, 100.0).unwrap();
+        assert_eq!(tiny.core_dims, (1, 1, 1));
+    }
+
+    #[test]
+    fn zero_tensor_rejected() {
+        let f = SparseTensor3::from_entries((2, 2, 2), &[]).unwrap();
+        assert!(tucker_als(&f, &TuckerConfig::default()).is_err());
+    }
+
+    #[test]
+    fn core_dims_clamped_to_tensor_dims() {
+        let f = figure2_tensor();
+        let config = default_config((10, 10, 10));
+        let d = tucker_als(&f, &config).unwrap();
+        assert_eq!(d.core.dims(), (3, 3, 3));
+    }
+
+    #[test]
+    fn compressed_len_accounting() {
+        let f = figure2_tensor();
+        let d = tucker_als(&f, &default_config((2, 3, 2))).unwrap();
+        // S: 2*3*2 = 12; Y1: 3x2, Y2: 3x3, Y3: 3x2 → 6+9+6 = 21.
+        assert_eq!(d.compressed_len(), 12 + 21);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let f = figure2_tensor();
+        let config = default_config((2, 2, 2));
+        let d1 = tucker_als(&f, &config).unwrap();
+        let d2 = tucker_als(&f, &config).unwrap();
+        assert_eq!(d1.fit, d2.fit);
+        assert!(d1.factors[1].approx_eq(&d2.factors[1], 0.0));
+    }
+
+    #[test]
+    fn fit_history_is_monotone_nondecreasing() {
+        let f = figure2_tensor();
+        let d = tucker_als(&f, &default_config((2, 2, 2))).unwrap();
+        for w in d.fit_history.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "ALS fit decreased: {:?}", d.fit_history);
+        }
+    }
+}

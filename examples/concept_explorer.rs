@@ -1,0 +1,106 @@
+//! Explore the distilled concept space of a generated corpus — the
+//! Table IV view: which tags cluster together, what lexical relations the
+//! clusters capture (synonyms, cognates, morphological variants,
+//! abbreviations), and each concept's most representative resources.
+//!
+//! ```sh
+//! cargo run --release --example concept_explorer
+//! ```
+
+use cubelsi::core::{CubeLsi, CubeLsiConfig};
+use cubelsi::datagen::{generate, lastfm_like, WordKind};
+use cubelsi::folksonomy::{clean, CleaningConfig, TagId};
+
+fn main() {
+    let preset = lastfm_like(0.03, 7);
+    let dataset = generate(&preset.config);
+    let (cleaned, _) = clean(&dataset.folksonomy, &CleaningConfig::default());
+    let dataset = dataset.rebind(cleaned);
+    let f = &dataset.folksonomy;
+    let truth = &dataset.truth;
+    println!("corpus: {}", f.stats());
+
+    let engine = CubeLsi::build(
+        f,
+        &CubeLsiConfig {
+            num_concepts: Some(truth.concept_words.len()),
+            reduction_ratios: (8.0, 8.0, 8.0),
+            ..Default::default()
+        },
+    )
+    .expect("CubeLSI builds");
+    let model = engine.concepts();
+    println!(
+        "distilled {} concepts over {} tags (σ = {:.3})\n",
+        model.num_concepts(),
+        model.num_tags(),
+        model.sigma()
+    );
+
+    for concept in 0..model.num_concepts() {
+        let tags = model.tags_of(concept);
+        if tags.len() < 2 {
+            continue;
+        }
+        let names: Vec<&str> = tags
+            .iter()
+            .take(8)
+            .map(|&t| f.tag_name(TagId::from_index(t)))
+            .collect();
+        // Classify intra-cluster lexical relations via the lexicon oracle.
+        let mut relations: Vec<&str> = Vec::new();
+        for &a in tags {
+            for &b in tags {
+                if a >= b {
+                    continue;
+                }
+                let wa = truth.lexicon.word(truth.tag_words[a]);
+                let wb = truth.lexicon.word(truth.tag_words[b]);
+                if wa.group != wb.group {
+                    continue;
+                }
+                let label = match (wa.kind, wb.kind) {
+                    (WordKind::Cognate, _) | (_, WordKind::Cognate) => "cognates",
+                    (WordKind::MorphVariant, _) | (_, WordKind::MorphVariant) => "morphology",
+                    (WordKind::Abbreviation, _) | (_, WordKind::Abbreviation) => "abbreviation",
+                    _ => "synonyms",
+                };
+                if !relations.contains(&label) {
+                    relations.push(label);
+                }
+            }
+        }
+        let relation_note = if relations.is_empty() {
+            String::from("latent co-usage")
+        } else {
+            relations.join(" + ")
+        };
+        println!("concept {concept:>3} [{relation_note}]: {}", names.join(", "));
+
+        // The concept's most characteristic resources (highest tf-idf).
+        let mut best: Vec<(usize, f64)> = (0..f.num_resources())
+            .filter_map(|r| {
+                engine
+                    .index()
+                    .resource_vector(r)
+                    .iter()
+                    .find(|&&(l, _)| l as usize == concept)
+                    .map(|&(_, w)| (r, w))
+            })
+            .collect();
+        best.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let top: Vec<String> = best
+            .iter()
+            .take(3)
+            .map(|&(r, w)| {
+                format!(
+                    "{} ({w:.2})",
+                    f.resource_name(cubelsi::folksonomy::ResourceId::from_index(r))
+                )
+            })
+            .collect();
+        if !top.is_empty() {
+            println!("      resources: {}", top.join(", "));
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Run all six ranking methods of the paper's evaluation on one generated
+//! corpus and print their NDCG@N — a one-command miniature of Figure 4.
+//!
+//! ```sh
+//! cargo run --release --example method_shootout
+//! ```
+
+use cubelsi::baselines::{
+    cubesim::CubeSimConfig, BowRanker, CubeLsiRanker, CubeSim, CubeSimMode, FolkRank,
+    FolkRankConfig, FreqRanker, LsiConfig, LsiRanker, Ranker,
+};
+use cubelsi::core::{CubeLsi, CubeLsiConfig};
+use cubelsi::datagen::{delicious_like, generate};
+use cubelsi::eval::{generate_workload, ndcg_at, WorkloadConfig};
+use cubelsi::folksonomy::{clean, CleaningConfig};
+
+fn main() {
+    let preset = delicious_like(0.02, 99);
+    let dataset = generate(&preset.config);
+    let (cleaned, _) = clean(&dataset.folksonomy, &CleaningConfig::default());
+    let dataset = dataset.rebind(cleaned);
+    let f = &dataset.folksonomy;
+    println!("corpus: {}", f.stats());
+
+    let queries = generate_workload(&dataset, &WorkloadConfig::default());
+    println!("workload: {} queries\n", queries.len());
+
+    let k = dataset.truth.concept_words.len();
+    let min_j = (2 * k).max(8) as f64;
+    let ratio = |dim: usize| (dim as f64 / min_j).clamp(1.0, 50.0);
+    let rankers: Vec<Box<dyn Ranker>> = vec![
+        Box::new(CubeLsiRanker(
+            CubeLsi::build(
+                f,
+                &CubeLsiConfig {
+                    num_concepts: Some(k),
+                    reduction_ratios: (
+                        ratio(f.num_users()),
+                        ratio(f.num_tags()),
+                        ratio(f.num_resources()),
+                    ),
+                    ..Default::default()
+                },
+            )
+            .expect("CubeLSI"),
+        )),
+        Box::new(
+            CubeSim::build(
+                f,
+                &CubeSimConfig {
+                    mode: CubeSimMode::SparseOptimized,
+                    num_concepts: Some(k),
+                    ..Default::default()
+                },
+            )
+            .expect("CubeSim"),
+        ),
+        Box::new(FolkRank::build(f, &FolkRankConfig::default())),
+        Box::new(FreqRanker::build(f)),
+        Box::new(
+            LsiRanker::build(
+                f,
+                &LsiConfig {
+                    num_concepts: Some(k),
+                    rank: Some((min_j as usize).min(f.num_tags()).min(f.num_resources())),
+                    ..Default::default()
+                },
+            )
+            .expect("LSI"),
+        ),
+        Box::new(BowRanker::build(f)),
+    ];
+
+    println!("{:<10} {:>8} {:>8} {:>8}", "method", "NDCG@5", "NDCG@10", "NDCG@20");
+    for ranker in &rankers {
+        let mut scores = [0.0f64; 3];
+        for q in &queries {
+            for (slot, n) in [5usize, 10, 20].into_iter().enumerate() {
+                let ranked = ranker.search_ids(&q.tags, n);
+                let grades: Vec<u8> = ranked
+                    .iter()
+                    .map(|h| q.relevance[h.resource.index()])
+                    .collect();
+                scores[slot] += ndcg_at(&grades, &q.relevance, n);
+            }
+        }
+        let nq = queries.len() as f64;
+        println!(
+            "{:<10} {:>8.3} {:>8.3} {:>8.3}",
+            ranker.name(),
+            scores[0] / nq,
+            scores[1] / nq,
+            scores[2] / nq
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! `cubelsi-search` — build a CubeLSI index over a TSV tag-assignment dump
+//! and query it from the command line.
+//!
+//! ```sh
+//! # data.tsv: one "user<TAB>tag<TAB>resource" line per assignment
+//! cubelsi-search data.tsv music audio            # one-shot query
+//! cubelsi-search --concepts 32 data.tsv jazz     # fix the concept count
+//! cubelsi-search --no-clean data.tsv rock        # skip §VI-A cleaning
+//! ```
+
+use cubelsi::core::{CubeLsi, CubeLsiConfig};
+use cubelsi::folksonomy::{clean, read_tsv_file, CleaningConfig, Folksonomy};
+use std::process::ExitCode;
+
+struct Args {
+    path: String,
+    query: Vec<String>,
+    concepts: Option<usize>,
+    reduction_ratio: f64,
+    top_k: usize,
+    clean: bool,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let mut parsed = Args {
+        path: String::new(),
+        query: Vec::new(),
+        concepts: None,
+        reduction_ratio: 50.0,
+        top_k: 10,
+        clean: true,
+        seed: 2011,
+    };
+    let mut positional: Vec<String> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--concepts" => {
+                let v = args.next().ok_or("--concepts needs a value")?;
+                parsed.concepts = Some(v.parse().map_err(|_| "--concepts must be an integer")?);
+            }
+            "--ratio" => {
+                let v = args.next().ok_or("--ratio needs a value")?;
+                parsed.reduction_ratio = v.parse().map_err(|_| "--ratio must be a number")?;
+            }
+            "--top" => {
+                let v = args.next().ok_or("--top needs a value")?;
+                parsed.top_k = v.parse().map_err(|_| "--top must be an integer")?;
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                parsed.seed = v.parse().map_err(|_| "--seed must be an integer")?;
+            }
+            "--no-clean" => parsed.clean = false,
+            "--help" | "-h" => {
+                return Err("usage: cubelsi-search [--concepts K] [--ratio C] [--top N] \
+                            [--no-clean] [--seed S] DATA.tsv QUERY_TAG..."
+                    .to_owned())
+            }
+            other => positional.push(other.to_owned()),
+        }
+    }
+    if positional.is_empty() {
+        return Err("missing DATA.tsv argument (see --help)".to_owned());
+    }
+    parsed.path = positional.remove(0);
+    parsed.query = positional;
+    if parsed.query.is_empty() {
+        return Err("missing query tags (see --help)".to_owned());
+    }
+    Ok(parsed)
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let raw = read_tsv_file(&args.path).map_err(|e| format!("reading {}: {e}", args.path))?;
+    eprintln!("loaded  {}", raw.stats());
+    let corpus: Folksonomy = if args.clean {
+        let (cleaned, report) = clean(&raw, &CleaningConfig::default());
+        eprintln!("cleaned {} ({} rounds)", report.cleaned, report.rounds);
+        cleaned
+    } else {
+        raw
+    };
+    if corpus.num_assignments() == 0 {
+        return Err("no assignments survive; try --no-clean".to_owned());
+    }
+
+    // Clamp the reduction ratios so the core keeps at least ~8 dimensions
+    // per mode (or 2x the requested concepts) — the paper's c = 50 assumes
+    // corpus dimensions in the thousands. The floor of 1.25 guarantees the
+    // core is always *somewhat* trimmed: an untrimmed decomposition
+    // reproduces the raw tensor, noise and all (§IV-D's purification needs
+    // discarded components to purify anything).
+    let min_j = args.concepts.map_or(8usize, |k| (2 * k).max(8));
+    let eff = |dim: usize| {
+        (args.reduction_ratio).min((dim as f64 / min_j as f64).max(1.25))
+    };
+    let config = CubeLsiConfig {
+        reduction_ratios: (
+            eff(corpus.num_users()),
+            eff(corpus.num_tags()),
+            eff(corpus.num_resources()),
+        ),
+        num_concepts: args.concepts,
+        seed: args.seed,
+        ..Default::default()
+    };
+    let engine =
+        CubeLsi::build(&corpus, &config).map_err(|e| format!("building CubeLSI: {e}"))?;
+    eprintln!(
+        "built   fit {:.3}, {} concepts, offline {:?}",
+        engine.decomposition().fit,
+        engine.concepts().num_concepts(),
+        engine.timings().total()
+    );
+
+    let query: Vec<&str> = args.query.iter().map(|s| s.as_str()).collect();
+    let hits = engine.search(&query, args.top_k);
+    if hits.is_empty() {
+        println!("no results for {query:?}");
+        return Ok(());
+    }
+    println!("results for {query:?}:");
+    for (rank, hit) in hits.iter().enumerate() {
+        println!(
+            "{:>3}. {}  ({:.4})",
+            rank + 1,
+            corpus.resource_name(hit.resource),
+            hit.score
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse_args() {
+        Ok(args) => match run(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(usage) => {
+            eprintln!("{usage}");
+            ExitCode::FAILURE
+        }
+    }
+}

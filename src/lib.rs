@@ -1,0 +1,30 @@
+//! # CubeLSI
+//!
+//! A full Rust reproduction of *"CubeLSI: An Effective and Efficient Method
+//! for Searching Resources in Social Tagging Systems"* (Bi, Lee, Kao, Cheng —
+//! ICDE 2011).
+//!
+//! This facade crate re-exports the workspace's public API. See the
+//! individual crates for details:
+//!
+//! * [`linalg`] — dense/sparse linear algebra, eigensolvers, clustering;
+//! * [`tensor`] — third-order tensors and Tucker (HOOI/ALS) decomposition;
+//! * [`folksonomy`] — the (users, tags, resources, assignments) data model;
+//! * [`datagen`] — synthetic folksonomies and the JCN taxonomy ground truth;
+//! * [`core`] — the CubeLSI pipeline (tag distances, concepts, retrieval);
+//! * [`baselines`] — Freq, BOW, LSI, CubeSim and FolkRank rankers;
+//! * [`eval`] — NDCG / JCN metrics, query workloads, timing and memory
+//!   accounting.
+
+pub use cubelsi_baselines as baselines;
+pub use cubelsi_core as core;
+pub use cubelsi_datagen as datagen;
+pub use cubelsi_eval as eval;
+pub use cubelsi_folksonomy as folksonomy;
+pub use cubelsi_linalg as linalg;
+pub use cubelsi_tensor as tensor;
+
+/// Commonly used items, importable with `use cubelsi::prelude::*`.
+pub mod prelude {
+    pub use cubelsi_folksonomy::{Folksonomy, ResourceId, TagAssignment, TagId, UserId};
+}

@@ -1,0 +1,144 @@
+//! Integration tests for the data-generation → raw-noise → cleaning →
+//! ground-truth-rebinding loop that all experiments rely on.
+
+use cubelsi::datagen::{generate, rawify, GeneratorConfig, RawNoiseConfig};
+use cubelsi::eval::{generate_workload, WorkloadConfig};
+use cubelsi::folksonomy::{clean, CleaningConfig, ResourceId, TagId};
+
+fn base() -> cubelsi::datagen::GeneratedDataset {
+    generate(&GeneratorConfig {
+        users: 60,
+        resources: 50,
+        concepts: 7,
+        assignments: 4_000,
+        seed: 31,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn raw_clean_round_trip_preserves_core_signal() {
+    let ds = base();
+    let raw = rawify(&ds.folksonomy, &RawNoiseConfig::default());
+    let (cleaned, report) = clean(&raw, &CleaningConfig::default());
+    // Cleaning must strictly shrink the raw layer...
+    assert!(cleaned.num_tags() < raw.num_tags());
+    assert!(cleaned.num_users() < raw.num_users());
+    // ...while keeping the bulk of genuine assignments.
+    assert!(report.cleaned.assignments * 2 > ds.folksonomy.num_assignments());
+    // And no system tags survive.
+    for t in 0..cleaned.num_tags() {
+        assert!(!cleaned.tag_name(TagId::from_index(t)).starts_with("system:"));
+    }
+}
+
+#[test]
+fn rebind_preserves_ground_truth_semantics() {
+    let ds = base();
+    let (cleaned, _) = clean(&ds.folksonomy, &CleaningConfig::default());
+    let rebound = ds.rebind(cleaned);
+    let f2 = &rebound.folksonomy;
+    // Every surviving tag still maps to its original lexicon word.
+    for t in 0..f2.num_tags() {
+        let name = f2.tag_name(TagId::from_index(t));
+        let word = rebound.truth.lexicon.word(rebound.truth.tag_words[t]);
+        assert_eq!(word.name, name);
+    }
+    // Every surviving resource keeps the affinity vector of its namesake.
+    for r in 0..f2.num_resources() {
+        let name = f2.resource_name(ResourceId::from_index(r));
+        let orig = ds.folksonomy.resource_id(name).unwrap();
+        assert_eq!(
+            rebound.truth.resource_affinity[r],
+            ds.truth.resource_affinity[orig.index()]
+        );
+    }
+    // Tag→concept mappings stay consistent with concept pools.
+    for (t, concepts) in rebound.truth.tag_concepts.iter().enumerate() {
+        let w = rebound.truth.tag_words[t];
+        for &c in concepts {
+            assert!(rebound.truth.concept_words[c].binary_search(&w).is_ok());
+        }
+    }
+}
+
+#[test]
+fn rebind_then_workload_produces_answerable_queries() {
+    let ds = base();
+    let (cleaned, _) = clean(&ds.folksonomy, &CleaningConfig::default());
+    let rebound = ds.rebind(cleaned);
+    let queries = generate_workload(
+        &rebound,
+        &WorkloadConfig {
+            num_queries: 24,
+            ..Default::default()
+        },
+    );
+    assert_eq!(queries.len(), 24);
+    for q in &queries {
+        assert!(!q.tags.is_empty());
+        for t in &q.tags {
+            assert!(t.index() < rebound.folksonomy.num_tags());
+            // Query tags must actually occur in the cleaned corpus.
+            assert!(!rebound.folksonomy.tag_assignments(*t).is_empty());
+        }
+        assert_eq!(q.relevance.len(), rebound.folksonomy.num_resources());
+    }
+    // The workload must contain a healthy fraction of answerable queries.
+    let with_relevant = queries.iter().filter(|q| q.num_relevant() > 0).count();
+    assert!(with_relevant * 10 >= queries.len() * 7);
+}
+
+#[test]
+fn established_vocabulary_is_a_subset_of_concept_pools() {
+    let ds = base();
+    for (r, per_concept) in ds.truth.resource_words.iter().enumerate() {
+        let mix: Vec<usize> = ds.truth.resource_affinity[r].iter().map(|&(c, _)| c).collect();
+        for (c, words) in per_concept {
+            assert!(mix.contains(c), "resource {r} has words for foreign concept");
+            assert!(!words.is_empty());
+            for w in words {
+                assert!(
+                    ds.truth.concept_words[*c].binary_search(w).is_ok(),
+                    "established word outside the concept pool"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn taxonomy_jcn_agrees_with_concept_structure() {
+    // Tags sharing a concept should on average be JCN-closer than tags in
+    // different concepts — the property that makes Table III meaningful.
+    let ds = base();
+    let truth = &ds.truth;
+    let n = truth.tag_words.len();
+    let mut same_sum = 0.0;
+    let mut same_n = 0usize;
+    let mut diff_sum = 0.0;
+    let mut diff_n = 0usize;
+    for a in 0..n {
+        if truth.tag_concepts[a].is_empty() {
+            continue;
+        }
+        for b in (a + 1)..n {
+            if truth.tag_concepts[b].is_empty() {
+                continue;
+            }
+            let d = truth.tag_jcn(a, b);
+            if truth.tags_share_concept(a, b) {
+                same_sum += d;
+                same_n += 1;
+            } else {
+                diff_sum += d;
+                diff_n += 1;
+            }
+        }
+    }
+    assert!(same_n > 0 && diff_n > 0);
+    assert!(
+        same_sum / same_n as f64 <= diff_sum / diff_n as f64,
+        "same-concept JCN must not exceed cross-concept JCN on average"
+    );
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the linear-algebra substrate, driven through
+//! the public facade. These complement the unit tests inside
+//! `cubelsi-linalg` with randomized coverage of algebraic laws.
+
+use cubelsi::linalg::qr::orthonormality_error;
+use cubelsi::linalg::subspace::SubspaceOptions;
+use cubelsi::linalg::{
+    householder_qr, jacobi_eigen, jacobi_svd, truncated_svd, CsrMatrix, Matrix,
+};
+use proptest::prelude::*;
+
+/// Strategy: a dense matrix with entries in [-3, 3].
+fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-3.0f64..3.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data).unwrap())
+}
+
+/// Strategy: dims in 1..=6 plus a matching buffer.
+fn sized_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..=6, 1usize..=6).prop_flat_map(|(r, c)| matrix_strategy(r, c))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_is_associative(a in matrix_strategy(4, 3), b in matrix_strategy(3, 5), c in matrix_strategy(5, 2)) {
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        prop_assert!(left.approx_eq(&right, 1e-9));
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(a in matrix_strategy(3, 4), b in matrix_strategy(4, 3), c in matrix_strategy(4, 3)) {
+        let left = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let right = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        prop_assert!(left.approx_eq(&right, 1e-9));
+    }
+
+    #[test]
+    fn transpose_is_involutive(a in sized_matrix()) {
+        prop_assert!(a.transpose().transpose().approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn transpose_reverses_products(a in matrix_strategy(3, 4), b in matrix_strategy(4, 5)) {
+        let left = a.matmul(&b).unwrap().transpose();
+        let right = b.transpose().matmul(&a.transpose()).unwrap();
+        prop_assert!(left.approx_eq(&right, 1e-10));
+    }
+
+    #[test]
+    fn frobenius_norm_is_subadditive(a in matrix_strategy(4, 4), b in matrix_strategy(4, 4)) {
+        let sum = a.add(&b).unwrap();
+        prop_assert!(sum.frobenius_norm() <= a.frobenius_norm() + b.frobenius_norm() + 1e-9);
+    }
+
+    #[test]
+    fn qr_reconstructs_random_tall_matrices(a in matrix_strategy(6, 3)) {
+        let (q, r) = householder_qr(&a).unwrap();
+        prop_assert!(q.matmul(&r).unwrap().approx_eq(&a, 1e-8));
+        prop_assert!(orthonormality_error(&q) < 1e-8);
+    }
+
+    #[test]
+    fn jacobi_eigen_reconstructs_symmetric(a in matrix_strategy(4, 4)) {
+        let sym = a.add(&a.transpose()).unwrap().scale(0.5);
+        let e = jacobi_eigen(&sym, 1e-12).unwrap();
+        let lambda = Matrix::from_diag(&e.values);
+        let recon = e.vectors.matmul(&lambda).unwrap().matmul(&e.vectors.transpose()).unwrap();
+        prop_assert!(recon.approx_eq(&sym, 1e-7));
+    }
+
+    #[test]
+    fn jacobi_svd_reconstructs_and_orders(a in sized_matrix()) {
+        let svd = jacobi_svd(&a).unwrap();
+        prop_assert!(svd.reconstruct().unwrap().approx_eq(&a, 1e-7));
+        for w in svd.singular_values.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+        for &s in &svd.singular_values {
+            prop_assert!(s >= 0.0);
+        }
+    }
+
+    #[test]
+    fn truncated_svd_error_bounded_by_discarded_sigma(a in matrix_strategy(5, 4)) {
+        let full = jacobi_svd(&a).unwrap();
+        let k = 2;
+        let trunc = truncated_svd(&a, k, &SubspaceOptions::default()).unwrap();
+        let err = trunc.reconstruct().unwrap().sub(&a).unwrap().frobenius_norm();
+        // ‖A − A_k‖_F = √(σ_{k+1}² + …) for the optimal rank-k approx.
+        let optimal: f64 = full.singular_values.iter().skip(k).map(|s| s * s).sum::<f64>().sqrt();
+        prop_assert!(err <= optimal + 1e-5, "err {err} vs optimal {optimal}");
+    }
+
+    #[test]
+    fn csr_round_trips_and_matches_dense_ops(
+        triples in proptest::collection::vec((0usize..5, 0usize..4, -2.0f64..2.0), 0..20),
+        x in proptest::collection::vec(-1.0f64..1.0, 4)
+    ) {
+        let sp = CsrMatrix::from_triples(5, 4, &triples).unwrap();
+        let dense = sp.to_dense();
+        prop_assert_eq!(sp.matvec(&x).unwrap(), dense.matvec(&x).unwrap());
+        let spt = sp.transpose().to_dense();
+        prop_assert!(spt.approx_eq(&dense.transpose(), 0.0));
+    }
+}

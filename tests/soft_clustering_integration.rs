@@ -1,0 +1,119 @@
+//! Integration tests for the soft-clustering extension (paper footnote 5):
+//! the full retrieval stack running on soft tag→concept memberships.
+
+use cubelsi::core::{
+    pairwise_distances_from_embedding, tag_embedding, ConceptIndex, CubeLsiConfig, SigmaSource,
+    SoftConceptModel, SoftConfig,
+};
+use cubelsi::core::build_tensor;
+use cubelsi::datagen::{generate, GeneratorConfig};
+use cubelsi::folksonomy::{clean, CleaningConfig, TagId};
+use cubelsi::tensor::tucker_als;
+
+fn setup() -> (
+    cubelsi::datagen::GeneratedDataset,
+    SoftConceptModel,
+    ConceptIndex,
+) {
+    let ds = generate(&GeneratorConfig {
+        users: 70,
+        resources: 50,
+        concepts: 6,
+        assignments: 5_000,
+        seed: 909,
+        ..Default::default()
+    });
+    let (cleaned, _) = clean(&ds.folksonomy, &CleaningConfig::default());
+    let ds = ds.rebind(cleaned);
+    let f = &ds.folksonomy;
+
+    let config = CubeLsiConfig {
+        core_dims: Some((12, 12, 12)),
+        num_concepts: Some(6),
+        max_als_iters: 6,
+        seed: 11,
+        ..Default::default()
+    };
+    let tensor = build_tensor(f).unwrap();
+    let tucker_cfg = config.tucker_config(tensor.dims()).unwrap();
+    let decomp = tucker_als(&tensor, &tucker_cfg).unwrap();
+    let z = tag_embedding(&decomp, SigmaSource::Lambda2).unwrap();
+    let distances = pairwise_distances_from_embedding(&z);
+    let soft = SoftConceptModel::distill(
+        &distances,
+        &config.spectral_config(),
+        &SoftConfig::default(),
+    )
+    .unwrap();
+    let index = ConceptIndex::build(f, &soft);
+    (ds, soft, index)
+}
+
+#[test]
+fn soft_index_serves_queries() {
+    let (ds, soft, index) = setup();
+    let f = &ds.folksonomy;
+    let mut answered = 0;
+    for t in 0..f.num_tags().min(30) {
+        let hits = index.query_tag_ids(&soft, &[TagId::from_index(t)], 10);
+        for w in hits.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        for h in &hits {
+            assert!(h.score.is_finite() && h.score > 0.0);
+        }
+        if !hits.is_empty() {
+            answered += 1;
+        }
+    }
+    assert!(answered > 10, "only {answered} queries answered");
+}
+
+#[test]
+fn soft_memberships_are_normalized_distributions() {
+    let (_, soft, _) = setup();
+    for t in 0..soft.num_tags() {
+        let m = soft.memberships_of(t);
+        assert!(!m.is_empty(), "tag {t} has no concept");
+        let sum: f64 = m.iter().map(|&(_, w)| w).sum();
+        assert!((sum - 1.0).abs() < 1e-9, "tag {t} weights sum to {sum}");
+        for w in m.windows(2) {
+            assert!(w[0].1 >= w[1].1, "memberships must be sorted by weight");
+        }
+    }
+}
+
+#[test]
+fn hardened_model_agrees_with_top_membership() {
+    let (_, soft, _) = setup();
+    let hard = soft.harden();
+    for t in 0..soft.num_tags() {
+        assert_eq!(hard.concept_of(t), soft.memberships_of(t)[0].0 as usize);
+    }
+}
+
+#[test]
+fn soft_widens_or_matches_hard_candidate_sets() {
+    // A soft query spreads over at least the concepts of the hard query,
+    // so its candidate set is a superset for single-tag queries.
+    let (ds, soft, soft_index) = setup();
+    let f = &ds.folksonomy;
+    let hard = soft.harden();
+    let hard_index = ConceptIndex::build(f, &hard);
+    let mut widened = 0usize;
+    for t in 0..f.num_tags() {
+        let q = [TagId::from_index(t)];
+        let soft_hits = soft_index.query_tag_ids(&soft, &q, 0).len();
+        let hard_hits = hard_index.query_tag_ids(&hard, &q, 0).len();
+        // Not a strict superset in general (idf re-weighting can zero a
+        // concept), but polysemy must *broaden* retrieval somewhere.
+        if soft_hits > hard_hits {
+            widened += 1;
+        }
+    }
+    assert!(
+        soft.num_polysemous() == 0 || widened > 0,
+        "{} polysemous tags but no query widened",
+        soft.num_polysemous()
+    );
+}
