@@ -17,9 +17,7 @@
 //!   strong CubeSim.
 
 use crate::Ranker;
-use cubelsi_core::{
-    build_tensor, ConceptIndex, ConceptModel, RankedResource, TagDistances,
-};
+use cubelsi_core::{build_tensor, ConceptIndex, ConceptModel, RankedResource, TagDistances};
 use cubelsi_folksonomy::{Folksonomy, TagId};
 use cubelsi_linalg::spectral::{KSelection, SpectralConfig};
 use cubelsi_linalg::subspace::SubspaceOptions;
@@ -185,8 +183,9 @@ impl CubeSim {
                 }
             }
             CubeSimMode::FaithfulDense { budget } => {
-                let dense_slices: Vec<Matrix> =
-                    (0..t).map(|j| tensor.slice_mode2_csr(j).to_dense()).collect();
+                let dense_slices: Vec<Matrix> = (0..t)
+                    .map(|j| tensor.slice_mode2_csr(j).to_dense())
+                    .collect();
                 'outer: for i in 0..t {
                     for j in (i + 1)..t {
                         if let Some(b) = budget {

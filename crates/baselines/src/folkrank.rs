@@ -156,11 +156,7 @@ impl FolkRank {
                 }
                 *slot = d * acc + (1.0 - d) * preference[i];
             }
-            let delta: f64 = w
-                .iter()
-                .zip(next.iter())
-                .map(|(a, b)| (a - b).abs())
-                .sum();
+            let delta: f64 = w.iter().zip(next.iter()).map(|(a, b)| (a - b).abs()).sum();
             std::mem::swap(&mut w, &mut next);
             if delta < self.config.tol {
                 break;

@@ -26,8 +26,8 @@ impl FreqRanker {
     pub fn build(f: &Folksonomy) -> Self {
         let num_resources = f.num_resources();
         let mut totals = vec![0.0; num_resources];
-        for r in 0..num_resources {
-            totals[r] = f.resource_assignments(ResourceId::from_index(r)).len() as f64;
+        for (r, total) in totals.iter_mut().enumerate() {
+            *total = f.resource_assignments(ResourceId::from_index(r)).len() as f64;
         }
         let mut postings = Vec::with_capacity(f.num_tags());
         for t in 0..f.num_tags() {

@@ -34,9 +34,17 @@ pub trait Ranker {
 
     /// Ranks resources for a query of tag ids. `top_k = 0` → no truncation.
     fn search_ids(&self, tags: &[TagId], top_k: usize) -> Vec<RankedResource>;
+
+    /// Answers a batch of queries, returning ranked lists in query order.
+    /// The default runs queries sequentially; engines with a native batch
+    /// path (CubeLSI's parallel [`cubelsi_core::QueryEngine`]) override it.
+    fn search_batch_ids(&self, queries: &[Vec<TagId>], top_k: usize) -> Vec<Vec<RankedResource>> {
+        queries.iter().map(|q| self.search_ids(q, top_k)).collect()
+    }
 }
 
-/// [`Ranker`] adapter for the core CubeLSI engine.
+/// [`Ranker`] adapter for the core CubeLSI engine, served by the pruned
+/// top-k query engine.
 pub struct CubeLsiRanker(pub CubeLsi);
 
 impl Ranker for CubeLsiRanker {
@@ -46,5 +54,9 @@ impl Ranker for CubeLsiRanker {
 
     fn search_ids(&self, tags: &[TagId], top_k: usize) -> Vec<RankedResource> {
         self.0.search_ids(tags, top_k)
+    }
+
+    fn search_batch_ids(&self, queries: &[Vec<TagId>], top_k: usize) -> Vec<Vec<RankedResource>> {
+        self.0.search_batch(queries, top_k)
     }
 }

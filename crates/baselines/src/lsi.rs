@@ -122,10 +122,7 @@ impl LsiRanker {
                 *x *= s;
             }
         }
-        Ok((
-            pairwise_distances_from_embedding(&z),
-            svd.singular_values,
-        ))
+        Ok((pairwise_distances_from_embedding(&z), svd.singular_values))
     }
 
     /// The purified tag distance matrix.
@@ -266,6 +263,9 @@ mod tests {
         let f = figure2_example();
         let a = LsiRanker::build(&f, &small_lsi_config(2, 2)).unwrap();
         let b = LsiRanker::build(&f, &small_lsi_config(2, 2)).unwrap();
-        assert!(a.distances().matrix().approx_eq(b.distances().matrix(), 0.0));
+        assert!(a
+            .distances()
+            .matrix()
+            .approx_eq(b.distances().matrix(), 0.0));
     }
 }

@@ -67,9 +67,7 @@ fn bench_subspace_iteration(c: &mut Criterion) {
         let a = spd_matrix(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &a, |bencher, a| {
             let op = DenseSymOp::new(a);
-            bencher.iter(|| {
-                black_box(sym_eigs_topk(&op, 8, &SubspaceOptions::default()).unwrap())
-            });
+            bencher.iter(|| black_box(sym_eigs_topk(&op, 8, &SubspaceOptions::default()).unwrap()));
         });
     }
     group.finish();
@@ -84,9 +82,8 @@ fn bench_truncated_svd_sparse(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("{rows}x{cols}nnz{nnz}")),
             &m,
             |bencher, m| {
-                bencher.iter(|| {
-                    black_box(truncated_svd(m, 16, &SubspaceOptions::default()).unwrap())
-                });
+                bencher
+                    .iter(|| black_box(truncated_svd(m, 16, &SubspaceOptions::default()).unwrap()));
             },
         );
     }

@@ -1,13 +1,22 @@
-//! Per-query online latency of every ranking method — the microscopic view
-//! of Table VI (CubeLSI's cosine matching vs FolkRank's power iteration).
+//! Online query benchmarks.
+//!
+//! * `query_latency` — per-query latency of every ranking method (the
+//!   microscopic view of Table VI: CubeLSI's cosine matching vs FolkRank's
+//!   power iteration).
+//! * `query_throughput` — queries/sec of the CubeLSI serving paths on the
+//!   300 users × 250 resources × 15k assignments datagen preset: the
+//!   exhaustive full-sort reference vs the pruned heap engine (reused
+//!   session, zero steady-state allocation) vs the parallel batched API,
+//!   at k ∈ {10, 100} over a 128-query evaluation workload.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use cubelsi_baselines::{
     BowRanker, CubeSim, CubeSimMode, FolkRank, FolkRankConfig, FreqRanker, LsiConfig, LsiRanker,
     Ranker,
 };
 use cubelsi_core::{CubeLsi, CubeLsiConfig};
-use cubelsi_datagen::{generate, GeneratorConfig};
+use cubelsi_datagen::{generate, GeneratedDataset, GeneratorConfig};
+use cubelsi_eval::{generate_workload, WorkloadConfig};
 use cubelsi_folksonomy::TagId;
 use std::hint::black_box;
 
@@ -75,5 +84,73 @@ fn bench_query_latency(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_query_latency);
+/// The ISSUE-1 preset: 300 users × 250 resources × 15k assignments.
+fn throughput_dataset() -> GeneratedDataset {
+    generate(&GeneratorConfig {
+        users: 300,
+        resources: 250,
+        concepts: 15,
+        assignments: 15_000,
+        seed: 23,
+        ..Default::default()
+    })
+}
+
+fn bench_query_throughput(c: &mut Criterion) {
+    let ds = throughput_dataset();
+    let engine = CubeLsi::build(
+        &ds.folksonomy,
+        &CubeLsiConfig {
+            core_dims: Some((16, 16, 16)),
+            num_concepts: Some(15),
+            max_als_iters: 4,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let queries: Vec<Vec<TagId>> = generate_workload(
+        &ds,
+        &WorkloadConfig {
+            num_queries: 128,
+            ..Default::default()
+        },
+    )
+    .into_iter()
+    .map(|q| q.tags)
+    .collect();
+
+    let mut group = c.benchmark_group("query_throughput");
+    group.throughput(Throughput::Elements(queries.len() as u64));
+    group.sample_size(20);
+
+    for &k in &[10usize, 100] {
+        // Seed path: exhaustive accumulation + full sort, per query.
+        group.bench_function(format!("exact_fullsort_k{k}"), |bencher| {
+            bencher.iter(|| {
+                for q in &queries {
+                    black_box(engine.engine().search_tags_exact(engine.concepts(), q, k));
+                }
+            });
+        });
+        // New path: MaxScore pruning + bounded heap on a reused session
+        // (the steady-state zero-allocation serving loop).
+        group.bench_function(format!("pruned_k{k}"), |bencher| {
+            let mut session = engine.session();
+            let mut out = Vec::new();
+            bencher.iter(|| {
+                for q in &queries {
+                    engine.search_ids_with(&mut session, q, k, &mut out);
+                    black_box(out.len());
+                }
+            });
+        });
+        // Batched: the same pruned path fanned across the worker pool.
+        group.bench_function(format!("batched_k{k}"), |bencher| {
+            bencher.iter(|| black_box(engine.search_batch(&queries, k)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_latency, bench_query_throughput);
 criterion_main!(benches);

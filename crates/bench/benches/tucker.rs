@@ -52,9 +52,13 @@ fn bench_core_size_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("tucker_core_size");
     group.sample_size(10);
     for core in [4usize, 8, 16, 24] {
-        group.bench_with_input(BenchmarkId::from_parameter(core), &core, |bencher, &core| {
-            bencher.iter(|| black_box(tucker_als(&tensor, &tucker_config(core)).unwrap()));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(core),
+            &core,
+            |bencher, &core| {
+                bencher.iter(|| black_box(tucker_als(&tensor, &tucker_config(core)).unwrap()));
+            },
+        );
     }
     group.finish();
 }

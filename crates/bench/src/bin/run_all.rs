@@ -4,14 +4,20 @@ use std::time::Duration;
 
 fn main() {
     let opts = RunOptions::from_args();
-    eprintln!("# CubeLSI experiment suite (scale {}, seed {})", opts.scale, opts.seed);
+    eprintln!(
+        "# CubeLSI experiment suite (scale {}, seed {})",
+        opts.scale, opts.seed
+    );
     let contexts = prepare_contexts(opts);
 
     println!("{}", table1(&contexts[0], opts.seed).to_text());
     println!("{}", table2(opts).to_text());
     println!("{}", table3(&contexts[1], opts.seed).to_text());
     println!("{}", table4(&contexts[0], opts.seed).to_text());
-    println!("{}", table5(&contexts, opts.seed, Duration::from_secs(60)).to_text());
+    println!(
+        "{}",
+        table5(&contexts, opts.seed, Duration::from_secs(60)).to_text()
+    );
     println!("{}", table6(&contexts, opts.seed).to_text());
     println!("{}", table7(&contexts).to_text());
     for ctx in &contexts {

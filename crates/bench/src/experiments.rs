@@ -3,8 +3,8 @@
 use std::time::{Duration, Instant};
 
 use cubelsi_baselines::{
-    cubesim::CubeSimConfig, BowRanker, CubeSim, CubeSimMode, FolkRank, FolkRankConfig,
-    FreqRanker, LsiConfig, LsiRanker, Ranker,
+    cubesim::CubeSimConfig, BowRanker, CubeSim, CubeSimMode, FolkRank, FolkRankConfig, FreqRanker,
+    LsiConfig, LsiRanker, Ranker,
 };
 use cubelsi_core::{CubeLsi, CubeLsiConfig, TagDistances};
 use cubelsi_datagen::{all_presets, generate, rawify, GeneratedDataset, RawNoiseConfig, WordKind};
@@ -153,7 +153,12 @@ pub fn cubelsi_config(
 }
 
 /// LSI configured symmetrically to [`cubelsi_config`].
-pub fn lsi_config(num_tags: usize, num_resources: usize, num_concepts: usize, seed: u64) -> LsiConfig {
+pub fn lsi_config(
+    num_tags: usize,
+    num_resources: usize,
+    num_concepts: usize,
+    seed: u64,
+) -> LsiConfig {
     let min_j = min_core_dim(num_concepts);
     LsiConfig {
         rank: Some(
@@ -177,10 +182,14 @@ pub fn cubesim_config(num_concepts: usize, seed: u64) -> CubeSimConfig {
 }
 
 /// Mean NDCG@N of a ranker over a workload (Figure 4's y-axis).
+/// Rankings are obtained through [`Ranker::search_batch_ids`], so engines
+/// with a native batch path (CubeLSI) answer the whole workload in one
+/// parallel call.
 pub fn mean_ndcg(ranker: &dyn Ranker, queries: &[Query], n: usize) -> f64 {
+    let tag_sets: Vec<Vec<TagId>> = queries.iter().map(|q| q.tags.clone()).collect();
+    let rankings = ranker.search_batch_ids(&tag_sets, n);
     let mut total = 0.0;
-    for q in queries {
-        let ranked = ranker.search_ids(&q.tags, n);
+    for (q, ranked) in queries.iter().zip(rankings.iter()) {
         let grades: Vec<u8> = ranked
             .iter()
             .map(|r| q.relevance[r.resource.index()])
@@ -269,9 +278,7 @@ pub fn table1(ctx: &ExperimentContext, seed: u64) -> Table {
         for &b in frequent.iter().skip(ia + 1) {
             if truth.tags_share_concept(a, b) {
                 related.push((a, b));
-            } else if truth.tag_concepts[a].is_empty() == false
-                && !truth.tag_concepts[b].is_empty()
-            {
+            } else if !truth.tag_concepts[a].is_empty() && !truth.tag_concepts[b].is_empty() {
                 unrelated.push((a, b));
             }
         }
@@ -388,8 +395,7 @@ pub fn table3(ctx: &ExperimentContext, seed: u64) -> Table {
 
     let engine = CubeLsi::build(f, &cubelsi_config(dims, k, seed)).expect("CubeLSI build");
     let tensor = cubelsi_core::build_tensor(f).expect("tensor");
-    let (cubesim_dist, _) =
-        CubeSim::distances_with_report(&tensor, CubeSimMode::SparseOptimized);
+    let (cubesim_dist, _) = CubeSim::distances_with_report(&tensor, CubeSimMode::SparseOptimized);
     let (lsi_dist, _) =
         LsiRanker::distances_only(f, &lsi_config(dims.1, dims.2, k, seed)).expect("LSI");
 
@@ -464,7 +470,9 @@ pub fn table4(ctx: &ExperimentContext, seed: u64) -> Table {
                     continue;
                 }
                 let label: Option<&'static str> = match (wa.kind, wb.kind) {
-                    (WordKind::Cognate, _) | (_, WordKind::Cognate) => Some("cognates (cross-language)"),
+                    (WordKind::Cognate, _) | (_, WordKind::Cognate) => {
+                        Some("cognates (cross-language)")
+                    }
                     (WordKind::MorphVariant, _) | (_, WordKind::MorphVariant) => {
                         Some("inflection & derivation")
                     }
@@ -505,7 +513,10 @@ pub fn table4(ctx: &ExperimentContext, seed: u64) -> Table {
                         .take(5)
                         .map(|&t| f.tag_name(TagId::from_index(t)).to_owned())
                         .collect();
-                    table.row(&["latent relatedness (same concept)".to_string(), excerpt.join(", ")]);
+                    table.row(&[
+                        "latent relatedness (same concept)".to_string(),
+                        excerpt.join(", "),
+                    ]);
                     break 'outer;
                 }
             }
@@ -524,7 +535,12 @@ pub fn table4(ctx: &ExperimentContext, seed: u64) -> Table {
 pub fn table5(contexts: &[ExperimentContext], seed: u64, budget: Duration) -> Table {
     let mut table = Table::new(
         "Table V — pre-processing times of CubeLSI and CubeSim",
-        &["dataset", "CubeLSI", "CubeSim (dense, as in paper)", "CubeSim (sparse ext.)"],
+        &[
+            "dataset",
+            "CubeLSI",
+            "CubeSim (dense, as in paper)",
+            "CubeSim (sparse ext.)",
+        ],
     );
     for ctx in contexts {
         let f = &ctx.dataset.folksonomy;
@@ -616,7 +632,13 @@ pub fn table6(contexts: &[ExperimentContext], seed: u64) -> Table {
 pub fn table7(contexts: &[ExperimentContext]) -> Table {
     let mut table = Table::new(
         "Table VII — memory: dense F̂ vs Σ+Y⁽²⁾ (c = 50 at paper scale)",
-        &["dataset", "dims (U×T×R)", "dense F̂", "Σ + Y⁽²⁾", "full S+Y(1..3)"],
+        &[
+            "dataset",
+            "dims (U×T×R)",
+            "dense F̂",
+            "Σ + Y⁽²⁾",
+            "full S+Y(1..3)",
+        ],
     );
     // Paper-scale rows (Table II cleaned dimensions).
     let paper_dims = [
@@ -669,7 +691,10 @@ pub fn figure4_panel(ctx: &ExperimentContext, seed: u64) -> Table {
     headers.extend(rankers.iter().map(|(r, _)| r.name().to_string()));
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     let mut table = Table::new(
-        format!("Figure 4 ({}) — NDCG@N of the six ranking methods", ctx.name),
+        format!(
+            "Figure 4 ({}) — NDCG@N of the six ranking methods",
+            ctx.name
+        ),
         &header_refs,
     );
     for n in FIGURE4_CUTOFFS {

@@ -21,10 +21,7 @@ pub struct ConceptModel {
 
 impl ConceptModel {
     /// Runs §V steps 1–4 on a purified distance matrix.
-    pub fn distill(
-        distances: &TagDistances,
-        config: &SpectralConfig,
-    ) -> Result<Self, LinAlgError> {
+    pub fn distill(distances: &TagDistances, config: &SpectralConfig) -> Result<Self, LinAlgError> {
         let result = spectral_clustering(distances.matrix(), config)?;
         Ok(Self::from_assignments(result.assignments, result.sigma))
     }

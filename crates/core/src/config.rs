@@ -60,10 +60,7 @@ impl Default for CubeLsiConfig {
 
 impl CubeLsiConfig {
     /// Resolves the Tucker configuration for a tensor of the given dims.
-    pub fn tucker_config(
-        &self,
-        dims: (usize, usize, usize),
-    ) -> Result<TuckerConfig, LinAlgError> {
+    pub fn tucker_config(&self, dims: (usize, usize, usize)) -> Result<TuckerConfig, LinAlgError> {
         let mut cfg = match self.core_dims {
             Some(core) => TuckerConfig {
                 core_dims: core,

@@ -71,7 +71,9 @@ impl TagDistances {
     }
 
     /// Median of the off-diagonal distances (used to classify pairs as
-    /// related/unrelated in the Table I experiment).
+    /// related/unrelated in the Table I experiment). Uses quickselect
+    /// (`select_nth_unstable_by`) instead of a full sort: `O(n²)` expected
+    /// instead of `O(n² log n)`.
     pub fn median_offdiag(&self) -> f64 {
         let n = self.num_tags();
         let mut vals = Vec::with_capacity(n * (n.saturating_sub(1)) / 2);
@@ -83,8 +85,11 @@ impl TagDistances {
         if vals.is_empty() {
             return 0.0;
         }
-        vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        vals[vals.len() / 2]
+        let mid = vals.len() / 2;
+        let (_, median, _) = vals.select_nth_unstable_by(mid, |a, b| {
+            a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        *median
     }
 }
 
@@ -129,16 +134,34 @@ pub fn tag_embedding(
 
 /// All-pairs Euclidean distances between the rows of `z`, parallelized over
 /// row bands. This is the production distance path of CubeLSI.
+///
+/// Each thread owns a contiguous band of output rows and computes those
+/// rows *completely* (both triangles) in a single parallel pass — there is
+/// no serial mirroring step afterwards. Symmetric entries are computed
+/// twice, but the duplicated flops parallelize perfectly, whereas the old
+/// upper-triangle-then-serial-mirror scheme left an `O(n²)` strided,
+/// single-threaded copy on the critical path. With a single worker thread
+/// the duplicated flops would be a pure loss, so that case computes the
+/// upper triangle once and mirrors it.
 pub fn pairwise_distances_from_embedding(z: &Matrix) -> TagDistances {
     let n = z.rows();
+    let nthreads = parallel::num_threads().clamp(1, n.max(1));
     let mut matrix = Matrix::zeros(n, n);
+    if nthreads <= 1 {
+        for i in 0..n {
+            let zi = z.row(i);
+            for j in (i + 1)..n {
+                let d = row_distance(zi, z.row(j));
+                matrix[(i, j)] = d;
+                matrix[(j, i)] = d;
+            }
+        }
+        return TagDistances { matrix };
+    }
     {
-        // Fill the strictly-upper triangle in parallel: each thread owns a
-        // contiguous band of rows, writing only inside its own rows.
         let cols = n;
         let data = matrix.as_mut_slice();
         let bands: Vec<(usize, &mut [f64])> = {
-            let nthreads = parallel::num_threads().clamp(1, n.max(1));
             let rows_per = n.div_ceil(nthreads.max(1)).max(1);
             let mut bands = Vec::new();
             let mut rest = data;
@@ -160,14 +183,11 @@ pub fn pairwise_distances_from_embedding(z: &Matrix) -> TagDistances {
                         let i = start_row + bi;
                         let zi = z.row(i);
                         let out = &mut band[bi * cols..(bi + 1) * cols];
-                        for (j, slot) in out.iter_mut().enumerate().skip(i + 1) {
-                            let zj = z.row(j);
-                            let mut acc = 0.0;
-                            for (a, b) in zi.iter().zip(zj.iter()) {
-                                let d = a - b;
-                                acc += d * d;
+                        for (j, slot) in out.iter_mut().enumerate() {
+                            if j == i {
+                                continue;
                             }
-                            *slot = acc.sqrt();
+                            *slot = row_distance(zi, z.row(j));
                         }
                     }
                 });
@@ -175,13 +195,20 @@ pub fn pairwise_distances_from_embedding(z: &Matrix) -> TagDistances {
         })
         .expect("distance worker panicked");
     }
-    // Mirror to the lower triangle.
-    for i in 0..n {
-        for j in (i + 1)..n {
-            matrix[(j, i)] = matrix[(i, j)];
-        }
-    }
     TagDistances { matrix }
+}
+
+/// Euclidean distance between two embedding rows — the shared inner
+/// kernel of both the serial and the banded-parallel all-pairs paths
+/// (symmetry of the output relies on both using this exact accumulation).
+#[inline]
+fn row_distance(zi: &[f64], zj: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (a, b) in zi.iter().zip(zj.iter()) {
+        let d = a - b;
+        acc += d * d;
+    }
+    acc.sqrt()
 }
 
 /// Literal evaluation of the Theorem-1 / Algorithm-1 formula (Eq. 20/21)
@@ -213,9 +240,7 @@ pub fn distance_pair_literal(
 /// Brute-force Eq. 17: materializes `F̂` and measures Frobenius distances
 /// between mode-2 slices. **Test-scale only** — this is the computation the
 /// paper's theorems exist to avoid.
-pub fn brute_force_distances(
-    decomp: &TuckerDecomposition,
-) -> Result<TagDistances, LinAlgError> {
+pub fn brute_force_distances(decomp: &TuckerDecomposition) -> Result<TagDistances, LinAlgError> {
     let fhat = decomp.reconstruct()?;
     let (_, t, _) = fhat.dims();
     let slices: Vec<Matrix> = (0..t).map(|j| fhat.slice_mode2(j)).collect();

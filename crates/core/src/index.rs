@@ -4,6 +4,15 @@
 //! bag of concepts. Resources are vectors of tf-idf weights over concepts
 //! (Eqs. 1–3); queries are transformed the same way; ranking is by cosine
 //! similarity (Eq. 4), served from an inverted index over concepts.
+//!
+//! The inverted index is laid out for top-k pruning: postings carry
+//! *cosine-normalized impacts* (`w(l, r) / ‖r‖`, so a query's score is a
+//! plain dot product with the query vector divided once by the query
+//! norm), each posting list is sorted by descending impact, and the
+//! per-list maximum impact is kept as MaxScore metadata. The actual
+//! pruned query engine lives in [`crate::query`]; this module keeps the
+//! exhaustive [`ConceptIndex::rank_exact`] path as the reference
+//! implementation the engine is tested against.
 
 use crate::concepts::ConceptModel;
 use cubelsi_folksonomy::{Folksonomy, ResourceId, TagId};
@@ -11,7 +20,10 @@ use cubelsi_folksonomy::{Folksonomy, ResourceId, TagId};
 /// Abstraction over hard and soft tag→concept mappings, so one index and
 /// one query path serve both the paper's hard clustering and the
 /// soft-clustering extension (footnote 5).
-pub trait ConceptAssignment {
+///
+/// `Sync` is required so the batched query engine can share an assignment
+/// across worker threads; both implementations are plain owned data.
+pub trait ConceptAssignment: Sync {
     /// Number of concepts in the space.
     fn num_concepts(&self) -> usize;
     /// Number of tags covered.
@@ -42,6 +54,31 @@ pub struct RankedResource {
     pub score: f64,
 }
 
+/// The single ranking total order every path must agree on — score
+/// descending, resource id ascending. The posting-list sort, the exact
+/// reference sort, the pruned engine's heap, and the final result sort
+/// all route through this function; the pruned-vs-exact bit-identity
+/// contract depends on them never diverging.
+#[inline]
+pub(crate) fn cmp_ranked(a_score: f64, a_id: u32, b_score: f64, b_id: u32) -> std::cmp::Ordering {
+    b_score
+        .partial_cmp(&a_score)
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then(a_id.cmp(&b_id))
+}
+
+/// A query mapped into concept space: non-negative `(concept, weight)`
+/// terms sorted by descending maximum score contribution (the MaxScore
+/// processing order), plus the query vector's L2 norm.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    /// `(concept, weight)` pairs, weights > 0, sorted by descending
+    /// `weight * max_impact(concept)` (ties by concept id).
+    pub terms: Vec<(u32, f64)>,
+    /// L2 norm of the query weight vector (denominator of Eq. 4).
+    pub norm: f64,
+}
+
 /// The offline concept index: tf-idf resource vectors plus an inverted
 /// index from concepts to resources.
 #[derive(Debug, Clone)]
@@ -54,8 +91,13 @@ pub struct ConceptIndex {
     resource_vectors: Vec<Vec<(u32, f64)>>,
     /// Per-resource vector L2 norms (denominator of Eq. 4).
     resource_norms: Vec<f64>,
-    /// Inverted index: concept → `(resource, weight)` postings.
-    inverted: Vec<Vec<(u32, f64)>>,
+    /// Inverted index: concept → `(resource, impact)` postings where
+    /// `impact = w(l, r) / ‖r‖`, sorted by descending impact (ties by
+    /// ascending resource id, the ranking tie-break).
+    postings: Vec<Vec<(u32, f64)>>,
+    /// Per-posting-list maximum impact (MaxScore upper-bound metadata);
+    /// 0 for empty lists.
+    max_impact: Vec<f64>,
 }
 
 impl ConceptIndex {
@@ -67,24 +109,33 @@ impl ConceptIndex {
         let n_resources = folksonomy.num_resources();
         let n_concepts = concepts.num_concepts();
 
-        // Concept counts per resource + document frequencies.
+        // Concept counts per resource + document frequencies. One dense
+        // scratch accumulator with a touched-list is reused across all
+        // resources (cleared sparsely), instead of a fresh zeroed
+        // `vec![0.0; n_concepts]` per resource.
         let mut doc_freq = vec![0usize; n_concepts];
         let mut raw_counts: Vec<Vec<(u32, f64)>> = Vec::with_capacity(n_resources);
+        let mut scratch = vec![0.0f64; n_concepts];
+        let mut touched: Vec<u32> = Vec::new();
         for r in 0..n_resources {
-            let mut counts = vec![0.0f64; n_concepts];
+            touched.clear();
             for (t, c) in folksonomy.resource_tag_counts(ResourceId::from_index(r)) {
                 concepts.for_each_weight(t.index(), &mut |l, w| {
-                    counts[l] += w * c as f64;
+                    if scratch[l] == 0.0 {
+                        touched.push(l as u32);
+                    }
+                    scratch[l] += w * c as f64;
                 });
             }
-            let sparse: Vec<(u32, f64)> = counts
-                .iter()
-                .enumerate()
-                .filter(|(_, &c)| c > 0.0)
-                .map(|(l, &c)| (l as u32, c))
-                .collect();
-            for &(l, _) in &sparse {
-                doc_freq[l as usize] += 1;
+            touched.sort_unstable();
+            let mut sparse: Vec<(u32, f64)> = Vec::with_capacity(touched.len());
+            for &l in &touched {
+                let c = scratch[l as usize];
+                scratch[l as usize] = 0.0;
+                if c > 0.0 {
+                    sparse.push((l, c));
+                    doc_freq[l as usize] += 1;
+                }
             }
             raw_counts.push(sparse);
         }
@@ -95,13 +146,13 @@ impl ConceptIndex {
             .map(|&df| if df == 0 { 0.0 } else { (n / df as f64).ln() })
             .collect();
 
-        // tf-idf vectors, norms, inverted index.
+        // tf-idf vectors, norms, impact-ordered inverted index.
         let mut resource_vectors = Vec::with_capacity(n_resources);
         let mut resource_norms = Vec::with_capacity(n_resources);
-        let mut inverted: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n_concepts];
+        let mut postings: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n_concepts];
         for (r, counts) in raw_counts.into_iter().enumerate() {
             let total: f64 = counts.iter().map(|&(_, c)| c).sum();
-            let mut vector: Vec<(u32, f64)> = counts
+            let vector: Vec<(u32, f64)> = counts
                 .into_iter()
                 .map(|(l, c)| {
                     let tf = if total > 0.0 { c / total } else { 0.0 };
@@ -109,14 +160,25 @@ impl ConceptIndex {
                 })
                 .filter(|&(_, w)| w != 0.0)
                 .collect();
-            vector.sort_unstable_by_key(|&(l, _)| l);
             let norm: f64 = vector.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
-            for &(l, w) in &vector {
-                inverted[l as usize].push((r as u32, w));
+            if norm > 0.0 {
+                for &(l, w) in &vector {
+                    postings[l as usize].push((r as u32, w / norm));
+                }
             }
             resource_vectors.push(vector);
             resource_norms.push(norm);
         }
+        for list in &mut postings {
+            // Impact order; equal impacts fall back to the ranking
+            // tie-break (ascending resource id) so a prefix of a list is
+            // already in final ranked order for single-term queries.
+            list.sort_unstable_by(|a, b| cmp_ranked(a.1, a.0, b.1, b.0));
+        }
+        let max_impact: Vec<f64> = postings
+            .iter()
+            .map(|list| list.first().map_or(0.0, |&(_, w)| w))
+            .collect();
 
         ConceptIndex {
             num_resources: n_resources,
@@ -124,7 +186,8 @@ impl ConceptIndex {
             idf,
             resource_vectors,
             resource_norms,
-            inverted,
+            postings,
+            max_impact,
         }
     }
 
@@ -148,18 +211,31 @@ impl ConceptIndex {
         &self.resource_vectors[r]
     }
 
-    /// Transforms query tags into the concept space and ranks resources by
-    /// cosine similarity. Unknown concepts (empty `idf`) contribute nothing;
-    /// resources with zero similarity are omitted. Ties break by resource id
-    /// for determinism. `top_k = 0` returns all matches.
-    pub fn query_tag_ids(
+    /// L2 norm of a resource's tf-idf vector.
+    pub fn resource_norm(&self, r: usize) -> f64 {
+        self.resource_norms[r]
+    }
+
+    /// The impact-ordered posting list of a concept: `(resource, impact)`
+    /// with `impact = w(l, r) / ‖r‖`, descending.
+    pub fn postings(&self, concept: usize) -> &[(u32, f64)] {
+        &self.postings[concept]
+    }
+
+    /// Maximum impact in a concept's posting list (0 if empty).
+    pub fn max_impact(&self, concept: usize) -> f64 {
+        self.max_impact[concept]
+    }
+
+    /// Maps query tags to a [`PreparedQuery`]: each tag occurrence counts
+    /// 1, spread over its concept memberships (hard or soft), normalized
+    /// and idf-weighted exactly like resource vectors. Returns `None` when
+    /// no known tag or no positively-weighted concept survives.
+    pub fn prepare_query(
         &self,
         concepts: &dyn ConceptAssignment,
         tags: &[TagId],
-        top_k: usize,
-    ) -> Vec<RankedResource> {
-        // Bag of concepts for the query: each tag occurrence counts 1,
-        // spread over its concept memberships.
+    ) -> Option<PreparedQuery> {
         let mut counts = vec![0.0f64; self.num_concepts];
         let mut total = 0.0;
         for t in tags {
@@ -171,33 +247,62 @@ impl ConceptIndex {
             }
         }
         if total == 0.0 {
-            return Vec::new();
+            return None;
         }
-        let query: Vec<(usize, f64)> = counts
+        let terms: Vec<(u32, f64)> = counts
             .iter()
             .enumerate()
             .filter(|(_, &c)| c > 0.0)
-            .map(|(l, &c)| (l, (c / total) * self.idf[l]))
+            .map(|(l, &c)| (l as u32, (c / total) * self.idf[l]))
             .filter(|&(_, w)| w != 0.0)
             .collect();
-        self.query_weighted_concepts(&query, top_k)
+        self.prepare_weighted(&terms)
     }
 
-    /// Ranks resources against a prepared query vector of
-    /// `(concept, weight)` pairs (Eq. 4).
-    pub fn query_weighted_concepts(
-        &self,
-        query: &[(usize, f64)],
-        top_k: usize,
-    ) -> Vec<RankedResource> {
-        let query_norm: f64 = query.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
-        if query_norm == 0.0 {
-            return Vec::new();
+    /// Builds a [`PreparedQuery`] from raw `(concept, weight)` pairs:
+    /// computes the norm (in ascending concept order, so every query path
+    /// sums it identically) and applies the MaxScore term order.
+    /// Out-of-range concept ids are dropped defensively, mirroring how
+    /// unknown tags are ignored.
+    pub fn prepare_weighted(&self, terms: &[(u32, f64)]) -> Option<PreparedQuery> {
+        let mut terms: Vec<(u32, f64)> = terms
+            .iter()
+            .filter(|&&(l, _)| (l as usize) < self.num_concepts)
+            .copied()
+            .collect();
+        terms.sort_unstable_by_key(|&(l, _)| l);
+        let norm: f64 = terms.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
+        if norm == 0.0 {
+            return None;
         }
+        self.order_terms(&mut terms);
+        Some(PreparedQuery { terms, norm })
+    }
+
+    /// Sorts query terms by descending `weight * max_impact` — the shared
+    /// MaxScore processing order. Both the exact reference path and the
+    /// pruned engine path consume terms in this order, which makes their
+    /// floating-point accumulation sequences — and hence scores —
+    /// identical for every surviving resource.
+    pub(crate) fn order_terms(&self, terms: &mut [(u32, f64)]) {
+        terms.sort_unstable_by(|a, b| {
+            let ba = a.1 * self.max_impact[a.0 as usize];
+            let bb = b.1 * self.max_impact[b.0 as usize];
+            bb.partial_cmp(&ba)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+    }
+
+    /// Exhaustive reference ranking: dense accumulation over every posting
+    /// of every term, full sort, truncate. `top_k = 0` returns all
+    /// matches. This is the path the paper describes (Eq. 4 over the
+    /// inverted index) and the ground truth for the pruned engine.
+    pub fn rank_exact(&self, query: &PreparedQuery, top_k: usize) -> Vec<RankedResource> {
         let mut scores = vec![0.0f64; self.num_resources];
-        for &(l, wq) in query {
-            for &(r, wr) in &self.inverted[l] {
-                scores[r as usize] += wq * wr;
+        for &(l, wq) in &query.terms {
+            for &(r, w) in &self.postings[l as usize] {
+                scores[r as usize] += wq * w;
             }
         }
         let mut ranked: Vec<RankedResource> = scores
@@ -206,14 +311,16 @@ impl ConceptIndex {
             .filter(|(_, &s)| s > 0.0)
             .map(|(r, &s)| RankedResource {
                 resource: ResourceId::from_index(r),
-                score: s / (query_norm * self.resource_norms[r]),
+                score: s / query.norm,
             })
             .collect();
-        ranked.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.resource.cmp(&b.resource))
+        ranked.sort_unstable_by(|a, b| {
+            cmp_ranked(
+                a.score,
+                a.resource.index() as u32,
+                b.score,
+                b.resource.index() as u32,
+            )
         });
         if top_k > 0 {
             ranked.truncate(top_k);
@@ -221,11 +328,44 @@ impl ConceptIndex {
         ranked
     }
 
+    /// Transforms query tags into the concept space and ranks resources by
+    /// cosine similarity. Unknown concepts (empty `idf`) contribute nothing;
+    /// resources with zero similarity are omitted. Ties break by resource id
+    /// for determinism. `top_k = 0` returns all matches.
+    ///
+    /// Convenience wrapper over the exact reference path; latency-critical
+    /// callers should use [`crate::query::QueryEngine`] instead.
+    pub fn query_tag_ids(
+        &self,
+        concepts: &dyn ConceptAssignment,
+        tags: &[TagId],
+        top_k: usize,
+    ) -> Vec<RankedResource> {
+        match self.prepare_query(concepts, tags) {
+            Some(query) => self.rank_exact(&query, top_k),
+            None => Vec::new(),
+        }
+    }
+
+    /// Ranks resources against a raw query vector of `(concept, weight)`
+    /// pairs (Eq. 4) via the exact reference path.
+    pub fn query_weighted_concepts(
+        &self,
+        query: &[(usize, f64)],
+        top_k: usize,
+    ) -> Vec<RankedResource> {
+        let terms: Vec<(u32, f64)> = query.iter().map(|&(l, w)| (l as u32, w)).collect();
+        match self.prepare_weighted(&terms) {
+            Some(query) => self.rank_exact(&query, top_k),
+            None => Vec::new(),
+        }
+    }
+
     /// Size of the index in `f64`-equivalents (for memory accounting).
     pub fn footprint_len(&self) -> usize {
         let vectors: usize = self.resource_vectors.iter().map(|v| v.len() * 2).sum();
-        let postings: usize = self.inverted.iter().map(|p| p.len() * 2).sum();
-        self.idf.len() + self.resource_norms.len() + vectors + postings
+        let postings: usize = self.postings.iter().map(|p| p.len() * 2).sum();
+        self.idf.len() + self.resource_norms.len() + self.max_impact.len() + vectors + postings
     }
 }
 
@@ -293,10 +433,7 @@ mod tests {
         let index = ConceptIndex::build(&f, &concepts);
         let mp3 = f.tag_id("mp3").unwrap();
         let ranked = index.query_tag_ids(&concepts, &[mp3], 0);
-        let names: Vec<&str> = ranked
-            .iter()
-            .map(|r| f.resource_name(r.resource))
-            .collect();
+        let names: Vec<&str> = ranked.iter().map(|r| f.resource_name(r.resource)).collect();
         assert!(names.contains(&"r2"), "concept match must reach r2");
     }
 
@@ -343,6 +480,48 @@ mod tests {
                 w[0].score > w[1].score
                     || (w[0].score == w[1].score && w[0].resource < w[1].resource)
             );
+        }
+    }
+
+    #[test]
+    fn postings_are_impact_ordered_with_max_metadata() {
+        let (f, concepts) = corpus();
+        let index = ConceptIndex::build(&f, &concepts);
+        for l in 0..index.num_concepts() {
+            let list = index.postings(l);
+            for w in list.windows(2) {
+                assert!(
+                    w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0),
+                    "postings of concept {l} not impact-ordered"
+                );
+            }
+            let expected_max = list.first().map_or(0.0, |&(_, w)| w);
+            assert_eq!(index.max_impact(l), expected_max);
+            // Every impact is a normalized weight: within (0, 1].
+            for &(r, w) in list {
+                assert!(w > 0.0 && w <= 1.0 + 1e-12, "impact out of range");
+                let norm = index.resource_norm(r as usize);
+                assert!(norm > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_terms_follow_maxscore_order() {
+        let (f, concepts) = corpus();
+        let index = ConceptIndex::build(&f, &concepts);
+        let audio = f.tag_id("audio").unwrap();
+        let laptop = f.tag_id("laptop").unwrap();
+        let wifi = f.tag_id("wifi").unwrap();
+        let q = index
+            .prepare_query(&concepts, &[audio, laptop, wifi])
+            .unwrap();
+        assert!(!q.terms.is_empty());
+        assert!(q.norm > 0.0);
+        for w in q.terms.windows(2) {
+            let b0 = w[0].1 * index.max_impact(w[0].0 as usize);
+            let b1 = w[1].1 * index.max_impact(w[1].0 as usize);
+            assert!(b0 >= b1, "terms must be in descending bound order");
         }
     }
 

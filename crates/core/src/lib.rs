@@ -20,6 +20,9 @@
 //!   per-pair evaluation, and the brute-force `F̂` reference (tests only);
 //! * [`concepts`] — §V concept distillation;
 //! * [`index`] — §III bag-of-concepts tf-idf index and cosine ranking;
+//! * [`query`] — the online top-k engine: MaxScore pruning over
+//!   impact-ordered postings, bounded-heap selection, zero-allocation
+//!   sessions, and parallel batched search;
 //! * [`pipeline`] — the [`CubeLsi`] facade wiring everything, with
 //!   per-phase timings for the efficiency experiments (Tables V–VII).
 
@@ -28,6 +31,7 @@ pub mod config;
 pub mod distance;
 pub mod index;
 pub mod pipeline;
+pub mod query;
 pub mod soft;
 pub mod tensor_build;
 
@@ -36,7 +40,8 @@ pub use config::{CubeLsiConfig, SigmaSource};
 pub use distance::{
     brute_force_distances, pairwise_distances_from_embedding, tag_embedding, TagDistances,
 };
-pub use index::{ConceptAssignment, ConceptIndex, RankedResource};
-pub use soft::{SoftConceptModel, SoftConfig};
+pub use index::{ConceptAssignment, ConceptIndex, PreparedQuery, RankedResource};
 pub use pipeline::{CubeLsi, PhaseTimings};
+pub use query::{QueryEngine, QuerySession};
+pub use soft::{SoftConceptModel, SoftConfig};
 pub use tensor_build::build_tensor;

@@ -11,6 +11,7 @@ use crate::concepts::ConceptModel;
 use crate::config::CubeLsiConfig;
 use crate::distance::{pairwise_distances_from_embedding, tag_embedding, TagDistances};
 use crate::index::{ConceptIndex, RankedResource};
+use crate::query::{QueryEngine, QuerySession};
 use crate::tensor_build::build_tensor;
 
 /// Wall-clock durations of the offline phases — the quantities behind
@@ -45,7 +46,7 @@ pub struct CubeLsi {
     decomposition: TuckerDecomposition,
     distances: TagDistances,
     concepts: ConceptModel,
-    index: ConceptIndex,
+    engine: QueryEngine,
     timings: PhaseTimings,
     tag_lookup: HashMap<String, TagId>,
     num_users: usize,
@@ -76,7 +77,7 @@ impl CubeLsi {
         timings.clustering = t0.elapsed();
 
         let t0 = Instant::now();
-        let index = ConceptIndex::build(folksonomy, &concepts);
+        let engine = QueryEngine::new(ConceptIndex::build(folksonomy, &concepts));
         timings.indexing = t0.elapsed();
 
         let tag_lookup = (0..folksonomy.num_tags())
@@ -90,7 +91,7 @@ impl CubeLsi {
             decomposition,
             distances,
             concepts,
-            index,
+            engine,
             timings,
             tag_lookup,
             num_users: folksonomy.num_users(),
@@ -100,7 +101,7 @@ impl CubeLsi {
 
     /// Online query processing: tag names in, ranked resources out
     /// (Eq. 4). Unknown tag names are ignored; `top_k = 0` returns all
-    /// matching resources.
+    /// matching resources. Served by the pruned top-k engine.
     pub fn search(&self, query_tags: &[&str], top_k: usize) -> Vec<RankedResource> {
         let ids: Vec<TagId> = query_tags
             .iter()
@@ -109,9 +110,43 @@ impl CubeLsi {
         self.search_ids(&ids, top_k)
     }
 
-    /// Online query processing with pre-resolved tag ids.
+    /// Online query processing with pre-resolved tag ids (pruned engine,
+    /// fresh scratch per call). Serving loops should hold a
+    /// [`QuerySession`] from [`Self::session`] and call
+    /// [`Self::search_ids_with`] to avoid per-query allocation.
     pub fn search_ids(&self, tags: &[TagId], top_k: usize) -> Vec<RankedResource> {
-        self.index.query_tag_ids(&self.concepts, tags, top_k)
+        self.engine.search_tags(&self.concepts, tags, top_k)
+    }
+
+    /// Allocation-free online query processing on a reused session.
+    pub fn search_ids_with(
+        &self,
+        session: &mut QuerySession,
+        tags: &[TagId],
+        top_k: usize,
+        out: &mut Vec<RankedResource>,
+    ) {
+        self.engine
+            .search_tags_with(session, &self.concepts, tags, top_k, out);
+    }
+
+    /// Answers many queries at once, fanned across the worker pool.
+    pub fn search_batch<Q: AsRef<[TagId]> + Sync>(
+        &self,
+        queries: &[Q],
+        top_k: usize,
+    ) -> Vec<Vec<RankedResource>> {
+        self.engine.search_batch(&self.concepts, queries, top_k)
+    }
+
+    /// Creates a reusable query scratch session for this engine.
+    pub fn session(&self) -> QuerySession {
+        self.engine.session()
+    }
+
+    /// The online query engine.
+    pub fn engine(&self) -> &QueryEngine {
+        &self.engine
     }
 
     /// The Tucker decomposition (for diagnostics and the memory tables).
@@ -131,7 +166,7 @@ impl CubeLsi {
 
     /// The concept index (online structure).
     pub fn index(&self) -> &ConceptIndex {
-        &self.index
+        self.engine.index()
     }
 
     /// Offline phase timings.
@@ -148,8 +183,7 @@ impl CubeLsi {
     /// Bytes a dense `F̂` would need (`I₁·I₂·I₃` doubles) — the infeasible
     /// alternative of Table VII.
     pub fn dense_purified_bytes(&self) -> usize {
-        self.num_users * self.distances.num_tags() * self.num_resources
-            * std::mem::size_of::<f64>()
+        self.num_users * self.distances.num_tags() * self.num_resources * std::mem::size_of::<f64>()
     }
 }
 

@@ -1,0 +1,784 @@
+//! The online top-k query engine: MaxScore-style pruning over
+//! impact-ordered postings, bounded-heap selection, and reusable
+//! zero-allocation scratch.
+//!
+//! # Why this exists
+//!
+//! CubeLSI's online component (Table VI of the paper) is cosine matching
+//! over the concept index. The textbook implementation — allocate a dense
+//! `O(num_resources)` accumulator, score every matching resource, sort
+//! them all, truncate to `k` — wastes most of its time when `k` is small,
+//! which is the common serving case. This module replaces it with:
+//!
+//! * **Impact-ordered postings** ([`ConceptIndex`] stores
+//!   `w(l, r) / ‖r‖` sorted descending, with per-list maxima), enabling
+//!   MaxScore-style early termination;
+//! * **Bounded-heap selection**: a `k`-element min-heap replaces the full
+//!   sort, so selection is `O(matches · log k)` instead of
+//!   `O(matches · log matches)`;
+//! * **[`QuerySession`] scratch**: epoch-tagged dense accumulators and
+//!   reusable buffers make steady-state queries allocation-free;
+//! * **[`QueryEngine::search_batch`]**: fans a slice of queries across
+//!   worker threads (one session per worker), for throughput workloads.
+//!
+//! # Pruning invariants (why early termination is exact)
+//!
+//! All query term weights and posting impacts are **non-negative**, so a
+//! resource's partial score only grows as terms are processed. The engine
+//! processes terms in descending `weight × max_impact` order and maintains
+//! `threshold` = the k-th largest *partial* score among touched resources
+//! — a valid lower bound on the final k-th largest score. Two prunes
+//! apply, both only to resources that have not been touched yet:
+//!
+//! 1. **Term prune**: if the summed bound of all remaining terms is below
+//!    `threshold`, no new resource can enter the top k; stop admitting new
+//!    accumulators (existing ones still receive every update).
+//! 2. **In-list prune**: within an impact-ordered list, once
+//!    `wq·impact + rest_bound` drops below `threshold`, no later posting
+//!    can admit a new resource either (impacts only decrease); the rest of
+//!    the list is scanned in update-only mode.
+//!
+//! Both comparisons require the candidate's upper bound to be *relatively*
+//! below the threshold (`bound · (1 + 1e-9) < threshold`), which absorbs
+//! floating-point rounding in the bound sums — ties at the boundary are
+//! therefore never pruned, and a pruned resource is strictly below the
+//! k-th result even after the final division by the query norm. Because
+//! pruning never changes the order or the set of additions applied to a
+//! *surviving* resource, the pruned path returns bit-identical scores —
+//! and an identical ranked list, including tie-breaks — to
+//! [`ConceptIndex::rank_exact`]. The equivalence is enforced by the
+//! `query_engine_equivalence` integration test over randomized corpora.
+//!
+//! A query whose terms may carry negative weights (possible through the
+//! raw [`QueryEngine::search_weighted`] entry point) falls back to the
+//! exact path, where no bound argument is needed.
+
+use crate::index::{ConceptAssignment, ConceptIndex, RankedResource};
+use cubelsi_folksonomy::{ResourceId, TagId};
+use cubelsi_linalg::parallel;
+
+/// Relative slack applied to upper bounds before pruning: a candidate is
+/// discarded only when `bound * PRUNE_SLACK < threshold`, so accumulated
+/// float rounding (≈1e-16 per op) can never prune a true top-k member.
+const PRUNE_SLACK: f64 = 1.0 + 1e-9;
+
+/// The online query engine over a built [`ConceptIndex`].
+#[derive(Debug, Clone)]
+pub struct QueryEngine {
+    index: ConceptIndex,
+}
+
+/// Reusable per-thread scratch for query processing. Create one with
+/// [`QueryEngine::session`] and reuse it across queries: after warm-up
+/// (buffers grown to their steady sizes) a
+/// [`QueryEngine::search_tags_with`] call performs **zero heap
+/// allocations**.
+#[derive(Debug, Default)]
+pub struct QuerySession {
+    // Concept-space scratch (query construction).
+    concept_weight: Vec<f64>,
+    concept_epoch: Vec<u32>,
+    concept_touched: Vec<u32>,
+    concept_cur: u32,
+    // Resource-space scratch (accumulation).
+    acc: Vec<f64>,
+    res_epoch: Vec<u32>,
+    touched: Vec<u32>,
+    res_cur: u32,
+    // Per-query term list, suffix bounds, selection scratch.
+    terms: Vec<(u32, f64)>,
+    suffix: Vec<f64>,
+    select_scratch: Vec<f64>,
+    heap: Vec<(f64, u32)>,
+}
+
+impl QuerySession {
+    fn for_index(index: &ConceptIndex) -> Self {
+        QuerySession {
+            concept_weight: vec![0.0; index.num_concepts()],
+            concept_epoch: vec![0; index.num_concepts()],
+            acc: vec![0.0; index.num_resources()],
+            res_epoch: vec![0; index.num_resources()],
+            ..QuerySession::default()
+        }
+    }
+
+    /// Starts a new query: bumps the epochs so all scratch reads as
+    /// untouched, without clearing the dense arrays.
+    fn begin(&mut self) {
+        self.concept_cur = bump_epoch(self.concept_cur, &mut self.concept_epoch);
+        self.res_cur = bump_epoch(self.res_cur, &mut self.res_epoch);
+        self.concept_touched.clear();
+        self.touched.clear();
+        self.terms.clear();
+        self.heap.clear();
+    }
+
+    /// Grows the dense scratch to the engine's dimensions if needed, so a
+    /// `Default`-constructed session — or one created for a smaller
+    /// engine — is safe to use (steady-state reuse on one engine never
+    /// resizes). New slots carry epoch 0, which reads as untouched.
+    fn ensure_capacity(&mut self, index: &ConceptIndex) {
+        if self.concept_epoch.len() < index.num_concepts() {
+            self.concept_weight.resize(index.num_concepts(), 0.0);
+            self.concept_epoch.resize(index.num_concepts(), 0);
+        }
+        if self.res_epoch.len() < index.num_resources() {
+            self.acc.resize(index.num_resources(), 0.0);
+            self.res_epoch.resize(index.num_resources(), 0);
+        }
+    }
+}
+
+fn bump_epoch(cur: u32, epochs: &mut [u32]) -> u32 {
+    if cur == u32::MAX {
+        // Wraparound (once per 2^32 queries): hard-reset the tags.
+        epochs.fill(0);
+        1
+    } else {
+        cur + 1
+    }
+}
+
+/// `a` ranks strictly worse than `b` under the shared ranking order
+/// ([`crate::index::cmp_ranked`]: score descending, resource id
+/// ascending).
+#[inline]
+fn worse(a: (f64, u32), b: (f64, u32)) -> bool {
+    crate::index::cmp_ranked(a.0, a.1, b.0, b.1) == std::cmp::Ordering::Greater
+}
+
+impl QueryEngine {
+    /// Wraps a built index.
+    pub fn new(index: ConceptIndex) -> Self {
+        QueryEngine { index }
+    }
+
+    /// The underlying concept index.
+    pub fn index(&self) -> &ConceptIndex {
+        &self.index
+    }
+
+    /// Creates a scratch session sized for this engine's index.
+    pub fn session(&self) -> QuerySession {
+        QuerySession::for_index(&self.index)
+    }
+
+    /// Convenience single query: allocates a fresh session. Prefer
+    /// [`Self::search_tags_with`] on a reused session in serving loops.
+    pub fn search_tags(
+        &self,
+        concepts: &dyn ConceptAssignment,
+        tags: &[TagId],
+        top_k: usize,
+    ) -> Vec<RankedResource> {
+        let mut session = self.session();
+        let mut out = Vec::new();
+        self.search_tags_with(&mut session, concepts, tags, top_k, &mut out);
+        out
+    }
+
+    /// Ranks resources for a tag query using the pruned top-k path,
+    /// writing results (score descending, resource id ascending) into
+    /// `out`. `top_k = 0` returns all matches. Steady-state calls on a
+    /// warmed session and reused `out` buffer perform no heap allocation.
+    pub fn search_tags_with(
+        &self,
+        session: &mut QuerySession,
+        concepts: &dyn ConceptAssignment,
+        tags: &[TagId],
+        top_k: usize,
+        out: &mut Vec<RankedResource>,
+    ) {
+        out.clear();
+        session.begin();
+        session.ensure_capacity(&self.index);
+        let Some(norm) = self.build_query(session, concepts, tags) else {
+            return;
+        };
+        self.run_pruned(session, norm, top_k, out);
+    }
+
+    /// Ranks resources against raw `(concept, weight)` pairs. Non-negative
+    /// weights use the pruned path; any negative weight — or a duplicated
+    /// concept id, which the exact reference keeps as separate terms while
+    /// the session scratch would merge — falls back to the exact reference
+    /// path so results always match [`ConceptIndex::query_weighted_concepts`].
+    pub fn search_weighted(
+        &self,
+        session: &mut QuerySession,
+        terms: &[(u32, f64)],
+        top_k: usize,
+        out: &mut Vec<RankedResource>,
+    ) {
+        out.clear();
+        if terms.iter().any(|&(_, w)| w < 0.0) {
+            if let Some(q) = self.index.prepare_weighted(terms) {
+                *out = self.index.rank_exact(&q, top_k)
+            }
+            return;
+        }
+        session.begin();
+        session.ensure_capacity(&self.index);
+        let mut duplicate = false;
+        for &(l, w) in terms {
+            if (l as usize) < self.index.num_concepts() && w != 0.0 {
+                duplicate |= !accumulate_concept(session, l as usize, w);
+            }
+        }
+        if duplicate {
+            if let Some(q) = self.index.prepare_weighted(terms) {
+                *out = self.index.rank_exact(&q, top_k)
+            }
+            return;
+        }
+        let Some(norm) = self.finalize_terms(session, |_, w| w) else {
+            return;
+        };
+        self.run_pruned(session, norm, top_k, out);
+    }
+
+    /// The exact reference path behind the engine API: identical term
+    /// preparation, exhaustive accumulation, full sort.
+    pub fn search_tags_exact(
+        &self,
+        concepts: &dyn ConceptAssignment,
+        tags: &[TagId],
+        top_k: usize,
+    ) -> Vec<RankedResource> {
+        match self.index.prepare_query(concepts, tags) {
+            Some(q) => self.index.rank_exact(&q, top_k),
+            None => Vec::new(),
+        }
+    }
+
+    /// Answers a batch of queries, fanning contiguous chunks across the
+    /// worker pool (same band-splitting idiom as the offline kernels).
+    /// Each worker reuses one [`QuerySession`]; results come back in
+    /// query order. With one thread (or one query) this degrades to a
+    /// sequential loop with a single session.
+    pub fn search_batch<Q>(
+        &self,
+        concepts: &dyn ConceptAssignment,
+        queries: &[Q],
+        top_k: usize,
+    ) -> Vec<Vec<RankedResource>>
+    where
+        Q: AsRef<[TagId]> + Sync,
+    {
+        let n = queries.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Thread spawn + per-worker session setup costs a few tens of µs;
+        // keep every worker busy with a meaningful chunk so small batches
+        // don't lose to the sequential path.
+        const MIN_QUERIES_PER_WORKER: usize = 32;
+        let threads = parallel::num_threads()
+            .min(n.div_ceil(MIN_QUERIES_PER_WORKER))
+            .max(1);
+        if threads == 1 {
+            let mut session = self.session();
+            return queries
+                .iter()
+                .map(|q| {
+                    let mut out = Vec::new();
+                    self.search_tags_with(&mut session, concepts, q.as_ref(), top_k, &mut out);
+                    out
+                })
+                .collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let mut pieces: Vec<(usize, Vec<Vec<RankedResource>>)> = Vec::with_capacity(threads);
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for (ci, qchunk) in queries.chunks(chunk).enumerate() {
+                handles.push(scope.spawn(move |_| {
+                    let mut session = self.session();
+                    let answers: Vec<Vec<RankedResource>> = qchunk
+                        .iter()
+                        .map(|q| {
+                            let mut out = Vec::new();
+                            self.search_tags_with(
+                                &mut session,
+                                concepts,
+                                q.as_ref(),
+                                top_k,
+                                &mut out,
+                            );
+                            out
+                        })
+                        .collect();
+                    (ci, answers)
+                }));
+            }
+            for h in handles {
+                pieces.push(h.join().expect("search_batch worker panicked"));
+            }
+        })
+        .expect("search_batch scope failed");
+        pieces.sort_unstable_by_key(|&(ci, _)| ci);
+        pieces.into_iter().flat_map(|(_, v)| v).collect()
+    }
+
+    // ---- internals -----------------------------------------------------
+
+    /// Accumulates the tag query into concept scratch and finalizes the
+    /// term list; returns the query norm (`None` → empty result).
+    fn build_query(
+        &self,
+        session: &mut QuerySession,
+        concepts: &dyn ConceptAssignment,
+        tags: &[TagId],
+    ) -> Option<f64> {
+        let mut total = 0.0;
+        for t in tags {
+            if t.index() < concepts.num_tags() {
+                let s = &mut *session;
+                concepts.for_each_weight(t.index(), &mut |l, w| {
+                    accumulate_concept(s, l, w);
+                });
+                total += 1.0;
+            }
+        }
+        if total == 0.0 {
+            return None;
+        }
+        // tf normalization + idf weighting, with the same float ops
+        // (`c / total`, not `c * (1/total)`) as
+        // `ConceptIndex::prepare_query`, so terms match it bit-for-bit.
+        self.finalize_terms(session, |l, c| {
+            if c > 0.0 {
+                (c / total) * self.index.idf(l)
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Shared tail of query preparation: converts the accumulated concept
+    /// scratch into the ordered term list. `weight_of(concept, raw)` maps
+    /// an accumulated raw weight to the final term weight (0 → dropped).
+    /// Terms are emitted — and the norm summed — in ascending concept
+    /// order, matching `ConceptIndex::prepare_weighted` bit-for-bit, then
+    /// put in MaxScore order. Returns the query norm (`None` → empty).
+    fn finalize_terms(
+        &self,
+        session: &mut QuerySession,
+        weight_of: impl Fn(usize, f64) -> f64,
+    ) -> Option<f64> {
+        session.concept_touched.sort_unstable();
+        for i in 0..session.concept_touched.len() {
+            let l = session.concept_touched[i] as usize;
+            let wq = weight_of(l, session.concept_weight[l]);
+            if wq != 0.0 {
+                session.terms.push((l as u32, wq));
+            }
+        }
+        let norm: f64 = session
+            .terms
+            .iter()
+            .map(|&(_, w)| w * w)
+            .sum::<f64>()
+            .sqrt();
+        if norm == 0.0 {
+            session.terms.clear();
+            return None;
+        }
+        self.index.order_terms(&mut session.terms);
+        Some(norm)
+    }
+
+    /// The pruned accumulation + bounded-heap selection. Terms must be in
+    /// MaxScore order with non-negative weights; `session` must hold the
+    /// current query's terms.
+    fn run_pruned(
+        &self,
+        session: &mut QuerySession,
+        norm: f64,
+        top_k: usize,
+        out: &mut Vec<RankedResource>,
+    ) {
+        let m = session.terms.len();
+        if m == 0 {
+            return;
+        }
+        // Single-term queries: the impact-ordered list *is* the ranking
+        // (postings sort ties by ascending resource id, matching the
+        // result tie-break); emit the prefix directly. Equal impacts can
+        // collapse to equal scores after multiplication, so extend the cut
+        // across the boundary tie-group before re-sorting by final score.
+        if m == 1 && top_k > 0 {
+            let (l, wq) = session.terms[0];
+            let list = self.index.postings(l as usize);
+            let mut take = top_k.min(list.len());
+            if take > 0 && take < list.len() {
+                let boundary = wq * list[take - 1].1 / norm;
+                while take < list.len() && wq * list[take].1 / norm == boundary {
+                    take += 1;
+                }
+            }
+            out.extend(list[..take].iter().map(|&(r, w)| RankedResource {
+                resource: ResourceId::from_index(r as usize),
+                score: wq * w / norm,
+            }));
+            sort_ranked(out);
+            out.truncate(top_k);
+            return;
+        }
+
+        // Suffix bounds: suffix[i] = Σ_{j ≥ i} wq_j · max_impact_j.
+        session.suffix.clear();
+        session.suffix.resize(m + 1, 0.0);
+        for i in (0..m).rev() {
+            let (l, wq) = session.terms[i];
+            session.suffix[i] = session.suffix[i + 1] + wq * self.index.max_impact(l as usize);
+        }
+
+        let mut admitting = true;
+        for i in 0..m {
+            let (l, wq) = session.terms[i];
+            let list = self.index.postings(l as usize);
+            // Threshold = k-th largest partial score so far (a lower bound
+            // on the final k-th score, since scores only grow).
+            let threshold = if top_k > 0 {
+                kth_partial(session, top_k)
+            } else {
+                None
+            };
+            if admitting {
+                if let Some(th) = threshold {
+                    if session.suffix[i] * PRUNE_SLACK < th {
+                        admitting = false;
+                    }
+                }
+            }
+            if !admitting {
+                update_only(session, list, wq);
+                continue;
+            }
+            let rest = session.suffix[i + 1];
+            let mut j = 0;
+            while j < list.len() {
+                let (r, w) = list[j];
+                let r = r as usize;
+                if session.res_epoch[r] == session.res_cur {
+                    session.acc[r] += wq * w;
+                } else {
+                    if let Some(th) = threshold {
+                        // Impacts only decrease down the list: once a new
+                        // resource's best case can't reach the threshold,
+                        // none below it can either.
+                        if (wq * w + rest) * PRUNE_SLACK < th {
+                            break;
+                        }
+                    }
+                    session.res_epoch[r] = session.res_cur;
+                    session.acc[r] = wq * w;
+                    session.touched.push(r as u32);
+                }
+                j += 1;
+            }
+            if j < list.len() {
+                update_only(session, &list[j..], wq);
+            }
+        }
+
+        // Selection: bounded min-heap over final (divided) scores when k
+        // is limiting, else collect-and-sort.
+        let matched = session.touched.len();
+        if top_k == 0 || matched <= top_k {
+            out.extend(session.touched.iter().map(|&r| RankedResource {
+                resource: ResourceId::from_index(r as usize),
+                score: session.acc[r as usize] / norm,
+            }));
+            sort_ranked(out);
+            return;
+        }
+        session.heap.clear();
+        for idx in 0..matched {
+            let r = session.touched[idx];
+            let cand = (session.acc[r as usize] / norm, r);
+            if session.heap.len() < top_k {
+                heap_push(&mut session.heap, cand);
+            } else if worse(session.heap[0], cand) {
+                session.heap[0] = cand;
+                heap_sift_down(&mut session.heap, 0);
+            }
+        }
+        out.extend(session.heap.iter().map(|&(s, r)| RankedResource {
+            resource: ResourceId::from_index(r as usize),
+            score: s,
+        }));
+        sort_ranked(out);
+    }
+}
+
+/// Adds `w` to concept `l`'s scratch weight; returns `false` when the
+/// concept was already touched this query (i.e. this was a merge).
+fn accumulate_concept(session: &mut QuerySession, l: usize, w: f64) -> bool {
+    let fresh = session.concept_epoch[l] != session.concept_cur;
+    if fresh {
+        session.concept_epoch[l] = session.concept_cur;
+        session.concept_weight[l] = 0.0;
+        session.concept_touched.push(l as u32);
+    }
+    session.concept_weight[l] += w;
+    fresh
+}
+
+/// Adds a term's contributions to already-touched resources only.
+fn update_only(session: &mut QuerySession, list: &[(u32, f64)], wq: f64) {
+    for &(r, w) in list {
+        let r = r as usize;
+        if session.res_epoch[r] == session.res_cur {
+            session.acc[r] += wq * w;
+        }
+    }
+}
+
+/// K-th largest partial score among touched resources, or `None` while
+/// fewer than `k` resources are touched.
+fn kth_partial(session: &mut QuerySession, k: usize) -> Option<f64> {
+    if session.touched.len() < k {
+        return None;
+    }
+    session.select_scratch.clear();
+    session
+        .select_scratch
+        .extend(session.touched.iter().map(|&r| session.acc[r as usize]));
+    let idx = k - 1;
+    session.select_scratch.select_nth_unstable_by(idx, |a, b| {
+        b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    Some(session.select_scratch[idx])
+}
+
+/// Final result order: the shared ranking comparator.
+fn sort_ranked(out: &mut [RankedResource]) {
+    out.sort_unstable_by(|a, b| {
+        crate::index::cmp_ranked(
+            a.score,
+            a.resource.index() as u32,
+            b.score,
+            b.resource.index() as u32,
+        )
+    });
+}
+
+fn heap_push(heap: &mut Vec<(f64, u32)>, item: (f64, u32)) {
+    heap.push(item);
+    let mut i = heap.len() - 1;
+    while i > 0 {
+        let parent = (i - 1) / 2;
+        if worse(heap[i], heap[parent]) {
+            heap.swap(i, parent);
+            i = parent;
+        } else {
+            break;
+        }
+    }
+}
+
+fn heap_sift_down(heap: &mut [(f64, u32)], mut i: usize) {
+    let n = heap.len();
+    loop {
+        let l = 2 * i + 1;
+        let r = l + 1;
+        let mut worst = i;
+        if l < n && worse(heap[l], heap[worst]) {
+            worst = l;
+        }
+        if r < n && worse(heap[r], heap[worst]) {
+            worst = r;
+        }
+        if worst == i {
+            return;
+        }
+        heap.swap(i, worst);
+        i = worst;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concepts::ConceptModel;
+    use cubelsi_folksonomy::FolksonomyBuilder;
+
+    fn corpus() -> (cubelsi_folksonomy::Folksonomy, ConceptModel) {
+        let mut b = FolksonomyBuilder::new();
+        b.add("u1", "audio", "r1");
+        b.add("u2", "audio", "r1");
+        b.add("u3", "mp3", "r1");
+        b.add("u1", "audio", "r2");
+        b.add("u2", "laptop", "r2");
+        b.add("u1", "laptop", "r3");
+        b.add("u2", "wifi", "r3");
+        b.add("u3", "laptop", "r3");
+        let f = b.build();
+        let concepts = ConceptModel::from_assignments(vec![0, 0, 1, 1], 1.0);
+        (f, concepts)
+    }
+
+    fn engine() -> (cubelsi_folksonomy::Folksonomy, ConceptModel, QueryEngine) {
+        let (f, concepts) = corpus();
+        let index = ConceptIndex::build(&f, &concepts);
+        let engine = QueryEngine::new(index);
+        (f, concepts, engine)
+    }
+
+    #[test]
+    fn pruned_matches_exact_on_toy_corpus() {
+        let (f, concepts, engine) = engine();
+        let tag_sets: Vec<Vec<TagId>> = vec![
+            vec![f.tag_id("audio").unwrap()],
+            vec![f.tag_id("laptop").unwrap()],
+            vec![f.tag_id("audio").unwrap(), f.tag_id("laptop").unwrap()],
+            vec![
+                f.tag_id("audio").unwrap(),
+                f.tag_id("wifi").unwrap(),
+                f.tag_id("mp3").unwrap(),
+            ],
+        ];
+        for tags in &tag_sets {
+            for k in [0usize, 1, 2, 3, 10] {
+                let exact = engine.search_tags_exact(&concepts, tags, k);
+                let pruned = engine.search_tags(&concepts, tags, k);
+                assert_eq!(pruned.len(), exact.len(), "k={k} tags={tags:?}");
+                for (p, e) in pruned.iter().zip(exact.iter()) {
+                    assert_eq!(p.resource, e.resource, "k={k} tags={tags:?}");
+                    assert_eq!(p.score.to_bits(), e.score.to_bits(), "k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn session_reuse_is_consistent() {
+        let (f, concepts, engine) = engine();
+        let mut session = engine.session();
+        let mut out = Vec::new();
+        let audio = f.tag_id("audio").unwrap();
+        let laptop = f.tag_id("laptop").unwrap();
+        // Interleave different queries on one session; answers must be
+        // independent of history.
+        let fresh_audio = engine.search_tags(&concepts, &[audio], 2);
+        let fresh_laptop = engine.search_tags(&concepts, &[laptop], 2);
+        for _ in 0..5 {
+            engine.search_tags_with(&mut session, &concepts, &[audio], 2, &mut out);
+            assert_eq!(out, fresh_audio);
+            engine.search_tags_with(&mut session, &concepts, &[laptop], 2, &mut out);
+            assert_eq!(out, fresh_laptop);
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let (f, concepts, engine) = engine();
+        let queries: Vec<Vec<TagId>> = vec![
+            vec![f.tag_id("audio").unwrap()],
+            vec![f.tag_id("laptop").unwrap()],
+            vec![f.tag_id("mp3").unwrap(), f.tag_id("wifi").unwrap()],
+            vec![],
+            vec![f.tag_id("audio").unwrap(), f.tag_id("laptop").unwrap()],
+        ];
+        let batch = engine.search_batch(&concepts, &queries, 2);
+        assert_eq!(batch.len(), queries.len());
+        for (q, got) in queries.iter().zip(batch.iter()) {
+            let want = engine.search_tags(&concepts, q, 2);
+            assert_eq!(got, &want);
+        }
+    }
+
+    #[test]
+    fn weighted_negative_falls_back_to_exact() {
+        let (_, _, engine) = engine();
+        let mut session = engine.session();
+        let mut out = Vec::new();
+        engine.search_weighted(&mut session, &[(0, 0.7), (1, -0.2)], 0, &mut out);
+        let exact = engine
+            .index()
+            .query_weighted_concepts(&[(0, 0.7), (1, -0.2)], 0);
+        assert_eq!(out, exact);
+    }
+
+    #[test]
+    fn weighted_duplicate_concepts_match_exact() {
+        // The exact reference keeps duplicated concept ids as separate
+        // terms; the engine must not silently merge them into a
+        // different-normed query.
+        let (_, _, engine) = engine();
+        let mut session = engine.session();
+        let mut out = Vec::new();
+        let terms = [(0u32, 0.5), (1, 0.25), (0, 0.5)];
+        engine.search_weighted(&mut session, &terms, 0, &mut out);
+        let exact = engine
+            .index()
+            .query_weighted_concepts(&[(0, 0.5), (1, 0.25), (0, 0.5)], 0);
+        assert_eq!(out.len(), exact.len());
+        for (p, e) in out.iter().zip(exact.iter()) {
+            assert_eq!(p.resource, e.resource);
+            assert_eq!(p.score.to_bits(), e.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn default_session_is_safe_and_correct() {
+        // A Default-constructed session (or one sized for a smaller
+        // engine) must grow on first use instead of panicking.
+        let (f, concepts, engine) = engine();
+        let mut session = QuerySession::default();
+        let mut out = Vec::new();
+        let audio = f.tag_id("audio").unwrap();
+        engine.search_tags_with(&mut session, &concepts, &[audio], 2, &mut out);
+        let fresh = engine.search_tags(&concepts, &[audio], 2);
+        assert_eq!(out, fresh);
+    }
+
+    #[test]
+    fn empty_and_unknown_queries_are_empty() {
+        let (_, concepts, engine) = engine();
+        let mut session = engine.session();
+        let mut out = vec![RankedResource {
+            resource: ResourceId::from_index(0),
+            score: 1.0,
+        }];
+        engine.search_tags_with(&mut session, &concepts, &[], 5, &mut out);
+        assert!(out.is_empty(), "out must be cleared for empty queries");
+        engine.search_tags_with(
+            &mut session,
+            &concepts,
+            &[TagId::from_index(99)],
+            5,
+            &mut out,
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn heap_order_is_total_and_matches_sort() {
+        // Randomized heap-vs-sort cross-check with score ties.
+        let scores = [0.5, 0.25, 0.5, 1.0, 0.125, 0.25, 0.75, 0.5];
+        let mut heap: Vec<(f64, u32)> = Vec::new();
+        let k = 4;
+        for (r, &s) in scores.iter().enumerate() {
+            let cand = (s, r as u32);
+            if heap.len() < k {
+                heap_push(&mut heap, cand);
+            } else if worse(heap[0], cand) {
+                heap[0] = cand;
+                heap_sift_down(&mut heap, 0);
+            }
+        }
+        let mut got: Vec<(f64, u32)> = heap.clone();
+        got.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        let mut all: Vec<(f64, u32)> = scores
+            .iter()
+            .enumerate()
+            .map(|(r, &s)| (s, r as u32))
+            .collect();
+        all.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        assert_eq!(got, all[..k]);
+    }
+}

@@ -72,9 +72,9 @@ impl SoftConceptModel {
                 *acc += x;
             }
         }
-        for c in 0..k {
-            if counts[c] > 0 {
-                let inv = 1.0 / counts[c] as f64;
+        for (c, &count) in counts.iter().enumerate() {
+            if count > 0 {
+                let inv = 1.0 / count as f64;
                 for x in centroids.row_mut(c) {
                     *x *= inv;
                 }
@@ -269,8 +269,8 @@ mod tests {
             k: KSelection::Fixed(2),
             ..Default::default()
         };
-        let soft = SoftConceptModel::distill(&distances, &spectral, &SoftConfig::default())
-            .unwrap();
+        let soft =
+            SoftConceptModel::distill(&distances, &spectral, &SoftConfig::default()).unwrap();
         assert_eq!(soft.num_concepts(), 2);
         assert_eq!(soft.num_tags(), 7);
         assert!(soft.temperature() > 0.0);

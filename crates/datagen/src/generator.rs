@@ -524,7 +524,9 @@ impl Cdf {
     fn sample(&self, rng: &mut StdRng) -> usize {
         let total = *self.cumulative.last().expect("non-empty CDF");
         let target = rng.gen::<f64>() * total;
-        self.cumulative.partition_point(|&c| c <= target).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c <= target)
+            .min(self.cumulative.len() - 1)
     }
 }
 

@@ -172,7 +172,9 @@ mod tests {
     fn is_system_tag_predicate() {
         let base = clean_dataset();
         let raw = rawify(&base, &RawNoiseConfig::default());
-        let sys = raw.tag_id("system:imported").or(raw.tag_id("system:unfiled"));
+        let sys = raw
+            .tag_id("system:imported")
+            .or(raw.tag_id("system:unfiled"));
         if let Some(t) = sys {
             assert!(is_system_tag(&raw, t));
         }

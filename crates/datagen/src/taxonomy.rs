@@ -354,8 +354,8 @@ impl PseudoWordGen {
     /// A fresh base word not colliding with `taken`.
     fn fresh(&mut self, rng: &mut StdRng, taken: &HashMap<String, usize>) -> String {
         const CONSONANTS: &[&str] = &[
-            "b", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "ch", "st",
-            "tr", "pl",
+            "b", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "ch", "st", "tr",
+            "pl",
         ];
         const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ai", "ou", "ea"];
         loop {
@@ -399,7 +399,7 @@ impl PseudoWordGen {
                 format!("{base}ed"),
             ],
             "abbrev" => {
-                let cut = base.len().min(3).max(2);
+                let cut = base.len().clamp(2, 3);
                 vec![base[..cut].to_string(), format!("{}.", &base[..cut])]
             }
             _ => vec![format!("{base}x")],

@@ -112,7 +112,11 @@ mod tests {
         };
         let eval = evaluate_tag_distances(truth, &covered, oracle);
         assert_eq!(eval.evaluated, covered.len());
-        assert!((eval.rank_avg - 1.0).abs() < 1e-12, "rank {}", eval.rank_avg);
+        assert!(
+            (eval.rank_avg - 1.0).abs() < 1e-12,
+            "rank {}",
+            eval.rank_avg
+        );
     }
 
     #[test]

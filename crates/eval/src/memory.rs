@@ -100,7 +100,10 @@ mod tests {
         assert_eq!(m.core_dims, (78, 67, 57));
         // Paper: "36.9 billion entries" in F (§IV-C) and S+Y⁽²⁾ = 1.8 MB.
         let entries = m.dense_purified_bytes() / F64_BYTES;
-        assert!((entries as f64 / 1e9 - 36.9).abs() < 0.1, "entries {entries}");
+        assert!(
+            (entries as f64 / 1e9 - 36.9).abs() < 0.1,
+            "entries {entries}"
+        );
         let decimal_mb = m.sigma_y2_bytes() as f64 / 1e6;
         assert!((decimal_mb - 1.8).abs() < 0.1, "decimal MB = {decimal_mb}");
     }

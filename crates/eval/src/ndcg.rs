@@ -48,11 +48,7 @@ pub fn precision_at(ranked_relevances: &[u8], k: usize) -> f64 {
     if k == 0 {
         return 0.0;
     }
-    let hits = ranked_relevances
-        .iter()
-        .take(k)
-        .filter(|&&r| r > 0)
-        .count();
+    let hits = ranked_relevances.iter().take(k).filter(|&&r| r > 0).count();
     hits as f64 / k as f64
 }
 

@@ -100,8 +100,12 @@ pub fn generate_workload(ds: &GeneratedDataset, config: &WorkloadConfig) -> Vec<
     for _ in 0..config.num_queries {
         // Concepts for this query.
         let (clo, chi) = config.concepts_per_query;
-        let n_concepts = if chi > clo { rng.gen_range(clo..=chi) } else { clo }
-            .clamp(1, usable.len());
+        let n_concepts = if chi > clo {
+            rng.gen_range(clo..=chi)
+        } else {
+            clo
+        }
+        .clamp(1, usable.len());
         let mut concepts = Vec::with_capacity(n_concepts);
         while concepts.len() < n_concepts {
             let c = usable[rng.gen_range(0..usable.len())];
@@ -111,7 +115,12 @@ pub fn generate_workload(ds: &GeneratedDataset, config: &WorkloadConfig) -> Vec<
         }
         // Tags from those concepts.
         let (tlo, thi) = config.tags_per_query;
-        let n_tags = if thi > tlo { rng.gen_range(tlo..=thi) } else { tlo }.max(1);
+        let n_tags = if thi > tlo {
+            rng.gen_range(tlo..=thi)
+        } else {
+            tlo
+        }
+        .max(1);
         let mut tags = Vec::with_capacity(n_tags);
         for i in 0..n_tags {
             let c = concepts[i % concepts.len()];

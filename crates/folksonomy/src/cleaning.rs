@@ -129,9 +129,8 @@ pub fn clean(input: &Folksonomy, config: &CleaningConfig) -> (Folksonomy, Cleani
     let mut resources_out = Interner::new();
     let mut remapped: Vec<TagAssignment> = Vec::with_capacity(assignments.len());
     for a in &assignments {
-        let u = *user_map[a.user.index()].get_or_insert_with(|| {
-            UserId::from_index(users_out.intern(input.user_name(a.user)))
-        });
+        let u = *user_map[a.user.index()]
+            .get_or_insert_with(|| UserId::from_index(users_out.intern(input.user_name(a.user))));
         let t = *tag_map[a.tag.index()].get_or_insert_with(|| {
             TagId::from_index(tags_out.intern(tags_interner.name(a.tag.index())))
         });
@@ -258,7 +257,11 @@ mod tests {
         // r* have 1 each, so the whole long tail disappears, which then
         // drops t{i} below threshold, which kills "a"/"x" too.
         assert_eq!(cleaned.num_assignments(), 0);
-        assert!(report.rounds >= 2, "expected cascading rounds, got {}", report.rounds);
+        assert!(
+            report.rounds >= 2,
+            "expected cascading rounds, got {}",
+            report.rounds
+        );
     }
 
     #[test]
@@ -295,7 +298,9 @@ mod tests {
             assert!(!cleaned.tag_assignments(TagId::from_index(t)).is_empty());
         }
         for r in 0..cleaned.num_resources() {
-            assert!(!cleaned.resource_assignments(ResourceId::from_index(r)).is_empty());
+            assert!(!cleaned
+                .resource_assignments(ResourceId::from_index(r))
+                .is_empty());
         }
     }
 }

@@ -35,7 +35,10 @@ impl fmt::Display for IoError {
         match self {
             IoError::Io(e) => write!(f, "I/O error: {e}"),
             IoError::MalformedLine { line, content } => {
-                write!(f, "line {line}: expected 'user<TAB>tag<TAB>resource', got {content:?}")
+                write!(
+                    f,
+                    "line {line}: expected 'user<TAB>tag<TAB>resource', got {content:?}"
+                )
             }
         }
     }
@@ -112,7 +115,9 @@ mod tests {
         for a in original.assignments() {
             let u = parsed.user_id(original.user_name(a.user)).unwrap();
             let t = parsed.tag_id(original.tag_name(a.tag)).unwrap();
-            let r = parsed.resource_id(original.resource_name(a.resource)).unwrap();
+            let r = parsed
+                .resource_id(original.resource_name(a.resource))
+                .unwrap();
             assert!(parsed
                 .resource_assignments(r)
                 .iter()

@@ -16,13 +16,13 @@
 //!   reproducing the raw → cleaned transition of Table II.
 
 pub mod cleaning;
-pub mod io;
 pub mod ids;
 pub mod interner;
+pub mod io;
 pub mod store;
 
 pub use cleaning::{clean, CleaningConfig, CleaningReport};
-pub use io::{read_tsv, read_tsv_file, write_tsv, IoError};
 pub use ids::{ResourceId, TagId, UserId};
 pub use interner::Interner;
+pub use io::{read_tsv, read_tsv_file, write_tsv, IoError};
 pub use store::{Folksonomy, FolksonomyBuilder, FolksonomyStats, TagAssignment};

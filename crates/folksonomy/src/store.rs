@@ -223,7 +223,10 @@ impl Folksonomy {
         assignments.sort_unstable_by_key(|a| (a.resource, a.tag, a.user));
         assignments.dedup();
         let by_resource = assignments;
-        let resource_ptr = build_ptr(resources.len(), by_resource.iter().map(|a| a.resource.index()));
+        let resource_ptr = build_ptr(
+            resources.len(),
+            by_resource.iter().map(|a| a.resource.index()),
+        );
         let mut by_tag = by_resource.clone();
         by_tag.sort_unstable_by_key(|a| (a.tag, a.resource, a.user));
         let tag_ptr = build_ptr(tags.len(), by_tag.iter().map(|a| a.tag.index()));

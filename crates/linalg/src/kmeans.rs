@@ -74,9 +74,7 @@ pub fn kmeans(points: &Matrix, config: &KMeansConfig) -> Result<KMeansResult> {
     let mut best: Option<KMeansResult> = None;
     for restart in 0..config.n_init.max(1) {
         let result = kmeans_single(points, config, config.seed.wrapping_add(restart as u64))?;
-        let better = best
-            .as_ref()
-            .map_or(true, |b| result.inertia < b.inertia);
+        let better = best.as_ref().is_none_or(|b| result.inertia < b.inertia);
         if better {
             best = Some(result);
         }
@@ -99,16 +97,15 @@ fn kmeans_single(points: &Matrix, config: &KMeansConfig, seed: u64) -> Result<KM
         iterations = it + 1;
         // Assignment step.
         let mut new_inertia = 0.0;
-        for i in 0..n {
+        for (i, slot) in assignments.iter_mut().enumerate() {
             let (c, dist_sq) = nearest_centroid(points.row(i), &centroids);
-            assignments[i] = c;
+            *slot = c;
             new_inertia += dist_sq;
         }
         // Update step.
         let mut sums = Matrix::zeros(k, d);
         let mut counts = vec![0usize; k];
-        for i in 0..n {
-            let c = assignments[i];
+        for (i, &c) in assignments.iter().enumerate() {
             counts[c] += 1;
             let row = points.row(i);
             let srow = sums.row_mut(c);
@@ -116,8 +113,8 @@ fn kmeans_single(points: &Matrix, config: &KMeansConfig, seed: u64) -> Result<KM
                 *s += x;
             }
         }
-        for c in 0..k {
-            if counts[c] == 0 {
+        for (c, &count) in counts.iter().enumerate() {
+            if count == 0 {
                 // Re-seed an empty cluster from the point farthest from its
                 // current centroid so we never lose a concept slot.
                 let far = (0..n)
@@ -129,7 +126,7 @@ fn kmeans_single(points: &Matrix, config: &KMeansConfig, seed: u64) -> Result<KM
                     .expect("non-empty point set");
                 centroids.row_mut(c).copy_from_slice(points.row(far));
             } else {
-                let inv = 1.0 / counts[c] as f64;
+                let inv = 1.0 / count as f64;
                 let srow = sums.row(c).to_vec();
                 let crow = centroids.row_mut(c);
                 for (cv, sv) in crow.iter_mut().zip(srow.iter()) {
@@ -138,8 +135,8 @@ fn kmeans_single(points: &Matrix, config: &KMeansConfig, seed: u64) -> Result<KM
             }
         }
         // Convergence on relative inertia improvement.
-        let converged = inertia.is_finite()
-            && (inertia - new_inertia).abs() / inertia.max(1e-30) < config.tol;
+        let converged =
+            inertia.is_finite() && (inertia - new_inertia).abs() / inertia.max(1e-30) < config.tol;
         inertia = new_inertia;
         if converged {
             break;
@@ -147,9 +144,9 @@ fn kmeans_single(points: &Matrix, config: &KMeansConfig, seed: u64) -> Result<KM
     }
     // Final assignment pass against the final centroids.
     let mut final_inertia = 0.0;
-    for i in 0..n {
+    for (i, slot) in assignments.iter_mut().enumerate() {
         let (c, dist_sq) = nearest_centroid(points.row(i), &centroids);
-        assignments[i] = c;
+        *slot = c;
         final_inertia += dist_sq;
     }
     Ok(KMeansResult {
@@ -190,10 +187,10 @@ fn kmeanspp_init(points: &Matrix, k: usize, rng: &mut StdRng) -> Matrix {
             idx
         };
         centroids.row_mut(c).copy_from_slice(points.row(chosen));
-        for i in 0..n {
+        for (i, slot) in dist_sq.iter_mut().enumerate() {
             let nd = sq_dist(points.row(i), centroids.row(c));
-            if nd < dist_sq[i] {
-                dist_sq[i] = nd;
+            if nd < *slot {
+                *slot = nd;
             }
         }
     }
@@ -263,8 +260,7 @@ mod tests {
 
     #[test]
     fn k_equals_n_gives_zero_inertia() {
-        let points =
-            Matrix::from_rows(&[vec![0.0, 0.0], vec![5.0, 0.0], vec![0.0, 5.0]]).unwrap();
+        let points = Matrix::from_rows(&[vec![0.0, 0.0], vec![5.0, 0.0], vec![0.0, 5.0]]).unwrap();
         let cfg = KMeansConfig {
             k: 3,
             seed: 1,
@@ -292,8 +288,10 @@ mod tests {
     #[test]
     fn rejects_invalid_arguments() {
         let points = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
-        let mut cfg = KMeansConfig::default();
-        cfg.k = 0;
+        let mut cfg = KMeansConfig {
+            k: 0,
+            ..KMeansConfig::default()
+        };
         assert!(kmeans(&points, &cfg).is_err());
         cfg.k = 5;
         assert!(kmeans(&points, &cfg).is_err());

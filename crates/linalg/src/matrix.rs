@@ -151,7 +151,9 @@ impl Matrix {
     /// Copies column `j` into a fresh vector.
     pub fn col(&self, j: usize) -> Vec<f64> {
         debug_assert!(j < self.cols);
-        (0..self.rows).map(|i| self.data[i * self.cols + j]).collect()
+        (0..self.rows)
+            .map(|i| self.data[i * self.cols + j])
+            .collect()
     }
 
     /// Overwrites column `j` with `v`.
@@ -372,7 +374,12 @@ impl Matrix {
         self.zip_with(other, "sub", |a, b| a - b)
     }
 
-    fn zip_with(&self, other: &Matrix, op: &'static str, f: impl Fn(f64, f64) -> f64) -> Result<Matrix> {
+    fn zip_with(
+        &self,
+        other: &Matrix,
+        op: &'static str,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<Matrix> {
         if self.shape() != other.shape() {
             return Err(LinAlgError::DimensionMismatch {
                 op,

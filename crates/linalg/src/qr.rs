@@ -116,7 +116,9 @@ pub fn orthonormalize_columns(a: &mut Matrix) {
                 // Rank deficient: inject a fresh deterministic direction and
                 // re-run the projection for this column.
                 for x in cj.iter_mut() {
-                    fill_seed = fill_seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    fill_seed = fill_seed
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     *x = ((fill_seed >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
                 }
                 for i in 0..j {
@@ -240,8 +242,7 @@ mod tests {
     fn mgs_recovers_from_rank_deficiency() {
         // Two identical columns: the second must be replaced by something
         // orthogonal rather than collapsing to zero.
-        let mut a =
-            Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0], vec![1.0, 1.0]]).unwrap();
+        let mut a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0], vec![1.0, 1.0]]).unwrap();
         orthonormalize_columns(&mut a);
         assert!(orthonormality_error(&a) < 1e-8);
     }

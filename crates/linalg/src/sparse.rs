@@ -64,7 +64,10 @@ impl CooMatrix {
                 current_row += 1;
             }
             if let (Some(&last_c), Some(last_v)) = (col_idx.last(), values.last_mut()) {
-                if current_row == r && last_c == c && row_ptr.last().copied().unwrap() as usize != col_idx.len() {
+                if current_row == r
+                    && last_c == c
+                    && row_ptr.last().copied().unwrap() as usize != col_idx.len()
+                {
                     *last_v += v;
                     continue;
                 }
@@ -171,12 +174,12 @@ impl CsrMatrix {
             });
         }
         let mut out = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, slot) in out.iter_mut().enumerate() {
             let mut acc = 0.0;
             for (c, v) in self.row_iter(i) {
                 acc += v * x[c];
             }
-            out[i] = acc;
+            *slot = acc;
         }
         Ok(out)
     }
@@ -191,8 +194,7 @@ impl CsrMatrix {
             });
         }
         let mut out = vec![0.0; self.cols];
-        for i in 0..self.rows {
-            let xi = x[i];
+        for (i, &xi) in x.iter().enumerate() {
             if xi == 0.0 {
                 continue;
             }
@@ -318,12 +320,8 @@ mod tests {
         // [1 3 0]
         // [1 0 0]
         // [0 0 2]
-        CsrMatrix::from_triples(
-            3,
-            3,
-            &[(0, 0, 1.0), (0, 1, 3.0), (1, 0, 1.0), (2, 2, 2.0)],
-        )
-        .unwrap()
+        CsrMatrix::from_triples(3, 3, &[(0, 0, 1.0), (0, 1, 3.0), (1, 0, 1.0), (2, 2, 2.0)])
+            .unwrap()
     }
 
     #[test]
@@ -418,7 +416,10 @@ mod tests {
         let m = CsrMatrix::from_triples(4, 3, &[(3, 2, 1.0)]).unwrap();
         assert_eq!(m.row_iter(0).count(), 0);
         assert_eq!(m.row_iter(3).count(), 1);
-        assert_eq!(m.matvec(&[0.0, 0.0, 2.0]).unwrap(), vec![0.0, 0.0, 0.0, 2.0]);
+        assert_eq!(
+            m.matvec(&[0.0, 0.0, 2.0]).unwrap(),
+            vec![0.0, 0.0, 0.0, 2.0]
+        );
     }
 
     #[test]
@@ -426,6 +427,6 @@ mod tests {
         let m = CsrMatrix::zeros(2, 5);
         assert_eq!(m.nnz(), 0);
         assert_eq!(m.shape(), (2, 5));
-        assert_eq!(m.matvec(&vec![1.0; 5]).unwrap(), vec![0.0, 0.0]);
+        assert_eq!(m.matvec(&[1.0; 5]).unwrap(), vec![0.0, 0.0]);
     }
 }

@@ -98,7 +98,9 @@ pub fn spectral_clustering(distances: &Matrix, config: &SpectralConfig) -> Resul
     let sigma = match config.sigma {
         Some(s) if s > 0.0 => s,
         Some(_) => {
-            return Err(LinAlgError::InvalidArgument("sigma must be positive".into()));
+            return Err(LinAlgError::InvalidArgument(
+                "sigma must be positive".into(),
+            ));
         }
         None => median_offdiag(distances).max(1e-12),
     };
@@ -123,9 +125,13 @@ pub fn spectral_clustering(distances: &Matrix, config: &SpectralConfig) -> Resul
     // (∞ · subnormal affinity → NaN) is well-defined.
     const DEG_FLOOR: f64 = 1e-100;
     let mut inv_sqrt_deg = vec![0.0; n];
-    for i in 0..n {
+    for (i, slot) in inv_sqrt_deg.iter_mut().enumerate() {
         let deg: f64 = affinity.row(i).iter().sum();
-        inv_sqrt_deg[i] = if deg > DEG_FLOOR { 1.0 / deg.sqrt() } else { 0.0 };
+        *slot = if deg > DEG_FLOOR {
+            1.0 / deg.sqrt()
+        } else {
+            0.0
+        };
     }
     let mut l = affinity; // reuse the allocation
     for i in 0..n {

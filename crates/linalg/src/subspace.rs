@@ -45,7 +45,9 @@ impl SymOp for DenseSymOp<'_> {
     }
 
     fn apply_block(&self, x: &Matrix) -> Matrix {
-        self.matrix.matmul(x).expect("DenseSymOp dimension mismatch")
+        self.matrix
+            .matmul(x)
+            .expect("DenseSymOp dimension mismatch")
     }
 }
 
@@ -90,11 +92,15 @@ impl SymOp for GramOp<'_> {
         if self.transposed {
             // (Aᵀ A) X = Aᵀ (A X)
             let ax = self.matrix.matmul_dense(x).expect("GramOp inner: A*X");
-            self.matrix.matmul_dense_t(&ax).expect("GramOp inner: Aᵀ*(AX)")
+            self.matrix
+                .matmul_dense_t(&ax)
+                .expect("GramOp inner: Aᵀ*(AX)")
         } else {
             // (A Aᵀ) X = A (Aᵀ X)
             let atx = self.matrix.matmul_dense_t(x).expect("GramOp outer: Aᵀ*X");
-            self.matrix.matmul_dense(&atx).expect("GramOp outer: A*(AᵀX)")
+            self.matrix
+                .matmul_dense(&atx)
+                .expect("GramOp outer: A*(AᵀX)")
         }
     }
 }
@@ -257,7 +263,13 @@ mod tests {
         let a = CsrMatrix::from_triples(
             4,
             3,
-            &[(0, 0, 2.0), (0, 2, 1.0), (1, 1, 3.0), (2, 0, -1.0), (3, 2, 0.5)],
+            &[
+                (0, 0, 2.0),
+                (0, 2, 1.0),
+                (1, 1, 3.0),
+                (2, 0, -1.0),
+                (3, 2, 0.5),
+            ],
         )
         .unwrap();
         let dense_gram = a.to_dense().gram_t();
@@ -274,7 +286,13 @@ mod tests {
         let a = CsrMatrix::from_triples(
             4,
             3,
-            &[(0, 0, 2.0), (0, 2, 1.0), (1, 1, 3.0), (2, 0, -1.0), (3, 2, 0.5)],
+            &[
+                (0, 0, 2.0),
+                (0, 2, 1.0),
+                (1, 1, 3.0),
+                (2, 0, -1.0),
+                (3, 2, 0.5),
+            ],
         )
         .unwrap();
         let dense_gram = a.to_dense().gram();

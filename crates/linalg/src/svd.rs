@@ -63,7 +63,9 @@ impl LinOp for Matrix {
         self.matmul(x).expect("LinOp apply: dimension mismatch")
     }
     fn apply_t(&self, y: &Matrix) -> Matrix {
-        self.transpose().matmul(y).expect("LinOp apply_t: dimension mismatch")
+        self.transpose()
+            .matmul(y)
+            .expect("LinOp apply_t: dimension mismatch")
     }
 }
 
@@ -75,10 +77,12 @@ impl LinOp for CsrMatrix {
         self.cols()
     }
     fn apply(&self, x: &Matrix) -> Matrix {
-        self.matmul_dense(x).expect("LinOp apply: dimension mismatch")
+        self.matmul_dense(x)
+            .expect("LinOp apply: dimension mismatch")
     }
     fn apply_t(&self, y: &Matrix) -> Matrix {
-        self.matmul_dense_t(y).expect("LinOp apply_t: dimension mismatch")
+        self.matmul_dense_t(y)
+            .expect("LinOp apply_t: dimension mismatch")
     }
 }
 
@@ -266,7 +270,11 @@ fn scale_cols_by_inverse(m: &Matrix, sigma: &[f64]) -> Matrix {
     let mut out = m.clone();
     let (rows, cols) = out.shape();
     for j in 0..cols {
-        let inv = if sigma[j] > 1e-12 { 1.0 / sigma[j] } else { 0.0 };
+        let inv = if sigma[j] > 1e-12 {
+            1.0 / sigma[j]
+        } else {
+            0.0
+        };
         for i in 0..rows {
             out[(i, j)] *= inv;
         }

@@ -234,8 +234,7 @@ impl DenseTensor3 {
             1 => {
                 for jn_i in 0..jn {
                     let wrow = w.row(jn_i);
-                    for i in 0..d1 {
-                        let wv = wrow[i];
+                    for (i, &wv) in wrow.iter().enumerate() {
                         if wv == 0.0 {
                             continue;
                         }
@@ -254,8 +253,7 @@ impl DenseTensor3 {
             2 => {
                 for jn_i in 0..jn {
                     let wrow = w.row(jn_i);
-                    for j in 0..d2 {
-                        let wv = wrow[j];
+                    for (j, &wv) in wrow.iter().enumerate() {
                         if wv == 0.0 {
                             continue;
                         }
@@ -274,8 +272,7 @@ impl DenseTensor3 {
             3 => {
                 for jn_i in 0..jn {
                     let wrow = w.row(jn_i);
-                    for k in 0..d3 {
-                        let wv = wrow[k];
+                    for (k, &wv) in wrow.iter().enumerate() {
                         if wv == 0.0 {
                             continue;
                         }

@@ -44,7 +44,7 @@ impl TuckerConfig {
         c3: f64,
     ) -> Result<Self, LinAlgError> {
         for (name, c) in [("c1", c1), ("c2", c2), ("c3", c3)] {
-            if !(c >= 1.0) {
+            if c.is_nan() || c < 1.0 {
                 return Err(LinAlgError::InvalidArgument(format!(
                     "reduction ratio {name} must be >= 1, got {c}"
                 )));
@@ -145,11 +145,7 @@ pub fn tucker_als(
     // (the mode-n unfolding of S has only ∏_{m≠n} Jₘ columns); clamp to a
     // feasible rank triple so every factor matrix gets its full width.
     loop {
-        let (n1, n2, n3) = (
-            j1.min(j2 * j3),
-            j2.min(j1 * j3),
-            j3.min(j1 * j2),
-        );
+        let (n1, n2, n3) = (j1.min(j2 * j3), j2.min(j1 * j3), j3.min(j1 * j2));
         if (n1, n2, n3) == (j1, j2, j3) {
             break;
         }
@@ -273,7 +269,11 @@ mod tests {
         let f = figure2_tensor();
         let config = default_config((3, 3, 3));
         let d = tucker_als(&f, &config).unwrap();
-        assert!(d.fit > 1.0 - 1e-8, "full-rank fit should be ~1, got {}", d.fit);
+        assert!(
+            d.fit > 1.0 - 1e-8,
+            "full-rank fit should be ~1, got {}",
+            d.fit
+        );
         let recon = d.reconstruct().unwrap();
         assert!(recon.approx_eq(&f.to_dense(), 1e-7));
     }
@@ -306,9 +306,11 @@ mod tests {
         assert!(err > 1e-9, "trimming J3 must be lossy here");
         assert!(err < f.frobenius_norm() * 0.5, "error {err} too large");
         // Residual identity: ‖F−F̂‖² = ‖F‖² − ‖S‖².
-        let identity_err =
-            (err * err - (f.frobenius_norm_sq() - d.core.frobenius_norm_sq())).abs();
-        assert!(identity_err < 1e-8, "norm identity violated by {identity_err}");
+        let identity_err = (err * err - (f.frobenius_norm_sq() - d.core.frobenius_norm_sq())).abs();
+        assert!(
+            identity_err < 1e-8,
+            "norm identity violated by {identity_err}"
+        );
     }
 
     #[test]
@@ -366,8 +368,8 @@ mod tests {
 
     #[test]
     fn reduction_ratio_config() {
-        let cfg = TuckerConfig::from_reduction_ratios((3897, 3326, 2849), 50.0, 50.0, 50.0)
-            .unwrap();
+        let cfg =
+            TuckerConfig::from_reduction_ratios((3897, 3326, 2849), 50.0, 50.0, 50.0).unwrap();
         // The paper quotes 78 x 67 x 57 for Last.fm at c = 50.
         assert_eq!(cfg.core_dims, (78, 67, 57));
         assert!(TuckerConfig::from_reduction_ratios((10, 10, 10), 0.5, 1.0, 1.0).is_err());
@@ -413,7 +415,11 @@ mod tests {
         let f = figure2_tensor();
         let d = tucker_als(&f, &default_config((2, 2, 2))).unwrap();
         for w in d.fit_history.windows(2) {
-            assert!(w[1] >= w[0] - 1e-9, "ALS fit decreased: {:?}", d.fit_history);
+            assert!(
+                w[1] >= w[0] - 1e-9,
+                "ALS fit decreased: {:?}",
+                d.fit_history
+            );
         }
     }
 }

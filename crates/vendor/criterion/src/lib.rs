@@ -1,0 +1,365 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API subset the workspace's benches use — `Criterion`,
+//! benchmark groups, `BenchmarkId`, `Throughput`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros — with a simple but honest
+//! measurement loop: warm-up, then `sample_size` timed samples whose median,
+//! mean, and min are reported. Supports the `--test` flag (each benchmark
+//! body runs exactly once, for CI smoke runs) and positional name filters,
+//! so `cargo bench --bench query -- --test` and
+//! `cargo bench -- query_throughput` behave as with real criterion.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can `use criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Throughput annotation; `Elements` makes the report include ops/sec.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    /// When true, run the body exactly once and skip measurement.
+    test_mode: bool,
+    /// Measured mean time per iteration, if a measurement ran.
+    measured: Option<Sample>,
+    sample_size: usize,
+    target_time: Duration,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    mean: Duration,
+    median: Duration,
+    min: Duration,
+}
+
+impl Bencher {
+    /// Measures `f`, called repeatedly. In `--test` mode runs once.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            std_black_box(f());
+            return;
+        }
+        // Warm-up + calibration: find an iteration count whose batch takes
+        // long enough for the clock to resolve well.
+        let mut iters_per_batch: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_batch {
+                std_black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters_per_batch >= 1 << 20 {
+                break;
+            }
+            iters_per_batch *= 4;
+        }
+        // Timed samples.
+        let samples = self.sample_size.max(2);
+        let per_sample_budget = self.target_time / samples as u32;
+        let mut times: Vec<Duration> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            let mut n = 0u64;
+            loop {
+                for _ in 0..iters_per_batch {
+                    std_black_box(f());
+                }
+                n += iters_per_batch;
+                if t0.elapsed() >= per_sample_budget {
+                    break;
+                }
+            }
+            times.push(t0.elapsed() / n as u32);
+        }
+        times.sort_unstable();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        self.measured = Some(Sample { mean, median, min });
+    }
+}
+
+/// Shared benchmark runner configuration.
+pub struct Criterion {
+    test_mode: bool,
+    filters: Vec<String>,
+    default_sample_size: usize,
+    default_target_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: false,
+            filters: Vec::new(),
+            default_sample_size: 20,
+            default_target_time: Duration::from_millis(600),
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies CLI arguments: `--test` → smoke mode; positional arguments
+    /// are substring filters; criterion/cargo flags are ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                "--bench" | "--verbose" | "--quiet" | "--noplot" => {}
+                "--sample-size" | "--measurement-time" | "--warm-up-time" | "--save-baseline"
+                | "--baseline" | "--profile-time" => {
+                    let _ = args.next();
+                }
+                other if other.starts_with("--") => {}
+                filter => self.filters.push(filter.to_owned()),
+            }
+        }
+        self
+    }
+
+    fn selected(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            target_time: None,
+            throughput: None,
+        }
+    }
+
+    /// Standalone benchmark (no group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        let target_time = self.default_target_time;
+        run_one(self, None, id, None, sample_size, target_time, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    target_time: Option<Duration>,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.target_time = Some(t);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput unit.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let sample_size = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        let target_time = self
+            .target_time
+            .unwrap_or(self.criterion.default_target_time);
+        run_one(
+            self.criterion,
+            Some(&self.name),
+            &id.id,
+            self.throughput,
+            sample_size,
+            target_time,
+            f,
+        );
+        self
+    }
+
+    /// Runs one benchmark parameterized by an input value.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    criterion: &Criterion,
+    group: Option<&str>,
+    id: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    target_time: Duration,
+    mut f: F,
+) {
+    let full_id = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_owned(),
+    };
+    if !criterion.selected(&full_id) {
+        return;
+    }
+    let mut bencher = Bencher {
+        test_mode: criterion.test_mode,
+        measured: None,
+        sample_size,
+        target_time,
+    };
+    f(&mut bencher);
+    if criterion.test_mode {
+        println!("test {full_id} ... ok");
+        return;
+    }
+    match bencher.measured {
+        Some(s) => {
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) if s.median > Duration::ZERO => {
+                    let per_sec = n as f64 / s.median.as_secs_f64();
+                    format!("  thrpt: {per_sec:.0} elem/s")
+                }
+                Some(Throughput::Bytes(n)) if s.median > Duration::ZERO => {
+                    let per_sec = n as f64 / s.median.as_secs_f64() / (1024.0 * 1024.0);
+                    format!("  thrpt: {per_sec:.1} MiB/s")
+                }
+                _ => String::new(),
+            };
+            println!(
+                "{full_id:<50} time: [min {:?}  med {:?}  mean {:?}]{rate}",
+                s.min, s.median, s.mean
+            );
+        }
+        None => println!("{full_id:<50} (no measurement)"),
+    }
+}
+
+/// Declares a group-runner function, criterion style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        };
+        let mut runs = 0usize;
+        {
+            let mut group = c.benchmark_group("g");
+            group.bench_function("case", |b| b.iter(|| runs += 1));
+            group.finish();
+        }
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn filters_select_by_substring() {
+        let mut c = Criterion {
+            test_mode: true,
+            filters: vec!["wanted".into()],
+            ..Criterion::default()
+        };
+        let mut hit = false;
+        let mut miss = false;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("wanted_case", |b| b.iter(|| hit = true));
+        group.bench_function("other", |b| b.iter(|| miss = true));
+        group.finish();
+        assert!(hit && !miss);
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("10x10").id, "10x10");
+    }
+}

@@ -1,0 +1,94 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace only uses `crossbeam::thread::scope` for fork–join
+//! parallelism over disjoint slices; since Rust 1.63 the standard library
+//! provides scoped threads natively, so this crate is a thin adapter that
+//! keeps the crossbeam call sites unchanged while delegating to
+//! [`std::thread::scope`].
+
+pub mod thread {
+    /// A scope for spawning borrowing threads (adapter over
+    /// [`std::thread::Scope`]).
+    ///
+    /// Unlike crossbeam's `&Scope`, this is a `Copy` value; spawn closures
+    /// receive it by value, which call sites written as `|_| …` accept
+    /// unchanged.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope so it can
+        /// spawn nested work, mirroring crossbeam's signature shape.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle(self.inner.spawn(move || f(scope)))
+        }
+    }
+
+    /// Join handle of a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result (`Err` on panic).
+        pub fn join(self) -> std::thread::Result<T> {
+            self.0.join()
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be spawned;
+    /// returns once every spawned thread has finished.
+    ///
+    /// Panics from unjoined children propagate as a panic here (std
+    /// semantics) rather than as an `Err` — every call site in this
+    /// workspace immediately `expect`s the result, so the observable
+    /// behavior is identical.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1usize, 2, 3, 4];
+            let total = AtomicUsize::new(0);
+            super::scope(|scope| {
+                for chunk in data.chunks(2) {
+                    scope.spawn(|_| {
+                        total.fetch_add(chunk.iter().sum::<usize>(), Ordering::Relaxed);
+                    });
+                }
+            })
+            .unwrap();
+            assert_eq!(total.load(Ordering::Relaxed), 10);
+        }
+
+        #[test]
+        fn handles_return_values() {
+            let out = super::scope(|scope| {
+                let h1 = scope.spawn(|_| 21);
+                let h2 = scope.spawn(|_| 21);
+                h1.join().unwrap() + h2.join().unwrap()
+            })
+            .unwrap();
+            assert_eq!(out, 42);
+        }
+    }
+}

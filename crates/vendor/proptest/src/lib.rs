@@ -1,0 +1,386 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides the strategy combinators and macros the workspace's
+//! property-based tests use: range strategies over numeric types, tuple
+//! strategies, [`Just`], `collection::vec`, `prop_map` / `prop_flat_map`,
+//! the [`proptest!`] macro with `#![proptest_config(…)]`, and
+//! `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! case number and deterministic seed instead of a minimized input), and
+//! generation is driven by the vendored SplitMix64 `rand`. Each test's RNG
+//! stream is seeded from the test name, so runs are fully deterministic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// RNG handed to strategies during generation.
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Deterministic runner for the given test name and case index.
+    pub fn deterministic(test_name: &str, case: u64) -> Self {
+        let mut seed = 0xcbf29ce484222325u64; // FNV offset basis
+        for b in test_name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x100000001b3);
+        }
+        TestRunner {
+            rng: StdRng::seed_from_u64(seed ^ case.wrapping_mul(0x9E3779B97F4A7C15)),
+        }
+    }
+
+    #[inline]
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// Error carried out of a failing property (via `prop_assert!`).
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Result alias used by generated property bodies.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of random values.
+pub trait Strategy {
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then draws from the strategy `f` builds from it.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+        (**self).new_value(runner)
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn new_value(&self, runner: &mut TestRunner) -> U {
+        (self.f)(self.inner.new_value(runner))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn new_value(&self, runner: &mut TestRunner) -> S2::Value {
+        (self.f)(self.inner.new_value(runner)).new_value(runner)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(usize, u32, u64, i32, i64, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(runner),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+pub mod collection {
+    use super::{Strategy, TestRunner};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: an exact size or a half-open range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let len = if self.size.hi_exclusive > self.size.lo + 1 {
+                runner.rng().gen_range(self.size.lo..self.size.hi_exclusive)
+            } else {
+                self.size.lo
+            };
+            (0..len).map(|_| self.element.new_value(runner)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(strategy, len)` — `len` may be a `usize`
+    /// or a `Range<usize>`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not the whole
+/// process) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `prop_assert!(a == b)` with a value-revealing message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let left = $a;
+        let right = $b;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a),
+            stringify!($b),
+            left,
+            right
+        );
+    }};
+}
+
+/// `prop_assert!(a != b)` with a value-revealing message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let left = $a;
+        let right = $b;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a),
+            stringify!($b),
+            left
+        );
+    }};
+}
+
+/// Declares property tests. Supports the subset
+/// `proptest! { #![proptest_config(expr)] #[test] fn name(arg in strategy, …) { … } … }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $($(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases as u64 {
+                    let mut runner =
+                        $crate::TestRunner::deterministic(concat!(module_path!(), "::", stringify!($name)), case);
+                    $(let $arg = $crate::Strategy::new_value(&($strat), &mut runner);)*
+                    let outcome: $crate::TestCaseResult = (|| { $body Ok(()) })();
+                    if let Err(e) = outcome {
+                        panic!(
+                            "proptest {} failed at case {}/{}:\n{}",
+                            stringify!($name), case, config.cases, e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn strategies_generate_in_bounds() {
+        let mut runner = crate::TestRunner::deterministic("bounds", 0);
+        for _ in 0..200 {
+            let x = Strategy::new_value(&(-3.0f64..3.0), &mut runner);
+            assert!((-3.0..3.0).contains(&x));
+            let n = Strategy::new_value(&(1usize..=6), &mut runner);
+            assert!((1..=6).contains(&n));
+            let v = Strategy::new_value(&crate::collection::vec(0usize..5, 0..20), &mut runner);
+            assert!(v.len() < 20);
+            assert!(v.iter().all(|&e| e < 5));
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut runner = crate::TestRunner::deterministic("compose", 1);
+        let strat = (1usize..=4, 1usize..=4)
+            .prop_flat_map(|(r, c)| (Just((r, c)), crate::collection::vec(0.0f64..1.0, r * c)))
+            .prop_map(|((r, c), data)| (r, c, data));
+        for _ in 0..100 {
+            let (r, c, data) = Strategy::new_value(&strat, &mut runner);
+            assert_eq!(data.len(), r * c);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_and_asserts(x in 0usize..100, v in crate::collection::vec(0.0f64..1.0, 3)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(v.len(), 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_case_number() {
+        proptest! {
+            @with_config (ProptestConfig::with_cases(4))
+            fn inner(x in 0usize..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}

@@ -1,0 +1,220 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so this vendored crate
+//! provides exactly the API subset the workspace uses: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], and the [`Rng`] methods `gen`,
+//! `gen_range` and `gen_bool`. The generator is SplitMix64 — statistically
+//! solid for synthetic-data generation and fully deterministic per seed,
+//! which is all the workspace requires (it is *not* cryptographic, and its
+//! streams differ from upstream `rand`'s StdRng).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly over their "natural" domain (`[0, 1)` for
+/// floats, the full range for integers, fair coin for `bool`).
+pub trait StandardSample {
+    fn sample_from<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        // 53 high-quality bits → [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+impl_int_range!(u8, u16, u32, u64, usize, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + f64::sample_from(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    #[inline]
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty range");
+        lo + f64::sample_from(rng) * (hi - lo)
+    }
+}
+
+/// The user-facing generator interface.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample over the type's natural domain.
+    #[inline]
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_from(self)
+    }
+
+    /// Uniform sample from a (half-open or inclusive) range.
+    #[inline]
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample_from(self) < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic 64-bit generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // One scramble round so nearby seeds diverge immediately.
+            let mut rng = StdRng {
+                state: seed ^ 0x5DEECE66D_u64.wrapping_mul(0x9E3779B97F4A7C15),
+            };
+            let _ = rng.next_u64();
+            rng
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&x));
+            let y = rng.gen_range(5usize..=5);
+            assert_eq!(y, 5);
+            let f = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_the_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut lo = 1.0f64;
+        let mut hi = 0.0f64;
+        for _ in 0..10_000 {
+            let x = rng.gen::<f64>();
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        assert!(lo < 0.01 && hi > 0.99, "poor coverage: [{lo}, {hi}]");
+    }
+}

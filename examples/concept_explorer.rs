@@ -75,7 +75,10 @@ fn main() {
         } else {
             relations.join(" + ")
         };
-        println!("concept {concept:>3} [{relation_note}]: {}", names.join(", "));
+        println!(
+            "concept {concept:>3} [{relation_note}]: {}",
+            names.join(", ")
+        );
 
         // The concept's most characteristic resources (highest tf-idf).
         let mut best: Vec<(usize, f64)> = (0..f.num_resources())

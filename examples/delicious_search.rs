@@ -51,9 +51,7 @@ fn main() {
             break;
         }
         let Some(&synonym) = frequent.iter().find(|&&o| {
-            o != t
-                && truth.tags_share_concept(t, o)
-                && truth.tag_words[o] != truth.tag_words[t]
+            o != t && truth.tags_share_concept(t, o) && truth.tag_words[o] != truth.tag_words[t]
         }) else {
             continue;
         };
@@ -76,7 +74,11 @@ fn main() {
                 "    {} score {:.3}{}",
                 f.resource_name(h.resource),
                 h.score,
-                if direct { "" } else { "  ← no direct tag match (concept bridge)" }
+                if direct {
+                    ""
+                } else {
+                    "  ← no direct tag match (concept bridge)"
+                }
             );
         }
         println!("  BOW top-5:");

@@ -71,7 +71,10 @@ fn main() {
         Box::new(BowRanker::build(f)),
     ];
 
-    println!("{:<10} {:>8} {:>8} {:>8}", "method", "NDCG@5", "NDCG@10", "NDCG@20");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8}",
+        "method", "NDCG@5", "NDCG@10", "NDCG@20"
+    );
     for ranker in &rankers {
         let mut scores = [0.0f64; 3];
         for q in &queries {

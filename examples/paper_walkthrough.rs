@@ -7,10 +7,10 @@
 //! cargo run --release --example paper_walkthrough
 //! ```
 
+use cubelsi::core::pipeline::CubeLsi;
 use cubelsi::core::{
     build_tensor, pairwise_distances_from_embedding, tag_embedding, CubeLsiConfig, SigmaSource,
 };
-use cubelsi::core::pipeline::CubeLsi;
 use cubelsi::folksonomy::store::figure2_example;
 use cubelsi::linalg::CsrMatrix;
 use cubelsi::tensor::{tucker_als, TuckerConfig};
@@ -26,21 +26,33 @@ fn main() {
     let d = |i: usize, j: usize| matrix.row_distance_sq(i, j).sqrt();
     println!("\n2D (tag x resource) distances, Eq. 6:");
     println!("  d(folk, people)   = {:.4}  (paper: √9 = 3.0000)", d(0, 1));
-    println!("  d(folk, laptop)   = {:.4}  (paper: √14 ≈ 3.7417)", d(0, 2));
+    println!(
+        "  d(folk, laptop)   = {:.4}  (paper: √14 ≈ 3.7417)",
+        d(0, 2)
+    );
     println!("  d(people, laptop) = {:.4}  (paper: √5 ≈ 2.2361)", d(1, 2));
     println!("  → people looks closer to laptop than to folk: counter-intuitive (Eq. 11).");
 
     // --- §IV-A: the tensor view and Eq. 8 slice distances.
     let tensor = build_tensor(&f).unwrap();
     let slice = |t: usize| tensor.slice_mode2_csr(t).to_dense();
-    let dd = |i: usize, j: usize| {
-        slice(i).sub(&slice(j)).unwrap().frobenius_norm()
-    };
+    let dd = |i: usize, j: usize| slice(i).sub(&slice(j)).unwrap().frobenius_norm();
     println!("\n3D raw tensor slice distances, Eq. 8:");
-    println!("  D(folk, people)   = {:.4}  (paper: √3 ≈ 1.7321)", dd(0, 1));
-    println!("  D(folk, laptop)   = {:.4}  (paper: √6 ≈ 2.4495)", dd(0, 2));
-    println!("  D(people, laptop) = {:.4}  (paper: √3 ≈ 1.7321)", dd(1, 2));
-    println!("  → tie between (folk,people) and (people,laptop): better, still not right (Eq. 13).");
+    println!(
+        "  D(folk, people)   = {:.4}  (paper: √3 ≈ 1.7321)",
+        dd(0, 1)
+    );
+    println!(
+        "  D(folk, laptop)   = {:.4}  (paper: √6 ≈ 2.4495)",
+        dd(0, 2)
+    );
+    println!(
+        "  D(people, laptop) = {:.4}  (paper: √3 ≈ 1.7321)",
+        dd(1, 2)
+    );
+    println!(
+        "  → tie between (folk,people) and (people,laptop): better, still not right (Eq. 13)."
+    );
 
     // --- §IV-C/D: Tucker decomposition with J₁ = J₂ = 3, J₃ = 2 and the
     // purified Theorem-1 distances.

@@ -54,9 +54,11 @@ fn parse_args() -> Result<Args, String> {
             }
             "--no-clean" => parsed.clean = false,
             "--help" | "-h" => {
-                return Err("usage: cubelsi-search [--concepts K] [--ratio C] [--top N] \
+                return Err(
+                    "usage: cubelsi-search [--concepts K] [--ratio C] [--top N] \
                             [--no-clean] [--seed S] DATA.tsv QUERY_TAG..."
-                    .to_owned())
+                        .to_owned(),
+                )
             }
             other => positional.push(other.to_owned()),
         }
@@ -93,9 +95,7 @@ fn run(args: &Args) -> Result<(), String> {
     // reproduces the raw tensor, noise and all (§IV-D's purification needs
     // discarded components to purify anything).
     let min_j = args.concepts.map_or(8usize, |k| (2 * k).max(8));
-    let eff = |dim: usize| {
-        (args.reduction_ratio).min((dim as f64 / min_j as f64).max(1.25))
-    };
+    let eff = |dim: usize| (args.reduction_ratio).min((dim as f64 / min_j as f64).max(1.25));
     let config = CubeLsiConfig {
         reduction_ratios: (
             eff(corpus.num_users()),
@@ -106,8 +106,7 @@ fn run(args: &Args) -> Result<(), String> {
         seed: args.seed,
         ..Default::default()
     };
-    let engine =
-        CubeLsi::build(&corpus, &config).map_err(|e| format!("building CubeLSI: {e}"))?;
+    let engine = CubeLsi::build(&corpus, &config).map_err(|e| format!("building CubeLSI: {e}"))?;
     eprintln!(
         "built   fit {:.3}, {} concepts, offline {:?}",
         engine.decomposition().fit,
@@ -115,8 +114,18 @@ fn run(args: &Args) -> Result<(), String> {
         engine.timings().total()
     );
 
+    // Serve through the pruned top-k engine on a reused session — the
+    // same allocation-free path a long-running server would use.
     let query: Vec<&str> = args.query.iter().map(|s| s.as_str()).collect();
-    let hits = engine.search(&query, args.top_k);
+    let ids: Vec<_> = query
+        .iter()
+        .filter_map(|name| corpus.tag_id(name))
+        .collect();
+    let mut session = engine.session();
+    let mut hits = Vec::new();
+    let t0 = std::time::Instant::now();
+    engine.search_ids_with(&mut session, &ids, args.top_k, &mut hits);
+    eprintln!("queried {:?}", t0.elapsed());
     if hits.is_empty() {
         println!("no results for {query:?}");
         return Ok(());

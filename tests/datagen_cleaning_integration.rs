@@ -28,7 +28,9 @@ fn raw_clean_round_trip_preserves_core_signal() {
     assert!(report.cleaned.assignments * 2 > ds.folksonomy.num_assignments());
     // And no system tags survive.
     for t in 0..cleaned.num_tags() {
-        assert!(!cleaned.tag_name(TagId::from_index(t)).starts_with("system:"));
+        assert!(!cleaned
+            .tag_name(TagId::from_index(t))
+            .starts_with("system:"));
     }
 }
 
@@ -93,9 +95,15 @@ fn rebind_then_workload_produces_answerable_queries() {
 fn established_vocabulary_is_a_subset_of_concept_pools() {
     let ds = base();
     for (r, per_concept) in ds.truth.resource_words.iter().enumerate() {
-        let mix: Vec<usize> = ds.truth.resource_affinity[r].iter().map(|&(c, _)| c).collect();
+        let mix: Vec<usize> = ds.truth.resource_affinity[r]
+            .iter()
+            .map(|&(c, _)| c)
+            .collect();
         for (c, words) in per_concept {
-            assert!(mix.contains(c), "resource {r} has words for foreign concept");
+            assert!(
+                mix.contains(c),
+                "resource {r} has words for foreign concept"
+            );
             assert!(!words.is_empty());
             for w in words {
                 assert!(

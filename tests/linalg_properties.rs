@@ -4,9 +4,7 @@
 
 use cubelsi::linalg::qr::orthonormality_error;
 use cubelsi::linalg::subspace::SubspaceOptions;
-use cubelsi::linalg::{
-    householder_qr, jacobi_eigen, jacobi_svd, truncated_svd, CsrMatrix, Matrix,
-};
+use cubelsi::linalg::{householder_qr, jacobi_eigen, jacobi_svd, truncated_svd, CsrMatrix, Matrix};
 use proptest::prelude::*;
 
 /// Strategy: a dense matrix with entries in [-3, 3].

@@ -93,7 +93,11 @@ fn all_six_rankers_run_and_return_sane_results() {
             for h in &hits {
                 assert!(h.score.is_finite(), "{}: non-finite score", ranker.name());
                 assert!(h.resource.index() < ds.folksonomy.num_resources());
-                assert!(seen.insert(h.resource), "{}: duplicate resource", ranker.name());
+                assert!(
+                    seen.insert(h.resource),
+                    "{}: duplicate resource",
+                    ranker.name()
+                );
             }
             assert!(hits.len() <= 20);
         }
@@ -110,8 +114,16 @@ fn freq_and_bow_share_candidate_sets() {
     let bow = BowRanker::build(f);
     for t in (0..f.num_tags()).step_by(7) {
         let q = [TagId::from_index(t)];
-        let mut a: Vec<usize> = freq.search_ids(&q, 0).iter().map(|h| h.resource.index()).collect();
-        let mut b: Vec<usize> = bow.search_ids(&q, 0).iter().map(|h| h.resource.index()).collect();
+        let mut a: Vec<usize> = freq
+            .search_ids(&q, 0)
+            .iter()
+            .map(|h| h.resource.index())
+            .collect();
+        let mut b: Vec<usize> = bow
+            .search_ids(&q, 0)
+            .iter()
+            .map(|h| h.resource.index())
+            .collect();
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b, "candidate sets diverge for tag {t}");
@@ -135,8 +147,11 @@ fn cubelsi_retrieves_a_superset_of_exact_matches_for_single_tags() {
         if engine.index().idf(concept) <= 0.0 {
             continue; // concept blankets the corpus; CubeLSI abstains
         }
-        let cube: std::collections::HashSet<usize> =
-            engine.search_ids(&q, 0).iter().map(|h| h.resource.index()).collect();
+        let cube: std::collections::HashSet<usize> = engine
+            .search_ids(&q, 0)
+            .iter()
+            .map(|h| h.resource.index())
+            .collect();
         for h in bow.search_ids(&q, 0) {
             // BOW hits whose tf-idf weight is positive must appear.
             assert!(
@@ -184,9 +199,16 @@ fn ndcg_of_every_ranker_is_in_unit_interval() {
         let mut total = 0.0;
         for q in &queries {
             let hits = ranker.search_ids(&q.tags, 10);
-            let grades: Vec<u8> = hits.iter().map(|h| q.relevance[h.resource.index()]).collect();
+            let grades: Vec<u8> = hits
+                .iter()
+                .map(|h| q.relevance[h.resource.index()])
+                .collect();
             let s = ndcg_at(&grades, &q.relevance, 10);
-            assert!((0.0..=1.0 + 1e-9).contains(&s), "{}: NDCG {s}", ranker.name());
+            assert!(
+                (0.0..=1.0 + 1e-9).contains(&s),
+                "{}: NDCG {s}",
+                ranker.name()
+            );
             total += s;
         }
         // Every method must beat the empty ranker on this workload.
@@ -224,8 +246,7 @@ fn memory_accounting_is_consistent_with_decomposition() {
     let ds = corpus();
     let k = ds.truth.concept_words.len();
     let engine = CubeLsi::build(&ds.folksonomy, &engine_config(k)).unwrap();
-    let expected =
-        engine.decomposition().compressed_len() * std::mem::size_of::<f64>();
+    let expected = engine.decomposition().compressed_len() * std::mem::size_of::<f64>();
     assert_eq!(engine.compressed_bytes(), expected);
     assert!(engine.dense_purified_bytes() > engine.compressed_bytes());
 }

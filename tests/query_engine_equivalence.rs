@@ -1,0 +1,169 @@
+//! Property-style equivalence tests for the pruned top-k query engine:
+//! over randomized corpora (via `cubelsi-datagen`), the MaxScore + heap
+//! path must return *exactly* the same ranked list — scores (bit-for-bit),
+//! order, and tie-breaks — as the exhaustive reference path, for hard and
+//! soft concept assignments and k ∈ {1, 5, all}.
+//!
+//! This is the correctness contract that makes the pruning optimizations
+//! deployable: they are pure speedups, never approximations.
+
+use cubelsi::core::{
+    ConceptAssignment, ConceptIndex, ConceptModel, QueryEngine, RankedResource, SoftConceptModel,
+    SoftConfig,
+};
+use cubelsi::datagen::{generate, GeneratorConfig};
+use cubelsi::folksonomy::{Folksonomy, TagId};
+use cubelsi::linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_corpus(seed: u64, users: usize, resources: usize, assignments: usize) -> Folksonomy {
+    generate(&GeneratorConfig {
+        users,
+        resources,
+        concepts: 8,
+        assignments,
+        seed,
+        ..Default::default()
+    })
+    .folksonomy
+}
+
+/// A random hard assignment — equivalence must hold for *any* concept
+/// model, so there is no need to run the full distillation pipeline.
+fn random_hard_model(rng: &mut StdRng, num_tags: usize, num_concepts: usize) -> ConceptModel {
+    let assignments: Vec<usize> = (0..num_tags)
+        .map(|_| rng.gen_range(0..num_concepts))
+        .collect();
+    ConceptModel::from_assignments(assignments, 1.0)
+}
+
+/// A random soft assignment built from a random spectral-like embedding.
+fn random_soft_model(rng: &mut StdRng, num_tags: usize, num_concepts: usize) -> SoftConceptModel {
+    let d = 3;
+    let embedding = Matrix::from_fn(num_tags, d, |_, _| rng.gen::<f64>());
+    let centroids = Matrix::from_fn(num_concepts, d, |_, _| rng.gen::<f64>());
+    SoftConceptModel::from_embedding(&embedding, &centroids, &SoftConfig::default())
+}
+
+fn random_query(rng: &mut StdRng, num_tags: usize) -> Vec<TagId> {
+    let len = rng.gen_range(1usize..=4);
+    (0..len)
+        .map(|_| TagId::from_index(rng.gen_range(0..num_tags)))
+        .collect()
+}
+
+fn assert_identical(pruned: &[RankedResource], exact: &[RankedResource], context: &str) {
+    assert_eq!(
+        pruned.len(),
+        exact.len(),
+        "result length differs: {context}"
+    );
+    for (i, (p, e)) in pruned.iter().zip(exact.iter()).enumerate() {
+        assert_eq!(
+            p.resource, e.resource,
+            "resource at rank {i} differs: {context}"
+        );
+        assert_eq!(
+            p.score.to_bits(),
+            e.score.to_bits(),
+            "score at rank {i} differs ({} vs {}): {context}",
+            p.score,
+            e.score
+        );
+    }
+}
+
+fn check_engine(engine: &QueryEngine, model: &dyn ConceptAssignment, seed: u64, num_tags: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut session = engine.session();
+    let mut out = Vec::new();
+    let num_resources = engine.index().num_resources();
+    let queries: Vec<Vec<TagId>> = (0..40).map(|_| random_query(&mut rng, num_tags)).collect();
+    // k = 1, 5, all-matches (0), and a k larger than the corpus.
+    for &k in &[1usize, 5, 0, num_resources + 7] {
+        for (qi, q) in queries.iter().enumerate() {
+            let exact = engine.search_tags_exact(model, q, k);
+            engine.search_tags_with(&mut session, model, q, k, &mut out);
+            assert_identical(&out, &exact, &format!("seed={seed} k={k} query#{qi} {q:?}"));
+        }
+        // The batched path must agree query-for-query as well.
+        let batch = engine.search_batch(model, &queries, k);
+        for (qi, q) in queries.iter().enumerate() {
+            let exact = engine.search_tags_exact(model, q, k);
+            assert_identical(
+                &batch[qi],
+                &exact,
+                &format!("batch seed={seed} k={k} query#{qi}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn pruned_path_equals_exact_path_hard_assignments() {
+    for (seed, users, resources, assignments) in [
+        (1u64, 20, 15, 400),
+        (2, 50, 80, 2_500),
+        (3, 80, 200, 6_000),
+        (4, 10, 300, 3_000),
+    ] {
+        let f = random_corpus(seed, users, resources, assignments);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+        for num_concepts in [2usize, 6, 16] {
+            let model = random_hard_model(&mut rng, f.num_tags(), num_concepts);
+            let engine = QueryEngine::new(ConceptIndex::build(&f, &model));
+            check_engine(
+                &engine,
+                &model,
+                seed * 31 + num_concepts as u64,
+                f.num_tags(),
+            );
+        }
+    }
+}
+
+#[test]
+fn pruned_path_equals_exact_path_soft_assignments() {
+    for (seed, users, resources, assignments) in [
+        (11u64, 30, 40, 1_200),
+        (12, 60, 120, 4_000),
+        (13, 15, 250, 2_000),
+    ] {
+        let f = random_corpus(seed, users, resources, assignments);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+        for num_concepts in [3usize, 8] {
+            let model = random_soft_model(&mut rng, f.num_tags(), num_concepts);
+            let engine = QueryEngine::new(ConceptIndex::build(&f, &model));
+            check_engine(
+                &engine,
+                &model,
+                seed * 17 + num_concepts as u64,
+                f.num_tags(),
+            );
+        }
+    }
+}
+
+#[test]
+fn single_term_fast_path_handles_impact_ties() {
+    // Many resources tagged identically produce equal impacts — the
+    // single-term prefix cut must break ties exactly like the full sort.
+    use cubelsi::folksonomy::FolksonomyBuilder;
+    let mut b = FolksonomyBuilder::new();
+    for r in 0..20 {
+        b.add("u1", "same", &format!("r{r}"));
+    }
+    // A couple of resources with extra tags → different norms.
+    b.add("u2", "other", "r3");
+    b.add("u2", "other", "r7");
+    let f = b.build();
+    let model = ConceptModel::from_assignments(vec![0, 1], 1.0);
+    let engine = QueryEngine::new(ConceptIndex::build(&f, &model));
+    let tag = f.tag_id("same").unwrap();
+    for k in 1..=21 {
+        let exact = engine.search_tags_exact(&model, &[tag], k);
+        let pruned = engine.search_tags(&model, &[tag], k);
+        assert_identical(&pruned, &exact, &format!("tie corpus k={k}"));
+    }
+}

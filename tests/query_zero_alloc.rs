@@ -1,0 +1,90 @@
+//! Proves the steady-state serving claim: once a [`QuerySession`] and the
+//! output buffer are warmed, `search_tags_with` performs **zero heap
+//! allocations** per query.
+//!
+//! A counting global allocator wraps the system allocator; the test warms
+//! the session over the query set, snapshots the allocation counter, runs
+//! every query again, and asserts the counter did not move. This file
+//! holds exactly one test so no concurrent test pollutes the counter.
+
+use cubelsi::core::{ConceptIndex, ConceptModel, QueryEngine};
+use cubelsi::datagen::{generate, GeneratorConfig};
+use cubelsi::folksonomy::TagId;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+// SAFETY: delegates directly to the system allocator; the counter is a
+// relaxed atomic with no other side effects.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_search_allocates_nothing() {
+    let ds = generate(&GeneratorConfig {
+        users: 60,
+        resources: 120,
+        concepts: 8,
+        assignments: 4_000,
+        seed: 77,
+        ..Default::default()
+    });
+    let f = &ds.folksonomy;
+    // Hard model straight from a deterministic assignment (the engine does
+    // not care where the model came from).
+    let assignments: Vec<usize> = (0..f.num_tags()).map(|t| t % 8).collect();
+    let model = ConceptModel::from_assignments(assignments, 1.0);
+    let engine = QueryEngine::new(ConceptIndex::build(f, &model));
+
+    // A mix of single- and multi-term queries at several k.
+    let queries: Vec<(Vec<TagId>, usize)> = (0..f.num_tags().min(40))
+        .map(|t| {
+            let tags: Vec<TagId> = (0..=(t % 3))
+                .map(|o| TagId::from_index((t + o) % f.num_tags()))
+                .collect();
+            (tags, [1usize, 10, 50][t % 3])
+        })
+        .collect();
+
+    let mut session = engine.session();
+    let mut out = Vec::new();
+    // Warm-up: grow every scratch buffer to its steady size.
+    for _ in 0..2 {
+        for (tags, k) in &queries {
+            engine.search_tags_with(&mut session, &model, tags, *k, &mut out);
+        }
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for (tags, k) in &queries {
+        engine.search_tags_with(&mut session, &model, tags, *k, &mut out);
+        assert!(out.len() <= *k);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state search_tags_with must not allocate"
+    );
+}

@@ -19,10 +19,7 @@ use proptest::prelude::*;
 fn tensor_strategy() -> impl Strategy<Value = SparseTensor3> {
     (2usize..=4, 2usize..=4, 2usize..=4)
         .prop_flat_map(|(d1, d2, d3)| {
-            let extra = proptest::collection::vec(
-                (0..d1, 0..d2, 0..d3, 0.5f64..2.0),
-                d2..(d2 * 4),
-            );
+            let extra = proptest::collection::vec((0..d1, 0..d2, 0..d3, 0.5f64..2.0), d2..(d2 * 4));
             (Just((d1, d2, d3)), extra)
         })
         .prop_map(|((d1, d2, d3), mut quads)| {
