@@ -1,0 +1,61 @@
+//! Artifact persistence benchmarks: the economics of the build/serve
+//! split.
+//!
+//! * `persist/full_rebuild` — the offline pipeline a process without an
+//!   artifact must run before it can answer its first query;
+//! * `persist/save` — serializing a built engine to the `.cubelsi` bytes;
+//! * `persist/load` — deserializing those bytes back into a serving-ready
+//!   engine. This is the startup cost of `cubelsi-search query`/`serve`,
+//!   and the number that must stay orders of magnitude below
+//!   `full_rebuild` for the artifact split to pay off.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cubelsi_core::{persist, CubeLsi, CubeLsiConfig};
+use cubelsi_datagen::{generate, GeneratorConfig};
+use std::hint::black_box;
+
+fn bench_persist(c: &mut Criterion) {
+    let ds = generate(&GeneratorConfig {
+        users: 300,
+        resources: 250,
+        concepts: 12,
+        assignments: 15_000,
+        seed: 23,
+        ..Default::default()
+    });
+    let f = &ds.folksonomy;
+    let config = CubeLsiConfig {
+        core_dims: Some((16, 16, 16)),
+        num_concepts: Some(12),
+        max_als_iters: 4,
+        ..Default::default()
+    };
+    let model = CubeLsi::build(f, &config).unwrap();
+    let bytes = persist::save_to_vec(&model, f);
+    eprintln!(
+        "artifact: {} bytes for |U|={} |T|={} |R|={} |Y|={}",
+        bytes.len(),
+        f.num_users(),
+        f.num_tags(),
+        f.num_resources(),
+        f.num_assignments()
+    );
+
+    let mut group = c.benchmark_group("persist");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+
+    group.bench_function("full_rebuild", |b| {
+        b.iter(|| black_box(CubeLsi::build(black_box(f), &config).unwrap()))
+    });
+    group.bench_function("save", |b| {
+        b.iter(|| black_box(persist::save_to_vec(black_box(&model), black_box(f))))
+    });
+    group.bench_function("load", |b| {
+        b.iter(|| black_box(persist::load_from_bytes(black_box(&bytes)).unwrap()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_persist);
+criterion_main!(benches);

@@ -30,7 +30,20 @@ impl ConceptModel {
     /// baseline, which shares this clustering stage).
     pub fn from_assignments(assignments: Vec<usize>, sigma: f64) -> Self {
         let k = assignments.iter().copied().max().map_or(0, |m| m + 1);
-        let mut clusters = vec![Vec::new(); k];
+        Self::from_parts(assignments, k, sigma)
+    }
+
+    /// Builds a model from a hard assignment and an explicit concept count,
+    /// preserving trailing empty clusters that `from_assignments` would
+    /// infer away. This is the deserialization constructor: a persisted
+    /// model must restore with the exact concept-space dimensionality it
+    /// was saved with, or tf-idf vectors would change shape.
+    ///
+    /// # Panics
+    /// Panics when an assignment is `>= num_concepts`; callers restoring
+    /// untrusted data must validate first.
+    pub fn from_parts(assignments: Vec<usize>, num_concepts: usize, sigma: f64) -> Self {
+        let mut clusters = vec![Vec::new(); num_concepts];
         for (tag, &c) in assignments.iter().enumerate() {
             clusters[c].push(tag);
         }
@@ -39,6 +52,12 @@ impl ConceptModel {
             clusters,
             sigma,
         }
+    }
+
+    /// The full `tag index → concept index` assignment (serialization
+    /// accessor; [`Self::concept_of`] is the per-tag view).
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
     }
 
     /// Number of concepts.

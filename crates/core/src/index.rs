@@ -191,6 +191,38 @@ impl ConceptIndex {
         }
     }
 
+    /// Reassembles an index from its raw fields, exactly as a previous
+    /// [`ConceptIndex::build`] produced them. Used by `crate::persist` to
+    /// restore a saved artifact: because every field — including the
+    /// impact-sorted posting order and the precomputed norms — is restored
+    /// verbatim, a loaded index answers queries bit-identically to the one
+    /// that was saved. The caller (the deserializer) is responsible for
+    /// structural validation; this constructor only debug-asserts shapes.
+    pub(crate) fn from_raw_parts(
+        num_resources: usize,
+        num_concepts: usize,
+        idf: Vec<f64>,
+        resource_vectors: Vec<Vec<(u32, f64)>>,
+        resource_norms: Vec<f64>,
+        postings: Vec<Vec<(u32, f64)>>,
+        max_impact: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(idf.len(), num_concepts);
+        debug_assert_eq!(resource_vectors.len(), num_resources);
+        debug_assert_eq!(resource_norms.len(), num_resources);
+        debug_assert_eq!(postings.len(), num_concepts);
+        debug_assert_eq!(max_impact.len(), num_concepts);
+        ConceptIndex {
+            num_resources,
+            num_concepts,
+            idf,
+            resource_vectors,
+            resource_norms,
+            postings,
+            max_impact,
+        }
+    }
+
     /// Number of indexed resources.
     pub fn num_resources(&self) -> usize {
         self.num_resources

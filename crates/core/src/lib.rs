@@ -24,12 +24,16 @@
 //!   impact-ordered postings, bounded-heap selection, zero-allocation
 //!   sessions, and parallel batched search;
 //! * [`pipeline`] — the [`CubeLsi`] facade wiring everything, with
-//!   per-phase timings for the efficiency experiments (Tables V–VII).
+//!   per-phase timings for the efficiency experiments (Tables V–VII);
+//! * [`persist`] — versioned, checksummed binary save/load of a complete
+//!   built engine, splitting the expensive offline build from cheap
+//!   online serving across process lifetimes.
 
 pub mod concepts;
 pub mod config;
 pub mod distance;
 pub mod index;
+pub mod persist;
 pub mod pipeline;
 pub mod query;
 pub mod soft;
@@ -41,6 +45,7 @@ pub use distance::{
     brute_force_distances, pairwise_distances_from_embedding, tag_embedding, TagDistances,
 };
 pub use index::{ConceptAssignment, ConceptIndex, PreparedQuery, RankedResource};
+pub use persist::{Artifact, PersistError};
 pub use pipeline::{CubeLsi, PhaseTimings};
 pub use query::{QueryEngine, QuerySession};
 pub use soft::{SoftConceptModel, SoftConfig};

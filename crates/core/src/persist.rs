@@ -1,0 +1,1066 @@
+//! Persistent model artifacts: versioned binary save/load of a complete
+//! built engine.
+//!
+//! CubeLSI's entire value proposition (Table V vs Table VI of the paper)
+//! is that the offline component — tensor build → Tucker → Theorem-1/2
+//! distances → spectral concepts → index — is expensive while online
+//! serving is cheap. A production deployment therefore builds the model
+//! *once*, persists it, and serves queries from the loaded artifact. This
+//! module provides that artifact: a single self-contained binary file
+//! holding the cleaned [`Folksonomy`] (interned name tables + assignment
+//! set), the [`TuckerDecomposition`], the purified [`TagDistances`], the
+//! distilled [`ConceptModel`], the impact-ordered [`ConceptIndex`] with
+//! its MaxScore metadata, and the offline [`PhaseTimings`].
+//!
+//! # Format (`.cubelsi`)
+//!
+//! Everything is little-endian; no external serialization crates are used.
+//!
+//! ```text
+//! header   8 B  magic             = "CUBELSI\0"
+//!          4 B  format version    (u32, currently 1)
+//!          4 B  section count     (u32)
+//! table    per section, 24 B:
+//!          4 B  section id        (u32, see SECTION_* constants)
+//!          8 B  payload offset    (u64, absolute file offset)
+//!          8 B  payload length    (u64, bytes)
+//!          4 B  CRC-32 (IEEE)     of the payload bytes
+//! payload  the section payloads, contiguous, in table order
+//! ```
+//!
+//! Within a section, integers are `u32`/`u64` LE, floats are `f64` LE bit
+//! patterns (round-tripping exactly, NaN payloads included), strings are
+//! `u32` byte length + UTF-8 bytes, and sequences are a `u64` count
+//! followed by the elements.
+//!
+//! # Guarantees
+//!
+//! * **Bit-identical serving.** Every query-relevant structure (postings
+//!   order, norms, idf, concept assignment, tag-name lookup) is restored
+//!   verbatim, so a loaded engine's [`CubeLsi::search_ids`] output —
+//!   scores, order, and tie-breaks — is bit-for-bit identical to the
+//!   engine that was saved. Enforced by the `persist_roundtrip`
+//!   integration tests over randomized corpora.
+//! * **No panics on bad input.** Corrupt, truncated, or
+//!   version-mismatched files return a typed [`PersistError`]; every
+//!   length is bounds-checked before allocation and every id is validated
+//!   before it can index anything.
+
+use std::io::{Read, Write};
+use std::path::Path;
+use std::time::Duration;
+
+use cubelsi_folksonomy::{Folksonomy, Interner, ResourceId, TagAssignment, TagId, UserId};
+use cubelsi_linalg::Matrix;
+use cubelsi_tensor::{DenseTensor3, TuckerDecomposition};
+
+use crate::concepts::ConceptModel;
+use crate::distance::TagDistances;
+use crate::index::ConceptIndex;
+use crate::pipeline::{CubeLsi, PhaseTimings};
+
+/// File magic: identifies a CubeLSI artifact regardless of extension.
+pub const MAGIC: [u8; 8] = *b"CUBELSI\0";
+
+/// Current artifact format version. Bump on any layout change; readers
+/// reject files from the future with [`PersistError::UnsupportedVersion`].
+pub const FORMAT_VERSION: u32 = 1;
+
+const SECTION_META: u32 = 1;
+const SECTION_FOLKSONOMY: u32 = 2;
+const SECTION_TUCKER: u32 = 3;
+const SECTION_DISTANCES: u32 = 4;
+const SECTION_CONCEPTS: u32 = 5;
+const SECTION_INDEX: u32 = 6;
+
+const HEADER_LEN: usize = 16;
+const TABLE_ENTRY_LEN: usize = 24;
+
+/// Errors raised while saving or loading an artifact. Loading never
+/// panics: every failure mode of a hostile or damaged file maps to one of
+/// these variants.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure (open, read, write).
+    Io(std::io::Error),
+    /// The file does not start with the CubeLSI magic bytes.
+    BadMagic,
+    /// The file's format version is newer than this reader understands.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Newest version this build can read.
+        supported: u32,
+    },
+    /// The file ends before the advertised data (header, table, or a
+    /// section payload extends past EOF).
+    Truncated {
+        /// What was being read when the file ran out.
+        context: &'static str,
+    },
+    /// A section's payload does not match its recorded CRC-32.
+    ChecksumMismatch {
+        /// Section id whose payload is damaged.
+        section: u32,
+        /// CRC recorded in the section table.
+        expected: u32,
+        /// CRC computed over the payload actually present.
+        got: u32,
+    },
+    /// A required section is absent from the section table.
+    MissingSection(u32),
+    /// A section decoded to structurally invalid data (bad lengths,
+    /// out-of-range ids, non-UTF-8 names, …).
+    Malformed {
+        /// Section id that failed to decode.
+        section: u32,
+        /// Human-readable description of the defect.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "I/O error: {e}"),
+            PersistError::BadMagic => {
+                write!(f, "not a CubeLSI artifact (bad magic bytes)")
+            }
+            PersistError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "artifact format version {found} is newer than the supported version {supported}"
+            ),
+            PersistError::Truncated { context } => {
+                write!(f, "artifact truncated while reading {context}")
+            }
+            PersistError::ChecksumMismatch {
+                section,
+                expected,
+                got,
+            } => write!(
+                f,
+                "section {section} corrupt: CRC-32 {got:#010x} != recorded {expected:#010x}"
+            ),
+            PersistError::MissingSection(id) => {
+                write!(f, "artifact is missing required section {id}")
+            }
+            PersistError::Malformed { section, detail } => {
+                write!(f, "section {section} malformed: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// A loaded artifact: the serving-ready engine plus the folksonomy it was
+/// built over (needed online to resolve query tag names and to print
+/// result resource names).
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// The restored engine; answers queries bit-identically to the one
+    /// that was saved.
+    pub model: CubeLsi,
+    /// The cleaned corpus the model was built from (name tables +
+    /// assignment set).
+    pub folksonomy: Folksonomy,
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3), table-driven, computed at compile time.
+// ---------------------------------------------------------------------------
+
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of a byte slice — the per-section integrity check.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Encoding primitives
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+    fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    fn put_f64_slice(&mut self, xs: &[f64]) {
+        self.put_usize(xs.len());
+        for &x in xs {
+            self.put_f64(x);
+        }
+    }
+    /// Sparse `(u32 id, f64 weight)` pair list — the posting / tf-idf
+    /// vector element type.
+    fn put_pairs(&mut self, pairs: &[(u32, f64)]) {
+        self.put_usize(pairs.len());
+        for &(id, w) in pairs {
+            self.put_u32(id);
+            self.put_f64(w);
+        }
+    }
+    fn put_matrix(&mut self, m: &Matrix) {
+        self.put_usize(m.rows());
+        self.put_usize(m.cols());
+        for &x in m.as_slice() {
+            self.put_f64(x);
+        }
+    }
+}
+
+/// Bounds-checked reader over one section's payload. Every accessor
+/// returns [`PersistError::Malformed`] instead of panicking when the
+/// payload runs short, and collection reads verify that the advertised
+/// element count fits in the remaining bytes *before* allocating, so a
+/// corrupt length can neither panic nor trigger a pathological
+/// allocation.
+struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    section: u32,
+}
+
+impl<'a> Decoder<'a> {
+    fn new(buf: &'a [u8], section: u32) -> Self {
+        Decoder {
+            buf,
+            pos: 0,
+            section,
+        }
+    }
+
+    fn err(&self, detail: impl Into<String>) -> PersistError {
+        PersistError::Malformed {
+            section: self.section,
+            detail: detail.into(),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        if self.buf.len() - self.pos < n {
+            return Err(self.err(format!(
+                "payload exhausted at offset {} (need {n} more bytes of {})",
+                self.pos,
+                self.buf.len()
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, PersistError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn usize(&mut self) -> Result<usize, PersistError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| self.err(format!("value {v} exceeds usize")))
+    }
+
+    /// A length prefix for elements of `elem_size` bytes each, validated
+    /// against the bytes actually remaining.
+    fn len_prefix(&mut self, elem_size: usize) -> Result<usize, PersistError> {
+        let n = self.usize()?;
+        let remaining = self.buf.len() - self.pos;
+        if n.checked_mul(elem_size).is_none_or(|need| need > remaining) {
+            return Err(self.err(format!(
+                "length {n} x {elem_size} B exceeds the {remaining} B remaining"
+            )));
+        }
+        Ok(n)
+    }
+
+    fn string(&mut self) -> Result<String, PersistError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| self.err("non-UTF-8 string"))
+    }
+
+    fn f64_vec(&mut self) -> Result<Vec<f64>, PersistError> {
+        let n = self.len_prefix(8)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.f64()?);
+        }
+        Ok(out)
+    }
+
+    fn pairs(&mut self) -> Result<Vec<(u32, f64)>, PersistError> {
+        let n = self.len_prefix(12)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = self.u32()?;
+            let w = self.f64()?;
+            out.push((id, w));
+        }
+        Ok(out)
+    }
+
+    fn matrix(&mut self) -> Result<Matrix, PersistError> {
+        let rows = self.usize()?;
+        let cols = self.usize()?;
+        let n = rows
+            .checked_mul(cols)
+            .ok_or_else(|| self.err("matrix dimensions overflow"))?;
+        if n.checked_mul(8)
+            .is_none_or(|need| need > self.buf.len() - self.pos)
+        {
+            return Err(self.err(format!("{rows}x{cols} matrix exceeds payload")));
+        }
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(self.f64()?);
+        }
+        Matrix::from_vec(rows, cols, data).map_err(|e| self.err(e.to_string()))
+    }
+
+    fn finish(&self) -> Result<(), PersistError> {
+        if self.pos != self.buf.len() {
+            return Err(self.err(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Save
+// ---------------------------------------------------------------------------
+
+/// Serializes a built engine and its corpus to the `.cubelsi` byte format.
+pub fn save_to_vec(model: &CubeLsi, folksonomy: &Folksonomy) -> Vec<u8> {
+    let sections: Vec<(u32, Vec<u8>)> = vec![
+        (SECTION_META, encode_meta(model, folksonomy)),
+        (SECTION_FOLKSONOMY, encode_folksonomy(folksonomy)),
+        (SECTION_TUCKER, encode_tucker(model.decomposition())),
+        (SECTION_DISTANCES, encode_distances(model.distances())),
+        (SECTION_CONCEPTS, encode_concepts(model.concepts())),
+        (SECTION_INDEX, encode_index(model.index())),
+    ];
+
+    let table_len = sections.len() * TABLE_ENTRY_LEN;
+    let mut out = Vec::with_capacity(
+        HEADER_LEN + table_len + sections.iter().map(|(_, p)| p.len()).sum::<usize>(),
+    );
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+    let mut offset = (HEADER_LEN + table_len) as u64;
+    for (id, payload) in &sections {
+        out.extend_from_slice(&id.to_le_bytes());
+        out.extend_from_slice(&offset.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&crc32(payload).to_le_bytes());
+        offset += payload.len() as u64;
+    }
+    for (_, payload) in &sections {
+        out.extend_from_slice(payload);
+    }
+    out
+}
+
+/// Writes the artifact to an arbitrary sink.
+pub fn save(
+    writer: &mut impl Write,
+    model: &CubeLsi,
+    folksonomy: &Folksonomy,
+) -> Result<(), PersistError> {
+    writer.write_all(&save_to_vec(model, folksonomy))?;
+    Ok(())
+}
+
+/// Writes the artifact to a file path, atomically: the bytes go to a
+/// temporary sibling first and are renamed into place only after a
+/// successful sync, so a crash mid-save can never destroy a previous
+/// good artifact at the same path.
+pub fn save_to_path(
+    path: impl AsRef<Path>,
+    model: &CubeLsi,
+    folksonomy: &Folksonomy,
+) -> Result<(), PersistError> {
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        save(&mut file, model, folksonomy)?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    result
+}
+
+fn encode_meta(model: &CubeLsi, folksonomy: &Folksonomy) -> Vec<u8> {
+    let mut e = Encoder::default();
+    e.put_usize(folksonomy.num_users());
+    e.put_usize(folksonomy.num_tags());
+    e.put_usize(folksonomy.num_resources());
+    e.put_usize(folksonomy.num_assignments());
+    let t = model.timings();
+    for d in [
+        t.tensor_build,
+        t.tucker,
+        t.distances,
+        t.clustering,
+        t.indexing,
+    ] {
+        e.put_u64(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+    e.buf
+}
+
+fn encode_folksonomy(f: &Folksonomy) -> Vec<u8> {
+    let mut e = Encoder::default();
+    e.put_usize(f.num_users());
+    for u in 0..f.num_users() {
+        e.put_str(f.user_name(UserId::from_index(u)));
+    }
+    e.put_usize(f.num_tags());
+    for t in 0..f.num_tags() {
+        e.put_str(f.tag_name(TagId::from_index(t)));
+    }
+    e.put_usize(f.num_resources());
+    for r in 0..f.num_resources() {
+        e.put_str(f.resource_name(ResourceId::from_index(r)));
+    }
+    e.put_usize(f.num_assignments());
+    for a in f.assignments() {
+        e.put_u32(a.user.index() as u32);
+        e.put_u32(a.tag.index() as u32);
+        e.put_u32(a.resource.index() as u32);
+    }
+    e.buf
+}
+
+fn encode_tucker(d: &TuckerDecomposition) -> Vec<u8> {
+    let mut e = Encoder::default();
+    let (j1, j2, j3) = d.core.dims();
+    e.put_usize(j1);
+    e.put_usize(j2);
+    e.put_usize(j3);
+    for &x in d.core.as_slice() {
+        e.put_f64(x);
+    }
+    for factor in &d.factors {
+        e.put_matrix(factor);
+    }
+    e.put_f64_slice(&d.lambda2);
+    e.put_f64(d.fit);
+    e.put_usize(d.iterations);
+    e.put_f64_slice(&d.fit_history);
+    e.buf
+}
+
+fn encode_distances(d: &TagDistances) -> Vec<u8> {
+    let mut e = Encoder::default();
+    e.put_matrix(d.matrix());
+    e.buf
+}
+
+fn encode_concepts(c: &ConceptModel) -> Vec<u8> {
+    let mut e = Encoder::default();
+    e.put_usize(c.num_concepts());
+    e.put_f64(c.sigma());
+    e.put_usize(c.num_tags());
+    for &a in c.assignments() {
+        e.put_u64(a as u64);
+    }
+    e.buf
+}
+
+fn encode_index(ix: &ConceptIndex) -> Vec<u8> {
+    let mut e = Encoder::default();
+    e.put_usize(ix.num_resources());
+    e.put_usize(ix.num_concepts());
+    e.put_usize(ix.num_concepts());
+    for l in 0..ix.num_concepts() {
+        e.put_f64(ix.idf(l));
+    }
+    e.put_usize(ix.num_resources());
+    for r in 0..ix.num_resources() {
+        e.put_pairs(ix.resource_vector(r));
+        e.put_f64(ix.resource_norm(r));
+    }
+    e.put_usize(ix.num_concepts());
+    for l in 0..ix.num_concepts() {
+        e.put_pairs(ix.postings(l));
+        e.put_f64(ix.max_impact(l));
+    }
+    e.buf
+}
+
+// ---------------------------------------------------------------------------
+// Load
+// ---------------------------------------------------------------------------
+
+/// Parses an artifact from bytes already in memory.
+pub fn load_from_bytes(bytes: &[u8]) -> Result<Artifact, PersistError> {
+    let sections = parse_sections(bytes)?;
+    let payload = |id: u32| -> Result<&[u8], PersistError> {
+        sections
+            .iter()
+            .find(|&&(sid, _)| sid == id)
+            .map(|&(_, p)| p)
+            .ok_or(PersistError::MissingSection(id))
+    };
+
+    let meta = decode_meta(payload(SECTION_META)?)?;
+    let folksonomy = decode_folksonomy(payload(SECTION_FOLKSONOMY)?, &meta)?;
+    let decomposition = decode_tucker(payload(SECTION_TUCKER)?)?;
+    let distances = decode_distances(payload(SECTION_DISTANCES)?, meta.num_tags)?;
+    let concepts = decode_concepts(payload(SECTION_CONCEPTS)?, meta.num_tags)?;
+    let index = decode_index(
+        payload(SECTION_INDEX)?,
+        meta.num_resources,
+        concepts.num_concepts(),
+    )?;
+
+    let model = CubeLsi::from_restored(
+        decomposition,
+        distances,
+        concepts,
+        index,
+        meta.timings,
+        &folksonomy,
+    );
+    Ok(Artifact { model, folksonomy })
+}
+
+/// Reads an artifact from an arbitrary source.
+pub fn load(reader: &mut impl Read) -> Result<Artifact, PersistError> {
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    load_from_bytes(&bytes)
+}
+
+/// Reads an artifact from a file path.
+pub fn load_from_path(path: impl AsRef<Path>) -> Result<Artifact, PersistError> {
+    let bytes = std::fs::read(path)?;
+    load_from_bytes(&bytes)
+}
+
+/// Validates the header + section table and returns `(id, payload)` views
+/// with verified CRCs.
+fn parse_sections(bytes: &[u8]) -> Result<Vec<(u32, &[u8])>, PersistError> {
+    if bytes.len() < HEADER_LEN {
+        if bytes.len() >= MAGIC.len() && bytes[..MAGIC.len()] != MAGIC {
+            return Err(PersistError::BadMagic);
+        }
+        return Err(PersistError::Truncated { context: "header" });
+    }
+    if bytes[..8] != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version > FORMAT_VERSION {
+        return Err(PersistError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    let table_end = HEADER_LEN.saturating_add(count.saturating_mul(TABLE_ENTRY_LEN));
+    if table_end > bytes.len() {
+        return Err(PersistError::Truncated {
+            context: "section table",
+        });
+    }
+    let mut sections = Vec::with_capacity(count);
+    for i in 0..count {
+        let entry =
+            &bytes[HEADER_LEN + i * TABLE_ENTRY_LEN..HEADER_LEN + (i + 1) * TABLE_ENTRY_LEN];
+        let id = u32::from_le_bytes(entry[0..4].try_into().unwrap());
+        let offset = u64::from_le_bytes(entry[4..12].try_into().unwrap());
+        let len = u64::from_le_bytes(entry[12..20].try_into().unwrap());
+        let expected_crc = u32::from_le_bytes(entry[20..24].try_into().unwrap());
+        let (offset, len) = match (usize::try_from(offset), usize::try_from(len)) {
+            (Ok(o), Ok(l)) => (o, l),
+            _ => {
+                return Err(PersistError::Truncated {
+                    context: "section payload",
+                })
+            }
+        };
+        let end = offset.saturating_add(len);
+        if end > bytes.len() {
+            return Err(PersistError::Truncated {
+                context: "section payload",
+            });
+        }
+        let payload = &bytes[offset..end];
+        let got = crc32(payload);
+        if got != expected_crc {
+            return Err(PersistError::ChecksumMismatch {
+                section: id,
+                expected: expected_crc,
+                got,
+            });
+        }
+        sections.push((id, payload));
+    }
+    Ok(sections)
+}
+
+struct Meta {
+    num_users: usize,
+    num_tags: usize,
+    num_resources: usize,
+    num_assignments: usize,
+    timings: PhaseTimings,
+}
+
+fn decode_meta(payload: &[u8]) -> Result<Meta, PersistError> {
+    let mut d = Decoder::new(payload, SECTION_META);
+    let num_users = d.usize()?;
+    let num_tags = d.usize()?;
+    let num_resources = d.usize()?;
+    let num_assignments = d.usize()?;
+    let mut phases = [Duration::ZERO; 5];
+    for slot in &mut phases {
+        *slot = Duration::from_nanos(d.u64()?);
+    }
+    d.finish()?;
+    Ok(Meta {
+        num_users,
+        num_tags,
+        num_resources,
+        num_assignments,
+        timings: PhaseTimings {
+            tensor_build: phases[0],
+            tucker: phases[1],
+            distances: phases[2],
+            clustering: phases[3],
+            indexing: phases[4],
+        },
+    })
+}
+
+fn decode_names(
+    d: &mut Decoder<'_>,
+    expected: usize,
+    what: &str,
+) -> Result<Interner, PersistError> {
+    // A name is at least its 4-byte length prefix.
+    let n = d.len_prefix(4)?;
+    if n != expected {
+        return Err(d.err(format!(
+            "{what} count {n} disagrees with meta count {expected}"
+        )));
+    }
+    let mut names = Vec::with_capacity(n);
+    for _ in 0..n {
+        names.push(d.string()?);
+    }
+    let interner = Interner::from_names(&names);
+    if interner.len() != names.len() {
+        return Err(d.err(format!("duplicate {what} names")));
+    }
+    Ok(interner)
+}
+
+fn decode_folksonomy(payload: &[u8], meta: &Meta) -> Result<Folksonomy, PersistError> {
+    let mut d = Decoder::new(payload, SECTION_FOLKSONOMY);
+    let users = decode_names(&mut d, meta.num_users, "user")?;
+    let tags = decode_names(&mut d, meta.num_tags, "tag")?;
+    let resources = decode_names(&mut d, meta.num_resources, "resource")?;
+    let n = d.len_prefix(12)?;
+    if n != meta.num_assignments {
+        return Err(d.err(format!(
+            "assignment count {n} disagrees with meta count {}",
+            meta.num_assignments
+        )));
+    }
+    let mut assignments = Vec::with_capacity(n);
+    for _ in 0..n {
+        let u = d.u32()? as usize;
+        let t = d.u32()? as usize;
+        let r = d.u32()? as usize;
+        if u >= users.len() || t >= tags.len() || r >= resources.len() {
+            return Err(d.err(format!("assignment ({u}, {t}, {r}) references unknown ids")));
+        }
+        assignments.push(TagAssignment {
+            user: UserId::from_index(u),
+            tag: TagId::from_index(t),
+            resource: ResourceId::from_index(r),
+        });
+    }
+    d.finish()?;
+    Ok(Folksonomy::from_parts(users, tags, resources, assignments))
+}
+
+fn decode_tucker(payload: &[u8]) -> Result<TuckerDecomposition, PersistError> {
+    let mut d = Decoder::new(payload, SECTION_TUCKER);
+    let j1 = d.usize()?;
+    let j2 = d.usize()?;
+    let j3 = d.usize()?;
+    let n = j1
+        .checked_mul(j2)
+        .and_then(|x| x.checked_mul(j3))
+        .ok_or_else(|| d.err("core dimensions overflow"))?;
+    if n.checked_mul(8).is_none_or(|need| need > payload.len()) {
+        return Err(d.err(format!("{j1}x{j2}x{j3} core exceeds payload")));
+    }
+    let mut core_data = Vec::with_capacity(n);
+    for _ in 0..n {
+        core_data.push(d.f64()?);
+    }
+    let core = DenseTensor3::from_vec(j1, j2, j3, core_data).map_err(|e| d.err(e.to_string()))?;
+    let mut factors = Vec::with_capacity(3);
+    for _ in 0..3 {
+        factors.push(d.matrix()?);
+    }
+    let factors: [Matrix; 3] = factors.try_into().expect("exactly three factors read");
+    for (mode, (factor, j)) in factors.iter().zip([j1, j2, j3]).enumerate() {
+        if factor.cols() != j {
+            return Err(d.err(format!(
+                "factor {} has {} columns, core expects {j}",
+                mode + 1,
+                factor.cols()
+            )));
+        }
+    }
+    let lambda2 = d.f64_vec()?;
+    if lambda2.len() != j2 {
+        return Err(d.err(format!("lambda2 length {} != J2 = {j2}", lambda2.len())));
+    }
+    let fit = d.f64()?;
+    let iterations = d.usize()?;
+    let fit_history = d.f64_vec()?;
+    d.finish()?;
+    Ok(TuckerDecomposition {
+        core,
+        factors,
+        lambda2,
+        fit,
+        iterations,
+        fit_history,
+    })
+}
+
+fn decode_distances(payload: &[u8], num_tags: usize) -> Result<TagDistances, PersistError> {
+    let mut d = Decoder::new(payload, SECTION_DISTANCES);
+    let m = d.matrix()?;
+    d.finish()?;
+    if m.rows() != num_tags {
+        return Err(PersistError::Malformed {
+            section: SECTION_DISTANCES,
+            detail: format!(
+                "{}x{} distance matrix for {num_tags} tags",
+                m.rows(),
+                m.cols()
+            ),
+        });
+    }
+    TagDistances::from_matrix(m).map_err(|e| PersistError::Malformed {
+        section: SECTION_DISTANCES,
+        detail: e.to_string(),
+    })
+}
+
+fn decode_concepts(payload: &[u8], num_tags: usize) -> Result<ConceptModel, PersistError> {
+    let mut d = Decoder::new(payload, SECTION_CONCEPTS);
+    let num_concepts = d.usize()?;
+    // Concepts partition the tag set, so a genuine artifact always has
+    // num_concepts <= num_tags; without this bound a hostile file could
+    // declare 2^50 concepts and force a pathological allocation in
+    // `ConceptModel::from_parts` below.
+    if num_concepts > num_tags {
+        return Err(d.err(format!("{num_concepts} concepts for {num_tags} tags")));
+    }
+    let sigma = d.f64()?;
+    let n = d.len_prefix(8)?;
+    if n != num_tags {
+        return Err(d.err(format!("{n} assignments for {num_tags} tags")));
+    }
+    let mut assignments = Vec::with_capacity(n);
+    for tag in 0..n {
+        let c = d.usize()?;
+        if c >= num_concepts {
+            return Err(d.err(format!(
+                "tag {tag} assigned to concept {c} of {num_concepts}"
+            )));
+        }
+        assignments.push(c);
+    }
+    d.finish()?;
+    Ok(ConceptModel::from_parts(assignments, num_concepts, sigma))
+}
+
+fn decode_index(
+    payload: &[u8],
+    num_resources: usize,
+    num_concepts: usize,
+) -> Result<ConceptIndex, PersistError> {
+    let mut d = Decoder::new(payload, SECTION_INDEX);
+    let stored_resources = d.usize()?;
+    let stored_concepts = d.usize()?;
+    if stored_resources != num_resources || stored_concepts != num_concepts {
+        return Err(d.err(format!(
+            "index is {stored_resources}x{stored_concepts}, model is {num_resources}x{num_concepts}"
+        )));
+    }
+    let n_idf = d.len_prefix(8)?;
+    if n_idf != num_concepts {
+        return Err(d.err(format!("{n_idf} idf entries for {num_concepts} concepts")));
+    }
+    let mut idf = Vec::with_capacity(n_idf);
+    for _ in 0..n_idf {
+        idf.push(d.f64()?);
+    }
+    let n_res = d.len_prefix(8)?;
+    if n_res != num_resources {
+        return Err(d.err(format!("{n_res} vectors for {num_resources} resources")));
+    }
+    let mut resource_vectors = Vec::with_capacity(n_res);
+    let mut resource_norms = Vec::with_capacity(n_res);
+    for r in 0..n_res {
+        let vector = d.pairs()?;
+        if let Some(&(l, _)) = vector.iter().find(|&&(l, _)| l as usize >= num_concepts) {
+            return Err(d.err(format!("resource {r} references unknown concept {l}")));
+        }
+        resource_vectors.push(vector);
+        resource_norms.push(d.f64()?);
+    }
+    let n_post = d.len_prefix(8)?;
+    if n_post != num_concepts {
+        return Err(d.err(format!(
+            "{n_post} posting lists for {num_concepts} concepts"
+        )));
+    }
+    let mut postings = Vec::with_capacity(n_post);
+    let mut max_impact = Vec::with_capacity(n_post);
+    for l in 0..n_post {
+        let list = d.pairs()?;
+        if let Some(&(r, _)) = list.iter().find(|&&(r, _)| r as usize >= num_resources) {
+            return Err(d.err(format!("concept {l} posts unknown resource {r}")));
+        }
+        postings.push(list);
+        max_impact.push(d.f64()?);
+    }
+    d.finish()?;
+    Ok(ConceptIndex::from_raw_parts(
+        num_resources,
+        num_concepts,
+        idf,
+        resource_vectors,
+        resource_norms,
+        postings,
+        max_impact,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CubeLsiConfig;
+    use cubelsi_folksonomy::store::figure2_example;
+
+    fn built() -> (Folksonomy, CubeLsi) {
+        let f = figure2_example();
+        let cfg = CubeLsiConfig {
+            core_dims: Some((3, 3, 2)),
+            num_concepts: Some(2),
+            sigma: Some(1.0),
+            max_als_iters: 30,
+            als_fit_tol: 1e-10,
+            ..Default::default()
+        };
+        let model = CubeLsi::build(&f, &cfg).unwrap();
+        (f, model)
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let (f, model) = built();
+        let bytes = save_to_vec(&model, &f);
+        let loaded = load_from_bytes(&bytes).unwrap();
+
+        assert_eq!(loaded.folksonomy.stats(), f.stats());
+        assert_eq!(
+            loaded.model.concepts().assignments(),
+            model.concepts().assignments()
+        );
+        assert_eq!(loaded.model.concepts().sigma(), model.concepts().sigma());
+        assert_eq!(loaded.model.decomposition().fit, model.decomposition().fit);
+        assert_eq!(
+            loaded.model.decomposition().lambda2,
+            model.decomposition().lambda2
+        );
+        assert!(loaded
+            .model
+            .distances()
+            .matrix()
+            .approx_eq(model.distances().matrix(), 0.0));
+        assert_eq!(loaded.model.timings().total(), model.timings().total());
+        assert_eq!(loaded.model.num_users(), model.num_users());
+        assert_eq!(loaded.model.num_resources(), model.num_resources());
+
+        // Search results must be bit-identical, by name and by id.
+        for name in ["folk", "people", "laptop"] {
+            let a = model.search(&[name], 0);
+            let b = loaded.model.search(&[name], 0);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.resource, y.resource);
+                assert_eq!(x.score.to_bits(), y.score.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn save_load_via_path() {
+        let (f, model) = built();
+        let path = std::env::temp_dir().join(format!(
+            "cubelsi-persist-unit-{}.cubelsi",
+            std::process::id()
+        ));
+        save_to_path(&path, &model, &f).unwrap();
+        let loaded = load_from_path(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.folksonomy.stats(), f.stats());
+    }
+
+    #[test]
+    fn empty_file_is_truncated_not_panic() {
+        assert!(matches!(
+            load_from_bytes(&[]),
+            Err(PersistError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_section_reported() {
+        let (f, model) = built();
+        let bytes = save_to_vec(&model, &f);
+        // Rewrite the first table entry's id to an unknown value: META goes
+        // missing while its payload stays CRC-valid.
+        let mut bad = bytes.clone();
+        bad[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&0xFFu32.to_le_bytes());
+        assert!(matches!(
+            load_from_bytes(&bad),
+            Err(PersistError::MissingSection(SECTION_META))
+        ));
+    }
+
+    #[test]
+    fn hostile_concept_count_is_rejected_before_allocation() {
+        // A CRC-valid artifact declaring 2^50 concepts must fail with a
+        // typed error, not abort in a pathological `vec![...; 2^50]`.
+        let (f, model) = built();
+        let mut bytes = save_to_vec(&model, &f);
+        // Locate the CONCEPTS section via the table, patch its first
+        // field (num_concepts) and re-record the payload CRC.
+        let count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+        let entry = (0..count)
+            .map(|i| HEADER_LEN + i * TABLE_ENTRY_LEN)
+            .find(|&e| u32::from_le_bytes(bytes[e..e + 4].try_into().unwrap()) == SECTION_CONCEPTS)
+            .expect("concepts section present");
+        let offset = u64::from_le_bytes(bytes[entry + 4..entry + 12].try_into().unwrap()) as usize;
+        let len = u64::from_le_bytes(bytes[entry + 12..entry + 20].try_into().unwrap()) as usize;
+        bytes[offset..offset + 8].copy_from_slice(&(1u64 << 50).to_le_bytes());
+        let crc = crc32(&bytes[offset..offset + len]);
+        bytes[entry + 20..entry + 24].copy_from_slice(&crc.to_le_bytes());
+        match load_from_bytes(&bytes) {
+            Err(PersistError::Malformed { section, .. }) => {
+                assert_eq!(section, SECTION_CONCEPTS);
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_display_is_descriptive() {
+        let e = PersistError::ChecksumMismatch {
+            section: 3,
+            expected: 1,
+            got: 2,
+        };
+        assert!(e.to_string().contains("section 3"));
+        let e = PersistError::UnsupportedVersion {
+            found: 9,
+            supported: FORMAT_VERSION,
+        };
+        assert!(e.to_string().contains('9'));
+    }
+}

@@ -80,23 +80,50 @@ impl CubeLsi {
         let engine = QueryEngine::new(ConceptIndex::build(folksonomy, &concepts));
         timings.indexing = t0.elapsed();
 
-        let tag_lookup = (0..folksonomy.num_tags())
-            .map(|t| {
-                let id = TagId::from_index(t);
-                (folksonomy.tag_name(id).to_owned(), id)
-            })
-            .collect();
-
         Ok(CubeLsi {
             decomposition,
             distances,
             concepts,
             engine,
             timings,
-            tag_lookup,
+            tag_lookup: tag_lookup(folksonomy),
             num_users: folksonomy.num_users(),
             num_resources: folksonomy.num_resources(),
         })
+    }
+
+    /// Reassembles a built engine from restored components (the
+    /// deserialization path of `crate::persist`). The tag-name lookup is
+    /// rebuilt from the folksonomy's interner — the same source `build`
+    /// uses — so name resolution matches the original engine exactly.
+    pub(crate) fn from_restored(
+        decomposition: TuckerDecomposition,
+        distances: TagDistances,
+        concepts: ConceptModel,
+        index: ConceptIndex,
+        timings: PhaseTimings,
+        folksonomy: &Folksonomy,
+    ) -> Self {
+        CubeLsi {
+            decomposition,
+            distances,
+            concepts,
+            engine: QueryEngine::new(index),
+            timings,
+            tag_lookup: tag_lookup(folksonomy),
+            num_users: folksonomy.num_users(),
+            num_resources: folksonomy.num_resources(),
+        }
+    }
+
+    /// Number of users in the corpus the engine was built from.
+    pub fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    /// Number of resources in the corpus the engine was built from.
+    pub fn num_resources(&self) -> usize {
+        self.num_resources
     }
 
     /// Online query processing: tag names in, ranked resources out
@@ -185,6 +212,19 @@ impl CubeLsi {
     pub fn dense_purified_bytes(&self) -> usize {
         self.num_users * self.distances.num_tags() * self.num_resources * std::mem::size_of::<f64>()
     }
+}
+
+/// The name → id map both constructors share. `build` and `from_restored`
+/// must resolve query tags identically — the persisted-artifact
+/// bit-identity guarantee depends on it — so the construction lives in
+/// exactly one place.
+fn tag_lookup(folksonomy: &Folksonomy) -> HashMap<String, TagId> {
+    (0..folksonomy.num_tags())
+        .map(|t| {
+            let id = TagId::from_index(t);
+            (folksonomy.tag_name(id).to_owned(), id)
+        })
+        .collect()
 }
 
 #[cfg(test)]

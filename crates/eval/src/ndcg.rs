@@ -12,6 +12,10 @@
 //! to zero because `log` here is applied to `i + 1 = 2`.
 
 /// Discounted cumulative gain of a graded relevance sequence at cutoff `n`.
+///
+/// The gain `2^r − 1` is computed in floating point (`exp2`), not as an
+/// integer shift: `1u32 << r` is undefined for `r ≥ 32` (debug panic,
+/// release wrap-around) even though grades that large are permitted.
 fn dcg(relevances: &[u8], n: usize) -> f64 {
     relevances
         .iter()
@@ -19,7 +23,7 @@ fn dcg(relevances: &[u8], n: usize) -> f64 {
         .enumerate()
         .map(|(idx, &r)| {
             let i = (idx + 1) as f64; // 1-based rank
-            ((1u32 << r) as f64 - 1.0) / (i + 1.0).ln()
+            (f64::exp2(r as f64) - 1.0) / (i + 1.0).ln()
         })
         .sum()
 }
@@ -111,6 +115,28 @@ mod tests {
         let ranked = vec![0, 0, 2, 2];
         assert_eq!(ndcg_at(&ranked, &all, 2), 0.0);
         assert!(ndcg_at(&ranked, &all, 4) > 0.0);
+    }
+
+    #[test]
+    fn large_relevance_grades_do_not_overflow() {
+        // Regression: gains used `1u32 << r`, which panics in debug (and
+        // wraps in release) at r = 32 — `1u32 << 32` is undefined. The
+        // doc comment has always permitted large grades.
+        for r in [32u8, 33, 40, 63] {
+            let ranked = vec![r];
+            let all = vec![r];
+            let s = ndcg_at(&ranked, &all, 1);
+            assert!(
+                (s - 1.0).abs() < 1e-12,
+                "ideal ranking at grade {r} must score 1, got {s}"
+            );
+            // The raw gain is finite and strictly increasing in r.
+            let lo = ndcg_at(&[r - 1], &all, 1);
+            assert!(lo.is_finite() && lo < 1.0, "grade {}: {lo}", r - 1);
+        }
+        // Boundary pair: grade 31 (last shift-safe) vs 32 (first overflow).
+        let s = ndcg_at(&[31], &[32], 1);
+        assert!(s > 0.0 && s < 1.0, "31-vs-32 must discount, got {s}");
     }
 
     #[test]

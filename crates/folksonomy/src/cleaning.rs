@@ -19,6 +19,9 @@ pub struct CleaningConfig {
     /// (the paper uses 5; set to 0 or 1 to disable).
     pub min_assignments: usize,
     /// Remove tags with this prefix (the paper's "system-generated tags").
+    /// Matched against the canonicalized name — i.e. *after* lowercasing
+    /// when [`Self::lowercase_tags`] is on — so case variants like
+    /// `System:imported` are caught too.
     pub system_tag_prefix: Option<String>,
     /// Lowercase all tag names, merging case variants.
     pub lowercase_tags: bool,
@@ -62,20 +65,33 @@ pub fn clean(input: &Folksonomy, config: &CleaningConfig) -> (Folksonomy, Cleani
     let mut tags_interner = Interner::new();
     let mut tag_remap: Vec<Option<TagId>> = Vec::with_capacity(input.num_tags());
     let mut distinct_before = 0usize;
+    // With lowercasing on, both sides of the prefix match are
+    // canonicalized, so a `System:`-configured prefix still matches.
+    let system_prefix = config.system_tag_prefix.as_ref().map(|p| {
+        if config.lowercase_tags {
+            p.to_lowercase()
+        } else {
+            p.clone()
+        }
+    });
     for idx in 0..input.num_tags() {
         let name = input.tag_name(TagId::from_index(idx));
-        if let Some(prefix) = &config.system_tag_prefix {
-            if name.starts_with(prefix.as_str()) {
-                tag_remap.push(None);
-                continue;
-            }
-        }
-        distinct_before += 1;
         let canonical = if config.lowercase_tags {
             name.to_lowercase()
         } else {
             name.to_owned()
         };
+        // The prefix is matched against the *canonicalized* name: with
+        // lowercasing on, `System:imported` / `SYSTEM:unfiled` are the same
+        // system-generated tags as `system:imported` and must not survive
+        // into the Table II statistics.
+        if let Some(prefix) = &system_prefix {
+            if canonical.starts_with(prefix.as_str()) {
+                tag_remap.push(None);
+                continue;
+            }
+        }
+        distinct_before += 1;
         tag_remap.push(Some(TagId::from_index(tags_interner.intern(&canonical))));
     }
     let tags_merged_by_case = distinct_before - tags_interner.len();
@@ -207,6 +223,65 @@ mod tests {
         assert_eq!(report.raw.assignments, raw.num_assignments());
         assert_eq!(report.cleaned.assignments, cleaned.num_assignments());
         assert!(report.cleaned.assignments < report.raw.assignments);
+    }
+
+    #[test]
+    fn mixed_case_system_tags_are_removed() {
+        // Regression: the prefix filter used to run *before* lowercasing,
+        // so `System:imported` / `SYSTEM:unfiled` survived the pipeline
+        // (as `system:imported` / `system:unfiled`!) and polluted the
+        // Table II statistics.
+        let mut b = FolksonomyBuilder::new();
+        for u in 0..6 {
+            for r in 0..6 {
+                b.add(&format!("user{u}"), "music", &format!("res{r}"));
+            }
+            b.add(&format!("user{u}"), "System:imported", "res0");
+            b.add(&format!("user{u}"), "SYSTEM:unfiled", "res1");
+            b.add(&format!("user{u}"), "system:tagged", "res2");
+        }
+        let raw = b.build();
+        let (cleaned, report) = clean(&raw, &CleaningConfig::default());
+        assert_eq!(cleaned.num_tags(), 1, "only `music` may survive");
+        assert!(cleaned.tag_id("music").is_some());
+        for ghost in ["system:imported", "system:unfiled", "system:tagged"] {
+            assert!(
+                cleaned.tag_id(ghost).is_none(),
+                "{ghost} must not survive cleaning"
+            );
+        }
+        assert_eq!(report.system_tag_assignments_removed, 18);
+        // System tags are not "merged case variants".
+        assert_eq!(report.tags_merged_by_case, 0);
+
+        // A capitalized prefix *config* is canonicalized too: with
+        // lowercasing on, `System:` must behave exactly like `system:`.
+        let cfg = CleaningConfig {
+            system_tag_prefix: Some("System:".to_owned()),
+            ..Default::default()
+        };
+        let (cleaned2, report2) = clean(&raw, &cfg);
+        assert_eq!(cleaned2.num_tags(), 1);
+        assert_eq!(report2.system_tag_assignments_removed, 18);
+    }
+
+    #[test]
+    fn uppercase_system_tags_survive_without_lowercasing() {
+        // With lowercasing disabled the canonical name *is* the raw name,
+        // so only exact-prefix matches are system tags.
+        let mut b = FolksonomyBuilder::new();
+        b.add("u", "System:imported", "r");
+        b.add("u", "system:imported", "r");
+        let raw = b.build();
+        let cfg = CleaningConfig {
+            min_assignments: 0,
+            lowercase_tags: false,
+            ..Default::default()
+        };
+        let (cleaned, report) = clean(&raw, &cfg);
+        assert!(cleaned.tag_id("System:imported").is_some());
+        assert!(cleaned.tag_id("system:imported").is_none());
+        assert_eq!(report.system_tag_assignments_removed, 1);
     }
 
     #[test]

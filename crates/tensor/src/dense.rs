@@ -48,6 +48,23 @@ impl DenseTensor3 {
         t
     }
 
+    /// Creates a tensor taking ownership of a raw buffer in the native
+    /// layout (`data[(i * d2 + j) * d3 + k]`).
+    ///
+    /// Returns an error when `data.len() != d1 * d2 * d3`.
+    pub fn from_vec(d1: usize, d2: usize, d3: usize, data: Vec<f64>) -> Result<Self, LinAlgError> {
+        if data.len() != d1 * d2 * d3 {
+            return Err(LinAlgError::InvalidArgument(format!(
+                "buffer of length {} cannot back a {d1}x{d2}x{d3} tensor",
+                data.len()
+            )));
+        }
+        Ok(DenseTensor3 {
+            dims: (d1, d2, d3),
+            data,
+        })
+    }
+
     /// Tensor dimensions `(d1, d2, d3)`.
     #[inline]
     pub fn dims(&self) -> (usize, usize, usize) {

@@ -1,83 +1,238 @@
-//! `cubelsi-search` — build a CubeLSI index over a TSV tag-assignment dump
-//! and query it from the command line.
+//! `cubelsi-search` — build a persistent CubeLSI index over a TSV
+//! tag-assignment dump and serve queries from it.
+//!
+//! The offline component (tensor build → Tucker → distances → concepts →
+//! index) is expensive; online serving is cheap. The CLI therefore splits
+//! the two across process lifetimes:
 //!
 //! ```sh
 //! # data.tsv: one "user<TAB>tag<TAB>resource" line per assignment
-//! cubelsi-search data.tsv music audio            # one-shot query
-//! cubelsi-search --concepts 32 data.tsv jazz     # fix the concept count
-//! cubelsi-search --no-clean data.tsv rock        # skip §VI-A cleaning
+//! cubelsi-search build data.tsv model.cubelsi        # offline, once
+//! cubelsi-search query model.cubelsi music audio     # online, instant
+//! echo "jazz piano" | cubelsi-search serve model.cubelsi   # query loop
+//!
+//! # one-shot sugar (build in memory + query, nothing persisted):
+//! cubelsi-search data.tsv music audio
 //! ```
+//!
+//! `build` accepts `--concepts K`, `--ratio C`, `--seed S`, `--no-clean`;
+//! `query`/`serve` accept `--top N`. The artifact is the versioned,
+//! checksummed binary described in `cubelsi_core::persist`.
 
-use cubelsi::core::{CubeLsi, CubeLsiConfig};
+use cubelsi::core::{persist, CubeLsi, CubeLsiConfig};
 use cubelsi::folksonomy::{clean, read_tsv_file, CleaningConfig, Folksonomy};
+use std::io::BufRead;
 use std::process::ExitCode;
+use std::time::Instant;
 
-struct Args {
-    path: String,
-    query: Vec<String>,
+const USAGE: &str = "usage:
+  cubelsi-search build [--concepts K] [--ratio C] [--seed S] [--no-clean] DATA.tsv OUT.cubelsi
+  cubelsi-search query [--top N] MODEL.cubelsi QUERY_TAG...
+  cubelsi-search serve [--top N] MODEL.cubelsi          (queries on stdin, one per line)
+  cubelsi-search [build+query options] DATA.tsv QUERY_TAG...   (one-shot, nothing persisted)
+
+options:
+  --concepts K   fix the number of concepts (K >= 1; default: 95%-variance rule)
+  --ratio C      Tucker reduction ratio (finite, > 0; default 50)
+  --top N        results per query (N >= 1; default 10)
+  --seed S       seed for all stochastic components (default 2011)
+  --no-clean     skip the paper's \u{a7}VI-A cleaning pipeline";
+
+/// Options of the offline build phase (shared by `build` and one-shot).
+#[derive(Debug, Clone, PartialEq)]
+struct BuildOpts {
     concepts: Option<usize>,
     reduction_ratio: f64,
-    top_k: usize,
     clean: bool,
     seed: u64,
 }
 
-fn parse_args() -> Result<Args, String> {
-    let mut args = std::env::args().skip(1);
-    let mut parsed = Args {
-        path: String::new(),
-        query: Vec::new(),
-        concepts: None,
-        reduction_ratio: 50.0,
-        top_k: 10,
-        clean: true,
-        seed: 2011,
-    };
+impl Default for BuildOpts {
+    fn default() -> Self {
+        BuildOpts {
+            concepts: None,
+            reduction_ratio: 50.0,
+            clean: true,
+            seed: 2011,
+        }
+    }
+}
+
+/// A fully parsed and value-validated invocation.
+#[derive(Debug, PartialEq)]
+enum Command {
+    /// Offline pipeline: TSV in, `.cubelsi` artifact out.
+    Build {
+        opts: BuildOpts,
+        data: String,
+        out: String,
+    },
+    /// Load an artifact and answer one query.
+    Query {
+        index: String,
+        tags: Vec<String>,
+        top_k: usize,
+    },
+    /// Load an artifact and answer stdin queries until EOF.
+    Serve { index: String, top_k: usize },
+    /// Legacy sugar: build in memory, answer one query, discard.
+    OneShot {
+        opts: BuildOpts,
+        data: String,
+        tags: Vec<String>,
+        top_k: usize,
+    },
+    /// `--help` anywhere.
+    Help,
+}
+
+/// Flags accepted across subcommands; values are validated here, at parse
+/// time, so garbage (`--ratio 0`, `--ratio nan`, `--top 0`,
+/// `--concepts 0`) dies with a usage error instead of flowing into
+/// core-dimension arithmetic.
+#[derive(Debug, Default)]
+struct RawFlags {
+    concepts: Option<usize>,
+    ratio: Option<f64>,
+    top: Option<usize>,
+    seed: Option<u64>,
+    no_clean: bool,
+}
+
+fn parse_command(args: impl IntoIterator<Item = String>) -> Result<Command, String> {
+    let mut flags = RawFlags::default();
     let mut positional: Vec<String> = Vec::new();
+    let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--concepts" => {
                 let v = args.next().ok_or("--concepts needs a value")?;
-                parsed.concepts = Some(v.parse().map_err(|_| "--concepts must be an integer")?);
+                let k: usize = v
+                    .parse()
+                    .map_err(|_| format!("--concepts must be an integer, got {v:?}"))?;
+                if k < 1 {
+                    return Err("--concepts must be >= 1".to_owned());
+                }
+                flags.concepts = Some(k);
             }
             "--ratio" => {
                 let v = args.next().ok_or("--ratio needs a value")?;
-                parsed.reduction_ratio = v.parse().map_err(|_| "--ratio must be a number")?;
+                let c: f64 = v
+                    .parse()
+                    .map_err(|_| format!("--ratio must be a number, got {v:?}"))?;
+                if !c.is_finite() || c <= 0.0 {
+                    return Err(format!("--ratio must be a finite number > 0, got {v}"));
+                }
+                flags.ratio = Some(c);
             }
             "--top" => {
                 let v = args.next().ok_or("--top needs a value")?;
-                parsed.top_k = v.parse().map_err(|_| "--top must be an integer")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--top must be an integer, got {v:?}"))?;
+                if n < 1 {
+                    return Err("--top must be >= 1".to_owned());
+                }
+                flags.top = Some(n);
             }
             "--seed" => {
                 let v = args.next().ok_or("--seed needs a value")?;
-                parsed.seed = v.parse().map_err(|_| "--seed must be an integer")?;
+                flags.seed = Some(
+                    v.parse()
+                        .map_err(|_| format!("--seed must be an integer, got {v:?}"))?,
+                );
             }
-            "--no-clean" => parsed.clean = false,
-            "--help" | "-h" => {
-                return Err(
-                    "usage: cubelsi-search [--concepts K] [--ratio C] [--top N] \
-                            [--no-clean] [--seed S] DATA.tsv QUERY_TAG..."
-                        .to_owned(),
-                )
+            "--no-clean" => flags.no_clean = true,
+            "--help" | "-h" => return Ok(Command::Help),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option {other} (see --help)"));
             }
-            other => positional.push(other.to_owned()),
+            _ => positional.push(arg),
         }
     }
-    if positional.is_empty() {
-        return Err("missing DATA.tsv argument (see --help)".to_owned());
+
+    let build_opts = |flags: &RawFlags| BuildOpts {
+        concepts: flags.concepts,
+        reduction_ratio: flags.ratio.unwrap_or(50.0),
+        clean: !flags.no_clean,
+        seed: flags.seed.unwrap_or(2011),
+    };
+    let top_k = flags.top.unwrap_or(10);
+    // Build-only flags must not be silently ignored on the serving
+    // subcommands: the model shape is baked into the artifact, and
+    // accepting `query --concepts 32` would let the user believe they
+    // re-ranked with different parameters.
+    let reject_build_flags = |flags: &RawFlags, cmd: &str| -> Result<(), String> {
+        for (set, name) in [
+            (flags.concepts.is_some(), "--concepts"),
+            (flags.ratio.is_some(), "--ratio"),
+            (flags.seed.is_some(), "--seed"),
+            (flags.no_clean, "--no-clean"),
+        ] {
+            if set {
+                return Err(format!(
+                    "{name} does not apply to `{cmd}`: those parameters are baked into the \
+                     artifact at build time (see --help)"
+                ));
+            }
+        }
+        Ok(())
+    };
+
+    match positional.first().map(String::as_str) {
+        Some("build") => {
+            if flags.top.is_some() {
+                return Err("--top does not apply to `build` (see --help)".to_owned());
+            }
+            let [_, data, out] = <[String; 3]>::try_from(positional)
+                .map_err(|_| "build needs exactly DATA.tsv and OUT.cubelsi (see --help)")?;
+            Ok(Command::Build {
+                opts: build_opts(&flags),
+                data,
+                out,
+            })
+        }
+        Some("query") => {
+            reject_build_flags(&flags, "query")?;
+            if positional.len() < 3 {
+                return Err("query needs MODEL.cubelsi and at least one tag (see --help)".into());
+            }
+            let mut rest = positional.into_iter().skip(1);
+            let index = rest.next().expect("length checked above");
+            Ok(Command::Query {
+                index,
+                tags: rest.collect(),
+                top_k,
+            })
+        }
+        Some("serve") => {
+            reject_build_flags(&flags, "serve")?;
+            let [_, index] = <[String; 2]>::try_from(positional)
+                .map_err(|_| "serve needs exactly MODEL.cubelsi (see --help)")?;
+            Ok(Command::Serve { index, top_k })
+        }
+        Some(_) => {
+            if positional.len() < 2 {
+                return Err("missing query tags (see --help)".to_owned());
+            }
+            let mut rest = positional.into_iter();
+            let data = rest.next().expect("length checked above");
+            Ok(Command::OneShot {
+                opts: build_opts(&flags),
+                data,
+                tags: rest.collect(),
+                top_k,
+            })
+        }
+        None => Err("missing arguments (see --help)".to_owned()),
     }
-    parsed.path = positional.remove(0);
-    parsed.query = positional;
-    if parsed.query.is_empty() {
-        return Err("missing query tags (see --help)".to_owned());
-    }
-    Ok(parsed)
 }
 
-fn run(args: &Args) -> Result<(), String> {
-    let raw = read_tsv_file(&args.path).map_err(|e| format!("reading {}: {e}", args.path))?;
+/// Reads, optionally cleans, and validates the corpus.
+fn load_corpus(path: &str, do_clean: bool) -> Result<Folksonomy, String> {
+    let raw = read_tsv_file(path).map_err(|e| format!("reading {path}: {e}"))?;
     eprintln!("loaded  {}", raw.stats());
-    let corpus: Folksonomy = if args.clean {
+    let corpus = if do_clean {
         let (cleaned, report) = clean(&raw, &CleaningConfig::default());
         eprintln!("cleaned {} ({} rounds)", report.cleaned, report.rounds);
         cleaned
@@ -87,50 +242,86 @@ fn run(args: &Args) -> Result<(), String> {
     if corpus.num_assignments() == 0 {
         return Err("no assignments survive; try --no-clean".to_owned());
     }
+    Ok(corpus)
+}
 
+/// Runs the offline pipeline and prints per-phase timings (the Table V
+/// quantities a deployment watches during a rebuild).
+fn build_model(corpus: &Folksonomy, opts: &BuildOpts) -> Result<CubeLsi, String> {
     // Clamp the reduction ratios so the core keeps at least ~8 dimensions
     // per mode (or 2x the requested concepts) — the paper's c = 50 assumes
     // corpus dimensions in the thousands. The floor of 1.25 guarantees the
     // core is always *somewhat* trimmed: an untrimmed decomposition
     // reproduces the raw tensor, noise and all (§IV-D's purification needs
     // discarded components to purify anything).
-    let min_j = args.concepts.map_or(8usize, |k| (2 * k).max(8));
-    let eff = |dim: usize| (args.reduction_ratio).min((dim as f64 / min_j as f64).max(1.25));
+    let min_j = opts.concepts.map_or(8usize, |k| (2 * k).max(8));
+    let eff = |dim: usize| (opts.reduction_ratio).min((dim as f64 / min_j as f64).max(1.25));
     let config = CubeLsiConfig {
         reduction_ratios: (
             eff(corpus.num_users()),
             eff(corpus.num_tags()),
             eff(corpus.num_resources()),
         ),
-        num_concepts: args.concepts,
-        seed: args.seed,
+        num_concepts: opts.concepts,
+        seed: opts.seed,
         ..Default::default()
     };
-    let engine = CubeLsi::build(&corpus, &config).map_err(|e| format!("building CubeLSI: {e}"))?;
+    let model = CubeLsi::build(corpus, &config).map_err(|e| format!("building CubeLSI: {e}"))?;
+    let t = model.timings();
     eprintln!(
-        "built   fit {:.3}, {} concepts, offline {:?}",
-        engine.decomposition().fit,
-        engine.concepts().num_concepts(),
-        engine.timings().total()
+        "built   fit {:.3}, {} concepts",
+        model.decomposition().fit,
+        model.concepts().num_concepts(),
     );
+    eprintln!(
+        "offline tensor {:?} | tucker {:?} | distances {:?} | clustering {:?} | indexing {:?} | total {:?}",
+        t.tensor_build, t.tucker, t.distances, t.clustering, t.indexing, t.total()
+    );
+    Ok(model)
+}
 
-    // Serve through the pruned top-k engine on a reused session — the
-    // same allocation-free path a long-running server would use.
-    let query: Vec<&str> = args.query.iter().map(|s| s.as_str()).collect();
-    let ids: Vec<_> = query
+/// Loads an artifact from disk, reporting load time and model shape — the
+/// cheap path that replaces a full offline rebuild.
+fn load_artifact(path: &str) -> Result<persist::Artifact, String> {
+    let t0 = Instant::now();
+    let artifact = persist::load_from_path(path).map_err(|e| format!("loading {path}: {e}"))?;
+    eprintln!(
+        "loaded  {} in {:?} ({} concepts; offline build had taken {:?})",
+        artifact.folksonomy.stats(),
+        t0.elapsed(),
+        artifact.model.concepts().num_concepts(),
+        artifact.model.timings().total(),
+    );
+    Ok(artifact)
+}
+
+/// Answers one query on a warm session and prints the ranked hits.
+fn answer(
+    model: &CubeLsi,
+    corpus: &Folksonomy,
+    session: &mut cubelsi::core::QuerySession,
+    tags: &[String],
+    top_k: usize,
+) {
+    let ids: Vec<_> = tags
         .iter()
-        .filter_map(|name| corpus.tag_id(name))
+        .filter_map(|name| {
+            let id = corpus.tag_id(name);
+            if id.is_none() {
+                eprintln!("warning: unknown tag {name:?} ignored");
+            }
+            id
+        })
         .collect();
-    let mut session = engine.session();
     let mut hits = Vec::new();
-    let t0 = std::time::Instant::now();
-    engine.search_ids_with(&mut session, &ids, args.top_k, &mut hits);
+    let t0 = Instant::now();
+    model.search_ids_with(session, &ids, top_k, &mut hits);
     eprintln!("queried {:?}", t0.elapsed());
     if hits.is_empty() {
-        println!("no results for {query:?}");
-        return Ok(());
+        println!("no results for {tags:?}");
+        return;
     }
-    println!("results for {query:?}:");
+    println!("results for {tags:?}:");
     for (rank, hit) in hits.iter().enumerate() {
         println!(
             "{:>3}. {}  ({:.4})",
@@ -139,21 +330,227 @@ fn run(args: &Args) -> Result<(), String> {
             hit.score
         );
     }
+}
+
+fn run_build(opts: &BuildOpts, data: &str, out: &str) -> Result<(), String> {
+    let corpus = load_corpus(data, opts.clean)?;
+    let model = build_model(&corpus, opts)?;
+    let t0 = Instant::now();
+    persist::save_to_path(out, &model, &corpus).map_err(|e| format!("saving {out}: {e}"))?;
+    let size = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+    eprintln!("saved   {out} ({size} bytes) in {:?}", t0.elapsed());
+    Ok(())
+}
+
+fn run_query(index: &str, tags: &[String], top_k: usize) -> Result<(), String> {
+    let artifact = load_artifact(index)?;
+    let mut session = artifact.model.session();
+    answer(
+        &artifact.model,
+        &artifact.folksonomy,
+        &mut session,
+        tags,
+        top_k,
+    );
+    Ok(())
+}
+
+fn run_serve(index: &str, top_k: usize) -> Result<(), String> {
+    let artifact = load_artifact(index)?;
+    let mut session = artifact.model.session();
+    eprintln!("serving: one whitespace-separated tag query per line, EOF to stop");
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("reading stdin: {e}"))?;
+        let tags: Vec<String> = line.split_whitespace().map(str::to_owned).collect();
+        if tags.is_empty() {
+            continue;
+        }
+        answer(
+            &artifact.model,
+            &artifact.folksonomy,
+            &mut session,
+            &tags,
+            top_k,
+        );
+    }
+    Ok(())
+}
+
+fn run_one_shot(opts: &BuildOpts, data: &str, tags: &[String], top_k: usize) -> Result<(), String> {
+    let corpus = load_corpus(data, opts.clean)?;
+    let model = build_model(&corpus, opts)?;
+    let mut session = model.session();
+    answer(&model, &corpus, &mut session, tags, top_k);
     Ok(())
 }
 
 fn main() -> ExitCode {
-    match parse_args() {
-        Ok(args) => match run(&args) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::FAILURE
-            }
-        },
+    let result = match parse_command(std::env::args().skip(1)) {
+        Ok(Command::Help) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Ok(Command::Build { opts, data, out }) => run_build(&opts, &data, &out),
+        Ok(Command::Query { index, tags, top_k }) => run_query(&index, &tags, top_k),
+        Ok(Command::Serve { index, top_k }) => run_serve(&index, top_k),
+        Ok(Command::OneShot {
+            opts,
+            data,
+            tags,
+            top_k,
+        }) => run_one_shot(&opts, &data, &tags, top_k),
         Err(usage) => {
-            eprintln!("{usage}");
+            eprintln!("error: {usage}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
             ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Command, String> {
+        parse_command(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn build_subcommand_parses() {
+        let cmd = parse(&[
+            "build",
+            "--concepts",
+            "8",
+            "--ratio",
+            "25",
+            "d.tsv",
+            "m.cubelsi",
+        ]);
+        assert_eq!(
+            cmd.unwrap(),
+            Command::Build {
+                opts: BuildOpts {
+                    concepts: Some(8),
+                    reduction_ratio: 25.0,
+                    clean: true,
+                    seed: 2011,
+                },
+                data: "d.tsv".into(),
+                out: "m.cubelsi".into(),
+            }
+        );
+        assert!(parse(&["build", "d.tsv"]).is_err());
+        assert!(parse(&["build", "d.tsv", "a", "b"]).is_err());
+        assert!(parse(&["build", "--top", "5", "d.tsv", "m.cubelsi"]).is_err());
+    }
+
+    #[test]
+    fn query_and_serve_parse() {
+        assert_eq!(
+            parse(&["query", "--top", "3", "m.cubelsi", "jazz", "piano"]).unwrap(),
+            Command::Query {
+                index: "m.cubelsi".into(),
+                tags: vec!["jazz".into(), "piano".into()],
+                top_k: 3,
+            }
+        );
+        assert!(parse(&["query", "m.cubelsi"]).is_err(), "query needs tags");
+        assert_eq!(
+            parse(&["serve", "m.cubelsi"]).unwrap(),
+            Command::Serve {
+                index: "m.cubelsi".into(),
+                top_k: 10,
+            }
+        );
+        assert!(parse(&["serve"]).is_err());
+        assert!(parse(&["serve", "a", "b"]).is_err());
+    }
+
+    #[test]
+    fn one_shot_stays_supported() {
+        assert_eq!(
+            parse(&["data.tsv", "music", "audio"]).unwrap(),
+            Command::OneShot {
+                opts: BuildOpts::default(),
+                data: "data.tsv".into(),
+                tags: vec!["music".into(), "audio".into()],
+                top_k: 10,
+            }
+        );
+        assert!(parse(&["data.tsv"]).is_err(), "one-shot needs tags");
+        assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn ratio_validation_rejects_garbage() {
+        // These previously flowed into core-dim computation as garbage
+        // (round() of inf cast to usize); now they die at parse time.
+        for bad in ["0", "-3", "nan", "inf", "-inf", "abc"] {
+            let err = parse(&["--ratio", bad, "d.tsv", "q"]).unwrap_err();
+            assert!(err.contains("--ratio"), "ratio {bad}: {err}");
+        }
+        assert!(parse(&["--ratio", "1.5", "d.tsv", "q"]).is_ok());
+        assert!(parse(&["--ratio"]).is_err(), "missing value");
+    }
+
+    #[test]
+    fn top_and_concepts_validation() {
+        assert!(parse(&["--top", "0", "d.tsv", "q"])
+            .unwrap_err()
+            .contains("--top"));
+        assert!(parse(&["--top", "-1", "d.tsv", "q"]).is_err());
+        assert!(parse(&["--concepts", "0", "d.tsv", "q"])
+            .unwrap_err()
+            .contains("--concepts"));
+        assert!(parse(&["--concepts", "1", "d.tsv", "q"]).is_ok());
+        assert!(parse(&["--seed", "x", "d.tsv", "q"]).is_err());
+    }
+
+    #[test]
+    fn serving_subcommands_reject_build_flags() {
+        for (flag, value) in [
+            ("--concepts", Some("8")),
+            ("--ratio", Some("25")),
+            ("--seed", Some("7")),
+            ("--no-clean", None),
+        ] {
+            let mut args = vec!["query", flag];
+            args.extend(value);
+            args.extend(["m.cubelsi", "jazz"]);
+            let err = parse(&args).unwrap_err();
+            assert!(err.contains(flag), "query {flag}: {err}");
+
+            let mut args = vec!["serve", flag];
+            args.extend(value);
+            args.push("m.cubelsi");
+            let err = parse(&args).unwrap_err();
+            assert!(err.contains(flag), "serve {flag}: {err}");
+        }
+    }
+
+    #[test]
+    fn unknown_flags_and_help() {
+        assert!(parse(&["--frobnicate", "d.tsv", "q"]).is_err());
+        assert_eq!(parse(&["--help"]).unwrap(), Command::Help);
+        assert_eq!(parse(&["build", "-h"]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn no_clean_and_seed_flow_through() {
+        let cmd = parse(&["--no-clean", "--seed", "7", "d.tsv", "rock"]).unwrap();
+        match cmd {
+            Command::OneShot { opts, .. } => {
+                assert!(!opts.clean);
+                assert_eq!(opts.seed, 7);
+            }
+            other => panic!("expected one-shot, got {other:?}"),
         }
     }
 }
