@@ -121,6 +121,7 @@ impl CubeSim {
                 seed: config.seed ^ 0x5bc7,
                 ..Default::default()
             },
+            solver: cubelsi_linalg::spectral::SpectralSolver::default(),
         };
         let concepts = ConceptModel::distill(&distances, &spectral)?;
         let index = ConceptIndex::build(f, &concepts);

@@ -79,6 +79,7 @@ impl LsiRanker {
                 seed: config.seed ^ 0x5bc7,
                 ..Default::default()
             },
+            solver: cubelsi_linalg::spectral::SpectralSolver::default(),
         };
         let concepts = ConceptModel::distill(&distances, &spectral)?;
         let index = ConceptIndex::build(f, &concepts);

@@ -27,6 +27,7 @@ fn tucker_config(core: usize) -> TuckerConfig {
         max_iters: 4,
         fit_tol: 1e-4,
         subspace: SubspaceOptions::default(),
+        fused_gram: true,
     }
 }
 

@@ -1,7 +1,7 @@
 //! Configuration of the CubeLSI pipeline.
 
-use cubelsi_linalg::kmeans::KMeansConfig;
-use cubelsi_linalg::spectral::{KSelection, SpectralConfig};
+use cubelsi_linalg::kmeans::{KMeansAlgorithm, KMeansConfig};
+use cubelsi_linalg::spectral::{KSelection, SpectralConfig, SpectralSolver};
 use cubelsi_linalg::subspace::SubspaceOptions;
 use cubelsi_linalg::LinAlgError;
 use cubelsi_tensor::TuckerConfig;
@@ -40,6 +40,18 @@ pub struct CubeLsiConfig {
     pub sigma: Option<f64>,
     /// Seed for all stochastic components.
     pub seed: u64,
+    /// Run k-means as textbook naive Lloyd's instead of the bounds-pruned
+    /// variant. Both are bit-identical; the naive path is the reference for
+    /// equivalence tests and the slow side of the build-phase bench.
+    pub naive_kmeans: bool,
+    /// Apply the HOSVD Gram operators as two materialized sparse products
+    /// instead of the fused single-pass kernel. Bit-identical reference
+    /// path, same purpose as `naive_kmeans`.
+    pub materialized_gram: bool,
+    /// Drive concept distillation with the legacy exhaustive eigensolver
+    /// (Rayleigh–Ritz every iteration, full-block convergence) instead of
+    /// the adaptive periodic-projection solver.
+    pub exhaustive_spectral: bool,
 }
 
 impl Default for CubeLsiConfig {
@@ -54,11 +66,25 @@ impl Default for CubeLsiConfig {
             max_concepts: 64,
             sigma: None,
             seed: 0xc0be_15e1,
+            naive_kmeans: false,
+            materialized_gram: false,
+            exhaustive_spectral: false,
         }
     }
 }
 
 impl CubeLsiConfig {
+    /// Switches every offline kernel to its reference (pre-overhaul)
+    /// implementation: naive Lloyd's, materialized Gram products, and the
+    /// exhaustive spectral eigensolver. This is the slow side of the
+    /// `build_phases` bench and the baseline of the equivalence tests.
+    pub fn with_reference_kernels(mut self) -> Self {
+        self.naive_kmeans = true;
+        self.materialized_gram = true;
+        self.exhaustive_spectral = true;
+        self
+    }
+
     /// Resolves the Tucker configuration for a tensor of the given dims.
     pub fn tucker_config(&self, dims: (usize, usize, usize)) -> Result<TuckerConfig, LinAlgError> {
         let mut cfg = match self.core_dims {
@@ -77,6 +103,7 @@ impl CubeLsiConfig {
             seed: self.seed ^ 0x717c_4e12,
             ..Default::default()
         };
+        cfg.fused_gram = !self.materialized_gram;
         Ok(cfg)
     }
 
@@ -93,11 +120,21 @@ impl CubeLsiConfig {
             },
             kmeans: KMeansConfig {
                 seed: self.seed ^ 0x6b6d,
+                algorithm: if self.naive_kmeans {
+                    KMeansAlgorithm::NaiveLloyd
+                } else {
+                    KMeansAlgorithm::BoundsPruned
+                },
                 ..Default::default()
             },
             subspace: SubspaceOptions {
                 seed: self.seed ^ 0x5bc7,
                 ..Default::default()
+            },
+            solver: if self.exhaustive_spectral {
+                SpectralSolver::Exhaustive
+            } else {
+                SpectralSolver::default()
             },
         }
     }

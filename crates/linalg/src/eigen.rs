@@ -47,6 +47,7 @@ pub fn jacobi_eigen(a: &Matrix, tol: f64) -> Result<EigenDecomposition> {
     let mut v = Matrix::identity(n);
     let norm = a.frobenius_norm().max(f64::MIN_POSITIVE);
     let threshold = tol * norm;
+    let skip_threshold = threshold / (n as f64);
 
     let mut sweeps = 0;
     loop {
@@ -64,7 +65,7 @@ pub fn jacobi_eigen(a: &Matrix, tol: f64) -> Result<EigenDecomposition> {
         for p in 0..n - 1 {
             for q in p + 1..n {
                 let apq = a[(p, q)];
-                if apq.abs() <= threshold / (n as f64) {
+                if apq.abs() <= skip_threshold {
                     continue;
                 }
                 let app = a[(p, p)];
@@ -78,26 +79,13 @@ pub fn jacobi_eigen(a: &Matrix, tol: f64) -> Result<EigenDecomposition> {
                 };
                 let c = 1.0 / (1.0 + t * t).sqrt();
                 let s = t * c;
-                // Apply the rotation: A ← Jᵀ A J on rows/cols p, q.
-                for k in 0..n {
-                    let akp = a[(k, p)];
-                    let akq = a[(k, q)];
-                    a[(k, p)] = c * akp - s * akq;
-                    a[(k, q)] = s * akp + c * akq;
-                }
-                for k in 0..n {
-                    let apk = a[(p, k)];
-                    let aqk = a[(q, k)];
-                    a[(p, k)] = c * apk - s * aqk;
-                    a[(q, k)] = s * apk + c * aqk;
-                }
+                // Apply the rotation: A ← Jᵀ A J on rows/cols p, q. The
+                // column pass walks whole rows (one bounds check each), the
+                // row pass gets both rows as contiguous slices.
+                rotate_column_pair(a.as_mut_slice(), n, p, q, c, s);
+                rotate_row_pair(a.as_mut_slice(), n, p, q, c, s);
                 // Accumulate eigenvectors: V ← V J.
-                for k in 0..n {
-                    let vkp = v[(k, p)];
-                    let vkq = v[(k, q)];
-                    v[(k, p)] = c * vkp - s * vkq;
-                    v[(k, q)] = s * vkp + c * vkq;
-                }
+                rotate_column_pair(v.as_mut_slice(), n, p, q, c, s);
             }
         }
         sweeps += 1;
@@ -121,13 +109,43 @@ pub fn jacobi_eigen(a: &Matrix, tol: f64) -> Result<EigenDecomposition> {
     Ok(EigenDecomposition { values, vectors })
 }
 
+/// Applies the rotation to columns `p` and `q` of a row-major `n x n`
+/// buffer: for every row `k`, `(m[k][p], m[k][q]) ← (c·m[k][p] − s·m[k][q],
+/// s·m[k][p] + c·m[k][q])` — the same per-element arithmetic, in the same
+/// row order, as the indexed loop it replaces.
+#[inline]
+fn rotate_column_pair(data: &mut [f64], n: usize, p: usize, q: usize, c: f64, s: f64) {
+    for row in data.chunks_exact_mut(n) {
+        let mp = row[p];
+        let mq = row[q];
+        row[p] = c * mp - s * mq;
+        row[q] = s * mp + c * mq;
+    }
+}
+
+/// Applies the rotation to rows `p < q` of a row-major `n x n` buffer as two
+/// contiguous slices.
+#[inline]
+fn rotate_row_pair(data: &mut [f64], n: usize, p: usize, q: usize, c: f64, s: f64) {
+    debug_assert!(p < q);
+    let (head, tail) = data.split_at_mut(q * n);
+    let row_p = &mut head[p * n..p * n + n];
+    let row_q = &mut tail[..n];
+    for (ap, aq) in row_p.iter_mut().zip(row_q.iter_mut()) {
+        let apk = *ap;
+        let aqk = *aq;
+        *ap = c * apk - s * aqk;
+        *aq = s * apk + c * aqk;
+    }
+}
+
 fn off_diagonal_norm(a: &Matrix) -> f64 {
     let n = a.rows();
     let mut acc = 0.0;
-    for i in 0..n {
-        for j in 0..n {
+    for (i, row) in a.as_slice().chunks_exact(n).enumerate() {
+        for (j, &x) in row.iter().enumerate() {
             if i != j {
-                acc += a[(i, j)] * a[(i, j)];
+                acc += x * x;
             }
         }
     }
@@ -221,6 +239,99 @@ mod tests {
     fn empty_matrix_ok() {
         let e = jacobi_eigen(&Matrix::zeros(0, 0), 1e-10).unwrap();
         assert!(e.values.is_empty());
+    }
+
+    /// The pre-optimization indexed implementation, kept verbatim as the
+    /// reference for the bit-identity test below: the slice-based rotation
+    /// kernels must reproduce it exactly, or downstream "bit-identical
+    /// build" guarantees silently break.
+    fn jacobi_eigen_reference(a: &Matrix, tol: f64) -> EigenDecomposition {
+        let n = a.rows();
+        let mut a = a.clone();
+        let mut v = Matrix::identity(n);
+        let norm = a.frobenius_norm().max(f64::MIN_POSITIVE);
+        let threshold = tol * norm;
+        let mut sweeps = 0;
+        loop {
+            let off = off_diagonal_norm(&a);
+            if off <= threshold || sweeps >= MAX_SWEEPS {
+                break;
+            }
+            for p in 0..n - 1 {
+                for q in p + 1..n {
+                    let apq = a[(p, q)];
+                    if apq.abs() <= threshold / (n as f64) {
+                        continue;
+                    }
+                    let app = a[(p, p)];
+                    let aqq = a[(q, q)];
+                    let theta = (aqq - app) / (2.0 * apq);
+                    let t = if theta >= 0.0 {
+                        1.0 / (theta + (1.0 + theta * theta).sqrt())
+                    } else {
+                        1.0 / (theta - (1.0 + theta * theta).sqrt())
+                    };
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
+                    for k in 0..n {
+                        let akp = a[(k, p)];
+                        let akq = a[(k, q)];
+                        a[(k, p)] = c * akp - s * akq;
+                        a[(k, q)] = s * akp + c * akq;
+                    }
+                    for k in 0..n {
+                        let apk = a[(p, k)];
+                        let aqk = a[(q, k)];
+                        a[(p, k)] = c * apk - s * aqk;
+                        a[(q, k)] = s * apk + c * aqk;
+                    }
+                    for k in 0..n {
+                        let vkp = v[(k, p)];
+                        let vkq = v[(k, q)];
+                        v[(k, p)] = c * vkp - s * vkq;
+                        v[(k, q)] = s * vkp + c * vkq;
+                    }
+                }
+            }
+            sweeps += 1;
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        let diag: Vec<f64> = (0..n).map(|i| a[(i, i)]).collect();
+        order.sort_by(|&i, &j| {
+            diag[j]
+                .partial_cmp(&diag[i])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+        let mut vectors = Matrix::zeros(n, n);
+        for (new_j, &old_j) in order.iter().enumerate() {
+            for i in 0..n {
+                vectors[(i, new_j)] = v[(i, old_j)];
+            }
+        }
+        EigenDecomposition { values, vectors }
+    }
+
+    #[test]
+    fn slice_kernels_bit_identical_to_indexed_reference() {
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        for n in [2usize, 5, 13, 24] {
+            let raw = Matrix::from_fn(n, n, |_, _| next());
+            let sym = raw.add(&raw.transpose()).unwrap().scale(0.5);
+            let fast = jacobi_eigen(&sym, 1e-12).unwrap();
+            let reference = jacobi_eigen_reference(&sym, 1e-12);
+            assert_eq!(fast.values, reference.values, "values differ at n={n}");
+            assert!(
+                fast.vectors.approx_eq(&reference.vectors, 0.0),
+                "vectors differ at n={n}"
+            );
+        }
     }
 
     #[test]

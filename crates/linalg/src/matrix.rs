@@ -187,6 +187,15 @@ impl Matrix {
     /// and transparently switches to a row-partitioned multi-threaded kernel
     /// for large problems.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::matmul`] writing into a caller-owned output buffer, so hot
+    /// loops (subspace iteration, HOOI sweeps) can reuse one allocation.
+    /// `out` is resized and overwritten; its previous contents are ignored.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) -> Result<()> {
         if self.cols != other.rows {
             return Err(LinAlgError::DimensionMismatch {
                 op: "matmul",
@@ -194,14 +203,95 @@ impl Matrix {
                 rhs: other.shape(),
             });
         }
-        let mut out = Matrix::zeros(self.rows, other.cols);
+        out.reset(self.rows, other.cols);
         let flops = self.rows * self.cols * other.cols;
         if flops >= PAR_FLOP_THRESHOLD && parallel::num_threads() > 1 {
-            self.matmul_into_par(other, &mut out);
+            self.matmul_into_par(other, out);
         } else {
-            self.matmul_into_serial(other, &mut out, 0);
+            self.matmul_into_serial(other, out, 0);
         }
+        Ok(())
+    }
+
+    /// Transposed matrix–matrix product `selfᵀ * other`, computed without
+    /// materializing the transpose.
+    ///
+    /// Loop order is `kij` with the zero-skip on `self[k][i]`, which makes
+    /// every output element accumulate its `k` terms in exactly the order
+    /// (and with exactly the skips) of `self.transpose().matmul(other)` —
+    /// the result is bit-identical to that reference while saving the
+    /// transpose copy per call.
+    pub fn matmul_tn(&self, other: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        self.matmul_tn_into(other, &mut out)?;
         Ok(out)
+    }
+
+    /// [`Self::matmul_tn`] writing into a caller-owned buffer (resized and
+    /// overwritten).
+    pub fn matmul_tn_into(&self, other: &Matrix, out: &mut Matrix) -> Result<()> {
+        if self.rows != other.rows {
+            return Err(LinAlgError::DimensionMismatch {
+                op: "matmul_tn",
+                lhs: (self.cols, self.rows),
+                rhs: other.shape(),
+            });
+        }
+        out.reset(self.cols, other.cols);
+        let n = other.cols;
+        let flops = self.rows * self.cols * other.cols;
+        if flops >= PAR_FLOP_THRESHOLD && parallel::num_threads() > 1 {
+            // Partition output rows (= columns of self) into bands; every
+            // band scans all rows of `self` in ascending k, so per-element
+            // accumulation order matches the serial kernel exactly.
+            let bands = split_row_bands(&mut out.data, self.cols, n);
+            crossbeam::thread::scope(|scope| {
+                for (start_row, band) in bands {
+                    scope.spawn(move |_| {
+                        let band_rows = band.len() / n.max(1);
+                        for k in 0..self.rows {
+                            let a_row = self.row(k);
+                            let b_row = other.row(k);
+                            for bi in 0..band_rows {
+                                let aki = a_row[start_row + bi];
+                                if aki == 0.0 {
+                                    continue;
+                                }
+                                let out_row = &mut band[bi * n..(bi + 1) * n];
+                                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                                    *o += aki * b;
+                                }
+                            }
+                        }
+                    });
+                }
+            })
+            .expect("matmul_tn worker thread panicked");
+        } else {
+            for k in 0..self.rows {
+                let a_row = self.row(k);
+                let b_row = other.row(k);
+                for (i, &aki) in a_row.iter().enumerate() {
+                    if aki == 0.0 {
+                        continue;
+                    }
+                    let out_row = &mut out.data[i * n..(i + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += aki * b;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Resizes to `rows x cols` (reusing the allocation when possible) and
+    /// zero-fills.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
     }
 
     /// Serial `ikj` kernel writing into `out` starting at `row_offset` of `self`.
@@ -479,6 +569,24 @@ impl IndexMut<(usize, usize)> for Matrix {
     }
 }
 
+/// Splits a `rows x cols` row-major buffer into contiguous row bands, one
+/// per worker thread, returning `(first_row, band)` pairs.
+fn split_row_bands(data: &mut [f64], rows: usize, cols: usize) -> Vec<(usize, &mut [f64])> {
+    let nthreads = parallel::num_threads().clamp(1, rows.max(1));
+    let rows_per = rows.div_ceil(nthreads).max(1);
+    let mut bands = Vec::with_capacity(nthreads);
+    let mut rest = data;
+    let mut start_row = 0;
+    while !rest.is_empty() {
+        let take = (rows_per * cols).min(rest.len());
+        let (band, tail) = rest.split_at_mut(take);
+        bands.push((start_row, band));
+        start_row += take / cols.max(1);
+        rest = tail;
+    }
+    bands
+}
+
 /// Dot product of two equal-length slices.
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
@@ -648,5 +756,71 @@ mod tests {
     fn dot_and_norm_helpers() {
         assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
         assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    /// A deterministic pseudo-random matrix with a sprinkling of exact
+    /// zeros, so the zero-skip paths are exercised.
+    fn pseudo_random(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed | 1;
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if state.is_multiple_of(7) {
+                0.0
+            } else {
+                ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            }
+        })
+    }
+
+    #[test]
+    fn matmul_tn_bit_identical_to_materialized_transpose() {
+        for (m, k, n, seed) in [(17, 5, 9, 1), (64, 24, 24, 2), (3, 1, 7, 3), (1, 6, 1, 4)] {
+            let a = pseudo_random(m, k, seed);
+            let b = pseudo_random(m, n, seed ^ 0xabcd);
+            let fused = a.matmul_tn(&b).unwrap();
+            let reference = a.transpose().matmul(&b).unwrap();
+            assert_eq!(fused.shape(), (k, n));
+            assert!(
+                fused.approx_eq(&reference, 0.0),
+                "matmul_tn diverged from transpose+matmul at {m}x{k}x{n}"
+            );
+        }
+        assert!(Matrix::zeros(2, 3).matmul_tn(&Matrix::zeros(4, 2)).is_err());
+    }
+
+    #[test]
+    fn matmul_tn_parallel_band_path_matches_serial() {
+        let _guard = parallel::TEST_THREAD_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        // Big enough to cross PAR_FLOP_THRESHOLD when threads > 1.
+        let a = pseudo_random(400, 120, 11);
+        let b = pseudo_random(400, 100, 12);
+        let serial = {
+            parallel::set_num_threads(1);
+            a.matmul_tn(&b).unwrap()
+        };
+        parallel::set_num_threads(4);
+        let par = a.matmul_tn(&b).unwrap();
+        parallel::set_num_threads(0);
+        assert!(
+            par.approx_eq(&serial, 0.0),
+            "parallel matmul_tn not bit-identical"
+        );
+    }
+
+    #[test]
+    fn matmul_into_reuses_dirty_buffer() {
+        let a = m2x3();
+        let b = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]).unwrap();
+        let fresh = a.matmul(&b).unwrap();
+        let mut scratch = Matrix::from_fn(7, 7, |i, j| (i + j) as f64);
+        a.matmul_into(&b, &mut scratch).unwrap();
+        assert!(scratch.approx_eq(&fresh, 0.0));
+        let mut scratch_tn = Matrix::from_fn(1, 1, |_, _| 42.0);
+        a.matmul_tn_into(&fresh, &mut scratch_tn).unwrap();
+        assert!(scratch_tn.approx_eq(&a.transpose().matmul(&fresh).unwrap(), 0.0));
     }
 }

@@ -27,6 +27,12 @@ pub fn set_num_threads(n: usize) {
     CONFIGURED_THREADS.store(n, Ordering::Relaxed);
 }
 
+/// Serializes tests that mutate the process-global thread count: libtest
+/// runs tests concurrently in one process, so without this lock a test's
+/// "serial" baseline could silently run under another test's override.
+#[cfg(test)]
+pub(crate) static TEST_THREAD_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 /// Runs `f(range)` over `0..len` split into roughly equal contiguous ranges,
 /// one per worker thread. `f` receives the half-open index range it owns.
 ///
@@ -135,6 +141,7 @@ mod tests {
 
     #[test]
     fn thread_override_round_trips() {
+        let _guard = TEST_THREAD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         set_num_threads(1);
         assert_eq!(num_threads(), 1);
         let out = parallel_map_collect(10, 1, |i| i);

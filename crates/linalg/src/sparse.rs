@@ -207,6 +207,14 @@ impl CsrMatrix {
 
     /// Sparse–dense product `self * b` (`rows x b.cols()`).
     pub fn matmul_dense(&self, b: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(self.rows, b.cols());
+        self.matmul_dense_into(b, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::matmul_dense`] writing into a caller-owned buffer (resized
+    /// and overwritten), so iterative solvers can reuse one allocation.
+    pub fn matmul_dense_into(&self, b: &Matrix, out: &mut Matrix) -> Result<()> {
         if self.cols != b.rows() {
             return Err(LinAlgError::DimensionMismatch {
                 op: "csr_matmul_dense",
@@ -215,7 +223,7 @@ impl CsrMatrix {
             });
         }
         let n = b.cols();
-        let mut out = Matrix::zeros(self.rows, n);
+        out.reset(self.rows, n);
         for i in 0..self.rows {
             // Split borrows: the output row is disjoint from `b`.
             let start = self.row_ptr[i] as usize;
@@ -230,11 +238,19 @@ impl CsrMatrix {
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Transposed sparse–dense product `selfᵀ * b` (`cols x b.cols()`).
     pub fn matmul_dense_t(&self, b: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(self.cols, b.cols());
+        self.matmul_dense_t_into(b, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::matmul_dense_t`] writing into a caller-owned buffer (resized
+    /// and overwritten).
+    pub fn matmul_dense_t_into(&self, b: &Matrix, out: &mut Matrix) -> Result<()> {
         if self.rows != b.rows() {
             return Err(LinAlgError::DimensionMismatch {
                 op: "csr_matmul_dense_t",
@@ -243,7 +259,7 @@ impl CsrMatrix {
             });
         }
         let n = b.cols();
-        let mut out = Matrix::zeros(self.cols, n);
+        out.reset(self.cols, n);
         for i in 0..self.rows {
             let b_row = b.row(i);
             for (c, v) in self.row_iter(i) {
@@ -253,7 +269,106 @@ impl CsrMatrix {
                 }
             }
         }
-        Ok(out)
+        Ok(())
+    }
+
+    /// Fused Gram apply `selfᵀ * (self * x)` in a **single pass** over the
+    /// sparse matrix: each row's projection `tᵢ = Aᵢ·X` is scattered back
+    /// through `Aᵢᵀ` immediately, so the `A X` intermediate is never
+    /// materialized.
+    ///
+    /// Every output element accumulates its row contributions in ascending
+    /// row order with the in-row nonzeros in CSR order — exactly the order
+    /// of `matmul_dense` followed by `matmul_dense_t` — so the result is
+    /// bit-identical to the two-product reference.
+    pub fn gram_inner_apply_into(&self, x: &Matrix, out: &mut Matrix) -> Result<()> {
+        if self.cols != x.rows() {
+            return Err(LinAlgError::DimensionMismatch {
+                op: "csr_gram_inner_apply",
+                lhs: self.shape(),
+                rhs: x.shape(),
+            });
+        }
+        let n = x.cols();
+        out.reset(self.cols, n);
+        let mut t = vec![0.0f64; n];
+        for i in 0..self.rows {
+            let start = self.row_ptr[i] as usize;
+            let end = self.row_ptr[i + 1] as usize;
+            if start == end {
+                continue;
+            }
+            t.iter_mut().for_each(|v| *v = 0.0);
+            for k in start..end {
+                let c = self.col_idx[k] as usize;
+                let v = self.values[k];
+                let x_row = x.row(c);
+                for (acc, &xv) in t.iter_mut().zip(x_row.iter()) {
+                    *acc += v * xv;
+                }
+            }
+            for k in start..end {
+                let c = self.col_idx[k] as usize;
+                let v = self.values[k];
+                let out_row = &mut out.as_mut_slice()[c * n..(c + 1) * n];
+                for (o, &tv) in out_row.iter_mut().zip(t.iter()) {
+                    *o += v * tv;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds a CSR matrix directly from its raw parts: `row_ptr` of length
+    /// `rows + 1`, and per-row column indices sorted strictly ascending
+    /// (i.e. already deduplicated). This is the allocation-light path for
+    /// producers that construct rows in order — the sparse tensor unfoldings
+    /// — and skips the COO sort entirely.
+    pub fn from_sorted_parts(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<u32>,
+        col_idx: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        if row_ptr.len() != rows + 1
+            || row_ptr.first() != Some(&0)
+            || *row_ptr.last().expect("row_ptr non-empty") as usize != col_idx.len()
+            || col_idx.len() != values.len()
+        {
+            return Err(LinAlgError::InvalidArgument(
+                "from_sorted_parts: inconsistent CSR structure".into(),
+            ));
+        }
+        for w in row_ptr.windows(2) {
+            if w[0] > w[1] {
+                return Err(LinAlgError::InvalidArgument(
+                    "from_sorted_parts: row_ptr must be non-decreasing".into(),
+                ));
+            }
+        }
+        for r in 0..rows {
+            let row = &col_idx[row_ptr[r] as usize..row_ptr[r + 1] as usize];
+            for w in row.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(LinAlgError::InvalidArgument(format!(
+                        "from_sorted_parts: row {r} columns not strictly ascending"
+                    )));
+                }
+            }
+            if row.last().is_some_and(|&c| c as usize >= cols) {
+                return Err(LinAlgError::InvalidArgument(format!(
+                    "from_sorted_parts: row {r} column out of bounds"
+                )));
+            }
+        }
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
     }
 
     /// Returns the transpose as a new CSR matrix.

@@ -50,6 +50,15 @@ pub trait LinOp {
     fn apply(&self, x: &Matrix) -> Matrix;
     /// `Aᵀ * Y` where `Y` is `m x b`.
     fn apply_t(&self, y: &Matrix) -> Matrix;
+    /// [`Self::apply`] into a caller-owned buffer (resized + overwritten);
+    /// override to skip the per-call allocation in iterative solvers.
+    fn apply_into(&self, x: &Matrix, out: &mut Matrix) {
+        *out = self.apply(x);
+    }
+    /// [`Self::apply_t`] into a caller-owned buffer (resized + overwritten).
+    fn apply_t_into(&self, y: &Matrix, out: &mut Matrix) {
+        *out = self.apply_t(y);
+    }
 }
 
 impl LinOp for Matrix {
@@ -63,8 +72,17 @@ impl LinOp for Matrix {
         self.matmul(x).expect("LinOp apply: dimension mismatch")
     }
     fn apply_t(&self, y: &Matrix) -> Matrix {
-        self.transpose()
-            .matmul(y)
+        // Transpose-free kernel; bit-identical to materializing the
+        // transpose and multiplying, without the per-call copy.
+        self.matmul_tn(y)
+            .expect("LinOp apply_t: dimension mismatch")
+    }
+    fn apply_into(&self, x: &Matrix, out: &mut Matrix) {
+        self.matmul_into(x, out)
+            .expect("LinOp apply: dimension mismatch")
+    }
+    fn apply_t_into(&self, y: &Matrix, out: &mut Matrix) {
+        self.matmul_tn_into(y, out)
             .expect("LinOp apply_t: dimension mismatch")
     }
 }
@@ -82,6 +100,14 @@ impl LinOp for CsrMatrix {
     }
     fn apply_t(&self, y: &Matrix) -> Matrix {
         self.matmul_dense_t(y)
+            .expect("LinOp apply_t: dimension mismatch")
+    }
+    fn apply_into(&self, x: &Matrix, out: &mut Matrix) {
+        self.matmul_dense_into(x, out)
+            .expect("LinOp apply: dimension mismatch")
+    }
+    fn apply_t_into(&self, y: &Matrix, out: &mut Matrix) {
+        self.matmul_dense_t_into(y, out)
             .expect("LinOp apply_t: dimension mismatch")
     }
 }
@@ -204,6 +230,8 @@ pub fn truncated_svd(a: &dyn LinOp, k: usize, opts: &SubspaceOptions) -> Result<
         op: &'a dyn LinOp,
         /// true → iterate on AᵀA (n x n), else on AAᵀ (m x m).
         inner: bool,
+        /// Reused intermediate (`A X` or `Aᵀ Y`) across applies.
+        scratch: std::cell::RefCell<Matrix>,
     }
     impl SymOp for OpGram<'_> {
         fn dim(&self) -> usize {
@@ -213,18 +241,23 @@ pub fn truncated_svd(a: &dyn LinOp, k: usize, opts: &SubspaceOptions) -> Result<
                 self.op.out_dim()
             }
         }
-        fn apply_block(&self, x: &Matrix) -> Matrix {
+        fn apply_block_into(&self, x: &Matrix, out: &mut Matrix) {
+            let mut mid = self.scratch.borrow_mut();
             if self.inner {
-                let ax = self.op.apply(x);
-                self.op.apply_t(&ax)
+                self.op.apply_into(x, &mut mid);
+                self.op.apply_t_into(&mid, out);
             } else {
-                let atx = self.op.apply_t(x);
-                self.op.apply(&atx)
+                self.op.apply_t_into(x, &mut mid);
+                self.op.apply_into(&mid, out);
             }
         }
     }
     let inner = n <= m;
-    let gram = OpGram { op: a, inner };
+    let gram = OpGram {
+        op: a,
+        inner,
+        scratch: std::cell::RefCell::new(Matrix::zeros(0, 0)),
+    };
     let eigs = sym_eigs_topk(&gram, k, opts)?;
     let singular_values: Vec<f64> = eigs.values.iter().map(|&l| l.max(0.0).sqrt()).collect();
     // Columns for (near-)zero singular values come out as zero vectors from

@@ -148,24 +148,87 @@ impl SparseTensor3 {
 
     /// Mode-n unfolding as a sparse CSR matrix (Kolda–Bader column order,
     /// identical to [`DenseTensor3::unfold`]).
+    ///
+    /// Rows are assembled directly from the per-mode index — no COO
+    /// round-trip and no global sort — with the per-row column sorts fanned
+    /// out across parallel row bands. Each row is computed identically no
+    /// matter how the bands fall, so the result is independent of the
+    /// thread count and bit-identical to the former triples-based path.
     pub fn unfold_csr(&self, mode: usize) -> CsrMatrix {
-        let (d1, d2, d3) = self.dims;
+        let (d1, d2, _) = self.dims;
         let (rows, cols): (usize, usize) = match mode {
-            1 => (d1, d2 * d3),
-            2 => (d2, d1 * d3),
-            3 => (d3, d1 * d2),
+            1 => (d1, d2 * self.dims.2),
+            2 => (d2, d1 * self.dims.2),
+            3 => (self.dims.2, d1 * d2),
             _ => panic!("mode must be 1, 2 or 3, got {mode}"),
         };
-        let triples: Vec<(usize, usize, f64)> = self
-            .iter()
-            .map(|(i, j, k, v)| match mode {
-                1 => (i, j + k * d2, v),
-                2 => (j, i + k * d1, v),
-                3 => (k, i + j * d1, v),
-                _ => unreachable!(),
+        let idx = &self.mode_index[mode - 1];
+        let entries = &self.entries;
+        let nnz = entries.len();
+        let row_ptr: Vec<u32> = idx.ptr.clone();
+        let mut col_idx = vec![0u32; nnz];
+        let mut values = vec![0.0f64; nnz];
+
+        let fill_rows = |row_range: std::ops::Range<usize>,
+                         col_band: &mut [u32],
+                         val_band: &mut [f64],
+                         band_offset: usize| {
+            let mut scratch: Vec<(u32, f64)> = Vec::new();
+            for row in row_range {
+                let start = idx.ptr[row] as usize;
+                let end = idx.ptr[row + 1] as usize;
+                scratch.clear();
+                for &pos in &idx.order[start..end] {
+                    let e = &entries[pos as usize];
+                    let col = match mode {
+                        1 => e.j as usize + e.k as usize * d2,
+                        2 => e.i as usize + e.k as usize * d1,
+                        3 => e.i as usize + e.j as usize * d1,
+                        _ => unreachable!(),
+                    };
+                    scratch.push((col as u32, e.v));
+                }
+                // Distinct coordinates map to distinct columns within a
+                // row, so an unstable sort is deterministic here.
+                scratch.sort_unstable_by_key(|&(c, _)| c);
+                for (slot, &(c, v)) in scratch.iter().enumerate() {
+                    col_band[start - band_offset + slot] = c;
+                    val_band[start - band_offset + slot] = v;
+                }
+            }
+        };
+
+        let nthreads = parallel::num_threads().clamp(1, rows.max(1));
+        if nthreads <= 1 || nnz < 4096 {
+            fill_rows(0..rows, &mut col_idx, &mut values, 0);
+        } else {
+            // Contiguous row bands; the value/column arrays split exactly at
+            // the row-pointer boundaries, so bands are disjoint.
+            let rows_per = rows.div_ceil(nthreads);
+            crossbeam::thread::scope(|scope| {
+                let mut rest_c: &mut [u32] = &mut col_idx;
+                let mut rest_v: &mut [f64] = &mut values;
+                let mut row_start = 0usize;
+                let mut taken = 0usize;
+                while row_start < rows {
+                    let row_end = (row_start + rows_per).min(rows);
+                    let take = idx.ptr[row_end] as usize - taken;
+                    let (band_c, tail_c) = rest_c.split_at_mut(take);
+                    let (band_v, tail_v) = rest_v.split_at_mut(take);
+                    rest_c = tail_c;
+                    rest_v = tail_v;
+                    let band_offset = taken;
+                    taken += take;
+                    let fill_rows = &fill_rows;
+                    let range = row_start..row_end;
+                    scope.spawn(move |_| fill_rows(range, band_c, band_v, band_offset));
+                    row_start = row_end;
+                }
             })
-            .collect();
-        CsrMatrix::from_triples(rows, cols, &triples).expect("unfold indices in bounds")
+            .expect("unfold_csr worker thread panicked");
+        }
+        CsrMatrix::from_sorted_parts(rows, cols, row_ptr, col_idx, values)
+            .expect("unfold rows are sorted and in bounds")
     }
 
     /// The mode-2 slice `F[:, j, :]` as a sparse user×resource matrix —
@@ -205,6 +268,22 @@ impl SparseTensor3 {
         ya: &Matrix,
         yb: &Matrix,
     ) -> Result<Matrix, LinAlgError> {
+        let mut out = Matrix::zeros(0, 0);
+        self.ttm_except_unfolded_into(mode, ya, yb, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::ttm_except_unfolded`] writing into a caller-owned buffer
+    /// (resized and overwritten), so HOOI sweeps can reuse one `W` matrix
+    /// per mode across iterations instead of allocating `Iₙ x ∏Jₘ` every
+    /// update.
+    pub fn ttm_except_unfolded_into(
+        &self,
+        mode: usize,
+        ya: &Matrix,
+        yb: &Matrix,
+        out: &mut Matrix,
+    ) -> Result<(), LinAlgError> {
         let (d1, d2, d3) = self.dims;
         let (expect_a, expect_b, out_rows) = match mode {
             1 => (d2, d3, d1),
@@ -226,7 +305,7 @@ impl SparseTensor3 {
         let ja = ya.cols();
         let jb = yb.cols();
         let out_cols = ja * jb;
-        let mut out = Matrix::zeros(out_rows, out_cols);
+        out.reset(out_rows, out_cols);
         let idx = &self.mode_index[mode - 1];
         let entries = &self.entries;
 
@@ -259,7 +338,7 @@ impl SparseTensor3 {
                 }
             }
         });
-        Ok(out)
+        Ok(())
     }
 
     /// Full three-way contraction `F ×₁ Y₁ᵀ ×₂ Y₂ᵀ ×₃ Y₃ᵀ` returning the
@@ -467,6 +546,53 @@ mod tests {
             .unwrap()
             .unfold(3);
         assert!(fused.approx_eq(&reference, 1e-12), "mode 3 fused TTM");
+    }
+
+    #[test]
+    fn ttm_into_reuses_dirty_scratch() {
+        let t = figure2_tensor();
+        let y1 = Matrix::from_fn(3, 2, |i, j| ((i + 1) * (j + 2)) as f64 * 0.1);
+        let y3 = Matrix::from_fn(3, 2, |i, j| ((i * j) as f64).sin() + 0.5);
+        let fresh = t.ttm_except_unfolded(2, &y1, &y3).unwrap();
+        let mut scratch = Matrix::from_fn(5, 9, |i, j| (i * j) as f64 + 1.0);
+        t.ttm_except_unfolded_into(2, &y1, &y3, &mut scratch)
+            .unwrap();
+        assert!(
+            scratch.approx_eq(&fresh, 0.0),
+            "scratch reuse changed the TTM result"
+        );
+        // Reuse again with different factors; stale contents must not leak.
+        t.ttm_except_unfolded_into(1, &y1, &y3, &mut scratch)
+            .unwrap();
+        let reference = t.ttm_except_unfolded(1, &y1, &y3).unwrap();
+        assert!(scratch.approx_eq(&reference, 0.0));
+    }
+
+    #[test]
+    fn unfold_csr_identical_across_thread_counts() {
+        // Large enough to cross the parallel banding threshold.
+        let mut quads = Vec::new();
+        let mut state = 0xfeedu64;
+        for _ in 0..6000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let i = (state >> 7) as usize % 40;
+            let j = (state >> 23) as usize % 30;
+            let k = (state >> 41) as usize % 25;
+            quads.push((i, j, k, ((state >> 11) as f64 / (1u64 << 53) as f64) + 0.1));
+        }
+        let t = SparseTensor3::from_entries((40, 30, 25), &quads).unwrap();
+        for mode in 1..=3 {
+            cubelsi_linalg::parallel::set_num_threads(1);
+            let serial = t.unfold_csr(mode);
+            cubelsi_linalg::parallel::set_num_threads(4);
+            let par = t.unfold_csr(mode);
+            cubelsi_linalg::parallel::set_num_threads(0);
+            assert_eq!(serial, par, "mode {mode} unfolding depends on thread count");
+            // And the fast path still matches the dense reference.
+            assert!(serial.to_dense().approx_eq(&t.to_dense().unfold(mode), 0.0));
+        }
     }
 
     #[test]

@@ -32,6 +32,11 @@ pub struct TuckerConfig {
     pub fit_tol: f64,
     /// Settings for the inner subspace-iteration eigensolver.
     pub subspace: SubspaceOptions,
+    /// Use the fused single-pass Gram apply for the HOSVD initialization
+    /// (default). `false` selects the materialized two-matmul reference
+    /// path; both are bit-identical, the reference exists for equivalence
+    /// tests and the build-phase bench.
+    pub fused_gram: bool,
 }
 
 impl TuckerConfig {
@@ -65,6 +70,7 @@ impl Default for TuckerConfig {
             max_iters: 12,
             fit_tol: 1e-5,
             subspace: SubspaceOptions::default(),
+            fused_gram: true,
         }
     }
 }
@@ -160,9 +166,9 @@ pub fn tucker_als(
     // --- HOSVD initialization: Y⁽ⁿ⁾ ← top-Jₙ eigenvectors of Aₙ Aₙᵀ where
     // Aₙ is the sparse mode-n unfolding.
     let mut factors: [Matrix; 3] = [
-        hosvd_factor(f, 1, j1, &config.subspace)?,
-        hosvd_factor(f, 2, j2, &config.subspace)?,
-        hosvd_factor(f, 3, j3, &config.subspace)?,
+        hosvd_factor(f, 1, j1, config)?,
+        hosvd_factor(f, 2, j2, config)?,
+        hosvd_factor(f, 3, j3, config)?,
     ];
 
     let norm_f_sq = f.frobenius_norm_sq();
@@ -171,26 +177,74 @@ pub fn tucker_als(
     let mut prev_fit = f64::NEG_INFINITY;
     let mut iterations = 0;
 
+    // Per-sweep scratch, reused across all HOOI iterations: one W buffer
+    // per mode plus the S₍₂₎ projection. Nothing in the sweep allocates a
+    // fresh `Iₙ x ∏Jₘ` matrix after the first iteration.
+    let mut w_scratch: [Matrix; 3] = [
+        Matrix::zeros(0, 0),
+        Matrix::zeros(0, 0),
+        Matrix::zeros(0, 0),
+    ];
+    let mut s2_scratch = Matrix::zeros(0, 0);
+    // Bitwise change tracking: `version[m]` bumps whenever factor m changes;
+    // a mode whose two input factors are unchanged since its last update
+    // would receive the identical product matrix and (the SVD being
+    // deterministic for a fixed seed) return the identical factor — so the
+    // update is skipped outright. This keeps the trajectory bit-identical
+    // while making converged modes free across the remaining sweeps.
+    let mut version = [1u64, 1, 1];
+    let mut updated_from = [(0u64, 0u64); 3];
+    // Which factor versions the mode-2 scratch currently holds, and the
+    // singular values of the last mode-2 SVD (for the final Λ₂ refresh).
+    let mut w2_holds = (0u64, 0u64);
+    let mut svd2_cache: Option<((u64, u64), Vec<f64>)> = None;
+
     for it in 0..config.max_iters {
         iterations = it + 1;
         for mode in 1..=3usize {
             let jn = [j1, j2, j3][mode - 1];
-            let (ya, yb) = match mode {
-                1 => (&factors[1], &factors[2]),
-                2 => (&factors[0], &factors[2]),
-                3 => (&factors[0], &factors[1]),
+            let (ai, bi) = match mode {
+                1 => (1, 2),
+                2 => (0, 2),
+                3 => (0, 1),
                 _ => unreachable!(),
             };
-            let w = f.ttm_except_unfolded(mode, ya, yb)?;
-            let svd = truncated_svd(&w, jn, &config.subspace)?;
-            factors[mode - 1] = svd.u;
+            let inputs = (version[ai], version[bi]);
+            if updated_from[mode - 1] == inputs {
+                // Both inputs bitwise unchanged since this mode's last
+                // update: recomputing would reproduce the current factor.
+                continue;
+            }
+            let w = &mut w_scratch[mode - 1];
+            // The mode-2 scratch may already hold this exact product from
+            // the previous iteration's fit step; skip the TTM then.
+            if mode != 2 || w2_holds != inputs {
+                f.ttm_except_unfolded_into(mode, &factors[ai], &factors[bi], w)?;
+                if mode == 2 {
+                    w2_holds = inputs;
+                }
+            }
+            let svd = truncated_svd(w, jn, &config.subspace)?;
+            updated_from[mode - 1] = inputs;
+            if mode == 2 {
+                svd2_cache = Some((inputs, svd.singular_values));
+            }
+            if svd.u != factors[mode - 1] {
+                factors[mode - 1] = svd.u;
+                version[mode - 1] += 1;
+            }
         }
         // Fit via ‖F−F̂‖² = ‖F‖² − ‖S‖² (factors orthonormal). The core norm
-        // equals the norm of S₍₂₎ = Y⁽²⁾ᵀ W₍₂₎, which we can get cheaply from
-        // the most recent mode products; recompute exactly from the current
-        // factors for a clean convergence signal.
-        let core = f.core_contract(&factors[0], &factors[1], &factors[2])?;
-        let resid_sq = (norm_f_sq - core.frobenius_norm_sq()).max(0.0);
+        // comes from S₍₂₎ = Y⁽²⁾ᵀ W₍₂₎; the mode-2 product is rebuilt into
+        // the shared scratch only when Y⁽¹⁾ or Y⁽³⁾ actually moved since it
+        // was last formed.
+        if w2_holds != (version[0], version[2]) {
+            f.ttm_except_unfolded_into(2, &factors[0], &factors[2], &mut w_scratch[1])?;
+            w2_holds = (version[0], version[2]);
+        }
+        factors[1].matmul_tn_into(&w_scratch[1], &mut s2_scratch)?;
+        let core_norm_sq = DenseTensor3::fold(2, &s2_scratch, (j1, j2, j3))?.frobenius_norm_sq();
+        let resid_sq = (norm_f_sq - core_norm_sq).max(0.0);
         let fit = 1.0 - resid_sq.sqrt() / norm_f.max(f64::MIN_POSITIVE);
         fit_history.push(fit);
         let converged = (fit - prev_fit).abs() < config.fit_tol;
@@ -202,14 +256,24 @@ pub fn tucker_als(
 
     // --- Final mode-2 refresh: make Y⁽²⁾ and Λ₂ the exact singular pairs of
     // the final product matrix so Theorem 2 holds as tightly as possible.
-    let w2 = f.ttm_except_unfolded(2, &factors[0], &factors[2])?;
-    let svd2 = truncated_svd(&w2, j2, &config.subspace)?;
-    factors[1] = svd2.u;
-    let lambda2 = svd2.singular_values;
+    // The product and its SVD are reused from the sweep when the inputs are
+    // bitwise unchanged (always true once the sweep reached a fixed point).
+    if w2_holds != (version[0], version[2]) {
+        f.ttm_except_unfolded_into(2, &factors[0], &factors[2], &mut w_scratch[1])?;
+        w2_holds = (version[0], version[2]);
+    }
+    let lambda2 = match svd2_cache {
+        Some((inputs, singular_values)) if inputs == w2_holds => singular_values,
+        _ => {
+            let svd2 = truncated_svd(&w_scratch[1], j2, &config.subspace)?;
+            factors[1] = svd2.u;
+            svd2.singular_values
+        }
+    };
 
     // --- Core from the final factors (Eq. 16). S₍₂₎ = Y⁽²⁾ᵀ W₍₂₎ reuses W₍₂₎.
-    let s2 = factors[1].transpose().matmul(&w2)?;
-    let core = DenseTensor3::fold(2, &s2, (j1, j2, j3))?;
+    factors[1].matmul_tn_into(&w_scratch[1], &mut s2_scratch)?;
+    let core = DenseTensor3::fold(2, &s2_scratch, (j1, j2, j3))?;
     let resid_sq = (norm_f_sq - core.frobenius_norm_sq()).max(0.0);
     let fit = 1.0 - resid_sq.sqrt() / norm_f.max(f64::MIN_POSITIVE);
 
@@ -229,11 +293,11 @@ fn hosvd_factor(
     f: &SparseTensor3,
     mode: usize,
     k: usize,
-    opts: &SubspaceOptions,
+    config: &TuckerConfig,
 ) -> Result<Matrix, LinAlgError> {
     let unfolding = f.unfold_csr(mode);
-    let op = GramOp::outer(&unfolding);
-    let eigs = sym_eigs_topk(&op, k, opts)?;
+    let op = GramOp::outer(&unfolding).with_fused(config.fused_gram);
+    let eigs = sym_eigs_topk(&op, k, &config.subspace)?;
     Ok(eigs.vectors)
 }
 
@@ -261,6 +325,7 @@ mod tests {
             max_iters: 30,
             fit_tol: 1e-10,
             subspace: SubspaceOptions::default(),
+            fused_gram: true,
         }
     }
 

@@ -26,7 +26,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 const USAGE: &str = "usage:
-  cubelsi-search build [--concepts K] [--ratio C] [--seed S] [--no-clean] DATA.tsv OUT.cubelsi
+  cubelsi-search build [--concepts K] [--ratio C] [--seed S] [--threads N] [--no-clean] DATA.tsv OUT.cubelsi
   cubelsi-search query [--top N] MODEL.cubelsi QUERY_TAG...
   cubelsi-search serve [--top N] MODEL.cubelsi          (queries on stdin, one per line)
   cubelsi-search [build+query options] DATA.tsv QUERY_TAG...   (one-shot, nothing persisted)
@@ -36,6 +36,8 @@ options:
   --ratio C      Tucker reduction ratio (finite, > 0; default 50)
   --top N        results per query (N >= 1; default 10)
   --seed S       seed for all stochastic components (default 2011)
+  --threads N    worker threads for the offline build (N >= 1; default: all
+                 cores; the CUBELSI_THREADS env var sets the same knob)
   --no-clean     skip the paper's \u{a7}VI-A cleaning pipeline";
 
 /// Options of the offline build phase (shared by `build` and one-shot).
@@ -45,6 +47,7 @@ struct BuildOpts {
     reduction_ratio: f64,
     clean: bool,
     seed: u64,
+    threads: Option<usize>,
 }
 
 impl Default for BuildOpts {
@@ -54,6 +57,7 @@ impl Default for BuildOpts {
             reduction_ratio: 50.0,
             clean: true,
             seed: 2011,
+            threads: None,
         }
     }
 }
@@ -96,6 +100,7 @@ struct RawFlags {
     ratio: Option<f64>,
     top: Option<usize>,
     seed: Option<u64>,
+    threads: Option<usize>,
     no_clean: bool,
 }
 
@@ -142,6 +147,10 @@ fn parse_command(args: impl IntoIterator<Item = String>) -> Result<Command, Stri
                         .map_err(|_| format!("--seed must be an integer, got {v:?}"))?,
                 );
             }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                flags.threads = Some(parse_thread_count(&v, "--threads")?);
+            }
             "--no-clean" => flags.no_clean = true,
             "--help" | "-h" => return Ok(Command::Help),
             other if other.starts_with("--") => {
@@ -156,6 +165,7 @@ fn parse_command(args: impl IntoIterator<Item = String>) -> Result<Command, Stri
         reduction_ratio: flags.ratio.unwrap_or(50.0),
         clean: !flags.no_clean,
         seed: flags.seed.unwrap_or(2011),
+        threads: flags.threads,
     };
     let top_k = flags.top.unwrap_or(10);
     // Build-only flags must not be silently ignored on the serving
@@ -175,6 +185,12 @@ fn parse_command(args: impl IntoIterator<Item = String>) -> Result<Command, Stri
                      artifact at build time (see --help)"
                 ));
             }
+        }
+        if flags.threads.is_some() {
+            return Err(format!(
+                "--threads does not apply to `{cmd}`: it tunes the offline build \
+                 (set CUBELSI_THREADS to cap serving parallelism; see --help)"
+            ));
         }
         Ok(())
     };
@@ -226,6 +242,36 @@ fn parse_command(args: impl IntoIterator<Item = String>) -> Result<Command, Stri
         }
         None => Err("missing arguments (see --help)".to_owned()),
     }
+}
+
+/// Parses and validates a worker-thread count (`N >= 1`), shared by the
+/// `--threads` flag and the `CUBELSI_THREADS` environment variable.
+fn parse_thread_count(v: &str, source: &str) -> Result<usize, String> {
+    let n: usize = v
+        .parse()
+        .map_err(|_| format!("{source} must be an integer, got {v:?}"))?;
+    if n < 1 {
+        return Err(format!("{source} must be >= 1, got {v}"));
+    }
+    Ok(n)
+}
+
+/// Applies the worker-pool size used by `cubelsi_linalg::parallel`: an
+/// explicit `--threads` wins, otherwise `CUBELSI_THREADS`, otherwise the
+/// machine's available parallelism.
+fn configure_threads(flag: Option<usize>) -> Result<(), String> {
+    let n = match flag {
+        Some(n) => Some(n),
+        None => match std::env::var("CUBELSI_THREADS") {
+            Ok(v) => Some(parse_thread_count(&v, "CUBELSI_THREADS")?),
+            Err(_) => None,
+        },
+    };
+    if let Some(n) = n {
+        cubelsi::linalg::parallel::set_num_threads(n);
+        eprintln!("threads {n}");
+    }
+    Ok(())
 }
 
 /// Reads, optionally cleans, and validates the corpus.
@@ -333,6 +379,7 @@ fn answer(
 }
 
 fn run_build(opts: &BuildOpts, data: &str, out: &str) -> Result<(), String> {
+    configure_threads(opts.threads)?;
     let corpus = load_corpus(data, opts.clean)?;
     let model = build_model(&corpus, opts)?;
     let t0 = Instant::now();
@@ -343,6 +390,7 @@ fn run_build(opts: &BuildOpts, data: &str, out: &str) -> Result<(), String> {
 }
 
 fn run_query(index: &str, tags: &[String], top_k: usize) -> Result<(), String> {
+    configure_threads(None)?;
     let artifact = load_artifact(index)?;
     let mut session = artifact.model.session();
     answer(
@@ -356,6 +404,7 @@ fn run_query(index: &str, tags: &[String], top_k: usize) -> Result<(), String> {
 }
 
 fn run_serve(index: &str, top_k: usize) -> Result<(), String> {
+    configure_threads(None)?;
     let artifact = load_artifact(index)?;
     let mut session = artifact.model.session();
     eprintln!("serving: one whitespace-separated tag query per line, EOF to stop");
@@ -378,6 +427,7 @@ fn run_serve(index: &str, top_k: usize) -> Result<(), String> {
 }
 
 fn run_one_shot(opts: &BuildOpts, data: &str, tags: &[String], top_k: usize) -> Result<(), String> {
+    configure_threads(opts.threads)?;
     let corpus = load_corpus(data, opts.clean)?;
     let model = build_model(&corpus, opts)?;
     let mut session = model.session();
@@ -441,6 +491,7 @@ mod tests {
                     reduction_ratio: 25.0,
                     clean: true,
                     seed: 2011,
+                    threads: None,
                 },
                 data: "d.tsv".into(),
                 out: "m.cubelsi".into(),
@@ -514,11 +565,40 @@ mod tests {
     }
 
     #[test]
+    fn threads_flag_validated_at_parse_time() {
+        let cmd = parse(&["build", "--threads", "4", "d.tsv", "m.cubelsi"]).unwrap();
+        match cmd {
+            Command::Build { opts, .. } => assert_eq!(opts.threads, Some(4)),
+            other => panic!("expected build, got {other:?}"),
+        }
+        for bad in ["0", "-2", "abc", "1.5"] {
+            let err = parse(&["build", "--threads", bad, "d.tsv", "m.cubelsi"]).unwrap_err();
+            assert!(err.contains("--threads"), "threads {bad}: {err}");
+        }
+        assert!(parse(&["build", "--threads"]).is_err(), "missing value");
+        // One-shot builds accept it too.
+        match parse(&["--threads", "2", "d.tsv", "rock"]).unwrap() {
+            Command::OneShot { opts, .. } => assert_eq!(opts.threads, Some(2)),
+            other => panic!("expected one-shot, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn thread_count_parser_rules() {
+        assert_eq!(parse_thread_count("1", "CUBELSI_THREADS").unwrap(), 1);
+        assert_eq!(parse_thread_count("64", "--threads").unwrap(), 64);
+        for bad in ["0", "", "four", "-1"] {
+            assert!(parse_thread_count(bad, "CUBELSI_THREADS").is_err(), "{bad}");
+        }
+    }
+
+    #[test]
     fn serving_subcommands_reject_build_flags() {
         for (flag, value) in [
             ("--concepts", Some("8")),
             ("--ratio", Some("25")),
             ("--seed", Some("7")),
+            ("--threads", Some("2")),
             ("--no-clean", None),
         ] {
             let mut args = vec!["query", flag];
