@@ -5,14 +5,20 @@
 //!   artifact must run before it can answer its first query;
 //! * `persist/save` — serializing a built engine to the `.cubelsi` bytes;
 //! * `persist/load` — deserializing those bytes back into a serving-ready
-//!   engine. This is the startup cost of `cubelsi-search query`/`serve`,
-//!   and the number that must stay orders of magnitude below
-//!   `full_rebuild` for the artifact split to pay off.
+//!   engine (owned arrays, the portable default). This is the startup
+//!   cost of `cubelsi-search query`/`serve`, and the number that must
+//!   stay orders of magnitude below `full_rebuild` for the artifact
+//!   split to pay off;
+//! * `persist/load_zero_copy` — restoring the engine with the index
+//!   arrays borrowed straight out of the aligned file buffer (the
+//!   `--zero-copy` serving path): validation still runs, the per-posting
+//!   copy does not.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use cubelsi_core::{persist, CubeLsi, CubeLsiConfig};
+use cubelsi_core::{persist, AlignedBytes, CubeLsi, CubeLsiConfig};
 use cubelsi_datagen::{generate, GeneratorConfig};
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn bench_persist(c: &mut Criterion) {
     let ds = generate(&GeneratorConfig {
@@ -52,6 +58,10 @@ fn bench_persist(c: &mut Criterion) {
     });
     group.bench_function("load", |b| {
         b.iter(|| black_box(persist::load_from_bytes(black_box(&bytes)).unwrap()))
+    });
+    let aligned = Arc::new(AlignedBytes::from_bytes(&bytes));
+    group.bench_function("load_zero_copy", |b| {
+        b.iter(|| black_box(persist::load_zero_copy(black_box(aligned.clone())).unwrap()))
     });
 
     group.finish();

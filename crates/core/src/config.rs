@@ -1,5 +1,6 @@
 //! Configuration of the CubeLSI pipeline.
 
+use crate::query::PruningStrategy;
 use cubelsi_linalg::kmeans::{KMeansAlgorithm, KMeansConfig};
 use cubelsi_linalg::spectral::{KSelection, SpectralConfig, SpectralSolver};
 use cubelsi_linalg::subspace::SubspaceOptions;
@@ -52,6 +53,11 @@ pub struct CubeLsiConfig {
     /// (Rayleigh–Ritz every iteration, full-block convergence) instead of
     /// the adaptive periodic-projection solver.
     pub exhaustive_spectral: bool,
+    /// Pruning strategy of the online query engine built by
+    /// [`crate::CubeLsi::build`]. Both strategies are exact and
+    /// bit-identical; `MaxScore` is the previous-generation reference
+    /// path, `BlockMax` (default) the block-skipping fast path.
+    pub pruning: PruningStrategy,
 }
 
 impl Default for CubeLsiConfig {
@@ -69,6 +75,7 @@ impl Default for CubeLsiConfig {
             naive_kmeans: false,
             materialized_gram: false,
             exhaustive_spectral: false,
+            pruning: PruningStrategy::default(),
         }
     }
 }
@@ -76,12 +83,14 @@ impl Default for CubeLsiConfig {
 impl CubeLsiConfig {
     /// Switches every offline kernel to its reference (pre-overhaul)
     /// implementation: naive Lloyd's, materialized Gram products, and the
-    /// exhaustive spectral eigensolver. This is the slow side of the
+    /// exhaustive spectral eigensolver — and the online engine to the
+    /// MaxScore reference pruning loop. This is the slow side of the
     /// `build_phases` bench and the baseline of the equivalence tests.
     pub fn with_reference_kernels(mut self) -> Self {
         self.naive_kmeans = true;
         self.materialized_gram = true;
         self.exhaustive_spectral = true;
+        self.pruning = PruningStrategy::MaxScore;
         self
     }
 

@@ -5,17 +5,40 @@
 //! (Eqs. 1–3); queries are transformed the same way; ranking is by cosine
 //! similarity (Eq. 4), served from an inverted index over concepts.
 //!
-//! The inverted index is laid out for top-k pruning: postings carry
-//! *cosine-normalized impacts* (`w(l, r) / ‖r‖`, so a query's score is a
-//! plain dot product with the query vector divided once by the query
-//! norm), each posting list is sorted by descending impact, and the
-//! per-list maximum impact is kept as MaxScore metadata. The actual
-//! pruned query engine lives in [`crate::query`]; this module keeps the
-//! exhaustive [`ConceptIndex::rank_exact`] path as the reference
-//! implementation the engine is tested against.
+//! # Posting layout
+//!
+//! The inverted index is laid out for cache-friendly top-k pruning:
+//!
+//! * **Structure of arrays** — resource ids (`u32`) and cosine-normalized
+//!   impacts (`f64`, `w(l, r) / ‖r‖`) live in two parallel flat arrays
+//!   shared by all concepts, with a per-concept offset table. A pruning
+//!   scan that only needs ids (the update-only tail of a list) touches
+//!   4 bytes per posting instead of a padded 16-byte `(u32, f64)` pair.
+//! * **Impact order** — each list is sorted by descending impact (ties by
+//!   ascending resource id, the ranking tie-break), so a prefix of a list
+//!   is already in final ranked order for single-term queries and the
+//!   per-list maximum is simply the first impact.
+//! * **Block maxima** — every list is carved into fixed [`BLOCK_LEN`]
+//!   posting blocks, each carrying its maximum impact in a separate dense
+//!   array. The block-max query path checks one bound per block instead of
+//!   one per posting, and skips whole blocks that cannot beat the current
+//!   top-k threshold. Per-list maxima (`max_impact`) remain as the
+//!   MaxScore term-ordering metadata.
+//!
+//! All arrays are [`crate::slab::Slab`]s: owned for freshly built indexes,
+//! or borrowed straight out of a loaded artifact buffer by the zero-copy
+//! persist path. The actual pruned query engine lives in [`crate::query`];
+//! this module keeps the exhaustive [`ConceptIndex::rank_exact`] path as
+//! the reference implementation the engine is tested against.
 
 use crate::concepts::ConceptModel;
+use crate::slab::Slab;
 use cubelsi_folksonomy::{Folksonomy, ResourceId, TagId};
+
+/// Number of postings per block-max block. 64 keeps a block's ids within a
+/// single 256-byte stretch (four cache lines) and amortizes one bound
+/// check and one branch over 64 postings.
+pub const BLOCK_LEN: usize = 64;
 
 /// Abstraction over hard and soft tag→concept mappings, so one index and
 /// one query path serve both the paper's hard clustering and the
@@ -79,25 +102,112 @@ pub struct PreparedQuery {
     pub norm: f64,
 }
 
-/// The offline concept index: tf-idf resource vectors plus an inverted
-/// index from concepts to resources.
+/// A borrowed view of one concept's posting list: parallel id/impact
+/// slices of equal length, impact-descending.
+#[derive(Debug, Clone, Copy)]
+pub struct PostingsRef<'a> {
+    /// Resource ids.
+    pub ids: &'a [u32],
+    /// Cosine-normalized impacts (`w(l, r) / ‖r‖`), descending.
+    pub scores: &'a [f64],
+}
+
+impl<'a> PostingsRef<'a> {
+    /// Number of postings in the list.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Iterates `(resource, impact)` pairs in impact order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + 'a {
+        self.ids.iter().copied().zip(self.scores.iter().copied())
+    }
+}
+
+/// A borrowed view of one resource's sparse tf-idf vector: parallel
+/// concept-id/weight slices, ascending concept id.
+#[derive(Debug, Clone, Copy)]
+pub struct ResourceVectorRef<'a> {
+    /// Concept ids, ascending.
+    pub concepts: &'a [u32],
+    /// tf-idf weights (Eq. 3).
+    pub weights: &'a [f64],
+}
+
+impl<'a> ResourceVectorRef<'a> {
+    /// Number of nonzero concepts.
+    pub fn len(&self) -> usize {
+        self.concepts.len()
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.concepts.is_empty()
+    }
+
+    /// Iterates `(concept, weight)` pairs in ascending concept order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + 'a {
+        self.concepts
+            .iter()
+            .copied()
+            .zip(self.weights.iter().copied())
+    }
+}
+
+/// The raw SoA arrays of an index — the unit the persist layer serializes
+/// and the zero-copy loader reconstructs. Offsets are `u64` so the
+/// in-memory shape matches the on-disk shape exactly.
+pub(crate) struct IndexArrays<'a> {
+    pub idf: &'a [f64],
+    pub resource_norms: &'a [f64],
+    pub rv_offsets: &'a [u64],
+    pub rv_concepts: &'a [u32],
+    pub rv_weights: &'a [f64],
+    pub post_offsets: &'a [u64],
+    pub post_ids: &'a [u32],
+    pub post_scores: &'a [f64],
+    pub block_offsets: &'a [u64],
+    pub block_max: &'a [f64],
+    pub max_impact: &'a [f64],
+}
+
+/// The offline concept index: tf-idf resource vectors plus a
+/// block-structured SoA inverted index from concepts to resources.
 #[derive(Debug, Clone)]
 pub struct ConceptIndex {
     num_resources: usize,
     num_concepts: usize,
     /// `idf[l] = log(N / n_l)`; 0 for unseen concepts (Eq. 1).
-    idf: Vec<f64>,
-    /// Per-resource sparse tf-idf vectors, sorted by concept id.
-    resource_vectors: Vec<Vec<(u32, f64)>>,
+    idf: Slab<f64>,
     /// Per-resource vector L2 norms (denominator of Eq. 4).
-    resource_norms: Vec<f64>,
-    /// Inverted index: concept → `(resource, impact)` postings where
-    /// `impact = w(l, r) / ‖r‖`, sorted by descending impact (ties by
-    /// ascending resource id, the ranking tie-break).
-    postings: Vec<Vec<(u32, f64)>>,
+    resource_norms: Slab<f64>,
+    /// Resource tf-idf vectors, ragged SoA: resource `r` owns
+    /// `rv_concepts/rv_weights[rv_offsets[r]..rv_offsets[r+1]]`,
+    /// ascending concept id.
+    rv_offsets: Slab<u64>,
+    rv_concepts: Slab<u32>,
+    rv_weights: Slab<f64>,
+    /// Inverted index, ragged SoA: concept `l` owns
+    /// `post_ids/post_scores[post_offsets[l]..post_offsets[l+1]]`,
+    /// descending impact (ties by ascending resource id).
+    post_offsets: Slab<u64>,
+    post_ids: Slab<u32>,
+    post_scores: Slab<f64>,
+    /// Block maxima, ragged per concept: concept `l` owns
+    /// `block_max[block_offsets[l]..block_offsets[l+1]]`, one entry per
+    /// [`BLOCK_LEN`] postings (the last block may be short). Because the
+    /// list is impact-descending, block `b`'s max is the impact at the
+    /// block's first posting.
+    block_offsets: Slab<u64>,
+    block_max: Slab<f64>,
     /// Per-posting-list maximum impact (MaxScore upper-bound metadata);
     /// 0 for empty lists.
-    max_impact: Vec<f64>,
+    max_impact: Slab<f64>,
 }
 
 impl ConceptIndex {
@@ -175,52 +285,159 @@ impl ConceptIndex {
             // already in final ranked order for single-term queries.
             list.sort_unstable_by(|a, b| cmp_ranked(a.1, a.0, b.1, b.0));
         }
-        let max_impact: Vec<f64> = postings
-            .iter()
-            .map(|list| list.first().map_or(0.0, |&(_, w)| w))
-            .collect();
 
-        ConceptIndex {
-            num_resources: n_resources,
-            num_concepts: n_concepts,
+        Self::from_lists(
+            n_resources,
+            n_concepts,
             idf,
             resource_vectors,
             resource_norms,
             postings,
-            max_impact,
-        }
+        )
     }
 
-    /// Reassembles an index from its raw fields, exactly as a previous
-    /// [`ConceptIndex::build`] produced them. Used by `crate::persist` to
-    /// restore a saved artifact: because every field — including the
-    /// impact-sorted posting order and the precomputed norms — is restored
-    /// verbatim, a loaded index answers queries bit-identically to the one
-    /// that was saved. The caller (the deserializer) is responsible for
-    /// structural validation; this constructor only debug-asserts shapes.
-    pub(crate) fn from_raw_parts(
+    /// Assembles the SoA layout from per-list vectors. This is the single
+    /// place the block structure is derived, shared by [`Self::build`] and
+    /// the legacy (format v1) artifact decoder; posting lists must already
+    /// be impact-ordered. Block maxima and per-list maxima are derived
+    /// from the sorted lists (the first impact of each block / list).
+    pub(crate) fn from_lists(
         num_resources: usize,
         num_concepts: usize,
         idf: Vec<f64>,
         resource_vectors: Vec<Vec<(u32, f64)>>,
         resource_norms: Vec<f64>,
         postings: Vec<Vec<(u32, f64)>>,
-        max_impact: Vec<f64>,
     ) -> Self {
         debug_assert_eq!(idf.len(), num_concepts);
         debug_assert_eq!(resource_vectors.len(), num_resources);
         debug_assert_eq!(resource_norms.len(), num_resources);
         debug_assert_eq!(postings.len(), num_concepts);
+
+        let rv_nnz: usize = resource_vectors.iter().map(Vec::len).sum();
+        let mut rv_offsets = Vec::with_capacity(num_resources + 1);
+        let mut rv_concepts = Vec::with_capacity(rv_nnz);
+        let mut rv_weights = Vec::with_capacity(rv_nnz);
+        rv_offsets.push(0u64);
+        for vector in &resource_vectors {
+            for &(l, w) in vector {
+                rv_concepts.push(l);
+                rv_weights.push(w);
+            }
+            rv_offsets.push(rv_concepts.len() as u64);
+        }
+
+        let n_postings: usize = postings.iter().map(Vec::len).sum();
+        let mut post_offsets = Vec::with_capacity(num_concepts + 1);
+        let mut post_ids = Vec::with_capacity(n_postings);
+        let mut post_scores = Vec::with_capacity(n_postings);
+        let mut block_offsets = Vec::with_capacity(num_concepts + 1);
+        let mut block_max = Vec::new();
+        let mut max_impact = Vec::with_capacity(num_concepts);
+        post_offsets.push(0u64);
+        block_offsets.push(0u64);
+        for list in &postings {
+            for (j, &(r, w)) in list.iter().enumerate() {
+                post_ids.push(r);
+                post_scores.push(w);
+                if j % BLOCK_LEN == 0 {
+                    // Lists are impact-descending, so the block's first
+                    // impact is its maximum.
+                    block_max.push(w);
+                }
+            }
+            post_offsets.push(post_ids.len() as u64);
+            block_offsets.push(block_max.len() as u64);
+            max_impact.push(list.first().map_or(0.0, |&(_, w)| w));
+        }
+
+        ConceptIndex {
+            num_resources,
+            num_concepts,
+            idf: idf.into(),
+            resource_norms: resource_norms.into(),
+            rv_offsets: rv_offsets.into(),
+            rv_concepts: rv_concepts.into(),
+            rv_weights: rv_weights.into(),
+            post_offsets: post_offsets.into(),
+            post_ids: post_ids.into(),
+            post_scores: post_scores.into(),
+            block_offsets: block_offsets.into(),
+            block_max: block_max.into(),
+            max_impact: max_impact.into(),
+        }
+    }
+
+    /// Reassembles an index directly from SoA slabs, exactly as a previous
+    /// build laid them out. Used by `crate::persist` to restore a saved
+    /// artifact — owned or borrowed from the file buffer: because every
+    /// array (including the impact-sorted posting order, the block maxima,
+    /// and the precomputed norms) is restored verbatim, a loaded index
+    /// answers queries bit-identically to the one that was saved. The
+    /// caller (the deserializer) is responsible for structural validation;
+    /// this constructor only debug-asserts shapes.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_soa_parts(
+        num_resources: usize,
+        num_concepts: usize,
+        idf: Slab<f64>,
+        resource_norms: Slab<f64>,
+        rv_offsets: Slab<u64>,
+        rv_concepts: Slab<u32>,
+        rv_weights: Slab<f64>,
+        post_offsets: Slab<u64>,
+        post_ids: Slab<u32>,
+        post_scores: Slab<f64>,
+        block_offsets: Slab<u64>,
+        block_max: Slab<f64>,
+        max_impact: Slab<f64>,
+    ) -> Self {
+        debug_assert_eq!(idf.len(), num_concepts);
+        debug_assert_eq!(resource_norms.len(), num_resources);
+        debug_assert_eq!(rv_offsets.len(), num_resources + 1);
+        debug_assert_eq!(rv_concepts.len(), rv_weights.len());
+        debug_assert_eq!(post_offsets.len(), num_concepts + 1);
+        debug_assert_eq!(post_ids.len(), post_scores.len());
+        debug_assert_eq!(block_offsets.len(), num_concepts + 1);
         debug_assert_eq!(max_impact.len(), num_concepts);
         ConceptIndex {
             num_resources,
             num_concepts,
             idf,
-            resource_vectors,
             resource_norms,
-            postings,
+            rv_offsets,
+            rv_concepts,
+            rv_weights,
+            post_offsets,
+            post_ids,
+            post_scores,
+            block_offsets,
+            block_max,
             max_impact,
         }
+    }
+
+    /// The raw SoA arrays (for serialization).
+    pub(crate) fn as_arrays(&self) -> IndexArrays<'_> {
+        IndexArrays {
+            idf: &self.idf,
+            resource_norms: &self.resource_norms,
+            rv_offsets: &self.rv_offsets,
+            rv_concepts: &self.rv_concepts,
+            rv_weights: &self.rv_weights,
+            post_offsets: &self.post_offsets,
+            post_ids: &self.post_ids,
+            post_scores: &self.post_scores,
+            block_offsets: &self.block_offsets,
+            block_max: &self.block_max,
+            max_impact: &self.max_impact,
+        }
+    }
+
+    /// Whether the hot arrays are served zero-copy out of an artifact
+    /// buffer (true only for indexes restored via the borrowed load path).
+    pub fn is_zero_copy(&self) -> bool {
+        self.post_scores.is_borrowed()
     }
 
     /// Number of indexed resources.
@@ -233,14 +450,25 @@ impl ConceptIndex {
         self.num_concepts
     }
 
+    /// Total number of postings across all concepts.
+    pub fn num_postings(&self) -> usize {
+        self.post_ids.len()
+    }
+
     /// `idf` of a concept (Eq. 1's `log(N/n_l)`).
     pub fn idf(&self, concept: usize) -> f64 {
         self.idf[concept]
     }
 
-    /// The sparse tf-idf vector of a resource (Eq. 3).
-    pub fn resource_vector(&self, r: usize) -> &[(u32, f64)] {
-        &self.resource_vectors[r]
+    /// The sparse tf-idf vector of a resource (Eq. 3), ascending concept
+    /// id.
+    pub fn resource_vector(&self, r: usize) -> ResourceVectorRef<'_> {
+        let lo = self.rv_offsets[r] as usize;
+        let hi = self.rv_offsets[r + 1] as usize;
+        ResourceVectorRef {
+            concepts: &self.rv_concepts[lo..hi],
+            weights: &self.rv_weights[lo..hi],
+        }
     }
 
     /// L2 norm of a resource's tf-idf vector.
@@ -248,10 +476,25 @@ impl ConceptIndex {
         self.resource_norms[r]
     }
 
-    /// The impact-ordered posting list of a concept: `(resource, impact)`
-    /// with `impact = w(l, r) / ‖r‖`, descending.
-    pub fn postings(&self, concept: usize) -> &[(u32, f64)] {
-        &self.postings[concept]
+    /// The impact-ordered posting list of a concept: parallel
+    /// `(resource, impact)` arrays with `impact = w(l, r) / ‖r‖`,
+    /// descending.
+    pub fn postings(&self, concept: usize) -> PostingsRef<'_> {
+        let lo = self.post_offsets[concept] as usize;
+        let hi = self.post_offsets[concept + 1] as usize;
+        PostingsRef {
+            ids: &self.post_ids[lo..hi],
+            scores: &self.post_scores[lo..hi],
+        }
+    }
+
+    /// The block maxima of a concept's posting list: entry `b` is the
+    /// maximum impact among postings `[b·BLOCK_LEN, (b+1)·BLOCK_LEN)` of
+    /// the list (the last block may be short).
+    pub fn block_maxima(&self, concept: usize) -> &[f64] {
+        let lo = self.block_offsets[concept] as usize;
+        let hi = self.block_offsets[concept + 1] as usize;
+        &self.block_max[lo..hi]
     }
 
     /// Maximum impact in a concept's posting list (0 if empty).
@@ -312,8 +555,8 @@ impl ConceptIndex {
     }
 
     /// Sorts query terms by descending `weight * max_impact` — the shared
-    /// MaxScore processing order. Both the exact reference path and the
-    /// pruned engine path consume terms in this order, which makes their
+    /// MaxScore processing order. The exact reference path and both pruned
+    /// engine paths consume terms in this order, which makes their
     /// floating-point accumulation sequences — and hence scores —
     /// identical for every surviving resource.
     pub(crate) fn order_terms(&self, terms: &mut [(u32, f64)]) {
@@ -333,7 +576,8 @@ impl ConceptIndex {
     pub fn rank_exact(&self, query: &PreparedQuery, top_k: usize) -> Vec<RankedResource> {
         let mut scores = vec![0.0f64; self.num_resources];
         for &(l, wq) in &query.terms {
-            for &(r, w) in &self.postings[l as usize] {
+            let p = self.postings(l as usize);
+            for (r, w) in p.iter() {
                 scores[r as usize] += wq * w;
             }
         }
@@ -395,9 +639,14 @@ impl ConceptIndex {
 
     /// Size of the index in `f64`-equivalents (for memory accounting).
     pub fn footprint_len(&self) -> usize {
-        let vectors: usize = self.resource_vectors.iter().map(|v| v.len() * 2).sum();
-        let postings: usize = self.postings.iter().map(|p| p.len() * 2).sum();
-        self.idf.len() + self.resource_norms.len() + self.max_impact.len() + vectors + postings
+        let vectors = 2 * self.rv_concepts.len();
+        let postings = 2 * self.post_ids.len();
+        self.idf.len()
+            + self.resource_norms.len()
+            + self.max_impact.len()
+            + self.block_max.len()
+            + vectors
+            + postings
     }
 }
 
@@ -435,13 +684,13 @@ mod tests {
         let r1 = f.resource_id("r1").unwrap().index();
         let v1 = index.resource_vector(r1);
         assert_eq!(v1.len(), 1);
-        assert_eq!(v1[0].0, 0);
-        assert!((v1[0].1 - 1.0 * (1.5f64).ln()).abs() < 1e-12);
+        assert_eq!(v1.concepts[0], 0);
+        assert!((v1.weights[0] - 1.0 * (1.5f64).ln()).abs() < 1e-12);
         // r2: 1 music + 1 tech → tf = 0.5 each.
         let r2 = f.resource_id("r2").unwrap().index();
         let v2 = index.resource_vector(r2);
         assert_eq!(v2.len(), 2);
-        assert!((v2[0].1 - 0.5 * (1.5f64).ln()).abs() < 1e-12);
+        assert!((v2.weights[0] - 0.5 * (1.5f64).ln()).abs() < 1e-12);
     }
 
     #[test]
@@ -521,19 +770,50 @@ mod tests {
         let index = ConceptIndex::build(&f, &concepts);
         for l in 0..index.num_concepts() {
             let list = index.postings(l);
-            for w in list.windows(2) {
+            for j in 1..list.len() {
                 assert!(
-                    w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0),
+                    list.scores[j - 1] > list.scores[j]
+                        || (list.scores[j - 1] == list.scores[j] && list.ids[j - 1] < list.ids[j]),
                     "postings of concept {l} not impact-ordered"
                 );
             }
-            let expected_max = list.first().map_or(0.0, |&(_, w)| w);
+            let expected_max = list.scores.first().copied().unwrap_or(0.0);
             assert_eq!(index.max_impact(l), expected_max);
             // Every impact is a normalized weight: within (0, 1].
-            for &(r, w) in list {
+            for (r, w) in list.iter() {
                 assert!(w > 0.0 && w <= 1.0 + 1e-12, "impact out of range");
                 let norm = index.resource_norm(r as usize);
                 assert!(norm > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn block_maxima_match_block_heads() {
+        // Long single-concept lists spanning several blocks: block maxima
+        // must equal the first impact of every block.
+        let mut b = FolksonomyBuilder::new();
+        for r in 0..300 {
+            b.add("u1", "t", &format!("r{r}"));
+            if r % 3 == 0 {
+                b.add("u2", "other", &format!("r{r}"));
+            }
+        }
+        let f = b.build();
+        let concepts = ConceptModel::from_assignments(vec![0, 1], 1.0);
+        let index = ConceptIndex::build(&f, &concepts);
+        for l in 0..index.num_concepts() {
+            let list = index.postings(l);
+            let blocks = index.block_maxima(l);
+            assert_eq!(blocks.len(), list.len().div_ceil(BLOCK_LEN));
+            for (bi, &bm) in blocks.iter().enumerate() {
+                let lo = bi * BLOCK_LEN;
+                let hi = (lo + BLOCK_LEN).min(list.len());
+                let head = list.scores[lo];
+                assert_eq!(bm.to_bits(), head.to_bits(), "block {bi} of concept {l}");
+                for &w in &list.scores[lo..hi] {
+                    assert!(w <= bm, "block max must dominate its block");
+                }
             }
         }
     }

@@ -20,13 +20,16 @@
 //!   per-pair evaluation, and the brute-force `F̂` reference (tests only);
 //! * [`concepts`] — §V concept distillation;
 //! * [`index`] — §III bag-of-concepts tf-idf index and cosine ranking;
-//! * [`query`] — the online top-k engine: MaxScore pruning over
-//!   impact-ordered postings, bounded-heap selection, zero-allocation
-//!   sessions, and parallel batched search;
+//! * [`query`] — the online top-k engine: exact block-max / MaxScore
+//!   pruning over impact-ordered SoA postings, bounded-heap selection,
+//!   zero-allocation sessions, and parallel batched search;
+//! * [`slab`] — hybrid owned/borrowed storage backing the index arrays,
+//!   so a loaded artifact can serve straight out of its file buffer;
 //! * [`pipeline`] — the [`CubeLsi`] facade wiring everything, with
 //!   per-phase timings for the efficiency experiments (Tables V–VII);
 //! * [`persist`] — versioned, checksummed binary save/load of a complete
-//!   built engine, splitting the expensive offline build from cheap
+//!   built engine (with an aligned SoA index section supporting owned and
+//!   zero-copy loads), splitting the expensive offline build from cheap
 //!   online serving across process lifetimes.
 
 pub mod concepts;
@@ -36,6 +39,7 @@ pub mod index;
 pub mod persist;
 pub mod pipeline;
 pub mod query;
+pub mod slab;
 pub mod soft;
 pub mod tensor_build;
 
@@ -44,9 +48,13 @@ pub use config::{CubeLsiConfig, SigmaSource};
 pub use distance::{
     brute_force_distances, pairwise_distances_from_embedding, tag_embedding, TagDistances,
 };
-pub use index::{ConceptAssignment, ConceptIndex, PreparedQuery, RankedResource};
+pub use index::{
+    ConceptAssignment, ConceptIndex, PostingsRef, PreparedQuery, RankedResource, ResourceVectorRef,
+    BLOCK_LEN,
+};
 pub use persist::{Artifact, PersistError};
 pub use pipeline::{CubeLsi, PhaseTimings};
-pub use query::{QueryEngine, QuerySession};
+pub use query::{PruningStrategy, QueryEngine, QuerySession};
+pub use slab::{AlignedBytes, Slab};
 pub use soft::{SoftConceptModel, SoftConfig};
 pub use tensor_build::build_tensor;

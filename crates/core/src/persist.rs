@@ -9,8 +9,8 @@
 //! module provides that artifact: a single self-contained binary file
 //! holding the cleaned [`Folksonomy`] (interned name tables + assignment
 //! set), the [`TuckerDecomposition`], the purified [`TagDistances`], the
-//! distilled [`ConceptModel`], the impact-ordered [`ConceptIndex`] with
-//! its MaxScore metadata, and the offline [`PhaseTimings`].
+//! distilled [`ConceptModel`], the block-structured SoA [`ConceptIndex`],
+//! and the offline [`PhaseTimings`].
 //!
 //! # Format (`.cubelsi`)
 //!
@@ -18,36 +18,83 @@
 //!
 //! ```text
 //! header   8 B  magic             = "CUBELSI\0"
-//!          4 B  format version    (u32, currently 1)
+//!          4 B  format version    (u32, currently 2)
 //!          4 B  section count     (u32)
 //! table    per section, 24 B:
 //!          4 B  section id        (u32, see SECTION_* constants)
 //!          8 B  payload offset    (u64, absolute file offset)
 //!          8 B  payload length    (u64, bytes)
 //!          4 B  CRC-32 (IEEE)     of the payload bytes
-//! payload  the section payloads, contiguous, in table order
+//! payload  the section payloads, in table order, each starting at an
+//!          8-byte-aligned file offset (zero padding in between; the
+//!          recorded lengths exclude the padding)
 //! ```
 //!
-//! Within a section, integers are `u32`/`u64` LE, floats are `f64` LE bit
-//! patterns (round-tripping exactly, NaN payloads included), strings are
-//! `u32` byte length + UTF-8 bytes, and sequences are a `u64` count
-//! followed by the elements.
+//! Within the classic sections, integers are `u32`/`u64` LE, floats are
+//! `f64` LE bit patterns (round-tripping exactly, NaN payloads included),
+//! strings are `u32` byte length + UTF-8 bytes, and sequences are a `u64`
+//! count followed by the elements.
+//!
+//! ## The SoA index section (format v2)
+//!
+//! Section [`SECTION_INDEX_SOA`] stores the [`ConceptIndex`] as the exact
+//! flat arrays the query engine scans, so loading is array-granular (a
+//! handful of bounded reads) instead of posting-granular:
+//!
+//! ```text
+//! u64 × 6  num_resources, num_concepts, block_len (= 64),
+//!          rv_nnz, n_postings, n_blocks
+//! then, in order, each array at an 8-byte-aligned offset from the
+//! payload start (u32 arrays are zero-padded up to the next boundary):
+//!   idf             f64 × num_concepts
+//!   resource_norms  f64 × num_resources
+//!   rv_offsets      u64 × (num_resources + 1)
+//!   rv_concepts     u32 × rv_nnz
+//!   rv_weights      f64 × rv_nnz
+//!   post_offsets    u64 × (num_concepts + 1)
+//!   post_ids        u32 × n_postings
+//!   post_scores     f64 × n_postings
+//!   block_offsets   u64 × (num_concepts + 1)
+//!   block_max       f64 × n_blocks
+//!   max_impact      f64 × num_concepts
+//! ```
+//!
+//! Because the section payload itself starts 8-aligned in the file, every
+//! array is correctly aligned *in the file buffer*, which enables the
+//! **zero-copy load path** ([`load_zero_copy`] /
+//! [`load_from_path_zero_copy`]): the hot arrays are borrowed straight
+//! out of a shared [`AlignedBytes`] buffer — no per-posting decoding,
+//! allocation, or copying. The owned path ([`load_from_bytes`] /
+//! [`load_from_path`], the portable default) bulk-copies the same
+//! arrays. Both paths deliberately still run the full read-only semantic
+//! validation (offset monotonicity, id ranges, impact order, block-max
+//! consistency, posting ↔ vector cross-checks) before the index is
+//! allowed to serve — a linear scan of the postings, accepted so that a
+//! checksummed-but-hostile file can never misrank; what the zero-copy
+//! path removes is the per-posting materialization, not that safety
+//! pass.
+//!
+//! Format-v1 files (per-posting pair encoding in section id 6) are still
+//! readable; v1 artifacts load through the legacy decoder into the same
+//! SoA in-memory layout.
 //!
 //! # Guarantees
 //!
 //! * **Bit-identical serving.** Every query-relevant structure (postings
-//!   order, norms, idf, concept assignment, tag-name lookup) is restored
-//!   verbatim, so a loaded engine's [`CubeLsi::search_ids`] output —
-//!   scores, order, and tie-breaks — is bit-for-bit identical to the
-//!   engine that was saved. Enforced by the `persist_roundtrip`
-//!   integration tests over randomized corpora.
-//! * **No panics on bad input.** Corrupt, truncated, or
+//!   order, block maxima, norms, idf, concept assignment, tag-name
+//!   lookup) is restored verbatim, so a loaded engine's
+//!   [`CubeLsi::search_ids`] output — scores, order, and tie-breaks — is
+//!   bit-for-bit identical to the engine that was saved, under both load
+//!   modes. Enforced by the `persist_roundtrip` integration tests over
+//!   randomized corpora.
+//! * **No panics on bad input.** Corrupt, truncated, misaligned, or
 //!   version-mismatched files return a typed [`PersistError`]; every
 //!   length is bounds-checked before allocation and every id is validated
 //!   before it can index anything.
 
 use std::io::{Read, Write};
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Duration;
 
 use cubelsi_folksonomy::{Folksonomy, Interner, ResourceId, TagAssignment, TagId, UserId};
@@ -56,25 +103,36 @@ use cubelsi_tensor::{DenseTensor3, TuckerDecomposition};
 
 use crate::concepts::ConceptModel;
 use crate::distance::TagDistances;
-use crate::index::ConceptIndex;
+use crate::index::{ConceptIndex, BLOCK_LEN};
 use crate::pipeline::{CubeLsi, PhaseTimings};
+use crate::slab::{AlignedBytes, Pod, Slab};
 
 /// File magic: identifies a CubeLSI artifact regardless of extension.
 pub const MAGIC: [u8; 8] = *b"CUBELSI\0";
 
 /// Current artifact format version. Bump on any layout change; readers
-/// reject files from the future with [`PersistError::UnsupportedVersion`].
-pub const FORMAT_VERSION: u32 = 1;
+/// reject files from the future with [`PersistError::UnsupportedVersion`]
+/// and keep reading all older versions.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Byte length of the fixed file header (magic + version + count).
+pub const HEADER_LEN: usize = 16;
+
+/// Byte length of one section-table entry.
+pub const TABLE_ENTRY_LEN: usize = 24;
 
 const SECTION_META: u32 = 1;
 const SECTION_FOLKSONOMY: u32 = 2;
 const SECTION_TUCKER: u32 = 3;
 const SECTION_DISTANCES: u32 = 4;
 const SECTION_CONCEPTS: u32 = 5;
-const SECTION_INDEX: u32 = 6;
+/// Legacy (format v1) per-posting index section; still readable.
+const SECTION_INDEX_V1: u32 = 6;
+/// The SoA index section written by format v2.
+pub const SECTION_INDEX_SOA: u32 = 7;
 
-const HEADER_LEN: usize = 16;
-const TABLE_ENTRY_LEN: usize = 24;
+/// Number of `u64` fields in the SoA index section header.
+const SOA_HEADER_FIELDS: usize = 6;
 
 /// Errors raised while saving or loading an artifact. Loading never
 /// panics: every failure mode of a hostile or damaged file maps to one of
@@ -109,8 +167,18 @@ pub enum PersistError {
     },
     /// A required section is absent from the section table.
     MissingSection(u32),
+    /// A section that must start at an 8-byte-aligned file offset (the
+    /// SoA index section, whose arrays are viewed in place by the
+    /// zero-copy path) does not.
+    MisalignedSection {
+        /// Section id with the misaligned payload.
+        section: u32,
+        /// The offending file offset.
+        offset: u64,
+    },
     /// A section decoded to structurally invalid data (bad lengths,
-    /// out-of-range ids, non-UTF-8 names, …).
+    /// out-of-range ids, broken impact order, inconsistent block maxima,
+    /// non-UTF-8 names, …).
     Malformed {
         /// Section id that failed to decode.
         section: u32,
@@ -144,6 +212,10 @@ impl std::fmt::Display for PersistError {
             PersistError::MissingSection(id) => {
                 write!(f, "artifact is missing required section {id}")
             }
+            PersistError::MisalignedSection { section, offset } => write!(
+                f,
+                "section {section} payload at offset {offset} is not 8-byte aligned"
+            ),
             PersistError::Malformed { section, detail } => {
                 write!(f, "section {section} malformed: {detail}")
             }
@@ -244,20 +316,17 @@ impl Encoder {
             self.put_f64(x);
         }
     }
-    /// Sparse `(u32 id, f64 weight)` pair list — the posting / tf-idf
-    /// vector element type.
-    fn put_pairs(&mut self, pairs: &[(u32, f64)]) {
-        self.put_usize(pairs.len());
-        for &(id, w) in pairs {
-            self.put_u32(id);
-            self.put_f64(w);
-        }
-    }
     fn put_matrix(&mut self, m: &Matrix) {
         self.put_usize(m.rows());
         self.put_usize(m.cols());
         for &x in m.as_slice() {
             self.put_f64(x);
+        }
+    }
+    /// Zero-pads to the next 8-byte boundary (SoA array alignment).
+    fn pad_to_8(&mut self) {
+        while !self.buf.len().is_multiple_of(8) {
+            self.buf.push(0);
         }
     }
 }
@@ -394,32 +463,47 @@ impl<'a> Decoder<'a> {
 
 /// Serializes a built engine and its corpus to the `.cubelsi` byte format.
 pub fn save_to_vec(model: &CubeLsi, folksonomy: &Folksonomy) -> Vec<u8> {
-    let sections: Vec<(u32, Vec<u8>)> = vec![
-        (SECTION_META, encode_meta(model, folksonomy)),
-        (SECTION_FOLKSONOMY, encode_folksonomy(folksonomy)),
-        (SECTION_TUCKER, encode_tucker(model.decomposition())),
-        (SECTION_DISTANCES, encode_distances(model.distances())),
-        (SECTION_CONCEPTS, encode_concepts(model.concepts())),
-        (SECTION_INDEX, encode_index(model.index())),
-    ];
+    assemble_file(
+        FORMAT_VERSION,
+        vec![
+            (SECTION_META, encode_meta(model, folksonomy)),
+            (SECTION_FOLKSONOMY, encode_folksonomy(folksonomy)),
+            (SECTION_TUCKER, encode_tucker(model.decomposition())),
+            (SECTION_DISTANCES, encode_distances(model.distances())),
+            (SECTION_CONCEPTS, encode_concepts(model.concepts())),
+            (SECTION_INDEX_SOA, encode_index_soa(model.index())),
+        ],
+    )
+}
 
+/// Lays out header + table + payloads, starting every payload at an
+/// 8-byte-aligned file offset (zero padding in between). The alignment is
+/// what lets the zero-copy loader view the SoA index arrays in place.
+fn assemble_file(version: u32, sections: Vec<(u32, Vec<u8>)>) -> Vec<u8> {
     let table_len = sections.len() * TABLE_ENTRY_LEN;
-    let mut out = Vec::with_capacity(
-        HEADER_LEN + table_len + sections.iter().map(|(_, p)| p.len()).sum::<usize>(),
-    );
+    let payload_base = HEADER_LEN + table_len;
+    // HEADER_LEN = 16 and TABLE_ENTRY_LEN = 24, so payload_base is always
+    // a multiple of 8; padding each payload to a multiple of 8 keeps every
+    // later payload aligned too.
+    debug_assert_eq!(payload_base % 8, 0);
+    let padded = |len: usize| len.div_ceil(8) * 8;
+    let total: usize = payload_base + sections.iter().map(|(_, p)| padded(p.len())).sum::<usize>();
+
+    let mut out = Vec::with_capacity(total);
     out.extend_from_slice(&MAGIC);
-    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&version.to_le_bytes());
     out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
-    let mut offset = (HEADER_LEN + table_len) as u64;
+    let mut offset = payload_base as u64;
     for (id, payload) in &sections {
         out.extend_from_slice(&id.to_le_bytes());
         out.extend_from_slice(&offset.to_le_bytes());
         out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
         out.extend_from_slice(&crc32(payload).to_le_bytes());
-        offset += payload.len() as u64;
+        offset += padded(payload.len()) as u64;
     }
     for (_, payload) in &sections {
         out.extend_from_slice(payload);
+        out.resize(padded(out.len() - payload_base) + payload_base, 0);
     }
     out
 }
@@ -538,39 +622,190 @@ fn encode_concepts(c: &ConceptModel) -> Vec<u8> {
     e.buf
 }
 
-fn encode_index(ix: &ConceptIndex) -> Vec<u8> {
+/// Encodes the SoA index section: the 6-field header followed by the raw
+/// arrays, each 8-aligned relative to the payload start (which the file
+/// writer in turn places at an 8-aligned file offset).
+fn encode_index_soa(ix: &ConceptIndex) -> Vec<u8> {
+    let a = ix.as_arrays();
     let mut e = Encoder::default();
     e.put_usize(ix.num_resources());
     e.put_usize(ix.num_concepts());
-    e.put_usize(ix.num_concepts());
-    for l in 0..ix.num_concepts() {
-        e.put_f64(ix.idf(l));
+    e.put_usize(BLOCK_LEN);
+    e.put_usize(a.rv_concepts.len());
+    e.put_usize(a.post_ids.len());
+    e.put_usize(a.block_max.len());
+    for xs in [
+        a.idf,
+        a.resource_norms,
+        // rv_offsets interleaves below (u64), keep field order explicit.
+    ] {
+        for &x in xs {
+            e.put_f64(x);
+        }
     }
-    e.put_usize(ix.num_resources());
-    for r in 0..ix.num_resources() {
-        e.put_pairs(ix.resource_vector(r));
-        e.put_f64(ix.resource_norm(r));
+    for &x in a.rv_offsets {
+        e.put_u64(x);
     }
-    e.put_usize(ix.num_concepts());
-    for l in 0..ix.num_concepts() {
-        e.put_pairs(ix.postings(l));
-        e.put_f64(ix.max_impact(l));
+    for &x in a.rv_concepts {
+        e.put_u32(x);
+    }
+    e.pad_to_8();
+    for &x in a.rv_weights {
+        e.put_f64(x);
+    }
+    for &x in a.post_offsets {
+        e.put_u64(x);
+    }
+    for &x in a.post_ids {
+        e.put_u32(x);
+    }
+    e.pad_to_8();
+    for &x in a.post_scores {
+        e.put_f64(x);
+    }
+    for &x in a.block_offsets {
+        e.put_u64(x);
+    }
+    for &x in a.block_max {
+        e.put_f64(x);
+    }
+    for &x in a.max_impact {
+        e.put_f64(x);
     }
     e.buf
+}
+
+// ---------------------------------------------------------------------------
+// SoA index section layout
+// ---------------------------------------------------------------------------
+
+/// Byte offset + element count of one array inside the SoA payload.
+#[derive(Debug, Clone, Copy)]
+struct ArraySpan {
+    offset: usize,
+    len: usize,
+}
+
+/// The computed layout of every array in the SoA index payload. A single
+/// source of truth shared by the encoder (implicitly, via field order) and
+/// both decoders; all arithmetic is checked so hostile header counts
+/// cannot overflow.
+struct SoaLayout {
+    idf: ArraySpan,
+    resource_norms: ArraySpan,
+    rv_offsets: ArraySpan,
+    rv_concepts: ArraySpan,
+    rv_weights: ArraySpan,
+    post_offsets: ArraySpan,
+    post_ids: ArraySpan,
+    post_scores: ArraySpan,
+    block_offsets: ArraySpan,
+    block_max: ArraySpan,
+    max_impact: ArraySpan,
+    /// Total payload length in bytes (including trailing padding of u32
+    /// arrays, excluding nothing else).
+    total_len: usize,
+}
+
+fn soa_layout(
+    num_resources: usize,
+    num_concepts: usize,
+    rv_nnz: usize,
+    n_postings: usize,
+    n_blocks: usize,
+) -> Option<SoaLayout> {
+    let mut cursor = SOA_HEADER_FIELDS.checked_mul(8)?;
+    let mut span = |elem_size: usize, len: usize, pad: bool| -> Option<ArraySpan> {
+        let offset = cursor;
+        let bytes = len.checked_mul(elem_size)?;
+        cursor = cursor.checked_add(bytes)?;
+        if pad {
+            cursor = cursor.checked_add(7)? / 8 * 8;
+        }
+        Some(ArraySpan { offset, len })
+    };
+    let idf = span(8, num_concepts, false)?;
+    let resource_norms = span(8, num_resources, false)?;
+    let rv_offsets = span(8, num_resources.checked_add(1)?, false)?;
+    let rv_concepts = span(4, rv_nnz, true)?;
+    let rv_weights = span(8, rv_nnz, false)?;
+    let post_offsets = span(8, num_concepts.checked_add(1)?, false)?;
+    let post_ids = span(4, n_postings, true)?;
+    let post_scores = span(8, n_postings, false)?;
+    let block_offsets = span(8, num_concepts.checked_add(1)?, false)?;
+    let block_max = span(8, n_blocks, false)?;
+    let max_impact = span(8, num_concepts, false)?;
+    Some(SoaLayout {
+        idf,
+        resource_norms,
+        rv_offsets,
+        rv_concepts,
+        rv_weights,
+        post_offsets,
+        post_ids,
+        post_scores,
+        block_offsets,
+        block_max,
+        max_impact,
+        total_len: cursor,
+    })
 }
 
 // ---------------------------------------------------------------------------
 // Load
 // ---------------------------------------------------------------------------
 
-/// Parses an artifact from bytes already in memory.
+/// Parses an artifact from bytes already in memory, copying every array
+/// into owned buffers (the portable default).
 pub fn load_from_bytes(bytes: &[u8]) -> Result<Artifact, PersistError> {
+    load_impl(bytes, None)
+}
+
+/// Reads an artifact from an arbitrary source.
+pub fn load(reader: &mut impl Read) -> Result<Artifact, PersistError> {
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    load_from_bytes(&bytes)
+}
+
+/// Reads an artifact from a file path (owned buffers).
+pub fn load_from_path(path: impl AsRef<Path>) -> Result<Artifact, PersistError> {
+    let bytes = std::fs::read(path)?;
+    load_from_bytes(&bytes)
+}
+
+/// Parses an artifact from a shared aligned buffer, borrowing the hot
+/// index arrays (posting ids/scores, block maxima, offsets, norms, idf)
+/// straight out of it — no per-posting deserialization. The buffer stays
+/// alive for as long as any loaded structure does (each borrowed array
+/// holds an `Arc` to it). Validation still runs in full; only the copy is
+/// skipped.
+pub fn load_zero_copy(buf: Arc<AlignedBytes>) -> Result<Artifact, PersistError> {
+    // The byte slice borrows from `buf`, but nothing in the returned
+    // artifact borrows from the slice itself — borrowed slabs carry their
+    // own `Arc<AlignedBytes>` clones.
+    let bytes: &[u8] = buf.as_slice();
+    load_impl(bytes, Some(&buf))
+}
+
+/// Reads an artifact from a file path into an aligned buffer and serves
+/// the index zero-copy out of it.
+pub fn load_from_path_zero_copy(path: impl AsRef<Path>) -> Result<Artifact, PersistError> {
+    let buf = Arc::new(AlignedBytes::read_file(path)?);
+    load_zero_copy(buf)
+}
+
+fn load_impl(bytes: &[u8], owner: Option<&Arc<AlignedBytes>>) -> Result<Artifact, PersistError> {
     let sections = parse_sections(bytes)?;
-    let payload = |id: u32| -> Result<&[u8], PersistError> {
+    let find = |id: u32| -> Option<(usize, &[u8])> {
         sections
             .iter()
-            .find(|&&(sid, _)| sid == id)
-            .map(|&(_, p)| p)
+            .find(|&&(sid, _, _)| sid == id)
+            .map(|&(_, off, p)| (off, p))
+    };
+    let payload = |id: u32| -> Result<&[u8], PersistError> {
+        find(id)
+            .map(|(_, p)| p)
             .ok_or(PersistError::MissingSection(id))
     };
 
@@ -579,11 +814,19 @@ pub fn load_from_bytes(bytes: &[u8]) -> Result<Artifact, PersistError> {
     let decomposition = decode_tucker(payload(SECTION_TUCKER)?)?;
     let distances = decode_distances(payload(SECTION_DISTANCES)?, meta.num_tags)?;
     let concepts = decode_concepts(payload(SECTION_CONCEPTS)?, meta.num_tags)?;
-    let index = decode_index(
-        payload(SECTION_INDEX)?,
-        meta.num_resources,
-        concepts.num_concepts(),
-    )?;
+    let index = if let Some((offset, p)) = find(SECTION_INDEX_SOA) {
+        decode_index_soa(
+            p,
+            offset,
+            owner,
+            meta.num_resources,
+            concepts.num_concepts(),
+        )?
+    } else if let Some((_, p)) = find(SECTION_INDEX_V1) {
+        decode_index_v1(p, meta.num_resources, concepts.num_concepts())?
+    } else {
+        return Err(PersistError::MissingSection(SECTION_INDEX_SOA));
+    };
 
     let model = CubeLsi::from_restored(
         decomposition,
@@ -596,22 +839,12 @@ pub fn load_from_bytes(bytes: &[u8]) -> Result<Artifact, PersistError> {
     Ok(Artifact { model, folksonomy })
 }
 
-/// Reads an artifact from an arbitrary source.
-pub fn load(reader: &mut impl Read) -> Result<Artifact, PersistError> {
-    let mut bytes = Vec::new();
-    reader.read_to_end(&mut bytes)?;
-    load_from_bytes(&bytes)
-}
+/// One parsed section-table row: `(id, file offset, payload)` with a
+/// verified CRC.
+type SectionView<'a> = (u32, usize, &'a [u8]);
 
-/// Reads an artifact from a file path.
-pub fn load_from_path(path: impl AsRef<Path>) -> Result<Artifact, PersistError> {
-    let bytes = std::fs::read(path)?;
-    load_from_bytes(&bytes)
-}
-
-/// Validates the header + section table and returns `(id, payload)` views
-/// with verified CRCs.
-fn parse_sections(bytes: &[u8]) -> Result<Vec<(u32, &[u8])>, PersistError> {
+/// Validates the header + section table and returns the section views.
+fn parse_sections(bytes: &[u8]) -> Result<Vec<SectionView<'_>>, PersistError> {
     if bytes.len() < HEADER_LEN {
         if bytes.len() >= MAGIC.len() && bytes[..MAGIC.len()] != MAGIC {
             return Err(PersistError::BadMagic);
@@ -666,7 +899,7 @@ fn parse_sections(bytes: &[u8]) -> Result<Vec<(u32, &[u8])>, PersistError> {
                 got,
             });
         }
-        sections.push((id, payload));
+        sections.push((id, offset, payload));
     }
     Ok(sections)
 }
@@ -856,12 +1089,330 @@ fn decode_concepts(payload: &[u8], num_tags: usize) -> Result<ConceptModel, Pers
     Ok(ConceptModel::from_parts(assignments, num_concepts, sigma))
 }
 
-fn decode_index(
+/// Converts raw LE bytes into an owned `Vec<T>` (bulk array read for the
+/// portable load path). `bytes.len()` must be `count * size_of::<T>()`.
+fn bulk_owned<T: Pod + LeScalar>(bytes: &[u8]) -> Vec<T> {
+    bytes
+        .chunks_exact(std::mem::size_of::<T>())
+        .map(T::from_le_chunk)
+        .collect()
+}
+
+/// LE decoding for the three SoA scalar shapes.
+trait LeScalar: Sized {
+    fn from_le_chunk(chunk: &[u8]) -> Self;
+}
+impl LeScalar for u32 {
+    fn from_le_chunk(c: &[u8]) -> Self {
+        u32::from_le_bytes(c.try_into().unwrap())
+    }
+}
+impl LeScalar for u64 {
+    fn from_le_chunk(c: &[u8]) -> Self {
+        u64::from_le_bytes(c.try_into().unwrap())
+    }
+}
+impl LeScalar for f64 {
+    fn from_le_chunk(c: &[u8]) -> Self {
+        f64::from_le_bytes(c.try_into().unwrap())
+    }
+}
+
+fn decode_index_soa(
+    payload: &[u8],
+    file_offset: usize,
+    owner: Option<&Arc<AlignedBytes>>,
+    num_resources: usize,
+    num_concepts: usize,
+) -> Result<ConceptIndex, PersistError> {
+    let err = |detail: String| PersistError::Malformed {
+        section: SECTION_INDEX_SOA,
+        detail,
+    };
+    if !file_offset.is_multiple_of(8) {
+        return Err(PersistError::MisalignedSection {
+            section: SECTION_INDEX_SOA,
+            offset: file_offset as u64,
+        });
+    }
+    if payload.len() < SOA_HEADER_FIELDS * 8 {
+        return Err(err(format!(
+            "payload of {} bytes is smaller than the {}-byte header",
+            payload.len(),
+            SOA_HEADER_FIELDS * 8
+        )));
+    }
+    let field = |i: usize| u64::from_le_bytes(payload[i * 8..(i + 1) * 8].try_into().unwrap());
+    let to_usize = |v: u64, what: &str| {
+        usize::try_from(v).map_err(|_| err(format!("{what} = {v} exceeds usize")))
+    };
+    let stored_resources = to_usize(field(0), "num_resources")?;
+    let stored_concepts = to_usize(field(1), "num_concepts")?;
+    let block_len = field(2);
+    let rv_nnz = to_usize(field(3), "rv_nnz")?;
+    let n_postings = to_usize(field(4), "n_postings")?;
+    let n_blocks = to_usize(field(5), "n_blocks")?;
+    if stored_resources != num_resources || stored_concepts != num_concepts {
+        return Err(err(format!(
+            "index is {stored_resources}x{stored_concepts}, model is {num_resources}x{num_concepts}"
+        )));
+    }
+    if block_len != BLOCK_LEN as u64 {
+        return Err(err(format!(
+            "block length {block_len} != supported {BLOCK_LEN}"
+        )));
+    }
+    let layout = soa_layout(num_resources, num_concepts, rv_nnz, n_postings, n_blocks)
+        .ok_or_else(|| err("array layout overflows".to_owned()))?;
+    if layout.total_len != payload.len() {
+        return Err(err(format!(
+            "payload is {} bytes, layout requires {}",
+            payload.len(),
+            layout.total_len
+        )));
+    }
+
+    fn slab<T: Pod + LeScalar>(
+        payload: &[u8],
+        file_offset: usize,
+        owner: Option<&Arc<AlignedBytes>>,
+        span: ArraySpan,
+    ) -> Result<Slab<T>, PersistError> {
+        let bytes = &payload[span.offset..span.offset + span.len * std::mem::size_of::<T>()];
+        match owner {
+            None => Ok(Slab::Owned(bulk_owned(bytes))),
+            Some(arc) => Slab::borrowed(arc.clone(), file_offset + span.offset, span.len).ok_or(
+                PersistError::MisalignedSection {
+                    section: SECTION_INDEX_SOA,
+                    offset: (file_offset + span.offset) as u64,
+                },
+            ),
+        }
+    }
+
+    let idf: Slab<f64> = slab(payload, file_offset, owner, layout.idf)?;
+    let resource_norms: Slab<f64> = slab(payload, file_offset, owner, layout.resource_norms)?;
+    let rv_offsets: Slab<u64> = slab(payload, file_offset, owner, layout.rv_offsets)?;
+    let rv_concepts: Slab<u32> = slab(payload, file_offset, owner, layout.rv_concepts)?;
+    let rv_weights: Slab<f64> = slab(payload, file_offset, owner, layout.rv_weights)?;
+    let post_offsets: Slab<u64> = slab(payload, file_offset, owner, layout.post_offsets)?;
+    let post_ids: Slab<u32> = slab(payload, file_offset, owner, layout.post_ids)?;
+    let post_scores: Slab<f64> = slab(payload, file_offset, owner, layout.post_scores)?;
+    let block_offsets: Slab<u64> = slab(payload, file_offset, owner, layout.block_offsets)?;
+    let block_max: Slab<f64> = slab(payload, file_offset, owner, layout.block_max)?;
+    let max_impact: Slab<f64> = slab(payload, file_offset, owner, layout.max_impact)?;
+
+    validate_index_arrays(
+        SECTION_INDEX_SOA,
+        num_resources,
+        num_concepts,
+        rv_nnz,
+        n_postings,
+        n_blocks,
+        &rv_offsets,
+        &rv_concepts,
+        &rv_weights,
+        &resource_norms,
+        &post_offsets,
+        &post_ids,
+        &post_scores,
+        &block_offsets,
+        &block_max,
+        &max_impact,
+    )?;
+
+    Ok(ConceptIndex::from_soa_parts(
+        num_resources,
+        num_concepts,
+        idf,
+        resource_norms,
+        rv_offsets,
+        rv_concepts,
+        rv_weights,
+        post_offsets,
+        post_ids,
+        post_scores,
+        block_offsets,
+        block_max,
+        max_impact,
+    ))
+}
+
+/// Structural validation of the index arrays: offset monotonicity, id
+/// ranges, per-list impact order (the pruning loops' exactness relies on
+/// it), block geometry, block-max / max-impact consistency with the score
+/// arrays, and posting ↔ resource-vector cross-consistency (the block-max
+/// engine's candidate-side updates recompute `w/‖r‖` from the vectors, so
+/// the two representations must agree bit for bit). A CRC-valid but
+/// semantically hostile file fails here and can therefore never misrank
+/// silently.
+#[allow(clippy::too_many_arguments)]
+fn validate_index_arrays(
+    section: u32,
+    num_resources: usize,
+    num_concepts: usize,
+    rv_nnz: usize,
+    n_postings: usize,
+    n_blocks: usize,
+    rv_offsets: &[u64],
+    rv_concepts: &[u32],
+    rv_weights: &[f64],
+    resource_norms: &[f64],
+    post_offsets: &[u64],
+    post_ids: &[u32],
+    post_scores: &[f64],
+    block_offsets: &[u64],
+    block_max: &[f64],
+    max_impact: &[f64],
+) -> Result<(), PersistError> {
+    let err = |detail: String| PersistError::Malformed { section, detail };
+    let check_offsets = |offsets: &[u64], total: usize, what: &str| -> Result<(), PersistError> {
+        if offsets.first() != Some(&0) {
+            return Err(err(format!("{what} offsets must start at 0")));
+        }
+        if offsets.last() != Some(&(total as u64)) {
+            return Err(err(format!(
+                "{what} offsets must end at {total}, found {:?}",
+                offsets.last()
+            )));
+        }
+        for w in offsets.windows(2) {
+            if w[0] > w[1] {
+                return Err(err(format!(
+                    "{what} offsets decrease ({} > {})",
+                    w[0], w[1]
+                )));
+            }
+        }
+        Ok(())
+    };
+    check_offsets(rv_offsets, rv_nnz, "resource-vector")?;
+    check_offsets(post_offsets, n_postings, "posting")?;
+    check_offsets(block_offsets, n_blocks, "block")?;
+
+    if let Some(&l) = rv_concepts.iter().find(|&&l| l as usize >= num_concepts) {
+        return Err(err(format!(
+            "resource vector references unknown concept {l} of {num_concepts}"
+        )));
+    }
+    if let Some(&r) = post_ids.iter().find(|&&r| r as usize >= num_resources) {
+        return Err(err(format!(
+            "posting references unknown resource {r} of {num_resources}"
+        )));
+    }
+
+    // Resource vectors must be strictly ascending in concept id: the
+    // candidate-side update path binary-searches them.
+    for r in 0..num_resources {
+        let lo = rv_offsets[r] as usize;
+        let hi = rv_offsets[r + 1] as usize;
+        for j in lo + 1..hi {
+            if rv_concepts[j - 1] >= rv_concepts[j] {
+                return Err(err(format!(
+                    "resource {r} vector concepts not strictly ascending"
+                )));
+            }
+        }
+    }
+    // Every posting of a resource must correspond to one of its vector
+    // entries with the bitwise-identical normalized impact; together with
+    // the count equality below this makes postings ↔ vector entries a
+    // bijection for resources with a positive norm, so candidate-side
+    // updates and posting-list scans are interchangeable.
+    let expected_postings: u64 = (0..num_resources)
+        .filter(|&r| resource_norms[r] > 0.0)
+        .map(|r| rv_offsets[r + 1] - rv_offsets[r])
+        .sum();
+    if expected_postings != n_postings as u64 {
+        return Err(err(format!(
+            "{n_postings} postings for {expected_postings} vector entries of positive-norm resources"
+        )));
+    }
+
+    for l in 0..num_concepts {
+        let lo = post_offsets[l] as usize;
+        let hi = post_offsets[l + 1] as usize;
+        let blo = block_offsets[l] as usize;
+        let bhi = block_offsets[l + 1] as usize;
+        if bhi - blo != (hi - lo).div_ceil(BLOCK_LEN) {
+            return Err(err(format!(
+                "concept {l} has {} postings but {} blocks",
+                hi - lo,
+                bhi - blo
+            )));
+        }
+        // Impact order: score descending, ties by ascending resource id
+        // (the shared ranking tie-break). NaN scores fail both branches.
+        for j in lo + 1..hi {
+            let ordered = post_scores[j - 1] > post_scores[j]
+                || (post_scores[j - 1] == post_scores[j] && post_ids[j - 1] < post_ids[j]);
+            if !ordered {
+                return Err(err(format!(
+                    "concept {l} postings out of impact order at position {}",
+                    j - lo
+                )));
+            }
+        }
+        // Block maxima must equal the head impact of their block (lists
+        // are descending), and the list max must equal the first impact.
+        for (bi, b) in (blo..bhi).enumerate() {
+            let head = post_scores[lo + bi * BLOCK_LEN];
+            if block_max[b].to_bits() != head.to_bits() {
+                return Err(err(format!(
+                    "concept {l} block {bi} max {} disagrees with head impact {head}",
+                    block_max[b]
+                )));
+            }
+        }
+        let expect_max = if hi > lo { post_scores[lo] } else { 0.0 };
+        if max_impact[l].to_bits() != expect_max.to_bits() {
+            return Err(err(format!(
+                "concept {l} max impact {} disagrees with list head {expect_max}",
+                max_impact[l]
+            )));
+        }
+        // Posting ↔ vector cross-check (see above).
+        for j in lo..hi {
+            let r = post_ids[j] as usize;
+            let rlo = rv_offsets[r] as usize;
+            let rhi = rv_offsets[r + 1] as usize;
+            let p = match rv_concepts[rlo..rhi].binary_search(&(l as u32)) {
+                Ok(p) => p,
+                Err(_) => {
+                    return Err(err(format!(
+                        "concept {l} posts resource {r} whose vector lacks the concept"
+                    )))
+                }
+            };
+            let norm = resource_norms[r];
+            // `norm > 0.0` is false for NaN too; both must be rejected.
+            if norm.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                return Err(err(format!(
+                    "posted resource {r} has non-positive norm {norm}"
+                )));
+            }
+            let recomputed = rv_weights[rlo + p] / norm;
+            if recomputed.to_bits() != post_scores[j].to_bits() {
+                return Err(err(format!(
+                    "concept {l} posting for resource {r}: impact {} disagrees with \
+                     vector-derived {recomputed}",
+                    post_scores[j]
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Legacy format-v1 index section: per-posting `(u32, f64)` pair lists.
+/// Decoded into the same SoA in-memory layout (block maxima derived from
+/// the sorted lists).
+fn decode_index_v1(
     payload: &[u8],
     num_resources: usize,
     num_concepts: usize,
 ) -> Result<ConceptIndex, PersistError> {
-    let mut d = Decoder::new(payload, SECTION_INDEX);
+    let mut d = Decoder::new(payload, SECTION_INDEX_V1);
     let stored_resources = d.usize()?;
     let stored_concepts = d.usize()?;
     if stored_resources != num_resources || stored_concepts != num_concepts {
@@ -898,25 +1449,53 @@ fn decode_index(
         )));
     }
     let mut postings = Vec::with_capacity(n_post);
-    let mut max_impact = Vec::with_capacity(n_post);
     for l in 0..n_post {
         let list = d.pairs()?;
         if let Some(&(r, _)) = list.iter().find(|&&(r, _)| r as usize >= num_resources) {
             return Err(d.err(format!("concept {l} posts unknown resource {r}")));
         }
+        let stored_max = d.f64()?;
+        let head = list.first().map_or(0.0, |&(_, w)| w);
+        if stored_max.to_bits() != head.to_bits() {
+            return Err(d.err(format!(
+                "concept {l} stored max impact {stored_max} disagrees with list head {head}"
+            )));
+        }
         postings.push(list);
-        max_impact.push(d.f64()?);
     }
     d.finish()?;
-    Ok(ConceptIndex::from_raw_parts(
+    let index = ConceptIndex::from_lists(
         num_resources,
         num_concepts,
         idf,
         resource_vectors,
         resource_norms,
         postings,
-        max_impact,
-    ))
+    );
+    // A v1 file carries the same semantic obligations as a v2 file (the
+    // engine it feeds is the same); run the full validation on the
+    // assembled arrays. Block geometry is correct by construction here,
+    // but impact order and posting ↔ vector consistency are not.
+    let a = index.as_arrays();
+    validate_index_arrays(
+        SECTION_INDEX_V1,
+        num_resources,
+        num_concepts,
+        a.rv_concepts.len(),
+        a.post_ids.len(),
+        a.block_max.len(),
+        a.rv_offsets,
+        a.rv_concepts,
+        a.rv_weights,
+        a.resource_norms,
+        a.post_offsets,
+        a.post_ids,
+        a.post_scores,
+        a.block_offsets,
+        a.block_max,
+        a.max_impact,
+    )?;
+    Ok(index)
 }
 
 #[cfg(test)]
@@ -937,6 +1516,53 @@ mod tests {
         };
         let model = CubeLsi::build(&f, &cfg).unwrap();
         (f, model)
+    }
+
+    /// Format-v1 encoder for the legacy index section (per-posting
+    /// pairs), used to synthesize v1 artifacts for the back-compat test.
+    fn encode_index_v1(ix: &ConceptIndex) -> Vec<u8> {
+        let mut e = Encoder::default();
+        e.put_usize(ix.num_resources());
+        e.put_usize(ix.num_concepts());
+        e.put_usize(ix.num_concepts());
+        for l in 0..ix.num_concepts() {
+            e.put_f64(ix.idf(l));
+        }
+        e.put_usize(ix.num_resources());
+        for r in 0..ix.num_resources() {
+            let v = ix.resource_vector(r);
+            e.put_usize(v.len());
+            for (l, w) in v.iter() {
+                e.put_u32(l);
+                e.put_f64(w);
+            }
+            e.put_f64(ix.resource_norm(r));
+        }
+        e.put_usize(ix.num_concepts());
+        for l in 0..ix.num_concepts() {
+            let p = ix.postings(l);
+            e.put_usize(p.len());
+            for (r, w) in p.iter() {
+                e.put_u32(r);
+                e.put_f64(w);
+            }
+            e.put_f64(ix.max_impact(l));
+        }
+        e.buf
+    }
+
+    fn save_to_vec_v1(model: &CubeLsi, folksonomy: &Folksonomy) -> Vec<u8> {
+        assemble_file(
+            1,
+            vec![
+                (SECTION_META, encode_meta(model, folksonomy)),
+                (SECTION_FOLKSONOMY, encode_folksonomy(folksonomy)),
+                (SECTION_TUCKER, encode_tucker(model.decomposition())),
+                (SECTION_DISTANCES, encode_distances(model.distances())),
+                (SECTION_CONCEPTS, encode_concepts(model.concepts())),
+                (SECTION_INDEX_V1, encode_index_v1(model.index())),
+            ],
+        )
     }
 
     #[test]
@@ -975,6 +1601,7 @@ mod tests {
         assert_eq!(loaded.model.timings().total(), model.timings().total());
         assert_eq!(loaded.model.num_users(), model.num_users());
         assert_eq!(loaded.model.num_resources(), model.num_resources());
+        assert!(!loaded.model.index().is_zero_copy());
 
         // Search results must be bit-identical, by name and by id.
         for name in ["folk", "people", "laptop"] {
@@ -989,6 +1616,59 @@ mod tests {
     }
 
     #[test]
+    fn zero_copy_round_trip_matches_owned() {
+        let (f, model) = built();
+        let bytes = save_to_vec(&model, &f);
+        let buf = Arc::new(AlignedBytes::from_bytes(&bytes));
+        let zc = load_zero_copy(buf).unwrap();
+        assert!(zc.model.index().is_zero_copy(), "hot arrays must borrow");
+        let owned = load_from_bytes(&bytes).unwrap();
+        for name in ["folk", "people", "laptop"] {
+            let a = owned.model.search(&[name], 0);
+            let b = zc.model.search(&[name], 0);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.resource, y.resource);
+                assert_eq!(x.score.to_bits(), y.score.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn format_v1_artifacts_still_load() {
+        let (f, model) = built();
+        let v1 = save_to_vec_v1(&model, &f);
+        assert_eq!(u32::from_le_bytes(v1[8..12].try_into().unwrap()), 1);
+        let loaded = load_from_bytes(&v1).unwrap();
+        for name in ["folk", "people", "laptop"] {
+            let a = model.search(&[name], 0);
+            let b = loaded.model.search(&[name], 0);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.resource, y.resource);
+                assert_eq!(x.score.to_bits(), y.score.to_bits());
+            }
+        }
+        // A v1 artifact also loads zero-copy-requested (falling back to
+        // owned arrays — there is nothing aligned to borrow).
+        let buf = Arc::new(AlignedBytes::from_bytes(&v1));
+        let zc = load_zero_copy(buf).unwrap();
+        assert!(!zc.model.index().is_zero_copy());
+    }
+
+    #[test]
+    fn sections_are_eight_byte_aligned() {
+        let (f, model) = built();
+        let bytes = save_to_vec(&model, &f);
+        let count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+        for i in 0..count {
+            let e = HEADER_LEN + i * TABLE_ENTRY_LEN;
+            let offset = u64::from_le_bytes(bytes[e + 4..e + 12].try_into().unwrap());
+            assert_eq!(offset % 8, 0, "section {i} payload misaligned");
+        }
+    }
+
+    #[test]
     fn save_load_via_path() {
         let (f, model) = built();
         let path = std::env::temp_dir().join(format!(
@@ -997,8 +1677,11 @@ mod tests {
         ));
         save_to_path(&path, &model, &f).unwrap();
         let loaded = load_from_path(&path).unwrap();
+        let zc = load_from_path_zero_copy(&path).unwrap();
         std::fs::remove_file(&path).ok();
         assert_eq!(loaded.folksonomy.stats(), f.stats());
+        assert_eq!(zc.folksonomy.stats(), f.stats());
+        assert!(zc.model.index().is_zero_copy());
     }
 
     #[test]
@@ -1050,6 +1733,30 @@ mod tests {
     }
 
     #[test]
+    fn hostile_soa_counts_are_rejected_before_allocation() {
+        // Patch the SoA header's n_postings to 2^50: layout total no
+        // longer matches the payload length → typed error, no allocation.
+        let (f, model) = built();
+        let mut bytes = save_to_vec(&model, &f);
+        let count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+        let entry = (0..count)
+            .map(|i| HEADER_LEN + i * TABLE_ENTRY_LEN)
+            .find(|&e| u32::from_le_bytes(bytes[e..e + 4].try_into().unwrap()) == SECTION_INDEX_SOA)
+            .expect("SoA index section present");
+        let offset = u64::from_le_bytes(bytes[entry + 4..entry + 12].try_into().unwrap()) as usize;
+        let len = u64::from_le_bytes(bytes[entry + 12..entry + 20].try_into().unwrap()) as usize;
+        bytes[offset + 32..offset + 40].copy_from_slice(&(1u64 << 50).to_le_bytes());
+        let crc = crc32(&bytes[offset..offset + len]);
+        bytes[entry + 20..entry + 24].copy_from_slice(&crc.to_le_bytes());
+        match load_from_bytes(&bytes) {
+            Err(PersistError::Malformed { section, .. }) => {
+                assert_eq!(section, SECTION_INDEX_SOA);
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn error_display_is_descriptive() {
         let e = PersistError::ChecksumMismatch {
             section: 3,
@@ -1062,5 +1769,10 @@ mod tests {
             supported: FORMAT_VERSION,
         };
         assert!(e.to_string().contains('9'));
+        let e = PersistError::MisalignedSection {
+            section: SECTION_INDEX_SOA,
+            offset: 1234,
+        };
+        assert!(e.to_string().contains("1234"));
     }
 }

@@ -11,7 +11,7 @@ use crate::concepts::ConceptModel;
 use crate::config::CubeLsiConfig;
 use crate::distance::{pairwise_distances_from_embedding, tag_embedding, TagDistances};
 use crate::index::{ConceptIndex, RankedResource};
-use crate::query::{QueryEngine, QuerySession};
+use crate::query::{PruningStrategy, QueryEngine, QuerySession};
 use crate::tensor_build::build_tensor;
 
 /// Wall-clock durations of the offline phases — the quantities behind
@@ -77,7 +77,8 @@ impl CubeLsi {
         timings.clustering = t0.elapsed();
 
         let t0 = Instant::now();
-        let engine = QueryEngine::new(ConceptIndex::build(folksonomy, &concepts));
+        let engine =
+            QueryEngine::with_strategy(ConceptIndex::build(folksonomy, &concepts), config.pruning);
         timings.indexing = t0.elapsed();
 
         Ok(CubeLsi {
@@ -174,6 +175,18 @@ impl CubeLsi {
     /// The online query engine.
     pub fn engine(&self) -> &QueryEngine {
         &self.engine
+    }
+
+    /// The engine's active pruning strategy.
+    pub fn pruning_strategy(&self) -> PruningStrategy {
+        self.engine.strategy()
+    }
+
+    /// Switches the online pruning strategy (results are bit-identical
+    /// under every strategy; this selects the reference path for tests
+    /// and benchmarks).
+    pub fn set_pruning_strategy(&mut self, strategy: PruningStrategy) {
+        self.engine.set_strategy(strategy);
     }
 
     /// The Tucker decomposition (for diagnostics and the memory tables).

@@ -1,5 +1,5 @@
-//! The online top-k query engine: MaxScore-style pruning over
-//! impact-ordered postings, bounded-heap selection, and reusable
+//! The online top-k query engine: exact block-max / MaxScore pruning over
+//! impact-ordered SoA postings, bounded-heap selection, and reusable
 //! zero-allocation scratch.
 //!
 //! # Why this exists
@@ -10,9 +10,10 @@
 //! them all, truncate to `k` — wastes most of its time when `k` is small,
 //! which is the common serving case. This module replaces it with:
 //!
-//! * **Impact-ordered postings** ([`ConceptIndex`] stores
-//!   `w(l, r) / ‖r‖` sorted descending, with per-list maxima), enabling
-//!   MaxScore-style early termination;
+//! * **Impact-ordered SoA postings** ([`ConceptIndex`] stores
+//!   `w(l, r) / ‖r‖` in separate id/score arrays, sorted descending, with
+//!   per-[`BLOCK_LEN`]-block and per-list maxima), enabling block-max
+//!   early termination with minimal memory traffic;
 //! * **Bounded-heap selection**: a `k`-element min-heap replaces the full
 //!   sort, so selection is `O(matches · log k)` instead of
 //!   `O(matches · log matches)`;
@@ -21,39 +22,90 @@
 //! * **[`QueryEngine::search_batch`]**: fans a slice of queries across
 //!   worker threads (one session per worker), for throughput workloads.
 //!
+//! # Pruning strategies
+//!
+//! Two exact strategies share the same query preparation and suffix
+//! bounds, selected by [`PruningStrategy`]:
+//!
+//! * [`PruningStrategy::MaxScore`] — the PR-1 reference path, kept
+//!   verbatim as the correctness and performance baseline: per-posting
+//!   admission bound checks, break to update-only mode at the first
+//!   posting whose bound cannot beat the threshold, resource-indexed
+//!   accumulators, full-division selection.
+//! * [`PruningStrategy::BlockMax`] (default) — the optimized exact path:
+//!   * **block-granular bounds**: one admission check per
+//!     [`BLOCK_LEN`]-posting block against the block's own maximum; a
+//!     failing block ends admission for the whole remaining list (block
+//!     maxima only decrease down an impact-ordered list), and passing
+//!     blocks run tight loops with **no per-posting bound checks**;
+//!   * **dense accumulators**: one `(epoch, slot)` word per resource
+//!     maps into a compact per-query score array, so accumulation costs
+//!     one random cache line per posting instead of two and every
+//!     candidate-wide pass (k-th-partial selection, final top-k
+//!     selection) is a dense scan;
+//!   * **an admission heap**: the k largest admission contributions form
+//!     a continuously-valid threshold that improves *mid-list* — the
+//!     first processed term seeds it from its first k postings (its
+//!     contributions only descend, so later offers are skipped), its
+//!     remaining admissions are bulk copies with vectorized products,
+//!     and at the second term the heap minimum *is* the exact k-th
+//!     partial, replacing the O(touched) selection;
+//!   * **candidate-side updates**: a term that can no longer admit
+//!     anything updates the touched set through per-resource vector
+//!     lookups instead of scanning its posting list when the touched set
+//!     is far smaller (`w/‖r‖` recomputed from the stored vector is the
+//!     bitwise-identical division the index build performed);
+//!   * **division-filtered selection**: candidates are compared against
+//!     a conservative undivided bound first, so only near-top-k
+//!     candidates pay the `acc/norm` division.
+//!
 //! # Pruning invariants (why early termination is exact)
 //!
 //! All query term weights and posting impacts are **non-negative**, so a
 //! resource's partial score only grows as terms are processed. The engine
 //! processes terms in descending `weight × max_impact` order and maintains
 //! `threshold` = the k-th largest *partial* score among touched resources
-//! — a valid lower bound on the final k-th largest score. Two prunes
-//! apply, both only to resources that have not been touched yet:
+//! — a valid lower bound on the final k-th largest score. Prunes apply
+//! only to resources that have not been touched yet:
 //!
 //! 1. **Term prune**: if the summed bound of all remaining terms is below
 //!    `threshold`, no new resource can enter the top k; stop admitting new
 //!    accumulators (existing ones still receive every update).
-//! 2. **In-list prune**: within an impact-ordered list, once
-//!    `wq·impact + rest_bound` drops below `threshold`, no later posting
-//!    can admit a new resource either (impacts only decrease); the rest of
-//!    the list is scanned in update-only mode.
+//! 2. **In-list prune**: within an impact-ordered list, once the admission
+//!    bound (`wq·impact + rest_bound` per posting for MaxScore,
+//!    `wq·block_max + rest_bound` per block for block-max) drops below
+//!    `threshold`, no later posting can admit a new resource either
+//!    (impacts and block maxima only decrease); the rest of the list is
+//!    scanned in update-only mode, which touches only the 4-byte id array
+//!    for misses.
 //!
-//! Both comparisons require the candidate's upper bound to be *relatively*
+//! Bound comparisons require the candidate's upper bound to be *relatively*
 //! below the threshold (`bound · (1 + 1e-9) < threshold`), which absorbs
 //! floating-point rounding in the bound sums — ties at the boundary are
 //! therefore never pruned, and a pruned resource is strictly below the
-//! k-th result even after the final division by the query norm. Because
-//! pruning never changes the order or the set of additions applied to a
-//! *surviving* resource, the pruned path returns bit-identical scores —
-//! and an identical ranked list, including tie-breaks — to
-//! [`ConceptIndex::rank_exact`]. The equivalence is enforced by the
-//! `query_engine_equivalence` integration test over randomized corpora.
+//! k-th result even after the final division by the query norm.
+//!
+//! The two strategies admit slightly different candidate sets: inside a
+//! block whose max passes the bound, block-max admits postings the
+//! per-posting check would have rejected. Such a resource's upper bound is
+//! still strictly below the final k-th score (its block bound at the first
+//! term that skipped it dominates its total), so it can never displace a
+//! true top-k member in the final heap — and whenever a threshold exists,
+//! at least `k` touched resources already exist, so spurious admissions
+//! can only occur in the heap-selection regime, never in the
+//! emit-everything regime. Because pruning never changes the order or the
+//! set of additions applied to a resource that reaches the output, both
+//! pruned paths return bit-identical scores — and an identical ranked
+//! list, including tie-breaks — to [`ConceptIndex::rank_exact`]. The
+//! three-way equivalence (exhaustive ≡ MaxScore ≡ block-max) is enforced
+//! by the `query_engine_equivalence` integration test over randomized
+//! corpora.
 //!
 //! A query whose terms may carry negative weights (possible through the
 //! raw [`QueryEngine::search_weighted`] entry point) falls back to the
 //! exact path, where no bound argument is needed.
 
-use crate::index::{ConceptAssignment, ConceptIndex, RankedResource};
+use crate::index::{ConceptAssignment, ConceptIndex, PostingsRef, RankedResource, BLOCK_LEN};
 use cubelsi_folksonomy::{ResourceId, TagId};
 use cubelsi_linalg::parallel;
 
@@ -62,10 +114,24 @@ use cubelsi_linalg::parallel;
 /// float rounding (≈1e-16 per op) can never prune a true top-k member.
 const PRUNE_SLACK: f64 = 1.0 + 1e-9;
 
+/// Which exact pruning loop the engine runs. Both strategies return
+/// bit-identical results; the knob exists so the previous-generation path
+/// stays selectable as a reference for equivalence tests and benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PruningStrategy {
+    /// Per-posting MaxScore admission checks (the PR-1 path).
+    MaxScore,
+    /// Per-block admission checks against block maxima, tight inner loop
+    /// (the default).
+    #[default]
+    BlockMax,
+}
+
 /// The online query engine over a built [`ConceptIndex`].
 #[derive(Debug, Clone)]
 pub struct QueryEngine {
     index: ConceptIndex,
+    strategy: PruningStrategy,
 }
 
 /// Reusable per-thread scratch for query processing. Create one with
@@ -80,9 +146,18 @@ pub struct QuerySession {
     concept_epoch: Vec<u32>,
     concept_touched: Vec<u32>,
     concept_cur: u32,
-    // Resource-space scratch (accumulation).
+    // Resource-space scratch (accumulation). The MaxScore reference path
+    // uses the two resource-indexed arrays (`acc` + `res_epoch`); the
+    // block-max path instead keeps one combined `(epoch << 32) | slot`
+    // word per resource and accumulates into `acc_dense[slot]`, where
+    // `slot` is the admission index into `touched` — one random cache
+    // line per posting instead of two, and every candidate-wide pass
+    // (k-th partial selection, final selection) runs over the compact
+    // dense array instead of gathering across the full resource space.
     acc: Vec<f64>,
     res_epoch: Vec<u32>,
+    slot_map: Vec<u64>,
+    acc_dense: Vec<f64>,
     touched: Vec<u32>,
     res_cur: u32,
     // Per-query term list, suffix bounds, selection scratch.
@@ -90,6 +165,10 @@ pub struct QuerySession {
     suffix: Vec<f64>,
     select_scratch: Vec<f64>,
     heap: Vec<(f64, u32)>,
+    // Block-max path: bounded min-heap of the top-k admission-time
+    // contributions, maintained while scanning so the pruning threshold
+    // improves *mid-list* instead of only between terms.
+    cand_heap: Vec<f64>,
 }
 
 impl QuerySession {
@@ -99,6 +178,7 @@ impl QuerySession {
             concept_epoch: vec![0; index.num_concepts()],
             acc: vec![0.0; index.num_resources()],
             res_epoch: vec![0; index.num_resources()],
+            slot_map: vec![0; index.num_resources()],
             ..QuerySession::default()
         }
     }
@@ -107,11 +187,22 @@ impl QuerySession {
     /// untouched, without clearing the dense arrays.
     fn begin(&mut self) {
         self.concept_cur = bump_epoch(self.concept_cur, &mut self.concept_epoch);
-        self.res_cur = bump_epoch(self.res_cur, &mut self.res_epoch);
+        self.res_cur = if self.res_cur == u32::MAX {
+            // Wraparound (once per 2^32 queries): hard-reset both the
+            // epoch tags and the slot words (their high 32 bits carry the
+            // same epoch counter).
+            self.res_epoch.fill(0);
+            self.slot_map.fill(0);
+            1
+        } else {
+            self.res_cur + 1
+        };
         self.concept_touched.clear();
         self.touched.clear();
+        self.acc_dense.clear();
         self.terms.clear();
         self.heap.clear();
+        self.cand_heap.clear();
     }
 
     /// Grows the dense scratch to the engine's dimensions if needed, so a
@@ -127,6 +218,15 @@ impl QuerySession {
             self.acc.resize(index.num_resources(), 0.0);
             self.res_epoch.resize(index.num_resources(), 0);
         }
+        if self.slot_map.len() < index.num_resources() {
+            self.slot_map.resize(index.num_resources(), 0);
+        }
+    }
+
+    /// The combined slot word for an admission at the current epoch.
+    #[inline]
+    fn slot_word(&self, slot: usize) -> u64 {
+        ((self.res_cur as u64) << 32) | slot as u64
     }
 }
 
@@ -149,9 +249,28 @@ fn worse(a: (f64, u32), b: (f64, u32)) -> bool {
 }
 
 impl QueryEngine {
-    /// Wraps a built index.
+    /// Wraps a built index with the default (block-max) pruning strategy.
     pub fn new(index: ConceptIndex) -> Self {
-        QueryEngine { index }
+        QueryEngine {
+            index,
+            strategy: PruningStrategy::default(),
+        }
+    }
+
+    /// Wraps a built index with an explicit pruning strategy.
+    pub fn with_strategy(index: ConceptIndex, strategy: PruningStrategy) -> Self {
+        QueryEngine { index, strategy }
+    }
+
+    /// The active pruning strategy.
+    pub fn strategy(&self) -> PruningStrategy {
+        self.strategy
+    }
+
+    /// Switches the pruning strategy. Results are bit-identical either
+    /// way; this knob selects the reference path for tests and benches.
+    pub fn set_strategy(&mut self, strategy: PruningStrategy) {
+        self.strategy = strategy;
     }
 
     /// The underlying concept index.
@@ -389,9 +508,10 @@ impl QueryEngine {
         Some(norm)
     }
 
-    /// The pruned accumulation + bounded-heap selection. Terms must be in
-    /// MaxScore order with non-negative weights; `session` must hold the
-    /// current query's terms.
+    /// Pruned accumulation (per the active [`PruningStrategy`]) +
+    /// bounded-heap selection. Terms must be in MaxScore order with
+    /// non-negative weights; `session` must hold the current query's
+    /// terms.
     fn run_pruned(
         &self,
         session: &mut QuerySession,
@@ -413,15 +533,20 @@ impl QueryEngine {
             let list = self.index.postings(l as usize);
             let mut take = top_k.min(list.len());
             if take > 0 && take < list.len() {
-                let boundary = wq * list[take - 1].1 / norm;
-                while take < list.len() && wq * list[take].1 / norm == boundary {
+                let boundary = wq * list.scores[take - 1] / norm;
+                while take < list.len() && wq * list.scores[take] / norm == boundary {
                     take += 1;
                 }
             }
-            out.extend(list[..take].iter().map(|&(r, w)| RankedResource {
-                resource: ResourceId::from_index(r as usize),
-                score: wq * w / norm,
-            }));
+            out.extend(
+                list.ids[..take]
+                    .iter()
+                    .zip(&list.scores[..take])
+                    .map(|(&r, &w)| RankedResource {
+                        resource: ResourceId::from_index(r as usize),
+                        score: wq * w / norm,
+                    }),
+            );
             sort_ranked(out);
             out.truncate(top_k);
             return;
@@ -435,6 +560,22 @@ impl QueryEngine {
             session.suffix[i] = session.suffix[i + 1] + wq * self.index.max_impact(l as usize);
         }
 
+        match self.strategy {
+            PruningStrategy::MaxScore => {
+                self.accumulate_maxscore(session, top_k);
+                select_emit_sparse(session, norm, top_k, out);
+            }
+            PruningStrategy::BlockMax => {
+                self.accumulate_blockmax(session, top_k);
+                select_emit_dense(session, norm, top_k, out);
+            }
+        }
+    }
+
+    /// The PR-1 reference accumulation loop: per-posting admission bound
+    /// checks, break to update-only mode at the first failing posting.
+    fn accumulate_maxscore(&self, session: &mut QuerySession, top_k: usize) {
+        let m = session.terms.len();
         let mut admitting = true;
         for i in 0..m {
             let (l, wq) = session.terms[i];
@@ -454,14 +595,14 @@ impl QueryEngine {
                 }
             }
             if !admitting {
-                update_only(session, list, wq);
+                update_only(session, list.ids, list.scores, wq);
                 continue;
             }
             let rest = session.suffix[i + 1];
             let mut j = 0;
             while j < list.len() {
-                let (r, w) = list[j];
-                let r = r as usize;
+                let r = list.ids[j] as usize;
+                let w = list.scores[j];
                 if session.res_epoch[r] == session.res_cur {
                     session.acc[r] += wq * w;
                 } else {
@@ -480,37 +621,307 @@ impl QueryEngine {
                 j += 1;
             }
             if j < list.len() {
-                update_only(session, &list[j..], wq);
+                update_only(session, &list.ids[j..], &list.scores[j..], wq);
             }
         }
+    }
 
-        // Selection: bounded min-heap over final (divided) scores when k
-        // is limiting, else collect-and-sort.
-        let matched = session.touched.len();
-        if top_k == 0 || matched <= top_k {
-            out.extend(session.touched.iter().map(|&r| RankedResource {
-                resource: ResourceId::from_index(r as usize),
-                score: session.acc[r as usize] / norm,
-            }));
-            sort_ranked(out);
-            return;
-        }
-        session.heap.clear();
-        for idx in 0..matched {
-            let r = session.touched[idx];
-            let cand = (session.acc[r as usize] / norm, r);
-            if session.heap.len() < top_k {
-                heap_push(&mut session.heap, cand);
-            } else if worse(session.heap[0], cand) {
-                session.heap[0] = cand;
-                heap_sift_down(&mut session.heap, 0);
+    /// The block-max accumulation loop (see the module docs for the full
+    /// list of refinements over the MaxScore reference). The admitted
+    /// candidate set is a superset of the MaxScore path's — block
+    /// granularity admits postings a per-posting check would reject — but
+    /// every spurious candidate is strictly below the final k-th score,
+    /// so the emitted ranking is bit-identical. A bounded min-heap of the
+    /// top-k admission contributions provides a threshold that is valid
+    /// at any instant (k distinct resources each have a final score at or
+    /// above the heap minimum) and improves *while* a list is scanned —
+    /// in particular the first term establishes a threshold after its
+    /// k-th posting instead of admitting its whole list, and once a block
+    /// bound falls below the threshold the rest of the first term's list
+    /// is skipped outright (no earlier term exists whose accumulators
+    /// could need the tail).
+    fn accumulate_blockmax(&self, session: &mut QuerySession, top_k: usize) {
+        let m = session.terms.len();
+        // The admission heap only pays off when k is small relative to
+        // the corpus — when most matches end up in the top k anyway,
+        // nothing can be pruned and its maintenance is pure overhead, so
+        // it is disabled (a performance guard only; every threshold in
+        // this loop is optional and the result is exact either way).
+        let heap_k = if top_k > 0 && top_k * 4 <= self.index.num_resources() {
+            top_k
+        } else {
+            0
+        };
+        let mut admitting = true;
+        for i in 0..m {
+            let (l, wq) = session.terms[i];
+            let l = l as usize;
+            let list = self.index.postings(l);
+            let n = list.len();
+            // Strongest threshold at term start: the k-th largest current
+            // partial (includes growth from updates), as in MaxScore —
+            // computed over the compact dense accumulator array. After
+            // exactly one processed term the partials *are* the admission
+            // values, so a full admission heap already holds the answer
+            // and the O(touched) selection is skipped.
+            let mut threshold = if top_k == 0 {
+                None
+            } else if i == 1 && session.cand_heap.len() == top_k {
+                Some(session.cand_heap[0])
+            } else {
+                kth_partial_dense(session, top_k)
+            };
+            raise_to_heap_threshold(session, heap_k, &mut threshold);
+            if admitting {
+                if let Some(th) = threshold {
+                    if session.suffix[i] * PRUNE_SLACK < th {
+                        admitting = false;
+                    }
+                }
+            }
+            if !admitting {
+                self.update_candidates_or_scan(session, l, wq, list, session.touched.len());
+                continue;
+            }
+            let rest = session.suffix[i + 1];
+            let start_len = session.touched.len();
+            let blocks = self.index.block_maxima(l);
+
+            // Conservative admission cut under the start-of-term
+            // threshold: postings past `cut` can never admit (block
+            // maxima and the bound only decrease down the list; the
+            // improving threshold can only move the real cut earlier).
+            let cut = match threshold {
+                None => n,
+                Some(th) => {
+                    let mut c = 0usize;
+                    for &bm in blocks {
+                        if (wq * bm + rest) * PRUNE_SLACK < th {
+                            break;
+                        }
+                        c = (c + BLOCK_LEN).min(n);
+                    }
+                    c
+                }
+            };
+
+            if start_len * 8 + cut < n {
+                // Candidate-side mode: the admitting prefix plus the
+                // touched set is far smaller than the list. Settle every
+                // previously-touched resource through its concept vector
+                // (covers its posting wherever it sits in the list), then
+                // scan only the prefix for *fresh* admissions — touched
+                // resources are skipped there, and the dead tail is never
+                // read at all.
+                self.update_candidates(session, l, wq, start_len);
+                let mut pos = 0usize;
+                for &bm in &blocks[..cut.div_ceil(BLOCK_LEN)] {
+                    raise_to_heap_threshold(session, heap_k, &mut threshold);
+                    if let Some(th) = threshold {
+                        if (wq * bm + rest) * PRUNE_SLACK < th {
+                            break;
+                        }
+                    }
+                    let block_end = (pos + BLOCK_LEN).min(cut);
+                    admit_fresh(session, list, pos, block_end, wq, heap_k);
+                    pos = block_end;
+                }
+            } else {
+                // List-scan mode: admit + update in one pass over the
+                // live region, with one bound check per block.
+                let mut pos = 0usize;
+                for &bm in blocks {
+                    raise_to_heap_threshold(session, heap_k, &mut threshold);
+                    if let Some(th) = threshold {
+                        if (wq * bm + rest) * PRUNE_SLACK < th {
+                            // No posting from here on can admit. Resources
+                            // admitted earlier in *this* list cannot
+                            // reappear in its tail, so with no earlier
+                            // touched resources the tail is dead weight;
+                            // otherwise it is update-only.
+                            if pos == 0 {
+                                self.update_candidates_or_scan(session, l, wq, list, start_len);
+                            } else if start_len > 0 {
+                                update_only_dense(
+                                    session,
+                                    &list.ids[pos..],
+                                    &list.scores[pos..],
+                                    wq,
+                                );
+                            }
+                            pos = n;
+                            break;
+                        }
+                    }
+                    let block_end = (pos + BLOCK_LEN).min(n);
+                    if start_len == 0 {
+                        // First processed term: every posting is a fresh
+                        // admission (a resource appears once per list), so
+                        // the slot word is written without being read, and
+                        // past the k-th posting the descending
+                        // contributions can never displace the admission
+                        // heap's minimum — no offers needed.
+                        admit_block_first(session, list, pos, block_end, wq, heap_k);
+                    } else {
+                        admit_block(session, list, pos, block_end, wq, heap_k);
+                    }
+                    pos = block_end;
+                }
+                debug_assert!(pos == n);
             }
         }
-        out.extend(session.heap.iter().map(|&(s, r)| RankedResource {
+    }
+
+    /// Adds term `l`'s contribution to the first `count` touched
+    /// resources by binary-searching each one's tf-idf vector (their
+    /// accumulator slot is their admission index, so no slot lookup is
+    /// needed). The recomputed `w / ‖r‖` is the same division (same
+    /// operand bits) the index build performed, so the contribution is
+    /// bit-identical to the stored posting impact.
+    fn update_candidates(&self, session: &mut QuerySession, l: usize, wq: f64, count: usize) {
+        let concept = l as u32;
+        for idx in 0..count {
+            let r = session.touched[idx] as usize;
+            let rv = self.index.resource_vector(r);
+            if let Ok(p) = rv.concepts.binary_search(&concept) {
+                let impact = rv.weights[p] / self.index.resource_norm(r);
+                session.acc_dense[idx] += wq * impact;
+            }
+        }
+    }
+
+    /// Applies one term's contributions to already-touched resources only
+    /// (no admissions possible), choosing the cheaper side: scan the
+    /// term's posting list, or — when the touched set is far smaller —
+    /// candidate-side vector lookups. The factor 8 keeps the lookup path
+    /// (a handful of binary-search probes plus a division per hit) to
+    /// cases where it wins decisively over `len` id loads.
+    fn update_candidates_or_scan(
+        &self,
+        session: &mut QuerySession,
+        l: usize,
+        wq: f64,
+        list: PostingsRef<'_>,
+        count: usize,
+    ) {
+        if count * 8 < list.len() {
+            self.update_candidates(session, l, wq, count);
+        } else {
+            update_only_dense(session, list.ids, list.scores, wq);
+        }
+    }
+}
+
+/// Emits the MaxScore path's results from the resource-indexed
+/// accumulators: bounded min-heap over final (divided) scores when k is
+/// limiting, else collect-and-sort. The PR-1 loop, kept verbatim as the
+/// reference.
+fn select_emit_sparse(
+    session: &mut QuerySession,
+    norm: f64,
+    top_k: usize,
+    out: &mut Vec<RankedResource>,
+) {
+    let matched = session.touched.len();
+    if top_k == 0 || matched <= top_k {
+        out.extend(session.touched.iter().map(|&r| RankedResource {
             resource: ResourceId::from_index(r as usize),
-            score: s,
+            score: session.acc[r as usize] / norm,
         }));
         sort_ranked(out);
+        return;
+    }
+    session.heap.clear();
+    for idx in 0..matched {
+        let r = session.touched[idx];
+        let cand = (session.acc[r as usize] / norm, r);
+        if session.heap.len() < top_k {
+            heap_push(&mut session.heap, cand);
+        } else if worse(session.heap[0], cand) {
+            session.heap[0] = cand;
+            heap_sift_down(&mut session.heap, 0);
+        }
+    }
+    out.extend(session.heap.iter().map(|&(s, r)| RankedResource {
+        resource: ResourceId::from_index(r as usize),
+        score: s,
+    }));
+    sort_ranked(out);
+}
+
+/// Emits the block-max path's results from the dense accumulators. The
+/// heap pre-filters in *undivided* space: a candidate is divided (and
+/// exactly compared) only when its raw accumulator could possibly reach
+/// the heap minimum. `reject_bound = heap_min · norm · (1 − 1e-9)` is
+/// conservative: any candidate whose divided score ties or beats the
+/// heap minimum satisfies `acc ≥ heap_min · norm` up to one rounding
+/// ulp, so it always survives the filter; rejected candidates are
+/// strictly below the minimum and the exact comparator would discard
+/// them anyway. This removes the per-candidate division — a dominant
+/// selection cost on large candidate sets — and scans only the compact
+/// dense array.
+fn select_emit_dense(
+    session: &mut QuerySession,
+    norm: f64,
+    top_k: usize,
+    out: &mut Vec<RankedResource>,
+) {
+    let matched = session.touched.len();
+    if top_k == 0 || matched <= top_k {
+        out.extend(
+            session
+                .touched
+                .iter()
+                .zip(&session.acc_dense)
+                .map(|(&r, &a)| RankedResource {
+                    resource: ResourceId::from_index(r as usize),
+                    score: a / norm,
+                }),
+        );
+        sort_ranked(out);
+        return;
+    }
+    const REJECT_SLACK: f64 = 1.0 - 1e-9;
+    let QuerySession {
+        acc_dense,
+        touched,
+        heap,
+        ..
+    } = session;
+    heap.clear();
+    let mut reject_bound = f64::NEG_INFINITY;
+    for (&acc, &r) in acc_dense.iter().zip(touched.iter()) {
+        if heap.len() == top_k && acc < reject_bound {
+            continue;
+        }
+        let cand = (acc / norm, r);
+        if heap.len() < top_k {
+            heap_push(heap, cand);
+            if heap.len() == top_k {
+                reject_bound = heap[0].0 * norm * REJECT_SLACK;
+            }
+        } else if worse(heap[0], cand) {
+            heap[0] = cand;
+            heap_sift_down(heap, 0);
+            reject_bound = heap[0].0 * norm * REJECT_SLACK;
+        }
+    }
+    out.extend(heap.iter().map(|&(s, r)| RankedResource {
+        resource: ResourceId::from_index(r as usize),
+        score: s,
+    }));
+    sort_ranked(out);
+}
+
+/// Raises `threshold` to the admission-heap bound when the heap holds a
+/// full top-k complement: `k` distinct resources were admitted with
+/// contributions at least `heap[0]`, and scores only grow, so the final
+/// k-th largest score is at least `heap[0]`.
+#[inline]
+fn raise_to_heap_threshold(session: &QuerySession, top_k: usize, threshold: &mut Option<f64>) {
+    if top_k > 0 && session.cand_heap.len() == top_k {
+        let h = session.cand_heap[0];
+        *threshold = Some(threshold.map_or(h, |t| t.max(h)));
     }
 }
 
@@ -527,12 +938,186 @@ fn accumulate_concept(session: &mut QuerySession, l: usize, w: f64) -> bool {
     fresh
 }
 
-/// Adds a term's contributions to already-touched resources only.
-fn update_only(session: &mut QuerySession, list: &[(u32, f64)], wq: f64) {
-    for &(r, w) in list {
+/// Scans postings `[lo, hi)` of `list` with no admission bound checks:
+/// update touched resources (through their slot word), admit the rest
+/// (feeding each admission's contribution into the bounded threshold
+/// heap when enabled). The tight inner loop of the block-max list-scan
+/// mode — one random cache line (`slot_map[r]`) per posting; the
+/// accumulator itself lives in the compact dense array.
+#[inline]
+fn admit_block(
+    session: &mut QuerySession,
+    list: PostingsRef<'_>,
+    lo: usize,
+    hi: usize,
+    wq: f64,
+    heap_k: usize,
+) {
+    let epoch_bits = (session.res_cur as u64) << 32;
+    for (&r, &s) in list.ids[lo..hi].iter().zip(&list.scores[lo..hi]) {
+        let r = r as usize;
+        let contribution = wq * s;
+        let word = session.slot_map[r];
+        if word & 0xFFFF_FFFF_0000_0000 == epoch_bits {
+            session.acc_dense[(word & 0xFFFF_FFFF) as usize] += contribution;
+        } else {
+            session.slot_map[r] = session.slot_word(session.touched.len());
+            session.touched.push(r as u32);
+            session.acc_dense.push(contribution);
+            if heap_k > 0 {
+                offer_admission(&mut session.cand_heap, heap_k, contribution);
+            }
+        }
+    }
+}
+
+/// First-term admission of postings `[lo, hi)`: nothing is touched yet,
+/// so every posting admits without reading its slot word, and because
+/// contributions arrive in descending order the admission heap is
+/// exactly the first `heap_k` of them — later postings are at most the
+/// heap minimum and are not offered.
+#[inline]
+fn admit_block_first(
+    session: &mut QuerySession,
+    list: PostingsRef<'_>,
+    lo: usize,
+    hi: usize,
+    wq: f64,
+    heap_k: usize,
+) {
+    let mut j = lo;
+    while j < hi && session.cand_heap.len() < heap_k {
+        let contribution = wq * list.scores[j];
+        session.slot_map[list.ids[j] as usize] = session.slot_word(session.touched.len());
+        session.touched.push(list.ids[j]);
+        session.acc_dense.push(contribution);
+        offer_admission(&mut session.cand_heap, heap_k, contribution);
+        j += 1;
+    }
+    // Bulk admission of the rest: id copy is a memcpy, the contribution
+    // products vectorize, and only the slot writes need a scalar pass.
+    let ids = &list.ids[j..hi];
+    let scores = &list.scores[j..hi];
+    let base = session.touched.len();
+    session.touched.extend_from_slice(ids);
+    session.acc_dense.extend(scores.iter().map(|&s| wq * s));
+    let epoch_bits = (session.res_cur as u64) << 32;
+    for (ofs, &r) in ids.iter().enumerate() {
+        session.slot_map[r as usize] = epoch_bits | (base + ofs) as u64;
+    }
+}
+
+/// Scans postings `[lo, hi)` admitting only resources not touched yet —
+/// the candidate-side mode already settled every previously-touched
+/// resource through its vector, so touched postings are skipped here.
+#[inline]
+fn admit_fresh(
+    session: &mut QuerySession,
+    list: PostingsRef<'_>,
+    lo: usize,
+    hi: usize,
+    wq: f64,
+    heap_k: usize,
+) {
+    let epoch_bits = (session.res_cur as u64) << 32;
+    for (&r, &s) in list.ids[lo..hi].iter().zip(&list.scores[lo..hi]) {
+        let r = r as usize;
+        if session.slot_map[r] & 0xFFFF_FFFF_0000_0000 != epoch_bits {
+            let contribution = wq * s;
+            session.slot_map[r] = session.slot_word(session.touched.len());
+            session.touched.push(r as u32);
+            session.acc_dense.push(contribution);
+            if heap_k > 0 {
+                offer_admission(&mut session.cand_heap, heap_k, contribution);
+            }
+        }
+    }
+}
+
+/// Adds a term's contributions to already-touched resources only (the
+/// block-max tail scan): one random 8-byte read per posting, with hits
+/// accumulating into the dense array.
+fn update_only_dense(session: &mut QuerySession, ids: &[u32], scores: &[f64], wq: f64) {
+    let epoch_bits = (session.res_cur as u64) << 32;
+    for (&r, &s) in ids.iter().zip(scores) {
+        let word = session.slot_map[r as usize];
+        if word & 0xFFFF_FFFF_0000_0000 == epoch_bits {
+            session.acc_dense[(word & 0xFFFF_FFFF) as usize] += wq * s;
+        }
+    }
+}
+
+/// K-th largest dense partial score, or `None` while fewer than `k`
+/// resources are touched. Operates on the compact per-query accumulator
+/// array (a bulk copy + select, no gathers).
+fn kth_partial_dense(session: &mut QuerySession, k: usize) -> Option<f64> {
+    if session.acc_dense.len() < k {
+        return None;
+    }
+    session.select_scratch.clear();
+    session.select_scratch.extend_from_slice(&session.acc_dense);
+    let idx = k - 1;
+    session.select_scratch.select_nth_unstable_by(idx, |a, b| {
+        b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    Some(session.select_scratch[idx])
+}
+
+/// Feeds one admission contribution into the bounded min-heap of the k
+/// largest admission values (each entry corresponds to one distinct
+/// resource, so a full heap certifies k resources at or above `heap[0]`).
+/// Until the heap reaches `k` entries it is a plain buffer (nothing is
+/// pruned against it before it is full anyway); one O(k) Floyd heapify
+/// establishes the invariant at the moment it fills — pushing the first
+/// term's *descending* contributions one-by-one would instead sift every
+/// element all the way to the root.
+#[inline]
+fn offer_admission(heap: &mut Vec<f64>, k: usize, c: f64) {
+    if heap.len() < k {
+        heap.push(c);
+        if heap.len() == k {
+            heapify_min(heap);
+        }
+    } else if c > heap[0] {
+        heap[0] = c;
+        min_sift_down(heap, 0);
+    }
+}
+
+/// Floyd's bottom-up heapify for the admission min-heap.
+fn heapify_min(heap: &mut [f64]) {
+    for i in (0..heap.len() / 2).rev() {
+        min_sift_down(heap, i);
+    }
+}
+
+fn min_sift_down(heap: &mut [f64], mut i: usize) {
+    let n = heap.len();
+    loop {
+        let l = 2 * i + 1;
+        let r = l + 1;
+        let mut smallest = i;
+        if l < n && heap[l] < heap[smallest] {
+            smallest = l;
+        }
+        if r < n && heap[r] < heap[smallest] {
+            smallest = r;
+        }
+        if smallest == i {
+            break;
+        }
+        heap.swap(i, smallest);
+        i = smallest;
+    }
+}
+
+/// Adds a term's contributions to already-touched resources only. Misses
+/// read nothing but the 4-byte id array.
+fn update_only(session: &mut QuerySession, ids: &[u32], scores: &[f64], wq: f64) {
+    for (j, &r) in ids.iter().enumerate() {
         let r = r as usize;
         if session.res_epoch[r] == session.res_cur {
-            session.acc[r] += wq * w;
+            session.acc[r] += wq * scores[j];
         }
     }
 }
@@ -629,8 +1214,18 @@ mod tests {
     }
 
     #[test]
+    fn default_strategy_is_blockmax_and_switchable() {
+        let (_, _, mut engine) = engine();
+        assert_eq!(engine.strategy(), PruningStrategy::BlockMax);
+        engine.set_strategy(PruningStrategy::MaxScore);
+        assert_eq!(engine.strategy(), PruningStrategy::MaxScore);
+        let e2 = QueryEngine::with_strategy(engine.index().clone(), PruningStrategy::MaxScore);
+        assert_eq!(e2.strategy(), PruningStrategy::MaxScore);
+    }
+
+    #[test]
     fn pruned_matches_exact_on_toy_corpus() {
-        let (f, concepts, engine) = engine();
+        let (f, concepts, mut engine) = engine();
         let tag_sets: Vec<Vec<TagId>> = vec![
             vec![f.tag_id("audio").unwrap()],
             vec![f.tag_id("laptop").unwrap()],
@@ -641,14 +1236,21 @@ mod tests {
                 f.tag_id("mp3").unwrap(),
             ],
         ];
-        for tags in &tag_sets {
-            for k in [0usize, 1, 2, 3, 10] {
-                let exact = engine.search_tags_exact(&concepts, tags, k);
-                let pruned = engine.search_tags(&concepts, tags, k);
-                assert_eq!(pruned.len(), exact.len(), "k={k} tags={tags:?}");
-                for (p, e) in pruned.iter().zip(exact.iter()) {
-                    assert_eq!(p.resource, e.resource, "k={k} tags={tags:?}");
-                    assert_eq!(p.score.to_bits(), e.score.to_bits(), "k={k}");
+        for strategy in [PruningStrategy::MaxScore, PruningStrategy::BlockMax] {
+            engine.set_strategy(strategy);
+            for tags in &tag_sets {
+                for k in [0usize, 1, 2, 3, 10] {
+                    let exact = engine.search_tags_exact(&concepts, tags, k);
+                    let pruned = engine.search_tags(&concepts, tags, k);
+                    assert_eq!(
+                        pruned.len(),
+                        exact.len(),
+                        "{strategy:?} k={k} tags={tags:?}"
+                    );
+                    for (p, e) in pruned.iter().zip(exact.iter()) {
+                        assert_eq!(p.resource, e.resource, "{strategy:?} k={k} tags={tags:?}");
+                        assert_eq!(p.score.to_bits(), e.score.to_bits(), "{strategy:?} k={k}");
+                    }
                 }
             }
         }
@@ -754,6 +1356,41 @@ mod tests {
             &mut out,
         );
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn blockmax_handles_multi_block_lists() {
+        // Lists far longer than BLOCK_LEN with heavy tie groups: the
+        // block loop must cross block boundaries and agree with exact.
+        let mut b = FolksonomyBuilder::new();
+        for r in 0..400 {
+            b.add("u1", "common", &format!("r{r}"));
+            if r % 5 == 0 {
+                b.add("u1", "rare", &format!("r{r}"));
+            }
+            if r % 2 == 0 {
+                b.add("u2", "common", &format!("r{r}"));
+            }
+        }
+        let f = b.build();
+        let model = ConceptModel::from_assignments(vec![0, 1], 1.0);
+        let mut engine = QueryEngine::new(ConceptIndex::build(&f, &model));
+        let common = f.tag_id("common").unwrap();
+        let rare = f.tag_id("rare").unwrap();
+        for strategy in [PruningStrategy::MaxScore, PruningStrategy::BlockMax] {
+            engine.set_strategy(strategy);
+            for k in [1usize, 3, 10, 64, 65, 128, 0] {
+                for tags in [vec![common, rare], vec![rare, common], vec![common]] {
+                    let exact = engine.search_tags_exact(&model, &tags, k);
+                    let pruned = engine.search_tags(&model, &tags, k);
+                    assert_eq!(pruned.len(), exact.len(), "{strategy:?} k={k}");
+                    for (p, e) in pruned.iter().zip(exact.iter()) {
+                        assert_eq!(p.resource, e.resource, "{strategy:?} k={k}");
+                        assert_eq!(p.score.to_bits(), e.score.to_bits(), "{strategy:?} k={k}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,285 @@
+//! Hybrid owned/borrowed storage for the serving-time arrays.
+//!
+//! The zero-copy artifact path (`crate::persist`) maps the hot index
+//! arrays — posting ids, impact scores, block maxima — straight out of
+//! the loaded file buffer instead of deserializing them element by
+//! element. That requires a slice type that can either *own* its data
+//! (the portable default, and the only mode for freshly built indexes)
+//! or *borrow* it from a reference-counted file buffer whose alignment
+//! is guaranteed. [`Slab`] is that type; [`AlignedBytes`] is the
+//! 8-byte-aligned buffer it borrows from.
+//!
+//! # Safety model
+//!
+//! The only `unsafe` is the pointer cast in [`Slab::as_slice`] for the
+//! borrowed representation. It is sound because:
+//!
+//! * [`AlignedBytes`] stores its bytes inside a `Vec<u64>`, so the base
+//!   pointer is always 8-byte aligned — at least the alignment of every
+//!   [`Pod`] element type (`u32`, `u64`, `f64`);
+//! * [`Slab::borrowed`] validates at construction that the byte offset
+//!   is a multiple of the element alignment and that
+//!   `offset + len * size_of::<T>()` lies inside the buffer, so the
+//!   derived slice can neither be misaligned nor out of bounds;
+//! * the buffer is immutable after construction (no `&mut` accessor
+//!   exists) and is kept alive by the `Arc` stored inside the slab, so
+//!   the bytes can neither change nor be freed while a view exists;
+//! * every [`Pod`] type is valid for any bit pattern, so reinterpreting
+//!   arbitrary file bytes can produce garbage *values* (the persist
+//!   layer validates those) but never undefined behavior.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Marker for plain-old-data element types that may be viewed directly
+/// inside an [`AlignedBytes`] buffer: any bit pattern is a valid value
+/// and the alignment divides 8. Sealed — the persist format only ever
+/// stores these three shapes.
+pub trait Pod: Copy + private::Sealed + 'static {}
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for u32 {}
+    impl Sealed for u64 {}
+    impl Sealed for f64 {}
+}
+
+impl Pod for u32 {}
+impl Pod for u64 {}
+impl Pod for f64 {}
+
+/// An immutable byte buffer whose base address is 8-byte aligned, so
+/// `u32`/`u64`/`f64` array views at properly aligned offsets are valid.
+/// Backed by a `Vec<u64>` (the allocator then guarantees the alignment);
+/// the logical length in bytes may be smaller than the backing capacity.
+#[derive(Debug, Clone)]
+pub struct AlignedBytes {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl AlignedBytes {
+    /// Copies `bytes` into a fresh 8-aligned buffer.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let n_words = bytes.len().div_ceil(8);
+        let mut words = vec![0u64; n_words];
+        // Safety-free copy: view the word vec as bytes via le_bytes per
+        // word would be slow; use the safe split: copy chunks of 8.
+        for (i, chunk) in bytes.chunks(8).enumerate() {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            words[i] = u64::from_le_bytes(w);
+        }
+        // On little-endian targets the in-memory byte order of the word
+        // array now equals `bytes`; the debug assert pins the assumption
+        // the borrowed views rely on. (Every supported target of this
+        // repo is little-endian; the persist format is LE on disk.)
+        let out = AlignedBytes {
+            words,
+            len: bytes.len(),
+        };
+        debug_assert_eq!(out.as_slice(), bytes);
+        out
+    }
+
+    /// Reads an entire file into an aligned buffer.
+    pub fn read_file(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        // One extra copy relative to reading straight into the word
+        // buffer; acceptable because it is a single bulk memcpy, not a
+        // per-element decode.
+        let bytes = std::fs::read(path)?;
+        Ok(Self::from_bytes(&bytes))
+    }
+
+    /// The buffer contents.
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: u8 has alignment 1 and any byte pattern is valid; the
+        // first `len` bytes of the word array are initialized.
+        unsafe { std::slice::from_raw_parts(self.words.as_ptr() as *const u8, self.len) }
+    }
+
+    /// Number of bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// A contiguous `[T]` that either owns its elements (`Vec<T>`) or
+/// borrows them from a shared [`AlignedBytes`] file buffer. Dereferences
+/// to `&[T]` either way, so the query engine is oblivious to the storage
+/// mode.
+#[derive(Clone)]
+pub enum Slab<T: Pod> {
+    /// Heap-owned elements — freshly built indexes and the portable
+    /// artifact-load path.
+    Owned(Vec<T>),
+    /// A view into a shared aligned buffer — the zero-copy artifact
+    /// path. Invariants (enforced by [`Slab::borrowed`]): `byte_offset`
+    /// is a multiple of `align_of::<T>()` and
+    /// `byte_offset + len * size_of::<T>() <= owner.len()`.
+    Borrowed {
+        /// The buffer the view points into; keeps it alive.
+        owner: Arc<AlignedBytes>,
+        /// Byte offset of the first element inside `owner`.
+        byte_offset: usize,
+        /// Number of elements.
+        len: usize,
+    },
+}
+
+impl<T: Pod> Slab<T> {
+    /// Wraps a view into `owner`, validating alignment and bounds.
+    /// Returns `None` when the requested window is misaligned or does
+    /// not fit — the caller (the artifact loader) maps that to a typed
+    /// persist error.
+    pub fn borrowed(owner: Arc<AlignedBytes>, byte_offset: usize, len: usize) -> Option<Self> {
+        let bytes = len.checked_mul(std::mem::size_of::<T>())?;
+        let end = byte_offset.checked_add(bytes)?;
+        if !byte_offset.is_multiple_of(std::mem::align_of::<T>()) || end > owner.len() {
+            return None;
+        }
+        Some(Slab::Borrowed {
+            owner,
+            byte_offset,
+            len,
+        })
+    }
+
+    /// The elements, regardless of storage mode.
+    pub fn as_slice(&self) -> &[T] {
+        match self {
+            Slab::Owned(v) => v,
+            Slab::Borrowed {
+                owner,
+                byte_offset,
+                len,
+            } => {
+                // SAFETY: construction validated alignment of
+                // `byte_offset` (and the base pointer is 8-aligned by
+                // `AlignedBytes`), bounds (`byte_offset + len * size`
+                // inside the buffer), the buffer is immutable and kept
+                // alive by `owner`, and `T: Pod` accepts any bit
+                // pattern.
+                unsafe {
+                    std::slice::from_raw_parts(
+                        owner.as_slice().as_ptr().add(*byte_offset) as *const T,
+                        *len,
+                    )
+                }
+            }
+        }
+    }
+
+    /// Whether this slab borrows from a shared file buffer.
+    pub fn is_borrowed(&self) -> bool {
+        matches!(self, Slab::Borrowed { .. })
+    }
+}
+
+impl<T: Pod> Deref for Slab<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Pod> From<Vec<T>> for Slab<T> {
+    fn from(v: Vec<T>) -> Self {
+        Slab::Owned(v)
+    }
+}
+
+impl<T: Pod> Default for Slab<T> {
+    fn default() -> Self {
+        Slab::Owned(Vec::new())
+    }
+}
+
+impl<T: Pod + std::fmt::Debug> std::fmt::Debug for Slab<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mode = if self.is_borrowed() {
+            "borrowed"
+        } else {
+            "owned"
+        };
+        write!(f, "Slab<{mode}>({} elems)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_bytes_round_trip_any_length() {
+        for n in 0..40usize {
+            let bytes: Vec<u8> = (0..n as u8).map(|b| b.wrapping_mul(37)).collect();
+            let a = AlignedBytes::from_bytes(&bytes);
+            assert_eq!(a.as_slice(), &bytes[..]);
+            assert_eq!(a.len(), n);
+            assert_eq!(a.is_empty(), n == 0);
+            assert_eq!(a.as_slice().as_ptr() as usize % 8, 0, "base alignment");
+        }
+    }
+
+    #[test]
+    fn borrowed_views_read_le_values() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&7u64.to_le_bytes());
+        bytes.extend_from_slice(&3.5f64.to_le_bytes());
+        bytes.extend_from_slice(&9u32.to_le_bytes());
+        bytes.extend_from_slice(&11u32.to_le_bytes());
+        let owner = Arc::new(AlignedBytes::from_bytes(&bytes));
+
+        let u: Slab<u64> = Slab::borrowed(owner.clone(), 0, 1).unwrap();
+        assert_eq!(&*u, &[7u64]);
+        let f: Slab<f64> = Slab::borrowed(owner.clone(), 8, 1).unwrap();
+        assert_eq!(&*f, &[3.5f64]);
+        let i: Slab<u32> = Slab::borrowed(owner.clone(), 16, 2).unwrap();
+        assert_eq!(&*i, &[9u32, 11]);
+        assert!(i.is_borrowed());
+    }
+
+    #[test]
+    fn borrowed_rejects_misalignment_and_overflow() {
+        let owner = Arc::new(AlignedBytes::from_bytes(&[0u8; 32]));
+        assert!(
+            Slab::<f64>::borrowed(owner.clone(), 4, 1).is_none(),
+            "misaligned f64"
+        );
+        assert!(
+            Slab::<u32>::borrowed(owner.clone(), 2, 1).is_none(),
+            "misaligned u32"
+        );
+        assert!(
+            Slab::<f64>::borrowed(owner.clone(), 0, 5).is_none(),
+            "past the end"
+        );
+        assert!(
+            Slab::<u64>::borrowed(owner.clone(), 32, 1).is_none(),
+            "starts at end"
+        );
+        assert!(
+            Slab::<u64>::borrowed(owner.clone(), 0, usize::MAX).is_none(),
+            "len overflow"
+        );
+        assert!(
+            Slab::<u64>::borrowed(owner, 24, 1).is_some(),
+            "last word ok"
+        );
+    }
+
+    #[test]
+    fn owned_default_and_from_vec() {
+        let s: Slab<u32> = vec![1, 2, 3].into();
+        assert_eq!(&*s, &[1, 2, 3]);
+        assert!(!s.is_borrowed());
+        let d: Slab<f64> = Slab::default();
+        assert!(d.is_empty());
+    }
+}

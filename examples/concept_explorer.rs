@@ -87,8 +87,8 @@ fn main() {
                     .index()
                     .resource_vector(r)
                     .iter()
-                    .find(|&&(l, _)| l as usize == concept)
-                    .map(|&(_, w)| (r, w))
+                    .find(|&(l, _)| l as usize == concept)
+                    .map(|(_, w)| (r, w))
             })
             .collect();
         best.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());

@@ -16,25 +16,33 @@
 //! ```
 //!
 //! `build` accepts `--concepts K`, `--ratio C`, `--seed S`, `--no-clean`;
-//! `query`/`serve` accept `--top N`. The artifact is the versioned,
-//! checksummed binary described in `cubelsi_core::persist`.
+//! `query`/`serve` accept `--top N` and `--zero-copy` (serve the index
+//! straight out of the artifact buffer, no per-posting deserialization);
+//! `query` additionally accepts `--repeat N` for quick micro-measurement.
+//! `serve` prints aggregate latency statistics (count, p50/p95/p99,
+//! queries/s) on EOF. The artifact is the versioned, checksummed binary
+//! described in `cubelsi_core::persist`.
 
 use cubelsi::core::{persist, CubeLsi, CubeLsiConfig};
 use cubelsi::folksonomy::{clean, read_tsv_file, CleaningConfig, Folksonomy};
 use std::io::BufRead;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const USAGE: &str = "usage:
   cubelsi-search build [--concepts K] [--ratio C] [--seed S] [--threads N] [--no-clean] DATA.tsv OUT.cubelsi
-  cubelsi-search query [--top N] MODEL.cubelsi QUERY_TAG...
-  cubelsi-search serve [--top N] MODEL.cubelsi          (queries on stdin, one per line)
+  cubelsi-search query [--top N] [--repeat N] [--zero-copy] MODEL.cubelsi QUERY_TAG...
+  cubelsi-search serve [--top N] [--zero-copy] MODEL.cubelsi   (queries on stdin, one per line)
   cubelsi-search [build+query options] DATA.tsv QUERY_TAG...   (one-shot, nothing persisted)
 
 options:
   --concepts K   fix the number of concepts (K >= 1; default: 95%-variance rule)
   --ratio C      Tucker reduction ratio (finite, > 0; default 50)
   --top N        results per query (N >= 1; default 10)
+  --repeat N     run the query N times on the warm session and report
+                 latency stats (N >= 1; default 1; `query` only)
+  --zero-copy    serve the index arrays straight out of the artifact
+                 buffer instead of copying them (`query`/`serve` only)
   --seed S       seed for all stochastic components (default 2011)
   --threads N    worker threads for the offline build (N >= 1; default: all
                  cores; the CUBELSI_THREADS env var sets the same knob)
@@ -71,14 +79,22 @@ enum Command {
         data: String,
         out: String,
     },
-    /// Load an artifact and answer one query.
+    /// Load an artifact and answer one query (optionally repeated for
+    /// latency measurement).
     Query {
         index: String,
         tags: Vec<String>,
         top_k: usize,
+        repeat: usize,
+        zero_copy: bool,
     },
-    /// Load an artifact and answer stdin queries until EOF.
-    Serve { index: String, top_k: usize },
+    /// Load an artifact and answer stdin queries until EOF, then report
+    /// aggregate latency statistics.
+    Serve {
+        index: String,
+        top_k: usize,
+        zero_copy: bool,
+    },
     /// Legacy sugar: build in memory, answer one query, discard.
     OneShot {
         opts: BuildOpts,
@@ -99,6 +115,8 @@ struct RawFlags {
     concepts: Option<usize>,
     ratio: Option<f64>,
     top: Option<usize>,
+    repeat: Option<usize>,
+    zero_copy: bool,
     seed: Option<u64>,
     threads: Option<usize>,
     no_clean: bool,
@@ -140,6 +158,17 @@ fn parse_command(args: impl IntoIterator<Item = String>) -> Result<Command, Stri
                 }
                 flags.top = Some(n);
             }
+            "--repeat" => {
+                let v = args.next().ok_or("--repeat needs a value")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--repeat must be an integer, got {v:?}"))?;
+                if n < 1 {
+                    return Err("--repeat must be >= 1".to_owned());
+                }
+                flags.repeat = Some(n);
+            }
+            "--zero-copy" => flags.zero_copy = true,
             "--seed" => {
                 let v = args.next().ok_or("--seed needs a value")?;
                 flags.seed = Some(
@@ -195,11 +224,28 @@ fn parse_command(args: impl IntoIterator<Item = String>) -> Result<Command, Stri
         Ok(())
     };
 
+    // Serving-only flags are meaningless without an artifact to serve.
+    let reject_serve_flags = |flags: &RawFlags, cmd: &str| -> Result<(), String> {
+        for (set, name) in [
+            (flags.repeat.is_some(), "--repeat"),
+            (flags.zero_copy, "--zero-copy"),
+        ] {
+            if set {
+                return Err(format!(
+                    "{name} only applies to artifact serving (`query`/`serve`), not `{cmd}` \
+                     (see --help)"
+                ));
+            }
+        }
+        Ok(())
+    };
+
     match positional.first().map(String::as_str) {
         Some("build") => {
             if flags.top.is_some() {
                 return Err("--top does not apply to `build` (see --help)".to_owned());
             }
+            reject_serve_flags(&flags, "build")?;
             let [_, data, out] = <[String; 3]>::try_from(positional)
                 .map_err(|_| "build needs exactly DATA.tsv and OUT.cubelsi (see --help)")?;
             Ok(Command::Build {
@@ -219,18 +265,28 @@ fn parse_command(args: impl IntoIterator<Item = String>) -> Result<Command, Stri
                 index,
                 tags: rest.collect(),
                 top_k,
+                repeat: flags.repeat.unwrap_or(1),
+                zero_copy: flags.zero_copy,
             })
         }
         Some("serve") => {
             reject_build_flags(&flags, "serve")?;
+            if flags.repeat.is_some() {
+                return Err("--repeat does not apply to `serve` (see --help)".to_owned());
+            }
             let [_, index] = <[String; 2]>::try_from(positional)
                 .map_err(|_| "serve needs exactly MODEL.cubelsi (see --help)")?;
-            Ok(Command::Serve { index, top_k })
+            Ok(Command::Serve {
+                index,
+                top_k,
+                zero_copy: flags.zero_copy,
+            })
         }
         Some(_) => {
             if positional.len() < 2 {
                 return Err("missing query tags (see --help)".to_owned());
             }
+            reject_serve_flags(&flags, "one-shot")?;
             let mut rest = positional.into_iter();
             let data = rest.next().expect("length checked above");
             Ok(Command::OneShot {
@@ -242,6 +298,88 @@ fn parse_command(args: impl IntoIterator<Item = String>) -> Result<Command, Stri
         }
         None => Err("missing arguments (see --help)".to_owned()),
     }
+}
+
+/// Aggregate per-query latency statistics for the serving commands.
+/// Memory is bounded: beyond [`LatencyStats::RESERVOIR`] samples, new
+/// latencies replace random reservoir slots (Vitter's Algorithm R with a
+/// deterministic xorshift stream), so a serve process that stays up for
+/// billions of queries keeps a fixed footprint while the percentiles
+/// remain an unbiased estimate; the count and queries/s stay exact.
+#[derive(Debug)]
+struct LatencyStats {
+    sample: Vec<u64>,
+    count: u64,
+    total_ns: u128,
+    rng: u64,
+}
+
+impl Default for LatencyStats {
+    fn default() -> Self {
+        LatencyStats {
+            sample: Vec::new(),
+            count: 0,
+            total_ns: 0,
+            rng: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+impl LatencyStats {
+    /// Reservoir capacity: 64k samples ≈ 512 KB, enough for a stable p99.
+    const RESERVOIR: usize = 1 << 16;
+
+    fn record(&mut self, d: Duration) {
+        let ns = d.as_nanos().min(u64::MAX as u128) as u64;
+        self.count += 1;
+        self.total_ns += ns as u128;
+        if self.sample.len() < Self::RESERVOIR {
+            self.sample.push(ns);
+        } else {
+            // xorshift64 step, then a slot in [0, count): keep with
+            // probability RESERVOIR / count, as Algorithm R prescribes.
+            self.rng ^= self.rng << 13;
+            self.rng ^= self.rng >> 7;
+            self.rng ^= self.rng << 17;
+            let slot = (self.rng % self.count) as usize;
+            if slot < Self::RESERVOIR {
+                self.sample[slot] = ns;
+            }
+        }
+    }
+
+    #[cfg(test)]
+    fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `count, p50/p95/p99, queries/s` over the recorded search times
+    /// (search only — excludes I/O and result printing). `None` until at
+    /// least one query was recorded.
+    fn summary(&self) -> Option<String> {
+        if self.sample.is_empty() {
+            return None;
+        }
+        let mut sorted = self.sample.clone();
+        sorted.sort_unstable();
+        let micros = |ns: u64| ns as f64 / 1e3;
+        let qps = self.count as f64 / (self.total_ns.max(1) as f64 / 1e9);
+        Some(format!(
+            "{} queries | p50 {:.1} us | p95 {:.1} us | p99 {:.1} us | {:.0} queries/s",
+            self.count,
+            micros(percentile(&sorted, 0.50)),
+            micros(percentile(&sorted, 0.95)),
+            micros(percentile(&sorted, 0.99)),
+            qps,
+        ))
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample (`q` in (0, 1]).
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// Parses and validates a worker-thread count (`N >= 1`), shared by the
@@ -326,13 +464,23 @@ fn build_model(corpus: &Folksonomy, opts: &BuildOpts) -> Result<CubeLsi, String>
     Ok(model)
 }
 
-/// Loads an artifact from disk, reporting load time and model shape — the
-/// cheap path that replaces a full offline rebuild.
-fn load_artifact(path: &str) -> Result<persist::Artifact, String> {
+/// Loads an artifact from disk, reporting load time, load mode, and model
+/// shape — the cheap path that replaces a full offline rebuild.
+fn load_artifact(path: &str, zero_copy: bool) -> Result<persist::Artifact, String> {
     let t0 = Instant::now();
-    let artifact = persist::load_from_path(path).map_err(|e| format!("loading {path}: {e}"))?;
+    let artifact = if zero_copy {
+        persist::load_from_path_zero_copy(path)
+    } else {
+        persist::load_from_path(path)
+    }
+    .map_err(|e| format!("loading {path}: {e}"))?;
+    let mode = if artifact.model.index().is_zero_copy() {
+        "zero-copy index"
+    } else {
+        "owned index"
+    };
     eprintln!(
-        "loaded  {} in {:?} ({} concepts; offline build had taken {:?})",
+        "loaded  {} in {:?} ({} concepts; {mode}; offline build had taken {:?})",
         artifact.folksonomy.stats(),
         t0.elapsed(),
         artifact.model.concepts().num_concepts(),
@@ -341,16 +489,9 @@ fn load_artifact(path: &str) -> Result<persist::Artifact, String> {
     Ok(artifact)
 }
 
-/// Answers one query on a warm session and prints the ranked hits.
-fn answer(
-    model: &CubeLsi,
-    corpus: &Folksonomy,
-    session: &mut cubelsi::core::QuerySession,
-    tags: &[String],
-    top_k: usize,
-) {
-    let ids: Vec<_> = tags
-        .iter()
+/// Resolves query tag names to ids, warning about unknown names.
+fn resolve_ids(corpus: &Folksonomy, tags: &[String]) -> Vec<cubelsi::folksonomy::TagId> {
+    tags.iter()
         .filter_map(|name| {
             let id = corpus.tag_id(name);
             if id.is_none() {
@@ -358,11 +499,11 @@ fn answer(
             }
             id
         })
-        .collect();
-    let mut hits = Vec::new();
-    let t0 = Instant::now();
-    model.search_ids_with(session, &ids, top_k, &mut hits);
-    eprintln!("queried {:?}", t0.elapsed());
+        .collect()
+}
+
+/// Prints one query's ranked hits.
+fn print_hits(corpus: &Folksonomy, tags: &[String], hits: &[cubelsi::core::RankedResource]) {
     if hits.is_empty() {
         println!("no results for {tags:?}");
         return;
@@ -378,6 +519,26 @@ fn answer(
     }
 }
 
+/// Answers one query on a warm session, records its latency, and prints
+/// the ranked hits.
+fn answer(
+    model: &CubeLsi,
+    corpus: &Folksonomy,
+    session: &mut cubelsi::core::QuerySession,
+    stats: &mut LatencyStats,
+    tags: &[String],
+    top_k: usize,
+) {
+    let ids = resolve_ids(corpus, tags);
+    let mut hits = Vec::new();
+    let t0 = Instant::now();
+    model.search_ids_with(session, &ids, top_k, &mut hits);
+    let elapsed = t0.elapsed();
+    stats.record(elapsed);
+    eprintln!("queried {elapsed:?}");
+    print_hits(corpus, tags, &hits);
+}
+
 fn run_build(opts: &BuildOpts, data: &str, out: &str) -> Result<(), String> {
     configure_threads(opts.threads)?;
     let corpus = load_corpus(data, opts.clean)?;
@@ -389,24 +550,51 @@ fn run_build(opts: &BuildOpts, data: &str, out: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn run_query(index: &str, tags: &[String], top_k: usize) -> Result<(), String> {
+fn run_query(
+    index: &str,
+    tags: &[String],
+    top_k: usize,
+    repeat: usize,
+    zero_copy: bool,
+) -> Result<(), String> {
     configure_threads(None)?;
-    let artifact = load_artifact(index)?;
+    let artifact = load_artifact(index, zero_copy)?;
     let mut session = artifact.model.session();
-    answer(
-        &artifact.model,
-        &artifact.folksonomy,
-        &mut session,
-        tags,
-        top_k,
-    );
+    let mut stats = LatencyStats::default();
+    // Resolve names exactly once, so an unknown tag warns once however
+    // many repeats run.
+    let ids = resolve_ids(&artifact.folksonomy, tags);
+    let mut hits = Vec::new();
+    let t0 = Instant::now();
+    artifact
+        .model
+        .search_ids_with(&mut session, &ids, top_k, &mut hits);
+    let elapsed = t0.elapsed();
+    stats.record(elapsed);
+    eprintln!("queried {elapsed:?}");
+    print_hits(&artifact.folksonomy, tags, &hits);
+    if repeat > 1 {
+        // Re-run the same query on the warm session (results already
+        // printed once) to measure steady-state latency.
+        for _ in 1..repeat {
+            let t0 = Instant::now();
+            artifact
+                .model
+                .search_ids_with(&mut session, &ids, top_k, &mut hits);
+            stats.record(t0.elapsed());
+        }
+        if let Some(summary) = stats.summary() {
+            eprintln!("repeat  {summary}");
+        }
+    }
     Ok(())
 }
 
-fn run_serve(index: &str, top_k: usize) -> Result<(), String> {
+fn run_serve(index: &str, top_k: usize, zero_copy: bool) -> Result<(), String> {
     configure_threads(None)?;
-    let artifact = load_artifact(index)?;
+    let artifact = load_artifact(index, zero_copy)?;
     let mut session = artifact.model.session();
+    let mut stats = LatencyStats::default();
     eprintln!("serving: one whitespace-separated tag query per line, EOF to stop");
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
@@ -419,9 +607,14 @@ fn run_serve(index: &str, top_k: usize) -> Result<(), String> {
             &artifact.model,
             &artifact.folksonomy,
             &mut session,
+            &mut stats,
             &tags,
             top_k,
         );
+    }
+    match stats.summary() {
+        Some(summary) => eprintln!("served  {summary}"),
+        None => eprintln!("served  0 queries"),
     }
     Ok(())
 }
@@ -431,7 +624,8 @@ fn run_one_shot(opts: &BuildOpts, data: &str, tags: &[String], top_k: usize) -> 
     let corpus = load_corpus(data, opts.clean)?;
     let model = build_model(&corpus, opts)?;
     let mut session = model.session();
-    answer(&model, &corpus, &mut session, tags, top_k);
+    let mut stats = LatencyStats::default();
+    answer(&model, &corpus, &mut session, &mut stats, tags, top_k);
     Ok(())
 }
 
@@ -442,8 +636,18 @@ fn main() -> ExitCode {
             return ExitCode::SUCCESS;
         }
         Ok(Command::Build { opts, data, out }) => run_build(&opts, &data, &out),
-        Ok(Command::Query { index, tags, top_k }) => run_query(&index, &tags, top_k),
-        Ok(Command::Serve { index, top_k }) => run_serve(&index, top_k),
+        Ok(Command::Query {
+            index,
+            tags,
+            top_k,
+            repeat,
+            zero_copy,
+        }) => run_query(&index, &tags, top_k, repeat, zero_copy),
+        Ok(Command::Serve {
+            index,
+            top_k,
+            zero_copy,
+        }) => run_serve(&index, top_k, zero_copy),
         Ok(Command::OneShot {
             opts,
             data,
@@ -510,6 +714,8 @@ mod tests {
                 index: "m.cubelsi".into(),
                 tags: vec!["jazz".into(), "piano".into()],
                 top_k: 3,
+                repeat: 1,
+                zero_copy: false,
             }
         );
         assert!(parse(&["query", "m.cubelsi"]).is_err(), "query needs tags");
@@ -518,10 +724,99 @@ mod tests {
             Command::Serve {
                 index: "m.cubelsi".into(),
                 top_k: 10,
+                zero_copy: false,
             }
         );
         assert!(parse(&["serve"]).is_err());
         assert!(parse(&["serve", "a", "b"]).is_err());
+    }
+
+    #[test]
+    fn repeat_and_zero_copy_flags() {
+        assert_eq!(
+            parse(&[
+                "query",
+                "--repeat",
+                "50",
+                "--zero-copy",
+                "m.cubelsi",
+                "jazz"
+            ])
+            .unwrap(),
+            Command::Query {
+                index: "m.cubelsi".into(),
+                tags: vec!["jazz".into()],
+                top_k: 10,
+                repeat: 50,
+                zero_copy: true,
+            }
+        );
+        assert_eq!(
+            parse(&["serve", "--zero-copy", "m.cubelsi"]).unwrap(),
+            Command::Serve {
+                index: "m.cubelsi".into(),
+                top_k: 10,
+                zero_copy: true,
+            }
+        );
+        // Validation: integer >= 1.
+        for bad in ["0", "-1", "abc", "1.5"] {
+            let err = parse(&["query", "--repeat", bad, "m.cubelsi", "jazz"]).unwrap_err();
+            assert!(err.contains("--repeat"), "repeat {bad}: {err}");
+        }
+        assert!(parse(&["query", "--repeat"]).is_err(), "missing value");
+        // Serving-only flags are rejected where there is no artifact —
+        // and `serve` has no single query to repeat.
+        assert!(parse(&["build", "--zero-copy", "d.tsv", "m.cubelsi"])
+            .unwrap_err()
+            .contains("--zero-copy"));
+        assert!(parse(&["build", "--repeat", "3", "d.tsv", "m.cubelsi"])
+            .unwrap_err()
+            .contains("--repeat"));
+        assert!(parse(&["--zero-copy", "d.tsv", "jazz"])
+            .unwrap_err()
+            .contains("--zero-copy"));
+        assert!(parse(&["--repeat", "3", "d.tsv", "jazz"])
+            .unwrap_err()
+            .contains("--repeat"));
+        assert!(parse(&["serve", "--repeat", "3", "m.cubelsi"])
+            .unwrap_err()
+            .contains("--repeat"));
+    }
+
+    #[test]
+    fn latency_stats_percentiles() {
+        // Nearest-rank percentiles over a known sample.
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 0.50), 50);
+        assert_eq!(percentile(&sorted, 0.95), 95);
+        assert_eq!(percentile(&sorted, 0.99), 99);
+        assert_eq!(percentile(&sorted, 1.0), 100);
+        assert_eq!(percentile(&[42], 0.50), 42);
+        assert_eq!(percentile(&[42], 0.99), 42);
+
+        let mut stats = LatencyStats::default();
+        assert!(stats.summary().is_none());
+        for us in [100u64, 200, 300, 400] {
+            stats.record(Duration::from_micros(us));
+        }
+        assert_eq!(stats.count(), 4);
+        let s = stats.summary().unwrap();
+        assert!(s.contains("4 queries"), "{s}");
+        assert!(s.contains("p50 200.0 us"), "{s}");
+        assert!(s.contains("queries/s"), "{s}");
+
+        // Long-running serve processes must not grow without bound: past
+        // the reservoir capacity the sample stays fixed-size while the
+        // reported count stays exact.
+        let extra = LatencyStats::RESERVOIR as u64 + 1_000;
+        for _ in 0..extra {
+            stats.record(Duration::from_micros(150));
+        }
+        assert_eq!(stats.count(), 4 + extra);
+        assert_eq!(stats.sample.len(), LatencyStats::RESERVOIR);
+        let s = stats.summary().unwrap();
+        assert!(s.contains(&format!("{} queries", 4 + extra)), "{s}");
     }
 
     #[test]

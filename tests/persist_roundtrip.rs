@@ -2,18 +2,23 @@
 //!
 //! 1. **Round-trip bit-identity** — over randomized small corpora, a
 //!    saved-then-loaded engine's `search_ids` output (resources, scores,
-//!    tie-breaks) is bit-for-bit identical to the freshly built engine's.
-//!    This is what makes `build` + `query` a pure deployment split, never
-//!    an approximation.
+//!    tie-breaks) is bit-for-bit identical to the freshly built engine's,
+//!    under both the owned and the zero-copy load paths. This is what
+//!    makes `build` + `query` a pure deployment split, never an
+//!    approximation.
 //! 2. **Adversarial robustness** — truncated files, flipped bytes (CRC
-//!    failure), wrong magic, and future format versions each yield a
-//!    descriptive typed [`PersistError`], never a panic.
+//!    failure), CRC-repaired semantic corruption inside the SoA index
+//!    section (broken impact order, falsified block maxima), misaligned
+//!    sections, wrong magic, and future format versions each yield a
+//!    descriptive typed [`PersistError`], never a panic or a silent
+//!    misranking.
 
-use cubelsi::core::{persist, CubeLsi, CubeLsiConfig, PersistError};
+use cubelsi::core::{persist, AlignedBytes, CubeLsi, CubeLsiConfig, PersistError};
 use cubelsi::datagen::{generate, GeneratorConfig};
 use cubelsi::folksonomy::{Folksonomy, TagId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 fn build_random(seed: u64) -> (Folksonomy, CubeLsi) {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xA57F_AC75);
@@ -45,8 +50,8 @@ fn random_query(rng: &mut StdRng, num_tags: usize) -> Vec<TagId> {
 }
 
 /// Proptest-style sweep: many seeds, many queries, several k values; the
-/// loaded engine must be indistinguishable from the built one down to the
-/// last score bit.
+/// loaded engine — through the owned *and* the zero-copy path — must be
+/// indistinguishable from the built one down to the last score bit.
 #[test]
 fn round_trip_search_is_bit_identical_on_random_corpora() {
     for seed in 0..8u64 {
@@ -54,29 +59,39 @@ fn round_trip_search_is_bit_identical_on_random_corpora() {
         let bytes = persist::save_to_vec(&built, &folksonomy);
         let loaded = persist::load_from_bytes(&bytes)
             .unwrap_or_else(|e| panic!("seed {seed}: load failed: {e}"));
+        let zero_copy = persist::load_zero_copy(Arc::new(AlignedBytes::from_bytes(&bytes)))
+            .unwrap_or_else(|e| panic!("seed {seed}: zero-copy load failed: {e}"));
+        assert!(
+            zero_copy.model.index().is_zero_copy(),
+            "seed {seed}: hot arrays must borrow from the file buffer"
+        );
+        assert!(!loaded.model.index().is_zero_copy());
 
         assert_eq!(loaded.folksonomy.stats(), folksonomy.stats());
+        assert_eq!(zero_copy.folksonomy.stats(), folksonomy.stats());
         let mut rng = StdRng::seed_from_u64(seed ^ 0x0D0_F00D);
         for case in 0..25 {
             let query = random_query(&mut rng, folksonomy.num_tags());
             for k in [1usize, 5, 0] {
                 let expect = built.search_ids(&query, k);
-                let got = loaded.model.search_ids(&query, k);
-                assert_eq!(
-                    got.len(),
-                    expect.len(),
-                    "seed {seed} case {case} k {k}: result count"
-                );
-                for (rank, (g, e)) in got.iter().zip(expect.iter()).enumerate() {
+                for (mode, artifact) in [("owned", &loaded), ("zero-copy", &zero_copy)] {
+                    let got = artifact.model.search_ids(&query, k);
                     assert_eq!(
-                        g.resource, e.resource,
-                        "seed {seed} case {case} k {k} rank {rank}: resource"
+                        got.len(),
+                        expect.len(),
+                        "{mode} seed {seed} case {case} k {k}: result count"
                     );
-                    assert_eq!(
-                        g.score.to_bits(),
-                        e.score.to_bits(),
-                        "seed {seed} case {case} k {k} rank {rank}: score bits"
-                    );
+                    for (rank, (g, e)) in got.iter().zip(expect.iter()).enumerate() {
+                        assert_eq!(
+                            g.resource, e.resource,
+                            "{mode} seed {seed} case {case} k {k} rank {rank}: resource"
+                        );
+                        assert_eq!(
+                            g.score.to_bits(),
+                            e.score.to_bits(),
+                            "{mode} seed {seed} case {case} k {k} rank {rank}: score bits"
+                        );
+                    }
                 }
             }
         }
@@ -129,6 +144,204 @@ fn truncated_files_error_at_every_length() {
             "prefix {cut}: unexpected error {err}"
         );
         assert!(!err.to_string().is_empty());
+        // The zero-copy loader must fail just as gracefully.
+        let zc = persist::load_zero_copy(Arc::new(AlignedBytes::from_bytes(&bytes[..cut])));
+        assert!(zc.is_err(), "zero-copy prefix of {cut} bytes must not load");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SoA index section adversaries
+// ---------------------------------------------------------------------------
+
+/// Locates a section's table entry; returns
+/// `(entry offset, payload offset, payload length)`.
+fn find_section(bytes: &[u8], id: u32) -> (usize, usize, usize) {
+    let count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    for i in 0..count {
+        let e = persist::HEADER_LEN + i * persist::TABLE_ENTRY_LEN;
+        if u32::from_le_bytes(bytes[e..e + 4].try_into().unwrap()) == id {
+            let off = u64::from_le_bytes(bytes[e + 4..e + 12].try_into().unwrap()) as usize;
+            let len = u64::from_le_bytes(bytes[e + 12..e + 20].try_into().unwrap()) as usize;
+            return (e, off, len);
+        }
+    }
+    panic!("section {id} not found");
+}
+
+/// Re-records a section's CRC after deliberate payload surgery, so the
+/// corruption reaches the semantic validators instead of the checksum.
+fn refresh_crc(bytes: &mut [u8], entry: usize, off: usize, len: usize) {
+    let crc = persist::crc32(&bytes[off..off + len]);
+    bytes[entry + 20..entry + 24].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// The byte offsets (relative to the SoA payload start) of every array
+/// boundary, recomputed from the documented v2 layout: 6-field u64
+/// header, then idf, norms, rv_offsets, rv_concepts (padded), rv_weights,
+/// post_offsets, post_ids (padded), post_scores, block_offsets,
+/// block_max, max_impact.
+struct SoaOffsets {
+    boundaries: Vec<usize>,
+    post_scores: usize,
+    block_max: usize,
+    n_blocks: usize,
+}
+
+fn soa_offsets(payload: &[u8]) -> SoaOffsets {
+    let field =
+        |i: usize| u64::from_le_bytes(payload[i * 8..(i + 1) * 8].try_into().unwrap()) as usize;
+    let (r, c, rv_nnz, n_post, n_blocks) = (field(0), field(1), field(3), field(4), field(5));
+    assert_eq!(field(2), cubelsi::core::BLOCK_LEN, "block length field");
+    // (array byte length, pad-to-8 afterwards) in on-disk order.
+    let arrays: [(usize, bool); 11] = [
+        (c * 8, false),        // idf
+        (r * 8, false),        // resource_norms
+        ((r + 1) * 8, false),  // rv_offsets
+        (rv_nnz * 4, true),    // rv_concepts
+        (rv_nnz * 8, false),   // rv_weights
+        ((c + 1) * 8, false),  // post_offsets
+        (n_post * 4, true),    // post_ids
+        (n_post * 8, false),   // post_scores
+        ((c + 1) * 8, false),  // block_offsets
+        (n_blocks * 8, false), // block_max
+        (c * 8, false),        // max_impact
+    ];
+    let mut cursor = 48usize;
+    let mut boundaries = vec![cursor];
+    for (bytes, pad) in arrays {
+        cursor += bytes;
+        if pad {
+            cursor = cursor.div_ceil(8) * 8;
+        }
+        boundaries.push(cursor);
+    }
+    assert_eq!(cursor, payload.len(), "layout must cover the payload");
+    SoaOffsets {
+        // boundaries[i] = start of array i (0-based); boundaries[7] is
+        // post_scores, boundaries[9] is block_max.
+        post_scores: boundaries[7],
+        block_max: boundaries[9],
+        boundaries,
+        n_blocks,
+    }
+}
+
+fn assert_both_loaders_reject(bytes: &[u8], what: &str) -> PersistError {
+    let err = persist::load_from_bytes(bytes)
+        .err()
+        .unwrap_or_else(|| panic!("{what}: owned load must fail"));
+    let zc = persist::load_zero_copy(Arc::new(AlignedBytes::from_bytes(bytes)));
+    assert!(zc.is_err(), "{what}: zero-copy load must fail");
+    err
+}
+
+/// Truncating the file at (and just past) every SoA array boundary must
+/// produce a typed error from both loaders — never a panic.
+#[test]
+fn truncation_at_every_soa_array_boundary_errors() {
+    let (folksonomy, model) = build_random(31);
+    let bytes = persist::save_to_vec(&model, &folksonomy);
+    let (_, off, len) = find_section(&bytes, persist::SECTION_INDEX_SOA);
+    let offsets = soa_offsets(&bytes[off..off + len]);
+    for &b in &offsets.boundaries {
+        // A cut at or past the end of the recorded payload is not a
+        // truncation (trailing file padding is not covered by the length),
+        // so only strictly-inside cuts are adversarial.
+        for cut in [off + b, off + b + 4] {
+            if cut >= off + len {
+                continue;
+            }
+            let err = assert_both_loaders_reject(&bytes[..cut], &format!("cut at {cut}"));
+            assert!(
+                matches!(
+                    err,
+                    PersistError::Truncated { .. } | PersistError::ChecksumMismatch { .. }
+                ),
+                "cut {cut}: unexpected error {err}"
+            );
+        }
+    }
+}
+
+/// A flipped byte inside the block-max array is caught by the CRC; the
+/// same flip with a freshly recorded CRC is caught by the semantic
+/// validator (block max must equal its block's head impact). Either way:
+/// a typed error, never a silent misranking.
+#[test]
+fn flipped_block_max_bytes_are_detected() {
+    let (folksonomy, model) = build_random(32);
+    let bytes = persist::save_to_vec(&model, &folksonomy);
+    let (entry, off, len) = find_section(&bytes, persist::SECTION_INDEX_SOA);
+    let offsets = soa_offsets(&bytes[off..off + len]);
+    assert!(offsets.n_blocks > 0, "corpus must produce posting blocks");
+
+    for block in 0..offsets.n_blocks {
+        let pos = off + offsets.block_max + block * 8 + 3;
+        // CRC catches the raw flip.
+        let mut bad = bytes.clone();
+        bad[pos] ^= 0x5A;
+        match assert_both_loaders_reject(&bad, &format!("block {block} flip")) {
+            PersistError::ChecksumMismatch { section, .. } => {
+                assert_eq!(section, persist::SECTION_INDEX_SOA);
+            }
+            other => panic!("block {block}: expected ChecksumMismatch, got {other}"),
+        }
+        // The semantic validator catches the CRC-repaired flip.
+        refresh_crc(&mut bad, entry, off, len);
+        match assert_both_loaders_reject(&bad, &format!("block {block} flip + CRC fix")) {
+            PersistError::Malformed { section, detail } => {
+                assert_eq!(section, persist::SECTION_INDEX_SOA);
+                assert!(!detail.is_empty());
+            }
+            other => panic!("block {block}: expected Malformed, got {other}"),
+        }
+    }
+}
+
+/// CRC-repaired corruption of the impact order itself (a zeroed head
+/// score) must be rejected by the order/consistency validation — this is
+/// the "never misrank" guarantee for hostile-but-checksummed files.
+#[test]
+fn broken_impact_order_is_rejected_after_crc_repair() {
+    let (folksonomy, model) = build_random(33);
+    let mut bytes = persist::save_to_vec(&model, &folksonomy);
+    let (entry, off, len) = find_section(&bytes, persist::SECTION_INDEX_SOA);
+    let offsets = soa_offsets(&bytes[off..off + len]);
+    // Zero the first posting score: its list is no longer descending (or,
+    // for a single-posting list, disagrees with block max / max impact).
+    let pos = off + offsets.post_scores;
+    bytes[pos..pos + 8].copy_from_slice(&0.0f64.to_le_bytes());
+    refresh_crc(&mut bytes, entry, off, len);
+    match assert_both_loaders_reject(&bytes, "zeroed head score") {
+        PersistError::Malformed { section, .. } => {
+            assert_eq!(section, persist::SECTION_INDEX_SOA);
+        }
+        other => panic!("expected Malformed, got {other}"),
+    }
+}
+
+/// A section table pointing the SoA payload at a non-8-aligned offset is
+/// a typed [`PersistError::MisalignedSection`] from both loaders — the
+/// zero-copy path must never view misaligned floats, and the owned path
+/// enforces the same contract for format strictness.
+#[test]
+fn misaligned_soa_section_is_a_typed_error() {
+    let (folksonomy, model) = build_random(34);
+    let mut bytes = persist::save_to_vec(&model, &folksonomy);
+    let (entry, off, len) = find_section(&bytes, persist::SECTION_INDEX_SOA);
+    // Shift the recorded payload offset back by 4: same length, CRC
+    // re-recorded over the shifted window, so the only defect left is the
+    // alignment.
+    let new_off = off - 4;
+    bytes[entry + 4..entry + 12].copy_from_slice(&(new_off as u64).to_le_bytes());
+    refresh_crc(&mut bytes, entry, new_off, len);
+    match assert_both_loaders_reject(&bytes, "shifted section offset") {
+        PersistError::MisalignedSection { section, offset } => {
+            assert_eq!(section, persist::SECTION_INDEX_SOA);
+            assert_eq!(offset as usize, new_off);
+        }
+        other => panic!("expected MisalignedSection, got {other}"),
     }
 }
 

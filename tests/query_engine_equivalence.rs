@@ -1,21 +1,27 @@
 //! Property-style equivalence tests for the pruned top-k query engine:
-//! over randomized corpora (via `cubelsi-datagen`), the MaxScore + heap
-//! path must return *exactly* the same ranked list — scores (bit-for-bit),
-//! order, and tie-breaks — as the exhaustive reference path, for hard and
-//! soft concept assignments and k ∈ {1, 5, all}.
+//! over randomized corpora (via `cubelsi-datagen`), a **three-way**
+//! bitwise equivalence must hold — the exhaustive reference path, the
+//! MaxScore per-posting path ([`PruningStrategy::MaxScore`], the PR-1
+//! engine kept selectable as the reference pruned path), and the default
+//! block-max path ([`PruningStrategy::BlockMax`]) must return *exactly*
+//! the same ranked list — scores (bit-for-bit), order, and tie-breaks —
+//! for hard and soft concept assignments and k ∈ {1, 5, all}.
 //!
 //! This is the correctness contract that makes the pruning optimizations
 //! deployable: they are pure speedups, never approximations.
 
 use cubelsi::core::{
-    ConceptAssignment, ConceptIndex, ConceptModel, QueryEngine, RankedResource, SoftConceptModel,
-    SoftConfig,
+    ConceptAssignment, ConceptIndex, ConceptModel, PruningStrategy, QueryEngine, RankedResource,
+    SoftConceptModel, SoftConfig,
 };
 use cubelsi::datagen::{generate, GeneratorConfig};
 use cubelsi::folksonomy::{Folksonomy, TagId};
 use cubelsi::linalg::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Both pruned strategies, checked against the exhaustive path in turn.
+const STRATEGIES: [PruningStrategy; 2] = [PruningStrategy::MaxScore, PruningStrategy::BlockMax];
 
 fn random_corpus(seed: u64, users: usize, resources: usize, assignments: usize) -> Folksonomy {
     generate(&GeneratorConfig {
@@ -74,34 +80,51 @@ fn assert_identical(pruned: &[RankedResource], exact: &[RankedResource], context
     }
 }
 
-fn check_engine(engine: &QueryEngine, model: &dyn ConceptAssignment, seed: u64, num_tags: usize) {
+/// Three-way check: exhaustive ≡ MaxScore ≡ block-max, for every query
+/// and k, on the sequential and the batched path.
+fn check_engine(
+    engine: &mut QueryEngine,
+    model: &dyn ConceptAssignment,
+    seed: u64,
+    num_tags: usize,
+) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut session = engine.session();
-    let mut out = Vec::new();
     let num_resources = engine.index().num_resources();
     let queries: Vec<Vec<TagId>> = (0..40).map(|_| random_query(&mut rng, num_tags)).collect();
     // k = 1, 5, all-matches (0), and a k larger than the corpus.
     for &k in &[1usize, 5, 0, num_resources + 7] {
-        for (qi, q) in queries.iter().enumerate() {
-            let exact = engine.search_tags_exact(model, q, k);
-            engine.search_tags_with(&mut session, model, q, k, &mut out);
-            assert_identical(&out, &exact, &format!("seed={seed} k={k} query#{qi} {q:?}"));
-        }
-        // The batched path must agree query-for-query as well.
-        let batch = engine.search_batch(model, &queries, k);
-        for (qi, q) in queries.iter().enumerate() {
-            let exact = engine.search_tags_exact(model, q, k);
-            assert_identical(
-                &batch[qi],
-                &exact,
-                &format!("batch seed={seed} k={k} query#{qi}"),
-            );
+        // The exhaustive ground truth is strategy-independent.
+        let exact: Vec<Vec<RankedResource>> = queries
+            .iter()
+            .map(|q| engine.search_tags_exact(model, q, k))
+            .collect();
+        for strategy in STRATEGIES {
+            engine.set_strategy(strategy);
+            let mut session = engine.session();
+            let mut out = Vec::new();
+            for (qi, q) in queries.iter().enumerate() {
+                engine.search_tags_with(&mut session, model, q, k, &mut out);
+                assert_identical(
+                    &out,
+                    &exact[qi],
+                    &format!("{strategy:?} seed={seed} k={k} query#{qi} {q:?}"),
+                );
+            }
+            // The batched path must agree query-for-query as well.
+            let batch = engine.search_batch(model, &queries, k);
+            for (qi, _) in queries.iter().enumerate() {
+                assert_identical(
+                    &batch[qi],
+                    &exact[qi],
+                    &format!("batch {strategy:?} seed={seed} k={k} query#{qi}"),
+                );
+            }
         }
     }
 }
 
 #[test]
-fn pruned_path_equals_exact_path_hard_assignments() {
+fn pruned_paths_equal_exact_path_hard_assignments() {
     for (seed, users, resources, assignments) in [
         (1u64, 20, 15, 400),
         (2, 50, 80, 2_500),
@@ -112,9 +135,9 @@ fn pruned_path_equals_exact_path_hard_assignments() {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
         for num_concepts in [2usize, 6, 16] {
             let model = random_hard_model(&mut rng, f.num_tags(), num_concepts);
-            let engine = QueryEngine::new(ConceptIndex::build(&f, &model));
+            let mut engine = QueryEngine::new(ConceptIndex::build(&f, &model));
             check_engine(
-                &engine,
+                &mut engine,
                 &model,
                 seed * 31 + num_concepts as u64,
                 f.num_tags(),
@@ -124,7 +147,7 @@ fn pruned_path_equals_exact_path_hard_assignments() {
 }
 
 #[test]
-fn pruned_path_equals_exact_path_soft_assignments() {
+fn pruned_paths_equal_exact_path_soft_assignments() {
     for (seed, users, resources, assignments) in [
         (11u64, 30, 40, 1_200),
         (12, 60, 120, 4_000),
@@ -134,11 +157,33 @@ fn pruned_path_equals_exact_path_soft_assignments() {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
         for num_concepts in [3usize, 8] {
             let model = random_soft_model(&mut rng, f.num_tags(), num_concepts);
-            let engine = QueryEngine::new(ConceptIndex::build(&f, &model));
+            let mut engine = QueryEngine::new(ConceptIndex::build(&f, &model));
             check_engine(
-                &engine,
+                &mut engine,
                 &model,
                 seed * 17 + num_concepts as u64,
+                f.num_tags(),
+            );
+        }
+    }
+}
+
+#[test]
+fn pruned_paths_equal_exact_on_long_multi_block_lists() {
+    // Few concepts over many resources: posting lists hundreds of entries
+    // long, so the block-max loop crosses many BLOCK_LEN boundaries and
+    // the skip case (block max below threshold) actually fires at small k.
+    for (seed, users, resources, assignments) in [(21u64, 5, 1_500, 12_000), (22, 12, 800, 20_000)]
+    {
+        let f = random_corpus(seed, users, resources, assignments);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xB10C);
+        for num_concepts in [2usize, 4] {
+            let model = random_hard_model(&mut rng, f.num_tags(), num_concepts);
+            let mut engine = QueryEngine::new(ConceptIndex::build(&f, &model));
+            check_engine(
+                &mut engine,
+                &model,
+                seed * 13 + num_concepts as u64,
                 f.num_tags(),
             );
         }
@@ -159,11 +204,14 @@ fn single_term_fast_path_handles_impact_ties() {
     b.add("u2", "other", "r7");
     let f = b.build();
     let model = ConceptModel::from_assignments(vec![0, 1], 1.0);
-    let engine = QueryEngine::new(ConceptIndex::build(&f, &model));
+    let mut engine = QueryEngine::new(ConceptIndex::build(&f, &model));
     let tag = f.tag_id("same").unwrap();
-    for k in 1..=21 {
-        let exact = engine.search_tags_exact(&model, &[tag], k);
-        let pruned = engine.search_tags(&model, &[tag], k);
-        assert_identical(&pruned, &exact, &format!("tie corpus k={k}"));
+    for strategy in STRATEGIES {
+        engine.set_strategy(strategy);
+        for k in 1..=21 {
+            let exact = engine.search_tags_exact(&model, &[tag], k);
+            let pruned = engine.search_tags(&model, &[tag], k);
+            assert_identical(&pruned, &exact, &format!("{strategy:?} tie corpus k={k}"));
+        }
     }
 }

@@ -1,13 +1,15 @@
 //! Proves the steady-state serving claim: once a [`QuerySession`] and the
 //! output buffer are warmed, `search_tags_with` performs **zero heap
-//! allocations** per query.
+//! allocations** per query — under both pruning strategies (the MaxScore
+//! reference and the default block-max loop), and on an engine serving
+//! zero-copy out of a loaded artifact buffer.
 //!
 //! A counting global allocator wraps the system allocator; the test warms
 //! the session over the query set, snapshots the allocation counter, runs
 //! every query again, and asserts the counter did not move. This file
 //! holds exactly one test so no concurrent test pollutes the counter.
 
-use cubelsi::core::{ConceptIndex, ConceptModel, QueryEngine};
+use cubelsi::core::{persist, ConceptIndex, ConceptModel, PruningStrategy, QueryEngine};
 use cubelsi::datagen::{generate, GeneratorConfig};
 use cubelsi::folksonomy::TagId;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -40,6 +42,34 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static ALLOCATOR: CountingAllocator = CountingAllocator;
 
+fn assert_steady_state_alloc_free(
+    engine: &QueryEngine,
+    model: &ConceptModel,
+    queries: &[(Vec<TagId>, usize)],
+) {
+    let mut session = engine.session();
+    let mut out = Vec::new();
+    // Warm-up: grow every scratch buffer to its steady size.
+    for _ in 0..2 {
+        for (tags, k) in queries {
+            engine.search_tags_with(&mut session, model, tags, *k, &mut out);
+        }
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for (tags, k) in queries {
+        engine.search_tags_with(&mut session, model, tags, *k, &mut out);
+        assert!(out.len() <= *k);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state search_tags_with must not allocate ({:?})",
+        engine.strategy()
+    );
+}
+
 #[test]
 fn steady_state_search_allocates_nothing() {
     let ds = generate(&GeneratorConfig {
@@ -55,7 +85,7 @@ fn steady_state_search_allocates_nothing() {
     // not care where the model came from).
     let assignments: Vec<usize> = (0..f.num_tags()).map(|t| t % 8).collect();
     let model = ConceptModel::from_assignments(assignments, 1.0);
-    let engine = QueryEngine::new(ConceptIndex::build(f, &model));
+    let mut engine = QueryEngine::new(ConceptIndex::build(f, &model));
 
     // A mix of single- and multi-term queries at several k.
     let queries: Vec<(Vec<TagId>, usize)> = (0..f.num_tags().min(40))
@@ -67,24 +97,25 @@ fn steady_state_search_allocates_nothing() {
         })
         .collect();
 
-    let mut session = engine.session();
-    let mut out = Vec::new();
-    // Warm-up: grow every scratch buffer to its steady size.
-    for _ in 0..2 {
-        for (tags, k) in &queries {
-            engine.search_tags_with(&mut session, &model, tags, *k, &mut out);
-        }
+    // Both pruning strategies on the freshly built engine.
+    for strategy in [PruningStrategy::BlockMax, PruningStrategy::MaxScore] {
+        engine.set_strategy(strategy);
+        assert_steady_state_alloc_free(&engine, &model, &queries);
     }
 
-    let before = ALLOCATIONS.load(Ordering::Relaxed);
-    for (tags, k) in &queries {
-        engine.search_tags_with(&mut session, &model, tags, *k, &mut out);
-        assert!(out.len() <= *k);
-    }
-    let after = ALLOCATIONS.load(Ordering::Relaxed);
-    assert_eq!(
-        after - before,
-        0,
-        "steady-state search_tags_with must not allocate"
-    );
+    // And the block-max path on an engine serving zero-copy out of an
+    // artifact buffer: the Slab-borrowed arrays must change nothing about
+    // the steady-state allocation profile.
+    let cfg = cubelsi::core::CubeLsiConfig {
+        core_dims: Some((8, 8, 8)),
+        num_concepts: Some(8),
+        max_als_iters: 4,
+        ..Default::default()
+    };
+    let built = cubelsi::core::CubeLsi::build(f, &cfg).unwrap();
+    let bytes = persist::save_to_vec(&built, f);
+    let buf = std::sync::Arc::new(cubelsi::core::AlignedBytes::from_bytes(&bytes));
+    let loaded = persist::load_zero_copy(buf).unwrap();
+    assert!(loaded.model.index().is_zero_copy());
+    assert_steady_state_alloc_free(loaded.model.engine(), &model, &queries);
 }
