@@ -16,13 +16,17 @@
 //! path is tracked in-repo alongside `BENCH_build.json`. Two presets are
 //! measured: the small 300×250×15k pipeline preset and a 20k-resource
 //! corpus with multi-hundred-posting lists, where block skipping has real
-//! room to work.
+//! room to work. Paths: the exhaustive reference, MaxScore, block-max,
+//! and a 4-shard scatter-gather [`ShardSet`] (sequential per-shard
+//! top-k + exact k-way merge — the per-node cost of the sharded TCP
+//! serving topology).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use cubelsi_baselines::{
     BowRanker, CubeSim, CubeSimMode, FolkRank, FolkRankConfig, FreqRanker, LsiConfig, LsiRanker,
     Ranker,
 };
+use cubelsi_core::shard::{self, ShardSet};
 use cubelsi_core::{
     ConceptAssignment, ConceptIndex, ConceptModel, CubeLsi, CubeLsiConfig, PruningStrategy,
     QueryEngine,
@@ -178,6 +182,9 @@ fn bench_query_throughput(c: &mut Criterion) {
 // ---------------------------------------------------------------------------
 
 /// One preset of the report: an engine (any concept model) + workload.
+/// The corpus and a hard concept model ride along so the sharded
+/// scatter-gather path can build a [`cubelsi_core::shard::ShardSet`]
+/// from the same engine.
 struct ReportPreset {
     name: &'static str,
     users: usize,
@@ -187,6 +194,8 @@ struct ReportPreset {
     num_concepts: usize,
     engine: QueryEngine,
     model: Box<dyn ConceptAssignment>,
+    folksonomy: cubelsi_folksonomy::Folksonomy,
+    hard_model: ConceptModel,
     queries: Vec<Vec<TagId>>,
 }
 
@@ -222,6 +231,8 @@ fn small_preset() -> ReportPreset {
         num_concepts: built.concepts().num_concepts(),
         engine: built.engine().clone(),
         model: Box::new(built.concepts().clone()),
+        folksonomy: ds.folksonomy.clone(),
+        hard_model: built.concepts().clone(),
         queries,
     }
 }
@@ -264,7 +275,9 @@ fn large_preset() -> ReportPreset {
         assignments: f.num_assignments(),
         num_concepts,
         engine,
-        model: Box::new(model),
+        model: Box::new(model.clone()),
+        folksonomy: f.clone(),
+        hard_model: model,
         queries,
     }
 }
@@ -308,6 +321,18 @@ fn emit_query_report(_c: &mut Criterion) {
     let mut preset_jsons = Vec::new();
     for preset in [small_preset(), large_preset()] {
         let model = &*preset.model;
+        // Sharded scatter-gather (4 shards, sequential per-shard top-k
+        // on one session + exact k-way merge) over the same engine — the
+        // single-process cost of the serving topology the TCP server
+        // deploys per shard-hosting node. Built once per preset (the
+        // partition and its O(shards × resources) validation do not
+        // depend on k).
+        let sharded_set = ShardSet::from_parts(
+            shard::partition_engines(&preset.engine, 4),
+            preset.folksonomy.clone(),
+            preset.hard_model.clone(),
+        )
+        .expect("bench shard set");
         let mut rows = Vec::new();
         for &k in &[10usize, 100] {
             let mut ms_engine = preset.engine.clone();
@@ -335,24 +360,35 @@ fn emit_query_report(_c: &mut Criterion) {
                     black_box(bm_out.len());
                 }
             };
+            let mut sh_session = sharded_set.session();
+            let mut sh_out = Vec::new();
+            let mut run_sharded = |qs: &[Vec<TagId>]| {
+                for q in qs {
+                    sharded_set.search_tags_with(&mut sh_session, model, q, k, &mut sh_out);
+                    black_box(sh_out.len());
+                }
+            };
             let qps = measure_paths(
                 &preset.queries,
-                &mut [&mut run_ref, &mut run_ms, &mut run_bm],
+                &mut [&mut run_ref, &mut run_ms, &mut run_bm, &mut run_sharded],
             );
-            let (reference, maxscore, blockmax) = (qps[0], qps[1], qps[2]);
+            let (reference, maxscore, blockmax, sharded) = (qps[0], qps[1], qps[2], qps[3]);
             println!(
-                "{} k={k}: reference {:.0} q/s | maxscore {:.0} q/s | blockmax {:.0} q/s ({:.2}x maxscore)",
-                preset.name, reference, maxscore, blockmax, blockmax / maxscore.max(1e-9)
+                "{} k={k}: reference {:.0} q/s | maxscore {:.0} q/s | blockmax {:.0} q/s ({:.2}x maxscore) | sharded4 {:.0} q/s",
+                preset.name, reference, maxscore, blockmax, blockmax / maxscore.max(1e-9), sharded
             );
             rows.push(format!(
                 "      {{\"k\": {k}, \"reference_qps\": {:.0}, \"maxscore_qps\": {:.0}, \
-                 \"blockmax_qps\": {:.0}, \"blockmax_vs_maxscore\": {:.2}, \
-                 \"blockmax_vs_reference\": {:.2}}}",
+                 \"blockmax_qps\": {:.0}, \"sharded4_qps\": {:.0}, \
+                 \"blockmax_vs_maxscore\": {:.2}, \"blockmax_vs_reference\": {:.2}, \
+                 \"sharded4_vs_blockmax\": {:.2}}}",
                 reference,
                 maxscore,
                 blockmax,
+                sharded,
                 blockmax / maxscore.max(1e-9),
                 blockmax / reference.max(1e-9),
+                sharded / blockmax.max(1e-9),
             ));
         }
         preset_jsons.push(format!(
@@ -372,7 +408,7 @@ fn emit_query_report(_c: &mut Criterion) {
 
     let json = format!(
         "{{\n  \"bench\": \"query_throughput\",\n  \"threads\": 1,\n  \"paths\": \
-         [\"reference_exhaustive\", \"maxscore\", \"blockmax\"],\n  \"presets\": [\n{}\n  ]\n}}\n",
+         [\"reference_exhaustive\", \"maxscore\", \"blockmax\", \"sharded4\"],\n  \"presets\": [\n{}\n  ]\n}}\n",
         preset_jsons.join(",\n"),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query.json");

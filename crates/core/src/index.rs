@@ -86,8 +86,43 @@ pub struct RankedResource {
 pub(crate) fn cmp_ranked(a_score: f64, a_id: u32, b_score: f64, b_id: u32) -> std::cmp::Ordering {
     b_score
         .partial_cmp(&a_score)
-        .unwrap_or(std::cmp::Ordering::Equal)
+        .unwrap_or_else(|| cmp_nan_last(a_score, b_score))
         .then(a_id.cmp(&b_id))
+}
+
+/// Tie-break for score comparisons involving NaN: NaN ranks strictly
+/// below every number and NaNs tie with each other, which keeps the
+/// comparator a total order. Without this, a non-finite query weight
+/// reaching the exact reference path (`rank_exact` divides by a possibly
+/// non-finite norm *after* its positivity filter) would hand
+/// `sort_unstable_by` an intransitive comparator — allowed to panic.
+#[inline]
+fn cmp_nan_last(a: f64, b: f64) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+        _ => std::cmp::Ordering::Equal,
+    }
+}
+
+/// Sorts query terms by descending `weight * max_impact[concept]` (ties
+/// by ascending concept id) — the MaxScore processing order. This is the
+/// single comparator behind [`ConceptIndex::order_terms`] *and* the
+/// sharded engine's global term order: the engines consume terms in this
+/// order, which makes their floating-point accumulation sequences — and
+/// hence scores — identical for every surviving resource. `max_impact`
+/// entries may be a shard-local or a global maximum; the order is exact
+/// either way, it only has to be *the same* for every engine whose
+/// results are merged. NaN products (possible only through the raw
+/// weighted entry points) sort last, keeping the comparator total.
+pub(crate) fn order_terms_with(terms: &mut [(u32, f64)], max_impact: &[f64]) {
+    terms.sort_unstable_by(|a, b| {
+        let ba = a.1 * max_impact[a.0 as usize];
+        let bb = b.1 * max_impact[b.0 as usize];
+        bb.partial_cmp(&ba)
+            .unwrap_or_else(|| cmp_nan_last(ba, bb))
+            .then(a.0.cmp(&b.0))
+    });
 }
 
 /// A query mapped into concept space: non-negative `(concept, weight)`
@@ -560,13 +595,56 @@ impl ConceptIndex {
     /// floating-point accumulation sequences — and hence scores —
     /// identical for every surviving resource.
     pub(crate) fn order_terms(&self, terms: &mut [(u32, f64)]) {
-        terms.sort_unstable_by(|a, b| {
-            let ba = a.1 * self.max_impact[a.0 as usize];
-            let bb = b.1 * self.max_impact[b.0 as usize];
-            bb.partial_cmp(&ba)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
-        });
+        order_terms_with(terms, &self.max_impact);
+    }
+
+    /// Copies out the shard of this index owned by `shard` of
+    /// `num_shards` under the deterministic modulo partition
+    /// (resource `r` belongs to shard `r % num_shards`).
+    ///
+    /// The shard keeps the **global** resource-id space and the
+    /// **global** idf array verbatim, so a query prepared against any
+    /// shard is bit-identical to one prepared against the full index;
+    /// only the postings, resource vectors, and norms of member
+    /// resources are retained (non-members read as unindexed: empty
+    /// vector, zero norm, no postings). Per-list metadata — block
+    /// structure, block maxima, per-list maxima — is rederived from the
+    /// filtered lists, whose impact order is inherited from the full
+    /// index, so every per-shard structural invariant the persist
+    /// validator checks holds by construction. Kept impacts are the
+    /// full index's bytes, untouched: a resource scores bit-identically
+    /// in its shard and in the full index.
+    pub fn partition_by_resource(&self, shard: usize, num_shards: usize) -> ConceptIndex {
+        assert!(num_shards >= 1, "num_shards must be >= 1");
+        assert!(shard < num_shards, "shard {shard} out of {num_shards}");
+        let member = |r: usize| r % num_shards == shard;
+        let mut resource_vectors = Vec::with_capacity(self.num_resources);
+        let mut resource_norms = Vec::with_capacity(self.num_resources);
+        for r in 0..self.num_resources {
+            if member(r) {
+                resource_vectors.push(self.resource_vector(r).iter().collect());
+                resource_norms.push(self.resource_norm(r));
+            } else {
+                resource_vectors.push(Vec::new());
+                resource_norms.push(0.0);
+            }
+        }
+        let postings: Vec<Vec<(u32, f64)>> = (0..self.num_concepts)
+            .map(|l| {
+                self.postings(l)
+                    .iter()
+                    .filter(|&(r, _)| member(r as usize))
+                    .collect()
+            })
+            .collect();
+        Self::from_lists(
+            self.num_resources,
+            self.num_concepts,
+            self.idf.to_vec(),
+            resource_vectors,
+            resource_norms,
+            postings,
+        )
     }
 
     /// Exhaustive reference ranking: dense accumulation over every posting

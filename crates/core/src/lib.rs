@@ -30,7 +30,11 @@
 //! * [`persist`] — versioned, checksummed binary save/load of a complete
 //!   built engine (with an aligned SoA index section supporting owned and
 //!   zero-copy loads), splitting the expensive offline build from cheap
-//!   online serving across process lifetimes.
+//!   online serving across process lifetimes;
+//! * [`shard`] — sharded scatter-gather serving over resource-partitioned
+//!   shard artifacts (versioned manifest + exact k-way merge,
+//!   bit-identical to a single engine) with hot generation-swapped
+//!   artifact reload under live traffic.
 
 pub mod concepts;
 pub mod config;
@@ -39,6 +43,7 @@ pub mod index;
 pub mod persist;
 pub mod pipeline;
 pub mod query;
+pub mod shard;
 pub mod slab;
 pub mod soft;
 pub mod tensor_build;
@@ -55,6 +60,10 @@ pub use index::{
 pub use persist::{Artifact, PersistError};
 pub use pipeline::{CubeLsi, PhaseTimings};
 pub use query::{PruningStrategy, QueryEngine, QuerySession};
+pub use shard::{
+    LoadMode, ShardEntry, ShardGeneration, ShardManifest, ShardSet, ShardedEngine, ShardedSession,
+    SourceKind,
+};
 pub use slab::{AlignedBytes, Slab};
 pub use soft::{SoftConceptModel, SoftConfig};
 pub use tensor_build::build_tensor;

@@ -185,6 +185,14 @@ pub enum PersistError {
         /// Human-readable description of the defect.
         detail: String,
     },
+    /// A shard set is inconsistent: shards disagree on corpus, model, or
+    /// dimensions, a resource is indexed by the wrong shard under the
+    /// declared partition, or the shard count is out of range (see
+    /// `crate::shard`).
+    Shard {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for PersistError {
@@ -218,6 +226,9 @@ impl std::fmt::Display for PersistError {
             ),
             PersistError::Malformed { section, detail } => {
                 write!(f, "section {section} malformed: {detail}")
+            }
+            PersistError::Shard { detail } => {
+                write!(f, "shard set inconsistent: {detail}")
             }
         }
     }

@@ -177,6 +177,13 @@ impl CubeLsi {
         &self.engine
     }
 
+    /// Consumes the pipeline, yielding its query engine without cloning
+    /// the index arrays — the shard loader uses this so an owned-mode
+    /// artifact load does not pay for a full index copy.
+    pub fn into_engine(self) -> QueryEngine {
+        self.engine
+    }
+
     /// The engine's active pruning strategy.
     pub fn pruning_strategy(&self) -> PruningStrategy {
         self.engine.strategy()

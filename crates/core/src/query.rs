@@ -101,9 +101,14 @@
 //! by the `query_engine_equivalence` integration test over randomized
 //! corpora.
 //!
-//! A query whose terms may carry negative weights (possible through the
-//! raw [`QueryEngine::search_weighted`] entry point) falls back to the
-//! exact path, where no bound argument is needed.
+//! A query whose terms may carry negative **or non-finite** weights
+//! (possible through the raw [`QueryEngine::search_weighted`] entry
+//! point) falls back to the exact path, where no bound argument is
+//! needed. NaN is the subtle case: it fails a `w < 0.0` test *and* passes
+//! a `w != 0.0` test, so an explicit `is_finite` guard is required to
+//! keep it out of the dense accumulators and the query norm — without it,
+//! the pruned path would silently diverge from
+//! [`ConceptIndex::query_weighted_concepts`].
 
 use crate::index::{ConceptAssignment, ConceptIndex, PostingsRef, RankedResource, BLOCK_LEN};
 use cubelsi_folksonomy::{ResourceId, TagId};
@@ -228,6 +233,14 @@ impl QuerySession {
     fn slot_word(&self, slot: usize) -> u64 {
         ((self.res_cur as u64) << 32) | slot as u64
     }
+
+    /// The terms prepared by the last query on this session (in whatever
+    /// order preparation left them). The sharded engine reads this after
+    /// [`QueryEngine::collect_tag_terms`] to broadcast one prepared query
+    /// to every shard.
+    pub(crate) fn terms(&self) -> &[(u32, f64)] {
+        &self.terms
+    }
 }
 
 fn bump_epoch(cur: u32, epochs: &mut [u32]) -> u32 {
@@ -310,19 +323,63 @@ impl QueryEngine {
         out: &mut Vec<RankedResource>,
     ) {
         out.clear();
-        session.begin();
-        session.ensure_capacity(&self.index);
-        let Some(norm) = self.build_query(session, concepts, tags) else {
+        let Some(norm) = self.collect_tag_terms(session, concepts, tags) else {
             return;
         };
+        self.index.order_terms(&mut session.terms);
         self.run_pruned(session, norm, top_k, out);
     }
 
-    /// Ranks resources against raw `(concept, weight)` pairs. Non-negative
-    /// weights use the pruned path; any negative weight — or a duplicated
-    /// concept id, which the exact reference keeps as separate terms while
-    /// the session scratch would merge — falls back to the exact reference
-    /// path so results always match [`ConceptIndex::query_weighted_concepts`].
+    /// Prepares a tag query in `session` *without* applying a term order:
+    /// after this call `session.terms` holds the `(concept, weight)`
+    /// terms in ascending concept order and the returned value is the
+    /// query norm (`None` → empty query). The sharded scatter-gather
+    /// engine uses this to prepare a query exactly once and then replay
+    /// the same terms — in one shared, globally-consistent MaxScore
+    /// order — against every shard, which is what makes the merged
+    /// ranking bit-identical to a single unsharded engine.
+    pub(crate) fn collect_tag_terms(
+        &self,
+        session: &mut QuerySession,
+        concepts: &dyn ConceptAssignment,
+        tags: &[TagId],
+    ) -> Option<f64> {
+        session.begin();
+        session.ensure_capacity(&self.index);
+        self.build_query(session, concepts, tags)
+    }
+
+    /// Runs the pruned engine over externally prepared terms. `terms`
+    /// must be non-negative and already in the processing order the
+    /// caller wants (the pruning bounds are exact under *any* order;
+    /// the order only determines the floating-point accumulation
+    /// sequence, which is why the sharded engine pins one global order
+    /// across shards).
+    pub(crate) fn run_with_terms(
+        &self,
+        session: &mut QuerySession,
+        terms: &[(u32, f64)],
+        norm: f64,
+        top_k: usize,
+        out: &mut Vec<RankedResource>,
+    ) {
+        out.clear();
+        session.begin();
+        session.ensure_capacity(&self.index);
+        session.terms.extend_from_slice(terms);
+        self.run_pruned(session, norm, top_k, out);
+    }
+
+    /// Ranks resources against raw `(concept, weight)` pairs. Finite
+    /// non-negative weights use the pruned path; any negative or
+    /// non-finite weight — or a duplicated concept id, which the exact
+    /// reference keeps as separate terms while the session scratch would
+    /// merge — falls back to the exact reference path so results always
+    /// match [`ConceptIndex::query_weighted_concepts`]. The non-finite
+    /// guard matters: NaN fails `w < 0.0` and passes `w != 0.0`, so
+    /// without it a hostile weight would poison the dense accumulators
+    /// and the query norm and the pruned results would silently diverge
+    /// from the exact reference.
     pub fn search_weighted(
         &self,
         session: &mut QuerySession,
@@ -331,7 +388,7 @@ impl QueryEngine {
         out: &mut Vec<RankedResource>,
     ) {
         out.clear();
-        if terms.iter().any(|&(_, w)| w < 0.0) {
+        if terms.iter().any(|&(_, w)| w < 0.0 || !w.is_finite()) {
             if let Some(q) = self.index.prepare_weighted(terms) {
                 *out = self.index.rank_exact(&q, top_k)
             }
@@ -354,6 +411,7 @@ impl QueryEngine {
         let Some(norm) = self.finalize_terms(session, |_, w| w) else {
             return;
         };
+        self.index.order_terms(&mut session.terms);
         self.run_pruned(session, norm, top_k, out);
     }
 
@@ -476,11 +534,13 @@ impl QueryEngine {
     }
 
     /// Shared tail of query preparation: converts the accumulated concept
-    /// scratch into the ordered term list. `weight_of(concept, raw)` maps
-    /// an accumulated raw weight to the final term weight (0 → dropped).
+    /// scratch into the term list. `weight_of(concept, raw)` maps an
+    /// accumulated raw weight to the final term weight (0 → dropped).
     /// Terms are emitted — and the norm summed — in ascending concept
-    /// order, matching `ConceptIndex::prepare_weighted` bit-for-bit, then
-    /// put in MaxScore order. Returns the query norm (`None` → empty).
+    /// order, matching `ConceptIndex::prepare_weighted` bit-for-bit.
+    /// Callers apply a MaxScore processing order afterwards (the local
+    /// one via [`ConceptIndex::order_terms`], or a shared global one in
+    /// the sharded engine). Returns the query norm (`None` → empty).
     fn finalize_terms(
         &self,
         session: &mut QuerySession,
@@ -504,7 +564,6 @@ impl QueryEngine {
             session.terms.clear();
             return None;
         }
-        self.index.order_terms(&mut session.terms);
         Some(norm)
     }
 

@@ -1,0 +1,1292 @@
+//! Sharded scatter-gather serving with hot artifact reload.
+//!
+//! CubeLSI's per-resource cosine scores make resource-partitioned
+//! sharding embarrassingly parallel with an **exact** merge: every
+//! posting of a resource lives in exactly one shard, so a shard's
+//! ranking over its resources is a disjoint slice of the global ranking
+//! and a k-way merge of per-shard top-k lists *is* the global top-k.
+//! This module turns the PR-2 artifact substrate into that serving
+//! topology:
+//!
+//! * [`ConceptIndex::partition_by_resource`] splits a built index into
+//!   `N` shard indices under the deterministic modulo partition
+//!   (resource `r` → shard `r % N`), each keeping the global resource-id
+//!   space and the global idf array so per-resource scores are
+//!   bit-identical to the unsharded index;
+//! * [`save_sharded`] writes `N` ordinary `.cubelsi` artifacts (each
+//!   independently loadable and checksummed) plus a versioned
+//!   **shard manifest** listing them with per-shard file checksums;
+//! * [`ShardSet`] is a loaded generation of shards: per-shard
+//!   [`QueryEngine`]s plus the shared corpus/model, answering queries
+//!   through one shared query preparation and an exact k-way merge;
+//! * [`ShardedEngine`] wraps a [`ShardSet`] in an atomically swappable
+//!   [`Arc`] with a monotonically increasing generation number — the
+//!   **hot reload** primitive: a new manifest replaces the shards under
+//!   live traffic without a restart, in-flight queries drain on the old
+//!   generation (they hold its `Arc`), and steady-state serving stays
+//!   allocation-free because [`QuerySession`] scratch is epoch-tagged
+//!   and grow-only, so a session survives a swap unchanged.
+//!
+//! # Why the merged ranking is bit-identical
+//!
+//! Floating-point addition is order-sensitive, so "same resources, same
+//! postings" is not enough — the *accumulation sequence* per resource
+//! must match the unsharded engine's. Three properties pin it down:
+//!
+//! 1. **Shared query preparation.** The query is prepared once (against
+//!    shard 0, whose idf array is the global one) and the resulting
+//!    terms are broadcast to every shard, so weights and the query norm
+//!    are the same bytes everywhere.
+//! 2. **One global term order.** Terms are put in MaxScore order using
+//!    the *global* per-concept maximum impact — reconstructed exactly as
+//!    `max` over the shards' per-list maxima — and every shard consumes
+//!    them in that order. (Shard-local suffix bounds stay exact: a
+//!    shard's maxima are ≤ the global ones, and the pruning invariants
+//!    hold under any processing order.)
+//! 3. **Verbatim impacts.** A shard keeps its resources' posting
+//!    impacts, vector weights, and norms byte-for-byte, so each
+//!    contribution `wq · impact` is the same multiplication the
+//!    unsharded engine performs.
+//!
+//! Per resource the additions are therefore the same values in the same
+//! order; the merge then only interleaves disjoint, already-sorted
+//! slices under the shared ranking comparator. The
+//! `sharded_equivalence` integration test enforces the end result over
+//! randomized corpora: shard counts ∈ {1, 2, 7}, both pruning
+//! strategies, hard + soft assignments, owned and zero-copy loads, and
+//! immediately after a hot reload.
+//!
+//! # Manifest format (`.cubelsi` shard manifest)
+//!
+//! Everything little-endian, no external deps, trailing self-checksum:
+//!
+//! ```text
+//! 8 B   magic            = "CUBELSIM"
+//! 4 B   manifest version (u32, currently 1)
+//! 4 B   shard count N    (u32, 1..=MAX_SHARDS)
+//! 4 B   partition scheme (u32, 1 = modulo by resource id)
+//! per shard, in shard order:
+//!   4 B  file-name length (u32) + UTF-8 file name (a sibling of the
+//!        manifest: path separators and ".." are rejected)
+//!   8 B  artifact file length (u64)
+//!   4 B  CRC-32 (IEEE) of the artifact file bytes
+//! 4 B   CRC-32 of every preceding byte of the manifest
+//! ```
+//!
+//! Loading is all-or-nothing: a truncated manifest, a wrong shard
+//! count, a checksum mismatch (manifest or shard artifact), a missing
+//! artifact file, or shards that disagree on corpus/model/partition all
+//! yield a typed [`PersistError`] and **never a partial engine** —
+//! enforced by the `shard_manifest_adversarial` integration tests.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use cubelsi_folksonomy::{Folksonomy, TagId};
+use cubelsi_linalg::parallel;
+
+use crate::concepts::ConceptModel;
+use crate::index::{cmp_ranked, order_terms_with, ConceptAssignment, RankedResource};
+use crate::persist::{crc32, load_from_bytes, load_zero_copy, Artifact, PersistError};
+use crate::query::{PruningStrategy, QueryEngine, QuerySession};
+use crate::slab::AlignedBytes;
+
+/// Shard-manifest magic bytes (distinct from the artifact magic
+/// `"CUBELSI\0"`, so the two file kinds are sniffable from their first
+/// eight bytes).
+pub const MANIFEST_MAGIC: [u8; 8] = *b"CUBELSIM";
+
+/// Current manifest format version. Readers reject newer versions with
+/// [`PersistError::UnsupportedVersion`].
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// The only partition scheme currently defined: resource `r` belongs to
+/// shard `r % N`.
+pub const PARTITION_MODULO: u32 = 1;
+
+/// Hard cap on the shard count a manifest may declare — far above any
+/// sane deployment, low enough that a hostile count cannot trigger a
+/// pathological allocation.
+pub const MAX_SHARDS: usize = 1024;
+
+/// Pseudo section id used in [`PersistError`]s raised by the manifest
+/// itself (the artifact section ids 1–7 are taken by `persist`).
+pub const SECTION_MANIFEST: u32 = 9;
+
+/// How shard artifacts are materialized in memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// Copy every array into owned buffers (the portable default).
+    Owned,
+    /// Borrow the hot index arrays straight out of the artifact buffer.
+    ZeroCopy,
+}
+
+/// One shard entry of a parsed manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardEntry {
+    /// Artifact file name, relative to the manifest's directory (a plain
+    /// file name — no path separators).
+    pub file_name: String,
+    /// Expected artifact file length in bytes.
+    pub file_len: u64,
+    /// Expected CRC-32 of the artifact file bytes.
+    pub crc32: u32,
+}
+
+/// A parsed shard manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardManifest {
+    /// Per-shard artifact descriptors, in shard order (`entries[i]` is
+    /// shard `i` of `entries.len()`).
+    pub entries: Vec<ShardEntry>,
+}
+
+/// What a file's magic bytes say it is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceKind {
+    /// A single `.cubelsi` model artifact.
+    Artifact,
+    /// A shard manifest.
+    Manifest,
+}
+
+/// Sniffs whether `path` is a single artifact or a shard manifest from
+/// its first eight bytes. Unknown magic is [`PersistError::BadMagic`].
+pub fn sniff_source(path: impl AsRef<Path>) -> Result<SourceKind, PersistError> {
+    use std::io::Read;
+    let mut head = [0u8; 8];
+    let mut file = std::fs::File::open(path)?;
+    let mut read = 0;
+    while read < head.len() {
+        match file.read(&mut head[read..])? {
+            0 => break,
+            n => read += n,
+        }
+    }
+    if read < head.len() {
+        return Err(PersistError::Truncated { context: "header" });
+    }
+    if head == MANIFEST_MAGIC {
+        Ok(SourceKind::Manifest)
+    } else if head == crate::persist::MAGIC {
+        Ok(SourceKind::Artifact)
+    } else {
+        Err(PersistError::BadMagic)
+    }
+}
+
+fn manifest_err(detail: impl Into<String>) -> PersistError {
+    PersistError::Malformed {
+        section: SECTION_MANIFEST,
+        detail: detail.into(),
+    }
+}
+
+/// Serializes a manifest to its byte format (header + entries + trailing
+/// self-CRC).
+pub fn encode_manifest(manifest: &ShardManifest) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&MANIFEST_MAGIC);
+    buf.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+    buf.extend_from_slice(&(manifest.entries.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&PARTITION_MODULO.to_le_bytes());
+    for e in &manifest.entries {
+        buf.extend_from_slice(&(e.file_name.len() as u32).to_le_bytes());
+        buf.extend_from_slice(e.file_name.as_bytes());
+        buf.extend_from_slice(&e.file_len.to_le_bytes());
+        buf.extend_from_slice(&e.crc32.to_le_bytes());
+    }
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// Parses and fully validates a manifest. Structural defects are
+/// reported before the trailing checksum so truncation reads as
+/// [`PersistError::Truncated`], not as a checksum failure.
+pub fn decode_manifest(bytes: &[u8]) -> Result<ShardManifest, PersistError> {
+    if bytes.len() < MANIFEST_MAGIC.len() {
+        return Err(PersistError::Truncated {
+            context: "shard manifest header",
+        });
+    }
+    if bytes[..8] != MANIFEST_MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    struct Cursor<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+    impl<'a> Cursor<'a> {
+        fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], PersistError> {
+            if self.bytes.len().saturating_sub(self.pos) < n {
+                return Err(PersistError::Truncated { context });
+            }
+            let out = &self.bytes[self.pos..self.pos + n];
+            self.pos += n;
+            Ok(out)
+        }
+    }
+    let mut cur = Cursor { bytes, pos: 8 };
+    let version = u32::from_le_bytes(cur.take(4, "shard manifest header")?.try_into().unwrap());
+    if version > MANIFEST_VERSION {
+        return Err(PersistError::UnsupportedVersion {
+            found: version,
+            supported: MANIFEST_VERSION,
+        });
+    }
+    let count =
+        u32::from_le_bytes(cur.take(4, "shard manifest header")?.try_into().unwrap()) as usize;
+    if count == 0 || count > MAX_SHARDS {
+        return Err(manifest_err(format!(
+            "shard count {count} outside 1..={MAX_SHARDS}"
+        )));
+    }
+    let scheme = u32::from_le_bytes(cur.take(4, "shard manifest header")?.try_into().unwrap());
+    if scheme != PARTITION_MODULO {
+        return Err(manifest_err(format!("unknown partition scheme {scheme}")));
+    }
+    let mut entries = Vec::with_capacity(count);
+    for shard in 0..count {
+        let name_len =
+            u32::from_le_bytes(cur.take(4, "shard manifest entry")?.try_into().unwrap()) as usize;
+        if name_len == 0 || name_len > 4096 {
+            return Err(manifest_err(format!(
+                "shard {shard} file-name length {name_len} outside 1..=4096"
+            )));
+        }
+        let name_bytes = cur.take(name_len, "shard manifest entry")?;
+        let file_name = std::str::from_utf8(name_bytes)
+            .map_err(|_| manifest_err(format!("shard {shard} file name is not UTF-8")))?
+            .to_owned();
+        // Shard artifacts are siblings of the manifest: a manifest must
+        // not be able to point the loader at arbitrary filesystem paths.
+        if file_name.contains(['/', '\\']) || file_name == ".." || file_name == "." {
+            return Err(manifest_err(format!(
+                "shard {shard} file name {file_name:?} must be a plain sibling file name"
+            )));
+        }
+        let file_len = u64::from_le_bytes(cur.take(8, "shard manifest entry")?.try_into().unwrap());
+        let crc = u32::from_le_bytes(cur.take(4, "shard manifest entry")?.try_into().unwrap());
+        entries.push(ShardEntry {
+            file_name,
+            file_len,
+            crc32: crc,
+        });
+    }
+    let body_end = cur.pos;
+    let stored_crc =
+        u32::from_le_bytes(cur.take(4, "shard manifest checksum")?.try_into().unwrap());
+    if cur.pos != bytes.len() {
+        return Err(manifest_err(format!(
+            "{} trailing bytes after manifest",
+            bytes.len() - cur.pos
+        )));
+    }
+    let got = crc32(&bytes[..body_end]);
+    if got != stored_crc {
+        return Err(PersistError::ChecksumMismatch {
+            section: SECTION_MANIFEST,
+            expected: stored_crc,
+            got,
+        });
+    }
+    Ok(ShardManifest { entries })
+}
+
+/// Reads and parses a manifest file.
+pub fn load_manifest(path: impl AsRef<Path>) -> Result<ShardManifest, PersistError> {
+    decode_manifest(&std::fs::read(path)?)
+}
+
+/// Report of a sharded save: where everything went.
+#[derive(Debug, Clone)]
+pub struct ShardedSaveReport {
+    /// The manifest path.
+    pub manifest_path: PathBuf,
+    /// Per-shard artifact paths, in shard order.
+    pub shard_paths: Vec<PathBuf>,
+    /// Per-shard artifact sizes in bytes.
+    pub shard_bytes: Vec<u64>,
+    /// Per-shard indexed-resource counts (positive-norm members).
+    pub shard_resources: Vec<usize>,
+    /// Per-shard posting counts.
+    pub shard_postings: Vec<usize>,
+}
+
+/// Writes `bytes` to `path` atomically (temp sibling + rename), the same
+/// crash-safety contract as `persist::save_to_path`.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    let result = (|| {
+        use std::io::Write;
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    result
+}
+
+/// Partitions a built model into `num_shards` resource shards and writes
+/// them next to `manifest_path` as ordinary `.cubelsi` artifacts
+/// (`<manifest file name>.shard<i>`), then writes the manifest itself.
+/// Every file is written atomically; the manifest goes last, so a crash
+/// mid-save can never leave a manifest pointing at missing or stale
+/// shards.
+pub fn save_sharded(
+    manifest_path: impl AsRef<Path>,
+    model: &crate::pipeline::CubeLsi,
+    folksonomy: &Folksonomy,
+    num_shards: usize,
+) -> Result<ShardedSaveReport, PersistError> {
+    let manifest_path = manifest_path.as_ref();
+    if num_shards == 0 || num_shards > MAX_SHARDS {
+        return Err(manifest_err(format!(
+            "shard count {num_shards} outside 1..={MAX_SHARDS}"
+        )));
+    }
+    let manifest_name = manifest_path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| manifest_err("manifest path has no UTF-8 file name"))?;
+    let dir = manifest_path.parent().unwrap_or(Path::new("."));
+
+    let mut entries = Vec::with_capacity(num_shards);
+    let mut report = ShardedSaveReport {
+        manifest_path: manifest_path.to_path_buf(),
+        shard_paths: Vec::with_capacity(num_shards),
+        shard_bytes: Vec::with_capacity(num_shards),
+        shard_resources: Vec::with_capacity(num_shards),
+        shard_postings: Vec::with_capacity(num_shards),
+    };
+    for shard in 0..num_shards {
+        let index = model.index().partition_by_resource(shard, num_shards);
+        report.shard_postings.push(index.num_postings());
+        report.shard_resources.push(
+            (0..index.num_resources())
+                .filter(|&r| index.resource_norm(r) > 0.0)
+                .count(),
+        );
+        let shard_model = crate::pipeline::CubeLsi::from_restored(
+            model.decomposition().clone(),
+            model.distances().clone(),
+            model.concepts().clone(),
+            index,
+            *model.timings(),
+            folksonomy,
+        );
+        let bytes = crate::persist::save_to_vec(&shard_model, folksonomy);
+        let file_name = format!("{manifest_name}.shard{shard}");
+        let path = dir.join(&file_name);
+        write_atomic(&path, &bytes)?;
+        entries.push(ShardEntry {
+            file_name,
+            file_len: bytes.len() as u64,
+            crc32: crc32(&bytes),
+        });
+        report.shard_bytes.push(bytes.len() as u64);
+        report.shard_paths.push(path);
+    }
+    write_atomic(manifest_path, &encode_manifest(&ShardManifest { entries }))?;
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------------
+// ShardSet: one loaded generation of shards
+// ---------------------------------------------------------------------------
+
+/// Splits a single engine into `num_shards` partitioned engines (same
+/// pruning strategy), the in-memory counterpart of [`save_sharded`] used
+/// by benches and tests.
+pub fn partition_engines(engine: &QueryEngine, num_shards: usize) -> Vec<QueryEngine> {
+    (0..num_shards)
+        .map(|shard| {
+            QueryEngine::with_strategy(
+                engine.index().partition_by_resource(shard, num_shards),
+                engine.strategy(),
+            )
+        })
+        .collect()
+}
+
+/// One loaded, validated generation of shards: per-shard engines over
+/// disjoint resource slices of one corpus, plus the shared concept model
+/// and corpus needed to serve name-level queries. Immutable once built —
+/// hot reload swaps whole [`ShardSet`]s via [`ShardedEngine`].
+#[derive(Debug)]
+pub struct ShardSet {
+    engines: Vec<QueryEngine>,
+    folksonomy: Folksonomy,
+    concepts: ConceptModel,
+    /// Per-concept global maximum impact: `max` over the shards' per-list
+    /// maxima, bit-identical to the unsharded index's `max_impact` array.
+    /// Defines the shared term-processing order (see the module docs).
+    global_max_impact: Vec<f64>,
+}
+
+fn shard_err(detail: impl Into<String>) -> PersistError {
+    PersistError::Shard {
+        detail: detail.into(),
+    }
+}
+
+impl ShardSet {
+    /// Assembles and validates a shard set from per-shard engines plus
+    /// the shared corpus and concept model. Validation is all-or-nothing:
+    /// mismatched dimensions, divergent idf arrays, or a resource indexed
+    /// by the wrong shard yield a typed error, never a partial set.
+    pub fn from_parts(
+        engines: Vec<QueryEngine>,
+        folksonomy: Folksonomy,
+        concepts: ConceptModel,
+    ) -> Result<Self, PersistError> {
+        let n = engines.len();
+        if n == 0 || n > MAX_SHARDS {
+            return Err(shard_err(format!(
+                "shard count {n} outside 1..={MAX_SHARDS}"
+            )));
+        }
+        let num_resources = engines[0].index().num_resources();
+        let num_concepts = engines[0].index().num_concepts();
+        for (i, e) in engines.iter().enumerate() {
+            let ix = e.index();
+            if ix.num_resources() != num_resources || ix.num_concepts() != num_concepts {
+                return Err(shard_err(format!(
+                    "shard {i} is {}x{}, shard 0 is {num_resources}x{num_concepts}",
+                    ix.num_resources(),
+                    ix.num_concepts()
+                )));
+            }
+            // Query weights are idf-scaled; divergent idf arrays would
+            // mean shards score against different query vectors.
+            for l in 0..num_concepts {
+                if ix.idf(l).to_bits() != engines[0].index().idf(l).to_bits() {
+                    return Err(shard_err(format!(
+                        "shard {i} idf[{l}] = {} disagrees with shard 0's {}",
+                        ix.idf(l),
+                        engines[0].index().idf(l)
+                    )));
+                }
+            }
+            // Modulo-partition membership: a shard may only index its own
+            // resources, or the disjointness the exact merge relies on is
+            // gone.
+            for r in 0..num_resources {
+                if ix.resource_norm(r) > 0.0 && r % n != i {
+                    return Err(shard_err(format!(
+                        "shard {i} of {n} indexes resource {r} (belongs to shard {})",
+                        r % n
+                    )));
+                }
+            }
+        }
+        if concepts.num_concepts() != num_concepts {
+            return Err(shard_err(format!(
+                "concept model has {} concepts, index has {num_concepts}",
+                concepts.num_concepts()
+            )));
+        }
+        if folksonomy.num_resources() != num_resources {
+            return Err(shard_err(format!(
+                "corpus has {} resources, index has {num_resources}",
+                folksonomy.num_resources()
+            )));
+        }
+        let mut global_max_impact = vec![0.0f64; num_concepts];
+        for e in &engines {
+            for (l, gm) in global_max_impact.iter_mut().enumerate() {
+                *gm = gm.max(e.index().max_impact(l));
+            }
+        }
+        Ok(ShardSet {
+            engines,
+            folksonomy,
+            concepts,
+            global_max_impact,
+        })
+    }
+
+    /// Assembles a shard set from loaded artifacts (shard `i` of
+    /// `artifacts.len()` at index `i`), validating that all shards were
+    /// cut from the same corpus and concept model.
+    pub fn from_artifacts(artifacts: Vec<Artifact>) -> Result<Self, PersistError> {
+        let mut artifacts = artifacts;
+        if artifacts.is_empty() {
+            return Err(shard_err("no shard artifacts"));
+        }
+        let first_stats = artifacts[0].folksonomy.stats();
+        for (i, a) in artifacts.iter().enumerate().skip(1) {
+            if a.folksonomy.stats() != first_stats {
+                return Err(shard_err(format!(
+                    "shard {i} corpus ({}) disagrees with shard 0's ({first_stats})",
+                    a.folksonomy.stats()
+                )));
+            }
+            if a.model.concepts().assignments() != artifacts[0].model.concepts().assignments() {
+                return Err(shard_err(format!(
+                    "shard {i} concept assignments disagree with shard 0's"
+                )));
+            }
+        }
+        let first = artifacts.remove(0);
+        let folksonomy = first.folksonomy;
+        let concepts = first.model.concepts().clone();
+        let mut engines = Vec::with_capacity(artifacts.len() + 1);
+        engines.push(first.model.into_engine());
+        engines.extend(artifacts.into_iter().map(|a| a.model.into_engine()));
+        Self::from_parts(engines, folksonomy, concepts)
+    }
+
+    /// Number of shards in the set.
+    pub fn num_shards(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Number of resources in the (global) id space.
+    pub fn num_resources(&self) -> usize {
+        self.engines[0].index().num_resources()
+    }
+
+    /// Number of concepts in the shared space.
+    pub fn num_concepts(&self) -> usize {
+        self.engines[0].index().num_concepts()
+    }
+
+    /// The shared corpus (name tables for query/result resolution).
+    pub fn folksonomy(&self) -> &Folksonomy {
+        &self.folksonomy
+    }
+
+    /// The shared hard concept model the shards were indexed under.
+    pub fn concepts(&self) -> &ConceptModel {
+        &self.concepts
+    }
+
+    /// The per-shard engines, in shard order.
+    pub fn engines(&self) -> &[QueryEngine] {
+        &self.engines
+    }
+
+    /// Whether the shards serve zero-copy out of artifact buffers.
+    pub fn is_zero_copy(&self) -> bool {
+        self.engines.iter().all(|e| e.index().is_zero_copy())
+    }
+
+    /// The active pruning strategy (uniform across shards).
+    pub fn strategy(&self) -> PruningStrategy {
+        self.engines[0].strategy()
+    }
+
+    /// Switches the pruning strategy on every shard. Results are
+    /// bit-identical either way.
+    pub fn set_strategy(&mut self, strategy: PruningStrategy) {
+        for e in &mut self.engines {
+            e.set_strategy(strategy);
+        }
+    }
+
+    /// Creates a reusable scatter-gather scratch session. The session
+    /// sizes itself lazily on first use and survives hot reloads (shard
+    /// scratch is epoch-tagged and grow-only).
+    pub fn session(&self) -> ShardedSession {
+        ShardedSession::default()
+    }
+
+    /// Scatter-gather top-k: prepares the query once, runs every shard's
+    /// pruned top-k sequentially on the session's per-shard scratch, and
+    /// k-way-merges the per-shard rankings. Bit-identical — scores,
+    /// order, tie-breaks — to a single unsharded [`QueryEngine`] over the
+    /// same corpus. Steady-state calls on a warmed session and reused
+    /// `out` buffer perform no heap allocation.
+    pub fn search_tags_with(
+        &self,
+        session: &mut ShardedSession,
+        concepts: &dyn ConceptAssignment,
+        tags: &[TagId],
+        top_k: usize,
+        out: &mut Vec<RankedResource>,
+    ) {
+        out.clear();
+        session.ensure_shards(self.engines.len());
+        let ShardedSession {
+            prep,
+            per_shard,
+            terms,
+            results,
+            cursors,
+        } = session;
+        let Some(norm) = self.engines[0].collect_tag_terms(prep, concepts, tags) else {
+            return;
+        };
+        terms.clear();
+        terms.extend_from_slice(prep.terms());
+        order_terms_with(terms, &self.global_max_impact);
+        for ((engine, shard_session), shard_out) in self
+            .engines
+            .iter()
+            .zip(per_shard.iter_mut())
+            .zip(results.iter_mut())
+        {
+            engine.run_with_terms(shard_session, terms, norm, top_k, shard_out);
+        }
+        merge_ranked(results, cursors, top_k, out);
+    }
+
+    /// Convenience single query: allocates a fresh session.
+    pub fn search_tags(
+        &self,
+        concepts: &dyn ConceptAssignment,
+        tags: &[TagId],
+        top_k: usize,
+    ) -> Vec<RankedResource> {
+        let mut session = self.session();
+        let mut out = Vec::new();
+        self.search_tags_with(&mut session, concepts, tags, top_k, &mut out);
+        out
+    }
+
+    /// Scatter-gather with the per-shard top-k fanned across the worker
+    /// pool: up to [`parallel::num_threads`] workers each score a
+    /// contiguous range of shards concurrently, then the gathered
+    /// rankings merge exactly as in [`Self::search_tags_with`] (same
+    /// preparation, same global term order — bit-identical results).
+    /// Worth the fork-join overhead only when per-shard work is
+    /// substantial; latency-sensitive small-corpus serving should prefer
+    /// the sequential session path.
+    pub fn search_tags_scatter(
+        &self,
+        concepts: &dyn ConceptAssignment,
+        tags: &[TagId],
+        top_k: usize,
+    ) -> Vec<RankedResource> {
+        let mut prep = QuerySession::default();
+        let Some(norm) = self.engines[0].collect_tag_terms(&mut prep, concepts, tags) else {
+            return Vec::new();
+        };
+        let mut terms: Vec<(u32, f64)> = prep.terms().to_vec();
+        order_terms_with(&mut terms, &self.global_max_impact);
+        // Respect the configured worker-pool size: each worker owns a
+        // contiguous range of shards (one session per shard within it),
+        // so a 1024-shard set under CUBELSI_THREADS=4 runs 4 threads,
+        // not 1024 — and a 1-thread cap degrades to the sequential path.
+        let n = self.engines.len();
+        let workers = parallel::num_threads().min(n).max(1);
+        let chunk = n.div_ceil(workers);
+        let mut results: Vec<Vec<RankedResource>> = Vec::with_capacity(n);
+        if workers == 1 {
+            for engine in &self.engines {
+                let mut session = engine.session();
+                let mut out = Vec::new();
+                engine.run_with_terms(&mut session, &terms, norm, top_k, &mut out);
+                results.push(out);
+            }
+        } else {
+            crossbeam::thread::scope(|scope| {
+                let terms = &terms;
+                let handles: Vec<_> = self
+                    .engines
+                    .chunks(chunk)
+                    .map(|engines| {
+                        scope.spawn(move |_| {
+                            engines
+                                .iter()
+                                .map(|engine| {
+                                    let mut session = engine.session();
+                                    let mut out = Vec::new();
+                                    engine.run_with_terms(
+                                        &mut session,
+                                        terms,
+                                        norm,
+                                        top_k,
+                                        &mut out,
+                                    );
+                                    out
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    results.extend(h.join().expect("shard worker panicked"));
+                }
+            })
+            .expect("shard scatter scope failed");
+        }
+        let mut cursors = Vec::new();
+        let mut out = Vec::new();
+        merge_ranked(&mut results, &mut cursors, top_k, &mut out);
+        out
+    }
+
+    /// Answers a batch of queries, fanning contiguous chunks across the
+    /// worker pool — each worker owns one [`ShardedSession`] and drives
+    /// every shard for its queries. Results come back in query order and
+    /// are bit-identical at any thread count.
+    pub fn search_batch<Q>(
+        &self,
+        concepts: &dyn ConceptAssignment,
+        queries: &[Q],
+        top_k: usize,
+    ) -> Vec<Vec<RankedResource>>
+    where
+        Q: AsRef<[TagId]> + Sync,
+    {
+        let n = queries.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        const MIN_QUERIES_PER_WORKER: usize = 32;
+        let threads = parallel::num_threads()
+            .min(n.div_ceil(MIN_QUERIES_PER_WORKER))
+            .max(1);
+        if threads == 1 {
+            let mut session = self.session();
+            return queries
+                .iter()
+                .map(|q| {
+                    let mut out = Vec::new();
+                    self.search_tags_with(&mut session, concepts, q.as_ref(), top_k, &mut out);
+                    out
+                })
+                .collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let mut pieces: Vec<(usize, Vec<Vec<RankedResource>>)> = Vec::with_capacity(threads);
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for (ci, qchunk) in queries.chunks(chunk).enumerate() {
+                handles.push(scope.spawn(move |_| {
+                    let mut session = self.session();
+                    let answers: Vec<Vec<RankedResource>> = qchunk
+                        .iter()
+                        .map(|q| {
+                            let mut out = Vec::new();
+                            self.search_tags_with(
+                                &mut session,
+                                concepts,
+                                q.as_ref(),
+                                top_k,
+                                &mut out,
+                            );
+                            out
+                        })
+                        .collect();
+                    (ci, answers)
+                }));
+            }
+            for h in handles {
+                pieces.push(h.join().expect("sharded batch worker panicked"));
+            }
+        })
+        .expect("sharded batch scope failed");
+        pieces.sort_unstable_by_key(|&(ci, _)| ci);
+        pieces.into_iter().flat_map(|(_, v)| v).collect()
+    }
+}
+
+/// Reusable scatter-gather scratch: one prep session for query
+/// construction, one [`QuerySession`] per shard, plus term/result/merge
+/// buffers. Lazily sized on first use; safe to keep across hot reloads
+/// (per-shard scratch is epoch-tagged and grows on demand, so a swapped
+/// shard set is served correctly without reallocation in steady state).
+#[derive(Debug, Default)]
+pub struct ShardedSession {
+    prep: QuerySession,
+    per_shard: Vec<QuerySession>,
+    terms: Vec<(u32, f64)>,
+    results: Vec<Vec<RankedResource>>,
+    cursors: Vec<usize>,
+}
+
+impl ShardedSession {
+    fn ensure_shards(&mut self, n: usize) {
+        if self.per_shard.len() != n {
+            self.per_shard.resize_with(n, QuerySession::default);
+            self.results.resize_with(n, Vec::new);
+        }
+    }
+}
+
+/// Exact k-way merge of per-shard rankings. Each input list is sorted
+/// under the shared ranking order and the lists cover disjoint resource
+/// sets, so repeatedly taking the best head reproduces exactly the
+/// ranking a single engine would emit. `top_k = 0` concatenates and
+/// sorts (the all-matches contract). Allocation-free on warmed buffers.
+fn merge_ranked(
+    results: &mut [Vec<RankedResource>],
+    cursors: &mut Vec<usize>,
+    top_k: usize,
+    out: &mut Vec<RankedResource>,
+) {
+    if results.len() == 1 {
+        out.extend_from_slice(&results[0]);
+        return;
+    }
+    if top_k == 0 {
+        for r in results.iter() {
+            out.extend_from_slice(r);
+        }
+        out.sort_unstable_by(|a, b| {
+            cmp_ranked(
+                a.score,
+                a.resource.index() as u32,
+                b.score,
+                b.resource.index() as u32,
+            )
+        });
+        return;
+    }
+    cursors.clear();
+    cursors.resize(results.len(), 0);
+    while out.len() < top_k {
+        let mut best: Option<(usize, RankedResource)> = None;
+        for (i, list) in results.iter().enumerate() {
+            if cursors[i] >= list.len() {
+                continue;
+            }
+            let cand = list[cursors[i]];
+            let better = match best {
+                None => true,
+                Some((_, b)) => {
+                    cmp_ranked(
+                        cand.score,
+                        cand.resource.index() as u32,
+                        b.score,
+                        b.resource.index() as u32,
+                    ) == std::cmp::Ordering::Less
+                }
+            };
+            if better {
+                best = Some((i, cand));
+            }
+        }
+        match best {
+            Some((i, cand)) => {
+                cursors[i] += 1;
+                out.push(cand);
+            }
+            None => break,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Loading
+// ---------------------------------------------------------------------------
+
+/// Loads a serving source — a single `.cubelsi` artifact **or** a shard
+/// manifest, sniffed from the magic bytes — into a validated
+/// [`ShardSet`] (a single artifact becomes a one-shard set). For a
+/// manifest, every referenced artifact's length and CRC-32 are verified
+/// against the manifest entry before parsing, so a swapped or damaged
+/// shard file is rejected with [`PersistError::ChecksumMismatch`]
+/// (`section` = the shard ordinal) and can never serve.
+pub fn load_source(path: impl AsRef<Path>, mode: LoadMode) -> Result<ShardSet, PersistError> {
+    let path = path.as_ref();
+    match sniff_source(path)? {
+        SourceKind::Artifact => {
+            let artifact = load_artifact_file(path, mode)?;
+            ShardSet::from_artifacts(vec![artifact])
+        }
+        SourceKind::Manifest => {
+            let manifest = load_manifest(path)?;
+            let dir = path.parent().unwrap_or(Path::new("."));
+            let mut artifacts = Vec::with_capacity(manifest.entries.len());
+            for (shard, entry) in manifest.entries.iter().enumerate() {
+                let shard_path = dir.join(&entry.file_name);
+                artifacts.push(load_checked_artifact(
+                    &shard_path,
+                    entry,
+                    shard as u32,
+                    mode,
+                )?);
+            }
+            ShardSet::from_artifacts(artifacts)
+        }
+    }
+}
+
+fn load_artifact_file(path: &Path, mode: LoadMode) -> Result<Artifact, PersistError> {
+    match mode {
+        LoadMode::Owned => crate::persist::load_from_path(path),
+        LoadMode::ZeroCopy => crate::persist::load_from_path_zero_copy(path),
+    }
+}
+
+fn load_checked_artifact(
+    path: &Path,
+    entry: &ShardEntry,
+    shard: u32,
+    mode: LoadMode,
+) -> Result<Artifact, PersistError> {
+    let check = |bytes: &[u8]| -> Result<(), PersistError> {
+        if bytes.len() as u64 != entry.file_len {
+            return Err(PersistError::Truncated {
+                context: "shard artifact",
+            });
+        }
+        let got = crc32(bytes);
+        if got != entry.crc32 {
+            return Err(PersistError::ChecksumMismatch {
+                section: shard,
+                expected: entry.crc32,
+                got,
+            });
+        }
+        Ok(())
+    };
+    match mode {
+        LoadMode::Owned => {
+            let bytes = std::fs::read(path)?;
+            check(&bytes)?;
+            load_from_bytes(&bytes)
+        }
+        LoadMode::ZeroCopy => {
+            let buf = Arc::new(AlignedBytes::read_file(path)?);
+            check(buf.as_slice())?;
+            load_zero_copy(buf)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ShardedEngine: atomic generation swap (hot reload)
+// ---------------------------------------------------------------------------
+
+/// One installed generation: a generation number (monotonic per
+/// [`ShardedEngine`]) plus the shard set serving it. Handed out as an
+/// [`Arc`], so in-flight queries keep serving the generation they
+/// started on even while a reload installs a successor.
+#[derive(Debug)]
+pub struct ShardGeneration {
+    number: u64,
+    set: ShardSet,
+}
+
+impl ShardGeneration {
+    /// The generation number (starts at 1, +1 per install).
+    pub fn number(&self) -> u64 {
+        self.number
+    }
+
+    /// The shard set serving this generation.
+    pub fn set(&self) -> &ShardSet {
+        &self.set
+    }
+}
+
+/// A hot-reloadable sharded engine: an atomically swappable
+/// [`Arc<ShardGeneration>`]. Readers take a cheap `Arc` clone per query
+/// (no allocation), a reload builds a complete new [`ShardSet`] off to
+/// the side and swaps it in with one pointer store under a short write
+/// lock — old sessions drain on the generation they hold, new queries
+/// see the new one. A failed reload leaves the current generation
+/// serving untouched.
+#[derive(Debug)]
+pub struct ShardedEngine {
+    state: RwLock<Arc<ShardGeneration>>,
+    next_generation: AtomicU64,
+    strategy: PruningStrategy,
+    source: Option<(PathBuf, LoadMode)>,
+}
+
+impl ShardedEngine {
+    /// Wraps a shard set as generation 1, forcing `strategy` onto it
+    /// (and onto every later installed generation).
+    pub fn new(mut set: ShardSet, strategy: PruningStrategy) -> Self {
+        set.set_strategy(strategy);
+        ShardedEngine {
+            state: RwLock::new(Arc::new(ShardGeneration { number: 1, set })),
+            next_generation: AtomicU64::new(2),
+            strategy,
+            source: None,
+        }
+    }
+
+    /// Records where this engine was loaded from, enabling
+    /// [`Self::reload`].
+    pub fn with_source(mut self, path: impl Into<PathBuf>, mode: LoadMode) -> Self {
+        self.source = Some((path.into(), mode));
+        self
+    }
+
+    /// The currently serving generation (cheap: one `Arc` clone).
+    pub fn current(&self) -> Arc<ShardGeneration> {
+        self.state
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Installs a new shard set as the next generation and returns it.
+    /// In-flight queries keep their old `Arc`; subsequent queries see
+    /// the new generation. The generation number is claimed *under* the
+    /// write lock, so concurrent installs are serialized: the highest
+    /// number is always the last one stored and can never be
+    /// overwritten by a straggler that loaded earlier.
+    pub fn install(&self, mut set: ShardSet) -> Arc<ShardGeneration> {
+        set.set_strategy(self.strategy);
+        let mut slot = self
+            .state
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let number = self.next_generation.fetch_add(1, Ordering::SeqCst);
+        let generation = Arc::new(ShardGeneration { number, set });
+        *slot = generation.clone();
+        generation
+    }
+
+    /// Re-reads the engine's source path (manifest or single artifact)
+    /// from disk, fully loads and validates it, and atomically installs
+    /// it as the next generation. On error the current generation keeps
+    /// serving, untouched.
+    pub fn reload(&self) -> Result<Arc<ShardGeneration>, PersistError> {
+        let (path, mode) = self
+            .source
+            .as_ref()
+            .ok_or_else(|| shard_err("engine has no reload source path"))?;
+        let set = load_source(path, *mode)?;
+        Ok(self.install(set))
+    }
+
+    /// Creates a reusable scatter-gather session (lazily sized; valid
+    /// across generations).
+    pub fn session(&self) -> ShardedSession {
+        ShardedSession::default()
+    }
+
+    /// Answers a tag-id query against the current generation using its
+    /// own concept model. Steady-state allocation-free on a warmed
+    /// session.
+    pub fn search_tags_with(
+        &self,
+        session: &mut ShardedSession,
+        tags: &[TagId],
+        top_k: usize,
+        out: &mut Vec<RankedResource>,
+    ) {
+        let generation = self.current();
+        let set = generation.set();
+        set.search_tags_with(session, set.concepts(), tags, top_k, out);
+    }
+
+    /// Convenience single query on a fresh session.
+    pub fn search_tags(&self, tags: &[TagId], top_k: usize) -> Vec<RankedResource> {
+        let mut session = self.session();
+        let mut out = Vec::new();
+        self.search_tags_with(&mut session, tags, top_k, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concepts::ConceptModel;
+    use crate::index::ConceptIndex;
+    use cubelsi_folksonomy::FolksonomyBuilder;
+
+    fn corpus() -> (Folksonomy, ConceptModel) {
+        let mut b = FolksonomyBuilder::new();
+        for r in 0..40 {
+            b.add("u1", "alpha", &format!("r{r}"));
+            if r % 3 == 0 {
+                b.add("u2", "beta", &format!("r{r}"));
+            }
+            if r % 2 == 0 {
+                b.add("u3", "gamma", &format!("r{r}"));
+            }
+        }
+        let f = b.build();
+        let model = ConceptModel::from_assignments(vec![0, 1, 2], 1.0);
+        (f, model)
+    }
+
+    fn sharded(n: usize) -> (Folksonomy, ConceptModel, QueryEngine, ShardSet) {
+        let (f, model) = corpus();
+        let engine = QueryEngine::new(ConceptIndex::build(&f, &model));
+        let engines = partition_engines(&engine, n);
+        let set = ShardSet::from_parts(engines, f.clone(), model.clone()).unwrap();
+        (f, model, engine, set)
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let manifest = ShardManifest {
+            entries: vec![
+                ShardEntry {
+                    file_name: "m.shard0".into(),
+                    file_len: 123,
+                    crc32: 0xDEAD_BEEF,
+                },
+                ShardEntry {
+                    file_name: "m.shard1".into(),
+                    file_len: 456,
+                    crc32: 7,
+                },
+            ],
+        };
+        let bytes = encode_manifest(&manifest);
+        assert_eq!(decode_manifest(&bytes).unwrap(), manifest);
+    }
+
+    #[test]
+    fn manifest_rejects_path_traversal() {
+        for hostile in ["../evil", "a/b", "a\\b", "..", "."] {
+            let bytes = encode_manifest(&ShardManifest {
+                entries: vec![ShardEntry {
+                    file_name: hostile.into(),
+                    file_len: 1,
+                    crc32: 0,
+                }],
+            });
+            assert!(
+                matches!(decode_manifest(&bytes), Err(PersistError::Malformed { .. })),
+                "{hostile} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_covers_each_resource_once() {
+        let (f, model) = corpus();
+        let index = ConceptIndex::build(&f, &model);
+        let n = 3;
+        let shards: Vec<ConceptIndex> = (0..n).map(|i| index.partition_by_resource(i, n)).collect();
+        let mut postings = 0usize;
+        for (i, s) in shards.iter().enumerate() {
+            assert_eq!(s.num_resources(), index.num_resources());
+            assert_eq!(s.num_concepts(), index.num_concepts());
+            postings += s.num_postings();
+            for r in 0..s.num_resources() {
+                if r % n != i {
+                    assert_eq!(s.resource_norm(r), 0.0, "shard {i} holds foreign r{r}");
+                    assert!(s.resource_vector(r).is_empty());
+                } else {
+                    assert_eq!(
+                        s.resource_norm(r).to_bits(),
+                        index.resource_norm(r).to_bits()
+                    );
+                }
+            }
+            for l in 0..s.num_concepts() {
+                assert_eq!(s.idf(l).to_bits(), index.idf(l).to_bits());
+            }
+        }
+        assert_eq!(postings, index.num_postings());
+    }
+
+    #[test]
+    fn global_max_impact_matches_unsharded() {
+        let (_, _, engine, set) = sharded(3);
+        for l in 0..set.num_concepts() {
+            assert_eq!(
+                set.global_max_impact[l].to_bits(),
+                engine.index().max_impact(l).to_bits(),
+                "concept {l}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_search_matches_single_engine_on_toy_corpus() {
+        let (f, model, engine, set) = sharded(3);
+        let tags: Vec<Vec<TagId>> = vec![
+            vec![f.tag_id("alpha").unwrap()],
+            vec![f.tag_id("alpha").unwrap(), f.tag_id("beta").unwrap()],
+            vec![
+                f.tag_id("gamma").unwrap(),
+                f.tag_id("beta").unwrap(),
+                f.tag_id("alpha").unwrap(),
+            ],
+        ];
+        for q in &tags {
+            for k in [0usize, 1, 5, 100] {
+                let single = engine.search_tags(&model, q, k);
+                let merged = set.search_tags(&model, q, k);
+                let scattered = set.search_tags_scatter(&model, q, k);
+                assert_eq!(merged.len(), single.len(), "k={k} q={q:?}");
+                for (m, s) in merged.iter().zip(single.iter()) {
+                    assert_eq!(m.resource, s.resource, "k={k}");
+                    assert_eq!(m.score.to_bits(), s.score.to_bits(), "k={k}");
+                }
+                assert_eq!(scattered, merged, "scatter k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_shard_membership_is_rejected() {
+        let (f, model) = corpus();
+        let engine = QueryEngine::new(ConceptIndex::build(&f, &model));
+        // Shard 1's index installed at position 0 of a 2-shard set:
+        // every resource it serves belongs to the other shard.
+        let wrong = vec![
+            QueryEngine::new(engine.index().partition_by_resource(1, 2)),
+            QueryEngine::new(engine.index().partition_by_resource(1, 2)),
+        ];
+        assert!(matches!(
+            ShardSet::from_parts(wrong, f, model),
+            Err(PersistError::Shard { .. })
+        ));
+    }
+
+    #[test]
+    fn hot_reload_swaps_generation_and_old_arc_survives() {
+        let (_, _, _, set2) = sharded(2);
+        let (f, model, single, set3) = sharded(3);
+        let engine = ShardedEngine::new(set2, PruningStrategy::BlockMax);
+        let mut session = engine.session();
+        let mut out = Vec::new();
+        let q = vec![f.tag_id("alpha").unwrap(), f.tag_id("gamma").unwrap()];
+        engine.search_tags_with(&mut session, &q, 5, &mut out);
+        let want = single.search_tags(&model, &q, 5);
+        assert_eq!(out, want);
+
+        let old = engine.current();
+        let installed = engine.install(set3);
+        assert_eq!(old.number() + 1, installed.number());
+        // The drained generation still answers (in-flight queries hold
+        // its Arc)...
+        assert_eq!(old.set().num_shards(), 2);
+        assert_eq!(old.set().search_tags(&model, &q, 5), want);
+        // ...while the same warmed session now serves the new one.
+        engine.search_tags_with(&mut session, &q, 5, &mut out);
+        assert_eq!(out, want);
+        assert_eq!(engine.current().set().num_shards(), 3);
+    }
+
+    #[test]
+    fn reload_without_source_is_typed_error() {
+        let (_, _, _, set) = sharded(2);
+        let engine = ShardedEngine::new(set, PruningStrategy::BlockMax);
+        assert!(matches!(engine.reload(), Err(PersistError::Shard { .. })));
+    }
+
+    #[test]
+    fn merge_handles_ties_and_exhaustion() {
+        let rr = |r: usize, s: f64| RankedResource {
+            resource: cubelsi_folksonomy::ResourceId::from_index(r),
+            score: s,
+        };
+        // Equal scores must interleave by ascending resource id.
+        let mut results = vec![vec![rr(1, 0.5), rr(3, 0.5)], vec![rr(0, 0.5), rr(2, 0.25)]];
+        let mut cursors = Vec::new();
+        let mut out = Vec::new();
+        merge_ranked(&mut results, &mut cursors, 10, &mut out);
+        let got: Vec<usize> = out.iter().map(|h| h.resource.index()).collect();
+        assert_eq!(got, vec![0, 1, 3, 2]);
+        out.clear();
+        merge_ranked(&mut results, &mut cursors, 2, &mut out);
+        assert_eq!(out.len(), 2);
+    }
+}

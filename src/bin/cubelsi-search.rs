@@ -7,46 +7,81 @@
 //!
 //! ```sh
 //! # data.tsv: one "user<TAB>tag<TAB>resource" line per assignment
-//! cubelsi-search build data.tsv model.cubelsi        # offline, once
-//! cubelsi-search query model.cubelsi music audio     # online, instant
-//! echo "jazz piano" | cubelsi-search serve model.cubelsi   # query loop
+//! cubelsi-search build data.tsv model.cubelsi            # offline, once
+//! cubelsi-search build --shards 4 data.tsv model.shards  # manifest + 4 shard artifacts
+//! cubelsi-search query model.cubelsi music audio         # online, instant
+//! cubelsi-search query model.shards music audio          # sharded, same answers
+//! cubelsi-search serve --listen 127.0.0.1:7878 model.shards   # TCP server
 //!
 //! # one-shot sugar (build in memory + query, nothing persisted):
 //! cubelsi-search data.tsv music audio
 //! ```
 //!
-//! `build` accepts `--concepts K`, `--ratio C`, `--seed S`, `--no-clean`;
-//! `query`/`serve` accept `--top N` and `--zero-copy` (serve the index
-//! straight out of the artifact buffer, no per-posting deserialization);
-//! `query` additionally accepts `--repeat N` for quick micro-measurement.
-//! `serve` prints aggregate latency statistics (count, p50/p95/p99,
-//! queries/s) on EOF. The artifact is the versioned, checksummed binary
-//! described in `cubelsi_core::persist`.
+//! `build` accepts `--concepts K`, `--ratio C`, `--seed S`, `--no-clean`,
+//! and `--shards N` (emit a shard manifest plus `N` resource-partitioned
+//! artifacts instead of one file); `query`/`serve` accept a single
+//! artifact **or** a shard manifest (sniffed from the magic bytes),
+//! `--top N`, and `--zero-copy` (serve the index straight out of the
+//! artifact buffer); `query` additionally accepts `--repeat N` for quick
+//! micro-measurement.
+//!
+//! `serve` is a concurrent multi-client TCP line-protocol server (one
+//! request per line, one reply line per request):
+//!
+//! * a whitespace-separated tag list (optionally prefixed `QUERY `) →
+//!   `OK<TAB><n><TAB><name>  (<score>)...`;
+//! * `RELOAD` → hot-reloads the manifest/artifact from disk and swaps it
+//!   under live traffic (in-flight queries drain on the old generation);
+//! * `STATS` → this client's latency statistics;
+//! * `QUIT` → closes the connection; `SHUTDOWN` → stops the server.
+//!
+//! Malformed requests (non-UTF-8 bytes, oversized lines) get an `ERR`
+//! reply instead of taking the server down; per-client latency stats
+//! (count, p50/p95/p99, queries/s) are logged on disconnect. Artifacts
+//! are the versioned, checksummed binaries described in
+//! `cubelsi_core::persist`; the manifest format lives in
+//! `cubelsi_core::shard`.
 
-use cubelsi::core::{persist, CubeLsi, CubeLsiConfig};
-use cubelsi::folksonomy::{clean, read_tsv_file, CleaningConfig, Folksonomy};
-use std::io::BufRead;
+use cubelsi::core::shard::{self, LoadMode, ShardSet, ShardedEngine};
+use cubelsi::core::{persist, CubeLsi, CubeLsiConfig, PruningStrategy, RankedResource};
+use cubelsi::folksonomy::{clean, read_tsv_file, CleaningConfig, Folksonomy, TagId};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 const USAGE: &str = "usage:
-  cubelsi-search build [--concepts K] [--ratio C] [--seed S] [--threads N] [--no-clean] DATA.tsv OUT.cubelsi
-  cubelsi-search query [--top N] [--repeat N] [--zero-copy] MODEL.cubelsi QUERY_TAG...
-  cubelsi-search serve [--top N] [--zero-copy] MODEL.cubelsi   (queries on stdin, one per line)
+  cubelsi-search build [--concepts K] [--ratio C] [--seed S] [--threads N] [--no-clean] [--shards N] DATA.tsv OUT
+  cubelsi-search query [--top N] [--repeat N] [--zero-copy] MODEL QUERY_TAG...
+  cubelsi-search serve [--top N] [--zero-copy] [--listen ADDR] MODEL   (TCP line protocol)
   cubelsi-search [build+query options] DATA.tsv QUERY_TAG...   (one-shot, nothing persisted)
+
+MODEL is a single .cubelsi artifact or a shard manifest (build --shards).
 
 options:
   --concepts K   fix the number of concepts (K >= 1; default: 95%-variance rule)
   --ratio C      Tucker reduction ratio (finite, > 0; default 50)
+  --shards N     partition the index across N shard artifacts and write a
+                 shard manifest at OUT (N >= 1; `build` only)
   --top N        results per query (N >= 1; default 10)
   --repeat N     run the query N times on the warm session and report
                  latency stats (N >= 1; default 1; `query` only)
   --zero-copy    serve the index arrays straight out of the artifact
                  buffer instead of copying them (`query`/`serve` only)
+  --listen ADDR  TCP listen address (default 127.0.0.1:7878; `serve` only;
+                 port 0 picks a free port, printed as `listening ADDR`)
   --seed S       seed for all stochastic components (default 2011)
   --threads N    worker threads for the offline build (N >= 1; default: all
                  cores; the CUBELSI_THREADS env var sets the same knob)
-  --no-clean     skip the paper's \u{a7}VI-A cleaning pipeline";
+  --no-clean     skip the paper's \u{a7}VI-A cleaning pipeline
+
+serve protocol (one request per line, one reply line per request):
+  tag [tag...]   rank resources (OK\\t<n>\\t<name>  (<score>)...)
+  QUERY tag...   same, explicit form (tags named RELOAD etc. stay queryable)
+  RELOAD         reload the manifest/artifact from disk, swap under traffic
+  STATS          this client's latency statistics
+  QUIT           close this connection        SHUTDOWN   stop the server";
 
 /// Options of the offline build phase (shared by `build` and one-shot).
 #[derive(Debug, Clone, PartialEq)]
@@ -56,6 +91,7 @@ struct BuildOpts {
     clean: bool,
     seed: u64,
     threads: Option<usize>,
+    shards: Option<usize>,
 }
 
 impl Default for BuildOpts {
@@ -66,6 +102,7 @@ impl Default for BuildOpts {
             clean: true,
             seed: 2011,
             threads: None,
+            shards: None,
         }
     }
 }
@@ -88,12 +125,13 @@ enum Command {
         repeat: usize,
         zero_copy: bool,
     },
-    /// Load an artifact and answer stdin queries until EOF, then report
-    /// aggregate latency statistics.
+    /// Serve an artifact or shard manifest over a TCP line protocol
+    /// (concurrent clients, hot `RELOAD`, per-client latency stats).
     Serve {
         index: String,
         top_k: usize,
         zero_copy: bool,
+        listen: String,
     },
     /// Legacy sugar: build in memory, answer one query, discard.
     OneShot {
@@ -120,6 +158,8 @@ struct RawFlags {
     seed: Option<u64>,
     threads: Option<usize>,
     no_clean: bool,
+    shards: Option<usize>,
+    listen: Option<String>,
 }
 
 fn parse_command(args: impl IntoIterator<Item = String>) -> Result<Command, String> {
@@ -169,6 +209,28 @@ fn parse_command(args: impl IntoIterator<Item = String>) -> Result<Command, Stri
                 flags.repeat = Some(n);
             }
             "--zero-copy" => flags.zero_copy = true,
+            "--shards" => {
+                let v = args.next().ok_or("--shards needs a value")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--shards must be an integer, got {v:?}"))?;
+                if !(1..=shard::MAX_SHARDS).contains(&n) {
+                    return Err(format!(
+                        "--shards must be in 1..={}, got {v}",
+                        shard::MAX_SHARDS
+                    ));
+                }
+                flags.shards = Some(n);
+            }
+            "--listen" => {
+                let v = args.next().ok_or("--listen needs a value")?;
+                if v.parse::<SocketAddr>().is_err() {
+                    return Err(format!(
+                        "--listen must be a socket address like 127.0.0.1:7878, got {v:?}"
+                    ));
+                }
+                flags.listen = Some(v);
+            }
             "--seed" => {
                 let v = args.next().ok_or("--seed needs a value")?;
                 flags.seed = Some(
@@ -195,6 +257,7 @@ fn parse_command(args: impl IntoIterator<Item = String>) -> Result<Command, Stri
         clean: !flags.no_clean,
         seed: flags.seed.unwrap_or(2011),
         threads: flags.threads,
+        shards: flags.shards,
     };
     let top_k = flags.top.unwrap_or(10);
     // Build-only flags must not be silently ignored on the serving
@@ -207,6 +270,7 @@ fn parse_command(args: impl IntoIterator<Item = String>) -> Result<Command, Stri
             (flags.ratio.is_some(), "--ratio"),
             (flags.seed.is_some(), "--seed"),
             (flags.no_clean, "--no-clean"),
+            (flags.shards.is_some(), "--shards"),
         ] {
             if set {
                 return Err(format!(
@@ -229,6 +293,7 @@ fn parse_command(args: impl IntoIterator<Item = String>) -> Result<Command, Stri
         for (set, name) in [
             (flags.repeat.is_some(), "--repeat"),
             (flags.zero_copy, "--zero-copy"),
+            (flags.listen.is_some(), "--listen"),
         ] {
             if set {
                 return Err(format!(
@@ -256,6 +321,9 @@ fn parse_command(args: impl IntoIterator<Item = String>) -> Result<Command, Stri
         }
         Some("query") => {
             reject_build_flags(&flags, "query")?;
+            if flags.listen.is_some() {
+                return Err("--listen only applies to `serve` (see --help)".to_owned());
+            }
             if positional.len() < 3 {
                 return Err("query needs MODEL.cubelsi and at least one tag (see --help)".into());
             }
@@ -275,11 +343,12 @@ fn parse_command(args: impl IntoIterator<Item = String>) -> Result<Command, Stri
                 return Err("--repeat does not apply to `serve` (see --help)".to_owned());
             }
             let [_, index] = <[String; 2]>::try_from(positional)
-                .map_err(|_| "serve needs exactly MODEL.cubelsi (see --help)")?;
+                .map_err(|_| "serve needs exactly MODEL (artifact or manifest; see --help)")?;
             Ok(Command::Serve {
                 index,
                 top_k,
                 zero_copy: flags.zero_copy,
+                listen: flags.listen.unwrap_or_else(|| "127.0.0.1:7878".to_owned()),
             })
         }
         Some(_) => {
@@ -287,6 +356,12 @@ fn parse_command(args: impl IntoIterator<Item = String>) -> Result<Command, Stri
                 return Err("missing query tags (see --help)".to_owned());
             }
             reject_serve_flags(&flags, "one-shot")?;
+            if flags.shards.is_some() {
+                return Err(
+                    "--shards needs a persisted artifact; use `build --shards` (see --help)"
+                        .to_owned(),
+                );
+            }
             let mut rest = positional.into_iter();
             let data = rest.next().expect("length checked above");
             Ok(Command::OneShot {
@@ -464,29 +539,30 @@ fn build_model(corpus: &Folksonomy, opts: &BuildOpts) -> Result<CubeLsi, String>
     Ok(model)
 }
 
-/// Loads an artifact from disk, reporting load time, load mode, and model
-/// shape — the cheap path that replaces a full offline rebuild.
-fn load_artifact(path: &str, zero_copy: bool) -> Result<persist::Artifact, String> {
-    let t0 = Instant::now();
-    let artifact = if zero_copy {
-        persist::load_from_path_zero_copy(path)
+/// Loads a serving source — a single artifact or a shard manifest — into
+/// a validated [`ShardSet`], reporting load time, shard count, and load
+/// mode. The cheap path that replaces a full offline rebuild.
+fn load_shard_set(path: &str, zero_copy: bool) -> Result<ShardSet, String> {
+    let mode = if zero_copy {
+        LoadMode::ZeroCopy
     } else {
-        persist::load_from_path(path)
-    }
-    .map_err(|e| format!("loading {path}: {e}"))?;
-    let mode = if artifact.model.index().is_zero_copy() {
+        LoadMode::Owned
+    };
+    let t0 = Instant::now();
+    let set = shard::load_source(path, mode).map_err(|e| format!("loading {path}: {e}"))?;
+    let index_mode = if set.is_zero_copy() {
         "zero-copy index"
     } else {
         "owned index"
     };
     eprintln!(
-        "loaded  {} in {:?} ({} concepts; {mode}; offline build had taken {:?})",
-        artifact.folksonomy.stats(),
+        "loaded  {} in {:?} ({} shard(s); {} concepts; {index_mode})",
+        set.folksonomy().stats(),
         t0.elapsed(),
-        artifact.model.concepts().num_concepts(),
-        artifact.model.timings().total(),
+        set.num_shards(),
+        set.num_concepts(),
     );
-    Ok(artifact)
+    Ok(set)
 }
 
 /// Resolves query tag names to ids, warning about unknown names.
@@ -519,34 +595,33 @@ fn print_hits(corpus: &Folksonomy, tags: &[String], hits: &[cubelsi::core::Ranke
     }
 }
 
-/// Answers one query on a warm session, records its latency, and prints
-/// the ranked hits.
-fn answer(
-    model: &CubeLsi,
-    corpus: &Folksonomy,
-    session: &mut cubelsi::core::QuerySession,
-    stats: &mut LatencyStats,
-    tags: &[String],
-    top_k: usize,
-) {
-    let ids = resolve_ids(corpus, tags);
-    let mut hits = Vec::new();
-    let t0 = Instant::now();
-    model.search_ids_with(session, &ids, top_k, &mut hits);
-    let elapsed = t0.elapsed();
-    stats.record(elapsed);
-    eprintln!("queried {elapsed:?}");
-    print_hits(corpus, tags, &hits);
-}
-
 fn run_build(opts: &BuildOpts, data: &str, out: &str) -> Result<(), String> {
     configure_threads(opts.threads)?;
     let corpus = load_corpus(data, opts.clean)?;
     let model = build_model(&corpus, opts)?;
     let t0 = Instant::now();
-    persist::save_to_path(out, &model, &corpus).map_err(|e| format!("saving {out}: {e}"))?;
-    let size = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
-    eprintln!("saved   {out} ({size} bytes) in {:?}", t0.elapsed());
+    match opts.shards {
+        None => {
+            persist::save_to_path(out, &model, &corpus)
+                .map_err(|e| format!("saving {out}: {e}"))?;
+            let size = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+            eprintln!("saved   {out} ({size} bytes) in {:?}", t0.elapsed());
+        }
+        Some(n) => {
+            let report = shard::save_sharded(out, &model, &corpus, n)
+                .map_err(|e| format!("saving sharded {out}: {e}"))?;
+            for shard_id in 0..n {
+                eprintln!(
+                    "shard   {} ({} resources, {} postings, {} bytes)",
+                    report.shard_paths[shard_id].display(),
+                    report.shard_resources[shard_id],
+                    report.shard_postings[shard_id],
+                    report.shard_bytes[shard_id],
+                );
+            }
+            eprintln!("saved   {out} (manifest, {n} shards) in {:?}", t0.elapsed());
+        }
+    }
     Ok(())
 }
 
@@ -558,29 +633,25 @@ fn run_query(
     zero_copy: bool,
 ) -> Result<(), String> {
     configure_threads(None)?;
-    let artifact = load_artifact(index, zero_copy)?;
-    let mut session = artifact.model.session();
+    let set = load_shard_set(index, zero_copy)?;
+    let mut session = set.session();
     let mut stats = LatencyStats::default();
     // Resolve names exactly once, so an unknown tag warns once however
     // many repeats run.
-    let ids = resolve_ids(&artifact.folksonomy, tags);
+    let ids = resolve_ids(set.folksonomy(), tags);
     let mut hits = Vec::new();
     let t0 = Instant::now();
-    artifact
-        .model
-        .search_ids_with(&mut session, &ids, top_k, &mut hits);
+    set.search_tags_with(&mut session, set.concepts(), &ids, top_k, &mut hits);
     let elapsed = t0.elapsed();
     stats.record(elapsed);
     eprintln!("queried {elapsed:?}");
-    print_hits(&artifact.folksonomy, tags, &hits);
+    print_hits(set.folksonomy(), tags, &hits);
     if repeat > 1 {
         // Re-run the same query on the warm session (results already
         // printed once) to measure steady-state latency.
         for _ in 1..repeat {
             let t0 = Instant::now();
-            artifact
-                .model
-                .search_ids_with(&mut session, &ids, top_k, &mut hits);
+            set.search_tags_with(&mut session, set.concepts(), &ids, top_k, &mut hits);
             stats.record(t0.elapsed());
         }
         if let Some(summary) = stats.summary() {
@@ -590,32 +661,349 @@ fn run_query(
     Ok(())
 }
 
-fn run_serve(index: &str, top_k: usize, zero_copy: bool) -> Result<(), String> {
-    configure_threads(None)?;
-    let artifact = load_artifact(index, zero_copy)?;
-    let mut session = artifact.model.session();
-    let mut stats = LatencyStats::default();
-    eprintln!("serving: one whitespace-separated tag query per line, EOF to stop");
-    let stdin = std::io::stdin();
-    for line in stdin.lock().lines() {
-        let line = line.map_err(|e| format!("reading stdin: {e}"))?;
-        let tags: Vec<String> = line.split_whitespace().map(str::to_owned).collect();
-        if tags.is_empty() {
-            continue;
+// ---------------------------------------------------------------------------
+// TCP serving
+// ---------------------------------------------------------------------------
+
+/// Upper bound on one request line. Anything longer gets an `ERR` reply
+/// and the connection is closed — a client streaming an unbounded line
+/// must not be able to grow server memory without limit.
+const MAX_REQUEST_BYTES: usize = 64 * 1024;
+
+/// One parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Request {
+    /// Rank resources for these tag names.
+    Query(Vec<String>),
+    /// Hot-reload the manifest/artifact from disk and swap generations.
+    Reload,
+    /// Report this client's latency statistics.
+    Stats,
+    /// Close this connection.
+    Quit,
+    /// Stop the whole server.
+    Shutdown,
+}
+
+/// Parses one request line. `None` means a blank line (ignored). Control
+/// commands are the exact uppercase words; `QUERY` (or `Q`) prefixes an
+/// explicit tag query, so tags that collide with command names remain
+/// queryable.
+fn parse_request(line: &str) -> Option<Request> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return None;
+    }
+    let mut words = trimmed.split_whitespace();
+    let head = words.next().expect("non-empty after trim");
+    let rest: Vec<String> = words.map(str::to_owned).collect();
+    match head {
+        "RELOAD" if rest.is_empty() => Some(Request::Reload),
+        "STATS" if rest.is_empty() => Some(Request::Stats),
+        "QUIT" if rest.is_empty() => Some(Request::Quit),
+        "SHUTDOWN" if rest.is_empty() => Some(Request::Shutdown),
+        // A bare `QUERY` still gets a reply (an `ERR`, from the empty
+        // tag list) — only genuinely blank lines are ignored, so a
+        // lockstep client always reads exactly one line per request.
+        "QUERY" | "Q" => Some(Request::Query(rest)),
+        _ => {
+            let mut tags = Vec::with_capacity(rest.len() + 1);
+            tags.push(head.to_owned());
+            tags.extend(rest);
+            Some(Request::Query(tags))
         }
-        answer(
-            &artifact.model,
-            &artifact.folksonomy,
-            &mut session,
-            &mut stats,
-            &tags,
-            top_k,
+    }
+}
+
+/// Outcome of reading one raw request line with a byte cap.
+#[derive(Debug, PartialEq, Eq)]
+enum RawLine {
+    /// A complete line (without the terminator) is in the buffer.
+    Line,
+    /// The peer closed the connection (mid-line bytes are discarded —
+    /// a disconnect can never execute a half-received request).
+    Eof,
+    /// The line exceeded the cap; the connection should be closed.
+    TooLong,
+    /// The server is shutting down (`stop` observed while waiting for
+    /// input); close the connection.
+    Aborted,
+}
+
+/// Reads one `\n`-terminated line into `buf` (CR stripped), enforcing
+/// `max` bytes. Never allocates beyond the cap, and treats a final
+/// unterminated fragment before EOF as a disconnect, not a request.
+///
+/// When `stop` is provided, the underlying stream is expected to carry a
+/// read timeout: a timed-out read is not an error but a poll point —
+/// the flag is checked and the read resumes (partial-line bytes intact),
+/// so an idle client cannot keep a handler thread (and with it the
+/// whole scoped server shutdown) blocked forever.
+fn read_raw_line(
+    reader: &mut impl BufRead,
+    buf: &mut Vec<u8>,
+    max: usize,
+    stop: Option<&AtomicBool>,
+) -> std::io::Result<RawLine> {
+    buf.clear();
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(available) => available,
+            Err(e)
+                if stop.is_some()
+                    && matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+            {
+                if stop.is_some_and(|s| s.load(Ordering::SeqCst)) {
+                    return Ok(RawLine::Aborted);
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            return Ok(RawLine::Eof);
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if buf.len() + pos > max {
+                    return Ok(RawLine::TooLong);
+                }
+                buf.extend_from_slice(&available[..pos]);
+                reader.consume(pos + 1);
+                if buf.last() == Some(&b'\r') {
+                    buf.pop();
+                }
+                return Ok(RawLine::Line);
+            }
+            None => {
+                let take = available.len();
+                if buf.len() + take > max {
+                    return Ok(RawLine::TooLong);
+                }
+                buf.extend_from_slice(available);
+                reader.consume(take);
+            }
+        }
+    }
+}
+
+/// Discards input up to and including the next `\n`, reading at most
+/// `cap` further bytes. Used after an oversized request so the `ERR`
+/// reply is not destroyed by a TCP reset (closing a socket with unread
+/// inbound data resets the connection and discards transmitted replies).
+fn drain_line(reader: &mut impl BufRead, cap: usize) -> std::io::Result<()> {
+    let mut drained = 0usize;
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            return Ok(());
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                reader.consume(pos + 1);
+                return Ok(());
+            }
+            None => {
+                let n = available.len();
+                drained += n;
+                reader.consume(n);
+                if drained > cap {
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+/// Formats one query reply line: `OK\t<n>` followed by
+/// `\t<name>  (<score>)` per hit — the same per-hit presentation as the
+/// `query` subcommand, so scripted clients can diff the two directly.
+fn format_hits(corpus: &Folksonomy, hits: &[RankedResource]) -> String {
+    use std::fmt::Write as _;
+    let mut line = format!("OK\t{}", hits.len());
+    for hit in hits {
+        let _ = write!(
+            line,
+            "\t{}  ({:.4})",
+            corpus.resource_name(hit.resource),
+            hit.score
         );
     }
-    match stats.summary() {
-        Some(summary) => eprintln!("served  {summary}"),
-        None => eprintln!("served  0 queries"),
+    line
+}
+
+/// Serves one client connection: reads line requests, answers queries on
+/// a reused scatter-gather session, and logs latency stats on
+/// disconnect. Any I/O error (including a mid-query disconnect) ends
+/// this client only — the accept loop never sees it.
+fn handle_client(
+    stream: TcpStream,
+    engine: &ShardedEngine,
+    top_k: usize,
+    stop: &AtomicBool,
+    server_addr: SocketAddr,
+) {
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "<unknown>".to_owned());
+    stream.set_nodelay(true).ok();
+    // Reads poll rather than block indefinitely, so a SHUTDOWN (or any
+    // future stop signal) reaches handlers whose clients are idle.
+    stream
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .ok();
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut session = engine.session();
+    let mut stats = LatencyStats::default();
+    let mut raw = Vec::new();
+    let mut hits: Vec<RankedResource> = Vec::new();
+
+    // A macro-free "reply and bail on write failure" helper: the client
+    // may vanish between read and write; that ends the session cleanly.
+    fn reply(writer: &mut BufWriter<TcpStream>, line: &str) -> bool {
+        writeln!(writer, "{line}").is_ok() && writer.flush().is_ok()
     }
+
+    loop {
+        // Checked every iteration, not only in the read-timeout arm: a
+        // client streaming requests back to back keeps the read buffer
+        // full, and without this check such a client could hold the
+        // whole scoped shutdown hostage indefinitely.
+        if stop.load(Ordering::SeqCst) {
+            reply(&mut writer, "ERR server shutting down");
+            break;
+        }
+        match read_raw_line(&mut reader, &mut raw, MAX_REQUEST_BYTES, Some(stop)) {
+            Err(e) => {
+                eprintln!("client {peer}: read error: {e}");
+                break;
+            }
+            Ok(RawLine::Eof) => break,
+            Ok(RawLine::Aborted) => {
+                reply(&mut writer, "ERR server shutting down");
+                break;
+            }
+            Ok(RawLine::TooLong) => {
+                // Bounded drain of the rest of the line, so the reply
+                // below reaches the client before the close.
+                drain_line(&mut reader, 8 * 1024 * 1024).ok();
+                reply(
+                    &mut writer,
+                    &format!("ERR request exceeds {MAX_REQUEST_BYTES} bytes"),
+                );
+                break;
+            }
+            Ok(RawLine::Line) => {
+                let Ok(line) = std::str::from_utf8(&raw) else {
+                    if !reply(&mut writer, "ERR request is not valid UTF-8") {
+                        break;
+                    }
+                    continue;
+                };
+                let Some(request) = parse_request(line) else {
+                    continue;
+                };
+                let ok = match request {
+                    Request::Quit => {
+                        reply(&mut writer, "OK bye");
+                        break;
+                    }
+                    Request::Shutdown => {
+                        reply(&mut writer, "OK shutting down");
+                        stop.store(true, Ordering::SeqCst);
+                        // Nudge the blocking accept loop awake so it can
+                        // observe the stop flag.
+                        TcpStream::connect(server_addr).ok();
+                        break;
+                    }
+                    Request::Reload => match engine.reload() {
+                        Ok(generation) => reply(
+                            &mut writer,
+                            &format!(
+                                "OK reloaded generation={} shards={}",
+                                generation.number(),
+                                generation.set().num_shards()
+                            ),
+                        ),
+                        Err(e) => reply(&mut writer, &format!("ERR reload failed: {e}")),
+                    },
+                    Request::Stats => match stats.summary() {
+                        Some(summary) => reply(&mut writer, &format!("OK {summary}")),
+                        None => reply(&mut writer, "OK 0 queries"),
+                    },
+                    Request::Query(tags) if tags.is_empty() => {
+                        reply(&mut writer, "ERR QUERY needs at least one tag")
+                    }
+                    Request::Query(tags) => {
+                        let generation = engine.current();
+                        let set = generation.set();
+                        let ids: Vec<TagId> = tags
+                            .iter()
+                            .filter_map(|name| set.folksonomy().tag_id(name))
+                            .collect();
+                        let t0 = Instant::now();
+                        set.search_tags_with(&mut session, set.concepts(), &ids, top_k, &mut hits);
+                        stats.record(t0.elapsed());
+                        reply(&mut writer, &format_hits(set.folksonomy(), &hits))
+                    }
+                };
+                if !ok {
+                    break;
+                }
+            }
+        }
+    }
+    match stats.summary() {
+        Some(summary) => eprintln!("client {peer}: {summary}"),
+        None => eprintln!("client {peer}: 0 queries"),
+    }
+}
+
+fn run_serve(index: &str, top_k: usize, zero_copy: bool, listen: &str) -> Result<(), String> {
+    configure_threads(None)?;
+    let mode = if zero_copy {
+        LoadMode::ZeroCopy
+    } else {
+        LoadMode::Owned
+    };
+    let set = load_shard_set(index, zero_copy)?;
+    let engine =
+        ShardedEngine::new(set, PruningStrategy::default()).with_source(index.to_owned(), mode);
+    let listener = TcpListener::bind(listen).map_err(|e| format!("binding {listen}: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    // The bound address goes to stdout (and is flushed) so scripts can
+    // scrape the ephemeral port when listening on port 0.
+    println!("listening {addr}");
+    std::io::stdout().flush().ok();
+    eprintln!("serving: one request per line (tags | RELOAD | STATS | QUIT | SHUTDOWN)");
+    let stop = AtomicBool::new(false);
+    crossbeam::thread::scope(|scope| {
+        for stream in listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    let engine = &engine;
+                    let stop = &stop;
+                    scope.spawn(move |_| handle_client(stream, engine, top_k, stop, addr));
+                }
+                Err(e) => eprintln!("accept error: {e}"),
+            }
+        }
+    })
+    .map_err(|_| "a client handler panicked".to_owned())?;
+    eprintln!("server stopped");
     Ok(())
 }
 
@@ -624,8 +1012,12 @@ fn run_one_shot(opts: &BuildOpts, data: &str, tags: &[String], top_k: usize) -> 
     let corpus = load_corpus(data, opts.clean)?;
     let model = build_model(&corpus, opts)?;
     let mut session = model.session();
-    let mut stats = LatencyStats::default();
-    answer(&model, &corpus, &mut session, &mut stats, tags, top_k);
+    let ids = resolve_ids(&corpus, tags);
+    let mut hits = Vec::new();
+    let t0 = Instant::now();
+    model.search_ids_with(&mut session, &ids, top_k, &mut hits);
+    eprintln!("queried {:?}", t0.elapsed());
+    print_hits(&corpus, tags, &hits);
     Ok(())
 }
 
@@ -647,7 +1039,8 @@ fn main() -> ExitCode {
             index,
             top_k,
             zero_copy,
-        }) => run_serve(&index, top_k, zero_copy),
+            listen,
+        }) => run_serve(&index, top_k, zero_copy, &listen),
         Ok(Command::OneShot {
             opts,
             data,
@@ -696,6 +1089,7 @@ mod tests {
                     clean: true,
                     seed: 2011,
                     threads: None,
+                    shards: None,
                 },
                 data: "d.tsv".into(),
                 out: "m.cubelsi".into(),
@@ -725,6 +1119,7 @@ mod tests {
                 index: "m.cubelsi".into(),
                 top_k: 10,
                 zero_copy: false,
+                listen: "127.0.0.1:7878".into(),
             }
         );
         assert!(parse(&["serve"]).is_err());
@@ -757,6 +1152,7 @@ mod tests {
                 index: "m.cubelsi".into(),
                 top_k: 10,
                 zero_copy: true,
+                listen: "127.0.0.1:7878".into(),
             }
         );
         // Validation: integer >= 1.
@@ -908,6 +1304,131 @@ mod tests {
             let err = parse(&args).unwrap_err();
             assert!(err.contains(flag), "serve {flag}: {err}");
         }
+    }
+
+    #[test]
+    fn shards_and_listen_flags() {
+        match parse(&["build", "--shards", "4", "d.tsv", "m.shards"]).unwrap() {
+            Command::Build { opts, .. } => assert_eq!(opts.shards, Some(4)),
+            other => panic!("expected build, got {other:?}"),
+        }
+        for bad in ["0", "-1", "abc", "1.5", "100000"] {
+            let err = parse(&["build", "--shards", bad, "d.tsv", "m"]).unwrap_err();
+            assert!(err.contains("--shards"), "shards {bad}: {err}");
+        }
+        assert!(parse(&["build", "--shards"]).is_err(), "missing value");
+        // --shards is baked in at build time; serving must reject it.
+        assert!(parse(&["query", "--shards", "2", "m", "jazz"])
+            .unwrap_err()
+            .contains("--shards"));
+        assert!(parse(&["serve", "--shards", "2", "m"])
+            .unwrap_err()
+            .contains("--shards"));
+        assert!(parse(&["--shards", "2", "d.tsv", "jazz"])
+            .unwrap_err()
+            .contains("--shards"));
+
+        match parse(&["serve", "--listen", "0.0.0.0:0", "m"]).unwrap() {
+            Command::Serve { listen, .. } => assert_eq!(listen, "0.0.0.0:0"),
+            other => panic!("expected serve, got {other:?}"),
+        }
+        assert!(parse(&["serve", "--listen", "not-an-addr", "m"])
+            .unwrap_err()
+            .contains("--listen"));
+        assert!(parse(&["query", "--listen", "127.0.0.1:1", "m", "jazz"])
+            .unwrap_err()
+            .contains("--listen"));
+        assert!(parse(&["build", "--listen", "127.0.0.1:1", "d.tsv", "m"])
+            .unwrap_err()
+            .contains("--listen"));
+    }
+
+    #[test]
+    fn request_parser_commands_and_queries() {
+        assert_eq!(parse_request(""), None);
+        assert_eq!(parse_request("   \t "), None);
+        assert_eq!(parse_request("RELOAD"), Some(Request::Reload));
+        assert_eq!(parse_request("  STATS  "), Some(Request::Stats));
+        assert_eq!(parse_request("QUIT"), Some(Request::Quit));
+        assert_eq!(parse_request("SHUTDOWN"), Some(Request::Shutdown));
+        assert_eq!(
+            parse_request("jazz piano"),
+            Some(Request::Query(vec!["jazz".into(), "piano".into()]))
+        );
+        // The explicit form keeps command-named tags queryable.
+        assert_eq!(
+            parse_request("QUERY RELOAD"),
+            Some(Request::Query(vec!["RELOAD".into()]))
+        );
+        assert_eq!(
+            parse_request("Q jazz"),
+            Some(Request::Query(vec!["jazz".into()]))
+        );
+        // A bare QUERY is a request (answered with ERR), not a blank
+        // line — every non-blank request line must earn exactly one
+        // reply line.
+        assert_eq!(parse_request("QUERY"), Some(Request::Query(Vec::new())));
+        assert_eq!(parse_request("Q"), Some(Request::Query(Vec::new())));
+        // A command word with trailing tags is a query, not a command —
+        // commands are exact single words.
+        assert_eq!(
+            parse_request("RELOAD now"),
+            Some(Request::Query(vec!["RELOAD".into(), "now".into()]))
+        );
+        // Lowercase command words are ordinary tags.
+        assert_eq!(
+            parse_request("reload"),
+            Some(Request::Query(vec!["reload".into()]))
+        );
+    }
+
+    #[test]
+    fn raw_line_reader_handles_hostile_input() {
+        use std::io::Cursor;
+        let mut buf = Vec::new();
+
+        // Normal lines, CRLF stripped, EOF after the last.
+        let mut r = Cursor::new(b"alpha beta\r\ngamma\n".to_vec());
+        assert_eq!(
+            read_raw_line(&mut r, &mut buf, 64, None).unwrap(),
+            RawLine::Line
+        );
+        assert_eq!(buf, b"alpha beta");
+        assert_eq!(
+            read_raw_line(&mut r, &mut buf, 64, None).unwrap(),
+            RawLine::Line
+        );
+        assert_eq!(buf, b"gamma");
+        assert_eq!(
+            read_raw_line(&mut r, &mut buf, 64, None).unwrap(),
+            RawLine::Eof
+        );
+
+        // A mid-line disconnect (no trailing newline) must read as EOF,
+        // never as a runnable request.
+        let mut r = Cursor::new(b"half a requ".to_vec());
+        assert_eq!(
+            read_raw_line(&mut r, &mut buf, 64, None).unwrap(),
+            RawLine::Eof
+        );
+
+        // Oversized lines are rejected without buffering them whole.
+        let mut big = vec![b'x'; 1000];
+        big.push(b'\n');
+        let mut r = Cursor::new(big);
+        assert_eq!(
+            read_raw_line(&mut r, &mut buf, 100, None).unwrap(),
+            RawLine::TooLong
+        );
+
+        // Non-UTF-8 bytes pass through the reader (rejection happens at
+        // the protocol layer with an ERR reply, not a panic).
+        let mut r = Cursor::new(b"\xFF\xFE\xFD\n".to_vec());
+        assert_eq!(
+            read_raw_line(&mut r, &mut buf, 64, None).unwrap(),
+            RawLine::Line
+        );
+        assert!(std::str::from_utf8(&buf).is_err());
     }
 
     #[test]

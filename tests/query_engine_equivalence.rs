@@ -215,3 +215,51 @@ fn single_term_fast_path_handles_impact_ties() {
         }
     }
 }
+
+/// Regression: non-finite weights through the raw `search_weighted`
+/// entry point must route to the exact reference path. Before the fix,
+/// NaN slipped past both guards (`NaN < 0.0` is false, `NaN != 0.0` is
+/// true), poisoned the dense accumulators and the query norm, and the
+/// pruned results silently diverged from
+/// `ConceptIndex::query_weighted_concepts` — this test fails on that
+/// code. It also exercises the NaN-safe ranking comparator: ±inf
+/// weights produce NaN final scores inside `rank_exact`'s sort, which
+/// previously handed `sort_unstable_by` a non-total order.
+#[test]
+fn non_finite_weights_fall_back_to_exact() {
+    let f = random_corpus(61, 25, 30, 900);
+    let mut rng = StdRng::seed_from_u64(61);
+    let model = random_hard_model(&mut rng, f.num_tags(), 4);
+    let hostile_weight_sets: Vec<Vec<(u32, f64)>> = vec![
+        vec![(0, f64::NAN)],
+        vec![(0, 0.7), (1, f64::NAN)],
+        vec![(0, f64::INFINITY)],
+        vec![(0, 0.5), (1, f64::INFINITY), (2, 0.25)],
+        vec![(0, f64::NEG_INFINITY)],
+        vec![(0, f64::NAN), (1, f64::INFINITY), (2, f64::NEG_INFINITY)],
+        vec![(0, 0.5), (1, -0.0), (2, f64::NAN)],
+    ];
+    for strategy in STRATEGIES {
+        let engine = QueryEngine::with_strategy(ConceptIndex::build(&f, &model), strategy);
+        let mut session = engine.session();
+        let mut out = Vec::new();
+        for (wi, terms) in hostile_weight_sets.iter().enumerate() {
+            engine.search_weighted(&mut session, terms, 0, &mut out);
+            let reference: Vec<(usize, f64)> =
+                terms.iter().map(|&(l, w)| (l as usize, w)).collect();
+            let exact = engine.index().query_weighted_concepts(&reference, 0);
+            assert_identical(
+                &out,
+                &exact,
+                &format!("{strategy:?} hostile weights #{wi} {terms:?}"),
+            );
+            // The session must not be poisoned for the next (finite)
+            // query: a normal search right after must still match exact.
+            engine.search_weighted(&mut session, &[(0, 0.5), (1, 0.25)], 5, &mut out);
+            let clean = engine
+                .index()
+                .query_weighted_concepts(&[(0, 0.5), (1, 0.25)], 5);
+            assert_identical(&out, &clean, &format!("{strategy:?} post-hostile #{wi}"));
+        }
+    }
+}

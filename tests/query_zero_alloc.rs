@@ -118,4 +118,33 @@ fn steady_state_search_allocates_nothing() {
     let loaded = persist::load_zero_copy(buf).unwrap();
     assert!(loaded.model.index().is_zero_copy());
     assert_steady_state_alloc_free(loaded.model.engine(), &model, &queries);
+
+    // Sharded scatter-gather steady state: after warm-up, per-shard
+    // sessions, the shared term buffer, the per-shard result buffers,
+    // and the k-way merge must all reuse their capacity — hot-reloadable
+    // sharded serving keeps the zero-alloc contract.
+    engine.set_strategy(PruningStrategy::BlockMax);
+    let set = cubelsi::core::shard::ShardSet::from_parts(
+        cubelsi::core::shard::partition_engines(&engine, 3),
+        f.clone(),
+        model.clone(),
+    )
+    .unwrap();
+    let mut sharded_session = set.session();
+    let mut out = Vec::new();
+    for _ in 0..2 {
+        for (tags, k) in &queries {
+            set.search_tags_with(&mut sharded_session, &model, tags, *k, &mut out);
+        }
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for (tags, k) in &queries {
+        set.search_tags_with(&mut sharded_session, &model, tags, *k, &mut out);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state sharded search_tags_with must not allocate"
+    );
 }

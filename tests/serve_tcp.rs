@@ -1,0 +1,235 @@
+//! End-to-end test of the `serve` TCP line protocol: builds a sharded
+//! model through the real CLI, starts the server on an ephemeral port,
+//! and drives it over real sockets — queries, concurrent clients,
+//! hostile input (oversized and non-UTF-8 requests), `RELOAD` under a
+//! live connection, and `SHUTDOWN`. The query replies are checked
+//! against the `query` subcommand's answer on the same manifest, which
+//! the sharded-equivalence suite in turn pins to the unsharded engine.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_cubelsi-search");
+
+/// The Figure-2 corpus as a TSV dump.
+const FIG2_TSV: &str = "u1\tfolk\tr1\nu1\tfolk\tr2\nu2\tfolk\tr2\nu3\tfolk\tr2\n\
+                        u1\tpeople\tr1\nu2\tlaptop\tr3\nu3\tlaptop\tr3\n";
+
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.child.kill().ok();
+        self.child.wait().ok();
+    }
+}
+
+fn build_sharded(dir: &Path, shards: usize) -> PathBuf {
+    let tsv = dir.join("fig2.tsv");
+    std::fs::write(&tsv, FIG2_TSV).unwrap();
+    let manifest = dir.join("model.shards");
+    let status = Command::new(BIN)
+        .args([
+            "build",
+            "--no-clean",
+            "--concepts",
+            "2",
+            "--shards",
+            &shards.to_string(),
+        ])
+        .arg(&tsv)
+        .arg(&manifest)
+        .status()
+        .unwrap();
+    assert!(status.success(), "build --shards failed");
+    manifest
+}
+
+fn start_server(manifest: &Path) -> Server {
+    let mut child = Command::new(BIN)
+        .args(["serve", "--listen", "127.0.0.1:0"])
+        .arg(manifest)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    // The server prints `listening <addr>` on stdout once bound.
+    let stdout = child.stdout.take().unwrap();
+    let mut lines = BufReader::new(stdout).lines();
+    let first = lines.next().expect("server exited before binding").unwrap();
+    let addr = first
+        .strip_prefix("listening ")
+        .unwrap_or_else(|| panic!("unexpected server banner {first:?}"))
+        .to_owned();
+    Server { child, addr }
+}
+
+fn connect(addr: &str) -> TcpStream {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return s,
+            Err(e) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(50));
+                let _ = e;
+            }
+            Err(e) => panic!("connect {addr}: {e}"),
+        }
+    }
+}
+
+fn roundtrip(stream: &mut TcpStream, request: &str) -> String {
+    stream.write_all(request.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    line.trim_end().to_owned()
+}
+
+/// The `query` subcommand's top hit rendered the way the TCP reply
+/// embeds hits: `<name>  (<score>)`.
+fn reference_top_hit(manifest: &Path, tags: &[&str]) -> String {
+    let output = Command::new(BIN)
+        .arg("query")
+        .arg(manifest)
+        .args(tags)
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    stdout
+        .lines()
+        .find_map(|l| l.trim_start().strip_prefix("1. "))
+        .expect("query printed a top hit")
+        .trim()
+        .to_owned()
+}
+
+#[test]
+fn tcp_serve_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("cubelsi-serve-tcp-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let manifest = build_sharded(&dir, 3);
+    let expected_top = reference_top_hit(&manifest, &["people"]);
+    let server = start_server(&manifest);
+
+    // Plain query: reply matches the `query` subcommand's top hit.
+    let mut a = connect(&server.addr);
+    let reply = roundtrip(&mut a, "people");
+    assert!(reply.starts_with("OK\t"), "unexpected reply {reply:?}");
+    let mut fields = reply.split('\t').skip(1);
+    let count: usize = fields.next().unwrap().parse().unwrap();
+    assert!(count >= 2, "people must match r1 and r2: {reply:?}");
+    assert_eq!(fields.next().unwrap(), expected_top, "top hit differs");
+
+    // A second concurrent client gets its own session.
+    let mut b = connect(&server.addr);
+    let reply_b = roundtrip(&mut b, "QUERY people");
+    assert_eq!(reply_b, reply, "concurrent client saw different answers");
+
+    // Unknown tags are an empty OK, not an error.
+    assert_eq!(roundtrip(&mut a, "no-such-tag"), "OK\t0");
+
+    // A bare QUERY earns exactly one reply line (an ERR), never silence
+    // — a lockstep client must not deadlock waiting for it.
+    assert!(roundtrip(&mut a, "QUERY").starts_with("ERR"));
+
+    // Hostile input: non-UTF-8 gets an ERR reply, the session survives.
+    a.write_all(b"\xFF\xFE\xFD\n").unwrap();
+    let mut reader = BufReader::new(a.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("ERR"), "got {line:?}");
+    assert!(roundtrip(&mut a, "people").starts_with("OK\t"));
+
+    // Hostile input: an oversized request line is refused and the
+    // connection closed — but only that connection.
+    let mut c = connect(&server.addr);
+    let big = vec![b'x'; 80 * 1024];
+    c.write_all(&big).unwrap();
+    c.write_all(b"\n").unwrap();
+    let mut creader = BufReader::new(c.try_clone().unwrap());
+    let mut cline = String::new();
+    creader.read_line(&mut cline).unwrap();
+    assert!(cline.starts_with("ERR"), "got {cline:?}");
+    let mut end = String::new();
+    creader.read_to_string(&mut end).unwrap();
+    assert!(
+        end.is_empty(),
+        "connection must close after an oversized line"
+    );
+
+    // A mid-query disconnect must not take the server down.
+    let mut d = connect(&server.addr);
+    d.write_all(b"half a requ").unwrap();
+    drop(d);
+
+    // STATS counts this client's queries.
+    let stats = roundtrip(&mut a, "STATS");
+    assert!(stats.starts_with("OK"), "got {stats:?}");
+    assert!(stats.contains("queries"), "got {stats:?}");
+
+    // RELOAD hot-swaps the generation; the already-open client keeps
+    // serving, with identical answers (same manifest on disk).
+    let reload = roundtrip(&mut a, "RELOAD");
+    assert!(
+        reload.starts_with("OK reloaded generation=2 shards=3"),
+        "got {reload:?}"
+    );
+    let after = roundtrip(&mut a, "people");
+    assert_eq!(after, reply, "answers changed across an identical reload");
+    // The other pre-reload connection also keeps working.
+    assert_eq!(roundtrip(&mut b, "people"), reply);
+
+    // QUIT closes one session; SHUTDOWN stops the server — promptly,
+    // even though `b` is still connected and idle (handlers poll the
+    // stop flag instead of blocking in read forever).
+    let idle = connect(&server.addr);
+    assert_eq!(roundtrip(&mut a, "SHUTDOWN"), "OK shutting down");
+    drop(b);
+
+    let mut server = server;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match server.child.try_wait().unwrap() {
+            Some(status) => {
+                assert!(status.success(), "server exited with {status}");
+                break;
+            }
+            None if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(50)),
+            None => panic!("server did not stop after SHUTDOWN (idle client still open)"),
+        }
+    }
+    drop(idle);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A failed reload (manifest swapped for garbage) must leave the old
+/// generation serving.
+#[test]
+fn failed_reload_keeps_serving() {
+    let dir = std::env::temp_dir().join(format!("cubelsi-serve-reload-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let manifest = build_sharded(&dir, 2);
+    let server = start_server(&manifest);
+    let mut a = connect(&server.addr);
+    let before = roundtrip(&mut a, "people");
+    assert!(before.starts_with("OK\t"));
+
+    // Corrupt the manifest on disk, then ask for a reload.
+    std::fs::write(&manifest, b"not a manifest at all").unwrap();
+    let reload = roundtrip(&mut a, "RELOAD");
+    assert!(reload.starts_with("ERR reload failed"), "got {reload:?}");
+    // The old generation still answers, byte for byte.
+    assert_eq!(roundtrip(&mut a, "people"), before);
+
+    assert_eq!(roundtrip(&mut a, "SHUTDOWN"), "OK shutting down");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,228 @@
+//! Adversarial persistence tests for the shard manifest: every way a
+//! manifest or its shard artifacts can be damaged, swapped, or lied
+//! about must yield a typed [`PersistError`] — and **never a partial
+//! engine** ([`shard::load_source`] is all-or-nothing).
+
+use cubelsi::core::shard::{self, LoadMode};
+use cubelsi::core::{persist, CubeLsi, CubeLsiConfig, PersistError};
+use cubelsi::folksonomy::store::figure2_example;
+use cubelsi::folksonomy::Folksonomy;
+use std::path::{Path, PathBuf};
+
+fn built() -> (Folksonomy, CubeLsi) {
+    let f = figure2_example();
+    let cfg = CubeLsiConfig {
+        core_dims: Some((3, 3, 2)),
+        num_concepts: Some(2),
+        sigma: Some(1.0),
+        max_als_iters: 30,
+        als_fit_tol: 1e-10,
+        ..Default::default()
+    };
+    let model = CubeLsi::build(&f, &cfg).unwrap();
+    (f, model)
+}
+
+/// A fresh temp dir with a valid 3-shard manifest inside.
+fn sharded_fixture(tag: &str) -> (PathBuf, PathBuf) {
+    let (f, model) = built();
+    let dir = std::env::temp_dir().join(format!(
+        "cubelsi-shard-adversarial-{tag}-{}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let manifest = dir.join("model.shards");
+    shard::save_sharded(&manifest, &model, &f, 3).unwrap();
+    (dir, manifest)
+}
+
+fn load_both_modes(path: &Path) -> [Result<(), PersistError>; 2] {
+    [LoadMode::Owned, LoadMode::ZeroCopy].map(|mode| shard::load_source(path, mode).map(|_| ()))
+}
+
+#[test]
+fn valid_fixture_loads() {
+    let (dir, manifest) = sharded_fixture("ok");
+    for result in load_both_modes(&manifest) {
+        result.unwrap();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncated_manifest_is_typed_error() {
+    let (dir, manifest) = sharded_fixture("trunc");
+    let bytes = std::fs::read(&manifest).unwrap();
+    // Cut at every prefix class: inside the magic, the header, an entry,
+    // and the trailing checksum.
+    for cut in [0usize, 4, 10, 14, 20, bytes.len() - 3, bytes.len() - 1] {
+        let cut = cut.min(bytes.len() - 1);
+        std::fs::write(&manifest, &bytes[..cut]).unwrap();
+        for result in load_both_modes(&manifest) {
+            match result {
+                Err(
+                    PersistError::Truncated { .. }
+                    | PersistError::BadMagic
+                    | PersistError::Malformed { .. },
+                ) => {}
+                other => panic!("cut at {cut}: expected typed truncation error, got {other:?}"),
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wrong_shard_count_is_typed_error() {
+    let (dir, manifest) = sharded_fixture("count");
+    let bytes = std::fs::read(&manifest).unwrap();
+    // The count field is at offset 12 (magic 8 + version 4). Patching it
+    // without re-recording the trailing CRC must fail the checksum;
+    // patching it *with* a fixed-up CRC must fail structurally (entries
+    // disagree with the declared count).
+    for (count, fix_crc) in [(2u32, false), (2, true), (4, true), (0, true), (4096, true)] {
+        let mut bad = bytes.clone();
+        bad[12..16].copy_from_slice(&count.to_le_bytes());
+        if fix_crc {
+            let body = bad.len() - 4;
+            let crc = persist::crc32(&bad[..body]);
+            let end = bad.len();
+            bad[end - 4..].copy_from_slice(&crc.to_le_bytes());
+        }
+        std::fs::write(&manifest, &bad).unwrap();
+        for result in load_both_modes(&manifest) {
+            match result {
+                Err(
+                    PersistError::Malformed { .. }
+                    | PersistError::ChecksumMismatch { .. }
+                    | PersistError::Truncated { .. },
+                ) => {}
+                other => panic!("count={count} fix_crc={fix_crc}: got {other:?}"),
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shard_artifact_checksum_mismatch_is_typed_error() {
+    let (dir, manifest) = sharded_fixture("crc");
+    // Flip one byte deep inside shard 1's artifact payload. The manifest
+    // CRC no longer matches the file, so the load must fail before the
+    // artifact is even parsed.
+    let shard_path = dir.join("model.shards.shard1");
+    let mut bytes = std::fs::read(&shard_path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&shard_path, &bytes).unwrap();
+    for result in load_both_modes(&manifest) {
+        match result {
+            Err(PersistError::ChecksumMismatch { section, .. }) => {
+                assert_eq!(section, 1, "the failing shard ordinal is reported");
+            }
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn manifest_entry_checksum_mismatch_is_typed_error() {
+    let (dir, manifest) = sharded_fixture("entrycrc");
+    // Corrupt shard 0's recorded CRC inside the manifest and re-record
+    // the manifest's own trailing checksum: the manifest is then
+    // self-consistent but disagrees with the (intact) artifact.
+    let mut bytes = std::fs::read(&manifest).unwrap();
+    // Entry 0 starts at offset 20 (magic 8 + version 4 + count 4 +
+    // scheme 4); name length (4) + name + file_len (8) precede its CRC.
+    let name_len = u32::from_le_bytes(bytes[20..24].try_into().unwrap()) as usize;
+    let crc_at = 20 + 4 + name_len + 8;
+    bytes[crc_at] ^= 0xFF;
+    let body = bytes.len() - 4;
+    let crc = persist::crc32(&bytes[..body]);
+    let end = bytes.len();
+    bytes[end - 4..].copy_from_slice(&crc.to_le_bytes());
+    std::fs::write(&manifest, &bytes).unwrap();
+    for result in load_both_modes(&manifest) {
+        match result {
+            Err(PersistError::ChecksumMismatch { section, .. }) => assert_eq!(section, 0),
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_shard_artifact_is_typed_error() {
+    let (dir, manifest) = sharded_fixture("missing");
+    std::fs::remove_file(dir.join("model.shards.shard2")).unwrap();
+    for result in load_both_modes(&manifest) {
+        match result {
+            Err(PersistError::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::NotFound);
+            }
+            other => panic!("expected Io(NotFound), got {other:?}"),
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncated_shard_artifact_is_typed_error() {
+    let (dir, manifest) = sharded_fixture("shardtrunc");
+    let shard_path = dir.join("model.shards.shard0");
+    let bytes = std::fs::read(&shard_path).unwrap();
+    std::fs::write(&shard_path, &bytes[..bytes.len() / 2]).unwrap();
+    for result in load_both_modes(&manifest) {
+        match result {
+            Err(PersistError::Truncated { .. }) => {}
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn swapped_shard_artifacts_are_rejected() {
+    // Both artifacts are individually valid and CRC-recorded, but the
+    // manifest order is authoritative: shard 0's slot holding shard 1's
+    // artifact means resources are indexed by the wrong shard.
+    let (dir, manifest) = sharded_fixture("swap");
+    let manifest_bytes = std::fs::read(&manifest).unwrap();
+    let p0 = dir.join("model.shards.shard0");
+    let p1 = dir.join("model.shards.shard1");
+    let b0 = std::fs::read(&p0).unwrap();
+    let b1 = std::fs::read(&p1).unwrap();
+    std::fs::write(&p0, &b1).unwrap();
+    std::fs::write(&p1, &b0).unwrap();
+    // Re-record the swapped files' checksums in the manifest so the
+    // mismatch is *semantic*, not a checksum failure.
+    let mut m = shard::decode_manifest(&manifest_bytes).unwrap();
+    m.entries.swap(0, 1);
+    let names_back: Vec<String> = vec!["model.shards.shard0".into(), "model.shards.shard1".into()];
+    m.entries[0].file_name = names_back[0].clone();
+    m.entries[1].file_name = names_back[1].clone();
+    std::fs::write(&manifest, shard::encode_manifest(&m)).unwrap();
+    for result in load_both_modes(&manifest) {
+        match result {
+            Err(PersistError::Shard { .. }) => {}
+            other => panic!("expected Shard mismatch, got {other:?}"),
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unsupported_manifest_version_is_typed_error() {
+    let (dir, manifest) = sharded_fixture("version");
+    let mut bytes = std::fs::read(&manifest).unwrap();
+    bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+    std::fs::write(&manifest, &bytes).unwrap();
+    for result in load_both_modes(&manifest) {
+        match result {
+            Err(PersistError::UnsupportedVersion { found, .. }) => assert_eq!(found, 99),
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
