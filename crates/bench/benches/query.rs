@@ -13,13 +13,18 @@
 //! Besides the criterion numbers, a machine-readable report is written to
 //! `BENCH_query.json` at the workspace root (queries/s per preset, per k,
 //! per serving path, single core), so the perf trajectory of the online
-//! path is tracked in-repo alongside `BENCH_build.json`. Two presets are
-//! measured: the small 300×250×15k pipeline preset and a 20k-resource
-//! corpus with multi-hundred-posting lists, where block skipping has real
-//! room to work. Paths: the exhaustive reference, MaxScore, block-max,
-//! and a 4-shard scatter-gather [`ShardSet`] (sequential per-shard
-//! top-k + exact k-way merge — the per-node cost of the sharded TCP
-//! serving topology).
+//! path is tracked in-repo alongside `BENCH_build.json`. Three presets
+//! are measured: the small 300×250×15k pipeline preset, a 20k-resource
+//! corpus with multi-hundred-posting lists where block skipping has real
+//! room to work, and the `huge_1m` stress preset (1.2 M resources at
+//! full scale; `CUBELSI_BENCH_SCALE` shrinks it for CI smokes). Paths:
+//! the exhaustive reference, MaxScore, block-max, the compressed
+//! decode-and-admit path, and a 4-shard scatter-gather [`ShardSet`]
+//! (sequential per-shard top-k + exact k-way merge — the per-node cost
+//! of the sharded TCP serving topology). Each preset row also records
+//! the memory story the compressed format exists for: hot
+//! bytes-per-posting (compressed vs uncompressed), on-disk index
+//! artifact bytes, and the process RSS after serving.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use cubelsi_baselines::{
@@ -28,10 +33,10 @@ use cubelsi_baselines::{
 };
 use cubelsi_core::shard::{self, ShardSet};
 use cubelsi_core::{
-    ConceptAssignment, ConceptIndex, ConceptModel, CubeLsi, CubeLsiConfig, PruningStrategy,
-    QueryEngine,
+    persist, ConceptAssignment, ConceptIndex, ConceptModel, CubeLsi, CubeLsiConfig,
+    PruningStrategy, QueryEngine,
 };
-use cubelsi_datagen::{generate, GeneratedDataset, GeneratorConfig};
+use cubelsi_datagen::{generate, huge_1m, GeneratedDataset, GeneratorConfig};
 use cubelsi_eval::{generate_workload, WorkloadConfig};
 use cubelsi_folksonomy::TagId;
 use cubelsi_linalg::parallel;
@@ -282,11 +287,64 @@ fn large_preset() -> ReportPreset {
     }
 }
 
+/// The million-resource stress preset (`cubelsi_datagen::huge_1m`): a
+/// 1.2 M-resource corpus under a deterministic hard concept model, where
+/// the hot index footprint — not the model — dominates memory and the
+/// compressed posting format earns its keep. `CUBELSI_BENCH_SCALE`
+/// (default 1.0) shrinks it proportionally so CI can smoke the same code
+/// path in seconds.
+fn huge_preset() -> ReportPreset {
+    let scale = std::env::var("CUBELSI_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|s| *s > 0.0 && *s <= 1.0)
+        .unwrap_or(1.0);
+    let preset = huge_1m(scale, 5);
+    let ds = generate(&preset.config);
+    let f = &ds.folksonomy;
+    let num_concepts = preset.config.concepts;
+    let assignments: Vec<usize> = (0..f.num_tags())
+        .map(|t| (t * 11 + 5) % num_concepts)
+        .collect();
+    let model = ConceptModel::from_assignments(assignments, 1.0);
+    let engine = QueryEngine::new(ConceptIndex::build(f, &model));
+    let queries: Vec<Vec<TagId>> = generate_workload(
+        &ds,
+        &WorkloadConfig {
+            num_queries: 32,
+            ..Default::default()
+        },
+    )
+    .into_iter()
+    .map(|q| q.tags)
+    .collect();
+    ReportPreset {
+        name: "huge_1m",
+        users: f.num_users(),
+        tags: f.num_tags(),
+        resources: f.num_resources(),
+        assignments: f.num_assignments(),
+        num_concepts,
+        engine,
+        model: Box::new(model.clone()),
+        folksonomy: f.clone(),
+        hard_model: model,
+        queries,
+    }
+}
+
+/// Interleaved measurement rounds per (preset, k). Round-to-round swings
+/// on a shared machine (frequency scaling, sibling load) reach ±20% on
+/// the sub-millisecond workloads, so the per-path best needs enough
+/// draws to converge — nine rounds keep path-vs-path ratios stable to a
+/// few percent where five still wobbled.
+const ROUNDS: usize = 9;
+
 /// Queries/s of several serving paths over one workload, measured in
 /// *interleaved* rounds so slow drifts of a shared machine hit every
 /// path equally: each path is warmed and calibrated to ~0.25 s windows,
-/// then five rounds run every path back to back; the per-path best is
-/// reported (best-of rejects scheduling noise and can only understate
+/// then [`ROUNDS`] rounds run every path back to back; the per-path best
+/// is reported (best-of rejects scheduling noise and can only understate
 /// the hardware's capability).
 type WorkloadPass<'a> = &'a mut dyn FnMut(&[Vec<TagId>]);
 
@@ -300,7 +358,7 @@ fn measure_paths(queries: &[Vec<TagId>], passes: &mut [WorkloadPass<'_>]) -> Vec
         reps.push(((0.25 / once).ceil() as usize).clamp(1, 20_000));
     }
     let mut best = vec![f64::MIN; passes.len()];
-    for _ in 0..5 {
+    for _ in 0..ROUNDS {
         for (p, pass) in passes.iter_mut().enumerate() {
             let t0 = Instant::now();
             for _ in 0..reps[p] {
@@ -319,7 +377,7 @@ fn measure_paths(queries: &[Vec<TagId>], passes: &mut [WorkloadPass<'_>]) -> Vec
 fn emit_query_report(_c: &mut Criterion) {
     parallel::set_num_threads(1);
     let mut preset_jsons = Vec::new();
-    for preset in [small_preset(), large_preset()] {
+    for preset in [small_preset(), large_preset(), huge_preset()] {
         let model = &*preset.model;
         // Sharded scatter-gather (4 shards, sequential per-shard top-k
         // on one session + exact k-way merge) over the same engine — the
@@ -343,6 +401,10 @@ fn emit_query_report(_c: &mut Criterion) {
             bm_engine.set_strategy(PruningStrategy::BlockMax);
             let mut bm_session = bm_engine.session();
             let mut bm_out = Vec::new();
+            let mut cp_engine = preset.engine.clone();
+            cp_engine.set_strategy(PruningStrategy::CompressedBlockMax);
+            let mut cp_session = cp_engine.session();
+            let mut cp_out = Vec::new();
             let mut run_ref = |qs: &[Vec<TagId>]| {
                 for q in qs {
                     black_box(preset.engine.search_tags_exact(model, q, k));
@@ -360,6 +422,12 @@ fn emit_query_report(_c: &mut Criterion) {
                     black_box(bm_out.len());
                 }
             };
+            let mut run_cp = |qs: &[Vec<TagId>]| {
+                for q in qs {
+                    cp_engine.search_tags_with(&mut cp_session, model, q, k, &mut cp_out);
+                    black_box(cp_out.len());
+                }
+            };
             let mut sh_session = sharded_set.session();
             let mut sh_out = Vec::new();
             let mut run_sharded = |qs: &[Vec<TagId>]| {
@@ -370,30 +438,65 @@ fn emit_query_report(_c: &mut Criterion) {
             };
             let qps = measure_paths(
                 &preset.queries,
-                &mut [&mut run_ref, &mut run_ms, &mut run_bm, &mut run_sharded],
+                &mut [
+                    &mut run_ref,
+                    &mut run_ms,
+                    &mut run_bm,
+                    &mut run_cp,
+                    &mut run_sharded,
+                ],
             );
-            let (reference, maxscore, blockmax, sharded) = (qps[0], qps[1], qps[2], qps[3]);
+            let (reference, maxscore, blockmax, compressed, sharded) =
+                (qps[0], qps[1], qps[2], qps[3], qps[4]);
             println!(
-                "{} k={k}: reference {:.0} q/s | maxscore {:.0} q/s | blockmax {:.0} q/s ({:.2}x maxscore) | sharded4 {:.0} q/s",
-                preset.name, reference, maxscore, blockmax, blockmax / maxscore.max(1e-9), sharded
+                "{} k={k}: reference {:.0} q/s | maxscore {:.0} q/s | blockmax {:.0} q/s ({:.2}x maxscore) | compressed {:.0} q/s ({:.2}x blockmax) | sharded4 {:.0} q/s",
+                preset.name, reference, maxscore, blockmax, blockmax / maxscore.max(1e-9),
+                compressed, compressed / blockmax.max(1e-9), sharded
             );
             rows.push(format!(
                 "      {{\"k\": {k}, \"reference_qps\": {:.0}, \"maxscore_qps\": {:.0}, \
-                 \"blockmax_qps\": {:.0}, \"sharded4_qps\": {:.0}, \
+                 \"blockmax_qps\": {:.0}, \"compressed_qps\": {:.0}, \"sharded4_qps\": {:.0}, \
                  \"blockmax_vs_maxscore\": {:.2}, \"blockmax_vs_reference\": {:.2}, \
-                 \"sharded4_vs_blockmax\": {:.2}}}",
+                 \"compressed_vs_blockmax\": {:.2}, \"sharded4_vs_blockmax\": {:.2}}}",
                 reference,
                 maxscore,
                 blockmax,
+                compressed,
                 sharded,
                 blockmax / maxscore.max(1e-9),
                 blockmax / reference.max(1e-9),
+                compressed / blockmax.max(1e-9),
                 sharded / blockmax.max(1e-9),
             ));
         }
+        // The memory story: hot footprint per posting (the compressed
+        // mirror vs the exact SoA arrays), on-disk index artifact sizes,
+        // and the process RSS right after serving this preset (VmHWM is
+        // the kernel's monotonic high-water mark — "peak so far").
+        let ix = preset.engine.index();
+        let n_postings = ix.num_postings();
+        let bpp_compressed = ix.compressed_hot_bytes() as f64 / n_postings.max(1) as f64;
+        let bpp_uncompressed = ix.uncompressed_hot_bytes() as f64 / n_postings.max(1) as f64;
+        let artifact_compressed = persist::index_artifact_bytes(ix, true);
+        let artifact_uncompressed = persist::index_artifact_bytes(ix, false);
+        let fmt_rss = |v: Option<u64>| v.map_or("null".to_string(), |b| b.to_string());
+        let rss = fmt_rss(cubelsi_eval::memory::current_rss_bytes());
+        let peak_rss = fmt_rss(cubelsi_eval::memory::peak_rss_bytes());
+        println!(
+            "{}: {n_postings} postings | hot {bpp_compressed:.2} B/posting compressed vs \
+             {bpp_uncompressed:.2} uncompressed | artifact {artifact_compressed} B (+mirror) vs \
+             {artifact_uncompressed} B | rss {rss} peak {peak_rss}",
+            preset.name
+        );
         preset_jsons.push(format!(
             "    {{\n      \"name\": \"{}\",\n      \"users\": {}, \"tags\": {}, \"resources\": {}, \
-             \"assignments\": {}, \"num_concepts\": {},\n      \"queries\": {},\n      \"results\": [\n{}\n      ]\n    }}",
+             \"assignments\": {}, \"num_concepts\": {},\n      \"queries\": {},\n      \
+             \"postings\": {n_postings},\n      \
+             \"bytes_per_posting_compressed\": {bpp_compressed:.2}, \
+             \"bytes_per_posting_uncompressed\": {bpp_uncompressed:.2},\n      \
+             \"index_artifact_bytes_compressed\": {artifact_compressed}, \
+             \"index_artifact_bytes_uncompressed\": {artifact_uncompressed},\n      \
+             \"rss_bytes\": {rss}, \"peak_rss_bytes\": {peak_rss},\n      \"results\": [\n{}\n      ]\n    }}",
             preset.name,
             preset.users,
             preset.tags,
@@ -408,7 +511,7 @@ fn emit_query_report(_c: &mut Criterion) {
 
     let json = format!(
         "{{\n  \"bench\": \"query_throughput\",\n  \"threads\": 1,\n  \"paths\": \
-         [\"reference_exhaustive\", \"maxscore\", \"blockmax\", \"sharded4\"],\n  \"presets\": [\n{}\n  ]\n}}\n",
+         [\"reference_exhaustive\", \"maxscore\", \"blockmax\", \"compressed\", \"sharded4\"],\n  \"presets\": [\n{}\n  ]\n}}\n",
         preset_jsons.join(",\n"),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query.json");

@@ -194,6 +194,462 @@ impl<'a> ResourceVectorRef<'a> {
     }
 }
 
+/// Compressed block postings: the hot, cache-dense mirror of the posting
+/// arrays the [`crate::query::PruningStrategy::CompressedBlockMax`] path
+/// streams instead of `post_ids`/`post_scores`.
+///
+/// Blocks share the global block index space of `block_max` (concept `l`
+/// owns blocks `block_offsets[l]..block_offsets[l+1]`). Per block of up
+/// to [`BLOCK_LEN`] postings:
+///
+/// * **ids** are frame-of-reference coded: `blk_base` holds the block's
+///   minimum resource id and `packed_ids` stores `id - base` for each
+///   posting at the block's fixed bit width `blk_bits` (the width of the
+///   largest delta; 0 when all ids in the block are equal). Ids within a
+///   block are impact-ordered, *not* monotone, which is why deltas are
+///   taken against the block minimum rather than the previous id. Every
+///   block's packed run starts at a byte boundary (`blk_pack_start`).
+/// * **impacts** are 8-bit quantized *upper bounds*: posting `j` with
+///   quantized value `q = quant[j]` satisfies
+///   `blk_offset + blk_scale · q ≥ post_scores[j]` (evaluated exactly as
+///   written, in f64 after widening the f32 block constants). The query
+///   path uses the dequantized value only to *reject* candidates; every
+///   accumulated contribution reads the exact f64 impact, which is what
+///   keeps compressed results bit-identical to the uncompressed paths.
+///
+/// `packed_ids` carries 8 zero guard bytes past the last used byte so
+/// the decoder can always issue an unaligned 8-byte load, branch-free.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CompressedPostings {
+    /// Per-block minimum resource id (the frame of reference).
+    pub blk_base: Slab<u32>,
+    /// Per-block packed bit width, `0..=32`.
+    pub blk_bits: Slab<u8>,
+    /// Per-block quantization scale (f32, widened to f64 at use).
+    pub blk_scale: Slab<f32>,
+    /// Per-block quantization offset (f32, widened to f64 at use).
+    pub blk_offset: Slab<f32>,
+    /// Byte offset of each block's packed run inside `packed_ids`;
+    /// `n_blocks + 1` entries, monotone, last = used bytes (excluding
+    /// the guard bytes).
+    pub blk_pack_start: Slab<u64>,
+    /// Per-posting 8-bit quantized impact (upper bound when dequantized).
+    pub quant: Slab<u8>,
+    /// Bit-packed id deltas, plus 8 zero guard bytes.
+    pub packed_ids: Slab<u8>,
+}
+
+impl CompressedPostings {
+    /// Number of blocks described.
+    pub fn num_blocks(&self) -> usize {
+        self.blk_base.len()
+    }
+
+    /// Decodes the bit-packed resource ids of global block `blk`
+    /// (holding `len ≤ BLOCK_LEN` postings) into `out[..len]`.
+    /// `wrapping_add` keeps a hostile id payload free of arithmetic
+    /// panics; the reads themselves rely on the pack-run-chain + guard
+    /// invariant (see [`window_unchecked`]), which the persist
+    /// validator establishes on a loaded section before its first
+    /// decode and then uses to reject any section whose decoded ids
+    /// differ from the exact id array.
+    #[inline]
+    pub fn decode_block_ids(&self, blk: usize, len: usize, out: &mut [u32]) {
+        let base = self.blk_base[blk];
+        let bits = self.blk_bits[blk] as usize;
+        let out = &mut out[..len];
+        if bits == 0 {
+            out.fill(base);
+            return;
+        }
+        let bytes = &self.packed_ids[self.blk_pack_start[blk] as usize..];
+        if unpack_simd_if_supported(bytes, bits, base, out) {
+            return;
+        }
+        let mask = (1u64 << bits) - 1;
+        // Each 8-byte window starting at bit `b` holds every bit of the
+        // `g` ids beginning there as long as `(b & 7) + g·bits ≤ 64`, so
+        // narrow widths decode several ids per unaligned load — the
+        // iterations stay independent (no reservoir carry), which keeps
+        // the loads pipelined, and the group factor divides the
+        // bounds-check count. The guard bytes past the packed run keep
+        // every window in bounds.
+        // Monomorphized per group size so each inner loop unrolls to
+        // straight-line code instead of a runtime-bounded loop.
+        match bits {
+            ..=14 => unpack_grouped::<4>(bytes, bits, mask, base, out),
+            15..=19 => unpack_grouped::<3>(bytes, bits, mask, base, out),
+            20..=28 => unpack_grouped::<2>(bytes, bits, mask, base, out),
+            _ => unpack_grouped::<1>(bytes, bits, mask, base, out),
+        }
+    }
+
+    /// Streams the decoded ids of block `blk` (holding `len ≤ BLOCK_LEN`
+    /// postings) to `f(j, id)` without materializing them — the scan
+    /// paths that consume each id exactly once (slot-map probes,
+    /// gated admission) fuse the decode into their own loop and skip
+    /// the staging-buffer round-trip. Same grouped windows (and the
+    /// same read-safety invariant) as [`Self::decode_block_ids`].
+    #[inline]
+    pub fn for_each_block_id(&self, blk: usize, len: usize, mut f: impl FnMut(usize, u32)) {
+        let base = self.blk_base[blk];
+        let bits = self.blk_bits[blk] as usize;
+        if bits == 0 {
+            for j in 0..len {
+                f(j, base);
+            }
+            return;
+        }
+        let bytes = &self.packed_ids[self.blk_pack_start[blk] as usize..];
+        // The wide widths decode fastest through the vector kernel even
+        // with a stack staging hop: 8 ids per shuffle beats 2–3 ids per
+        // scalar window by enough to pay for the L1 round-trip.
+        let mut buf = [0u32; BLOCK_LEN];
+        if unpack_simd_if_supported(bytes, bits, base, &mut buf[..len]) {
+            for (j, &r) in buf[..len].iter().enumerate() {
+                f(j, r);
+            }
+            return;
+        }
+        let mask = (1u64 << bits) - 1;
+        match bits {
+            ..=14 => stream_grouped::<4>(bytes, bits, mask, base, len, f),
+            15..=19 => stream_grouped::<3>(bytes, bits, mask, base, len, f),
+            20..=28 => stream_grouped::<2>(bytes, bits, mask, base, len, f),
+            _ => stream_grouped::<1>(bytes, bits, mask, base, len, f),
+        }
+    }
+}
+
+/// One unaligned 8-byte little-endian load at bit offset `bit` of
+/// `bytes`, shifted so the value starting at `bit` sits at bit 0. This
+/// is the only memory access in the hot decode loops, so it skips the
+/// slice bounds check.
+///
+/// # Safety
+///
+/// `(bit >> 3) + 8 ≤ bytes.len()` must hold. Callers pass a block's
+/// packed run with everything after it in the id stream, and only form
+/// windows starting inside the run (`bit < len·bits`); the run is
+/// always followed by at least 8 readable bytes because
+/// [`compress_postings`] appends 8 zero guard bytes after the final
+/// run, and the persist validator re-establishes the identical
+/// pack-run-chain + guard-tail invariant on every loaded artifact
+/// before its first decode.
+#[inline]
+unsafe fn window_unchecked(bytes: &[u8], bit: usize) -> u64 {
+    let byte = bit >> 3;
+    debug_assert!(byte + 8 <= bytes.len());
+    u64::from_le_bytes(unsafe { bytes.as_ptr().add(byte).cast::<[u8; 8]>().read_unaligned() })
+        >> (bit & 7)
+}
+
+/// Unpacks `out.len()` bit-packed values of width `bits` from `bytes`,
+/// adding `base` to each, reading `G` values per 8-byte window. Each
+/// window starting at bit `b` holds every bit of the `G` values
+/// beginning there as long as `(b & 7) + G·bits ≤ 64`, so narrow widths
+/// decode several ids per unaligned load — the windows stay independent
+/// (no reservoir carry), which keeps the loads pipelined, and the group
+/// factor divides the bounds-check count. The guard bytes past the
+/// packed run keep every window in bounds.
+#[inline]
+fn unpack_grouped<const G: usize>(
+    bytes: &[u8],
+    bits: usize,
+    mask: u64,
+    base: u32,
+    out: &mut [u32],
+) {
+    debug_assert!(7 + G * bits <= 64);
+    let window = |bit: usize| -> u64 { unsafe { window_unchecked(bytes, bit) } };
+    let done = out.len() / G * G;
+    let mut chunks = out.chunks_exact_mut(G);
+    for (i, chunk) in chunks.by_ref().enumerate() {
+        let mut w = window(i * G * bits);
+        for slot in chunk {
+            *slot = base.wrapping_add((w & mask) as u32);
+            w >>= bits;
+        }
+    }
+    for (j, slot) in chunks.into_remainder().iter_mut().enumerate() {
+        *slot = base.wrapping_add((window((done + j) * bits) & mask) as u32);
+    }
+}
+
+/// Closure-consuming sibling of [`unpack_grouped`]: identical window
+/// walk, but each value goes to `f(j, id)` instead of a slice slot.
+#[inline]
+fn stream_grouped<const G: usize>(
+    bytes: &[u8],
+    bits: usize,
+    mask: u64,
+    base: u32,
+    len: usize,
+    mut f: impl FnMut(usize, u32),
+) {
+    debug_assert!(7 + G * bits <= 64);
+    let window = |bit: usize| -> u64 { unsafe { window_unchecked(bytes, bit) } };
+    let mut j = 0;
+    while j + G <= len {
+        let mut w = window(j * bits);
+        for g in 0..G {
+            f(j + g, base.wrapping_add((w & mask) as u32));
+            w >>= bits;
+        }
+        j += G;
+    }
+    while j < len {
+        f(j, base.wrapping_add((window(j * bits) & mask) as u32));
+        j += 1;
+    }
+}
+
+/// Decodes `out.len()` ids through the AVX2 kernel when the width is in
+/// its supported range and the CPU has the feature, returning whether it
+/// ran. Callers fall back to the scalar grouped windows on `false`, so
+/// the vector path is a pure mirror of the scalar one: same inputs, same
+/// ids, verified bit-for-bit by `simd_unpack_matches_scalar` below and by
+/// every equivalence / persist-validator decode on wide-width datasets.
+///
+/// The same pack-run-chain + guard-tail invariant that backs
+/// [`window_unchecked`] makes the vector loads sound — see
+/// [`simd::unpack`] for the width-range derivation.
+#[inline]
+fn unpack_simd_if_supported(bytes: &[u8], bits: usize, base: u32, out: &mut [u32]) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    if (simd::MIN_BITS..=simd::MAX_BITS).contains(&bits)
+        && std::arch::is_x86_feature_detected!("avx2")
+    {
+        // SAFETY: feature checked above; the byte-range invariant is the
+        // callers' (established at build by `compress_postings`, on load
+        // by the persist validator — see `window_unchecked`).
+        unsafe { simd::unpack(bytes, bits, base, out) };
+        return true;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = (bytes, bits, base, out);
+    false
+}
+
+/// AVX2 bit-unpack kernel for the mid/wide widths where the scalar
+/// grouped windows drop to 2–3 ids per load: one `vpshufb` byte-gather
+/// plus a per-lane variable shift decodes 8 ids per iteration.
+#[cfg(target_arch = "x86_64")]
+mod simd {
+    use super::window_unchecked;
+    use core::arch::x86_64::*;
+
+    /// Narrowest width the kernel accepts. Below 15 bits the final
+    /// group's high-lane load could outrun the 8 guard bytes (see the
+    /// derivation on [`unpack`]) — and the scalar 4-per-window tier is
+    /// at its best there anyway.
+    pub const MIN_BITS: usize = 15;
+    /// Widest width the kernel accepts: a dword lane must hold a whole
+    /// value after its sub-byte shift, i.e. `7 + bits ≤ 32`.
+    pub const MAX_BITS: usize = 25;
+
+    /// Per-width shuffle control and per-lane shift counts. Groups of 8
+    /// ids start at bit `8g·bits` — always byte-aligned — so lane 0's
+    /// phase is 0 and lane 1's (loaded at byte `4·bits >> 3`) is the
+    /// fixed `4·bits & 7`; dword `i` of a lane gathers the 4 bytes
+    /// covering its value and then shifts by `(phase + i·bits) & 7`.
+    const fn ctrl(bits: usize) -> ([u8; 32], [u32; 8]) {
+        let mut shuf = [0u8; 32];
+        let mut shift = [0u32; 8];
+        let mut lane = 0;
+        while lane < 2 {
+            let phase = if lane == 0 { 0 } else { (4 * bits) & 7 };
+            let mut i = 0;
+            while i < 4 {
+                let bit = phase + i * bits;
+                shift[lane * 4 + i] = (bit & 7) as u32;
+                let mut k = 0;
+                while k < 4 {
+                    shuf[lane * 16 + i * 4 + k] = ((bit >> 3) + k) as u8;
+                    k += 1;
+                }
+                i += 1;
+            }
+            lane += 1;
+        }
+        (shuf, shift)
+    }
+
+    const CTRL: [([u8; 32], [u32; 8]); MAX_BITS + 1] = {
+        let mut t = [([0u8; 32], [0u32; 8]); MAX_BITS + 1];
+        let mut w = MIN_BITS;
+        while w <= MAX_BITS {
+            t[w] = ctrl(w);
+            w += 1;
+        }
+        t
+    };
+
+    /// Decodes `out.len()` values of width `bits ∈ [MIN_BITS, MAX_BITS]`
+    /// from the packed run at `bytes`, adding `base` (wrapping, like the
+    /// scalar path) to each. Groups of 8 go through the vector pipe; the
+    /// tail reuses the scalar window.
+    ///
+    /// # Safety
+    ///
+    /// Caller must uphold the [`window_unchecked`] invariant (the run is
+    /// followed by at least 8 readable bytes) and have verified AVX2.
+    /// Each iteration issues two 16-byte loads; the later one, for group
+    /// `g` of `n = out.len()` values, ends at byte
+    /// `g·bits + (4·bits >> 3) + 16` with `g ≤ n/8 − 1`, which stays
+    /// within `ceil(n·bits/8) + 8` exactly when `ceil(bits/2) ≥ 8` —
+    /// hence the `MIN_BITS` floor of 15.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn unpack(bytes: &[u8], bits: usize, base: u32, out: &mut [u32]) {
+        debug_assert!((MIN_BITS..=MAX_BITS).contains(&bits));
+        let (shuf_ctrl, shift_ctrl) = &CTRL[bits];
+        let shuf = _mm256_loadu_si256(shuf_ctrl.as_ptr() as *const __m256i);
+        let shift = _mm256_loadu_si256(shift_ctrl.as_ptr() as *const __m256i);
+        let maskv = _mm256_set1_epi32(((1u32 << bits) - 1) as i32);
+        let basev = _mm256_set1_epi32(base as i32);
+        let len = out.len();
+        let hi_off = (4 * bits) >> 3;
+        let src = bytes.as_ptr();
+        let dst = out.as_mut_ptr();
+        let mut g = 0;
+        while (g + 1) * 8 <= len {
+            let lo = src.add(g * bits);
+            let v = _mm256_loadu2_m128i(lo.add(hi_off) as *const __m128i, lo as *const __m128i);
+            let v = _mm256_shuffle_epi8(v, shuf);
+            let v = _mm256_srlv_epi32(v, shift);
+            let v = _mm256_and_si256(v, maskv);
+            let v = _mm256_add_epi32(v, basev);
+            _mm256_storeu_si256(dst.add(g * 8) as *mut __m256i, v);
+            g += 1;
+        }
+        let mask = (1u64 << bits) - 1;
+        for (j, slot) in out.iter_mut().enumerate().skip(g * 8) {
+            *slot = base.wrapping_add((window_unchecked(bytes, j * bits) & mask) as u32);
+        }
+    }
+}
+
+/// Derives the compressed block mirror from impact-ordered SoA posting
+/// arrays. This is the single source of the compressed layout: the index
+/// build, the v1/uncompressed-artifact load paths, and shard
+/// partitioning all route through it, so `CompressedBlockMax` is
+/// available on every index regardless of provenance.
+pub(crate) fn compress_postings(
+    num_concepts: usize,
+    post_offsets: &[u64],
+    post_ids: &[u32],
+    post_scores: &[f64],
+) -> CompressedPostings {
+    let n_postings = post_ids.len();
+    let n_blocks: usize = (0..num_concepts)
+        .map(|l| ((post_offsets[l + 1] - post_offsets[l]) as usize).div_ceil(BLOCK_LEN))
+        .sum();
+    let mut blk_base = Vec::with_capacity(n_blocks);
+    let mut blk_bits = Vec::with_capacity(n_blocks);
+    let mut blk_scale = Vec::with_capacity(n_blocks);
+    let mut blk_offset = Vec::with_capacity(n_blocks);
+    let mut blk_pack_start = Vec::with_capacity(n_blocks + 1);
+    let mut quant = Vec::with_capacity(n_postings);
+    let mut packed: Vec<u8> = Vec::new();
+    blk_pack_start.push(0u64);
+    for l in 0..num_concepts {
+        let hi = post_offsets[l + 1] as usize;
+        let mut b = post_offsets[l] as usize;
+        while b < hi {
+            let e = (b + BLOCK_LEN).min(hi);
+            let ids = &post_ids[b..e];
+            let base = ids.iter().copied().min().unwrap();
+            let max_delta = ids.iter().map(|&r| r - base).max().unwrap();
+            let bits = (32 - max_delta.leading_zeros()) as usize;
+            blk_base.push(base);
+            blk_bits.push(bits as u8);
+            pack_block_ids(&mut packed, ids, base, bits);
+            blk_pack_start.push(packed.len() as u64);
+            let (scale, offset) = quantize_block(&post_scores[b..e], &mut quant);
+            blk_scale.push(scale);
+            blk_offset.push(offset);
+            b = e;
+        }
+    }
+    packed.extend_from_slice(&[0u8; 8]);
+    CompressedPostings {
+        blk_base: blk_base.into(),
+        blk_bits: blk_bits.into(),
+        blk_scale: blk_scale.into(),
+        blk_offset: blk_offset.into(),
+        blk_pack_start: blk_pack_start.into(),
+        quant: quant.into(),
+        packed_ids: packed.into(),
+    }
+}
+
+/// Appends one block's `id - base` deltas at the fixed `bits` width.
+fn pack_block_ids(out: &mut Vec<u8>, ids: &[u32], base: u32, bits: usize) {
+    if bits == 0 {
+        return;
+    }
+    let start = out.len();
+    out.resize(start + (ids.len() * bits).div_ceil(8), 0);
+    let bytes = &mut out[start..];
+    let mut bitpos = 0usize;
+    for &r in ids {
+        let byte = bitpos >> 3;
+        let shift = bitpos & 7;
+        // shift + bits ≤ 7 + 32 < 64, so the shifted delta fits in u64.
+        let v = (((r - base) as u64) << shift).to_le_bytes();
+        for (i, vb) in v.iter().take((shift + bits).div_ceil(8)).enumerate() {
+            bytes[byte + i] |= vb;
+        }
+        bitpos += bits;
+    }
+}
+
+/// Largest f32 whose f64 widening does not exceed `x` (for `x ≥ 0`).
+fn f32_at_most(x: f64) -> f32 {
+    let mut v = x as f32;
+    while (v as f64) > x {
+        // v widened above a non-negative x, so v is strictly positive
+        // and finite: stepping its bit pattern down moves toward 0.
+        v = f32::from_bits(v.to_bits() - 1);
+    }
+    v
+}
+
+/// Quantizes one block of exact impacts to 8-bit per-posting upper
+/// bounds, appending to `quant`; returns the block's `(scale, offset)`.
+/// The contract — `offset + scale · q ≥ score`, evaluated in f64 — is
+/// enforced per posting by construction (and re-checked by the persist
+/// validator on load). Non-finite impacts (possible only from hostile
+/// v1 artifacts, which the persist validator rejects after this runs)
+/// saturate harmlessly instead of panicking.
+fn quantize_block(scores: &[f64], quant: &mut Vec<u8>) -> (f32, f32) {
+    // Impact order: the block's max is its first score, min its last.
+    let max = scores[0];
+    let min = *scores.last().unwrap();
+    let offset = f32_at_most(min);
+    let mut scale = ((max - offset as f64) / 255.0) as f32;
+    // Nearest-rounding of the division may undershoot; bump until the
+    // top of the quantized range covers the block max (≤ 2 steps).
+    while (offset as f64) + (scale as f64) * 255.0 < max {
+        scale = f32::from_bits(scale.to_bits() + 1);
+    }
+    for &s in scores {
+        let mut q = if scale == 0.0 {
+            // Loop exit above proved offset ≥ max, so q = 0 covers all.
+            0u8
+        } else {
+            (((s - offset as f64) / scale as f64).ceil()).clamp(0.0, 255.0) as u8
+        };
+        // The f64 division can still undershoot by an ulp; restore the
+        // per-posting bound exactly as the query path evaluates it.
+        while q < 255 && (offset as f64) + (scale as f64) * (q as f64) < s {
+            q += 1;
+        }
+        quant.push(q);
+    }
+    (scale, offset)
+}
+
 /// The raw SoA arrays of an index — the unit the persist layer serializes
 /// and the zero-copy loader reconstructs. Offsets are `u64` so the
 /// in-memory shape matches the on-disk shape exactly.
@@ -243,6 +699,10 @@ pub struct ConceptIndex {
     /// Per-posting-list maximum impact (MaxScore upper-bound metadata);
     /// 0 for empty lists.
     max_impact: Slab<f64>,
+    /// Compressed hot mirror of the posting arrays (bit-packed ids,
+    /// quantized impact bounds), always present — derived at build/load
+    /// or restored verbatim from a compressed artifact.
+    compressed: CompressedPostings,
 }
 
 impl ConceptIndex {
@@ -386,6 +846,7 @@ impl ConceptIndex {
             max_impact.push(list.first().map_or(0.0, |&(_, w)| w));
         }
 
+        let compressed = compress_postings(num_concepts, &post_offsets, &post_ids, &post_scores);
         ConceptIndex {
             num_resources,
             num_concepts,
@@ -400,6 +861,7 @@ impl ConceptIndex {
             block_offsets: block_offsets.into(),
             block_max: block_max.into(),
             max_impact: max_impact.into(),
+            compressed,
         }
     }
 
@@ -411,6 +873,11 @@ impl ConceptIndex {
     /// answers queries bit-identically to the one that was saved. The
     /// caller (the deserializer) is responsible for structural validation;
     /// this constructor only debug-asserts shapes.
+    ///
+    /// `compressed` is `Some` when the artifact carried a compressed
+    /// posting section (restored verbatim, zero-copy capable); `None`
+    /// rederives the compressed mirror from the exact arrays, so every
+    /// restored index serves `CompressedBlockMax` either way.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_soa_parts(
         num_resources: usize,
@@ -426,6 +893,7 @@ impl ConceptIndex {
         block_offsets: Slab<u64>,
         block_max: Slab<f64>,
         max_impact: Slab<f64>,
+        compressed: Option<CompressedPostings>,
     ) -> Self {
         debug_assert_eq!(idf.len(), num_concepts);
         debug_assert_eq!(resource_norms.len(), num_resources);
@@ -435,6 +903,11 @@ impl ConceptIndex {
         debug_assert_eq!(post_ids.len(), post_scores.len());
         debug_assert_eq!(block_offsets.len(), num_concepts + 1);
         debug_assert_eq!(max_impact.len(), num_concepts);
+        let compressed = compressed.unwrap_or_else(|| {
+            compress_postings(num_concepts, &post_offsets, &post_ids, &post_scores)
+        });
+        debug_assert_eq!(compressed.num_blocks(), block_max.len());
+        debug_assert_eq!(compressed.quant.len(), post_ids.len());
         ConceptIndex {
             num_resources,
             num_concepts,
@@ -449,6 +922,7 @@ impl ConceptIndex {
             block_offsets,
             block_max,
             max_impact,
+            compressed,
         }
     }
 
@@ -535,6 +1009,54 @@ impl ConceptIndex {
     /// Maximum impact in a concept's posting list (0 if empty).
     pub fn max_impact(&self, concept: usize) -> f64 {
         self.max_impact[concept]
+    }
+
+    /// The compressed hot mirror of the posting arrays.
+    pub(crate) fn compressed(&self) -> &CompressedPostings {
+        &self.compressed
+    }
+
+    /// Global index of a concept's first block (its block-maxima slice
+    /// and its compressed per-block metadata start here).
+    pub(crate) fn first_block(&self, concept: usize) -> usize {
+        self.block_offsets[concept] as usize
+    }
+
+    /// Offset of a concept's first posting in the flat posting arrays
+    /// (indexes the per-posting `quant` array of the compressed mirror).
+    pub(crate) fn posting_start(&self, concept: usize) -> usize {
+        self.post_offsets[concept] as usize
+    }
+
+    /// Decodes the bit-packed resource ids of global block `blk` into
+    /// `out[..len]` (see [`CompressedPostings::decode_block_ids`]).
+    #[inline]
+    pub(crate) fn decode_block_ids(&self, blk: usize, len: usize, out: &mut [u32]) {
+        self.compressed.decode_block_ids(blk, len, out)
+    }
+
+    /// Bytes the compressed query path keeps hot per steady-state scan:
+    /// packed ids, quantized impacts, and the per-block metadata. The
+    /// exact `post_ids`/`post_scores` arrays (the rescore side) and the
+    /// shared `block_max` bounds are excluded, mirroring how
+    /// [`Self::uncompressed_hot_bytes`] counts only the id/score
+    /// streams.
+    pub fn compressed_hot_bytes(&self) -> usize {
+        let c = &self.compressed;
+        c.packed_ids.len()
+            + c.quant.len()
+            + c.blk_base.len() * std::mem::size_of::<u32>()
+            + c.blk_bits.len()
+            + c.blk_scale.len() * std::mem::size_of::<f32>()
+            + c.blk_offset.len() * std::mem::size_of::<f32>()
+            + c.blk_pack_start.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Bytes the uncompressed paths stream per steady-state scan: the
+    /// exact id and impact arrays (12 bytes per posting).
+    pub fn uncompressed_hot_bytes(&self) -> usize {
+        self.post_ids.len() * std::mem::size_of::<u32>()
+            + self.post_scores.len() * std::mem::size_of::<f64>()
     }
 
     /// Maps query tags to a [`PreparedQuery`]: each tag occurrence counts
@@ -897,6 +1419,86 @@ mod tests {
     }
 
     #[test]
+    fn compressed_blocks_decode_exactly_and_bound_impacts() {
+        // Multi-block lists: decoded ids must equal the exact id array
+        // bitwise, every dequantized impact must dominate its exact
+        // impact, and the byte layout must honor the pack offsets.
+        let mut b = FolksonomyBuilder::new();
+        for r in 0..517 {
+            b.add("u1", "t", &format!("r{r}"));
+            if r % 3 == 0 {
+                b.add("u2", "other", &format!("r{r}"));
+            }
+            if r % 7 == 0 {
+                b.add("u3", "t", &format!("r{r}"));
+            }
+        }
+        let f = b.build();
+        let concepts = ConceptModel::from_assignments(vec![0, 1], 1.0);
+        let index = ConceptIndex::build(&f, &concepts);
+        let c = index.compressed();
+        assert_eq!(c.num_blocks(), index.block_max.len());
+        assert_eq!(c.quant.len(), index.num_postings());
+        assert_eq!(c.blk_pack_start.len(), c.num_blocks() + 1);
+        assert_eq!(
+            *c.blk_pack_start.last().unwrap() as usize + 8,
+            c.packed_ids.len(),
+            "pack offsets must end at the guard bytes"
+        );
+        let mut buf = [0u32; BLOCK_LEN];
+        for l in 0..index.num_concepts() {
+            let list = index.postings(l);
+            let first_blk = index.block_offsets[l] as usize;
+            let base_post = index.post_offsets[l] as usize;
+            for local in 0..list.len().div_ceil(BLOCK_LEN) {
+                let lo = local * BLOCK_LEN;
+                let hi = (lo + BLOCK_LEN).min(list.len());
+                let blk = first_blk + local;
+                index.decode_block_ids(blk, hi - lo, &mut buf);
+                assert_eq!(&buf[..hi - lo], &list.ids[lo..hi], "block {blk}");
+                let scale = c.blk_scale[blk] as f64;
+                let offset = c.blk_offset[blk] as f64;
+                for j in lo..hi {
+                    let q = c.quant[base_post + j] as f64;
+                    assert!(
+                        offset + scale * q >= list.scores[j],
+                        "dequantized bound must dominate exact impact \
+                         (block {blk}, posting {j})"
+                    );
+                }
+                assert!(c.blk_bits[blk] <= 32);
+            }
+        }
+        // Hot footprint: strictly below the 12 B/posting exact streams
+        // (and below the 4 B/posting acceptance target on this corpus).
+        assert!(index.compressed_hot_bytes() < index.uncompressed_hot_bytes());
+        assert!(index.compressed_hot_bytes() <= 4 * index.num_postings());
+    }
+
+    #[test]
+    fn compression_handles_degenerate_blocks() {
+        // Single-posting lists (width-0 blocks, scale-0 quantization) and
+        // an empty concept must compress without panicking.
+        let mut b = FolksonomyBuilder::new();
+        b.add("u1", "only", "r5");
+        b.add("u1", "pair", "r5");
+        b.add("u2", "pair", "r9");
+        let f = b.build();
+        let concepts = ConceptModel::from_assignments(vec![0, 1], 1.0);
+        let index = ConceptIndex::build(&f, &concepts);
+        let mut buf = [0u32; BLOCK_LEN];
+        for l in 0..index.num_concepts() {
+            let list = index.postings(l);
+            if list.is_empty() {
+                continue;
+            }
+            let blk = index.block_offsets[l] as usize;
+            index.decode_block_ids(blk, list.len(), &mut buf);
+            assert_eq!(&buf[..list.len()], list.ids);
+        }
+    }
+
+    #[test]
     fn prepared_terms_follow_maxscore_order() {
         let (f, concepts) = corpus();
         let index = ConceptIndex::build(&f, &concepts);
@@ -943,5 +1545,46 @@ mod tests {
         let ranked = index.query_tag_ids(&concepts, &[niche], 0);
         assert_eq!(ranked.len(), 1);
         assert_eq!(f.resource_name(ranked[0].resource), "r2");
+    }
+
+    /// The AVX2 unpack kernel must reproduce the scalar grouped-window
+    /// decode bit-for-bit at every width it accepts, including partial
+    /// blocks and the worst-case buffer layout (exactly 8 guard bytes
+    /// after the final run, as `compress_postings` emits).
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn simd_unpack_matches_scalar() {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            return;
+        }
+        let mut rng = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for bits in simd::MIN_BITS..=simd::MAX_BITS {
+            for len in [1usize, 7, 8, 9, 37, 61, 63, 64] {
+                let base = (next() as u32) & 0x00FF_FFFF;
+                let ids: Vec<u32> = (0..len)
+                    .map(|_| base.wrapping_add((next() as u32) & ((1u32 << bits) - 1)))
+                    .collect();
+                let mut packed = Vec::new();
+                pack_block_ids(&mut packed, &ids, base, bits);
+                packed.extend_from_slice(&[0u8; 8]);
+                let mut scalar = vec![0u32; len];
+                unpack_grouped::<2>(&packed, bits, (1u64 << bits) - 1, base, &mut scalar);
+                assert_eq!(scalar, ids, "scalar decode broken at bits={bits} len={len}");
+                let mut vector = vec![0u32; len];
+                // SAFETY: avx2 verified above; the run is followed by
+                // exactly the 8 guard bytes the kernel's derivation needs.
+                unsafe { simd::unpack(&packed, bits, base, &mut vector) };
+                assert_eq!(
+                    vector, scalar,
+                    "simd decode diverges at bits={bits} len={len}"
+                );
+            }
+        }
     }
 }

@@ -18,7 +18,7 @@
 //!
 //! ```text
 //! header   8 B  magic             = "CUBELSI\0"
-//!          4 B  format version    (u32, currently 2)
+//!          4 B  format version    (u32, currently 3)
 //!          4 B  section count     (u32)
 //! table    per section, 24 B:
 //!          4 B  section id        (u32, see SECTION_* constants)
@@ -74,6 +74,34 @@
 //! path removes is the per-posting materialization, not that safety
 //! pass.
 //!
+//! ## The compressed index section (format v3)
+//!
+//! [`save_to_vec_with`] with `compress = true` stamps format version 3
+//! and appends [`SECTION_INDEX_COMPRESSED`]: the bit-packed /
+//! 8-bit-quantized mirror of the posting arrays that the
+//! `CompressedBlockMax` strategy streams (see `crate::index`). Layout:
+//!
+//! ```text
+//! u64 × 4  n_blocks, n_postings, packed_len (incl. 8 guard bytes),
+//!          block_len (= 64)
+//! then, each array 8-aligned from the payload start:
+//!   blk_pack_start  u64 × (n_blocks + 1)
+//!   blk_base        u32 × n_blocks
+//!   blk_scale       f32 × n_blocks
+//!   blk_offset      f32 × n_blocks
+//!   blk_bits        u8  × n_blocks
+//!   quant           u8  × n_postings
+//!   packed_ids      u8  × packed_len
+//! ```
+//!
+//! The section is a *mirror*, not a replacement: the exact SoA section
+//! is always present, and the loader proves the mirror honest against it
+//! — decoded ids must equal `post_ids` bitwise and every dequantized
+//! impact must upper-bound its exact impact — before the index may
+//! serve. Without the section (or the flag) the writer emits bytes
+//! identical to format v2, and loaders of either version rederive the
+//! mirror from the exact arrays.
+//!
 //! Format-v1 files (per-posting pair encoding in section id 6) are still
 //! readable; v1 artifacts load through the legacy decoder into the same
 //! SoA in-memory layout.
@@ -103,7 +131,7 @@ use cubelsi_tensor::{DenseTensor3, TuckerDecomposition};
 
 use crate::concepts::ConceptModel;
 use crate::distance::TagDistances;
-use crate::index::{ConceptIndex, BLOCK_LEN};
+use crate::index::{CompressedPostings, ConceptIndex, BLOCK_LEN};
 use crate::pipeline::{CubeLsi, PhaseTimings};
 use crate::slab::{AlignedBytes, Pod, Slab};
 
@@ -113,7 +141,7 @@ pub const MAGIC: [u8; 8] = *b"CUBELSI\0";
 /// Current artifact format version. Bump on any layout change; readers
 /// reject files from the future with [`PersistError::UnsupportedVersion`]
 /// and keep reading all older versions.
-pub const FORMAT_VERSION: u32 = 2;
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Byte length of the fixed file header (magic + version + count).
 pub const HEADER_LEN: usize = 16;
@@ -130,9 +158,15 @@ const SECTION_CONCEPTS: u32 = 5;
 const SECTION_INDEX_V1: u32 = 6;
 /// The SoA index section written by format v2.
 pub const SECTION_INDEX_SOA: u32 = 7;
+/// The compressed posting mirror written by format v3 when compression
+/// is requested (optional; always accompanied by [`SECTION_INDEX_SOA`]).
+pub const SECTION_INDEX_COMPRESSED: u32 = 8;
 
 /// Number of `u64` fields in the SoA index section header.
 const SOA_HEADER_FIELDS: usize = 6;
+
+/// Number of `u64` fields in the compressed index section header.
+const COMPRESSED_HEADER_FIELDS: usize = 4;
 
 /// Errors raised while saving or loading an artifact. Loading never
 /// panics: every failure mode of a hostile or damaged file maps to one of
@@ -317,6 +351,9 @@ impl Encoder {
     fn put_f64(&mut self, v: f64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
+    fn put_f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
     fn put_str(&mut self, s: &str) {
         self.put_u32(s.len() as u32);
         self.buf.extend_from_slice(s.as_bytes());
@@ -472,19 +509,37 @@ impl<'a> Decoder<'a> {
 // Save
 // ---------------------------------------------------------------------------
 
-/// Serializes a built engine and its corpus to the `.cubelsi` byte format.
+/// Serializes a built engine and its corpus to the `.cubelsi` byte
+/// format, without the compressed posting section (format v2 output,
+/// byte-identical to what previous releases wrote).
 pub fn save_to_vec(model: &CubeLsi, folksonomy: &Folksonomy) -> Vec<u8> {
-    assemble_file(
-        FORMAT_VERSION,
-        vec![
-            (SECTION_META, encode_meta(model, folksonomy)),
-            (SECTION_FOLKSONOMY, encode_folksonomy(folksonomy)),
-            (SECTION_TUCKER, encode_tucker(model.decomposition())),
-            (SECTION_DISTANCES, encode_distances(model.distances())),
-            (SECTION_CONCEPTS, encode_concepts(model.concepts())),
-            (SECTION_INDEX_SOA, encode_index_soa(model.index())),
-        ],
-    )
+    save_to_vec_with(model, folksonomy, false)
+}
+
+/// Serializes a built engine, optionally appending the compressed
+/// posting mirror ([`SECTION_INDEX_COMPRESSED`]). With `compress` the
+/// file is stamped format version 3; without it the output stays
+/// byte-identical to format v2, so artifacts written by the default path
+/// remain readable by older deployments.
+pub fn save_to_vec_with(model: &CubeLsi, folksonomy: &Folksonomy, compress: bool) -> Vec<u8> {
+    let mut sections = vec![
+        (SECTION_META, encode_meta(model, folksonomy)),
+        (SECTION_FOLKSONOMY, encode_folksonomy(folksonomy)),
+        (SECTION_TUCKER, encode_tucker(model.decomposition())),
+        (SECTION_DISTANCES, encode_distances(model.distances())),
+        (SECTION_CONCEPTS, encode_concepts(model.concepts())),
+        (SECTION_INDEX_SOA, encode_index_soa(model.index())),
+    ];
+    let version = if compress {
+        sections.push((
+            SECTION_INDEX_COMPRESSED,
+            encode_index_compressed(model.index()),
+        ));
+        FORMAT_VERSION
+    } else {
+        2
+    };
+    assemble_file(version, sections)
 }
 
 /// Lays out header + table + payloads, starting every payload at an
@@ -538,13 +593,23 @@ pub fn save_to_path(
     model: &CubeLsi,
     folksonomy: &Folksonomy,
 ) -> Result<(), PersistError> {
+    save_to_path_with(path, model, folksonomy, false)
+}
+
+/// [`save_to_path`] with the compression choice of [`save_to_vec_with`].
+pub fn save_to_path_with(
+    path: impl AsRef<Path>,
+    model: &CubeLsi,
+    folksonomy: &Folksonomy,
+    compress: bool,
+) -> Result<(), PersistError> {
     let path = path.as_ref();
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = std::path::PathBuf::from(tmp);
     let result = (|| {
         let mut file = std::fs::File::create(&tmp)?;
-        save(&mut file, model, folksonomy)?;
+        file.write_all(&save_to_vec_with(model, folksonomy, compress))?;
         file.sync_all()?;
         std::fs::rename(&tmp, path)?;
         Ok(())
@@ -686,6 +751,51 @@ fn encode_index_soa(ix: &ConceptIndex) -> Vec<u8> {
     e.buf
 }
 
+/// Encodes the compressed posting mirror: the 4-field header followed by
+/// the mirror's arrays, each 8-aligned relative to the payload start.
+fn encode_index_compressed(ix: &ConceptIndex) -> Vec<u8> {
+    let c = ix.compressed();
+    let mut e = Encoder::default();
+    e.put_usize(c.num_blocks());
+    e.put_usize(c.quant.len());
+    e.put_usize(c.packed_ids.len());
+    e.put_usize(BLOCK_LEN);
+    for &x in c.blk_pack_start.as_slice() {
+        e.put_u64(x);
+    }
+    for &x in c.blk_base.as_slice() {
+        e.put_u32(x);
+    }
+    e.pad_to_8();
+    for &x in c.blk_scale.as_slice() {
+        e.put_f32(x);
+    }
+    e.pad_to_8();
+    for &x in c.blk_offset.as_slice() {
+        e.put_f32(x);
+    }
+    e.pad_to_8();
+    e.buf.extend_from_slice(&c.blk_bits);
+    e.pad_to_8();
+    e.buf.extend_from_slice(&c.quant);
+    e.pad_to_8();
+    e.buf.extend_from_slice(&c.packed_ids);
+    e.pad_to_8();
+    e.buf
+}
+
+/// Serialized byte size of the index section(s) an artifact would carry
+/// for this index: the exact SoA section plus, with `compress`, the
+/// compressed mirror. Exposed so the query bench can report artifact
+/// footprint for synthetic indexes that have no full model around them.
+pub fn index_artifact_bytes(ix: &ConceptIndex, compress: bool) -> usize {
+    let mut n = encode_index_soa(ix).len();
+    if compress {
+        n += encode_index_compressed(ix).len();
+    }
+    n
+}
+
 // ---------------------------------------------------------------------------
 // SoA index section layout
 // ---------------------------------------------------------------------------
@@ -762,6 +872,52 @@ fn soa_layout(
     })
 }
 
+/// The computed layout of every array in the compressed index payload;
+/// same contract as [`SoaLayout`] (checked arithmetic, encoder field
+/// order is the source of truth).
+struct CompressedLayout {
+    blk_pack_start: ArraySpan,
+    blk_base: ArraySpan,
+    blk_scale: ArraySpan,
+    blk_offset: ArraySpan,
+    blk_bits: ArraySpan,
+    quant: ArraySpan,
+    packed_ids: ArraySpan,
+    total_len: usize,
+}
+
+fn compressed_layout(
+    n_blocks: usize,
+    n_postings: usize,
+    packed_len: usize,
+) -> Option<CompressedLayout> {
+    let mut cursor = COMPRESSED_HEADER_FIELDS.checked_mul(8)?;
+    let mut span = |elem_size: usize, len: usize| -> Option<ArraySpan> {
+        let offset = cursor;
+        let bytes = len.checked_mul(elem_size)?;
+        cursor = cursor.checked_add(bytes)?;
+        cursor = cursor.checked_add(7)? / 8 * 8;
+        Some(ArraySpan { offset, len })
+    };
+    let blk_pack_start = span(8, n_blocks.checked_add(1)?)?;
+    let blk_base = span(4, n_blocks)?;
+    let blk_scale = span(4, n_blocks)?;
+    let blk_offset = span(4, n_blocks)?;
+    let blk_bits = span(1, n_blocks)?;
+    let quant = span(1, n_postings)?;
+    let packed_ids = span(1, packed_len)?;
+    Some(CompressedLayout {
+        blk_pack_start,
+        blk_base,
+        blk_scale,
+        blk_offset,
+        blk_bits,
+        quant,
+        packed_ids,
+        total_len: cursor,
+    })
+}
+
 // ---------------------------------------------------------------------------
 // Load
 // ---------------------------------------------------------------------------
@@ -830,6 +986,7 @@ fn load_impl(bytes: &[u8], owner: Option<&Arc<AlignedBytes>>) -> Result<Artifact
             p,
             offset,
             owner,
+            find(SECTION_INDEX_COMPRESSED),
             meta.num_resources,
             concepts.num_concepts(),
         )?
@@ -1109,9 +1266,19 @@ fn bulk_owned<T: Pod + LeScalar>(bytes: &[u8]) -> Vec<T> {
         .collect()
 }
 
-/// LE decoding for the three SoA scalar shapes.
+/// LE decoding for the SoA and compressed-mirror scalar shapes.
 trait LeScalar: Sized {
     fn from_le_chunk(chunk: &[u8]) -> Self;
+}
+impl LeScalar for u8 {
+    fn from_le_chunk(c: &[u8]) -> Self {
+        c[0]
+    }
+}
+impl LeScalar for f32 {
+    fn from_le_chunk(c: &[u8]) -> Self {
+        f32::from_le_bytes(c.try_into().unwrap())
+    }
 }
 impl LeScalar for u32 {
     fn from_le_chunk(c: &[u8]) -> Self {
@@ -1133,6 +1300,7 @@ fn decode_index_soa(
     payload: &[u8],
     file_offset: usize,
     owner: Option<&Arc<AlignedBytes>>,
+    compressed_section: Option<(usize, &[u8])>,
     num_resources: usize,
     num_concepts: usize,
 ) -> Result<ConceptIndex, PersistError> {
@@ -1232,6 +1400,26 @@ fn decode_index_soa(
         &max_impact,
     )?;
 
+    // The compressed mirror, if present, is decoded only after the exact
+    // arrays passed validation: its own validator proves it honest
+    // *against* them (decoded ids bitwise-equal, dequantized impacts
+    // upper-bounding), so a hostile mirror can never make the compressed
+    // strategy disagree with the exact ones.
+    let compressed = compressed_section
+        .map(|(off, p)| {
+            let c = decode_index_compressed(p, off, owner)?;
+            validate_compressed_postings(
+                &c,
+                num_concepts,
+                &post_offsets,
+                &post_ids,
+                &post_scores,
+                n_blocks,
+            )?;
+            Ok::<_, PersistError>(c)
+        })
+        .transpose()?;
+
     Ok(ConceptIndex::from_soa_parts(
         num_resources,
         num_concepts,
@@ -1246,7 +1434,199 @@ fn decode_index_soa(
         block_offsets,
         block_max,
         max_impact,
+        compressed,
     ))
+}
+
+/// Decodes the compressed posting mirror's header and arrays (owned or
+/// borrowed from the file buffer). Structural honesty against the exact
+/// posting arrays is checked separately by
+/// [`validate_compressed_postings`].
+fn decode_index_compressed(
+    payload: &[u8],
+    file_offset: usize,
+    owner: Option<&Arc<AlignedBytes>>,
+) -> Result<CompressedPostings, PersistError> {
+    let err = |detail: String| PersistError::Malformed {
+        section: SECTION_INDEX_COMPRESSED,
+        detail,
+    };
+    if !file_offset.is_multiple_of(8) {
+        return Err(PersistError::MisalignedSection {
+            section: SECTION_INDEX_COMPRESSED,
+            offset: file_offset as u64,
+        });
+    }
+    if payload.len() < COMPRESSED_HEADER_FIELDS * 8 {
+        return Err(err(format!(
+            "payload of {} bytes is smaller than the {}-byte header",
+            payload.len(),
+            COMPRESSED_HEADER_FIELDS * 8
+        )));
+    }
+    let field = |i: usize| u64::from_le_bytes(payload[i * 8..(i + 1) * 8].try_into().unwrap());
+    let to_usize = |v: u64, what: &str| {
+        usize::try_from(v).map_err(|_| err(format!("{what} = {v} exceeds usize")))
+    };
+    let n_blocks = to_usize(field(0), "n_blocks")?;
+    let n_postings = to_usize(field(1), "n_postings")?;
+    let packed_len = to_usize(field(2), "packed_len")?;
+    let block_len = field(3);
+    if block_len != BLOCK_LEN as u64 {
+        return Err(err(format!(
+            "block length {block_len} != supported {BLOCK_LEN}"
+        )));
+    }
+    if packed_len < 8 {
+        return Err(err(format!(
+            "packed id stream of {packed_len} bytes lacks the 8 guard bytes"
+        )));
+    }
+    let layout = compressed_layout(n_blocks, n_postings, packed_len)
+        .ok_or_else(|| err("array layout overflows".to_owned()))?;
+    if layout.total_len != payload.len() {
+        return Err(err(format!(
+            "payload is {} bytes, layout requires {}",
+            payload.len(),
+            layout.total_len
+        )));
+    }
+
+    fn slab<T: Pod + LeScalar>(
+        payload: &[u8],
+        file_offset: usize,
+        owner: Option<&Arc<AlignedBytes>>,
+        span: ArraySpan,
+    ) -> Result<Slab<T>, PersistError> {
+        let bytes = &payload[span.offset..span.offset + span.len * std::mem::size_of::<T>()];
+        match owner {
+            None => Ok(Slab::Owned(bulk_owned(bytes))),
+            Some(arc) => Slab::borrowed(arc.clone(), file_offset + span.offset, span.len).ok_or(
+                PersistError::MisalignedSection {
+                    section: SECTION_INDEX_COMPRESSED,
+                    offset: (file_offset + span.offset) as u64,
+                },
+            ),
+        }
+    }
+
+    Ok(CompressedPostings {
+        blk_pack_start: slab(payload, file_offset, owner, layout.blk_pack_start)?,
+        blk_base: slab(payload, file_offset, owner, layout.blk_base)?,
+        blk_scale: slab(payload, file_offset, owner, layout.blk_scale)?,
+        blk_offset: slab(payload, file_offset, owner, layout.blk_offset)?,
+        blk_bits: slab(payload, file_offset, owner, layout.blk_bits)?,
+        quant: slab(payload, file_offset, owner, layout.quant)?,
+        packed_ids: slab(payload, file_offset, owner, layout.packed_ids)?,
+    })
+}
+
+/// Proves a restored compressed mirror honest against the (already
+/// validated) exact posting arrays. Order matters: the packed-run chain
+/// is verified first, so the id decode below can never index out of
+/// bounds; then every decoded id must equal its exact counterpart
+/// bitwise and every dequantized impact must upper-bound its exact
+/// impact — exactly the two properties the `CompressedBlockMax`
+/// strategy's bit-identity argument rests on. A mirror that fails any
+/// check is rejected as [`PersistError::Malformed`]; it can never serve.
+fn validate_compressed_postings(
+    c: &CompressedPostings,
+    num_concepts: usize,
+    post_offsets: &[u64],
+    post_ids: &[u32],
+    post_scores: &[f64],
+    n_blocks_expected: usize,
+) -> Result<(), PersistError> {
+    let err = |detail: String| PersistError::Malformed {
+        section: SECTION_INDEX_COMPRESSED,
+        detail,
+    };
+    if c.num_blocks() != n_blocks_expected {
+        return Err(err(format!(
+            "{} blocks, index has {n_blocks_expected}",
+            c.num_blocks()
+        )));
+    }
+    if c.quant.len() != post_ids.len() {
+        return Err(err(format!(
+            "{} quantized impacts for {} postings",
+            c.quant.len(),
+            post_ids.len()
+        )));
+    }
+    let packed_used = c.packed_ids.len() - 8;
+    if c.blk_pack_start[0] != 0 {
+        return Err(err("packed runs must start at 0".to_owned()));
+    }
+    // Pass 1: the packed-run chain. Each block's run length must be
+    // exactly ceil(len·bits / 8) bytes, which also forces monotonicity.
+    let mut blk = 0usize;
+    for l in 0..num_concepts {
+        let lo = post_offsets[l] as usize;
+        let hi = post_offsets[l + 1] as usize;
+        let mut b = lo;
+        while b < hi {
+            let e = (b + BLOCK_LEN).min(hi);
+            let bits = c.blk_bits[blk] as usize;
+            if bits > 32 {
+                return Err(err(format!("block {blk} packed at {bits} bits")));
+            }
+            let expect = ((e - b) * bits).div_ceil(8) as u64;
+            if c.blk_pack_start[blk + 1] != c.blk_pack_start[blk] + expect {
+                return Err(err(format!(
+                    "block {blk} packed run is {} bytes, {bits}-bit packing of {} ids needs {expect}",
+                    c.blk_pack_start[blk + 1].wrapping_sub(c.blk_pack_start[blk]),
+                    e - b
+                )));
+            }
+            blk += 1;
+            b = e;
+        }
+    }
+    if c.blk_pack_start[blk] != packed_used as u64 {
+        return Err(err(format!(
+            "packed runs end at {}, stream has {packed_used} used bytes",
+            c.blk_pack_start[blk]
+        )));
+    }
+    if c.packed_ids[packed_used..].iter().any(|&g| g != 0) {
+        return Err(err("nonzero guard bytes".to_owned()));
+    }
+    // Pass 2: decoded ids must equal the exact ids bitwise, and every
+    // dequantized impact must upper-bound its exact impact, evaluated in
+    // f64 exactly as the query path evaluates it.
+    let mut ids = [0u32; BLOCK_LEN];
+    let mut blk = 0usize;
+    for l in 0..num_concepts {
+        let lo = post_offsets[l] as usize;
+        let hi = post_offsets[l + 1] as usize;
+        let mut b = lo;
+        while b < hi {
+            let e = (b + BLOCK_LEN).min(hi);
+            c.decode_block_ids(blk, e - b, &mut ids);
+            if ids[..e - b] != post_ids[b..e] {
+                return Err(err(format!("block {blk} ids decode differently")));
+            }
+            let scale = c.blk_scale[blk];
+            let offset = c.blk_offset[blk];
+            if !scale.is_finite() || !offset.is_finite() || scale < 0.0 {
+                return Err(err(format!(
+                    "block {blk} quantization scale {scale} / offset {offset} out of range"
+                )));
+            }
+            for (j, &exact) in post_scores.iter().enumerate().take(e).skip(b) {
+                let bound = offset as f64 + scale as f64 * c.quant[j] as f64;
+                if bound < exact {
+                    return Err(err(format!(
+                        "posting {j} dequantized bound {bound} below exact impact {exact}"
+                    )));
+                }
+            }
+            blk += 1;
+            b = e;
+        }
+    }
+    Ok(())
 }
 
 /// Structural validation of the index arrays: offset monotonicity, id
@@ -1641,6 +2021,54 @@ mod tests {
             for (x, y) in a.iter().zip(b.iter()) {
                 assert_eq!(x.resource, y.resource);
                 assert_eq!(x.score.to_bits(), y.score.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_artifacts_round_trip_and_stay_bit_identical() {
+        let (f, model) = built();
+        let plain = save_to_vec(&model, &f);
+        let compressed = save_to_vec_with(&model, &f, true);
+        // The default path stays format v2 byte-for-byte (older
+        // deployments keep reading fresh uncompressed artifacts); only
+        // the compressed path stamps v3.
+        assert_eq!(u32::from_le_bytes(plain[8..12].try_into().unwrap()), 2);
+        assert_eq!(plain, save_to_vec_with(&model, &f, false));
+        assert_eq!(
+            u32::from_le_bytes(compressed[8..12].try_into().unwrap()),
+            FORMAT_VERSION
+        );
+
+        let baseline = load_from_bytes(&plain).unwrap();
+        let owned = load_from_bytes(&compressed).unwrap();
+        let zc = load_zero_copy(Arc::new(AlignedBytes::from_bytes(&compressed))).unwrap();
+        assert!(zc.model.index().is_zero_copy());
+        assert!(
+            zc.model.index().compressed().packed_ids.is_borrowed(),
+            "the compressed mirror must serve zero-copy too"
+        );
+        assert!(!owned.model.index().compressed().packed_ids.is_borrowed());
+        // The restored mirror is the same mirror the uncompressed load
+        // derives (compression is deterministic), so every strategy sees
+        // identical bytes regardless of artifact flavor.
+        assert_eq!(
+            &*owned.model.index().compressed().quant,
+            &*baseline.model.index().compressed().quant
+        );
+        assert_eq!(
+            &*owned.model.index().compressed().packed_ids,
+            &*baseline.model.index().compressed().packed_ids
+        );
+        for name in ["folk", "people", "laptop"] {
+            let a = baseline.model.search(&[name], 0);
+            for m in [&owned.model, &zc.model] {
+                let b = m.search(&[name], 0);
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(b.iter()) {
+                    assert_eq!(x.resource, y.resource);
+                    assert_eq!(x.score.to_bits(), y.score.to_bits());
+                }
             }
         }
     }

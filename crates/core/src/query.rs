@@ -24,7 +24,7 @@
 //!
 //! # Pruning strategies
 //!
-//! Two exact strategies share the same query preparation and suffix
+//! Three exact strategies share the same query preparation and suffix
 //! bounds, selected by [`PruningStrategy`]:
 //!
 //! * [`PruningStrategy::MaxScore`] — the PR-1 reference path, kept
@@ -58,6 +58,17 @@
 //!   * **division-filtered selection**: candidates are compared against
 //!     a conservative undivided bound first, so only near-top-k
 //!     candidates pay the `acc/norm` division.
+//! * [`PruningStrategy::CompressedBlockMax`] — the block-max skeleton
+//!   run over the compressed posting mirror
+//!   ([`crate::index`]'s bit-packed frame-of-reference ids plus 8-bit
+//!   block-quantized impact upper bounds, ~4 bytes per posting instead
+//!   of 12): admitted blocks decode their ids into a per-session
+//!   buffer, *fresh* candidates are additionally gated per posting by
+//!   the quantized bound, and every accumulated contribution reads the
+//!   exact f64 impact — "quantize to reject, rescore to accept". A
+//!   skipped posting satisfies the same proof obligation as a skipped
+//!   block (its dequantized bound dominates its impact), so results
+//!   stay bit-identical.
 //!
 //! # Pruning invariants (why early termination is exact)
 //!
@@ -85,21 +96,23 @@
 //! therefore never pruned, and a pruned resource is strictly below the
 //! k-th result even after the final division by the query norm.
 //!
-//! The two strategies admit slightly different candidate sets: inside a
+//! The strategies admit slightly different candidate sets: inside a
 //! block whose max passes the bound, block-max admits postings the
-//! per-posting check would have rejected. Such a resource's upper bound is
-//! still strictly below the final k-th score (its block bound at the first
-//! term that skipped it dominates its total), so it can never displace a
+//! per-posting check would have rejected, while the compressed path's
+//! quantized per-posting gate rejects some of them again. Either way a
+//! skipped-or-spurious resource's upper bound is strictly below the
+//! final k-th score (the bound that skipped it — block max or
+//! dequantized impact — dominates its total), so it can never displace a
 //! true top-k member in the final heap — and whenever a threshold exists,
 //! at least `k` touched resources already exist, so spurious admissions
 //! can only occur in the heap-selection regime, never in the
 //! emit-everything regime. Because pruning never changes the order or the
-//! set of additions applied to a resource that reaches the output, both
-//! pruned paths return bit-identical scores — and an identical ranked
+//! set of additions applied to a resource that reaches the output, every
+//! pruned path returns bit-identical scores — and an identical ranked
 //! list, including tie-breaks — to [`ConceptIndex::rank_exact`]. The
-//! three-way equivalence (exhaustive ≡ MaxScore ≡ block-max) is enforced
-//! by the `query_engine_equivalence` integration test over randomized
-//! corpora.
+//! four-way equivalence (exhaustive ≡ MaxScore ≡ block-max ≡ compressed)
+//! is enforced by the `query_engine_equivalence` integration test over
+//! randomized corpora.
 //!
 //! A query whose terms may carry negative **or non-finite** weights
 //! (possible through the raw [`QueryEngine::search_weighted`] entry
@@ -110,7 +123,9 @@
 //! the pruned path would silently diverge from
 //! [`ConceptIndex::query_weighted_concepts`].
 
-use crate::index::{ConceptAssignment, ConceptIndex, PostingsRef, RankedResource, BLOCK_LEN};
+use crate::index::{
+    CompressedPostings, ConceptAssignment, ConceptIndex, PostingsRef, RankedResource, BLOCK_LEN,
+};
 use cubelsi_folksonomy::{ResourceId, TagId};
 use cubelsi_linalg::parallel;
 
@@ -119,9 +134,11 @@ use cubelsi_linalg::parallel;
 /// float rounding (≈1e-16 per op) can never prune a true top-k member.
 const PRUNE_SLACK: f64 = 1.0 + 1e-9;
 
-/// Which exact pruning loop the engine runs. Both strategies return
-/// bit-identical results; the knob exists so the previous-generation path
-/// stays selectable as a reference for equivalence tests and benchmarks.
+/// Which exact pruning loop the engine runs. All strategies return
+/// bit-identical results; the knob exists so the previous-generation
+/// paths stay selectable as references for equivalence tests and
+/// benchmarks, and so serving can trade the exact posting streams for
+/// the compressed mirror.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PruningStrategy {
     /// Per-posting MaxScore admission checks (the PR-1 path).
@@ -130,6 +147,12 @@ pub enum PruningStrategy {
     /// (the default).
     #[default]
     BlockMax,
+    /// The block-max skeleton over the compressed posting mirror: ids
+    /// decoded per block from the bit-packed stream, fresh candidates
+    /// gated by 8-bit quantized impact upper bounds, and every accepted
+    /// contribution read from the exact f64 impact array — "quantize to
+    /// reject, rescore to accept", still bit-identical.
+    CompressedBlockMax,
 }
 
 /// The online query engine over a built [`ConceptIndex`].
@@ -628,6 +651,10 @@ impl QueryEngine {
                 self.accumulate_blockmax(session, top_k);
                 select_emit_dense(session, norm, top_k, out);
             }
+            PruningStrategy::CompressedBlockMax => {
+                self.accumulate_compressed(session, top_k);
+                select_emit_dense(session, norm, top_k, out);
+            }
         }
     }
 
@@ -869,6 +896,214 @@ impl QueryEngine {
             update_only_dense(session, list.ids, list.scores, wq);
         }
     }
+
+    /// The compressed decode-and-admit loop: the block-max skeleton —
+    /// same thresholds, same exact block-maxima cuts, same candidate-side
+    /// escape — run over the compressed posting mirror instead of the
+    /// exact id array. Per admitted block the bit-packed ids are decoded
+    /// into the session's reusable buffer; *fresh* candidates are gated
+    /// per posting by the quantized impact upper bound
+    /// (`(wq · dequant + rest) · PRUNE_SLACK < threshold` → skip), and
+    /// every contribution that is actually accumulated reads the exact
+    /// f64 impact — "quantize to reject, rescore to accept".
+    ///
+    /// Why gating is exact: `dequant ≥ impact` (a build/load invariant),
+    /// so a skipped posting satisfies the same proof obligation as a
+    /// skipped block — the resource's best possible final score is
+    /// strictly below the final k-th. It may be admitted by a *later*
+    /// term with an incomplete (smaller) accumulator, exactly like a
+    /// resource skipped by a block cut, and the same argument shows it
+    /// can never displace a true top-k member: whenever a threshold
+    /// exists at least k touched resources already exist, so spurious or
+    /// missing admissions never reach the emit-everything regime, and in
+    /// the heap regime every true top-k member keeps a complete
+    /// accumulator (its bound can never lose to the threshold). The
+    /// emitted ranking is therefore bit-identical to the uncompressed
+    /// paths — enforced three-way by `query_engine_equivalence`.
+    fn accumulate_compressed(&self, session: &mut QuerySession, top_k: usize) {
+        let m = session.terms.len();
+        let heap_k = if top_k > 0 && top_k * 4 <= self.index.num_resources() {
+            top_k
+        } else {
+            0
+        };
+        let c = self.index.compressed();
+        let mut admitting = true;
+        for i in 0..m {
+            let (l, wq) = session.terms[i];
+            let l = l as usize;
+            let list = self.index.postings(l);
+            let n = list.len();
+            let mut threshold = if top_k == 0 {
+                None
+            } else if i == 1 && session.cand_heap.len() == top_k {
+                Some(session.cand_heap[0])
+            } else {
+                kth_partial_dense(session, top_k)
+            };
+            raise_to_heap_threshold(session, heap_k, &mut threshold);
+            if admitting {
+                if let Some(th) = threshold {
+                    if session.suffix[i] * PRUNE_SLACK < th {
+                        admitting = false;
+                    }
+                }
+            }
+            if !admitting {
+                let count = session.touched.len();
+                self.update_compressed_or_candidates(session, l, wq, count);
+                continue;
+            }
+            let rest = session.suffix[i + 1];
+            let start_len = session.touched.len();
+            let blocks = self.index.block_maxima(l);
+            let blk0 = self.index.first_block(l);
+            let post0 = self.index.posting_start(l);
+
+            // Conservative admission cut, identical to the block-max
+            // path (the cut bound uses the exact block maxima, which
+            // stay hot in both modes).
+            let cut = match threshold {
+                None => n,
+                Some(th) => {
+                    let mut c = 0usize;
+                    for &bm in blocks {
+                        if (wq * bm + rest) * PRUNE_SLACK < th {
+                            break;
+                        }
+                        c = (c + BLOCK_LEN).min(n);
+                    }
+                    c
+                }
+            };
+
+            if start_len * 8 + cut < n {
+                // Candidate-side mode (same shape as block-max): settle
+                // the touched set through resource vectors, then decode
+                // only the admitting prefix for fresh candidates.
+                self.update_candidates(session, l, wq, start_len);
+                let mut pos = 0usize;
+                for (bi, &bm) in blocks[..cut.div_ceil(BLOCK_LEN)].iter().enumerate() {
+                    raise_to_heap_threshold(session, heap_k, &mut threshold);
+                    if let Some(th) = threshold {
+                        if (wq * bm + rest) * PRUNE_SLACK < th {
+                            break;
+                        }
+                    }
+                    let block_end = (pos + BLOCK_LEN).min(cut);
+                    let blk = blk0 + bi;
+                    // Bit-packing is sequential from the block start, so
+                    // streaming the first `take` ids of a cut block works.
+                    admit_fresh_compressed(
+                        session,
+                        c,
+                        blk,
+                        &list.scores[pos..block_end],
+                        &c.quant[post0 + pos..post0 + block_end],
+                        wq,
+                        rest,
+                        threshold,
+                        heap_k,
+                    );
+                    pos = block_end;
+                }
+            } else {
+                // List-scan mode: decode + admit + update in one pass.
+                let mut pos = 0usize;
+                for (bi, &bm) in blocks.iter().enumerate() {
+                    raise_to_heap_threshold(session, heap_k, &mut threshold);
+                    if let Some(th) = threshold {
+                        if (wq * bm + rest) * PRUNE_SLACK < th {
+                            if pos == 0 {
+                                self.update_compressed_or_candidates(session, l, wq, start_len);
+                            } else if start_len > 0 {
+                                self.update_only_compressed(session, l, pos, wq);
+                            }
+                            pos = n;
+                            break;
+                        }
+                    }
+                    let block_end = (pos + BLOCK_LEN).min(n);
+                    let blk = blk0 + bi;
+                    let take = block_end - pos;
+                    if start_len == 0 {
+                        // The first term admits every posting, so the
+                        // decoded ids ARE the touched tail — decode
+                        // straight into it and skip the staging buffer.
+                        let dst0 = session.touched.len();
+                        session.touched.resize(dst0 + take, 0);
+                        self.index
+                            .decode_block_ids(blk, take, &mut session.touched[dst0..]);
+                        admit_block_first_compressed(
+                            session,
+                            dst0,
+                            &list.scores[pos..block_end],
+                            wq,
+                            heap_k,
+                        );
+                    } else {
+                        admit_block_compressed(
+                            session,
+                            c,
+                            blk,
+                            &list.scores[pos..block_end],
+                            &c.quant[post0 + pos..post0 + block_end],
+                            wq,
+                            rest,
+                            threshold,
+                            heap_k,
+                        );
+                    }
+                    pos = block_end;
+                }
+                debug_assert!(pos == n);
+            }
+        }
+    }
+
+    /// Compressed analogue of [`Self::update_candidates_or_scan`]:
+    /// candidate-side vector lookups when the touched set is far smaller
+    /// than the list, else a decode-scan of the whole list in
+    /// update-only mode.
+    fn update_compressed_or_candidates(
+        &self,
+        session: &mut QuerySession,
+        l: usize,
+        wq: f64,
+        count: usize,
+    ) {
+        if count * 8 < self.index.postings(l).len() {
+            self.update_candidates(session, l, wq, count);
+        } else {
+            self.update_only_compressed(session, l, 0, wq);
+        }
+    }
+
+    /// Compressed update-only tail: adds term `l`'s contributions to
+    /// already-touched resources over postings `[from, len)` (with
+    /// `from` on a block boundary), streaming decoded ids straight into
+    /// the slot-map probe; only hits read the exact impact array.
+    fn update_only_compressed(&self, session: &mut QuerySession, l: usize, from: usize, wq: f64) {
+        let list = self.index.postings(l);
+        let c = self.index.compressed();
+        let n = list.len();
+        let blk0 = self.index.first_block(l);
+        let epoch_bits = (session.res_cur as u64) << 32;
+        debug_assert!(from.is_multiple_of(BLOCK_LEN));
+        let (slot_map, acc_dense) = (&session.slot_map, &mut session.acc_dense);
+        let mut pos = from;
+        while pos < n {
+            let block_end = (pos + BLOCK_LEN).min(n);
+            let scores = &list.scores[pos..block_end];
+            c.for_each_block_id(blk0 + pos / BLOCK_LEN, block_end - pos, |j, r| {
+                let word = slot_map[r as usize];
+                if word & 0xFFFF_FFFF_0000_0000 == epoch_bits {
+                    acc_dense[(word & 0xFFFF_FFFF) as usize] += wq * scores[j];
+                }
+            });
+            pos = block_end;
+        }
+    }
 }
 
 /// Emits the MaxScore path's results from the resource-indexed
@@ -1093,6 +1328,123 @@ fn admit_fresh(
     }
 }
 
+/// Compressed admit-or-update over one decoded block (the list-scan
+/// inner loop): touched resources take the exact update unconditionally;
+/// fresh resources are admitted only when their quantized upper bound
+/// clears the threshold. The exact impact is read *after* the gate, so
+/// rejected fresh postings never touch the 8-byte score array.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn admit_block_compressed(
+    session: &mut QuerySession,
+    c: &CompressedPostings,
+    blk: usize,
+    scores: &[f64],
+    quant: &[u8],
+    wq: f64,
+    rest: f64,
+    threshold: Option<f64>,
+    heap_k: usize,
+) {
+    let epoch_bits = (session.res_cur as u64) << 32;
+    let dq_scale = c.blk_scale[blk] as f64;
+    let dq_offset = c.blk_offset[blk] as f64;
+    c.for_each_block_id(blk, scores.len(), |j, r| {
+        let r = r as usize;
+        let word = session.slot_map[r];
+        if word & 0xFFFF_FFFF_0000_0000 == epoch_bits {
+            session.acc_dense[(word & 0xFFFF_FFFF) as usize] += wq * scores[j];
+        } else {
+            if let Some(th) = threshold {
+                let bound = dq_offset + dq_scale * quant[j] as f64;
+                if (wq * bound + rest) * PRUNE_SLACK < th {
+                    return;
+                }
+            }
+            let contribution = wq * scores[j];
+            session.slot_map[r] = session.slot_word(session.touched.len());
+            session.touched.push(r as u32);
+            session.acc_dense.push(contribution);
+            if heap_k > 0 {
+                offer_admission(&mut session.cand_heap, heap_k, contribution);
+            }
+        }
+    });
+}
+
+/// First-term admission of one block whose ids were already decoded into
+/// `session.touched[dst0..]`, mirroring the exact path's
+/// [`admit_block_first`] shape: nothing is touched yet, so every posting
+/// admits without reading its slot word, and because contributions
+/// arrive in descending impact order the admission heap is exactly the
+/// first `heap_k` of them — later postings are never offered. The
+/// quantized gate is deliberately *not* applied here: with every posting
+/// fresh there is no cold score read to save (each admission reads its
+/// exact impact anyway), and skipping the gate keeps the bulk admission
+/// (in-place decode + vectorized products) that makes the first term
+/// cheap; it also admits exactly the set the uncompressed path admits,
+/// so the accumulator state stays identical.
+#[inline]
+fn admit_block_first_compressed(
+    session: &mut QuerySession,
+    dst0: usize,
+    scores: &[f64],
+    wq: f64,
+    heap_k: usize,
+) {
+    debug_assert_eq!(dst0, session.acc_dense.len());
+    let mut j = 0;
+    while j < scores.len() && session.cand_heap.len() < heap_k {
+        offer_admission(&mut session.cand_heap, heap_k, wq * scores[j]);
+        j += 1;
+    }
+    session.acc_dense.extend(scores.iter().map(|&s| wq * s));
+    let epoch_bits = (session.res_cur as u64) << 32;
+    let (touched, slot_map) = (&session.touched, &mut session.slot_map);
+    for (ofs, &r) in touched[dst0..].iter().enumerate() {
+        slot_map[r as usize] = epoch_bits | (dst0 + ofs) as u64;
+    }
+}
+
+/// Candidate-side fresh admission over one decoded block: touched
+/// resources were already settled through their vectors, so they are
+/// skipped; fresh ones pass the quantized gate before the exact read.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn admit_fresh_compressed(
+    session: &mut QuerySession,
+    c: &CompressedPostings,
+    blk: usize,
+    scores: &[f64],
+    quant: &[u8],
+    wq: f64,
+    rest: f64,
+    threshold: Option<f64>,
+    heap_k: usize,
+) {
+    let epoch_bits = (session.res_cur as u64) << 32;
+    let dq_scale = c.blk_scale[blk] as f64;
+    let dq_offset = c.blk_offset[blk] as f64;
+    c.for_each_block_id(blk, scores.len(), |j, r| {
+        let r = r as usize;
+        if session.slot_map[r] & 0xFFFF_FFFF_0000_0000 != epoch_bits {
+            if let Some(th) = threshold {
+                let bound = dq_offset + dq_scale * quant[j] as f64;
+                if (wq * bound + rest) * PRUNE_SLACK < th {
+                    return;
+                }
+            }
+            let contribution = wq * scores[j];
+            session.slot_map[r] = session.slot_word(session.touched.len());
+            session.touched.push(r as u32);
+            session.acc_dense.push(contribution);
+            if heap_k > 0 {
+                offer_admission(&mut session.cand_heap, heap_k, contribution);
+            }
+        }
+    });
+}
+
 /// Adds a term's contributions to already-touched resources only (the
 /// block-max tail scan): one random 8-byte read per posting, with hits
 /// accumulating into the dense array.
@@ -1295,7 +1647,11 @@ mod tests {
                 f.tag_id("mp3").unwrap(),
             ],
         ];
-        for strategy in [PruningStrategy::MaxScore, PruningStrategy::BlockMax] {
+        for strategy in [
+            PruningStrategy::MaxScore,
+            PruningStrategy::BlockMax,
+            PruningStrategy::CompressedBlockMax,
+        ] {
             engine.set_strategy(strategy);
             for tags in &tag_sets {
                 for k in [0usize, 1, 2, 3, 10] {
@@ -1436,7 +1792,11 @@ mod tests {
         let mut engine = QueryEngine::new(ConceptIndex::build(&f, &model));
         let common = f.tag_id("common").unwrap();
         let rare = f.tag_id("rare").unwrap();
-        for strategy in [PruningStrategy::MaxScore, PruningStrategy::BlockMax] {
+        for strategy in [
+            PruningStrategy::MaxScore,
+            PruningStrategy::BlockMax,
+            PruningStrategy::CompressedBlockMax,
+        ] {
             engine.set_strategy(strategy);
             for k in [1usize, 3, 10, 64, 65, 128, 0] {
                 for tags in [vec![common, rare], vec![rare, common], vec![common]] {

@@ -348,6 +348,19 @@ pub fn save_sharded(
     folksonomy: &Folksonomy,
     num_shards: usize,
 ) -> Result<ShardedSaveReport, PersistError> {
+    save_sharded_with(manifest_path, model, folksonomy, num_shards, false)
+}
+
+/// [`save_sharded`] with the compression choice of
+/// [`crate::persist::save_to_vec_with`]: with `compress`, every shard
+/// artifact carries the compressed posting mirror (format v3).
+pub fn save_sharded_with(
+    manifest_path: impl AsRef<Path>,
+    model: &crate::pipeline::CubeLsi,
+    folksonomy: &Folksonomy,
+    num_shards: usize,
+    compress: bool,
+) -> Result<ShardedSaveReport, PersistError> {
     let manifest_path = manifest_path.as_ref();
     if num_shards == 0 || num_shards > MAX_SHARDS {
         return Err(manifest_err(format!(
@@ -384,7 +397,7 @@ pub fn save_sharded(
             *model.timings(),
             folksonomy,
         );
-        let bytes = crate::persist::save_to_vec(&shard_model, folksonomy);
+        let bytes = crate::persist::save_to_vec_with(&shard_model, folksonomy, compress);
         let file_name = format!("{manifest_name}.shard{shard}");
         let path = dir.join(&file_name);
         write_atomic(&path, &bytes)?;

@@ -16,7 +16,7 @@
 //!
 //! * [`AlignedBytes`] stores its bytes inside a `Vec<u64>`, so the base
 //!   pointer is always 8-byte aligned — at least the alignment of every
-//!   [`Pod`] element type (`u32`, `u64`, `f64`);
+//!   [`Pod`] element type (`u8`, `u32`, `u64`, `f32`, `f64`);
 //! * [`Slab::borrowed`] validates at construction that the byte offset
 //!   is a multiple of the element alignment and that
 //!   `offset + len * size_of::<T>()` lies inside the buffer, so the
@@ -34,18 +34,22 @@ use std::sync::Arc;
 /// Marker for plain-old-data element types that may be viewed directly
 /// inside an [`AlignedBytes`] buffer: any bit pattern is a valid value
 /// and the alignment divides 8. Sealed — the persist format only ever
-/// stores these three shapes.
+/// stores these five shapes.
 pub trait Pod: Copy + private::Sealed + 'static {}
 
 mod private {
     pub trait Sealed {}
+    impl Sealed for u8 {}
     impl Sealed for u32 {}
     impl Sealed for u64 {}
+    impl Sealed for f32 {}
     impl Sealed for f64 {}
 }
 
+impl Pod for u8 {}
 impl Pod for u32 {}
 impl Pod for u64 {}
+impl Pod for f32 {}
 impl Pod for f64 {}
 
 /// An immutable byte buffer whose base address is 8-byte aligned, so
@@ -243,6 +247,16 @@ mod tests {
         let i: Slab<u32> = Slab::borrowed(owner.clone(), 16, 2).unwrap();
         assert_eq!(&*i, &[9u32, 11]);
         assert!(i.is_borrowed());
+        // The narrow compressed-posting element types: u8 views are
+        // valid at any offset, f32 at multiples of 4.
+        let b: Slab<u8> = Slab::borrowed(owner.clone(), 1, 3).unwrap();
+        assert_eq!(&*b, &7u64.to_le_bytes()[1..4]);
+        let g: Slab<f32> = Slab::borrowed(owner.clone(), 16, 1).unwrap();
+        assert_eq!(g[0].to_bits(), 9u32);
+        assert!(
+            Slab::<f32>::borrowed(owner, 2, 1).is_none(),
+            "misaligned f32"
+        );
     }
 
     #[test]

@@ -28,6 +28,8 @@ pub mod rawify;
 pub mod taxonomy;
 
 pub use generator::{generate, GeneratedDataset, GeneratorConfig, GroundTruth};
-pub use presets::{all_presets, bibsonomy_like, delicious_like, lastfm_like, DatasetPreset};
+pub use presets::{
+    all_presets, bibsonomy_like, delicious_like, huge_1m, lastfm_like, DatasetPreset,
+};
 pub use rawify::{rawify, RawNoiseConfig};
 pub use taxonomy::{Lexicon, LexiconConfig, Taxonomy, TaxonomyConfig, Word, WordKind};

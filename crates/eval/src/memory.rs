@@ -61,6 +61,38 @@ impl MemoryAccounting {
     }
 }
 
+/// Reads one `kB`-denominated field from `/proc/self/status`.
+fn proc_status_bytes(field: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix(field) {
+            let kb: u64 = rest
+                .trim_start_matches(':')
+                .split_whitespace()
+                .next()?
+                .parse()
+                .ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+/// The process's current resident set (`VmRSS`), in bytes — the measured
+/// counterpart to the analytical accounting above, used by the query
+/// bench's memory columns. `None` on platforms without procfs.
+pub fn current_rss_bytes() -> Option<u64> {
+    proc_status_bytes("VmRSS")
+}
+
+/// The process's peak resident set (`VmHWM`), in bytes. Monotonic over
+/// the process lifetime (the kernel's high-water mark), so successive
+/// readings report "the peak so far", not a per-phase peak. `None` on
+/// platforms without procfs.
+pub fn peak_rss_bytes() -> Option<u64> {
+    proc_status_bytes("VmHWM")
+}
+
 /// Formats a byte count the way the paper's Table VII does
 /// ("7.0 TB", "98 GB", "8.8 MB").
 pub fn format_bytes(bytes: u128) -> String {
@@ -143,6 +175,15 @@ mod tests {
         assert_eq!(format_bytes(5 * 1024 * 1024), "5.0 MB");
         assert_eq!(format_bytes(3 * (1u128 << 40)), "3.0 TB");
         assert_eq!(format_bytes(150 * (1u128 << 30)), "150 GB");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn rss_readings_are_present_and_ordered() {
+        let rss = current_rss_bytes().expect("VmRSS on linux");
+        let peak = peak_rss_bytes().expect("VmHWM on linux");
+        assert!(rss > 0);
+        assert!(peak >= rss, "high-water mark below current RSS");
     }
 
     #[test]

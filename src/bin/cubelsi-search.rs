@@ -52,7 +52,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 const USAGE: &str = "usage:
-  cubelsi-search build [--concepts K] [--ratio C] [--seed S] [--threads N] [--no-clean] [--shards N] DATA.tsv OUT
+  cubelsi-search build [--concepts K] [--ratio C] [--seed S] [--threads N] [--no-clean] [--shards N] [--compress] DATA.tsv OUT
   cubelsi-search query [--top N] [--repeat N] [--zero-copy] MODEL QUERY_TAG...
   cubelsi-search serve [--top N] [--zero-copy] [--listen ADDR] MODEL   (TCP line protocol)
   cubelsi-search [build+query options] DATA.tsv QUERY_TAG...   (one-shot, nothing persisted)
@@ -64,6 +64,9 @@ options:
   --ratio C      Tucker reduction ratio (finite, > 0; default 50)
   --shards N     partition the index across N shard artifacts and write a
                  shard manifest at OUT (N >= 1; `build` only)
+  --compress     also store the bit-packed/quantized posting mirror in the
+                 artifact (format v3; `build` only — `query`/`serve` pick
+                 it up transparently, results stay bit-identical)
   --top N        results per query (N >= 1; default 10)
   --repeat N     run the query N times on the warm session and report
                  latency stats (N >= 1; default 1; `query` only)
@@ -92,6 +95,7 @@ struct BuildOpts {
     seed: u64,
     threads: Option<usize>,
     shards: Option<usize>,
+    compress: bool,
 }
 
 impl Default for BuildOpts {
@@ -103,6 +107,7 @@ impl Default for BuildOpts {
             seed: 2011,
             threads: None,
             shards: None,
+            compress: false,
         }
     }
 }
@@ -159,6 +164,7 @@ struct RawFlags {
     threads: Option<usize>,
     no_clean: bool,
     shards: Option<usize>,
+    compress: bool,
     listen: Option<String>,
 }
 
@@ -243,6 +249,7 @@ fn parse_command(args: impl IntoIterator<Item = String>) -> Result<Command, Stri
                 flags.threads = Some(parse_thread_count(&v, "--threads")?);
             }
             "--no-clean" => flags.no_clean = true,
+            "--compress" => flags.compress = true,
             "--help" | "-h" => return Ok(Command::Help),
             other if other.starts_with("--") => {
                 return Err(format!("unknown option {other} (see --help)"));
@@ -258,6 +265,7 @@ fn parse_command(args: impl IntoIterator<Item = String>) -> Result<Command, Stri
         seed: flags.seed.unwrap_or(2011),
         threads: flags.threads,
         shards: flags.shards,
+        compress: flags.compress,
     };
     let top_k = flags.top.unwrap_or(10);
     // Build-only flags must not be silently ignored on the serving
@@ -271,6 +279,7 @@ fn parse_command(args: impl IntoIterator<Item = String>) -> Result<Command, Stri
             (flags.seed.is_some(), "--seed"),
             (flags.no_clean, "--no-clean"),
             (flags.shards.is_some(), "--shards"),
+            (flags.compress, "--compress"),
         ] {
             if set {
                 return Err(format!(
@@ -602,13 +611,13 @@ fn run_build(opts: &BuildOpts, data: &str, out: &str) -> Result<(), String> {
     let t0 = Instant::now();
     match opts.shards {
         None => {
-            persist::save_to_path(out, &model, &corpus)
+            persist::save_to_path_with(out, &model, &corpus, opts.compress)
                 .map_err(|e| format!("saving {out}: {e}"))?;
             let size = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
             eprintln!("saved   {out} ({size} bytes) in {:?}", t0.elapsed());
         }
         Some(n) => {
-            let report = shard::save_sharded(out, &model, &corpus, n)
+            let report = shard::save_sharded_with(out, &model, &corpus, n, opts.compress)
                 .map_err(|e| format!("saving sharded {out}: {e}"))?;
             for shard_id in 0..n {
                 eprintln!(
@@ -1077,6 +1086,7 @@ mod tests {
             "8",
             "--ratio",
             "25",
+            "--compress",
             "d.tsv",
             "m.cubelsi",
         ]);
@@ -1090,6 +1100,7 @@ mod tests {
                     seed: 2011,
                     threads: None,
                     shards: None,
+                    compress: true,
                 },
                 data: "d.tsv".into(),
                 out: "m.cubelsi".into(),
@@ -1291,6 +1302,7 @@ mod tests {
             ("--seed", Some("7")),
             ("--threads", Some("2")),
             ("--no-clean", None),
+            ("--compress", None),
         ] {
             let mut args = vec!["query", flag];
             args.extend(value);

@@ -8,7 +8,9 @@
 //!    approximation.
 //! 2. **Adversarial robustness** — truncated files, flipped bytes (CRC
 //!    failure), CRC-repaired semantic corruption inside the SoA index
-//!    section (broken impact order, falsified block maxima), misaligned
+//!    section (broken impact order, falsified block maxima) and inside
+//!    the format-v3 compressed mirror (flipped bit widths, out-of-range
+//!    quantization scales, understated impact bounds), misaligned
 //!    sections, wrong magic, and future format versions each yield a
 //!    descriptive typed [`PersistError`], never a panic or a silent
 //!    misranking.
@@ -342,6 +344,237 @@ fn misaligned_soa_section_is_a_typed_error() {
             assert_eq!(offset as usize, new_off);
         }
         other => panic!("expected MisalignedSection, got {other}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compressed index section (format v3) adversaries
+// ---------------------------------------------------------------------------
+
+/// The byte offsets (relative to the compressed payload start) of every
+/// array boundary, recomputed from the documented v3 layout: 4-field u64
+/// header, then blk_pack_start, blk_base, blk_scale, blk_offset,
+/// blk_bits, quant, packed_ids — every array padded to 8 bytes.
+struct CompressedOffsets {
+    boundaries: Vec<usize>,
+    blk_scale: usize,
+    blk_bits: usize,
+    quant: usize,
+    n_blocks: usize,
+    n_postings: usize,
+}
+
+fn compressed_offsets(payload: &[u8]) -> CompressedOffsets {
+    let field =
+        |i: usize| u64::from_le_bytes(payload[i * 8..(i + 1) * 8].try_into().unwrap()) as usize;
+    let (n_blocks, n_postings, packed_len) = (field(0), field(1), field(2));
+    assert_eq!(field(3), cubelsi::core::BLOCK_LEN, "block length field");
+    let arrays: [usize; 7] = [
+        (n_blocks + 1) * 8, // blk_pack_start
+        n_blocks * 4,       // blk_base
+        n_blocks * 4,       // blk_scale
+        n_blocks * 4,       // blk_offset
+        n_blocks,           // blk_bits
+        n_postings,         // quant
+        packed_len,         // packed_ids
+    ];
+    let mut cursor = 32usize;
+    let mut boundaries = vec![cursor];
+    for bytes in arrays {
+        cursor = (cursor + bytes).div_ceil(8) * 8;
+        boundaries.push(cursor);
+    }
+    assert_eq!(cursor, payload.len(), "layout must cover the payload");
+    CompressedOffsets {
+        blk_scale: boundaries[2],
+        blk_bits: boundaries[4],
+        quant: boundaries[5],
+        boundaries,
+        n_blocks,
+        n_postings,
+    }
+}
+
+/// Compressed (format v3) artifacts round-trip deterministically and
+/// byte-stably, and both load paths answer bit-identically to the
+/// uncompressed artifact over random corpora.
+#[test]
+fn compressed_round_trip_is_bit_identical_and_byte_stable() {
+    for seed in [13u64, 14, 15] {
+        let (folksonomy, built) = build_random(seed);
+        let bytes = persist::save_to_vec_with(&built, &folksonomy, true);
+        assert_eq!(
+            bytes,
+            persist::save_to_vec_with(&built, &folksonomy, true),
+            "seed {seed}: compressed save must be deterministic"
+        );
+        let loaded = persist::load_from_bytes(&bytes).unwrap();
+        assert_eq!(
+            bytes,
+            persist::save_to_vec_with(&loaded.model, &loaded.folksonomy, true),
+            "seed {seed}: compressed double round-trip must be byte-stable"
+        );
+        let zero_copy =
+            persist::load_zero_copy(Arc::new(AlignedBytes::from_bytes(&bytes))).unwrap();
+        assert!(zero_copy.model.index().is_zero_copy());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0_FFEE);
+        for _ in 0..15 {
+            let query = random_query(&mut rng, folksonomy.num_tags());
+            for k in [1usize, 5, 0] {
+                let expect = built.search_ids(&query, k);
+                for (mode, artifact) in [("owned", &loaded), ("zero-copy", &zero_copy)] {
+                    let got = artifact.model.search_ids(&query, k);
+                    assert_eq!(got.len(), expect.len(), "{mode} seed {seed} k {k}");
+                    for (g, e) in got.iter().zip(expect.iter()) {
+                        assert_eq!(g.resource, e.resource, "{mode} seed {seed} k {k}");
+                        assert_eq!(
+                            g.score.to_bits(),
+                            e.score.to_bits(),
+                            "{mode} seed {seed} k {k}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Truncating the file at (and just past) every compressed-array boundary
+/// must produce a typed error from both loaders — never a panic or an
+/// OOM-sized allocation.
+#[test]
+fn truncation_at_every_compressed_array_boundary_errors() {
+    let (folksonomy, model) = build_random(35);
+    let bytes = persist::save_to_vec_with(&model, &folksonomy, true);
+    let (_, off, len) = find_section(&bytes, persist::SECTION_INDEX_COMPRESSED);
+    let offsets = compressed_offsets(&bytes[off..off + len]);
+    for &b in &offsets.boundaries {
+        for cut in [off + b, off + b + 4] {
+            if cut >= off + len {
+                continue;
+            }
+            let err = assert_both_loaders_reject(&bytes[..cut], &format!("cut at {cut}"));
+            assert!(
+                matches!(
+                    err,
+                    PersistError::Truncated { .. } | PersistError::ChecksumMismatch { .. }
+                ),
+                "cut {cut}: unexpected error {err}"
+            );
+        }
+    }
+}
+
+/// A flipped bit-width byte is caught by the CRC; the same flip with a
+/// freshly recorded CRC is caught by the mirror validator (the packed-run
+/// chain no longer matches, or the width exceeds 32) — it can never make
+/// the compressed strategy decode different ids than the exact arrays.
+#[test]
+fn flipped_bit_width_byte_is_rejected() {
+    let (folksonomy, model) = build_random(36);
+    let bytes = persist::save_to_vec_with(&model, &folksonomy, true);
+    let (entry, off, len) = find_section(&bytes, persist::SECTION_INDEX_COMPRESSED);
+    let offsets = compressed_offsets(&bytes[off..off + len]);
+    assert!(offsets.n_blocks > 0, "corpus must produce posting blocks");
+
+    let pos = off + offsets.blk_bits;
+    let orig = bytes[pos];
+    for (what, patch) in [
+        // A width over 32 bits can never be honest.
+        ("width 33 > 32", 33u8),
+        // Shifting the width by 8 moves this block's packed-run length by
+        // exactly its posting count, so the recorded run chain must break.
+        (
+            "width shifted by 8",
+            if orig < 25 { orig + 8 } else { orig - 8 },
+        ),
+    ] {
+        let mut bad = bytes.clone();
+        bad[pos] = patch;
+        match assert_both_loaders_reject(&bad, what) {
+            PersistError::ChecksumMismatch { section, .. } => {
+                assert_eq!(section, persist::SECTION_INDEX_COMPRESSED, "{what}");
+            }
+            other => panic!("{what}: expected ChecksumMismatch, got {other}"),
+        }
+        refresh_crc(&mut bad, entry, off, len);
+        match assert_both_loaders_reject(&bad, &format!("{what} + CRC fix")) {
+            PersistError::Malformed { section, detail } => {
+                assert_eq!(section, persist::SECTION_INDEX_COMPRESSED, "{what}");
+                assert!(!detail.is_empty());
+            }
+            other => panic!("{what}: expected Malformed, got {other}"),
+        }
+    }
+}
+
+/// CRC-repaired corruption of the quantization constants and the
+/// per-posting quantized impacts: a non-finite or negative scale, and a
+/// quantized value whose dequantized bound understates the exact impact,
+/// are each rejected — the "quantize to reject" side can therefore never
+/// skip a posting the exact engine would keep.
+#[test]
+fn out_of_range_quantization_is_rejected_after_crc_repair() {
+    let (folksonomy, model) = build_random(37);
+    let bytes = persist::save_to_vec_with(&model, &folksonomy, true);
+    let (entry, off, len) = find_section(&bytes, persist::SECTION_INDEX_COMPRESSED);
+    let offsets = compressed_offsets(&bytes[off..off + len]);
+    assert!(offsets.n_blocks > 0 && offsets.n_postings > 0);
+
+    for (what, pos, patch) in [
+        ("NaN scale", off + offsets.blk_scale, f32::NAN.to_le_bytes()),
+        (
+            "negative scale",
+            off + offsets.blk_scale,
+            (-1.0f32).to_le_bytes(),
+        ),
+    ] {
+        let mut bad = bytes.clone();
+        bad[pos..pos + 4].copy_from_slice(&patch);
+        refresh_crc(&mut bad, entry, off, len);
+        match assert_both_loaders_reject(&bad, what) {
+            PersistError::Malformed { section, detail } => {
+                assert_eq!(section, persist::SECTION_INDEX_COMPRESSED, "{what}");
+                assert!(!detail.is_empty());
+            }
+            other => panic!("{what}: expected Malformed, got {other}"),
+        }
+    }
+
+    // Understate one quantized impact (quant values are upper bounds, so
+    // lowering a nonzero one below its exact impact must be caught).
+    let quant_start = off + offsets.quant;
+    let pos = (0..offsets.n_postings)
+        .map(|j| quant_start + j)
+        .find(|&p| bytes[p] > 0)
+        .expect("some posting quantizes above 0");
+    let mut bad = bytes.clone();
+    bad[pos] = 0;
+    refresh_crc(&mut bad, entry, off, len);
+    match assert_both_loaders_reject(&bad, "understated quantized impact") {
+        PersistError::Malformed { section, detail } => {
+            assert_eq!(section, persist::SECTION_INDEX_COMPRESSED);
+            assert!(detail.contains("bound"), "detail: {detail}");
+        }
+        other => panic!("expected Malformed, got {other}"),
+    }
+}
+
+/// The every-flipped-byte sweep over a compressed artifact: same contract
+/// as the uncompressed sweep — typed error or consistent load, no panic.
+#[test]
+fn every_flipped_byte_is_detected_in_compressed_artifacts() {
+    let (folksonomy, model) = build_random(38);
+    let bytes = persist::save_to_vec_with(&model, &folksonomy, true);
+    for pos in (0..bytes.len()).step_by(131) {
+        let mut bad = bytes.clone();
+        bad[pos] ^= 0x40;
+        match persist::load_from_bytes(&bad) {
+            Err(e) => assert!(!e.to_string().is_empty(), "pos {pos}: empty error message"),
+            Ok(loaded) => {
+                assert_eq!(loaded.folksonomy.stats(), folksonomy.stats(), "pos {pos}");
+            }
+        }
     }
 }
 

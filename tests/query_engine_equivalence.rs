@@ -1,11 +1,13 @@
 //! Property-style equivalence tests for the pruned top-k query engine:
-//! over randomized corpora (via `cubelsi-datagen`), a **three-way**
+//! over randomized corpora (via `cubelsi-datagen`), a **four-way**
 //! bitwise equivalence must hold — the exhaustive reference path, the
 //! MaxScore per-posting path ([`PruningStrategy::MaxScore`], the PR-1
-//! engine kept selectable as the reference pruned path), and the default
-//! block-max path ([`PruningStrategy::BlockMax`]) must return *exactly*
-//! the same ranked list — scores (bit-for-bit), order, and tie-breaks —
-//! for hard and soft concept assignments and k ∈ {1, 5, all}.
+//! engine kept selectable as the reference pruned path), the default
+//! block-max path ([`PruningStrategy::BlockMax`]), and the compressed
+//! decode-and-admit path ([`PruningStrategy::CompressedBlockMax`]) must
+//! return *exactly* the same ranked list — scores (bit-for-bit), order,
+//! and tie-breaks — for hard and soft concept assignments and
+//! k ∈ {1, 5, all}.
 //!
 //! This is the correctness contract that makes the pruning optimizations
 //! deployable: they are pure speedups, never approximations.
@@ -20,8 +22,12 @@ use cubelsi::linalg::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Both pruned strategies, checked against the exhaustive path in turn.
-const STRATEGIES: [PruningStrategy; 2] = [PruningStrategy::MaxScore, PruningStrategy::BlockMax];
+/// Every pruned strategy, checked against the exhaustive path in turn.
+const STRATEGIES: [PruningStrategy; 3] = [
+    PruningStrategy::MaxScore,
+    PruningStrategy::BlockMax,
+    PruningStrategy::CompressedBlockMax,
+];
 
 fn random_corpus(seed: u64, users: usize, resources: usize, assignments: usize) -> Folksonomy {
     generate(&GeneratorConfig {

@@ -1,8 +1,10 @@
 //! Proves the steady-state serving claim: once a [`QuerySession`] and the
 //! output buffer are warmed, `search_tags_with` performs **zero heap
-//! allocations** per query — under both pruning strategies (the MaxScore
-//! reference and the default block-max loop), and on an engine serving
-//! zero-copy out of a loaded artifact buffer.
+//! allocations** per query — under every pruning strategy (the MaxScore
+//! reference, the default block-max loop, and the compressed
+//! decode-and-admit loop), and on an engine serving zero-copy out of a
+//! loaded artifact buffer (including the compressed mirror borrowed
+//! straight from a format-v3 artifact).
 //!
 //! A counting global allocator wraps the system allocator; the test warms
 //! the session over the query set, snapshots the allocation counter, runs
@@ -97,15 +99,20 @@ fn steady_state_search_allocates_nothing() {
         })
         .collect();
 
-    // Both pruning strategies on the freshly built engine.
-    for strategy in [PruningStrategy::BlockMax, PruningStrategy::MaxScore] {
+    // Every pruning strategy on the freshly built engine.
+    for strategy in [
+        PruningStrategy::BlockMax,
+        PruningStrategy::MaxScore,
+        PruningStrategy::CompressedBlockMax,
+    ] {
         engine.set_strategy(strategy);
         assert_steady_state_alloc_free(&engine, &model, &queries);
     }
 
-    // And the block-max path on an engine serving zero-copy out of an
-    // artifact buffer: the Slab-borrowed arrays must change nothing about
-    // the steady-state allocation profile.
+    // And every strategy on an engine serving zero-copy out of a
+    // compressed (format v3) artifact buffer: the Slab-borrowed arrays —
+    // exact and compressed mirror alike — must change nothing about the
+    // steady-state allocation profile.
     let cfg = cubelsi::core::CubeLsiConfig {
         core_dims: Some((8, 8, 8)),
         num_concepts: Some(8),
@@ -113,11 +120,22 @@ fn steady_state_search_allocates_nothing() {
         ..Default::default()
     };
     let built = cubelsi::core::CubeLsi::build(f, &cfg).unwrap();
-    let bytes = persist::save_to_vec(&built, f);
+    let bytes = persist::save_to_vec_with(&built, f, true);
     let buf = std::sync::Arc::new(cubelsi::core::AlignedBytes::from_bytes(&bytes));
     let loaded = persist::load_zero_copy(buf).unwrap();
     assert!(loaded.model.index().is_zero_copy());
-    assert_steady_state_alloc_free(loaded.model.engine(), &model, &queries);
+    // Cloning the index clones `Arc`s, not arrays: the rebuilt engine
+    // still serves out of the file buffer.
+    let mut zc_engine = QueryEngine::new(loaded.model.index().clone());
+    assert!(zc_engine.index().is_zero_copy());
+    for strategy in [
+        PruningStrategy::BlockMax,
+        PruningStrategy::MaxScore,
+        PruningStrategy::CompressedBlockMax,
+    ] {
+        zc_engine.set_strategy(strategy);
+        assert_steady_state_alloc_free(&zc_engine, &model, &queries);
+    }
 
     // Sharded scatter-gather steady state: after warm-up, per-shard
     // sessions, the shared term buffer, the per-shard result buffers,

@@ -1,7 +1,7 @@
 //! The sharded-serving correctness contract: a [`ShardSet`]'s
 //! scatter-gather answers must be **bit-identical** — scores, order,
 //! tie-breaks — to a single unsharded [`QueryEngine`] over the same
-//! corpus, for every shard count, both pruning strategies, hard and soft
+//! corpus, for every shard count, every pruning strategy, hard and soft
 //! concept assignments, sequential/scatter/batched execution at several
 //! thread counts, artifacts loaded owned and zero-copy, and immediately
 //! after a hot reload. This is what makes sharding a pure scaling move,
@@ -18,7 +18,11 @@ use cubelsi::linalg::{parallel, Matrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-const STRATEGIES: [PruningStrategy; 2] = [PruningStrategy::MaxScore, PruningStrategy::BlockMax];
+const STRATEGIES: [PruningStrategy; 3] = [
+    PruningStrategy::MaxScore,
+    PruningStrategy::BlockMax,
+    PruningStrategy::CompressedBlockMax,
+];
 const SHARD_COUNTS: [usize; 3] = [1, 2, 7];
 
 fn random_corpus(seed: u64, users: usize, resources: usize, assignments: usize) -> Folksonomy {
@@ -196,9 +200,10 @@ fn build_small_model(seed: u64) -> (Folksonomy, CubeLsi) {
     (ds.folksonomy, model)
 }
 
-/// End-to-end through the persistence layer: `save_sharded` manifests
-/// loaded owned and zero-copy answer bit-identically to the unsharded
-/// artifact, under both strategies.
+/// End-to-end through the persistence layer: `save_sharded` manifests —
+/// plain and compressed (format v3 shards) — loaded owned and zero-copy
+/// answer bit-identically to the unsharded artifact, under every
+/// strategy.
 #[test]
 fn sharded_artifacts_round_trip_owned_and_zero_copy() {
     let (f, model) = build_small_model(41);
@@ -213,30 +218,34 @@ fn sharded_artifacts_round_trip_owned_and_zero_copy() {
         .collect();
 
     for &n in &SHARD_COUNTS {
-        let manifest_path = dir.join(format!("model-{n}.shards"));
-        let report = shard::save_sharded(&manifest_path, &model, &f, n).unwrap();
-        assert_eq!(report.shard_paths.len(), n);
-        assert_eq!(
-            report.shard_postings.iter().sum::<usize>(),
-            model.index().num_postings(),
-            "shards must partition the postings exactly"
-        );
-        for mode in [LoadMode::Owned, LoadMode::ZeroCopy] {
-            let mut set = shard::load_source(&manifest_path, mode).unwrap();
-            assert_eq!(set.num_shards(), n);
-            assert_eq!(set.is_zero_copy(), mode == LoadMode::ZeroCopy);
-            for strategy in STRATEGIES {
-                set.set_strategy(strategy);
-                let mut session = set.session();
-                let mut out = Vec::new();
-                for (qi, q) in queries.iter().enumerate() {
-                    let single = model.search_ids(q, 10);
-                    set.search_tags_with(&mut session, set.concepts(), q, 10, &mut out);
-                    assert_identical(
-                        &out,
-                        &single,
-                        &format!("persist shards={n} {mode:?} {strategy:?} q#{qi}"),
-                    );
+        for compress in [false, true] {
+            let manifest_path = dir.join(format!("model-{n}-c{}.shards", compress as u8));
+            let report = shard::save_sharded_with(&manifest_path, &model, &f, n, compress).unwrap();
+            assert_eq!(report.shard_paths.len(), n);
+            assert_eq!(
+                report.shard_postings.iter().sum::<usize>(),
+                model.index().num_postings(),
+                "shards must partition the postings exactly"
+            );
+            for mode in [LoadMode::Owned, LoadMode::ZeroCopy] {
+                let mut set = shard::load_source(&manifest_path, mode).unwrap();
+                assert_eq!(set.num_shards(), n);
+                assert_eq!(set.is_zero_copy(), mode == LoadMode::ZeroCopy);
+                for strategy in STRATEGIES {
+                    set.set_strategy(strategy);
+                    let mut session = set.session();
+                    let mut out = Vec::new();
+                    for (qi, q) in queries.iter().enumerate() {
+                        let single = model.search_ids(q, 10);
+                        set.search_tags_with(&mut session, set.concepts(), q, 10, &mut out);
+                        assert_identical(
+                            &out,
+                            &single,
+                            &format!(
+                                "persist shards={n} compress={compress} {mode:?} {strategy:?} q#{qi}"
+                            ),
+                        );
+                    }
                 }
             }
         }
