@@ -340,6 +340,9 @@ impl CompressedPostings {
 unsafe fn window_unchecked(bytes: &[u8], bit: usize) -> u64 {
     let byte = bit >> 3;
     debug_assert!(byte + 8 <= bytes.len());
+    // SAFETY: `byte + 8 ≤ bytes.len()` is the caller's contract (see
+    // `# Safety` above), so the unaligned 8-byte read stays in bounds
+    // of the provenance-carrying slice pointer.
     u64::from_le_bytes(unsafe { bytes.as_ptr().add(byte).cast::<[u8; 8]>().read_unaligned() })
         >> (bit & 7)
 }
@@ -361,6 +364,10 @@ fn unpack_grouped<const G: usize>(
     out: &mut [u32],
 ) {
     debug_assert!(7 + G * bits <= 64);
+    // SAFETY: every requested window starts inside the packed run and
+    // the run carries 8 guard bytes past its end (pack-run-chain
+    // invariant re-validated on load), so `window_unchecked`'s
+    // in-bounds contract holds for each call below.
     let window = |bit: usize| -> u64 { unsafe { window_unchecked(bytes, bit) } };
     let done = out.len() / G * G;
     let mut chunks = out.chunks_exact_mut(G);
@@ -388,6 +395,10 @@ fn stream_grouped<const G: usize>(
     mut f: impl FnMut(usize, u32),
 ) {
     debug_assert!(7 + G * bits <= 64);
+    // SAFETY: every requested window starts inside the packed run and
+    // the run carries 8 guard bytes past its end (pack-run-chain
+    // invariant re-validated on load), so `window_unchecked`'s
+    // in-bounds contract holds for each call below.
     let window = |bit: usize| -> u64 { unsafe { window_unchecked(bytes, bit) } };
     let mut j = 0;
     while j + G <= len {
@@ -416,7 +427,10 @@ fn stream_grouped<const G: usize>(
 /// [`simd::unpack`] for the width-range derivation.
 #[inline]
 fn unpack_simd_if_supported(bytes: &[u8], bits: usize, base: u32, out: &mut [u32]) -> bool {
-    #[cfg(target_arch = "x86_64")]
+    // Under Miri the vector kernel is compiled out (no AVX2 intrinsic
+    // shims there); the scalar grouped windows cover every width, so
+    // the interpreted runs exercise the same decode results.
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     if (simd::MIN_BITS..=simd::MAX_BITS).contains(&bits)
         && std::arch::is_x86_feature_detected!("avx2")
     {
@@ -426,7 +440,7 @@ fn unpack_simd_if_supported(bytes: &[u8], bits: usize, base: u32, out: &mut [u32
         unsafe { simd::unpack(bytes, bits, base, out) };
         return true;
     }
-    #[cfg(not(target_arch = "x86_64"))]
+    #[cfg(any(not(target_arch = "x86_64"), miri))]
     let _ = (bytes, bits, base, out);
     false
 }
@@ -434,7 +448,7 @@ fn unpack_simd_if_supported(bytes: &[u8], bits: usize, base: u32, out: &mut [u32
 /// AVX2 bit-unpack kernel for the mid/wide widths where the scalar
 /// grouped windows drop to 2–3 ids per load: one `vpshufb` byte-gather
 /// plus a per-lane variable shift decodes 8 ids per iteration.
-#[cfg(target_arch = "x86_64")]
+#[cfg(all(target_arch = "x86_64", not(miri)))]
 mod simd {
     use super::window_unchecked;
     use core::arch::x86_64::*;
@@ -503,8 +517,14 @@ mod simd {
     pub unsafe fn unpack(bytes: &[u8], bits: usize, base: u32, out: &mut [u32]) {
         debug_assert!((MIN_BITS..=MAX_BITS).contains(&bits));
         let (shuf_ctrl, shift_ctrl) = &CTRL[bits];
-        let shuf = _mm256_loadu_si256(shuf_ctrl.as_ptr() as *const __m256i);
-        let shift = _mm256_loadu_si256(shift_ctrl.as_ptr() as *const __m256i);
+        // SAFETY: 32-byte unaligned loads from the 32-byte const
+        // control tables (`[u8; 32]` / `[u32; 8]`), fully in bounds.
+        let (shuf, shift) = unsafe {
+            (
+                _mm256_loadu_si256(shuf_ctrl.as_ptr() as *const __m256i),
+                _mm256_loadu_si256(shift_ctrl.as_ptr() as *const __m256i),
+            )
+        };
         let maskv = _mm256_set1_epi32(((1u32 << bits) - 1) as i32);
         let basev = _mm256_set1_epi32(base as i32);
         let len = out.len();
@@ -513,18 +533,28 @@ mod simd {
         let dst = out.as_mut_ptr();
         let mut g = 0;
         while (g + 1) * 8 <= len {
-            let lo = src.add(g * bits);
-            let v = _mm256_loadu2_m128i(lo.add(hi_off) as *const __m128i, lo as *const __m128i);
-            let v = _mm256_shuffle_epi8(v, shuf);
-            let v = _mm256_srlv_epi32(v, shift);
-            let v = _mm256_and_si256(v, maskv);
-            let v = _mm256_add_epi32(v, basev);
-            _mm256_storeu_si256(dst.add(g * 8) as *mut __m256i, v);
+            // SAFETY: both 16-byte loads for group `g ≤ len/8 − 1` end
+            // within the guard-padded run (the `# Safety` derivation
+            // above, backed by the caller's `window_unchecked`
+            // invariant), and the 32-byte store covers
+            // `out[8g..8g + 8]`, in bounds by the loop condition.
+            unsafe {
+                let lo = src.add(g * bits);
+                let v = _mm256_loadu2_m128i(lo.add(hi_off) as *const __m128i, lo as *const __m128i);
+                let v = _mm256_shuffle_epi8(v, shuf);
+                let v = _mm256_srlv_epi32(v, shift);
+                let v = _mm256_and_si256(v, maskv);
+                let v = _mm256_add_epi32(v, basev);
+                _mm256_storeu_si256(dst.add(g * 8) as *mut __m256i, v);
+            }
             g += 1;
         }
         let mask = (1u64 << bits) - 1;
         for (j, slot) in out.iter_mut().enumerate().skip(g * 8) {
-            *slot = base.wrapping_add((window_unchecked(bytes, j * bits) & mask) as u32);
+            // SAFETY: the window starts inside the run (`j < len`) and
+            // the 8 guard bytes keep the read in bounds — the caller's
+            // contract, unchanged from the vector groups above.
+            *slot = base.wrapping_add((unsafe { window_unchecked(bytes, j * bits) } & mask) as u32);
         }
     }
 }
@@ -847,7 +877,7 @@ impl ConceptIndex {
         }
 
         let compressed = compress_postings(num_concepts, &post_offsets, &post_ids, &post_scores);
-        ConceptIndex {
+        let index = ConceptIndex {
             num_resources,
             num_concepts,
             idf: idf.into(),
@@ -862,7 +892,9 @@ impl ConceptIndex {
             block_max: block_max.into(),
             max_impact: max_impact.into(),
             compressed,
-        }
+        };
+        debug_assert_eq!(index.check_structure(), Ok(()));
+        index
     }
 
     /// Reassembles an index directly from SoA slabs, exactly as a previous
@@ -908,7 +940,7 @@ impl ConceptIndex {
         });
         debug_assert_eq!(compressed.num_blocks(), block_max.len());
         debug_assert_eq!(compressed.quant.len(), post_ids.len());
-        ConceptIndex {
+        let index = ConceptIndex {
             num_resources,
             num_concepts,
             idf,
@@ -923,7 +955,142 @@ impl ConceptIndex {
             block_max,
             max_impact,
             compressed,
+        };
+        debug_assert_eq!(index.check_structure(), Ok(()));
+        index
+    }
+
+    /// Debug-build structural validator, shared between the
+    /// `debug_assert!`s in the constructors and the test suite. Checks
+    /// the three invariants the unsafe decode kernels and the pruning
+    /// strategies lean on, returning a description of the first
+    /// violation:
+    ///
+    /// * **pack-run chain** — `blk_pack_start` is monotone, each block's
+    ///   run is exactly `ceil(len·bits / 8)` bytes, the chain's end plus
+    ///   the 8 guard bytes equals `packed_ids.len()`, and the guard
+    ///   bytes are zero (this is what makes every `window_unchecked`
+    ///   load in-bounds);
+    /// * **block-max consistency** — `block_offsets` is monotone with
+    ///   `ceil(len / BLOCK_LEN)` blocks per concept, every `block_max`
+    ///   entry equals its block's first (maximum) impact, posting lists
+    ///   are impact-descending with ties ascending by id, and
+    ///   `max_impact` mirrors each list head;
+    /// * **shape coherence** — every parallel array has the advertised
+    ///   length and `post_offsets`/`rv_offsets` are monotone and end at
+    ///   their arrays' lengths.
+    pub(crate) fn check_structure(&self) -> Result<(), String> {
+        let fail = |what: String| -> Result<(), String> { Err(what) };
+        // Shape coherence.
+        if self.idf.len() != self.num_concepts {
+            return fail(format!(
+                "idf len {} != {}",
+                self.idf.len(),
+                self.num_concepts
+            ));
         }
+        if self.resource_norms.len() != self.num_resources
+            || self.rv_offsets.len() != self.num_resources + 1
+            || self.rv_concepts.len() != self.rv_weights.len()
+        {
+            return fail("resource-vector arrays out of shape".to_owned());
+        }
+        if self.post_offsets.len() != self.num_concepts + 1
+            || self.post_ids.len() != self.post_scores.len()
+            || self.block_offsets.len() != self.num_concepts + 1
+            || self.max_impact.len() != self.num_concepts
+        {
+            return fail("posting arrays out of shape".to_owned());
+        }
+        let monotone_to = |offsets: &[u64], end: usize, what: &str| -> Result<(), String> {
+            if offsets.windows(2).any(|w| w[0] > w[1]) {
+                return Err(format!("{what} offsets not monotone"));
+            }
+            if offsets.last().copied() != Some(end as u64) {
+                return Err(format!("{what} offsets do not end at {end}"));
+            }
+            Ok(())
+        };
+        monotone_to(&self.rv_offsets, self.rv_concepts.len(), "resource-vector")?;
+        monotone_to(&self.post_offsets, self.post_ids.len(), "posting")?;
+        monotone_to(&self.block_offsets, self.block_max.len(), "block")?;
+
+        // Block-max consistency + impact order.
+        for l in 0..self.num_concepts {
+            let lo = self.post_offsets[l] as usize;
+            let hi = self.post_offsets[l + 1] as usize;
+            let list_ids = &self.post_ids[lo..hi];
+            let list_scores = &self.post_scores[lo..hi];
+            for j in 1..list_scores.len() {
+                if cmp_ranked(
+                    list_scores[j - 1],
+                    list_ids[j - 1],
+                    list_scores[j],
+                    list_ids[j],
+                ) == std::cmp::Ordering::Greater
+                {
+                    return fail(format!("concept {l} posting {j} out of impact order"));
+                }
+            }
+            let head = list_scores.first().copied().unwrap_or(0.0);
+            if self.max_impact[l].to_bits() != head.to_bits() {
+                return fail(format!("concept {l} max_impact disagrees with list head"));
+            }
+            let blo = self.block_offsets[l] as usize;
+            let bhi = self.block_offsets[l + 1] as usize;
+            if bhi - blo != list_ids.len().div_ceil(BLOCK_LEN) {
+                return fail(format!(
+                    "concept {l} owns {} blocks, expected ceil",
+                    bhi - blo
+                ));
+            }
+            for (b, block) in (blo..bhi).zip(list_scores.chunks(BLOCK_LEN)) {
+                let first = block.first().copied().unwrap_or(0.0);
+                if self.block_max[b].to_bits() != first.to_bits() {
+                    return fail(format!("block {b} max disagrees with its first impact"));
+                }
+            }
+        }
+
+        // Pack-run chain over the compressed mirror.
+        let c = &self.compressed;
+        let n_blocks = self.block_max.len();
+        if c.blk_base.len() != n_blocks
+            || c.blk_bits.len() != n_blocks
+            || c.blk_scale.len() != n_blocks
+            || c.blk_offset.len() != n_blocks
+            || c.blk_pack_start.len() != n_blocks + 1
+            || c.quant.len() != self.post_ids.len()
+        {
+            return fail("compressed arrays out of shape".to_owned());
+        }
+        let mut block = 0usize;
+        for l in 0..self.num_concepts {
+            let mut len = (self.post_offsets[l + 1] - self.post_offsets[l]) as usize;
+            while len > 0 {
+                let blk_len = len.min(BLOCK_LEN);
+                let start = c.blk_pack_start[block] as usize;
+                let end = c.blk_pack_start[block + 1] as usize;
+                let bits = c.blk_bits[block] as usize;
+                if end < start || end - start != (blk_len * bits).div_ceil(8) {
+                    return fail(format!("block {block} packed run has wrong length"));
+                }
+                block += 1;
+                len -= blk_len;
+            }
+        }
+        let used = c.blk_pack_start.last().copied().unwrap_or(0) as usize;
+        if c.packed_ids.len() != used + 8 {
+            return fail(format!(
+                "packed id stream is {} bytes, chain + guard require {}",
+                c.packed_ids.len(),
+                used + 8
+            ));
+        }
+        if self.compressed.packed_ids[used..].iter().any(|&b| b != 0) {
+            return fail("guard bytes are not zero".to_owned());
+        }
+        Ok(())
     }
 
     /// The raw SoA arrays (for serialization).
@@ -1551,7 +1718,7 @@ mod tests {
     /// decode bit-for-bit at every width it accepts, including partial
     /// blocks and the worst-case buffer layout (exactly 8 guard bytes
     /// after the final run, as `compress_postings` emits).
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     #[test]
     fn simd_unpack_matches_scalar() {
         if !std::arch::is_x86_feature_detected!("avx2") {
@@ -1586,5 +1753,65 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn structural_validator_accepts_builds_and_flags_corruption() {
+        let (f, concepts) = corpus();
+        let index = ConceptIndex::build(&f, &concepts);
+        assert_eq!(index.check_structure(), Ok(()));
+
+        // Block-max drift: one cached maximum no longer matches its
+        // block's first impact.
+        let mut bad = index.clone();
+        let mut bm: Vec<f64> = bad.block_max.to_vec();
+        bm[0] += 1.0;
+        bad.block_max = bm.into();
+        let err = bad.check_structure().unwrap_err();
+        assert!(err.contains("disagrees with its first impact"), "{err}");
+
+        // Stale per-concept bound.
+        let mut bad = index.clone();
+        let mut mi: Vec<f64> = bad.max_impact.to_vec();
+        mi[0] *= 0.5;
+        bad.max_impact = mi.into();
+        let err = bad.check_structure().unwrap_err();
+        assert!(err.contains("disagrees with list head"), "{err}");
+
+        // Impact order broken: reverse one posting list in place.
+        let mut bad = index.clone();
+        let mut scores: Vec<f64> = bad.post_scores.to_vec();
+        let (lo, hi) = (bad.post_offsets[0] as usize, bad.post_offsets[1] as usize);
+        if hi - lo >= 2 && scores[lo] != scores[hi - 1] {
+            scores[lo..hi].reverse();
+            bad.post_scores = scores.into();
+            let err = bad.check_structure().unwrap_err();
+            assert!(err.contains("out of impact order"), "{err}");
+        }
+
+        // Pack-run chain: dropping a byte breaks the chain-end + guard
+        // accounting the unchecked window reads rely on.
+        let mut bad = index.clone();
+        let mut packed: Vec<u8> = bad.compressed.packed_ids.to_vec();
+        packed.pop();
+        bad.compressed.packed_ids = packed.into();
+        let err = bad.check_structure().unwrap_err();
+        assert!(err.contains("chain + guard require"), "{err}");
+
+        // Dirty guard byte.
+        let mut bad = index.clone();
+        let mut packed: Vec<u8> = bad.compressed.packed_ids.to_vec();
+        *packed.last_mut().unwrap() = 1;
+        bad.compressed.packed_ids = packed.into();
+        let err = bad.check_structure().unwrap_err();
+        assert!(err.contains("guard bytes are not zero"), "{err}");
+
+        // Non-monotone offsets.
+        let mut bad = index.clone();
+        let mut po: Vec<u64> = bad.post_offsets.to_vec();
+        po[1] = po[po.len() - 1] + 1;
+        bad.post_offsets = po.into();
+        let err = bad.check_structure().unwrap_err();
+        assert!(err.contains("posting offsets"), "{err}");
     }
 }

@@ -379,6 +379,41 @@ impl Encoder {
     }
 }
 
+/// Lossless `u32` -> `usize` widening for untrusted id/count fields.
+/// The hostile-input lint bans bare `as usize` casts in the parsing
+/// regions below; this is the single audited widening point, sound on
+/// every platform the crate supports.
+const _: () = assert!(
+    usize::BITS >= 32,
+    "cubelsi requires at least a 32-bit usize"
+);
+#[inline]
+pub(crate) fn widen(v: u32) -> usize {
+    v as usize
+}
+
+/// Reads a little-endian `u32` at `at`, `None` when out of bounds.
+#[inline]
+fn le_u32(bytes: &[u8], at: usize) -> Option<u32> {
+    bytes
+        .get(at..)?
+        .first_chunk::<4>()
+        .map(|c| u32::from_le_bytes(*c))
+}
+
+/// Reads a little-endian `u64` at `at`, `None` when out of bounds.
+#[inline]
+fn le_u64(bytes: &[u8], at: usize) -> Option<u64> {
+    bytes
+        .get(at..)?
+        .first_chunk::<8>()
+        .map(|c| u64::from_le_bytes(*c))
+}
+
+// xtask:hostile-input:begin — every byte below comes from an untrusted
+// artifact; typed errors only (no panics, no truncating casts, no raw
+// indexing) until the matching end marker.
+
 /// Bounds-checked reader over one section's payload. Every accessor
 /// returns [`PersistError::Malformed`] instead of panicking when the
 /// payload runs short, and collection reads verify that the advertised
@@ -408,28 +443,37 @@ impl<'a> Decoder<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
-        if self.buf.len() - self.pos < n {
+        let Some(out) = self
+            .pos
+            .checked_add(n)
+            .and_then(|end| self.buf.get(self.pos..end))
+        else {
             return Err(self.err(format!(
                 "payload exhausted at offset {} (need {n} more bytes of {})",
                 self.pos,
                 self.buf.len()
             )));
-        }
-        let out = &self.buf[self.pos..self.pos + n];
+        };
         self.pos += n;
         Ok(out)
     }
 
     fn u32(&mut self) -> Result<u32, PersistError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        match self.take(4)?.first_chunk::<4>() {
+            Some(c) => Ok(u32::from_le_bytes(*c)),
+            None => Err(self.err("short u32 read")),
+        }
     }
 
     fn u64(&mut self) -> Result<u64, PersistError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        match self.take(8)?.first_chunk::<8>() {
+            Some(c) => Ok(u64::from_le_bytes(*c)),
+            None => Err(self.err("short u64 read")),
+        }
     }
 
     fn f64(&mut self) -> Result<f64, PersistError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(f64::from_bits(self.u64()?))
     }
 
     fn usize(&mut self) -> Result<usize, PersistError> {
@@ -451,7 +495,7 @@ impl<'a> Decoder<'a> {
     }
 
     fn string(&mut self) -> Result<String, PersistError> {
-        let n = self.u32()? as usize;
+        let n = widen(self.u32()?);
         let bytes = self.take(n)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| self.err("non-UTF-8 string"))
     }
@@ -504,6 +548,9 @@ impl<'a> Decoder<'a> {
         Ok(())
     }
 }
+
+// xtask:hostile-input:end — the save path below serializes trusted
+// in-memory structures.
 
 // ---------------------------------------------------------------------------
 // Save
@@ -802,6 +849,9 @@ pub fn index_artifact_bytes(ix: &ConceptIndex, compress: bool) -> usize {
 
 /// Byte offset + element count of one array inside the SoA payload.
 #[derive(Debug, Clone, Copy)]
+// xtask:hostile-input:begin — layout arithmetic and the load path run
+// on untrusted header counts and raw artifact bytes.
+
 struct ArraySpan {
     offset: usize,
     len: usize,
@@ -1014,22 +1064,23 @@ type SectionView<'a> = (u32, usize, &'a [u8]);
 /// Validates the header + section table and returns the section views.
 fn parse_sections(bytes: &[u8]) -> Result<Vec<SectionView<'_>>, PersistError> {
     if bytes.len() < HEADER_LEN {
-        if bytes.len() >= MAGIC.len() && bytes[..MAGIC.len()] != MAGIC {
+        if bytes.len() >= MAGIC.len() && !bytes.starts_with(&MAGIC) {
             return Err(PersistError::BadMagic);
         }
         return Err(PersistError::Truncated { context: "header" });
     }
-    if bytes[..8] != MAGIC {
+    if !bytes.starts_with(&MAGIC) {
         return Err(PersistError::BadMagic);
     }
-    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    let header = |at: usize| le_u32(bytes, at).ok_or(PersistError::Truncated { context: "header" });
+    let version = header(8)?;
     if version > FORMAT_VERSION {
         return Err(PersistError::UnsupportedVersion {
             found: version,
             supported: FORMAT_VERSION,
         });
     }
-    let count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    let count = widen(header(12)?);
     let table_end = HEADER_LEN.saturating_add(count.saturating_mul(TABLE_ENTRY_LEN));
     if table_end > bytes.len() {
         return Err(PersistError::Truncated {
@@ -1037,13 +1088,17 @@ fn parse_sections(bytes: &[u8]) -> Result<Vec<SectionView<'_>>, PersistError> {
         });
     }
     let mut sections = Vec::with_capacity(count);
+    let table_short = || PersistError::Truncated {
+        context: "section table",
+    };
     for i in 0..count {
-        let entry =
-            &bytes[HEADER_LEN + i * TABLE_ENTRY_LEN..HEADER_LEN + (i + 1) * TABLE_ENTRY_LEN];
-        let id = u32::from_le_bytes(entry[0..4].try_into().unwrap());
-        let offset = u64::from_le_bytes(entry[4..12].try_into().unwrap());
-        let len = u64::from_le_bytes(entry[12..20].try_into().unwrap());
-        let expected_crc = u32::from_le_bytes(entry[20..24].try_into().unwrap());
+        // `table_end <= bytes.len()` was verified above; the checked
+        // reads below keep even a wrong bound panic-free.
+        let entry = HEADER_LEN + i * TABLE_ENTRY_LEN;
+        let id = le_u32(bytes, entry).ok_or_else(table_short)?;
+        let offset = le_u64(bytes, entry + 4).ok_or_else(table_short)?;
+        let len = le_u64(bytes, entry + 12).ok_or_else(table_short)?;
+        let expected_crc = le_u32(bytes, entry + 20).ok_or_else(table_short)?;
         let (offset, len) = match (usize::try_from(offset), usize::try_from(len)) {
             (Ok(o), Ok(l)) => (o, l),
             _ => {
@@ -1052,13 +1107,12 @@ fn parse_sections(bytes: &[u8]) -> Result<Vec<SectionView<'_>>, PersistError> {
                 })
             }
         };
-        let end = offset.saturating_add(len);
-        if end > bytes.len() {
-            return Err(PersistError::Truncated {
+        let payload = offset
+            .checked_add(len)
+            .and_then(|end| bytes.get(offset..end))
+            .ok_or(PersistError::Truncated {
                 context: "section payload",
-            });
-        }
-        let payload = &bytes[offset..end];
+            })?;
         let got = crc32(payload);
         if got != expected_crc {
             return Err(PersistError::ChecksumMismatch {
@@ -1091,17 +1145,18 @@ fn decode_meta(payload: &[u8]) -> Result<Meta, PersistError> {
         *slot = Duration::from_nanos(d.u64()?);
     }
     d.finish()?;
+    let [tensor_build, tucker, distances, clustering, indexing] = phases;
     Ok(Meta {
         num_users,
         num_tags,
         num_resources,
         num_assignments,
         timings: PhaseTimings {
-            tensor_build: phases[0],
-            tucker: phases[1],
-            distances: phases[2],
-            clustering: phases[3],
-            indexing: phases[4],
+            tensor_build,
+            tucker,
+            distances,
+            clustering,
+            indexing,
         },
     })
 }
@@ -1143,9 +1198,9 @@ fn decode_folksonomy(payload: &[u8], meta: &Meta) -> Result<Folksonomy, PersistE
     }
     let mut assignments = Vec::with_capacity(n);
     for _ in 0..n {
-        let u = d.u32()? as usize;
-        let t = d.u32()? as usize;
-        let r = d.u32()? as usize;
+        let u = widen(d.u32()?);
+        let t = widen(d.u32()?);
+        let r = widen(d.u32()?);
         if u >= users.len() || t >= tags.len() || r >= resources.len() {
             return Err(d.err(format!("assignment ({u}, {t}, {r}) references unknown ids")));
         }
@@ -1176,11 +1231,7 @@ fn decode_tucker(payload: &[u8]) -> Result<TuckerDecomposition, PersistError> {
         core_data.push(d.f64()?);
     }
     let core = DenseTensor3::from_vec(j1, j2, j3, core_data).map_err(|e| d.err(e.to_string()))?;
-    let mut factors = Vec::with_capacity(3);
-    for _ in 0..3 {
-        factors.push(d.matrix()?);
-    }
-    let factors: [Matrix; 3] = factors.try_into().expect("exactly three factors read");
+    let factors: [Matrix; 3] = [d.matrix()?, d.matrix()?, d.matrix()?];
     for (mode, (factor, j)) in factors.iter().zip([j1, j2, j3]).enumerate() {
         if factor.cols() != j {
             return Err(d.err(format!(
@@ -1270,29 +1321,32 @@ fn bulk_owned<T: Pod + LeScalar>(bytes: &[u8]) -> Vec<T> {
 trait LeScalar: Sized {
     fn from_le_chunk(chunk: &[u8]) -> Self;
 }
+// `bulk_owned` feeds these via `chunks_exact(size_of::<T>())`, so every
+// chunk is full; the `map_or` defaults keep the parsing layer panic-free
+// without an unreachable unwrap.
 impl LeScalar for u8 {
     fn from_le_chunk(c: &[u8]) -> Self {
-        c[0]
+        c.first().copied().unwrap_or(0)
     }
 }
 impl LeScalar for f32 {
     fn from_le_chunk(c: &[u8]) -> Self {
-        f32::from_le_bytes(c.try_into().unwrap())
+        c.first_chunk::<4>().map_or(0.0, |c| f32::from_le_bytes(*c))
     }
 }
 impl LeScalar for u32 {
     fn from_le_chunk(c: &[u8]) -> Self {
-        u32::from_le_bytes(c.try_into().unwrap())
+        c.first_chunk::<4>().map_or(0, |c| u32::from_le_bytes(*c))
     }
 }
 impl LeScalar for u64 {
     fn from_le_chunk(c: &[u8]) -> Self {
-        u64::from_le_bytes(c.try_into().unwrap())
+        c.first_chunk::<8>().map_or(0, |c| u64::from_le_bytes(*c))
     }
 }
 impl LeScalar for f64 {
     fn from_le_chunk(c: &[u8]) -> Self {
-        f64::from_le_bytes(c.try_into().unwrap())
+        c.first_chunk::<8>().map_or(0.0, |c| f64::from_le_bytes(*c))
     }
 }
 
@@ -1321,16 +1375,16 @@ fn decode_index_soa(
             SOA_HEADER_FIELDS * 8
         )));
     }
-    let field = |i: usize| u64::from_le_bytes(payload[i * 8..(i + 1) * 8].try_into().unwrap());
+    let field = |i: usize| le_u64(payload, i * 8).ok_or_else(|| err("header truncated".to_owned()));
     let to_usize = |v: u64, what: &str| {
         usize::try_from(v).map_err(|_| err(format!("{what} = {v} exceeds usize")))
     };
-    let stored_resources = to_usize(field(0), "num_resources")?;
-    let stored_concepts = to_usize(field(1), "num_concepts")?;
-    let block_len = field(2);
-    let rv_nnz = to_usize(field(3), "rv_nnz")?;
-    let n_postings = to_usize(field(4), "n_postings")?;
-    let n_blocks = to_usize(field(5), "n_blocks")?;
+    let stored_resources = to_usize(field(0)?, "num_resources")?;
+    let stored_concepts = to_usize(field(1)?, "num_concepts")?;
+    let block_len = field(2)?;
+    let rv_nnz = to_usize(field(3)?, "rv_nnz")?;
+    let n_postings = to_usize(field(4)?, "n_postings")?;
+    let n_blocks = to_usize(field(5)?, "n_blocks")?;
     if stored_resources != num_resources || stored_concepts != num_concepts {
         return Err(err(format!(
             "index is {stored_resources}x{stored_concepts}, model is {num_resources}x{num_concepts}"
@@ -1357,7 +1411,16 @@ fn decode_index_soa(
         owner: Option<&Arc<AlignedBytes>>,
         span: ArraySpan,
     ) -> Result<Slab<T>, PersistError> {
-        let bytes = &payload[span.offset..span.offset + span.len * std::mem::size_of::<T>()];
+        // The layout's `total_len == payload.len()` equality was checked
+        // above, but carve with checked arithmetic anyway.
+        let bytes = span
+            .len
+            .checked_mul(std::mem::size_of::<T>())
+            .and_then(|n| span.offset.checked_add(n))
+            .and_then(|end| payload.get(span.offset..end))
+            .ok_or(PersistError::Truncated {
+                context: "index array",
+            })?;
         match owner {
             None => Ok(Slab::Owned(bulk_owned(bytes))),
             Some(arc) => Slab::borrowed(arc.clone(), file_offset + span.offset, span.len).ok_or(
@@ -1464,14 +1527,14 @@ fn decode_index_compressed(
             COMPRESSED_HEADER_FIELDS * 8
         )));
     }
-    let field = |i: usize| u64::from_le_bytes(payload[i * 8..(i + 1) * 8].try_into().unwrap());
+    let field = |i: usize| le_u64(payload, i * 8).ok_or_else(|| err("header truncated".to_owned()));
     let to_usize = |v: u64, what: &str| {
         usize::try_from(v).map_err(|_| err(format!("{what} = {v} exceeds usize")))
     };
-    let n_blocks = to_usize(field(0), "n_blocks")?;
-    let n_postings = to_usize(field(1), "n_postings")?;
-    let packed_len = to_usize(field(2), "packed_len")?;
-    let block_len = field(3);
+    let n_blocks = to_usize(field(0)?, "n_blocks")?;
+    let n_postings = to_usize(field(1)?, "n_postings")?;
+    let packed_len = to_usize(field(2)?, "packed_len")?;
+    let block_len = field(3)?;
     if block_len != BLOCK_LEN as u64 {
         return Err(err(format!(
             "block length {block_len} != supported {BLOCK_LEN}"
@@ -1498,7 +1561,16 @@ fn decode_index_compressed(
         owner: Option<&Arc<AlignedBytes>>,
         span: ArraySpan,
     ) -> Result<Slab<T>, PersistError> {
-        let bytes = &payload[span.offset..span.offset + span.len * std::mem::size_of::<T>()];
+        // The layout's `total_len == payload.len()` equality was checked
+        // above, but carve with checked arithmetic anyway.
+        let bytes = span
+            .len
+            .checked_mul(std::mem::size_of::<T>())
+            .and_then(|n| span.offset.checked_add(n))
+            .and_then(|end| payload.get(span.offset..end))
+            .ok_or(PersistError::Truncated {
+                context: "index array",
+            })?;
         match owner {
             None => Ok(Slab::Owned(bulk_owned(bytes))),
             Some(arc) => Slab::borrowed(arc.clone(), file_offset + span.offset, span.len).ok_or(
@@ -1520,6 +1592,11 @@ fn decode_index_compressed(
         packed_ids: slab(payload, file_offset, owner, layout.packed_ids)?,
     })
 }
+
+// xtask:hostile-input:end — the validators below run on typed arrays
+// whose lengths the layout equations already pinned down; their
+// in-bounds index arithmetic is proven by the exhaustive byte-flip
+// sweep in tests/persist_roundtrip.rs rather than by the lexical lint.
 
 /// Proves a restored compressed mirror honest against the (already
 /// validated) exact posting arrays. Order matters: the packed-run chain
@@ -1798,6 +1875,7 @@ fn validate_index_arrays(
 /// Legacy format-v1 index section: per-posting `(u32, f64)` pair lists.
 /// Decoded into the same SoA in-memory layout (block maxima derived from
 /// the sorted lists).
+// xtask:hostile-input:begin — v1 artifact decoding, untrusted bytes.
 fn decode_index_v1(
     payload: &[u8],
     num_resources: usize,
@@ -1827,7 +1905,7 @@ fn decode_index_v1(
     let mut resource_norms = Vec::with_capacity(n_res);
     for r in 0..n_res {
         let vector = d.pairs()?;
-        if let Some(&(l, _)) = vector.iter().find(|&&(l, _)| l as usize >= num_concepts) {
+        if let Some(&(l, _)) = vector.iter().find(|&&(l, _)| widen(l) >= num_concepts) {
             return Err(d.err(format!("resource {r} references unknown concept {l}")));
         }
         resource_vectors.push(vector);
@@ -1842,7 +1920,7 @@ fn decode_index_v1(
     let mut postings = Vec::with_capacity(n_post);
     for l in 0..n_post {
         let list = d.pairs()?;
-        if let Some(&(r, _)) = list.iter().find(|&&(r, _)| r as usize >= num_resources) {
+        if let Some(&(r, _)) = list.iter().find(|&&(r, _)| widen(r) >= num_resources) {
             return Err(d.err(format!("concept {l} posts unknown resource {r}")));
         }
         let stored_max = d.f64()?;
@@ -1888,6 +1966,7 @@ fn decode_index_v1(
     )?;
     Ok(index)
 }
+// xtask:hostile-input:end — tests below build their own trusted bytes.
 
 #[cfg(test)]
 mod tests {
@@ -2093,6 +2172,44 @@ mod tests {
         let buf = Arc::new(AlignedBytes::from_bytes(&v1));
         let zc = load_zero_copy(buf).unwrap();
         assert!(!zc.model.index().is_zero_copy());
+    }
+
+    /// The exhaustive hostile-byte sweep for the legacy decoder: a v1
+    /// artifact (tiny figure-2 corpus) with one byte flipped at every
+    /// offset must load to a typed error or to a bit-identical engine —
+    /// never panic. Companion to the v2/v3 sweep in
+    /// `tests/persist_roundtrip.rs`; this one lives here because only the
+    /// test module can synthesize v1 bytes.
+    #[test]
+    fn exhaustive_single_byte_flips_never_panic_v1() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        let (f, model) = built();
+        let v1 = save_to_vec_v1(&model, &f);
+        let queries = ["folk", "people", "laptop"];
+        let expect: Vec<_> = queries.iter().map(|q| model.search(&[*q], 0)).collect();
+        for pos in 0..v1.len() {
+            let mut bad = v1.clone();
+            bad[pos] ^= 1u8 << (pos % 8);
+            let outcome = catch_unwind(AssertUnwindSafe(|| load_from_bytes(&bad)))
+                .unwrap_or_else(|_| panic!("v1 loader panicked at offset {pos}"));
+            match outcome {
+                Err(e) => assert!(!e.to_string().is_empty(), "offset {pos}: empty error"),
+                Ok(loaded) => {
+                    for (q, expect) in queries.iter().zip(&expect) {
+                        let got = loaded.model.search(&[*q], 0);
+                        assert_eq!(got.len(), expect.len(), "offset {pos}: count diverged");
+                        for (g, e) in got.iter().zip(expect.iter()) {
+                            assert_eq!(
+                                (g.resource, g.score.to_bits()),
+                                (e.resource, e.score.to_bits()),
+                                "offset {pos}: ranking diverged"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -257,6 +257,105 @@ impl QuerySession {
         ((self.res_cur as u64) << 32) | slot as u64
     }
 
+    /// Debug-build epoch-coherence checker for the scratch arrays,
+    /// shared between the `debug_assert!` after every pruned run and the
+    /// test suite. The epoch scheme lets [`Self::begin`] invalidate the
+    /// dense per-concept and per-resource scratch in O(1); everything
+    /// downstream assumes the tags, the touched lists, and the slot
+    /// words agree. Checks, returning the first violation:
+    ///
+    /// * no epoch tag (concept, resource, or slot-word high bits) is
+    ///   ever ahead of its counter;
+    /// * `concept_touched` lists exactly the concepts whose tag equals
+    ///   the current epoch, with no duplicates;
+    /// * `acc_dense` is either empty (MaxScore path) or exactly
+    ///   parallel to `touched` (block-max paths);
+    /// * on the block-max paths, `slot_map[touched[s]]` is exactly
+    ///   `(res_cur << 32) | s` and no *other* resource carries a
+    ///   current-epoch slot word;
+    /// * on the MaxScore path, `res_epoch[touched[s]]` is current and
+    ///   no other resource's tag is.
+    pub(crate) fn check_epochs(&self) -> Result<(), String> {
+        if let Some(c) = self
+            .concept_epoch
+            .iter()
+            .position(|&e| e > self.concept_cur)
+        {
+            return Err(format!("concept {c} epoch tag is ahead of the counter"));
+        }
+        let live = |epochs: &[u32], cur: u32| -> usize {
+            if cur == 0 {
+                0
+            } else {
+                epochs.iter().filter(|&&e| e == cur).count()
+            }
+        };
+        for &c in &self.concept_touched {
+            let c = c as usize;
+            if self.concept_epoch.get(c) != Some(&self.concept_cur) {
+                return Err(format!(
+                    "touched concept {c} does not carry the current epoch"
+                ));
+            }
+        }
+        if live(&self.concept_epoch, self.concept_cur) != self.concept_touched.len() {
+            return Err("concept_touched and current-epoch tags disagree".to_owned());
+        }
+
+        if let Some(r) = self.res_epoch.iter().position(|&e| e > self.res_cur) {
+            return Err(format!("resource {r} epoch tag is ahead of the counter"));
+        }
+        if let Some(r) = self
+            .slot_map
+            .iter()
+            .position(|&w| (w >> 32) as u32 > self.res_cur)
+        {
+            return Err(format!("resource {r} slot word is ahead of the counter"));
+        }
+        if !self.acc_dense.is_empty() {
+            // Block-max paths: slot words index the dense accumulator.
+            if self.acc_dense.len() != self.touched.len() {
+                return Err("acc_dense and touched lengths diverge".to_owned());
+            }
+            for (slot, &r) in self.touched.iter().enumerate() {
+                let want = ((self.res_cur as u64) << 32) | slot as u64;
+                if self.slot_map.get(r as usize) != Some(&want) {
+                    return Err(format!(
+                        "touched resource {r} slot word does not point back at slot {slot}"
+                    ));
+                }
+            }
+            let current = if self.res_cur == 0 {
+                0
+            } else {
+                let bits = (self.res_cur as u64) << 32;
+                self.slot_map
+                    .iter()
+                    .filter(|&&w| w & 0xFFFF_FFFF_0000_0000 == bits)
+                    .count()
+            };
+            if current != self.touched.len() {
+                return Err(
+                    "a resource outside touched carries a current-epoch slot word".to_owned(),
+                );
+            }
+        } else {
+            // MaxScore path (or an empty query): the per-resource epoch
+            // tags are the admission record.
+            for &r in &self.touched {
+                if self.res_epoch.get(r as usize) != Some(&self.res_cur) {
+                    return Err(format!(
+                        "touched resource {r} does not carry the current epoch"
+                    ));
+                }
+            }
+            if live(&self.res_epoch, self.res_cur) != self.touched.len() {
+                return Err("touched and current-epoch resource tags disagree".to_owned());
+            }
+        }
+        Ok(())
+    }
+
     /// The terms prepared by the last query on this session (in whatever
     /// order preparation left them). The sharded engine reads this after
     /// [`QueryEngine::collect_tag_terms`] to broadcast one prepared query
@@ -351,6 +450,7 @@ impl QueryEngine {
         };
         self.index.order_terms(&mut session.terms);
         self.run_pruned(session, norm, top_k, out);
+        debug_assert_eq!(session.check_epochs(), Ok(()));
     }
 
     /// Prepares a tag query in `session` *without* applying a term order:
@@ -391,6 +491,7 @@ impl QueryEngine {
         session.ensure_capacity(&self.index);
         session.terms.extend_from_slice(terms);
         self.run_pruned(session, norm, top_k, out);
+        debug_assert_eq!(session.check_epochs(), Ok(()));
     }
 
     /// Ranks resources against raw `(concept, weight)` pairs. Finite
@@ -436,6 +537,7 @@ impl QueryEngine {
         };
         self.index.order_terms(&mut session.terms);
         self.run_pruned(session, norm, top_k, out);
+        debug_assert_eq!(session.check_epochs(), Ok(()));
     }
 
     /// The exact reference path behind the engine API: identical term
@@ -1828,13 +1930,75 @@ mod tests {
             }
         }
         let mut got: Vec<(f64, u32)> = heap.clone();
-        got.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        got.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
         let mut all: Vec<(f64, u32)> = scores
             .iter()
             .enumerate()
             .map(|(r, &s)| (s, r as u32))
             .collect();
-        all.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        all.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
         assert_eq!(got, all[..k]);
+    }
+
+    #[test]
+    fn epoch_checker_accepts_runs_and_flags_corruption() {
+        let (f, concepts, mut engine) = engine();
+        let mut session = engine.session();
+        let mut out = Vec::new();
+        let tags = [f.tag_id("audio").unwrap(), f.tag_id("laptop").unwrap()];
+        for strategy in [
+            PruningStrategy::MaxScore,
+            PruningStrategy::BlockMax,
+            PruningStrategy::CompressedBlockMax,
+        ] {
+            engine.set_strategy(strategy);
+            engine.search_tags_with(&mut session, &concepts, &tags, 0, &mut out);
+            assert_eq!(session.check_epochs(), Ok(()), "{strategy:?}");
+        }
+
+        // A touched resource whose slot word was lost (e.g. a stray
+        // overwrite) must be flagged.
+        engine.set_strategy(PruningStrategy::BlockMax);
+        engine.search_tags_with(&mut session, &concepts, &tags, 0, &mut out);
+        let saved = session.slot_map[session.touched[0] as usize];
+        session.slot_map[session.touched[0] as usize] = 0;
+        let err = session.check_epochs().unwrap_err();
+        assert!(err.contains("does not point back"), "{err}");
+        session.slot_map[session.touched[0] as usize] = saved;
+        assert_eq!(session.check_epochs(), Ok(()));
+
+        // A resource still carrying a current-epoch slot word after its
+        // admission record vanished.
+        let (r, a) = (
+            session.touched.pop().unwrap(),
+            session.acc_dense.pop().unwrap(),
+        );
+        let err = session.check_epochs().unwrap_err();
+        assert!(err.contains("outside touched"), "{err}");
+        session.touched.push(r);
+        session.acc_dense.push(a);
+        assert_eq!(session.check_epochs(), Ok(()));
+
+        // An epoch tag from the future (counter rolled back / stale
+        // session state) on each of the three tag arrays.
+        let saved = session.concept_epoch[0];
+        session.concept_epoch[0] = session.concept_cur + 1;
+        assert!(session
+            .check_epochs()
+            .unwrap_err()
+            .contains("ahead of the counter"));
+        session.concept_epoch[0] = saved;
+        let saved = session.res_epoch[0];
+        session.res_epoch[0] = session.res_cur + 1;
+        assert!(session
+            .check_epochs()
+            .unwrap_err()
+            .contains("ahead of the counter"));
+        session.res_epoch[0] = saved;
+
+        // A touched concept whose tag was invalidated.
+        session.concept_epoch[session.concept_touched[0] as usize] = 0;
+        let err = session.check_epochs().unwrap_err();
+        assert!(err.contains("does not carry the current epoch"), "{err}");
     }
 }

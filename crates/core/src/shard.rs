@@ -88,7 +88,7 @@ use cubelsi_linalg::parallel;
 
 use crate::concepts::ConceptModel;
 use crate::index::{cmp_ranked, order_terms_with, ConceptAssignment, RankedResource};
-use crate::persist::{crc32, load_from_bytes, load_zero_copy, Artifact, PersistError};
+use crate::persist::{crc32, load_from_bytes, load_zero_copy, widen, Artifact, PersistError};
 use crate::query::{PruningStrategy, QueryEngine, QuerySession};
 use crate::slab::AlignedBytes;
 
@@ -206,13 +206,15 @@ pub fn encode_manifest(manifest: &ShardManifest) -> Vec<u8> {
 /// Parses and fully validates a manifest. Structural defects are
 /// reported before the trailing checksum so truncation reads as
 /// [`PersistError::Truncated`], not as a checksum failure.
+// xtask:hostile-input:begin — manifest bytes come off disk or the wire;
+// typed errors only (no panics, truncating casts, or raw indexing).
 pub fn decode_manifest(bytes: &[u8]) -> Result<ShardManifest, PersistError> {
     if bytes.len() < MANIFEST_MAGIC.len() {
         return Err(PersistError::Truncated {
             context: "shard manifest header",
         });
     }
-    if bytes[..8] != MANIFEST_MAGIC {
+    if !bytes.starts_with(&MANIFEST_MAGIC) {
         return Err(PersistError::BadMagic);
     }
     struct Cursor<'a> {
@@ -221,37 +223,50 @@ pub fn decode_manifest(bytes: &[u8]) -> Result<ShardManifest, PersistError> {
     }
     impl<'a> Cursor<'a> {
         fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], PersistError> {
-            if self.bytes.len().saturating_sub(self.pos) < n {
+            let Some(out) = self
+                .pos
+                .checked_add(n)
+                .and_then(|end| self.bytes.get(self.pos..end))
+            else {
                 return Err(PersistError::Truncated { context });
-            }
-            let out = &self.bytes[self.pos..self.pos + n];
+            };
             self.pos += n;
             Ok(out)
         }
+        fn u32(&mut self, context: &'static str) -> Result<u32, PersistError> {
+            match self.take(4, context)?.first_chunk::<4>() {
+                Some(c) => Ok(u32::from_le_bytes(*c)),
+                None => Err(PersistError::Truncated { context }),
+            }
+        }
+        fn u64(&mut self, context: &'static str) -> Result<u64, PersistError> {
+            match self.take(8, context)?.first_chunk::<8>() {
+                Some(c) => Ok(u64::from_le_bytes(*c)),
+                None => Err(PersistError::Truncated { context }),
+            }
+        }
     }
     let mut cur = Cursor { bytes, pos: 8 };
-    let version = u32::from_le_bytes(cur.take(4, "shard manifest header")?.try_into().unwrap());
+    let version = cur.u32("shard manifest header")?;
     if version > MANIFEST_VERSION {
         return Err(PersistError::UnsupportedVersion {
             found: version,
             supported: MANIFEST_VERSION,
         });
     }
-    let count =
-        u32::from_le_bytes(cur.take(4, "shard manifest header")?.try_into().unwrap()) as usize;
+    let count = widen(cur.u32("shard manifest header")?);
     if count == 0 || count > MAX_SHARDS {
         return Err(manifest_err(format!(
             "shard count {count} outside 1..={MAX_SHARDS}"
         )));
     }
-    let scheme = u32::from_le_bytes(cur.take(4, "shard manifest header")?.try_into().unwrap());
+    let scheme = cur.u32("shard manifest header")?;
     if scheme != PARTITION_MODULO {
         return Err(manifest_err(format!("unknown partition scheme {scheme}")));
     }
     let mut entries = Vec::with_capacity(count);
     for shard in 0..count {
-        let name_len =
-            u32::from_le_bytes(cur.take(4, "shard manifest entry")?.try_into().unwrap()) as usize;
+        let name_len = widen(cur.u32("shard manifest entry")?);
         if name_len == 0 || name_len > 4096 {
             return Err(manifest_err(format!(
                 "shard {shard} file-name length {name_len} outside 1..=4096"
@@ -268,8 +283,8 @@ pub fn decode_manifest(bytes: &[u8]) -> Result<ShardManifest, PersistError> {
                 "shard {shard} file name {file_name:?} must be a plain sibling file name"
             )));
         }
-        let file_len = u64::from_le_bytes(cur.take(8, "shard manifest entry")?.try_into().unwrap());
-        let crc = u32::from_le_bytes(cur.take(4, "shard manifest entry")?.try_into().unwrap());
+        let file_len = cur.u64("shard manifest entry")?;
+        let crc = cur.u32("shard manifest entry")?;
         entries.push(ShardEntry {
             file_name,
             file_len,
@@ -277,15 +292,17 @@ pub fn decode_manifest(bytes: &[u8]) -> Result<ShardManifest, PersistError> {
         });
     }
     let body_end = cur.pos;
-    let stored_crc =
-        u32::from_le_bytes(cur.take(4, "shard manifest checksum")?.try_into().unwrap());
+    let stored_crc = cur.u32("shard manifest checksum")?;
     if cur.pos != bytes.len() {
         return Err(manifest_err(format!(
             "{} trailing bytes after manifest",
             bytes.len() - cur.pos
         )));
     }
-    let got = crc32(&bytes[..body_end]);
+    let body = bytes.get(..body_end).ok_or(PersistError::Truncated {
+        context: "shard manifest body",
+    })?;
+    let got = crc32(body);
     if got != stored_crc {
         return Err(PersistError::ChecksumMismatch {
             section: SECTION_MANIFEST,
@@ -295,6 +312,7 @@ pub fn decode_manifest(bytes: &[u8]) -> Result<ShardManifest, PersistError> {
     }
     Ok(ShardManifest { entries })
 }
+// xtask:hostile-input:end — callers below work with the typed manifest.
 
 /// Reads and parses a manifest file.
 pub fn load_manifest(path: impl AsRef<Path>) -> Result<ShardManifest, PersistError> {

@@ -259,7 +259,7 @@ pub fn generate(config: &GeneratorConfig) -> GeneratedDataset {
             }
             // Sort by descending weight for readable ground truth.
             let mut mix: Vec<(usize, f64)> = chosen.drain(..).zip(weights).collect();
-            mix.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            mix.sort_by(|a, b| b.1.total_cmp(&a.1));
             mix
         })
         .collect();

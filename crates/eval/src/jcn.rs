@@ -102,12 +102,7 @@ mod tests {
             covered
                 .iter()
                 .filter(|&&o| o != t)
-                .min_by(|&&a, &&b| {
-                    truth
-                        .tag_jcn(t, a)
-                        .partial_cmp(&truth.tag_jcn(t, b))
-                        .unwrap()
-                })
+                .min_by(|&&a, &&b| truth.tag_jcn(t, a).total_cmp(&truth.tag_jcn(t, b)))
                 .copied()
         };
         let eval = evaluate_tag_distances(truth, &covered, oracle);
@@ -128,24 +123,14 @@ mod tests {
             covered
                 .iter()
                 .filter(|&&o| o != t)
-                .min_by(|&&a, &&b| {
-                    truth
-                        .tag_jcn(t, a)
-                        .partial_cmp(&truth.tag_jcn(t, b))
-                        .unwrap()
-                })
+                .min_by(|&&a, &&b| truth.tag_jcn(t, a).total_cmp(&truth.tag_jcn(t, b)))
                 .copied()
         };
         let adversary = |t: usize| {
             covered
                 .iter()
                 .filter(|&&o| o != t)
-                .max_by(|&&a, &&b| {
-                    truth
-                        .tag_jcn(t, a)
-                        .partial_cmp(&truth.tag_jcn(t, b))
-                        .unwrap()
-                })
+                .max_by(|&&a, &&b| truth.tag_jcn(t, a).total_cmp(&truth.tag_jcn(t, b)))
                 .copied()
         };
         let good = evaluate_tag_distances(truth, &covered, oracle);

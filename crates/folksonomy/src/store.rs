@@ -466,8 +466,11 @@ mod tests {
             (laptop, r3, 2.0),
         ];
         let mut got = triples;
-        expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        got.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let order = |a: &(usize, usize, f64), b: &(usize, usize, f64)| {
+            a.0.cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.total_cmp(&b.2))
+        };
+        expected.sort_by(order);
+        got.sort_by(order);
         assert_eq!(got, expected);
     }
 

@@ -1,0 +1,275 @@
+//! Repo-invariant static analysis.
+//!
+//! ```text
+//! cargo run -p xtask -- check      # lint + ledger + selftest (CI gate)
+//! cargo run -p xtask -- lint      # lint rules only
+//! cargo run -p xtask -- ledger   # UNSAFE_LEDGER.md cross-check only
+//! cargo run -p xtask -- sites    # print discovered unsafe sites as ledger stubs
+//! cargo run -p xtask -- selftest # prove the rules fire on seeded violations
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage/IO error.
+//!
+//! The pass is deliberately dependency-free and lexical (see
+//! `scan.rs`); `lint.rs` documents the rules, `ledger.rs` the
+//! `UNSAFE_LEDGER.md` drift check. The `selftest` subcommand — also run
+//! as part of `check` — feeds seeded violations through the real engine
+//! and fails if any rule does NOT fire, so a regression that silences a
+//! rule is itself a CI failure.
+
+mod ledger;
+mod lint;
+mod scan;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use lint::{Violation, POLICY};
+
+/// Directories never scanned: build output, VCS, and the vendored
+/// third-party stand-ins (not our code to audit; they contain no
+/// unsafe, which `selftest` cheaply re-asserts via the walker anyway).
+const SKIP_DIRS: &[&str] = &["target", ".git", "crates/vendor"];
+
+fn repo_root() -> PathBuf {
+    // xtask lives at <root>/crates/xtask.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let rel = path.strip_prefix(root).unwrap_or(&path);
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        if SKIP_DIRS.iter().any(|s| rel_str == *s) {
+            continue;
+        }
+        if path.is_dir() {
+            walk(root, &path, out)?;
+        } else if rel_str.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn scan_tree(root: &Path) -> std::io::Result<Vec<scan::SourceFile>> {
+    let mut paths = Vec::new();
+    walk(root, root, &mut paths)?;
+    paths.sort();
+    let mut files = Vec::with_capacity(paths.len());
+    for path in paths {
+        let source = std::fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        files.push(scan::scan(&rel, &source));
+    }
+    Ok(files)
+}
+
+fn run_lint(files: &[scan::SourceFile]) -> Vec<Violation> {
+    files
+        .iter()
+        .flat_map(|f| lint::lint_file(f, &POLICY))
+        .collect()
+}
+
+fn collect_sites(files: &[scan::SourceFile]) -> ledger::SiteMap {
+    let mut sites = ledger::SiteMap::new();
+    for file in files {
+        for (func, _line) in lint::unsafe_sites(file) {
+            *sites.entry((file.rel_path.clone(), func)).or_insert(0) += 1;
+        }
+    }
+    sites
+}
+
+fn fn_exists(files: &[scan::SourceFile], name: &str) -> bool {
+    files.iter().any(|f| {
+        f.lines.iter().any(|l| {
+            scan::word_positions(&l.code, "fn")
+                .iter()
+                .any(|&pos| scan::word_at(&l.code, pos + 3, name))
+        })
+    })
+}
+
+fn run_ledger(root: &Path, files: &[scan::SourceFile]) -> Vec<Violation> {
+    let path = root.join("UNSAFE_LEDGER.md");
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(err) => {
+            return vec![Violation {
+                file: "UNSAFE_LEDGER.md".into(),
+                line: 0,
+                rule: "ledger",
+                msg: format!("cannot read ledger: {err}"),
+            }]
+        }
+    };
+    ledger::check(&collect_sites(files), &text, |name| fn_exists(files, name))
+}
+
+/// Feeds seeded violations through the real engine; returns human
+/// descriptions of any rule that FAILED to fire (empty = healthy).
+fn selftest_failures() -> Vec<String> {
+    let mut failures = Vec::new();
+    let mut expect = |desc: &str, path: &str, src: &str, rule: &str| {
+        let file = scan::scan(path, src);
+        let fired = lint::lint_file(&file, &POLICY);
+        if !fired.iter().any(|v| v.rule == rule) {
+            failures.push(format!(
+                "rule `{rule}` did not fire on seeded violation: {desc}"
+            ));
+        }
+    };
+    expect(
+        "undocumented unsafe block",
+        "seed.rs",
+        "fn f() { unsafe { g(); } }\n",
+        "safety-comment",
+    );
+    expect(
+        "get_unchecked outside the allowlist",
+        "crates/core/src/query.rs",
+        "// SAFETY: seeded.\nlet v = unsafe { s.get_unchecked(0) };\n",
+        "unchecked-allowlist",
+    );
+    expect(
+        "unwrap inside a hostile-input region",
+        "seed.rs",
+        "// xtask:hostile-input:begin\nlet v = x.unwrap();\n// xtask:hostile-input:end\n",
+        "hostile-input",
+    );
+    expect(
+        "truncating cast inside a hostile-input region",
+        "seed.rs",
+        "// xtask:hostile-input:begin\nlet v = n as u32;\n// xtask:hostile-input:end\n",
+        "hostile-input",
+    );
+    expect(
+        "raw indexing inside a hostile-input region",
+        "seed.rs",
+        "// xtask:hostile-input:begin\nlet v = buf[8];\n// xtask:hostile-input:end\n",
+        "hostile-input",
+    );
+    expect(
+        "required file without a hostile-input region",
+        "crates/core/src/persist.rs",
+        "fn clean() {}\n",
+        "hostile-input",
+    );
+    expect(
+        "partial_cmp().unwrap()",
+        "seed.rs",
+        "xs.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());\n",
+        "float-cmp",
+    );
+
+    // Ledger drift in both directions, plus count drift.
+    let sites: ledger::SiteMap = [(("a.rs".to_string(), "f".to_string()), 1)].into();
+    let drift = [
+        ("unsafe site missing from ledger", &sites, "# empty\n"),
+        (
+            "ledger count drift",
+            &sites,
+            "## `a.rs` · `f` — 2 sites\n- invariant: x\n- test: `t`\n",
+        ),
+    ];
+    for (desc, sites, text) in drift {
+        if ledger::check(sites, text, |_| true).is_empty() {
+            failures.push(format!("ledger check did not fire on: {desc}"));
+        }
+    }
+    let empty = ledger::SiteMap::new();
+    if ledger::check(
+        &empty,
+        "## `a.rs` · `f` — 1 site\n- invariant: x\n- test: `t`\n",
+        |_| true,
+    )
+    .is_empty()
+    {
+        failures.push("ledger check did not fire on: stale ledger entry".into());
+    }
+    failures
+}
+
+fn report(violations: &[Violation]) -> bool {
+    for v in violations {
+        eprintln!("{v}");
+    }
+    violations.is_empty()
+}
+
+fn main() -> ExitCode {
+    let cmd = std::env::args().nth(1).unwrap_or_default();
+    let root = repo_root();
+    let files = match scan_tree(&root) {
+        Ok(files) => files,
+        Err(err) => {
+            eprintln!("xtask: cannot scan {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let ok = match cmd.as_str() {
+        "lint" => report(&run_lint(&files)),
+        "ledger" => report(&run_ledger(&root, &files)),
+        "sites" => {
+            print!("{}", ledger::render_stubs(&collect_sites(&files)));
+            true
+        }
+        "selftest" => {
+            let failures = selftest_failures();
+            for f in &failures {
+                eprintln!("selftest: {f}");
+            }
+            failures.is_empty()
+        }
+        "check" => {
+            let mut violations = run_lint(&files);
+            violations.extend(run_ledger(&root, &files));
+            let lint_ok = report(&violations);
+            let failures = selftest_failures();
+            for f in &failures {
+                eprintln!("selftest: {f}");
+            }
+            let n = files.len();
+            if lint_ok && failures.is_empty() {
+                println!("xtask check: {n} files clean; ledger in sync; selftest rules all fire");
+            }
+            lint_ok && failures.is_empty()
+        }
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- <check|lint|ledger|sites|selftest>");
+            return ExitCode::from(2);
+        }
+    };
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selftest_rules_all_fire() {
+        assert_eq!(selftest_failures(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn repo_root_is_a_workspace() {
+        assert!(repo_root().join("Cargo.toml").is_file());
+    }
+}

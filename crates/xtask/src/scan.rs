@@ -1,0 +1,248 @@
+//! A minimal line-oriented Rust source scanner.
+//!
+//! The lint rules are lexical: they match tokens in *code*, and look for
+//! markers (`SAFETY:`, region begin/end) in *comments*. Matching on raw
+//! text would misfire constantly — the word "unsafe" appears in doc
+//! comments all over the workspace — so this module splits every line
+//! into its code text (string/char literal contents blanked) and its
+//! comment text. It understands line comments, nested block comments,
+//! string/byte-string/raw-string literals, char literals, and lifetimes
+//! (a `'` that does not open a char literal).
+//!
+//! This is not a full lexer, and deliberately so: it has no
+//! dependencies, it is ~150 lines, and its failure mode is a lint
+//! false positive on pathological token sequences — caught immediately
+//! by CI on the offending PR, not silently.
+
+/// One scanned source line.
+#[derive(Debug, Default, Clone)]
+pub struct Line {
+    /// The line's code with comments removed and literal contents
+    /// replaced by spaces (quotes preserved, so token boundaries hold).
+    pub code: String,
+    /// The concatenated text of every comment on the line.
+    pub comment: String,
+}
+
+/// A scanned file: per-line code/comment split.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the repo root, with `/` separators.
+    pub rel_path: String,
+    /// The scanned lines, index 0 = line 1.
+    pub lines: Vec<Line>,
+}
+
+enum State {
+    Code,
+    /// Inside a block comment at the given nesting depth.
+    Block(usize),
+    /// Inside a normal (escaped) string literal.
+    Str,
+    /// Inside a raw string literal closed by `"` + this many `#`s.
+    RawStr(usize),
+}
+
+/// Splits `source` into per-line code and comment text.
+pub fn scan(rel_path: &str, source: &str) -> SourceFile {
+    let mut lines = Vec::new();
+    let mut state = State::Code;
+    for raw in source.lines() {
+        let mut line = Line::default();
+        let b: Vec<char> = raw.chars().collect();
+        let mut i = 0usize;
+        while i < b.len() {
+            match state {
+                State::Block(depth) => {
+                    if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        state = if depth == 1 {
+                            State::Code
+                        } else {
+                            State::Block(depth - 1)
+                        };
+                        i += 2;
+                    } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        state = State::Block(depth + 1);
+                        i += 2;
+                    } else {
+                        line.comment.push(b[i]);
+                        i += 1;
+                    }
+                }
+                State::Str => {
+                    if b[i] == '\\' {
+                        i += 2; // escape: skip the escaped char (or EOL)
+                    } else if b[i] == '"' {
+                        line.code.push('"');
+                        state = State::Code;
+                        i += 1;
+                    } else {
+                        line.code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::RawStr(hashes) => {
+                    if b[i] == '"' && b[i + 1..].iter().take_while(|&&c| c == '#').count() >= hashes
+                    {
+                        line.code.push('"');
+                        state = State::Code;
+                        i += 1 + hashes;
+                    } else {
+                        line.code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::Code => {
+                    let c = b[i];
+                    if c == '/' && b.get(i + 1) == Some(&'/') {
+                        line.comment
+                            .push_str(&b[i + 2..].iter().collect::<String>());
+                        i = b.len();
+                    } else if c == '/' && b.get(i + 1) == Some(&'*') {
+                        state = State::Block(1);
+                        i += 2;
+                    } else if c == '"' {
+                        line.code.push('"');
+                        state = State::Str;
+                        i += 1;
+                    } else if c == 'r' && is_raw_string_start(&b[i + 1..]) {
+                        // r"..." or r#"..."# (including after a `b`
+                        // handled below via the plain-ident fallthrough).
+                        let hashes = b[i + 1..].iter().take_while(|&&c| c == '#').count();
+                        line.code.push('r');
+                        line.code.push('"');
+                        state = State::RawStr(hashes);
+                        i += 2 + hashes;
+                    } else if c == '\'' {
+                        // Char literal vs lifetime: a char literal is
+                        // 'x' or '\..'; anything else is a lifetime.
+                        if b.get(i + 1) == Some(&'\\') {
+                            // Escaped char literal: skip to closing quote.
+                            line.code.push('\'');
+                            line.code.push(' ');
+                            let mut j = i + 2;
+                            if j < b.len() {
+                                j += 1; // the escaped character itself
+                            }
+                            while j < b.len() && b[j] != '\'' {
+                                j += 1;
+                            }
+                            line.code.push('\'');
+                            i = (j + 1).min(b.len());
+                        } else if b.get(i + 2) == Some(&'\'') {
+                            line.code.push_str("' '");
+                            i += 3;
+                        } else {
+                            line.code.push('\'');
+                            i += 1;
+                        }
+                    } else {
+                        line.code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        lines.push(line);
+    }
+    SourceFile {
+        rel_path: rel_path.to_owned(),
+        lines,
+    }
+}
+
+/// After an `r`, does a raw string start here (`#*"` or `"`), given the
+/// `r` is not part of a longer identifier? The caller guarantees the
+/// char before `r` was consumed as code; identifiers ending in `r`
+/// (e.g. `for`, `ptr`) are excluded because the char *after* must be
+/// `#` or `"`, which cannot continue an identifier — except for
+/// `ident"..."` sequences, which are not valid Rust anyway.
+fn is_raw_string_start(rest: &[char]) -> bool {
+    let hashes = rest.iter().take_while(|&&c| c == '#').count();
+    rest.get(hashes) == Some(&'"')
+}
+
+/// True when `text[pos..]` starts with `needle` as a whole word: the
+/// characters on both sides are not identifier characters.
+pub fn word_at(text: &str, pos: usize, needle: &str) -> bool {
+    if !text[pos..].starts_with(needle) {
+        return false;
+    }
+    let before_ok = pos == 0
+        || !text[..pos]
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    let after = pos + needle.len();
+    let after_ok = !text[after..]
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    before_ok && after_ok
+}
+
+/// Every position where `needle` occurs as a whole word in `text`.
+pub fn word_positions(text: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = text[from..].find(needle) {
+        let pos = from + rel;
+        if word_at(text, pos, needle) {
+            out.push(pos);
+        }
+        from = pos + needle.len();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_separated() {
+        let f = scan(
+            "t.rs",
+            "let x = \"unsafe in a string\"; // unsafe in a comment\nunsafe { f(); }\n",
+        );
+        assert!(!f.lines[0].code.contains("unsafe"));
+        assert!(f.lines[0].comment.contains("unsafe in a comment"));
+        assert!(f.lines[1].code.contains("unsafe"));
+    }
+
+    #[test]
+    fn block_comments_span_lines_and_nest() {
+        let f = scan("t.rs", "/* a\n/* b */ still\ncomment */ code();\n");
+        assert!(f.lines[0].code.trim().is_empty());
+        assert!(f.lines[1].code.trim().is_empty());
+        assert!(f.lines[1].comment.contains("still"));
+        assert!(f.lines[2].code.contains("code()"));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let f = scan(
+            "t.rs",
+            "let s = r#\"unsafe \"quoted\" here\"#;\nfn f<'a>(x: &'a str) -> char { 'Z' }\n",
+        );
+        assert!(!f.lines[0].code.contains("unsafe"));
+        assert!(f.lines[1].code.contains("fn f<'a>"));
+        assert!(!f.lines[1].code.contains('Z'), "char literal blanked");
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let f = scan("t.rs", "let c = '\\n'; let q = '\\''; done();\n");
+        assert!(f.lines[0].code.contains("done()"));
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(word_at("unsafe {", 0, "unsafe"));
+        assert!(!word_at("unsafe_op_in_unsafe_fn", 0, "unsafe"));
+        assert_eq!(
+            word_positions("a transmute b transmuted", "transmute"),
+            vec![2]
+        );
+    }
+}

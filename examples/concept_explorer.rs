@@ -91,7 +91,7 @@ fn main() {
                     .map(|(_, w)| (r, w))
             })
             .collect();
-        best.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        best.sort_by(|a, b| b.1.total_cmp(&a.1));
         let top: Vec<String> = best
             .iter()
             .take(3)

@@ -694,6 +694,10 @@ enum Request {
     Shutdown,
 }
 
+// xtask:hostile-input:begin — everything through `drain_line` handles
+// raw bytes from untrusted TCP clients; typed outcomes only (no panics,
+// truncating casts, or raw indexing).
+
 /// Parses one request line. `None` means a blank line (ignored). Control
 /// commands are the exact uppercase words; `QUERY` (or `Q`) prefixes an
 /// explicit tag query, so tags that collide with command names remain
@@ -704,7 +708,9 @@ fn parse_request(line: &str) -> Option<Request> {
         return None;
     }
     let mut words = trimmed.split_whitespace();
-    let head = words.next().expect("non-empty after trim");
+    // Non-empty after trim, so a first word always exists; `?` keeps the
+    // request path panic-free regardless.
+    let head = words.next()?;
     let rest: Vec<String> = words.map(str::to_owned).collect();
     match head {
         "RELOAD" if rest.is_empty() => Some(Request::Reload),
@@ -780,7 +786,10 @@ fn read_raw_line(
                 if buf.len() + pos > max {
                     return Ok(RawLine::TooLong);
                 }
-                buf.extend_from_slice(&available[..pos]);
+                // `pos` comes from `position` over this same slice, so
+                // the carve always succeeds; the empty fallback keeps
+                // the read loop panic-free.
+                buf.extend_from_slice(available.get(..pos).unwrap_or(&[]));
                 reader.consume(pos + 1);
                 if buf.last() == Some(&b'\r') {
                     buf.pop();
@@ -826,6 +835,8 @@ fn drain_line(reader: &mut impl BufRead, cap: usize) -> std::io::Result<()> {
         }
     }
 }
+// xtask:hostile-input:end — below here replies are formatted from
+// trusted engine state.
 
 /// Formats one query reply line: `OK\t<n>` followed by
 /// `\t<name>  (<score>)` per hit — the same per-hit presentation as the

@@ -603,6 +603,83 @@ fn every_flipped_byte_is_detected() {
     }
 }
 
+/// The *exhaustive* hostile-byte sweep: over a deliberately tiny corpus
+/// (so the O(len²) total work stays fast), flip one byte at **every**
+/// offset of a v2 and a v3 artifact and feed the mutant to both loaders
+/// under `catch_unwind`. Each mutant must either return a typed error
+/// with a non-empty message, or — possible only where the flip lands in
+/// bytes the format does not interpret, such as inter-section padding
+/// not covered by a section CRC — load an engine whose `search_ids`
+/// output is bit-for-bit identical to the pristine build. A panic at any
+/// offset fails the sweep with the offset named.
+#[test]
+fn exhaustive_single_byte_flips_never_panic_either_loader() {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    let ds = generate(&GeneratorConfig {
+        users: 8,
+        resources: 10,
+        concepts: 3,
+        assignments: 120,
+        seed: 41,
+        ..Default::default()
+    });
+    let folksonomy = &ds.folksonomy;
+    let config = CubeLsiConfig {
+        core_dims: Some((3, 3, 3)),
+        num_concepts: Some(3),
+        max_als_iters: 3,
+        seed: 41,
+        ..Default::default()
+    };
+    let model = CubeLsi::build(folksonomy, &config).unwrap();
+    let queries: Vec<Vec<TagId>> = (0..4usize)
+        .map(|t| vec![TagId::from_index(t % folksonomy.num_tags())])
+        .collect();
+    let expect: Vec<_> = queries.iter().map(|q| model.search_ids(q, 5)).collect();
+
+    for (format, compress) in [("v2", false), ("v3", true)] {
+        let bytes = persist::save_to_vec_with(&model, folksonomy, compress);
+        for pos in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            // Rotate the flipped bit with the offset so the sweep probes
+            // every bit lane, not just one mask.
+            bad[pos] ^= 1u8 << (pos % 8);
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let owned = persist::load_from_bytes(&bad);
+                let zc = persist::load_zero_copy(Arc::new(AlignedBytes::from_bytes(&bad)));
+                (owned, zc)
+            }))
+            .unwrap_or_else(|_| panic!("{format}: loader panicked at offset {pos}"));
+            for (mode, result) in [("owned", outcome.0), ("zero-copy", outcome.1)] {
+                match result {
+                    Err(e) => assert!(
+                        !e.to_string().is_empty(),
+                        "{format} {mode} offset {pos}: empty error message"
+                    ),
+                    Ok(loaded) => {
+                        for (query, expect) in queries.iter().zip(&expect) {
+                            let got = loaded.model.search_ids(query, 5);
+                            assert_eq!(
+                                got.len(),
+                                expect.len(),
+                                "{format} {mode} offset {pos}: result count diverged"
+                            );
+                            for (g, e) in got.iter().zip(expect.iter()) {
+                                assert_eq!(
+                                    (g.resource, g.score.to_bits()),
+                                    (e.resource, e.score.to_bits()),
+                                    "{format} {mode} offset {pos}: ranking diverged"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn payload_corruption_reports_checksum_mismatch() {
     let (folksonomy, model) = build_random(5);

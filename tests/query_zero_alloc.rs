@@ -24,19 +24,27 @@ static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
 // SAFETY: delegates directly to the system allocator; the counter is a
 // relaxed atomic with no other side effects.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: forwards the caller's layout contract to `System.alloc`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same contract as ours, passed through unchanged.
         unsafe { System.alloc(layout) }
     }
+    // SAFETY: forwards the caller's ptr/layout contract to `System.dealloc`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: same contract as ours, passed through unchanged.
         unsafe { System.dealloc(ptr, layout) }
     }
+    // SAFETY: forwards the caller's realloc contract to `System.realloc`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same contract as ours, passed through unchanged.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
+    // SAFETY: forwards the caller's layout contract to `System.alloc_zeroed`.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same contract as ours, passed through unchanged.
         unsafe { System.alloc_zeroed(layout) }
     }
 }
