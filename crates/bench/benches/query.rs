@@ -20,11 +20,15 @@
 //! full scale; `CUBELSI_BENCH_SCALE` shrinks it for CI smokes). Paths:
 //! the exhaustive reference, MaxScore, block-max, the compressed
 //! decode-and-admit path, and a 4-shard scatter-gather [`ShardSet`]
-//! (sequential per-shard top-k + exact k-way merge — the per-node cost
-//! of the sharded TCP serving topology). Each preset row also records
-//! the memory story the compressed format exists for: hot
-//! bytes-per-posting (compressed vs uncompressed), on-disk index
-//! artifact bytes, and the process RSS after serving.
+//! answered through the adaptive dispatcher (coalesced mirror /
+//! sequential scatter / pooled fan-out — the per-node cost of the
+//! sharded TCP serving topology). Each preset additionally records
+//! multi-threaded rows — the batched and sharded-batch paths through
+//! the persistent executor at pool sizes {1, 4, 8} with the fraction
+//! of inline dispatch decisions — and the memory story the compressed
+//! format exists for: hot bytes-per-posting (compressed vs
+//! uncompressed), on-disk index artifact bytes, and the process RSS
+//! after serving.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use cubelsi_baselines::{
@@ -33,7 +37,7 @@ use cubelsi_baselines::{
 };
 use cubelsi_core::shard::{self, ShardSet};
 use cubelsi_core::{
-    persist, ConceptAssignment, ConceptIndex, ConceptModel, CubeLsi, CubeLsiConfig,
+    exec, persist, ConceptAssignment, ConceptIndex, ConceptModel, CubeLsi, CubeLsiConfig,
     PruningStrategy, QueryEngine,
 };
 use cubelsi_datagen::{generate, huge_1m, GeneratedDataset, GeneratorConfig};
@@ -430,9 +434,13 @@ fn emit_query_report(_c: &mut Criterion) {
             };
             let mut sh_session = sharded_set.session();
             let mut sh_out = Vec::new();
+            // The serving entry point: adaptive dispatch may answer from
+            // the coalesced mirror (small corpora), the sequential
+            // scatter, or the pooled fan-out — whatever the cost model
+            // picks, exactly like the TCP server.
             let mut run_sharded = |qs: &[Vec<TagId>]| {
                 for q in qs {
-                    sharded_set.search_tags_with(&mut sh_session, model, q, k, &mut sh_out);
+                    sharded_set.search_tags_auto(&mut sh_session, model, q, k, &mut sh_out);
                     black_box(sh_out.len());
                 }
             };
@@ -469,6 +477,45 @@ fn emit_query_report(_c: &mut Criterion) {
                 sharded / blockmax.max(1e-9),
             ));
         }
+        // Multi-threaded rows: the batched single-engine path and the
+        // sharded batch path through the persistent executor at pool
+        // sizes {1, 4, 8}, k = 10, plus the fraction of dispatch
+        // decisions the adaptive cost model kept on the caller thread
+        // during the measurement (from the executor's own counters).
+        let mut threaded_rows = Vec::new();
+        for &threads in &[1usize, 4, 8] {
+            parallel::set_num_threads(threads);
+            let s0 = exec::stats();
+            let mut run_batch = |qs: &[Vec<TagId>]| {
+                black_box(preset.engine.search_batch(model, qs, 10));
+            };
+            let mut run_sharded_batch = |qs: &[Vec<TagId>]| {
+                black_box(sharded_set.search_batch(model, qs, 10));
+            };
+            let qps = measure_paths(
+                &preset.queries,
+                &mut [&mut run_batch, &mut run_sharded_batch],
+            );
+            let s1 = exec::stats();
+            let (inline, fanout) = (s1.inline - s0.inline, s1.fanout - s0.fanout);
+            let decisions = inline + fanout;
+            let inline_ratio = if decisions == 0 {
+                1.0
+            } else {
+                inline as f64 / decisions as f64
+            };
+            println!(
+                "{} threads={threads}: batch {:.0} q/s | sharded4 batch {:.0} q/s | inline ratio {:.2}",
+                preset.name, qps[0], qps[1], inline_ratio
+            );
+            threaded_rows.push(format!(
+                "      {{\"threads\": {threads}, \"batch_qps\": {:.0}, \
+                 \"sharded4_batch_qps\": {:.0}, \"inline_dispatch_ratio\": {inline_ratio:.2}}}",
+                qps[0], qps[1],
+            ));
+        }
+        parallel::set_num_threads(1);
+
         // The memory story: hot footprint per posting (the compressed
         // mirror vs the exact SoA arrays), on-disk index artifact sizes,
         // and the process RSS right after serving this preset (VmHWM is
@@ -496,7 +543,8 @@ fn emit_query_report(_c: &mut Criterion) {
              \"bytes_per_posting_uncompressed\": {bpp_uncompressed:.2},\n      \
              \"index_artifact_bytes_compressed\": {artifact_compressed}, \
              \"index_artifact_bytes_uncompressed\": {artifact_uncompressed},\n      \
-             \"rss_bytes\": {rss}, \"peak_rss_bytes\": {peak_rss},\n      \"results\": [\n{}\n      ]\n    }}",
+             \"rss_bytes\": {rss}, \"peak_rss_bytes\": {peak_rss},\n      \"results\": [\n{}\n      ],\n      \
+             \"threaded\": [\n{}\n      ]\n    }}",
             preset.name,
             preset.users,
             preset.tags,
@@ -505,13 +553,19 @@ fn emit_query_report(_c: &mut Criterion) {
             preset.num_concepts,
             preset.queries.len(),
             rows.join(",\n"),
+            threaded_rows.join(",\n"),
         ));
     }
     parallel::set_num_threads(0);
 
+    // Machine parallelism stamps the report: the `threaded` rows only
+    // show real scaling when the hardware has the cores to back the
+    // pool — on a single-core box they measure pure handoff overhead.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
-        "{{\n  \"bench\": \"query_throughput\",\n  \"threads\": 1,\n  \"paths\": \
-         [\"reference_exhaustive\", \"maxscore\", \"blockmax\", \"compressed\", \"sharded4\"],\n  \"presets\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"query_throughput\",\n  \"threads\": 1,\n  \"cores\": {cores},\n  \"paths\": \
+         [\"reference_exhaustive\", \"maxscore\", \"blockmax\", \"compressed\", \"sharded4\"],\n  \
+         \"threaded_paths\": [\"batch\", \"sharded4_batch\"],\n  \"presets\": [\n{}\n  ]\n}}\n",
         preset_jsons.join(",\n"),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query.json");

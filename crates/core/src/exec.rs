@@ -1,0 +1,628 @@
+//! Persistent query executor: a long-lived worker pool with cached
+//! per-worker query sessions.
+//!
+//! Every concurrent serving path before this module paid per-call setup:
+//! a fresh `thread::scope`, fresh thread stacks, and a fresh
+//! [`QuerySession`] per worker per call — tens of microseconds of
+//! overhead against queries that finish in single-digit microseconds on
+//! small corpora. This module replaces that with the standard pool
+//! topology:
+//!
+//! * one process-wide [`Executor`] (lazily created, never torn down)
+//!   owning **parked** std threads that live for the process;
+//! * a shared [`Injector`] FIFO plus one work-stealing deque per worker
+//!   (`crossbeam::deque`): submitted batches land in the injector,
+//!   workers drain it in bounded batches into their local LIFO deque,
+//!   and idle workers (or the submitting caller) steal from stragglers;
+//! * a [`WorkerScratch`] — a cached [`QuerySession`] + `ShardedSession`
+//!   — owned by each worker thread and by each calling thread
+//!   (thread-local), so steady-state pooled queries **spawn zero
+//!   threads and allocate nothing**: session scratch is epoch-tagged
+//!   and grow-only, which also means a cached session survives a hot
+//!   reload — the next query lazily re-validates it against whatever
+//!   generation's index it meets ([`QuerySession::ensure_capacity`]),
+//!   mirroring `ShardedEngine`'s drain semantics;
+//! * counters (queued, stolen, executed, inline/fanout dispatch
+//!   decisions) surfaced through [`stats`] for the `serve` STATS
+//!   command and the bench report's `inline_dispatch_ratio`.
+//!
+//! # Batch protocol
+//!
+//! [`Executor::run_tasks`] submits `tasks` closures indexed `0..tasks`
+//! and **blocks until all of them finished** (join-before-return, even
+//! on panic — a drop guard waits out the batch before unwinding
+//! continues, so borrowed data can never be observed after free). The
+//! submitting caller does not idle: it executes tasks itself alongside
+//! the pool, using its own thread-local scratch. Task closures run
+//! under `catch_unwind`; a panicking task marks the batch and the panic
+//! resurfaces on the caller once the batch has drained.
+//!
+//! Tasks carry a pointer to the stack-allocated batch control block
+//! with its lifetime erased (deques are `'static`-typed); soundness is
+//! exactly the join-before-return guarantee above, see the ledgered
+//! SAFETY arguments inline.
+//!
+//! Results are written through [`DisjointSlots`], a bounds-checked
+//! disjoint-write view: each task writes only its own output slot, so
+//! no ordering pass is needed and output arrives allocation-free in
+//! query order.
+//!
+//! Dispatch policy lives at the call sites (`query.rs` / `shard.rs`):
+//! cheap work runs inline on the caller (recorded via
+//! [`Executor::note_inline`]); the pool is engaged only when the work
+//! amortizes the handoff. A task that itself calls `run_tasks` (nested
+//! fan-out) degrades to inline execution on the worker — the pool never
+//! blocks one of its own threads on a sub-batch.
+
+use std::cell::{Cell, RefCell};
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+
+use crate::query::QuerySession;
+use crate::shard::ShardedSession;
+
+/// Hard ceiling on pool threads, far above any sane `--threads`
+/// setting; a hostile `CUBELSI_THREADS` cannot fork-bomb the process.
+const MAX_POOL_WORKERS: usize = 256;
+
+/// Cached scratch owned by one executor participant (a pool worker or a
+/// calling thread): one session per serving path, grown on first use
+/// and reused for the life of the thread.
+#[derive(Debug, Default)]
+pub(crate) struct WorkerScratch {
+    /// Single-engine session (batch queries, per-shard scatter tasks).
+    pub(crate) query: QuerySession,
+    /// Scatter-gather session (sharded batch tasks).
+    pub(crate) sharded: ShardedSession,
+}
+
+/// The closure shape a batch runs: `(task_index, participant_scratch)`.
+type TaskFn<'a> = &'a (dyn Fn(usize, &mut WorkerScratch) + Sync);
+
+/// Stack-allocated control block of one in-flight batch: the task
+/// closure plus the completion latch the submitting caller waits on.
+struct BatchCtl<'a> {
+    run: TaskFn<'a>,
+    /// Tasks not yet finished; the finisher that brings this to zero
+    /// flips `done` under its mutex and wakes the waiting caller.
+    pending: AtomicUsize,
+    /// Set when any task panicked; the caller re-raises after the join.
+    panicked: AtomicBool,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+/// One unit of pool work: which batch, which task index. The control
+/// pointer's lifetime is erased so tasks can sit in `'static`-typed
+/// deques; validity is the batch protocol's join-before-return
+/// guarantee (see the module docs).
+#[derive(Clone, Copy)]
+struct Task {
+    ctl: *const BatchCtl<'static>,
+    index: usize,
+}
+
+// SAFETY: a Task is an index plus a pointer to a BatchCtl that the
+// submitting `run_tasks` frame keeps alive (it joins the batch before
+// returning, even on unwind), and BatchCtl's interior — atomics,
+// Mutex/Condvar, and a `dyn Fn + Sync` closure reference — is safe to
+// reach from any thread. Moving the pointer across threads is therefore
+// sound; the only deref is audited in `execute`.
+unsafe impl Send for Task {}
+
+/// A bounds-checked disjoint-write view over a result slice: tasks
+/// write concurrently, each only to the slot indices it owns, so the
+/// caller gets results in order with no post-hoc sorting pass.
+pub(crate) struct DisjointSlots<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: DisjointSlots is a borrowed view over `&'a mut [T]`; sending
+// it to another thread moves only the raw pointer + length, and T: Send
+// means the pointees may be written from that thread.
+unsafe impl<T: Send> Send for DisjointSlots<'_, T> {}
+// SAFETY: sharing the view is what enables concurrent slot writes; the
+// per-index exclusivity contract of `slot` (each index claimed by
+// exactly one task) is what prevents aliased &mut — the view itself
+// hands out nothing without that contract being invoked.
+unsafe impl<T: Send> Sync for DisjointSlots<'_, T> {}
+
+/// A point-in-time snapshot of the executor counters (see [`stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// Worker threads currently alive in the pool (grow-only).
+    pub pool_size: usize,
+    /// Tasks ever submitted to the pool (fan-out path only).
+    pub queued: u64,
+    /// Tasks executed by any participant (workers + calling threads).
+    pub executed: u64,
+    /// Tasks taken from another worker's deque rather than the
+    /// injector or the thief's own deque.
+    pub stolen: u64,
+    /// Dispatch decisions that stayed on the caller thread.
+    pub inline: u64,
+    /// Dispatch decisions that engaged the pool.
+    pub fanout: u64,
+}
+
+/// Park-state shared between submitters and workers: a classic
+/// eventcount. Workers snapshot `wake_epoch` before searching for work
+/// and only park while it is unchanged; submitters bump it (under the
+/// lock) after pushing, so a push can never slip between a worker's
+/// failed search and its park.
+struct ParkState {
+    wake_epoch: u64,
+    /// Set only by `Executor::drop` (test instances); the global
+    /// executor lives for the process.
+    stopping: bool,
+}
+
+struct Inner {
+    injector: Injector<Task>,
+    /// Steal handles of every spawned worker, in slot order. Also the
+    /// spawn lock: workers are only added while this is held.
+    stealers: Mutex<Vec<Stealer<Task>>>,
+    park: Mutex<ParkState>,
+    work_cv: Condvar,
+    /// Published worker count (mirrors `stealers.len()`).
+    spawned: AtomicUsize,
+    queued: AtomicU64,
+    executed: AtomicU64,
+    stolen: AtomicU64,
+    inline: AtomicU64,
+    fanout: AtomicU64,
+}
+
+/// The worker pool. One process-wide instance lives behind
+/// [`global`]; tests construct private instances.
+pub(crate) struct Executor {
+    inner: Arc<Inner>,
+}
+
+thread_local! {
+    /// True on pool worker threads: a nested `run_tasks` from inside a
+    /// task must run inline instead of blocking a pool thread on the
+    /// pool.
+    static IS_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// The calling thread's cached scratch, used when executing tasks
+    /// inline and when participating in a submitted batch.
+    static CALLER_SCRATCH: RefCell<WorkerScratch> = RefCell::new(WorkerScratch::default());
+}
+
+static GLOBAL: OnceLock<Executor> = OnceLock::new();
+
+/// The process-wide executor (created on first use, never torn down).
+pub(crate) fn global() -> &'static Executor {
+    GLOBAL.get_or_init(Executor::new)
+}
+
+/// Counter snapshot of the process-wide executor. All zeros until the
+/// first pooled call creates it.
+pub fn stats() -> ExecutorStats {
+    GLOBAL
+        .get()
+        .map_or_else(ExecutorStats::default, Executor::snapshot)
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Worker panics are contained by catch_unwind before any of these
+    // locks unwind; state behind them is valid regardless.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Runs every task inline on the current thread with its cached
+/// scratch (fresh scratch in the re-entrant corner case where the
+/// thread-local is already borrowed by an outer batch).
+fn run_inline(tasks: usize, run: TaskFn<'_>) {
+    CALLER_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => {
+            for index in 0..tasks {
+                run(index, &mut scratch);
+            }
+        }
+        Err(_) => {
+            let mut scratch = WorkerScratch::default();
+            for index in 0..tasks {
+                run(index, &mut scratch);
+            }
+        }
+    });
+}
+
+/// Executes one task, always decrementing the batch latch — a panic in
+/// the closure is caught, recorded on the batch, and re-raised by the
+/// submitting caller after the join.
+fn execute(inner: &Inner, task: Task, scratch: &mut WorkerScratch) {
+    // SAFETY: the submitting `run_tasks` frame keeps the BatchCtl alive
+    // until `pending` reaches zero (its WaitGuard joins the batch before
+    // the frame can return, even on unwind), and this task has not yet
+    // decremented `pending`, so the pointee is live for the whole scope
+    // of this reference.
+    let ctl = unsafe { &*task.ctl };
+    if panic::catch_unwind(AssertUnwindSafe(|| (ctl.run)(task.index, scratch))).is_err() {
+        ctl.panicked.store(true, Ordering::Relaxed);
+    }
+    inner.executed.fetch_add(1, Ordering::Relaxed);
+    // AcqRel: the final decrement observes every earlier finisher's
+    // writes (release sequence on `pending`), and the caller observes
+    // the final finisher through the `done` mutex — so after the join
+    // the caller sees every task's result writes.
+    if ctl.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+        let mut done = lock(&ctl.done);
+        *done = true;
+        ctl.done_cv.notify_all();
+    }
+}
+
+/// A worker's search order: own deque (LIFO), then a bounded batch off
+/// the injector, then a steal from a sibling.
+fn find_task(inner: &Inner, local: &Worker<Task>, slot: usize) -> Option<Task> {
+    if let Some(task) = local.pop() {
+        return Some(task);
+    }
+    if let Steal::Success(task) = inner.injector.steal_batch_and_pop(local) {
+        return Some(task);
+    }
+    let stealers = lock(&inner.stealers);
+    for (i, stealer) in stealers.iter().enumerate() {
+        if i == slot {
+            continue;
+        }
+        if let Steal::Success(task) = stealer.steal() {
+            inner.stolen.fetch_add(1, Ordering::Relaxed);
+            return Some(task);
+        }
+    }
+    None
+}
+
+/// The submitting caller's search order while participating in its own
+/// batch: the injector, then worker deques (it owns no deque).
+fn grab_external(inner: &Inner) -> Option<Task> {
+    if let Steal::Success(task) = inner.injector.steal() {
+        return Some(task);
+    }
+    let stealers = lock(&inner.stealers);
+    for stealer in stealers.iter() {
+        if let Steal::Success(task) = stealer.steal() {
+            inner.stolen.fetch_add(1, Ordering::Relaxed);
+            return Some(task);
+        }
+    }
+    None
+}
+
+fn worker_loop(inner: Arc<Inner>, local: Worker<Task>, slot: usize) {
+    IS_POOL_WORKER.with(|flag| flag.set(true));
+    let mut scratch = WorkerScratch::default();
+    loop {
+        // Eventcount: snapshot the epoch *before* searching, so a push
+        // during the search forces a re-check instead of a lost wakeup.
+        let seen_epoch = {
+            let park = lock(&inner.park);
+            if park.stopping {
+                return;
+            }
+            park.wake_epoch
+        };
+        let mut found = false;
+        while let Some(task) = find_task(&inner, &local, slot) {
+            found = true;
+            execute(&inner, task, &mut scratch);
+        }
+        if !found {
+            let mut park = lock(&inner.park);
+            while park.wake_epoch == seen_epoch && !park.stopping {
+                park = inner
+                    .work_cv
+                    .wait(park)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            if park.stopping {
+                return;
+            }
+        }
+    }
+}
+
+/// Join-before-return: dropped on every exit path of `run_tasks`
+/// (including unwinds), it blocks until the batch latch closes — after
+/// which no task can hold a pointer into the frame being torn down.
+struct WaitGuard<'a, 'b> {
+    ctl: &'a BatchCtl<'b>,
+}
+
+impl Drop for WaitGuard<'_, '_> {
+    fn drop(&mut self) {
+        let mut done = lock(&self.ctl.done);
+        while !*done {
+            done = self
+                .ctl
+                .done_cv
+                .wait(done)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+impl Executor {
+    pub(crate) fn new() -> Executor {
+        Executor {
+            inner: Arc::new(Inner {
+                injector: Injector::new(),
+                stealers: Mutex::new(Vec::new()),
+                park: Mutex::new(ParkState {
+                    wake_epoch: 0,
+                    stopping: false,
+                }),
+                work_cv: Condvar::new(),
+                spawned: AtomicUsize::new(0),
+                queued: AtomicU64::new(0),
+                executed: AtomicU64::new(0),
+                stolen: AtomicU64::new(0),
+                inline: AtomicU64::new(0),
+                fanout: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records a dispatch decision that stayed on the caller thread.
+    pub(crate) fn note_inline(&self) {
+        self.inner.inline.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a dispatch decision that engaged the pool.
+    pub(crate) fn note_fanout(&self) {
+        self.inner.fanout.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> ExecutorStats {
+        ExecutorStats {
+            pool_size: self.inner.spawned.load(Ordering::Acquire),
+            queued: self.inner.queued.load(Ordering::Relaxed),
+            executed: self.inner.executed.load(Ordering::Relaxed),
+            stolen: self.inner.stolen.load(Ordering::Relaxed),
+            inline: self.inner.inline.load(Ordering::Relaxed),
+            fanout: self.inner.fanout.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs `run(0..tasks)` to completion with up to `width`
+    /// participants (the caller plus `width - 1` pool workers) and
+    /// blocks until every task finished. Degenerate shapes — one task,
+    /// width ≤ 1, or a call from inside a pool task — run inline on the
+    /// current thread. Steady-state fan-out performs no allocation.
+    pub(crate) fn run_tasks(&self, width: usize, tasks: usize, run: TaskFn<'_>) {
+        if tasks == 0 {
+            return;
+        }
+        if width <= 1 || tasks == 1 || IS_POOL_WORKER.with(Cell::get) {
+            run_inline(tasks, run);
+            return;
+        }
+        self.ensure_workers(width.min(tasks).saturating_sub(1));
+        let ctl = BatchCtl {
+            run,
+            pending: AtomicUsize::new(tasks),
+            panicked: AtomicBool::new(false),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        };
+        // Lifetime erasure: the deques are 'static-typed, but `ctl`
+        // lives on this stack frame. The WaitGuard below re-establishes
+        // the lifetime discipline dynamically — this frame cannot be
+        // left until `pending` hits zero, so every Task pointer dies
+        // before its pointee. (A plain pointer cast: the erased type is
+        // layout-identical, only the lifetime parameter changes.)
+        let ctl_ptr = (&ctl as *const BatchCtl<'_>).cast::<BatchCtl<'static>>();
+        let guard = WaitGuard { ctl: &ctl };
+        for index in 0..tasks {
+            self.inner.injector.push(Task {
+                ctl: ctl_ptr,
+                index,
+            });
+        }
+        self.inner.queued.fetch_add(tasks as u64, Ordering::Relaxed);
+        self.wake_workers();
+        // Participate instead of idling (skipped only in the re-entrant
+        // corner where an outer batch already borrowed this thread's
+        // scratch — then the pool alone drains the batch).
+        CALLER_SCRATCH.with(|cell| {
+            if let Ok(mut scratch) = cell.try_borrow_mut() {
+                while ctl.pending.load(Ordering::Acquire) > 0 {
+                    match grab_external(&self.inner) {
+                        Some(task) => execute(&self.inner, task, &mut scratch),
+                        None => break,
+                    }
+                }
+            }
+        });
+        drop(guard);
+        if ctl.panicked.load(Ordering::Relaxed) {
+            panic!("executor batch task panicked");
+        }
+    }
+
+    /// Grows the pool to at least `target` workers (capped, grow-only;
+    /// threads are never torn down while the executor lives).
+    fn ensure_workers(&self, target: usize) {
+        let target = target.min(MAX_POOL_WORKERS);
+        if self.inner.spawned.load(Ordering::Acquire) >= target {
+            return;
+        }
+        let mut stealers = lock(&self.inner.stealers);
+        while stealers.len() < target {
+            let local = Worker::new_lifo();
+            stealers.push(local.stealer());
+            let slot = stealers.len() - 1;
+            let inner = Arc::clone(&self.inner);
+            std::thread::Builder::new()
+                .name(format!("cubelsi-exec-{slot}"))
+                .spawn(move || worker_loop(inner, local, slot))
+                .expect("spawn executor worker");
+        }
+        self.inner.spawned.store(stealers.len(), Ordering::Release);
+    }
+
+    fn wake_workers(&self) {
+        let mut park = lock(&self.inner.park);
+        park.wake_epoch = park.wake_epoch.wrapping_add(1);
+        self.inner.work_cv.notify_all();
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        // Only test instances drop; their parked workers exit instead
+        // of leaking a parked thread per constructed pool.
+        let mut park = lock(&self.inner.park);
+        park.stopping = true;
+        self.inner.work_cv.notify_all();
+    }
+}
+
+impl<'a, T> DisjointSlots<'a, T> {
+    pub(crate) fn new(slots: &'a mut [T]) -> Self {
+        DisjointSlots {
+            ptr: slots.as_mut_ptr(),
+            len: slots.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// The exclusive reference to slot `index` (bounds-checked).
+    ///
+    /// # Safety
+    ///
+    /// Over the view's lifetime every index must be claimed by at most
+    /// one task, and the borrowing caller must not touch the underlying
+    /// slice while tasks hold slots — both are what make the returned
+    /// `&mut` unaliased.
+    #[allow(clippy::mut_from_ref)] // disjoint-write view: &mut per index is the point
+    pub(crate) unsafe fn slot(&self, index: usize) -> &mut T {
+        assert!(index < self.len, "slot {index} out of {}", self.len);
+        // SAFETY: in-bounds by the assert above (ptr/len came from a
+        // live &mut slice); unaliased by the method's one-task-per-index
+        // contract.
+        unsafe { &mut *self.ptr.add(index) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill_batch(exec: &Executor, width: usize, tasks: usize) -> Vec<u64> {
+        let mut out = vec![0u64; tasks];
+        let slots = DisjointSlots::new(&mut out);
+        exec.run_tasks(width, tasks, &|i, _scratch| {
+            // SAFETY: one task per index; each slot claimed exactly once.
+            let slot = unsafe { slots.slot(i) };
+            *slot = (i as u64) * 3 + 1;
+        });
+        out
+    }
+
+    #[test]
+    fn pool_runs_every_task_and_reuses_threads() {
+        let exec = Executor::new();
+        for _round in 0..5 {
+            let out = fill_batch(&exec, 4, 97);
+            for (i, &v) in out.iter().enumerate() {
+                assert_eq!(v, (i as u64) * 3 + 1);
+            }
+        }
+        let stats = exec.snapshot();
+        assert_eq!(stats.executed, 5 * 97);
+        assert_eq!(stats.queued, 5 * 97);
+        assert!(
+            stats.pool_size <= 3,
+            "width 4 must spawn at most 3 workers, got {}",
+            stats.pool_size
+        );
+        assert!(stats.pool_size >= 1);
+    }
+
+    #[test]
+    fn width_is_clamped_to_task_count() {
+        // Regression: a batch smaller than the pool width must engage at
+        // most tasks - 1 workers (the caller is the remaining one).
+        let exec = Executor::new();
+        let out = fill_batch(&exec, 8, 3);
+        assert_eq!(out, vec![1, 4, 7]);
+        assert!(
+            exec.snapshot().pool_size <= 2,
+            "3 tasks at width 8 spawned {} workers",
+            exec.snapshot().pool_size
+        );
+    }
+
+    #[test]
+    fn degenerate_shapes_run_inline_without_workers() {
+        let exec = Executor::new();
+        assert_eq!(fill_batch(&exec, 1, 16), {
+            let mut v = vec![0u64; 16];
+            for (i, s) in v.iter_mut().enumerate() {
+                *s = (i as u64) * 3 + 1;
+            }
+            v
+        });
+        assert_eq!(fill_batch(&exec, 8, 1), vec![1]);
+        let stats = exec.snapshot();
+        assert_eq!(stats.pool_size, 0, "inline shapes must not spawn");
+        assert_eq!(stats.queued, 0);
+    }
+
+    #[test]
+    fn nested_run_tasks_degrades_to_inline() {
+        let exec = Executor::new();
+        let total = AtomicU64::new(0);
+        exec.run_tasks(4, 8, &|_, _scratch| {
+            // Nested fan-out from a task body: must complete inline (on
+            // a worker) or via the pool (on the caller), never deadlock.
+            exec.run_tasks(4, 4, &|j, _s| {
+                total.fetch_add(j as u64 + 1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 8 * (1 + 2 + 3 + 4));
+    }
+
+    #[test]
+    fn panicking_task_joins_then_propagates() {
+        let exec = Executor::new();
+        let ran = AtomicU64::new(0);
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+            exec.run_tasks(4, 32, &|i, _scratch| {
+                if i == 7 {
+                    panic!("task 7 boom");
+                }
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        assert!(caught.is_err(), "batch panic must propagate to the caller");
+        assert_eq!(
+            ran.load(Ordering::Relaxed),
+            31,
+            "all non-panicking tasks must still run (join-before-return)"
+        );
+        // The pool survives a panicked batch.
+        let out = fill_batch(&exec, 4, 16);
+        assert_eq!(out[15], 46);
+    }
+
+    #[test]
+    fn counters_track_dispatch_decisions() {
+        let exec = Executor::new();
+        exec.note_inline();
+        exec.note_inline();
+        exec.note_fanout();
+        let stats = exec.snapshot();
+        assert_eq!((stats.inline, stats.fanout), (2, 1));
+    }
+}

@@ -1336,6 +1336,52 @@ impl ConceptIndex {
         )
     }
 
+    /// Merges resource-partitioned shard indices (the output of
+    /// [`Self::partition_by_resource`], or shard artifacts loaded from a
+    /// manifest) back into one unsharded index — the inverse of
+    /// partitioning, used by the shard layer to serve small corpora
+    /// through a single coalesced engine instead of an N-way scatter.
+    ///
+    /// Exactness: every resource's vector and norm are taken verbatim
+    /// from its owning shard (`r % shards.len()`), and each concept's
+    /// posting list is the concatenation of the shards' disjoint lists
+    /// re-sorted under [`cmp_ranked`] — a *total* order (impact
+    /// descending, ties ascending by resource id), so the merged list is
+    /// byte-identical to the one [`Self::build`] would emit no matter
+    /// how the postings were interleaved across shards. Per-list
+    /// metadata is rederived by [`Self::from_lists`] exactly as at build
+    /// time. The caller (`ShardSet::from_parts`) has already validated
+    /// matching shapes, identical idf arrays, and modulo membership.
+    pub(crate) fn coalesce(shards: &[&ConceptIndex]) -> ConceptIndex {
+        assert!(!shards.is_empty(), "coalesce needs at least one shard");
+        let n = shards.len();
+        let num_resources = shards[0].num_resources;
+        let num_concepts = shards[0].num_concepts;
+        let mut resource_vectors = Vec::with_capacity(num_resources);
+        let mut resource_norms = Vec::with_capacity(num_resources);
+        for r in 0..num_resources {
+            let owner = shards[r % n];
+            resource_vectors.push(owner.resource_vector(r).iter().collect());
+            resource_norms.push(owner.resource_norm(r));
+        }
+        let postings: Vec<Vec<(u32, f64)>> = (0..num_concepts)
+            .map(|l| {
+                let mut list: Vec<(u32, f64)> =
+                    shards.iter().flat_map(|s| s.postings(l).iter()).collect();
+                list.sort_unstable_by(|a, b| cmp_ranked(a.1, a.0, b.1, b.0));
+                list
+            })
+            .collect();
+        Self::from_lists(
+            num_resources,
+            num_concepts,
+            shards[0].idf.to_vec(),
+            resource_vectors,
+            resource_norms,
+            postings,
+        )
+    }
+
     /// Exhaustive reference ranking: dense accumulation over every posting
     /// of every term, full sort, truncate. `top_k = 0` returns all
     /// matches. This is the path the paper describes (Eq. 4 over the

@@ -34,11 +34,16 @@
 //! * [`shard`] — sharded scatter-gather serving over resource-partitioned
 //!   shard artifacts (versioned manifest + exact k-way merge,
 //!   bit-identical to a single engine) with hot generation-swapped
-//!   artifact reload under live traffic.
+//!   artifact reload under live traffic;
+//! * [`exec`] — the persistent query executor: a parked worker pool with
+//!   per-worker cached sessions and work-stealing deques behind every
+//!   batched/scattered serving path, plus the adaptive-dispatch counters
+//!   surfaced by the `serve` STATS command.
 
 pub mod concepts;
 pub mod config;
 pub mod distance;
+pub mod exec;
 pub mod index;
 pub mod persist;
 pub mod pipeline;
@@ -53,6 +58,7 @@ pub use config::{CubeLsiConfig, SigmaSource};
 pub use distance::{
     brute_force_distances, pairwise_distances_from_embedding, tag_embedding, TagDistances,
 };
+pub use exec::ExecutorStats;
 pub use index::{
     ConceptAssignment, ConceptIndex, PostingsRef, PreparedQuery, RankedResource, ResourceVectorRef,
     BLOCK_LEN,

@@ -123,6 +123,7 @@
 //! the pruned path would silently diverge from
 //! [`ConceptIndex::query_weighted_concepts`].
 
+use crate::exec;
 use crate::index::{
     CompressedPostings, ConceptAssignment, ConceptIndex, PostingsRef, RankedResource, BLOCK_LEN,
 };
@@ -554,11 +555,14 @@ impl QueryEngine {
         }
     }
 
-    /// Answers a batch of queries, fanning contiguous chunks across the
-    /// worker pool (same band-splitting idiom as the offline kernels).
-    /// Each worker reuses one [`QuerySession`]; results come back in
-    /// query order. With one thread (or one query) this degrades to a
-    /// sequential loop with a single session.
+    /// Answers a batch of queries, oversplit into index ranges across
+    /// the persistent worker pool ([`crate::exec`]). Each participant —
+    /// pool workers plus the calling thread — reuses its pool-cached
+    /// [`QuerySession`] and writes straight into each query's own result
+    /// slot, so results come back in query order and are bit-identical
+    /// at any pool size. With one thread (or a batch too small to
+    /// amortize the handoff) this degrades to a sequential loop with a
+    /// single session, spawning nothing.
     pub fn search_batch<Q>(
         &self,
         concepts: &dyn ConceptAssignment,
@@ -572,14 +576,17 @@ impl QueryEngine {
         if n == 0 {
             return Vec::new();
         }
-        // Thread spawn + per-worker session setup costs a few tens of µs;
-        // keep every worker busy with a meaningful chunk so small batches
-        // don't lose to the sequential path.
-        const MIN_QUERIES_PER_WORKER: usize = 32;
-        let threads = parallel::num_threads()
-            .min(n.div_ceil(MIN_QUERIES_PER_WORKER))
+        // Pool handoff costs ~a microsecond per task (no thread spawn),
+        // so a small chunk already amortizes it. Clamp to the batch
+        // size: a batch smaller than the pool must never engage idle
+        // workers (each would get an empty range).
+        const MIN_QUERIES_PER_TASK: usize = 8;
+        let width = parallel::num_threads()
+            .min(n.div_ceil(MIN_QUERIES_PER_TASK))
+            .min(n)
             .max(1);
-        if threads == 1 {
+        if width == 1 {
+            exec::global().note_inline();
             let mut session = self.session();
             return queries
                 .iter()
@@ -590,37 +597,26 @@ impl QueryEngine {
                 })
                 .collect();
         }
-        let chunk = n.div_ceil(threads);
-        let mut pieces: Vec<(usize, Vec<Vec<RankedResource>>)> = Vec::with_capacity(threads);
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for (ci, qchunk) in queries.chunks(chunk).enumerate() {
-                handles.push(scope.spawn(move |_| {
-                    let mut session = self.session();
-                    let answers: Vec<Vec<RankedResource>> = qchunk
-                        .iter()
-                        .map(|q| {
-                            let mut out = Vec::new();
-                            self.search_tags_with(
-                                &mut session,
-                                concepts,
-                                q.as_ref(),
-                                top_k,
-                                &mut out,
-                            );
-                            out
-                        })
-                        .collect();
-                    (ci, answers)
-                }));
+        exec::global().note_fanout();
+        let mut results: Vec<Vec<RankedResource>> = Vec::new();
+        results.resize_with(n, Vec::new);
+        // Oversplit relative to the width so work stealing can rebalance
+        // straggler ranges.
+        let task_size = n.div_ceil(width * 4).max(1);
+        let tasks = n.div_ceil(task_size);
+        let slots = exec::DisjointSlots::new(&mut results);
+        exec::global().run_tasks(width, tasks, &|task, scratch| {
+            let lo = task * task_size;
+            let hi = (lo + task_size).min(n);
+            for (offset, q) in queries[lo..hi].iter().enumerate() {
+                // SAFETY: tasks cover disjoint index ranges of 0..n, so
+                // each slot is claimed by exactly one task; `results` is
+                // not touched until the executor joins the batch.
+                let out = unsafe { slots.slot(lo + offset) };
+                self.search_tags_with(&mut scratch.query, concepts, q.as_ref(), top_k, out);
             }
-            for h in handles {
-                pieces.push(h.join().expect("search_batch worker panicked"));
-            }
-        })
-        .expect("search_batch scope failed");
-        pieces.sort_unstable_by_key(|&(ci, _)| ci);
-        pieces.into_iter().flat_map(|(_, v)| v).collect()
+        });
+        results
     }
 
     // ---- internals -----------------------------------------------------

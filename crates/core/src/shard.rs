@@ -87,7 +87,8 @@ use cubelsi_folksonomy::{Folksonomy, TagId};
 use cubelsi_linalg::parallel;
 
 use crate::concepts::ConceptModel;
-use crate::index::{cmp_ranked, order_terms_with, ConceptAssignment, RankedResource};
+use crate::exec;
+use crate::index::{cmp_ranked, order_terms_with, ConceptAssignment, ConceptIndex, RankedResource};
 use crate::persist::{crc32, load_from_bytes, load_zero_copy, widen, Artifact, PersistError};
 use crate::query::{PruningStrategy, QueryEngine, QuerySession};
 use crate::slab::AlignedBytes;
@@ -462,6 +463,45 @@ pub struct ShardSet {
     /// maxima, bit-identical to the unsharded index's `max_impact` array.
     /// Defines the shared term-processing order (see the module docs).
     global_max_impact: Vec<f64>,
+    /// Per-concept posting count summed across shards — the unit of the
+    /// adaptive-dispatch cost model: summing these over a prepared
+    /// query's terms estimates the total scoring work without touching
+    /// a single posting.
+    postings_per_concept: Vec<u64>,
+    /// Coalesced single-engine mirror ([`ConceptIndex::coalesce`]),
+    /// built when the whole corpus is small enough
+    /// ([`COALESCE_MAX_POSTINGS`]) that an N-way scatter costs more
+    /// than it saves. Answers bit-identically to the scatter-merge
+    /// path (same invariant the `sharded_equivalence` suite enforces),
+    /// so [`ShardSet::search_tags_auto`] can route through it freely.
+    coalesced: Option<Box<QueryEngine>>,
+}
+
+/// Adaptive-dispatch threshold: minimum *estimated* postings per shard
+/// before a scatter query is worth handing to the worker pool. Below
+/// it, per-shard work is microseconds and the fan-out handoff dominates;
+/// the query runs sequentially on the caller thread instead.
+const FANOUT_MIN_POSTINGS_PER_SHARD: u64 = 8192;
+
+/// Total-posting ceiling under which a [`ShardSet`] additionally builds
+/// a coalesced single-engine mirror at construction (≈ 2 M postings,
+/// tens of MB of SoA arrays — a few milliseconds to build, recouped
+/// within seconds of small-corpus traffic where the per-query scatter
+/// overhead is the dominant cost).
+const COALESCE_MAX_POSTINGS: u64 = 1 << 21;
+
+/// How one scatter query is dispatched (see [`ShardSet::search_shards`]).
+#[derive(Clone, Copy)]
+enum Dispatch {
+    /// Always per-shard sequential on the caller thread — the pure
+    /// scatter-merge reference path.
+    Sequential,
+    /// Always fanned across the pool (when more than one thread and
+    /// shard exist) — pins the pooled path for tests and benches.
+    Scatter,
+    /// Cost-model decision per query: fan out only when the estimated
+    /// per-shard posting work amortizes the pool handoff.
+    Auto,
 }
 
 fn shard_err(detail: impl Into<String>) -> PersistError {
@@ -533,16 +573,30 @@ impl ShardSet {
             )));
         }
         let mut global_max_impact = vec![0.0f64; num_concepts];
+        let mut postings_per_concept = vec![0u64; num_concepts];
         for e in &engines {
-            for (l, gm) in global_max_impact.iter_mut().enumerate() {
-                *gm = gm.max(e.index().max_impact(l));
+            for l in 0..num_concepts {
+                global_max_impact[l] = global_max_impact[l].max(e.index().max_impact(l));
+                postings_per_concept[l] += e.index().postings(l).ids.len() as u64;
             }
         }
+        let total_postings: u64 = postings_per_concept.iter().sum();
+        let coalesced = if engines.len() > 1 && total_postings <= COALESCE_MAX_POSTINGS {
+            let shards: Vec<&ConceptIndex> = engines.iter().map(QueryEngine::index).collect();
+            Some(Box::new(QueryEngine::with_strategy(
+                ConceptIndex::coalesce(&shards),
+                engines[0].strategy(),
+            )))
+        } else {
+            None
+        };
         Ok(ShardSet {
             engines,
             folksonomy,
             concepts,
             global_max_impact,
+            postings_per_concept,
+            coalesced,
         })
     }
 
@@ -617,12 +671,22 @@ impl ShardSet {
         self.engines[0].strategy()
     }
 
-    /// Switches the pruning strategy on every shard. Results are
-    /// bit-identical either way.
+    /// Switches the pruning strategy on every shard (and on the
+    /// coalesced mirror, when present). Results are bit-identical
+    /// either way.
     pub fn set_strategy(&mut self, strategy: PruningStrategy) {
         for e in &mut self.engines {
             e.set_strategy(strategy);
         }
+        if let Some(co) = &mut self.coalesced {
+            co.set_strategy(strategy);
+        }
+    }
+
+    /// Whether this set carries a coalesced single-engine mirror (built
+    /// for small corpora; see [`Self::search_tags_auto`]).
+    pub fn has_coalesced(&self) -> bool {
+        self.coalesced.is_some()
     }
 
     /// Creates a reusable scatter-gather scratch session. The session
@@ -646,8 +710,59 @@ impl ShardSet {
         top_k: usize,
         out: &mut Vec<RankedResource>,
     ) {
+        self.search_shards(session, concepts, tags, top_k, out, Dispatch::Sequential);
+    }
+
+    /// Adaptive single query: the serving entry point. Small corpora
+    /// (a coalesced mirror exists) answer through one unsharded engine
+    /// on the caller thread; otherwise the per-query cost model picks
+    /// between the sequential scatter and the pooled fan-out. Every
+    /// route is bit-identical to [`Self::search_tags_with`]; the
+    /// decision is recorded in the executor's inline/fanout counters.
+    /// Steady-state allocation-free on a warmed session.
+    pub fn search_tags_auto(
+        &self,
+        session: &mut ShardedSession,
+        concepts: &dyn ConceptAssignment,
+        tags: &[TagId],
+        top_k: usize,
+        out: &mut Vec<RankedResource>,
+    ) {
+        if let Some(co) = &self.coalesced {
+            exec::global().note_inline();
+            co.search_tags_with(&mut session.prep, concepts, tags, top_k, out);
+            return;
+        }
+        self.search_shards(session, concepts, tags, top_k, out, Dispatch::Auto);
+    }
+
+    /// Estimated postings the prepared terms touch, summed across all
+    /// shards — the adaptive-dispatch cost model's input, computed from
+    /// per-concept counts without reading any posting.
+    fn estimate_postings(&self, terms: &[(u32, f64)]) -> u64 {
+        terms
+            .iter()
+            .map(|&(l, _)| self.postings_per_concept[l as usize])
+            .sum()
+    }
+
+    /// Shared scatter body: one preparation, one global term order, then
+    /// per-shard scoring — sequential or fanned across the executor per
+    /// `mode` — and the exact k-way merge. All modes are bit-identical:
+    /// the per-shard ranking depends only on the broadcast terms, never
+    /// on which thread or session scored the shard.
+    fn search_shards(
+        &self,
+        session: &mut ShardedSession,
+        concepts: &dyn ConceptAssignment,
+        tags: &[TagId],
+        top_k: usize,
+        out: &mut Vec<RankedResource>,
+        mode: Dispatch,
+    ) {
         out.clear();
-        session.ensure_shards(self.engines.len());
+        let n = self.engines.len();
+        session.ensure_shards(n);
         let ShardedSession {
             prep,
             per_shard,
@@ -661,15 +776,59 @@ impl ShardSet {
         terms.clear();
         terms.extend_from_slice(prep.terms());
         order_terms_with(terms, &self.global_max_impact);
-        for ((engine, shard_session), shard_out) in self
-            .engines
-            .iter()
-            .zip(per_shard.iter_mut())
-            .zip(results.iter_mut())
-        {
-            engine.run_with_terms(shard_session, terms, norm, top_k, shard_out);
+        let width = parallel::num_threads().min(n).max(1);
+        let fan_out = width > 1
+            && match mode {
+                Dispatch::Sequential => false,
+                Dispatch::Scatter => true,
+                Dispatch::Auto => {
+                    self.estimate_postings(terms) / n as u64 >= FANOUT_MIN_POSTINGS_PER_SHARD
+                }
+            };
+        if matches!(mode, Dispatch::Auto) {
+            let exec = exec::global();
+            if fan_out {
+                exec.note_fanout();
+            } else {
+                exec.note_inline();
+            }
+        }
+        if fan_out {
+            self.scatter_shards(terms, norm, top_k, width, results);
+        } else {
+            for ((engine, shard_session), shard_out) in self
+                .engines
+                .iter()
+                .zip(per_shard.iter_mut())
+                .zip(results.iter_mut())
+            {
+                engine.run_with_terms(shard_session, terms, norm, top_k, shard_out);
+            }
         }
         merge_ranked(results, cursors, top_k, out);
+    }
+
+    /// Fans per-shard scoring across the worker pool: one task per
+    /// shard, each scoring into its own result slot on a pool-cached
+    /// session. Blocks until every shard finished (the executor joins
+    /// the batch before returning).
+    fn scatter_shards(
+        &self,
+        terms: &[(u32, f64)],
+        norm: f64,
+        top_k: usize,
+        width: usize,
+        results: &mut [Vec<RankedResource>],
+    ) {
+        let slots = exec::DisjointSlots::new(results);
+        let engines = &self.engines;
+        exec::global().run_tasks(width, engines.len(), &|shard, scratch| {
+            // SAFETY: one task per shard index, so each result slot is
+            // claimed by exactly one task, and this frame's borrow of
+            // `results` is held (not used) until the executor joins.
+            let shard_out = unsafe { slots.slot(shard) };
+            engines[shard].run_with_terms(&mut scratch.query, terms, norm, top_k, shard_out);
+        });
     }
 
     /// Convenience single query: allocates a fresh session.
@@ -685,83 +844,64 @@ impl ShardSet {
         out
     }
 
-    /// Scatter-gather with the per-shard top-k fanned across the worker
-    /// pool: up to [`parallel::num_threads`] workers each score a
-    /// contiguous range of shards concurrently, then the gathered
-    /// rankings merge exactly as in [`Self::search_tags_with`] (same
-    /// preparation, same global term order — bit-identical results).
-    /// Worth the fork-join overhead only when per-shard work is
-    /// substantial; latency-sensitive small-corpus serving should prefer
-    /// the sequential session path.
+    /// Scatter-gather with the per-shard top-k fanned across the
+    /// persistent worker pool (one task per shard, pool-cached
+    /// sessions): same preparation and global term order as
+    /// [`Self::search_tags_with`], so results are bit-identical. Under
+    /// a 1-thread cap (or a 1-shard set) this degrades to the
+    /// sequential path. Steady-state calls on a warmed session and
+    /// warmed pool spawn no threads and perform no heap allocation.
+    /// Worth the handoff only when per-shard work is substantial —
+    /// [`Self::search_tags_auto`] makes that call per query.
+    pub fn search_tags_scatter_with(
+        &self,
+        session: &mut ShardedSession,
+        concepts: &dyn ConceptAssignment,
+        tags: &[TagId],
+        top_k: usize,
+        out: &mut Vec<RankedResource>,
+    ) {
+        self.search_shards(session, concepts, tags, top_k, out, Dispatch::Scatter);
+    }
+
+    /// Convenience pooled scatter on a fresh session; prefer
+    /// [`Self::search_tags_scatter_with`] in serving loops.
     pub fn search_tags_scatter(
         &self,
         concepts: &dyn ConceptAssignment,
         tags: &[TagId],
         top_k: usize,
     ) -> Vec<RankedResource> {
-        let mut prep = QuerySession::default();
-        let Some(norm) = self.engines[0].collect_tag_terms(&mut prep, concepts, tags) else {
-            return Vec::new();
-        };
-        let mut terms: Vec<(u32, f64)> = prep.terms().to_vec();
-        order_terms_with(&mut terms, &self.global_max_impact);
-        // Respect the configured worker-pool size: each worker owns a
-        // contiguous range of shards (one session per shard within it),
-        // so a 1024-shard set under CUBELSI_THREADS=4 runs 4 threads,
-        // not 1024 — and a 1-thread cap degrades to the sequential path.
-        let n = self.engines.len();
-        let workers = parallel::num_threads().min(n).max(1);
-        let chunk = n.div_ceil(workers);
-        let mut results: Vec<Vec<RankedResource>> = Vec::with_capacity(n);
-        if workers == 1 {
-            for engine in &self.engines {
-                let mut session = engine.session();
-                let mut out = Vec::new();
-                engine.run_with_terms(&mut session, &terms, norm, top_k, &mut out);
-                results.push(out);
-            }
-        } else {
-            crossbeam::thread::scope(|scope| {
-                let terms = &terms;
-                let handles: Vec<_> = self
-                    .engines
-                    .chunks(chunk)
-                    .map(|engines| {
-                        scope.spawn(move |_| {
-                            engines
-                                .iter()
-                                .map(|engine| {
-                                    let mut session = engine.session();
-                                    let mut out = Vec::new();
-                                    engine.run_with_terms(
-                                        &mut session,
-                                        terms,
-                                        norm,
-                                        top_k,
-                                        &mut out,
-                                    );
-                                    out
-                                })
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                for h in handles {
-                    results.extend(h.join().expect("shard worker panicked"));
-                }
-            })
-            .expect("shard scatter scope failed");
-        }
-        let mut cursors = Vec::new();
+        let mut session = self.session();
         let mut out = Vec::new();
-        merge_ranked(&mut results, &mut cursors, top_k, &mut out);
+        self.search_tags_scatter_with(&mut session, concepts, tags, top_k, &mut out);
         out
     }
 
-    /// Answers a batch of queries, fanning contiguous chunks across the
-    /// worker pool — each worker owns one [`ShardedSession`] and drives
-    /// every shard for its queries. Results come back in query order and
-    /// are bit-identical at any thread count.
+    /// One query answered entirely on the current thread: through the
+    /// coalesced mirror when present, else the sequential scatter. The
+    /// per-query unit of the batch path (a batch task must never fan
+    /// out again underneath itself).
+    fn search_query_inline(
+        &self,
+        session: &mut ShardedSession,
+        concepts: &dyn ConceptAssignment,
+        tags: &[TagId],
+        top_k: usize,
+        out: &mut Vec<RankedResource>,
+    ) {
+        if let Some(co) = &self.coalesced {
+            co.search_tags_with(&mut session.prep, concepts, tags, top_k, out);
+        } else {
+            self.search_shards(session, concepts, tags, top_k, out, Dispatch::Sequential);
+        }
+    }
+
+    /// Answers a batch of queries, oversplit into index ranges across
+    /// the persistent worker pool — each participant drives every shard
+    /// for its queries on a pool-cached [`ShardedSession`], writing
+    /// straight into the query's own result slot. Results come back in
+    /// query order and are bit-identical at any pool size.
     pub fn search_batch<Q>(
         &self,
         concepts: &dyn ConceptAssignment,
@@ -775,52 +915,47 @@ impl ShardSet {
         if n == 0 {
             return Vec::new();
         }
-        const MIN_QUERIES_PER_WORKER: usize = 32;
-        let threads = parallel::num_threads()
-            .min(n.div_ceil(MIN_QUERIES_PER_WORKER))
+        // Pool handoff costs ~a microsecond per task (no thread spawn),
+        // so the fan-out bar is much lower than the old scoped-thread
+        // path's — but still nonzero. Clamp to the batch size: a batch
+        // smaller than the pool must never engage idle workers.
+        const MIN_QUERIES_PER_TASK: usize = 8;
+        let width = parallel::num_threads()
+            .min(n.div_ceil(MIN_QUERIES_PER_TASK))
+            .min(n)
             .max(1);
-        if threads == 1 {
+        if width == 1 {
+            exec::global().note_inline();
             let mut session = self.session();
             return queries
                 .iter()
                 .map(|q| {
                     let mut out = Vec::new();
-                    self.search_tags_with(&mut session, concepts, q.as_ref(), top_k, &mut out);
+                    self.search_query_inline(&mut session, concepts, q.as_ref(), top_k, &mut out);
                     out
                 })
                 .collect();
         }
-        let chunk = n.div_ceil(threads);
-        let mut pieces: Vec<(usize, Vec<Vec<RankedResource>>)> = Vec::with_capacity(threads);
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for (ci, qchunk) in queries.chunks(chunk).enumerate() {
-                handles.push(scope.spawn(move |_| {
-                    let mut session = self.session();
-                    let answers: Vec<Vec<RankedResource>> = qchunk
-                        .iter()
-                        .map(|q| {
-                            let mut out = Vec::new();
-                            self.search_tags_with(
-                                &mut session,
-                                concepts,
-                                q.as_ref(),
-                                top_k,
-                                &mut out,
-                            );
-                            out
-                        })
-                        .collect();
-                    (ci, answers)
-                }));
+        exec::global().note_fanout();
+        let mut results: Vec<Vec<RankedResource>> = Vec::new();
+        results.resize_with(n, Vec::new);
+        // Oversplit relative to the width so work stealing can rebalance
+        // straggler ranges.
+        let task_size = n.div_ceil(width * 4).max(1);
+        let tasks = n.div_ceil(task_size);
+        let slots = exec::DisjointSlots::new(&mut results);
+        exec::global().run_tasks(width, tasks, &|task, scratch| {
+            let lo = task * task_size;
+            let hi = (lo + task_size).min(n);
+            for (offset, q) in queries[lo..hi].iter().enumerate() {
+                // SAFETY: tasks cover disjoint index ranges of 0..n, so
+                // each slot is claimed by exactly one task; `results` is
+                // not touched until the executor joins the batch.
+                let out = unsafe { slots.slot(lo + offset) };
+                self.search_query_inline(&mut scratch.sharded, concepts, q.as_ref(), top_k, out);
             }
-            for h in handles {
-                pieces.push(h.join().expect("sharded batch worker panicked"));
-            }
-        })
-        .expect("sharded batch scope failed");
-        pieces.sort_unstable_by_key(|&(ci, _)| ci);
-        pieces.into_iter().flat_map(|(_, v)| v).collect()
+        });
+        results
     }
 }
 
@@ -1096,8 +1231,13 @@ impl ShardedEngine {
     }
 
     /// Answers a tag-id query against the current generation using its
-    /// own concept model. Steady-state allocation-free on a warmed
-    /// session.
+    /// own concept model, through the adaptive dispatch path
+    /// ([`ShardSet::search_tags_auto`]): coalesced mirror or sequential
+    /// scatter for cheap queries, pooled fan-out for heavy ones —
+    /// bit-identical either way. Steady-state allocation-free on a
+    /// warmed session; the session survives generation swaps (its
+    /// scratch lazily re-validates against whichever generation's index
+    /// it meets).
     pub fn search_tags_with(
         &self,
         session: &mut ShardedSession,
@@ -1107,7 +1247,7 @@ impl ShardedEngine {
     ) {
         let generation = self.current();
         let set = generation.set();
-        set.search_tags_with(session, set.concepts(), tags, top_k, out);
+        set.search_tags_auto(session, set.concepts(), tags, top_k, out);
     }
 
     /// Convenience single query on a fresh session.
@@ -1214,6 +1354,35 @@ mod tests {
             }
         }
         assert_eq!(postings, index.num_postings());
+    }
+
+    #[test]
+    fn coalesced_index_matches_unsharded_build() {
+        let (f, model) = corpus();
+        let index = ConceptIndex::build(&f, &model);
+        let n = 3;
+        let shards: Vec<ConceptIndex> = (0..n).map(|i| index.partition_by_resource(i, n)).collect();
+        let refs: Vec<&ConceptIndex> = shards.iter().collect();
+        let merged = ConceptIndex::coalesce(&refs);
+        assert_eq!(merged.num_resources(), index.num_resources());
+        assert_eq!(merged.num_concepts(), index.num_concepts());
+        assert_eq!(merged.num_postings(), index.num_postings());
+        for l in 0..index.num_concepts() {
+            assert_eq!(merged.idf(l).to_bits(), index.idf(l).to_bits());
+            let (a, b) = (merged.postings(l), index.postings(l));
+            assert_eq!(a.ids, b.ids, "concept {l} ids diverge");
+            let (sa, sb): (Vec<u64>, Vec<u64>) = (
+                a.scores.iter().map(|s| s.to_bits()).collect(),
+                b.scores.iter().map(|s| s.to_bits()).collect(),
+            );
+            assert_eq!(sa, sb, "concept {l} scores diverge");
+        }
+        for r in 0..index.num_resources() {
+            assert_eq!(
+                merged.resource_norm(r).to_bits(),
+                index.resource_norm(r).to_bits()
+            );
+        }
     }
 
     #[test]

@@ -16,7 +16,23 @@ pub fn num_threads() -> usize {
     if configured > 0 {
         return configured;
     }
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    default_threads()
+}
+
+/// Machine parallelism, probed once and cached: `available_parallelism`
+/// reads cgroup quota files on Linux (it allocates and costs a few µs),
+/// which would break the zero-allocation steady-state serving paths
+/// that consult [`num_threads`] on every query.
+fn default_threads() -> usize {
+    static DEFAULT: AtomicUsize = AtomicUsize::new(0);
+    match DEFAULT.load(Ordering::Relaxed) {
+        0 => {
+            let n = std::thread::available_parallelism().map_or(1, |n| n.get());
+            DEFAULT.store(n, Ordering::Relaxed);
+            n
+        }
+        n => n,
+    }
 }
 
 static CONFIGURED_THREADS: AtomicUsize = AtomicUsize::new(0);

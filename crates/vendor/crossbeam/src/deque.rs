@@ -1,0 +1,240 @@
+//! Offline stand-in for `crossbeam::deque`.
+//!
+//! The executor in `cubelsi-core` needs the classic injector +
+//! work-stealing-deque topology: batches land in a shared [`Injector`],
+//! each pool worker owns a [`Worker`] deque it pops LIFO, and idle
+//! workers (or the submitting caller) relieve stragglers through
+//! [`Stealer`] handles that take from the opposite (FIFO) end.
+//!
+//! Unlike the real crate this stand-in is mutex-based rather than
+//! lock-free: every queue is a `Mutex<VecDeque<T>>`. That keeps the
+//! module 100 % safe code (the vendored tree is excluded from the
+//! workspace unsafe audit precisely because it contains none) and is
+//! plenty for the executor's granularity — tasks are whole queries or
+//! query chunks, microseconds of work each, so a short critical section
+//! per transfer is noise. Two API consequences:
+//!
+//! * [`Steal`] has no `Retry` variant — a mutex never observes the torn
+//!   states a lock-free deque has to retry around.
+//! * [`Injector::steal_batch_and_pop`] moves a bounded batch under one
+//!   lock acquisition, which is the mutex-world analogue of the real
+//!   crate's batched steal.
+//!
+//! Capacity is retained by every `VecDeque` across calls, so a warmed
+//! executor pushes and pops without heap allocation (the `cubelsi`
+//! zero-alloc integration test measures through this module).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Largest number of tasks one [`Injector::steal_batch_and_pop`] call
+/// moves into the destination worker. Bounds how much a single worker
+/// can hoard from a freshly submitted batch before its siblings get a
+/// chance to pick up the rest.
+const MAX_BATCH: usize = 16;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Queue state is a plain VecDeque, valid after any panic elsewhere.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Outcome of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+}
+
+impl<T> Steal<T> {
+    /// Converts into `Option`, `Success` → `Some`.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            Steal::Empty => None,
+        }
+    }
+}
+
+/// The worker-owned end of a deque: LIFO push/pop for locality (the
+/// task most recently made runnable has the hottest footprint).
+#[derive(Debug)]
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// Creates an empty worker deque.
+    pub fn new_lifo() -> Self {
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// A new steal handle onto this deque (any number may exist).
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+
+    /// Pushes a task onto the owner's (LIFO) end.
+    pub fn push(&self, task: T) {
+        lock(&self.queue).push_back(task);
+    }
+
+    /// Pops the most recently pushed task.
+    pub fn pop(&self) -> Option<T> {
+        lock(&self.queue).pop_back()
+    }
+
+    /// Whether the deque is currently empty (racy, advisory only).
+    pub fn is_empty(&self) -> bool {
+        lock(&self.queue).is_empty()
+    }
+}
+
+/// A steal handle onto one worker's deque: takes from the FIFO end,
+/// opposite the owner, so thief and owner contend as little as possible.
+#[derive(Debug)]
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steals one task from the victim's FIFO end.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+}
+
+/// The shared FIFO entry queue every submitted batch lands in; workers
+/// drain it in bounded batches into their local deques.
+#[derive(Debug, Default)]
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty injector.
+    pub fn new() -> Self {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Enqueues a task at the tail.
+    pub fn push(&self, task: T) {
+        lock(&self.queue).push_back(task);
+    }
+
+    /// Takes one task from the head.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Moves up to [`MAX_BATCH`] (but at most half the queue, so other
+    /// workers still find work) tasks into `dest`, returning one of them
+    /// directly. `Empty` iff the injector held nothing.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut queue = lock(&self.queue);
+        let first = match queue.pop_front() {
+            Some(t) => t,
+            None => return Steal::Empty,
+        };
+        let extra = queue.len().div_ceil(2).min(MAX_BATCH - 1);
+        if extra > 0 {
+            let mut dest_queue = lock(&dest.queue);
+            for _ in 0..extra {
+                match queue.pop_front() {
+                    Some(t) => dest_queue.push_back(t),
+                    None => break,
+                }
+            }
+        }
+        Steal::Success(first)
+    }
+
+    /// Whether the injector is currently empty (racy, advisory only).
+    pub fn is_empty(&self) -> bool {
+        lock(&self.queue).is_empty()
+    }
+
+    /// Current queue length (racy, advisory only).
+    pub fn len(&self) -> usize {
+        lock(&self.queue).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_is_lifo_stealer_is_fifo() {
+        let w: Worker<u32> = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(s.steal(), Steal::Empty);
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn injector_batch_steal_bounds_the_grab() {
+        let inj: Injector<u32> = Injector::new();
+        for i in 0..100 {
+            inj.push(i);
+        }
+        let w = Worker::new_lifo();
+        // First stolen task comes back directly; at most MAX_BATCH - 1
+        // and at most half the remainder land in the local deque.
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+        let mut local = 0;
+        while w.pop().is_some() {
+            local += 1;
+        }
+        assert!(local < MAX_BATCH, "hoarded {local} tasks");
+        assert!(!inj.is_empty(), "siblings must still find work");
+    }
+
+    #[test]
+    fn injector_is_fifo_across_threads() {
+        let inj: Injector<usize> = Injector::new();
+        for i in 0..64 {
+            inj.push(i);
+        }
+        let seen = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    while let Steal::Success(t) = inj.steal() {
+                        lock(&seen).push(t);
+                    }
+                });
+            }
+        });
+        let mut seen = seen.into_inner().unwrap_or_else(PoisonError::into_inner);
+        seen.sort_unstable();
+        assert_eq!(seen, (0..64).collect::<Vec<_>>());
+    }
+}

@@ -1,10 +1,18 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! The workspace only uses `crossbeam::thread::scope` for fork–join
-//! parallelism over disjoint slices; since Rust 1.63 the standard library
-//! provides scoped threads natively, so this crate is a thin adapter that
-//! keeps the crossbeam call sites unchanged while delegating to
-//! [`std::thread::scope`].
+//! Two subsets are provided, matching what the workspace actually uses:
+//!
+//! * [`thread`] — `crossbeam::thread::scope` fork–join over disjoint
+//!   slices; since Rust 1.63 the standard library provides scoped
+//!   threads natively, so this is a thin adapter that keeps the
+//!   crossbeam call sites unchanged while delegating to
+//!   [`std::thread::scope`].
+//! * [`deque`] — the injector + work-stealing-deque topology behind the
+//!   `cubelsi-core` persistent query executor, implemented mutex-based
+//!   (and therefore 100 % safe code) rather than lock-free; see the
+//!   module docs for the tradeoff.
+
+pub mod deque;
 
 pub mod thread {
     /// A scope for spawning borrowing threads (adapter over

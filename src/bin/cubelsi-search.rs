@@ -32,7 +32,8 @@
 //!   `OK<TAB><n><TAB><name>  (<score>)...`;
 //! * `RELOAD` → hot-reloads the manifest/artifact from disk and swaps it
 //!   under live traffic (in-flight queries drain on the old generation);
-//! * `STATS` → this client's latency statistics;
+//! * `STATS` → server-wide latency percentiles plus the query-executor
+//!   counters (pool size, inline/fanout dispatch decisions, steals);
 //! * `QUIT` → closes the connection; `SHUTDOWN` → stops the server.
 //!
 //! Malformed requests (non-UTF-8 bytes, oversized lines) get an `ERR`
@@ -49,12 +50,13 @@ use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 const USAGE: &str = "usage:
   cubelsi-search build [--concepts K] [--ratio C] [--seed S] [--threads N] [--no-clean] [--shards N] [--compress] DATA.tsv OUT
-  cubelsi-search query [--top N] [--repeat N] [--zero-copy] MODEL QUERY_TAG...
-  cubelsi-search serve [--top N] [--zero-copy] [--listen ADDR] MODEL   (TCP line protocol)
+  cubelsi-search query [--top N] [--repeat N] [--zero-copy] [--threads N] MODEL QUERY_TAG...
+  cubelsi-search serve [--top N] [--zero-copy] [--threads N] [--listen ADDR] MODEL   (TCP line protocol)
   cubelsi-search [build+query options] DATA.tsv QUERY_TAG...   (one-shot, nothing persisted)
 
 MODEL is a single .cubelsi artifact or a shard manifest (build --shards).
@@ -75,15 +77,16 @@ options:
   --listen ADDR  TCP listen address (default 127.0.0.1:7878; `serve` only;
                  port 0 picks a free port, printed as `listening ADDR`)
   --seed S       seed for all stochastic components (default 2011)
-  --threads N    worker threads for the offline build (N >= 1; default: all
-                 cores; the CUBELSI_THREADS env var sets the same knob)
+  --threads N    worker threads for the offline build and the online query
+                 executor (N >= 1; default: all cores; the CUBELSI_THREADS
+                 env var sets the same knob; 1 forces sequential serving)
   --no-clean     skip the paper's \u{a7}VI-A cleaning pipeline
 
 serve protocol (one request per line, one reply line per request):
   tag [tag...]   rank resources (OK\\t<n>\\t<name>  (<score>)...)
   QUERY tag...   same, explicit form (tags named RELOAD etc. stay queryable)
   RELOAD         reload the manifest/artifact from disk, swap under traffic
-  STATS          this client's latency statistics
+  STATS          server-wide latency percentiles + executor counters
   QUIT           close this connection        SHUTDOWN   stop the server";
 
 /// Options of the offline build phase (shared by `build` and one-shot).
@@ -129,14 +132,16 @@ enum Command {
         top_k: usize,
         repeat: usize,
         zero_copy: bool,
+        threads: Option<usize>,
     },
     /// Serve an artifact or shard manifest over a TCP line protocol
-    /// (concurrent clients, hot `RELOAD`, per-client latency stats).
+    /// (concurrent clients, hot `RELOAD`, server-wide latency stats).
     Serve {
         index: String,
         top_k: usize,
         zero_copy: bool,
         listen: String,
+        threads: Option<usize>,
     },
     /// Legacy sugar: build in memory, answer one query, discard.
     OneShot {
@@ -288,12 +293,6 @@ fn parse_command(args: impl IntoIterator<Item = String>) -> Result<Command, Stri
                 ));
             }
         }
-        if flags.threads.is_some() {
-            return Err(format!(
-                "--threads does not apply to `{cmd}`: it tunes the offline build \
-                 (set CUBELSI_THREADS to cap serving parallelism; see --help)"
-            ));
-        }
         Ok(())
     };
 
@@ -344,6 +343,7 @@ fn parse_command(args: impl IntoIterator<Item = String>) -> Result<Command, Stri
                 top_k,
                 repeat: flags.repeat.unwrap_or(1),
                 zero_copy: flags.zero_copy,
+                threads: flags.threads,
             })
         }
         Some("serve") => {
@@ -358,6 +358,7 @@ fn parse_command(args: impl IntoIterator<Item = String>) -> Result<Command, Stri
                 top_k,
                 zero_copy: flags.zero_copy,
                 listen: flags.listen.unwrap_or_else(|| "127.0.0.1:7878".to_owned()),
+                threads: flags.threads,
             })
         }
         Some(_) => {
@@ -640,8 +641,9 @@ fn run_query(
     top_k: usize,
     repeat: usize,
     zero_copy: bool,
+    threads: Option<usize>,
 ) -> Result<(), String> {
-    configure_threads(None)?;
+    configure_threads(threads)?;
     let set = load_shard_set(index, zero_copy)?;
     let mut session = set.session();
     let mut stats = LatencyStats::default();
@@ -650,7 +652,7 @@ fn run_query(
     let ids = resolve_ids(set.folksonomy(), tags);
     let mut hits = Vec::new();
     let t0 = Instant::now();
-    set.search_tags_with(&mut session, set.concepts(), &ids, top_k, &mut hits);
+    set.search_tags_auto(&mut session, set.concepts(), &ids, top_k, &mut hits);
     let elapsed = t0.elapsed();
     stats.record(elapsed);
     eprintln!("queried {elapsed:?}");
@@ -660,7 +662,7 @@ fn run_query(
         // printed once) to measure steady-state latency.
         for _ in 1..repeat {
             let t0 = Instant::now();
-            set.search_tags_with(&mut session, set.concepts(), &ids, top_k, &mut hits);
+            set.search_tags_auto(&mut session, set.concepts(), &ids, top_k, &mut hits);
             stats.record(t0.elapsed());
         }
         if let Some(summary) = stats.summary() {
@@ -856,8 +858,10 @@ fn format_hits(corpus: &Folksonomy, hits: &[RankedResource]) -> String {
 }
 
 /// Serves one client connection: reads line requests, answers queries on
-/// a reused scatter-gather session, and logs latency stats on
-/// disconnect. Any I/O error (including a mid-query disconnect) ends
+/// a reused scatter-gather session (adaptive dispatch through the query
+/// executor), and logs this client's latency stats on disconnect.
+/// Queries also feed `server_stats`, the server-wide recorder behind the
+/// `STATS` reply. Any I/O error (including a mid-query disconnect) ends
 /// this client only — the accept loop never sees it.
 fn handle_client(
     stream: TcpStream,
@@ -865,6 +869,7 @@ fn handle_client(
     top_k: usize,
     stop: &AtomicBool,
     server_addr: SocketAddr,
+    server_stats: &Mutex<LatencyStats>,
 ) {
     let peer = stream
         .peer_addr()
@@ -955,10 +960,17 @@ fn handle_client(
                         ),
                         Err(e) => reply(&mut writer, &format!("ERR reload failed: {e}")),
                     },
-                    Request::Stats => match stats.summary() {
-                        Some(summary) => reply(&mut writer, &format!("OK {summary}")),
-                        None => reply(&mut writer, "OK 0 queries"),
-                    },
+                    Request::Stats => {
+                        let latency = server_stats
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .summary();
+                        let exec = executor_summary();
+                        match latency {
+                            Some(summary) => reply(&mut writer, &format!("OK {summary} | {exec}")),
+                            None => reply(&mut writer, &format!("OK 0 queries | {exec}")),
+                        }
+                    }
                     Request::Query(tags) if tags.is_empty() => {
                         reply(&mut writer, "ERR QUERY needs at least one tag")
                     }
@@ -970,8 +982,13 @@ fn handle_client(
                             .filter_map(|name| set.folksonomy().tag_id(name))
                             .collect();
                         let t0 = Instant::now();
-                        set.search_tags_with(&mut session, set.concepts(), &ids, top_k, &mut hits);
-                        stats.record(t0.elapsed());
+                        set.search_tags_auto(&mut session, set.concepts(), &ids, top_k, &mut hits);
+                        let elapsed = t0.elapsed();
+                        stats.record(elapsed);
+                        server_stats
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .record(elapsed);
                         reply(&mut writer, &format_hits(set.folksonomy(), &hits))
                     }
                 };
@@ -987,8 +1004,24 @@ fn handle_client(
     }
 }
 
-fn run_serve(index: &str, top_k: usize, zero_copy: bool, listen: &str) -> Result<(), String> {
-    configure_threads(None)?;
+/// Query-executor counters in the `STATS` reply format — one source of
+/// truth for the field names the `serve_tcp` test asserts on.
+fn executor_summary() -> String {
+    let s = cubelsi::core::exec::stats();
+    format!(
+        "pool {} workers | inline {} | fanout {} | stolen {} | queued {}",
+        s.pool_size, s.inline, s.fanout, s.stolen, s.queued
+    )
+}
+
+fn run_serve(
+    index: &str,
+    top_k: usize,
+    zero_copy: bool,
+    listen: &str,
+    threads: Option<usize>,
+) -> Result<(), String> {
+    configure_threads(threads)?;
     let mode = if zero_copy {
         LoadMode::ZeroCopy
     } else {
@@ -1007,6 +1040,7 @@ fn run_serve(index: &str, top_k: usize, zero_copy: bool, listen: &str) -> Result
     std::io::stdout().flush().ok();
     eprintln!("serving: one request per line (tags | RELOAD | STATS | QUIT | SHUTDOWN)");
     let stop = AtomicBool::new(false);
+    let server_stats = Mutex::new(LatencyStats::default());
     crossbeam::thread::scope(|scope| {
         for stream in listener.incoming() {
             if stop.load(Ordering::SeqCst) {
@@ -1016,7 +1050,10 @@ fn run_serve(index: &str, top_k: usize, zero_copy: bool, listen: &str) -> Result
                 Ok(stream) => {
                     let engine = &engine;
                     let stop = &stop;
-                    scope.spawn(move |_| handle_client(stream, engine, top_k, stop, addr));
+                    let server_stats = &server_stats;
+                    scope.spawn(move |_| {
+                        handle_client(stream, engine, top_k, stop, addr, server_stats)
+                    });
                 }
                 Err(e) => eprintln!("accept error: {e}"),
             }
@@ -1054,13 +1091,15 @@ fn main() -> ExitCode {
             top_k,
             repeat,
             zero_copy,
-        }) => run_query(&index, &tags, top_k, repeat, zero_copy),
+            threads,
+        }) => run_query(&index, &tags, top_k, repeat, zero_copy, threads),
         Ok(Command::Serve {
             index,
             top_k,
             zero_copy,
             listen,
-        }) => run_serve(&index, top_k, zero_copy, &listen),
+            threads,
+        }) => run_serve(&index, top_k, zero_copy, &listen, threads),
         Ok(Command::OneShot {
             opts,
             data,
@@ -1132,6 +1171,7 @@ mod tests {
                 top_k: 3,
                 repeat: 1,
                 zero_copy: false,
+                threads: None,
             }
         );
         assert!(parse(&["query", "m.cubelsi"]).is_err(), "query needs tags");
@@ -1142,6 +1182,7 @@ mod tests {
                 top_k: 10,
                 zero_copy: false,
                 listen: "127.0.0.1:7878".into(),
+                threads: None,
             }
         );
         assert!(parse(&["serve"]).is_err());
@@ -1166,6 +1207,7 @@ mod tests {
                 top_k: 10,
                 repeat: 50,
                 zero_copy: true,
+                threads: None,
             }
         );
         assert_eq!(
@@ -1175,6 +1217,7 @@ mod tests {
                 top_k: 10,
                 zero_copy: true,
                 listen: "127.0.0.1:7878".into(),
+                threads: None,
             }
         );
         // Validation: integer >= 1.
@@ -1290,6 +1333,16 @@ mod tests {
         }
         assert!(parse(&["build", "--threads"]).is_err(), "missing value");
         // One-shot builds accept it too.
+        // The serving subcommands take --threads too: it sizes the query
+        // executor (and can force sequential serving with 1).
+        match parse(&["query", "--threads", "2", "m.cubelsi", "rock"]).unwrap() {
+            Command::Query { threads, .. } => assert_eq!(threads, Some(2)),
+            other => panic!("expected query, got {other:?}"),
+        }
+        match parse(&["serve", "--threads", "8", "m.shards"]).unwrap() {
+            Command::Serve { threads, .. } => assert_eq!(threads, Some(8)),
+            other => panic!("expected serve, got {other:?}"),
+        }
         match parse(&["--threads", "2", "d.tsv", "rock"]).unwrap() {
             Command::OneShot { opts, .. } => assert_eq!(opts.threads, Some(2)),
             other => panic!("expected one-shot, got {other:?}"),
@@ -1311,7 +1364,6 @@ mod tests {
             ("--concepts", Some("8")),
             ("--ratio", Some("25")),
             ("--seed", Some("7")),
-            ("--threads", Some("2")),
             ("--no-clean", None),
             ("--compress", None),
         ] {

@@ -1,11 +1,13 @@
 //! Pins the determinism claim of `search_batch`: rankings — resources,
 //! bit-exact scores, and tie-breaks — are identical at every worker
-//! thread count, for both pruning strategies. Batching splits the query
-//! slice into contiguous per-worker chunks, each worker runs the same
-//! sequential per-query code on its own session, and results are
-//! reassembled in query order, so the thread count can never influence a
-//! single float operation. This file holds exactly one test because it
-//! mutates the process-global worker-pool size.
+//! pool size, for both pruning strategies. Batching splits the query
+//! slice into contiguous index ranges fanned across the persistent
+//! executor, each participant runs the same sequential per-query code
+//! on its own pool-cached session, and every query writes into its own
+//! result slot, so the pool size can never influence a single float
+//! operation. Also pins the fan-out clamp: a batch smaller than the
+//! pool engages at most one task per query. This file holds exactly one
+//! test because it mutates the process-global worker-pool size.
 
 use cubelsi::core::{ConceptIndex, ConceptModel, PruningStrategy, QueryEngine, RankedResource};
 use cubelsi::datagen::{generate, GeneratorConfig};
@@ -90,6 +92,20 @@ fn search_batch_is_bit_identical_across_thread_counts() {
                 parallel::set_num_threads(0);
             }
         }
+
+        // Oversubscription regression: a batch smaller than the pool
+        // must clamp its fan-out to the batch size — idle workers never
+        // receive an empty range — and still answer bit-identically.
+        let small: Vec<Vec<TagId>> = queries.iter().take(3).cloned().collect();
+        parallel::set_num_threads(1);
+        let small_baseline = engine.search_batch(&model, &small, 10);
+        parallel::set_num_threads(8);
+        let small_got = engine.search_batch(&model, &small, 10);
+        assert_eq!(small_got.len(), small_baseline.len());
+        for (qi, (g, b)) in small_got.iter().zip(small_baseline.iter()).enumerate() {
+            assert_identical(g, b, &format!("seed={seed} small-batch q#{qi} threads=8"));
+        }
+        parallel::set_num_threads(0);
     }
     // Restore the machine default for any test harness that follows.
     parallel::set_num_threads(0);

@@ -8,8 +8,11 @@
 //!
 //! A counting global allocator wraps the system allocator; the test warms
 //! the session over the query set, snapshots the allocation counter, runs
-//! every query again, and asserts the counter did not move. This file
-//! holds exactly one test so no concurrent test pollutes the counter.
+//! every query again, and asserts the counter did not move. The same
+//! contract is then proven for sharded scatter-gather — sequential and
+//! fanned across the persistent worker pool (pool-cached sessions make
+//! the pooled steady state allocation-free too). This file holds exactly
+//! one test so no concurrent test pollutes the counter.
 
 use cubelsi::core::{persist, ConceptIndex, ConceptModel, PruningStrategy, QueryEngine};
 use cubelsi::datagen::{generate, GeneratorConfig};
@@ -173,4 +176,45 @@ fn steady_state_search_allocates_nothing() {
         0,
         "steady-state sharded search_tags_with must not allocate"
     );
+
+    // Pooled steady state: once the worker pool is warm, a scatter query
+    // fanned across pool threads allocates nothing either — per-worker
+    // sessions and result buffers are cached in the pool, the batch
+    // control block lives on the caller's stack, and the handoff reuses
+    // the injector's storage. Warm-up is adaptive because work stealing
+    // makes it nondeterministic *which* worker serves a query: keep
+    // warming until the pool is quiescent (several consecutive
+    // allocation-free rounds), then measure.
+    cubelsi::linalg::parallel::set_num_threads(3);
+    let mut quiescent = 0;
+    let mut rounds = 0;
+    while quiescent < 10 {
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        for (tags, k) in &queries {
+            set.search_tags_scatter_with(&mut sharded_session, &model, tags, *k, &mut out);
+        }
+        if ALLOCATIONS.load(Ordering::Relaxed) == before {
+            quiescent += 1;
+        } else {
+            quiescent = 0;
+        }
+        rounds += 1;
+        assert!(
+            rounds < 2_000,
+            "pooled scatter never reached an allocation-free steady state"
+        );
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..3 {
+        for (tags, k) in &queries {
+            set.search_tags_scatter_with(&mut sharded_session, &model, tags, *k, &mut out);
+        }
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state pooled scatter must not allocate"
+    );
+    cubelsi::linalg::parallel::set_num_threads(0);
 }

@@ -171,10 +171,47 @@ fn tcp_serve_end_to_end() {
     d.write_all(b"half a requ").unwrap();
     drop(d);
 
-    // STATS counts this client's queries.
+    // STATS reports server-wide latency percentiles plus the query
+    // executor's counters, in one parseable reply line.
     let stats = roundtrip(&mut a, "STATS");
     assert!(stats.starts_with("OK"), "got {stats:?}");
     assert!(stats.contains("queries"), "got {stats:?}");
+    for field in ["p50", "p95", "p99", "queries/s"] {
+        assert!(stats.contains(field), "missing {field}: {stats:?}");
+    }
+    for field in ["pool", "workers", "inline", "fanout", "stolen", "queued"] {
+        assert!(stats.contains(field), "missing {field}: {stats:?}");
+    }
+    // Queries ran, so the latency block is populated and every counter
+    // parses as an integer: "pool N workers | inline N | fanout N | ...".
+    let exec_block = stats
+        .split_once(" | pool ")
+        .map(|(_, rest)| rest)
+        .unwrap_or_else(|| panic!("no executor block: {stats:?}"));
+    let mut numbers = exec_block
+        .split(|c: char| !c.is_ascii_digit())
+        .filter(|s| !s.is_empty());
+    for _ in 0..4 {
+        numbers
+            .next()
+            .expect("four executor counters")
+            .parse::<u64>()
+            .unwrap();
+    }
+    // The queries above all went through the adaptive dispatcher, so
+    // inline + fanout covers every one of them.
+    let decisions: u64 = ["inline ", "fanout "]
+        .iter()
+        .map(|k| {
+            let tail = &exec_block[exec_block.find(k).unwrap() + k.len()..];
+            tail.split_whitespace()
+                .next()
+                .unwrap()
+                .parse::<u64>()
+                .unwrap()
+        })
+        .sum();
+    assert!(decisions >= 4, "dispatch decisions unrecorded: {stats:?}");
 
     // RELOAD hot-swaps the generation; the already-open client keeps
     // serving, with identical answers (same manifest on disk).

@@ -2,9 +2,10 @@
 //! scatter-gather answers must be **bit-identical** — scores, order,
 //! tie-breaks — to a single unsharded [`QueryEngine`] over the same
 //! corpus, for every shard count, every pruning strategy, hard and soft
-//! concept assignments, sequential/scatter/batched execution at several
-//! thread counts, artifacts loaded owned and zero-copy, and immediately
-//! after a hot reload. This is what makes sharding a pure scaling move,
+//! concept assignments, sequential/scatter/adaptive/batched execution at
+//! pool sizes {1, 2, 8}, artifacts loaded owned and zero-copy, and
+//! immediately after a hot reload (including the pooled paths across the
+//! generation swap). This is what makes sharding a pure scaling move,
 //! never an approximation.
 
 use cubelsi::core::shard::{self, LoadMode, ShardSet, ShardedEngine};
@@ -108,6 +109,15 @@ fn check_sharded(
                     &single,
                     &format!("scatter seed={seed} shards={n} k={k} query#{qi}"),
                 );
+                // The adaptive dispatcher may route through the coalesced
+                // mirror, the sequential scatter, or the pooled fan-out —
+                // every route must stay bit-identical.
+                set.search_tags_auto(&mut session, model, q, k, &mut out);
+                assert_identical(
+                    &out,
+                    &single,
+                    &format!("auto seed={seed} shards={n} k={k} query#{qi}"),
+                );
             }
         }
     }
@@ -168,11 +178,30 @@ fn sharded_batch_is_thread_count_invariant() {
         for threads in [1usize, 2, 8] {
             parallel::set_num_threads(threads);
             let batch = set.search_batch(&model, &queries, 10);
-            parallel::set_num_threads(0);
             assert_eq!(batch.len(), single.len());
             for (qi, (got, want)) in batch.iter().zip(single.iter()).enumerate() {
                 assert_identical(got, want, &format!("shards={n} threads={threads} q#{qi}"));
             }
+            // The single-query pooled paths at the same pool sizes: the
+            // forced scatter and the adaptive dispatcher both stay
+            // bit-identical whether the pool or the caller scores shards.
+            let mut session = set.session();
+            let mut out = Vec::new();
+            for (qi, q) in queries.iter().take(24).enumerate() {
+                set.search_tags_scatter_with(&mut session, &model, q, 10, &mut out);
+                assert_identical(
+                    &out,
+                    &single[qi],
+                    &format!("scatter shards={n} threads={threads} q#{qi}"),
+                );
+                set.search_tags_auto(&mut session, &model, q, 10, &mut out);
+                assert_identical(
+                    &out,
+                    &single[qi],
+                    &format!("auto shards={n} threads={threads} q#{qi}"),
+                );
+            }
+            parallel::set_num_threads(0);
         }
     }
 }
@@ -302,6 +331,32 @@ fn hot_reload_swaps_models_under_warm_sessions() {
     for q in &queries {
         engine.search_tags_with(&mut session, q, 5, &mut out);
         assert_identical(&out, &model_b.search_ids(q, 5), "generation 2");
+    }
+
+    // The pooled paths survive the swap too: the same warmed session
+    // drives the forced scatter and the adaptive dispatcher against the
+    // new generation at several pool sizes — pool workers' cached
+    // sessions re-validate lazily against whatever index they are
+    // handed, so a generation swap needs no pool coordination.
+    let generation = engine.current();
+    let new_set = generation.set();
+    for threads in [1usize, 2, 8] {
+        parallel::set_num_threads(threads);
+        for q in &queries {
+            new_set.search_tags_scatter_with(&mut session, new_set.concepts(), q, 5, &mut out);
+            assert_identical(
+                &out,
+                &model_b.search_ids(q, 5),
+                &format!("scatter after reload threads={threads}"),
+            );
+            new_set.search_tags_auto(&mut session, new_set.concepts(), q, 5, &mut out);
+            assert_identical(
+                &out,
+                &model_b.search_ids(q, 5),
+                &format!("auto after reload threads={threads}"),
+            );
+        }
+        parallel::set_num_threads(0);
     }
     std::fs::remove_dir_all(&dir).ok();
 }
