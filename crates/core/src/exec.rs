@@ -53,12 +53,28 @@
 //! amortizes the handoff. A task that itself calls `run_tasks` (nested
 //! fan-out) degrades to inline execution on the worker — the pool never
 //! blocks one of its own threads on a sub-batch.
+//!
+//! # Deadlines
+//!
+//! Serving paths can bound a query's latency budget with
+//! [`scoped_deadline`]: the deadline is carried in a thread-local for
+//! the scope of the closure, captured by `run_tasks` at submission,
+//! and re-established on whichever participant (pool worker or
+//! stealing caller) executes each task — so [`current_deadline`] /
+//! [`deadline_exceeded`] answer correctly from inside task bodies and
+//! nested dispatches. Dispatch is deadline-aware: a batch submitted
+//! *after* its deadline already passed still produces its results
+//! (callers may discard them), but runs sequentially on the caller —
+//! waking the pool for work whose budget is already spent would only
+//! steal threads from queries that can still make theirs. Such
+//! degradations are counted in [`ExecutorStats::late_dispatch`].
 
 use std::cell::{Cell, RefCell};
 use std::marker::PhantomData;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Instant;
 
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 
@@ -87,6 +103,9 @@ type TaskFn<'a> = &'a (dyn Fn(usize, &mut WorkerScratch) + Sync);
 /// closure plus the completion latch the submitting caller waits on.
 struct BatchCtl<'a> {
     run: TaskFn<'a>,
+    /// The submitting scope's latency deadline, re-established on every
+    /// participant that executes one of this batch's tasks.
+    deadline: Option<Instant>,
     /// Tasks not yet finished; the finisher that brings this to zero
     /// flips `done` under its mutex and wakes the waiting caller.
     pending: AtomicUsize,
@@ -149,6 +168,10 @@ pub struct ExecutorStats {
     pub inline: u64,
     /// Dispatch decisions that engaged the pool.
     pub fanout: u64,
+    /// Batches whose [`scoped_deadline`] had already passed at
+    /// submission and therefore ran sequentially on the caller instead
+    /// of engaging the pool.
+    pub late_dispatch: u64,
 }
 
 /// Park-state shared between submitters and workers: a classic
@@ -177,6 +200,7 @@ struct Inner {
     stolen: AtomicU64,
     inline: AtomicU64,
     fanout: AtomicU64,
+    late_dispatch: AtomicU64,
 }
 
 /// The worker pool. One process-wide instance lives behind
@@ -193,6 +217,64 @@ thread_local! {
     /// The calling thread's cached scratch, used when executing tasks
     /// inline and when participating in a submitted batch.
     static CALLER_SCRATCH: RefCell<WorkerScratch> = RefCell::new(WorkerScratch::default());
+    /// The latency deadline governing work dispatched from this thread
+    /// (set by [`scoped_deadline`], re-established per task on
+    /// executing participants).
+    static TASK_DEADLINE: Cell<Option<Instant>> = const { Cell::new(None) };
+}
+
+/// Restores the previous thread-local deadline on drop, so scopes nest
+/// correctly even across unwinds.
+struct DeadlineGuard {
+    prev: Option<Instant>,
+}
+
+impl Drop for DeadlineGuard {
+    fn drop(&mut self) {
+        TASK_DEADLINE.with(|c| c.set(self.prev));
+    }
+}
+
+/// Installs `deadline` as the current thread's deadline for the guard's
+/// lifetime. `tighten_only` is the scope rule (an inner scope can only
+/// shorten the budget, and `None` inherits the outer deadline); tasks
+/// executing on behalf of another thread's batch instead take that
+/// batch's deadline verbatim (`tighten_only = false`) — the governing
+/// budget is the submitter's, not the executing participant's.
+fn install_deadline(deadline: Option<Instant>, tighten_only: bool) -> DeadlineGuard {
+    let prev = TASK_DEADLINE.with(Cell::get);
+    let effective = if tighten_only {
+        match (deadline, prev) {
+            (Some(inner), Some(outer)) => Some(inner.min(outer)),
+            (inner, outer) => inner.or(outer),
+        }
+    } else {
+        deadline
+    };
+    TASK_DEADLINE.with(|c| c.set(effective));
+    DeadlineGuard { prev }
+}
+
+/// Runs `f` with `deadline` as the current thread's dispatch deadline,
+/// restoring the previous deadline afterwards. The deadline propagates
+/// into every `run_tasks` fan-out performed inside `f` (pool workers
+/// included); nested scopes keep the sooner of the two deadlines, and
+/// `None` simply inherits the enclosing scope's deadline.
+pub fn scoped_deadline<R>(deadline: Option<Instant>, f: impl FnOnce() -> R) -> R {
+    let _guard = install_deadline(deadline, true);
+    f()
+}
+
+/// The deadline governing the current scope (a [`scoped_deadline`]
+/// closure, or a task executed on behalf of one), if any.
+pub fn current_deadline() -> Option<Instant> {
+    TASK_DEADLINE.with(Cell::get)
+}
+
+/// True when the current scope's deadline has already passed — a
+/// cooperative cancellation check long-running task bodies can poll.
+pub fn deadline_exceeded() -> bool {
+    current_deadline().is_some_and(|d| Instant::now() >= d)
 }
 
 static GLOBAL: OnceLock<Executor> = OnceLock::new();
@@ -245,6 +327,10 @@ fn execute(inner: &Inner, task: Task, scratch: &mut WorkerScratch) {
     // decremented `pending`, so the pointee is live for the whole scope
     // of this reference.
     let ctl = unsafe { &*task.ctl };
+    // The batch runs under its *submitter's* deadline — replace (not
+    // tighten) whatever deadline the executing thread happens to carry,
+    // since a stealing participant may belong to an unrelated scope.
+    let _deadline = install_deadline(ctl.deadline, false);
     if panic::catch_unwind(AssertUnwindSafe(|| (ctl.run)(task.index, scratch))).is_err() {
         ctl.panicked.store(true, Ordering::Relaxed);
     }
@@ -368,6 +454,7 @@ impl Executor {
                 stolen: AtomicU64::new(0),
                 inline: AtomicU64::new(0),
                 fanout: AtomicU64::new(0),
+                late_dispatch: AtomicU64::new(0),
             }),
         }
     }
@@ -390,6 +477,7 @@ impl Executor {
             stolen: self.inner.stolen.load(Ordering::Relaxed),
             inline: self.inner.inline.load(Ordering::Relaxed),
             fanout: self.inner.fanout.load(Ordering::Relaxed),
+            late_dispatch: self.inner.late_dispatch.load(Ordering::Relaxed),
         }
     }
 
@@ -406,9 +494,20 @@ impl Executor {
             run_inline(tasks, run);
             return;
         }
+        // Deadline-aware dispatch: a batch whose budget already expired
+        // still produces its results (callers need them for the
+        // degraded reply), but sequentially on the caller — no point
+        // waking workers for an answer that will be discarded.
+        let deadline = current_deadline();
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            self.inner.late_dispatch.fetch_add(1, Ordering::Relaxed);
+            run_inline(tasks, run);
+            return;
+        }
         self.ensure_workers(width.min(tasks).saturating_sub(1));
         let ctl = BatchCtl {
             run,
+            deadline,
             pending: AtomicUsize::new(tasks),
             panicked: AtomicBool::new(false),
             done: Mutex::new(false),
@@ -517,6 +616,7 @@ impl<'a, T> DisjointSlots<'a, T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     fn fill_batch(exec: &Executor, width: usize, tasks: usize) -> Vec<u64> {
         let mut out = vec![0u64; tasks];
@@ -624,5 +724,73 @@ mod tests {
         exec.note_fanout();
         let stats = exec.snapshot();
         assert_eq!((stats.inline, stats.fanout), (2, 1));
+    }
+
+    #[test]
+    fn deadline_propagates_into_pool_tasks() {
+        let exec = Executor::new();
+        let far = Instant::now() + Duration::from_secs(3600);
+        let seen = AtomicU64::new(0);
+        let missing = AtomicU64::new(0);
+        scoped_deadline(Some(far), || {
+            assert_eq!(current_deadline(), Some(far));
+            assert!(!deadline_exceeded());
+            exec.run_tasks(4, 32, &|_, _scratch| {
+                // Whether this task ran on a pool worker or on the
+                // participating caller, it must observe the submitting
+                // scope's deadline.
+                match current_deadline() {
+                    Some(d) if d == far => seen.fetch_add(1, Ordering::Relaxed),
+                    _ => missing.fetch_add(1, Ordering::Relaxed),
+                };
+            });
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 32);
+        assert_eq!(missing.load(Ordering::Relaxed), 0);
+        assert_eq!(
+            current_deadline(),
+            None,
+            "leaving the scope must restore the previous (absent) deadline"
+        );
+    }
+
+    #[test]
+    fn expired_deadline_runs_batch_inline() {
+        let exec = Executor::new();
+        // An Instant captured before the comparison: `>=` makes "now"
+        // itself already expired, without Instant arithmetic that could
+        // underflow near the clock epoch.
+        let past = Instant::now();
+        let out = scoped_deadline(Some(past), || fill_batch(&exec, 4, 16));
+        let expect: Vec<u64> = (0..16).map(|i| i * 3 + 1).collect();
+        assert_eq!(out, expect, "late batches still produce full results");
+        let stats = exec.snapshot();
+        assert_eq!(stats.pool_size, 0, "expired dispatch must not spawn");
+        assert_eq!(stats.queued, 0);
+        assert_eq!(stats.late_dispatch, 1);
+    }
+
+    #[test]
+    fn nested_scopes_keep_sooner_deadline() {
+        let soon = Instant::now() + Duration::from_secs(60);
+        let later = Instant::now() + Duration::from_secs(3600);
+        scoped_deadline(Some(soon), || {
+            scoped_deadline(Some(later), || {
+                assert_eq!(
+                    current_deadline(),
+                    Some(soon),
+                    "an inner scope can only tighten the budget"
+                );
+            });
+            scoped_deadline(None, || {
+                assert_eq!(
+                    current_deadline(),
+                    Some(soon),
+                    "None inherits the enclosing deadline"
+                );
+            });
+            assert_eq!(current_deadline(), Some(soon));
+        });
+        assert_eq!(current_deadline(), None);
     }
 }

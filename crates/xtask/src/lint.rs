@@ -56,7 +56,7 @@ pub const POLICY: Policy = Policy {
     hostile_required: &[
         "crates/core/src/persist.rs",
         "crates/core/src/shard.rs",
-        "src/bin/cubelsi-search.rs",
+        "src/bin/cubelsi-search/serve.rs",
     ],
 };
 

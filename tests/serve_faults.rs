@@ -1,0 +1,315 @@
+//! Deterministic fault injection against the bounded serving pipeline:
+//! connection floods past `--max-conns`, deadline-exceeding queries
+//! (both pre- and post-dispatch), stalled readers, byte-at-a-time
+//! writers, mid-query disconnects, idle connections, and graceful drain.
+//! Every fault asserts two things: the faulted client gets its
+//! *specific* degraded reply (`ERR BUSY`, `TIMEOUT ...`,
+//! `ERR idle timeout`, a dropped connection), and healthy clients keep
+//! receiving bit-identical results throughout, with the matching
+//! counter visible in `METRICS`.
+//!
+//! Faults are injected through the server's `CUBELSI_FAULT_*` env knobs
+//! (see `serve.rs`): `..._QUERY_DELAY_MS` / `..._PREDISPATCH_DELAY_MS`
+//! slow down queries naming `..._SLOW_TAG` (so slow and healthy traffic
+//! share one server), `..._REPLY_PAD` inflates replies past socket
+//! buffers to trip the write budget.
+
+mod common;
+
+use common::*;
+use std::io::Write;
+use std::time::Duration;
+
+/// Flooding past `--max-conns` sheds the excess connection with an
+/// explicit `ERR BUSY` and a clean close, while the admitted clients'
+/// results stay bit-identical; once load drops, new clients are
+/// admitted again and `busy_rejected` shows the shed.
+#[test]
+fn flood_past_max_conns_sheds_with_busy_and_recovers() {
+    let dir = scratch_dir("faults-flood");
+    let manifest = build_sharded(&dir, 2);
+    let expected_top = reference_top_hit(&manifest, &["people"]);
+    let mut server = start_server_with(&manifest, &["--max-conns", "2"], &[]);
+
+    // Fill both admission slots with live clients.
+    let mut a = connect(&server.addr);
+    let baseline = roundtrip(&mut a, "people");
+    assert!(baseline.starts_with("OK\t"), "got {baseline:?}");
+    assert!(baseline.contains(&expected_top), "top hit missing");
+    let mut b = connect(&server.addr);
+    assert_eq!(roundtrip(&mut b, "people"), baseline);
+
+    // The third connection is shed: one explicit reply, then a clean
+    // close — the server never reads a request from it.
+    let mut c = connect(&server.addr);
+    assert_eq!(read_reply_line(&mut c), "ERR BUSY");
+    assert_eq!(read_to_end(&mut c), "", "shed connection must close");
+
+    // Shedding is per-connection: the admitted clients keep answering
+    // bit-identically while the flood is bouncing off the gate.
+    for _ in 0..3 {
+        let mut flood = connect(&server.addr);
+        assert_eq!(read_reply_line(&mut flood), "ERR BUSY");
+        assert_eq!(roundtrip(&mut a, "people"), baseline);
+        assert_eq!(roundtrip(&mut b, "people"), baseline);
+    }
+
+    // Load drops; the freed slots admit new clients with the same
+    // answers, and the sheds are visible in the metrics.
+    drop(a);
+    drop(b);
+    let (mut d, reply) = connect_until_admitted(&server.addr, "people");
+    assert_eq!(reply, baseline, "post-recovery answers differ");
+    let metrics = read_metrics(&mut d);
+    assert_prometheus_valid(&metrics);
+    assert!(
+        metric_value(&metrics, "cubelsi_busy_rejected_total") >= 4.0,
+        "sheds uncounted"
+    );
+    assert!(metric_value(&metrics, "cubelsi_active_connections") >= 1.0);
+
+    assert_eq!(roundtrip(&mut d, "SHUTDOWN"), "OK shutting down");
+    server.wait_for_clean_exit(Duration::from_secs(10));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A query that blows its `--deadline-ms` budget inside the search gets
+/// the specific `TIMEOUT` reply; queries not naming the slow tag are
+/// unaffected on the same server, and the timeout is counted.
+#[test]
+fn deadline_exceeded_query_gets_timeout_reply() {
+    let dir = scratch_dir("faults-deadline");
+    let manifest = build_sharded(&dir, 2);
+    let expected_top = reference_top_hit(&manifest, &["laptop"]);
+    let mut server = start_server_with(
+        &manifest,
+        &["--deadline-ms", "60"],
+        &[
+            ("CUBELSI_FAULT_QUERY_DELAY_MS", "300"),
+            ("CUBELSI_FAULT_SLOW_TAG", "people"),
+        ],
+    );
+
+    let mut a = connect(&server.addr);
+    let healthy = roundtrip(&mut a, "laptop");
+    assert!(healthy.starts_with("OK\t"), "got {healthy:?}");
+    assert!(healthy.contains(&expected_top), "top hit missing");
+
+    // Fire the slow query, and while it is burning its budget, serve a
+    // healthy client concurrently — bit-identically.
+    a.write_all(b"people\n").unwrap();
+    let mut b = connect(&server.addr);
+    assert_eq!(roundtrip(&mut b, "laptop"), healthy);
+    assert_eq!(read_reply_line(&mut a), "TIMEOUT deadline 60 ms exceeded");
+
+    // The timed-out connection is still usable for in-budget queries.
+    assert_eq!(roundtrip(&mut a, "laptop"), healthy);
+
+    let got = await_metric_at_least(&server.addr, "cubelsi_deadline_timeouts_total", 1.0);
+    assert!(got >= 1.0);
+    assert_eq!(roundtrip(&mut a, "SHUTDOWN"), "OK shutting down");
+    server.wait_for_clean_exit(Duration::from_secs(10));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A query whose budget is already spent *before* dispatch (queueing
+/// delay) is answered `TIMEOUT` without launching the search at all.
+#[test]
+fn expired_budget_is_rejected_before_dispatch() {
+    let dir = scratch_dir("faults-predispatch");
+    let manifest = build_sharded(&dir, 2);
+    let mut server = start_server_with(
+        &manifest,
+        &["--deadline-ms", "60"],
+        &[
+            ("CUBELSI_FAULT_PREDISPATCH_DELAY_MS", "300"),
+            ("CUBELSI_FAULT_SLOW_TAG", "people"),
+        ],
+    );
+
+    let mut a = connect(&server.addr);
+    let healthy = roundtrip(&mut a, "laptop");
+    assert!(healthy.starts_with("OK\t"), "got {healthy:?}");
+    assert_eq!(
+        roundtrip(&mut a, "people"),
+        "TIMEOUT deadline 60 ms exceeded"
+    );
+    assert_eq!(roundtrip(&mut a, "laptop"), healthy);
+
+    let got = await_metric_at_least(&server.addr, "cubelsi_deadline_timeouts_total", 1.0);
+    assert!(got >= 1.0);
+    assert_eq!(roundtrip(&mut a, "SHUTDOWN"), "OK shutting down");
+    server.wait_for_clean_exit(Duration::from_secs(10));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A reader that stops absorbing its (padded, multi-megabyte) reply is
+/// dropped once the write budget lapses — freeing its handler — while a
+/// healthy client on the same server keeps getting bit-identical
+/// results the whole time.
+#[test]
+fn stalled_reader_is_dropped_without_wedging_the_server() {
+    let dir = scratch_dir("faults-stalled");
+    let manifest = build_sharded(&dir, 2);
+    let mut server = start_server_with(
+        &manifest,
+        &["--write-timeout-ms", "250"],
+        &[
+            // 8 MB of padding on `people` replies: far past any socket
+            // buffer, so the server's write must block on the stalled
+            // reader and the budget must fire.
+            ("CUBELSI_FAULT_REPLY_PAD", "8000000"),
+            ("CUBELSI_FAULT_SLOW_TAG", "people"),
+        ],
+    );
+
+    let mut healthy = connect(&server.addr);
+    let baseline = roundtrip(&mut healthy, "laptop");
+    assert!(baseline.starts_with("OK\t"), "got {baseline:?}");
+
+    // The stalled reader: sends its query, then never reads the reply.
+    let mut stalled = connect(&server.addr);
+    stalled.write_all(b"people\n").unwrap();
+
+    // The drop is counted once the budget lapses; meanwhile the healthy
+    // client never notices.
+    let got = await_metric_at_least(&server.addr, "cubelsi_slow_client_drops_total", 1.0);
+    assert!(got >= 1.0);
+    for _ in 0..3 {
+        assert_eq!(roundtrip(&mut healthy, "laptop"), baseline);
+    }
+
+    drop(stalled);
+    assert_eq!(roundtrip(&mut healthy, "SHUTDOWN"), "OK shutting down");
+    server.wait_for_clean_exit(Duration::from_secs(10));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A pathologically slow but live writer (one byte per 30 ms, slower
+/// than the server's read poll) is served normally: partial-line bytes
+/// survive read-timeout polls until the newline arrives.
+#[test]
+fn byte_at_a_time_writer_is_served() {
+    let dir = scratch_dir("faults-trickle");
+    let manifest = build_sharded(&dir, 2);
+    let expected_top = reference_top_hit(&manifest, &["people"]);
+    let mut server = start_server(&manifest);
+
+    let mut fast = connect(&server.addr);
+    let baseline = roundtrip(&mut fast, "people");
+
+    let mut slow = connect(&server.addr);
+    trickle_request(&mut slow, "QUERY people", Duration::from_millis(30));
+    let reply = read_reply_line(&mut slow);
+    assert_eq!(reply, baseline, "trickled query answered differently");
+    assert!(reply.contains(&expected_top));
+
+    assert_eq!(roundtrip(&mut slow, "SHUTDOWN"), "OK shutting down");
+    server.wait_for_clean_exit(Duration::from_secs(10));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A connection idle past `--idle-timeout-ms` gets `ERR idle timeout`
+/// and a close — releasing its admission slot — without touching other
+/// connections.
+#[test]
+fn idle_connection_times_out_and_is_counted() {
+    let dir = scratch_dir("faults-idle");
+    let manifest = build_sharded(&dir, 2);
+    let mut server = start_server_with(&manifest, &["--idle-timeout-ms", "400"], &[]);
+
+    let mut idle = connect(&server.addr);
+    let baseline = roundtrip(&mut idle, "people");
+    assert!(baseline.starts_with("OK\t"), "got {baseline:?}");
+
+    // Sit silent: the next thing on this socket is the idle reply and
+    // then EOF (the read itself blocks until the server acts).
+    assert_eq!(read_reply_line(&mut idle), "ERR idle timeout");
+    assert_eq!(read_to_end(&mut idle), "", "idled connection must close");
+
+    // Other connections are untouched, and the timeout is counted.
+    let mut healthy = connect(&server.addr);
+    assert_eq!(roundtrip(&mut healthy, "people"), baseline);
+    let metrics = read_metrics(&mut healthy);
+    assert_prometheus_valid(&metrics);
+    assert!(metric_value(&metrics, "cubelsi_idle_timeouts_total") >= 1.0);
+
+    assert_eq!(roundtrip(&mut healthy, "SHUTDOWN"), "OK shutting down");
+    server.wait_for_clean_exit(Duration::from_secs(10));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A client that disconnects while its (slowed) query is still running
+/// must cost the server nothing but that one connection: the reply
+/// write fails, the handler moves on, healthy clients are untouched,
+/// and shutdown still exits cleanly (no leaked panic).
+#[test]
+fn mid_query_disconnect_leaves_server_healthy() {
+    let dir = scratch_dir("faults-disconnect");
+    let manifest = build_sharded(&dir, 2);
+    let mut server = start_server_with(
+        &manifest,
+        &[],
+        &[
+            ("CUBELSI_FAULT_QUERY_DELAY_MS", "300"),
+            ("CUBELSI_FAULT_SLOW_TAG", "people"),
+        ],
+    );
+
+    let mut healthy = connect(&server.addr);
+    let baseline = roundtrip(&mut healthy, "laptop");
+    assert!(baseline.starts_with("OK\t"), "got {baseline:?}");
+
+    // Kick off the slow query and vanish before the reply lands.
+    let mut doomed = connect(&server.addr);
+    doomed.write_all(b"people\n").unwrap();
+    drop(doomed);
+
+    // The healthy client rides through the failed reply write; even the
+    // slow tag still answers (slowly, but with no deadline configured).
+    for _ in 0..3 {
+        assert_eq!(roundtrip(&mut healthy, "laptop"), baseline);
+    }
+    let slow_reply = roundtrip(&mut healthy, "people");
+    assert!(slow_reply.starts_with("OK\t"), "got {slow_reply:?}");
+
+    assert_eq!(roundtrip(&mut healthy, "SHUTDOWN"), "OK shutting down");
+    server.wait_for_clean_exit(Duration::from_secs(10));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Graceful drain: `SHUTDOWN` stops admission but lets an in-flight
+/// (slowed) query finish and deliver its full reply before the
+/// connection is told the server is going away.
+#[test]
+fn graceful_drain_finishes_inflight_query() {
+    let dir = scratch_dir("faults-drain");
+    let manifest = build_sharded(&dir, 2);
+    let expected_top = reference_top_hit(&manifest, &["people"]);
+    let mut server = start_server_with(
+        &manifest,
+        &[],
+        &[
+            ("CUBELSI_FAULT_QUERY_DELAY_MS", "500"),
+            ("CUBELSI_FAULT_SLOW_TAG", "people"),
+        ],
+    );
+
+    let mut inflight = connect(&server.addr);
+    inflight.write_all(b"people\n").unwrap();
+    // Let the handler pick the query up and enter its slow phase.
+    std::thread::sleep(Duration::from_millis(150));
+
+    let mut killer = connect(&server.addr);
+    assert_eq!(roundtrip(&mut killer, "SHUTDOWN"), "OK shutting down");
+
+    // The in-flight query still completes with its full, correct reply;
+    // only afterwards does the drain close the connection.
+    let reply = read_reply_line(&mut inflight);
+    assert!(reply.starts_with("OK\t"), "in-flight query lost: {reply:?}");
+    assert!(reply.contains(&expected_top), "drained reply degraded");
+    assert_eq!(read_reply_line(&mut inflight), "ERR server shutting down");
+
+    server.wait_for_clean_exit(Duration::from_secs(10));
+    std::fs::remove_dir_all(&dir).ok();
+}

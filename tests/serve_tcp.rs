@@ -2,120 +2,22 @@
 //! model through the real CLI, starts the server on an ephemeral port,
 //! and drives it over real sockets — queries, concurrent clients,
 //! hostile input (oversized and non-UTF-8 requests), `RELOAD` under a
-//! live connection, and `SHUTDOWN`. The query replies are checked
+//! live connection, `STATS`/`METRICS` observability, admission limits
+//! from the environment, and `SHUTDOWN`. The query replies are checked
 //! against the `query` subcommand's answer on the same manifest, which
 //! the sharded-equivalence suite in turn pins to the unsharded engine.
+//! The fault-specific degradations (deadlines, floods, stalled readers)
+//! live in `serve_faults.rs`.
 
+mod common;
+
+use common::*;
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
-use std::path::{Path, PathBuf};
-use std::process::{Child, Command, Stdio};
-use std::time::{Duration, Instant};
-
-const BIN: &str = env!("CARGO_BIN_EXE_cubelsi-search");
-
-/// The Figure-2 corpus as a TSV dump.
-const FIG2_TSV: &str = "u1\tfolk\tr1\nu1\tfolk\tr2\nu2\tfolk\tr2\nu3\tfolk\tr2\n\
-                        u1\tpeople\tr1\nu2\tlaptop\tr3\nu3\tlaptop\tr3\n";
-
-struct Server {
-    child: Child,
-    addr: String,
-}
-
-impl Drop for Server {
-    fn drop(&mut self) {
-        self.child.kill().ok();
-        self.child.wait().ok();
-    }
-}
-
-fn build_sharded(dir: &Path, shards: usize) -> PathBuf {
-    let tsv = dir.join("fig2.tsv");
-    std::fs::write(&tsv, FIG2_TSV).unwrap();
-    let manifest = dir.join("model.shards");
-    let status = Command::new(BIN)
-        .args([
-            "build",
-            "--no-clean",
-            "--concepts",
-            "2",
-            "--shards",
-            &shards.to_string(),
-        ])
-        .arg(&tsv)
-        .arg(&manifest)
-        .status()
-        .unwrap();
-    assert!(status.success(), "build --shards failed");
-    manifest
-}
-
-fn start_server(manifest: &Path) -> Server {
-    let mut child = Command::new(BIN)
-        .args(["serve", "--listen", "127.0.0.1:0"])
-        .arg(manifest)
-        .stdout(Stdio::piped())
-        .stderr(Stdio::null())
-        .spawn()
-        .unwrap();
-    // The server prints `listening <addr>` on stdout once bound.
-    let stdout = child.stdout.take().unwrap();
-    let mut lines = BufReader::new(stdout).lines();
-    let first = lines.next().expect("server exited before binding").unwrap();
-    let addr = first
-        .strip_prefix("listening ")
-        .unwrap_or_else(|| panic!("unexpected server banner {first:?}"))
-        .to_owned();
-    Server { child, addr }
-}
-
-fn connect(addr: &str) -> TcpStream {
-    let deadline = Instant::now() + Duration::from_secs(10);
-    loop {
-        match TcpStream::connect(addr) {
-            Ok(s) => return s,
-            Err(e) if Instant::now() < deadline => {
-                std::thread::sleep(Duration::from_millis(50));
-                let _ = e;
-            }
-            Err(e) => panic!("connect {addr}: {e}"),
-        }
-    }
-}
-
-fn roundtrip(stream: &mut TcpStream, request: &str) -> String {
-    stream.write_all(request.as_bytes()).unwrap();
-    stream.write_all(b"\n").unwrap();
-    let mut reader = BufReader::new(stream.try_clone().unwrap());
-    let mut line = String::new();
-    reader.read_line(&mut line).unwrap();
-    line.trim_end().to_owned()
-}
-
-/// The `query` subcommand's top hit rendered the way the TCP reply
-/// embeds hits: `<name>  (<score>)`.
-fn reference_top_hit(manifest: &Path, tags: &[&str]) -> String {
-    let output = Command::new(BIN)
-        .arg("query")
-        .arg(manifest)
-        .args(tags)
-        .output()
-        .unwrap();
-    assert!(output.status.success());
-    let stdout = String::from_utf8(output.stdout).unwrap();
-    stdout
-        .lines()
-        .find_map(|l| l.trim_start().strip_prefix("1. "))
-        .expect("query printed a top hit")
-        .trim()
-        .to_owned()
-}
+use std::time::Duration;
 
 #[test]
 fn tcp_serve_end_to_end() {
-    let dir = std::env::temp_dir().join(format!("cubelsi-serve-tcp-{}", std::process::id()));
-    std::fs::create_dir_all(&dir).unwrap();
+    let dir = scratch_dir("serve-tcp");
     let manifest = build_sharded(&dir, 3);
     let expected_top = reference_top_hit(&manifest, &["people"]);
     let server = start_server(&manifest);
@@ -171,8 +73,9 @@ fn tcp_serve_end_to_end() {
     d.write_all(b"half a requ").unwrap();
     drop(d);
 
-    // STATS reports server-wide latency percentiles plus the query
-    // executor's counters, in one parseable reply line.
+    // STATS reports server-wide latency percentiles, the query
+    // executor's counters, and the pipeline's degradation counters, in
+    // one parseable reply line.
     let stats = roundtrip(&mut a, "STATS");
     assert!(stats.starts_with("OK"), "got {stats:?}");
     assert!(stats.contains("queries"), "got {stats:?}");
@@ -180,6 +83,16 @@ fn tcp_serve_end_to_end() {
         assert!(stats.contains(field), "missing {field}: {stats:?}");
     }
     for field in ["pool", "workers", "inline", "fanout", "stolen", "queued"] {
+        assert!(stats.contains(field), "missing {field}: {stats:?}");
+    }
+    for field in [
+        "active",
+        "busy_rejected",
+        "deadline_timeouts",
+        "slow_client_drops",
+        "idle_timeouts",
+        "accept_errors",
+    ] {
         assert!(stats.contains(field), "missing {field}: {stats:?}");
     }
     // Queries ran, so the latency block is populated and every counter
@@ -213,6 +126,31 @@ fn tcp_serve_end_to_end() {
         .sum();
     assert!(decisions >= 4, "dispatch decisions unrecorded: {stats:?}");
 
+    // METRICS renders the same state as valid Prometheus text
+    // exposition: all samples TYPE-declared, float values, `# EOF`
+    // framing — with the gauges reflecting this very connection.
+    let metrics = read_metrics(&mut a);
+    assert_prometheus_valid(&metrics);
+    assert!(
+        metric_value(&metrics, "cubelsi_queries_total") >= 4.0,
+        "queries uncounted"
+    );
+    assert!(
+        metric_value(&metrics, "cubelsi_active_connections") >= 1.0,
+        "this connection must be in the gauge"
+    );
+    assert_eq!(metric_value(&metrics, "cubelsi_index_generation"), 1.0);
+    for name in [
+        "cubelsi_busy_rejected_total",
+        "cubelsi_deadline_timeouts_total",
+        "cubelsi_slow_client_drops_total",
+        "cubelsi_idle_timeouts_total",
+        "cubelsi_accept_errors_total",
+        "cubelsi_exec_late_dispatch_total",
+    ] {
+        assert_eq!(metric_value(&metrics, name), 0.0, "{name} moved unprovoked");
+    }
+
     // RELOAD hot-swaps the generation; the already-open client keeps
     // serving, with identical answers (same manifest on disk).
     let reload = roundtrip(&mut a, "RELOAD");
@@ -222,8 +160,11 @@ fn tcp_serve_end_to_end() {
     );
     let after = roundtrip(&mut a, "people");
     assert_eq!(after, reply, "answers changed across an identical reload");
-    // The other pre-reload connection also keeps working.
+    // The other pre-reload connection also keeps working, and the
+    // generation gauge tracks the swap.
     assert_eq!(roundtrip(&mut b, "people"), reply);
+    let metrics = read_metrics(&mut a);
+    assert_eq!(metric_value(&metrics, "cubelsi_index_generation"), 2.0);
 
     // QUIT closes one session; SHUTDOWN stops the server — promptly,
     // even though `b` is still connected and idle (handlers poll the
@@ -233,17 +174,7 @@ fn tcp_serve_end_to_end() {
     drop(b);
 
     let mut server = server;
-    let deadline = Instant::now() + Duration::from_secs(10);
-    loop {
-        match server.child.try_wait().unwrap() {
-            Some(status) => {
-                assert!(status.success(), "server exited with {status}");
-                break;
-            }
-            None if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(50)),
-            None => panic!("server did not stop after SHUTDOWN (idle client still open)"),
-        }
-    }
+    server.wait_for_clean_exit(Duration::from_secs(10));
     drop(idle);
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -252,8 +183,7 @@ fn tcp_serve_end_to_end() {
 /// generation serving.
 #[test]
 fn failed_reload_keeps_serving() {
-    let dir = std::env::temp_dir().join(format!("cubelsi-serve-reload-{}", std::process::id()));
-    std::fs::create_dir_all(&dir).unwrap();
+    let dir = scratch_dir("serve-reload");
     let manifest = build_sharded(&dir, 2);
     let server = start_server(&manifest);
     let mut a = connect(&server.addr);
@@ -268,5 +198,33 @@ fn failed_reload_keeps_serving() {
     assert_eq!(roundtrip(&mut a, "people"), before);
 
     assert_eq!(roundtrip(&mut a, "SHUTDOWN"), "OK shutting down");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The admission limit can come from the environment
+/// (`CUBELSI_MAX_CONNS`, mirroring `CUBELSI_THREADS`) instead of the
+/// flag — and the shed moves the `busy_rejected` counter.
+#[test]
+fn env_max_conns_limits_admission() {
+    let dir = scratch_dir("serve-env-limit");
+    let manifest = build_sharded(&dir, 2);
+    let mut server = start_server_with(&manifest, &[], &[("CUBELSI_MAX_CONNS", "1")]);
+
+    let mut a = connect(&server.addr);
+    let reply = roundtrip(&mut a, "people");
+    assert!(reply.starts_with("OK\t"), "got {reply:?}");
+
+    // The single slot is taken: the next connection is shed.
+    let mut b = connect(&server.addr);
+    assert_eq!(read_reply_line(&mut b), "ERR BUSY");
+    assert_eq!(read_to_end(&mut b), "", "shed connection must close");
+
+    let metrics = read_metrics(&mut a);
+    assert_prometheus_valid(&metrics);
+    assert!(metric_value(&metrics, "cubelsi_busy_rejected_total") >= 1.0);
+    assert_eq!(metric_value(&metrics, "cubelsi_active_connections"), 1.0);
+
+    assert_eq!(roundtrip(&mut a, "SHUTDOWN"), "OK shutting down");
+    server.wait_for_clean_exit(Duration::from_secs(10));
     std::fs::remove_dir_all(&dir).ok();
 }
