@@ -317,6 +317,10 @@ fn run_inline(tasks: usize, run: TaskFn<'_>) {
     });
 }
 
+// xtask:no-alloc:begin — steady-state task execution and stealing:
+// the pooled hot path performs no allocation (the dynamic sampling in
+// tests/query_zero_alloc.rs becomes a static fence here).
+
 /// Executes one task, always decrementing the batch latch — a panic in
 /// the closure is caught, recorded on the batch, and re-raised by the
 /// submitting caller after the join.
@@ -332,13 +336,15 @@ fn execute(inner: &Inner, task: Task, scratch: &mut WorkerScratch) {
     // since a stealing participant may belong to an unrelated scope.
     let _deadline = install_deadline(ctl.deadline, false);
     if panic::catch_unwind(AssertUnwindSafe(|| (ctl.run)(task.index, scratch))).is_err() {
+        // ORDER: flag only; the `done` mutex handoff below publishes it
+        // to the joining caller before the Relaxed read in `run_tasks`.
         ctl.panicked.store(true, Ordering::Relaxed);
     }
-    inner.executed.fetch_add(1, Ordering::Relaxed);
-    // AcqRel: the final decrement observes every earlier finisher's
-    // writes (release sequence on `pending`), and the caller observes
-    // the final finisher through the `done` mutex — so after the join
-    // the caller sees every task's result writes.
+    inner.executed.fetch_add(1, Ordering::Relaxed); // ORDER: stats counter; Relaxed default.
+                                                    // ORDER: AcqRel — the final decrement observes every earlier
+                                                    // finisher's writes (release sequence on `pending`), and the caller
+                                                    // observes the final finisher through the `done` mutex — so after
+                                                    // the join the caller sees every task's result writes.
     if ctl.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
         let mut done = lock(&ctl.done);
         *done = true;
@@ -361,7 +367,7 @@ fn find_task(inner: &Inner, local: &Worker<Task>, slot: usize) -> Option<Task> {
             continue;
         }
         if let Steal::Success(task) = stealer.steal() {
-            inner.stolen.fetch_add(1, Ordering::Relaxed);
+            inner.stolen.fetch_add(1, Ordering::Relaxed); // ORDER: stats counter; Relaxed default.
             return Some(task);
         }
     }
@@ -377,12 +383,14 @@ fn grab_external(inner: &Inner) -> Option<Task> {
     let stealers = lock(&inner.stealers);
     for stealer in stealers.iter() {
         if let Steal::Success(task) = stealer.steal() {
-            inner.stolen.fetch_add(1, Ordering::Relaxed);
+            inner.stolen.fetch_add(1, Ordering::Relaxed); // ORDER: stats counter; Relaxed default.
             return Some(task);
         }
     }
     None
 }
+
+// xtask:no-alloc:end
 
 fn worker_loop(inner: Arc<Inner>, local: Worker<Task>, slot: usize) {
     IS_POOL_WORKER.with(|flag| flag.set(true));
@@ -405,9 +413,12 @@ fn worker_loop(inner: Arc<Inner>, local: Worker<Task>, slot: usize) {
         if !found {
             let mut park = lock(&inner.park);
             while park.wake_epoch == seen_epoch && !park.stopping {
+                // `Condvar::wait` atomically releases `park` while
+                // parked; holding it here is the eventcount protocol,
+                // not a stall.
                 park = inner
                     .work_cv
-                    .wait(park)
+                    .wait(park) // HOLDS-LOCK: condvar wait releases the guard.
                     .unwrap_or_else(PoisonError::into_inner);
             }
             if park.stopping {
@@ -428,10 +439,12 @@ impl Drop for WaitGuard<'_, '_> {
     fn drop(&mut self) {
         let mut done = lock(&self.ctl.done);
         while !*done {
+            // The join protocol requires holding `done` until the
+            // latch flip is observed.
             done = self
                 .ctl
                 .done_cv
-                .wait(done)
+                .wait(done) // HOLDS-LOCK: condvar wait releases the guard.
                 .unwrap_or_else(PoisonError::into_inner);
         }
     }
@@ -461,23 +474,26 @@ impl Executor {
 
     /// Records a dispatch decision that stayed on the caller thread.
     pub(crate) fn note_inline(&self) {
-        self.inner.inline.fetch_add(1, Ordering::Relaxed);
+        self.inner.inline.fetch_add(1, Ordering::Relaxed); // ORDER: stats counter; Relaxed default.
     }
 
     /// Records a dispatch decision that engaged the pool.
     pub(crate) fn note_fanout(&self) {
-        self.inner.fanout.fetch_add(1, Ordering::Relaxed);
+        self.inner.fanout.fetch_add(1, Ordering::Relaxed); // ORDER: stats counter; Relaxed default.
     }
 
     pub(crate) fn snapshot(&self) -> ExecutorStats {
         ExecutorStats {
+            // ORDER: Acquire pairs with the Release store in
+            // `ensure_workers` — a snapshot never reports a pool size
+            // ahead of the workers actually being registered.
             pool_size: self.inner.spawned.load(Ordering::Acquire),
-            queued: self.inner.queued.load(Ordering::Relaxed),
-            executed: self.inner.executed.load(Ordering::Relaxed),
-            stolen: self.inner.stolen.load(Ordering::Relaxed),
-            inline: self.inner.inline.load(Ordering::Relaxed),
-            fanout: self.inner.fanout.load(Ordering::Relaxed),
-            late_dispatch: self.inner.late_dispatch.load(Ordering::Relaxed),
+            queued: self.inner.queued.load(Ordering::Relaxed), // ORDER: stats counter; Relaxed default.
+            executed: self.inner.executed.load(Ordering::Relaxed), // ORDER: stats counter; Relaxed default.
+            stolen: self.inner.stolen.load(Ordering::Relaxed), // ORDER: stats counter; Relaxed default.
+            inline: self.inner.inline.load(Ordering::Relaxed), // ORDER: stats counter; Relaxed default.
+            fanout: self.inner.fanout.load(Ordering::Relaxed), // ORDER: stats counter; Relaxed default.
+            late_dispatch: self.inner.late_dispatch.load(Ordering::Relaxed), // ORDER: stats counter; Relaxed default.
         }
     }
 
@@ -500,6 +516,7 @@ impl Executor {
         // waking workers for an answer that will be discarded.
         let deadline = current_deadline();
         if deadline.is_some_and(|d| Instant::now() >= d) {
+            // ORDER: stats counter; Relaxed default.
             self.inner.late_dispatch.fetch_add(1, Ordering::Relaxed);
             run_inline(tasks, run);
             return;
@@ -527,6 +544,7 @@ impl Executor {
                 index,
             });
         }
+        // ORDER: stats counter; Relaxed default.
         self.inner.queued.fetch_add(tasks as u64, Ordering::Relaxed);
         self.wake_workers();
         // Participate instead of idling (skipped only in the re-entrant
@@ -534,6 +552,9 @@ impl Executor {
         // scratch — then the pool alone drains the batch).
         CALLER_SCRATCH.with(|cell| {
             if let Ok(mut scratch) = cell.try_borrow_mut() {
+                // ORDER: Acquire pairs with the AcqRel decrements in
+                // `execute` — observing 0 implies every finisher's
+                // writes are visible to this participant.
                 while ctl.pending.load(Ordering::Acquire) > 0 {
                     match grab_external(&self.inner) {
                         Some(task) => execute(&self.inner, task, &mut scratch),
@@ -543,6 +564,8 @@ impl Executor {
             }
         });
         drop(guard);
+        // ORDER: the WaitGuard's `done`-mutex join above already
+        // ordered every finisher before this read; Relaxed suffices.
         if ctl.panicked.load(Ordering::Relaxed) {
             panic!("executor batch task panicked");
         }
@@ -552,6 +575,9 @@ impl Executor {
     /// threads are never torn down while the executor lives).
     fn ensure_workers(&self, target: usize) {
         let target = target.min(MAX_POOL_WORKERS);
+        // ORDER: Acquire pairs with the Release store below — a caller
+        // that observes a satisfied count also observes the stealers
+        // those workers registered.
         if self.inner.spawned.load(Ordering::Acquire) >= target {
             return;
         }
@@ -566,6 +592,8 @@ impl Executor {
                 .spawn(move || worker_loop(inner, local, slot))
                 .expect("spawn executor worker");
         }
+        // ORDER: Release publishes the grown pool to the Acquire loads
+        // above and in `snapshot`.
         self.inner.spawned.store(stealers.len(), Ordering::Release);
     }
 

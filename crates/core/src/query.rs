@@ -212,6 +212,8 @@ impl QuerySession {
         }
     }
 
+    // xtask:no-alloc:begin — steady-state session reset: epoch bumps and
+    // length-only clears on retained buffers; reuse must never grow them.
     /// Starts a new query: bumps the epochs so all scratch reads as
     /// untouched, without clearing the dense arrays.
     fn begin(&mut self) {
@@ -233,6 +235,7 @@ impl QuerySession {
         self.heap.clear();
         self.cand_heap.clear();
     }
+    // xtask:no-alloc:end
 
     /// Grows the dense scratch to the engine's dimensions if needed, so a
     /// `Default`-constructed session — or one created for a smaller
@@ -1543,6 +1546,9 @@ fn admit_fresh_compressed(
     });
 }
 
+// xtask:no-alloc:begin — per-query inner-loop helpers: scratch buffers
+// reach steady capacity after warmup; growth here would defeat session
+// reuse. Escapes below are grow-only appends into retained buffers.
 /// Adds a term's contributions to already-touched resources only (the
 /// block-max tail scan): one random 8-byte read per posting, with hits
 /// accumulating into the dense array.
@@ -1564,7 +1570,7 @@ fn kth_partial_dense(session: &mut QuerySession, k: usize) -> Option<f64> {
         return None;
     }
     session.select_scratch.clear();
-    session.select_scratch.extend_from_slice(&session.acc_dense);
+    session.select_scratch.extend_from_slice(&session.acc_dense); // ALLOC-OK: grow-only reused scratch.
     let idx = k - 1;
     session.select_scratch.select_nth_unstable_by(idx, |a, b| {
         b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal)
@@ -1583,7 +1589,7 @@ fn kth_partial_dense(session: &mut QuerySession, k: usize) -> Option<f64> {
 #[inline]
 fn offer_admission(heap: &mut Vec<f64>, k: usize, c: f64) {
     if heap.len() < k {
-        heap.push(c);
+        heap.push(c); // ALLOC-OK: bounded at k entries; reused across queries.
         if heap.len() == k {
             heapify_min(heap);
         }
@@ -1640,7 +1646,7 @@ fn kth_partial(session: &mut QuerySession, k: usize) -> Option<f64> {
     session.select_scratch.clear();
     session
         .select_scratch
-        .extend(session.touched.iter().map(|&r| session.acc[r as usize]));
+        .extend(session.touched.iter().map(|&r| session.acc[r as usize])); // ALLOC-OK: grow-only reused scratch.
     let idx = k - 1;
     session.select_scratch.select_nth_unstable_by(idx, |a, b| {
         b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal)
@@ -1661,7 +1667,7 @@ fn sort_ranked(out: &mut [RankedResource]) {
 }
 
 fn heap_push(heap: &mut Vec<(f64, u32)>, item: (f64, u32)) {
-    heap.push(item);
+    heap.push(item); // ALLOC-OK: bounded at k entries; reused across queries.
     let mut i = heap.len() - 1;
     while i > 0 {
         let parent = (i - 1) / 2;
@@ -1693,6 +1699,7 @@ fn heap_sift_down(heap: &mut [(f64, u32)], mut i: usize) {
         i = worst;
     }
 }
+// xtask:no-alloc:end
 
 #[cfg(test)]
 mod tests {

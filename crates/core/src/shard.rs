@@ -1205,6 +1205,10 @@ impl ShardedEngine {
             .state
             .write()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // ORDER: claimed under the `state` write lock, which already
+        // serializes installs; SeqCst keeps the generation counter in a
+        // single total order as belt and braces (reload frequency, so
+        // the fence cost is irrelevant).
         let number = self.next_generation.fetch_add(1, Ordering::SeqCst);
         let generation = Arc::new(ShardGeneration { number, set });
         *slot = generation.clone();

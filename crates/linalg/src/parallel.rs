@@ -12,6 +12,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// Defaults to the machine's available parallelism and can be lowered (e.g.
 /// to 1 for deterministic profiling) via [`set_num_threads`].
 pub fn num_threads() -> usize {
+    // ORDER: independent config cell — no data is published through
+    // it, so Relaxed is the documented default.
     let configured = CONFIGURED_THREADS.load(Ordering::Relaxed);
     if configured > 0 {
         return configured;
@@ -25,10 +27,12 @@ pub fn num_threads() -> usize {
 /// that consult [`num_threads`] on every query.
 fn default_threads() -> usize {
     static DEFAULT: AtomicUsize = AtomicUsize::new(0);
+    // ORDER: idempotent probe cache — racing initializers store the
+    // same value, so Relaxed loads/stores need no edge between them.
     match DEFAULT.load(Ordering::Relaxed) {
         0 => {
             let n = std::thread::available_parallelism().map_or(1, |n| n.get());
-            DEFAULT.store(n, Ordering::Relaxed);
+            DEFAULT.store(n, Ordering::Relaxed); // ORDER: same idempotent cache.
             n
         }
         n => n,
@@ -40,6 +44,7 @@ static CONFIGURED_THREADS: AtomicUsize = AtomicUsize::new(0);
 /// Overrides the worker-thread count for all parallel kernels in this
 /// process. Passing `0` restores the default (machine parallelism).
 pub fn set_num_threads(n: usize) {
+    // ORDER: independent config cell; see `num_threads`.
     CONFIGURED_THREADS.store(n, Ordering::Relaxed);
 }
 

@@ -27,17 +27,30 @@ use crate::lint::Violation;
 /// (repo-relative file, enclosing fn) → number of unsafe sites.
 pub type SiteMap = BTreeMap<(String, String), usize>;
 
+/// One parsed `##` heading with its `- field:` lines, shared by this
+/// check and the `CONCURRENCY_LEDGER.md` check in `conc.rs` (both
+/// ledgers use the same heading grammar, differing only in fields).
 #[derive(Debug)]
-struct Entry {
-    file: String,
-    func: String,
-    sites: usize,
-    line: usize,
-    invariant: String,
-    tests: Vec<String>,
+pub struct RawEntry {
+    pub file: String,
+    pub func: String,
+    pub sites: usize,
+    pub line: usize,
+    /// `- name: value` lines under the heading, in order.
+    pub fields: Vec<(String, String)>,
 }
 
-fn backticked(text: &str) -> Vec<String> {
+impl RawEntry {
+    /// The value of the first `- name:` field, if present.
+    pub fn field(&self, name: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+pub(crate) fn backticked(text: &str) -> Vec<String> {
     let mut out = Vec::new();
     let mut rest = text;
     while let Some(open) = rest.find('`') {
@@ -50,8 +63,16 @@ fn backticked(text: &str) -> Vec<String> {
     out
 }
 
-fn parse(ledger: &str) -> (Vec<Entry>, Vec<Violation>) {
-    let mut entries: Vec<Entry> = Vec::new();
+/// Parses every `## `file` · `fn` — N sites` heading and its `- name:
+/// value` field lines. Fenced code blocks are skipped, so a ledger's
+/// own format documentation cannot masquerade as entries. Malformed
+/// headings become violations attributed to `ledger_file`/`rule`.
+pub(crate) fn parse_entries(
+    ledger: &str,
+    ledger_file: &'static str,
+    rule: &'static str,
+) -> (Vec<RawEntry>, Vec<Violation>) {
+    let mut entries: Vec<RawEntry> = Vec::new();
     let mut violations = Vec::new();
     let mut in_fence = false;
     for (idx, raw) in ledger.lines().enumerate() {
@@ -71,26 +92,28 @@ fn parse(ledger: &str) -> (Vec<Entry>, Vec<Violation>) {
                 .and_then(|tail| tail.split_whitespace().next())
                 .and_then(|n| n.parse::<usize>().ok());
             match (names.as_slice(), sites) {
-                ([file, func], Some(sites)) => entries.push(Entry {
+                ([file, func], Some(sites)) => entries.push(RawEntry {
                     file: file.clone(),
                     func: func.clone(),
                     sites,
                     line: idx + 1,
-                    invariant: String::new(),
-                    tests: Vec::new(),
+                    fields: Vec::new(),
                 }),
                 _ => violations.push(Violation {
-                    file: "UNSAFE_LEDGER.md".into(),
+                    file: ledger_file.into(),
                     line: idx + 1,
-                    rule: "ledger",
+                    rule,
                     msg: "malformed heading; expected ## `file` · `fn` — N sites".into(),
                 }),
             }
         } else if let Some(entry) = entries.last_mut() {
-            if let Some(inv) = line.strip_prefix("- invariant:") {
-                entry.invariant = inv.trim().to_owned();
-            } else if let Some(tests) = line.strip_prefix("- test:") {
-                entry.tests = backticked(tests);
+            if let Some((name, value)) = line
+                .strip_prefix("- ")
+                .and_then(|field| field.split_once(':'))
+            {
+                entry
+                    .fields
+                    .push((name.trim().to_owned(), value.trim().to_owned()));
             }
         }
     }
@@ -100,8 +123,8 @@ fn parse(ledger: &str) -> (Vec<Entry>, Vec<Violation>) {
 /// Diffs the discovered `sites` against the ledger text. `test_exists`
 /// answers whether a named `fn` exists anywhere in the scanned tree.
 pub fn check(sites: &SiteMap, ledger: &str, test_exists: impl Fn(&str) -> bool) -> Vec<Violation> {
-    let (entries, mut violations) = parse(ledger);
-    let mut ledger_map: BTreeMap<(String, String), &Entry> = BTreeMap::new();
+    let (entries, mut violations) = parse_entries(ledger, "UNSAFE_LEDGER.md", "ledger");
+    let mut ledger_map: BTreeMap<(String, String), &RawEntry> = BTreeMap::new();
     for entry in &entries {
         let key = (entry.file.clone(), entry.func.clone());
         if ledger_map.insert(key, entry).is_some() {
@@ -151,7 +174,7 @@ pub fn check(sites: &SiteMap, ledger: &str, test_exists: impl Fn(&str) -> bool) 
             });
             continue;
         }
-        if entry.invariant.is_empty() {
+        if entry.field("invariant").unwrap_or("").is_empty() {
             violations.push(Violation {
                 file: "UNSAFE_LEDGER.md".into(),
                 line: entry.line,
@@ -162,7 +185,8 @@ pub fn check(sites: &SiteMap, ledger: &str, test_exists: impl Fn(&str) -> bool) 
                 ),
             });
         }
-        if entry.tests.is_empty() {
+        let tests = backticked(entry.field("test").unwrap_or(""));
+        if tests.is_empty() {
             violations.push(Violation {
                 file: "UNSAFE_LEDGER.md".into(),
                 line: entry.line,
@@ -173,7 +197,7 @@ pub fn check(sites: &SiteMap, ledger: &str, test_exists: impl Fn(&str) -> bool) 
                 ),
             });
         }
-        for test in &entry.tests {
+        for test in &tests {
             if !test_exists(test) {
                 violations.push(Violation {
                     file: "UNSAFE_LEDGER.md".into(),

@@ -18,6 +18,10 @@
 //!   deleting the markers is itself a lint failure.
 //! - **R4 float-cmp** — no `partial_cmp(..).unwrap()`: NaN panics at
 //!   ranking time. Use `total_cmp` or an explicit NaN policy.
+//!
+//! The concurrency rules (R5 atomic-ordering, R6 lock-discipline, R7
+//! no-alloc regions) live in `conc.rs` and share this module's
+//! `Violation` type and marker-adjacency convention.
 
 use crate::scan::{word_at, word_positions, Line, SourceFile};
 
@@ -37,6 +41,35 @@ impl std::fmt::Display for Violation {
             f,
             "{}:{}: [{}] {}",
             self.file, self.line, self.rule, self.msg
+        )
+    }
+}
+
+fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Violation {
+    /// One machine-readable JSON object (single line, no trailing
+    /// newline) for `xtask check --json`.
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"file":"{}","line":{},"rule":"{}","msg":"{}"}}"#,
+            json_escape(&self.file),
+            self.line,
+            self.rule,
+            json_escape(&self.msg)
         )
     }
 }
@@ -105,9 +138,10 @@ fn has_safety_text(comment: &str) -> bool {
     comment.contains("SAFETY:") || comment.contains("# Safety")
 }
 
-/// A line the upward SAFETY scan may look through: blank, comment-only,
-/// or attribute-only code.
-fn is_transparent(line: &Line) -> bool {
+/// A line the upward marker scan (SAFETY:, ORDER:, HOLDS-LOCK:,
+/// ALLOC-OK:) may look through: blank, comment-only, or attribute-only
+/// code.
+pub fn is_transparent(line: &Line) -> bool {
     let code = line.code.trim();
     code.is_empty() || code.starts_with("#[") || code.starts_with("#![")
 }

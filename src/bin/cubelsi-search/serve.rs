@@ -177,6 +177,7 @@ fn read_raw_line(
                         std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                     ) =>
             {
+                // ORDER: SeqCst shutdown flag; see `Server::stop`.
                 if stop.is_some_and(|s| s.load(Ordering::SeqCst)) {
                     return Ok(RawLine::Aborted);
                 }
@@ -346,14 +347,18 @@ struct Server<'a> {
 }
 
 impl Server<'_> {
+    // xtask:no-alloc:begin — the per-request reply path: the reused
+    // per-connection buffer is the only storage, so a steady-state
+    // reply performs no allocation.
+
     /// Writes `line` plus `\n`, bounded by the per-reply write budget:
     /// each syscall may block up to the socket write timeout, and the
     /// whole reply must land within `write_timeout` — a reader stalled
     /// on a full socket buffer costs one budget, not a handler.
     fn write_reply(&self, stream: &mut TcpStream, out: &mut Vec<u8>, line: &str) -> bool {
         out.clear();
-        out.extend_from_slice(line.as_bytes());
-        out.push(b'\n');
+        out.extend_from_slice(line.as_bytes()); // ALLOC-OK: grow-only reused buffer.
+        out.push(b'\n'); // ALLOC-OK: grow-only reused buffer (at capacity after warmup).
         let start = Instant::now();
         let mut sent = 0usize;
         while sent < out.len() {
@@ -364,7 +369,7 @@ impl Server<'_> {
                 Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
                     self.counters
                         .slow_client_drops
-                        .fetch_add(1, Ordering::Relaxed);
+                        .fetch_add(1, Ordering::Relaxed); // ORDER: stats counter; Relaxed default.
                     return false;
                 }
                 Err(_) => return false,
@@ -372,12 +377,14 @@ impl Server<'_> {
             if sent < out.len() && start.elapsed() >= self.limits.write_timeout {
                 self.counters
                     .slow_client_drops
-                    .fetch_add(1, Ordering::Relaxed);
+                    .fetch_add(1, Ordering::Relaxed); // ORDER: stats counter; Relaxed default.
                 return false;
             }
         }
         true
     }
+
+    // xtask:no-alloc:end
 
     fn timeout_reply(&self) -> String {
         let ms = self.limits.deadline.map_or(0, |d| d.as_millis());
@@ -409,7 +416,7 @@ impl Server<'_> {
         if deadline.is_some_and(|d| Instant::now() >= d) {
             self.counters
                 .deadline_timeouts
-                .fetch_add(1, Ordering::Relaxed);
+                .fetch_add(1, Ordering::Relaxed); // ORDER: stats counter; Relaxed default.
             return self.write_reply(stream, out, &self.timeout_reply());
         }
         let generation = self.engine.current();
@@ -431,7 +438,7 @@ impl Server<'_> {
         if deadline.is_some_and(|d| Instant::now() >= d) {
             self.counters
                 .deadline_timeouts
-                .fetch_add(1, Ordering::Relaxed);
+                .fetch_add(1, Ordering::Relaxed); // ORDER: stats counter; Relaxed default.
             return self.write_reply(stream, out, &self.timeout_reply());
         }
         stats.record(elapsed);
@@ -481,6 +488,9 @@ impl Server<'_> {
             // arm: a client streaming requests back to back keeps the
             // read buffer full, and without this check such a client
             // could hold the whole drain hostage indefinitely.
+            // ORDER: SeqCst shutdown flag — one total order across the
+            // gate, handlers, and drain; request frequency, so the
+            // fence cost is irrelevant.
             if self.stop.load(Ordering::SeqCst) {
                 self.write_reply(&mut stream, &mut out, "ERR server shutting down");
                 break;
@@ -503,6 +513,7 @@ impl Server<'_> {
                     break;
                 }
                 Ok(RawLine::IdleTimeout) => {
+                    // ORDER: stats counter; Relaxed default.
                     self.counters.idle_timeouts.fetch_add(1, Ordering::Relaxed);
                     self.write_reply(&mut stream, &mut out, "ERR idle timeout");
                     break;
@@ -539,6 +550,8 @@ impl Server<'_> {
                         }
                         Request::Shutdown => {
                             self.write_reply(&mut stream, &mut out, "OK shutting down");
+                            // ORDER: SeqCst shutdown flag; see the
+                            // loop-head load above.
                             self.stop.store(true, Ordering::SeqCst);
                             // Wake parked handlers and nudge the
                             // blocking accept loop so both observe the
@@ -622,33 +635,39 @@ impl Server<'_> {
             let conn = {
                 let mut queue = lock(&self.queue);
                 loop {
+                    // ORDER: SeqCst shutdown flag (total order).
                     if self.stop.load(Ordering::SeqCst) {
                         break None;
                     }
                     if let Some(conn) = queue.pop_front() {
                         break Some(conn);
                     }
+                    // ORDER: SeqCst pool gauge — the accept loop's
+                    // spawn decision and this park/unpark pair sit in
+                    // one total order with the queue push, so a parked
+                    // handler is never miscounted as busy.
                     self.idle_handlers.fetch_add(1, Ordering::SeqCst);
                     queue = self
                         .queue_cv
-                        .wait(queue)
+                        .wait(queue) // HOLDS-LOCK: condvar wait releases the guard.
                         .unwrap_or_else(PoisonError::into_inner);
-                    self.idle_handlers.fetch_sub(1, Ordering::SeqCst);
+                    self.idle_handlers.fetch_sub(1, Ordering::SeqCst); // ORDER: SeqCst pool gauge; see above.
                 }
             };
             let Some(conn) = conn else { return };
             if panic::catch_unwind(AssertUnwindSafe(|| self.handle_client(conn))).is_err() {
-                self.panicked.store(true, Ordering::SeqCst);
+                self.panicked.store(true, Ordering::SeqCst); // ORDER: SeqCst flag, read after scope join.
             }
             self.counters
                 .active_connections
-                .fetch_sub(1, Ordering::SeqCst);
+                .fetch_sub(1, Ordering::SeqCst); // ORDER: SeqCst admission gauge; see the gate.
         }
     }
 
     /// Sheds one connection at the admission gate: an explicit reply,
     /// then a clean close — never a silent drop, never a thread.
     fn shed(&self, mut stream: TcpStream) {
+        // ORDER: stats counter; Relaxed default.
         self.counters.busy_rejected.fetch_add(1, Ordering::Relaxed);
         stream.set_nodelay(true).ok();
         stream.set_write_timeout(Some(SHED_WRITE_TIMEOUT)).ok();
@@ -715,6 +734,7 @@ pub fn run_serve(
         let mut spawned = 0usize;
         let mut backoff = ACCEPT_BACKOFF_MIN;
         for stream in listener.incoming() {
+            // ORDER: SeqCst shutdown flag (total order).
             if server.stop.load(Ordering::SeqCst) {
                 break;
             }
@@ -727,7 +747,7 @@ pub fn run_serve(
                     server
                         .counters
                         .accept_errors
-                        .fetch_add(1, Ordering::Relaxed);
+                        .fetch_add(1, Ordering::Relaxed); // ORDER: stats counter; Relaxed default.
                     eprintln!("accept error: {e} (backing off {backoff:?})");
                     std::thread::sleep(backoff);
                     backoff = (backoff * 2).min(ACCEPT_BACKOFF_MAX);
@@ -736,6 +756,10 @@ pub fn run_serve(
             };
             // Admission gate: reserve a slot or shed with an explicit
             // reply. The handler releases the slot on disconnect.
+            // ORDER: SeqCst admission gauge — the gate's load, the
+            // reservation below, and the handlers' releases form one
+            // total order, so the cap cannot be overshot by reordered
+            // views; accept-loop frequency, so fence cost is noise.
             if server.counters.active_connections.load(Ordering::SeqCst) >= server.limits.max_conns
             {
                 server.shed(stream);
@@ -744,13 +768,15 @@ pub fn run_serve(
             server
                 .counters
                 .active_connections
-                .fetch_add(1, Ordering::SeqCst);
+                .fetch_add(1, Ordering::SeqCst); // ORDER: SeqCst admission gauge; see the gate.
             lock(&server.queue).push_back(stream);
             // Grow the pool only when no handler is parked: if every
             // handler is busy and the queue is non-empty, the number of
             // handlers is below the number of admitted connections,
             // which the gate already capped at max_conns — so a queued
             // connection always has a handler coming.
+            // ORDER: SeqCst pool gauge; totally ordered with the
+            // park/unpark pair in `handler_loop`.
             if server.idle_handlers.load(Ordering::SeqCst) == 0 && spawned < server.limits.max_conns
             {
                 spawned += 1;
@@ -761,6 +787,7 @@ pub fn run_serve(
                 {
                     // Without the spawn the queued connection may have
                     // no handler; stop cleanly rather than strand it.
+                    // ORDER: SeqCst shutdown flag (total order).
                     server.stop.store(true, Ordering::SeqCst);
                     server.queue_cv.notify_all();
                     return Err(format!("spawning connection handler: {e}"));
@@ -781,10 +808,12 @@ pub fn run_serve(
             server
                 .counters
                 .active_connections
-                .fetch_sub(1, Ordering::SeqCst);
+                .fetch_sub(1, Ordering::SeqCst); // ORDER: SeqCst admission gauge; see the gate.
         }
         Ok(())
     })?;
+    // ORDER: SeqCst panic flag; the scope join above already ordered
+    // every handler before this read.
     if server.panicked.load(Ordering::SeqCst) {
         return Err("a client handler panicked".to_owned());
     }

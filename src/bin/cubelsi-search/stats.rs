@@ -134,12 +134,16 @@ impl ServerCounters {
         format!(
             "active {} | busy_rejected {} | deadline_timeouts {} | slow_client_drops {} \
              | idle_timeouts {} | accept_errors {}",
+            // ORDER: SeqCst matches every other access to the
+            // admission gauge (see `serve.rs`); the stats counters
+            // below are Relaxed defaults — independent tallies, no
+            // data published through them.
             self.active_connections.load(Ordering::SeqCst),
-            self.busy_rejected.load(Ordering::Relaxed),
-            self.deadline_timeouts.load(Ordering::Relaxed),
-            self.slow_client_drops.load(Ordering::Relaxed),
-            self.idle_timeouts.load(Ordering::Relaxed),
-            self.accept_errors.load(Ordering::Relaxed),
+            self.busy_rejected.load(Ordering::Relaxed), // ORDER: stats counter; Relaxed default.
+            self.deadline_timeouts.load(Ordering::Relaxed), // ORDER: stats counter; Relaxed default.
+            self.slow_client_drops.load(Ordering::Relaxed), // ORDER: stats counter; Relaxed default.
+            self.idle_timeouts.load(Ordering::Relaxed), // ORDER: stats counter; Relaxed default.
+            self.accept_errors.load(Ordering::Relaxed), // ORDER: stats counter; Relaxed default.
         )
     }
 }
@@ -215,37 +219,39 @@ pub fn prometheus_exposition(
         &mut out,
         "cubelsi_active_connections",
         "Connections currently admitted by the handler pool.",
+        // ORDER: SeqCst matches every other access to the admission
+        // gauge (see `serve.rs`).
         counters.active_connections.load(Ordering::SeqCst) as u64,
     );
     put_counter(
         &mut out,
         "cubelsi_busy_rejected_total",
         "Connections shed with ERR BUSY at the admission gate.",
-        counters.busy_rejected.load(Ordering::Relaxed),
+        counters.busy_rejected.load(Ordering::Relaxed), // ORDER: stats counter; Relaxed default.
     );
     put_counter(
         &mut out,
         "cubelsi_deadline_timeouts_total",
         "Queries answered with TIMEOUT for missing the deadline budget.",
-        counters.deadline_timeouts.load(Ordering::Relaxed),
+        counters.deadline_timeouts.load(Ordering::Relaxed), // ORDER: stats counter; Relaxed default.
     );
     put_counter(
         &mut out,
         "cubelsi_slow_client_drops_total",
         "Connections dropped for not absorbing a reply within the write budget.",
-        counters.slow_client_drops.load(Ordering::Relaxed),
+        counters.slow_client_drops.load(Ordering::Relaxed), // ORDER: stats counter; Relaxed default.
     );
     put_counter(
         &mut out,
         "cubelsi_idle_timeouts_total",
         "Connections closed for exceeding the idle timeout.",
-        counters.idle_timeouts.load(Ordering::Relaxed),
+        counters.idle_timeouts.load(Ordering::Relaxed), // ORDER: stats counter; Relaxed default.
     );
     put_counter(
         &mut out,
         "cubelsi_accept_errors_total",
         "accept() failures absorbed with exponential backoff.",
-        counters.accept_errors.load(Ordering::Relaxed),
+        counters.accept_errors.load(Ordering::Relaxed), // ORDER: stats counter; Relaxed default.
     );
     put_gauge(
         &mut out,

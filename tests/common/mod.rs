@@ -133,12 +133,23 @@ pub fn roundtrip(stream: &mut TcpStream, request: &str) -> String {
     read_reply_line(stream)
 }
 
-/// Reads a single reply line off the stream.
+/// Reads a single reply line off the stream, byte by byte: a
+/// per-call `BufReader` would pull any *following* reply line that
+/// arrived in the same segment into its buffer and discard it on
+/// drop, making the next call see a spurious EOF.
 pub fn read_reply_line(stream: &mut TcpStream) -> String {
-    let mut reader = BufReader::new(stream.try_clone().unwrap());
-    let mut line = String::new();
-    reader.read_line(&mut line).unwrap();
-    line.trim_end().to_owned()
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) if byte[0] == b'\n' => break,
+            Ok(_) => line.push(byte[0]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => panic!("read_reply_line: {e}"),
+        }
+    }
+    String::from_utf8_lossy(&line).trim_end().to_owned()
 }
 
 /// Keeps connecting (and retrying past `ERR BUSY` sheds) until a query
